@@ -1,0 +1,155 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * prioritized vs uniform experience replay (paper contribution #4);
+//! * shaped vs strict (paper-literal) constraint rewards;
+//! * best-checkpoint vs final-weights deployment;
+//! * Ape-X actor-count scaling.
+//!
+//! Each ablation prints a small comparison table, then Criterion times the
+//! cheapest representative kernel so `cargo bench` integrates it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greennfv::apex::{train_apex, ApexConfig};
+use greennfv::prelude::*;
+use greennfv::report::table;
+
+const EPISODES: u32 = 250;
+
+fn eval_policy(out: TrainOutcome, name: &'static str, best: bool) -> RunResult {
+    let mut ctrl = if best {
+        out.into_controller(name)
+    } else {
+        out.into_final_controller(name)
+    };
+    run_controller(&mut ctrl, &RunConfig::paper(15, 777))
+}
+
+fn row(label: &str, r: &RunResult) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format!("{:.2}", r.mean_throughput_gbps),
+        format!("{:.0}", r.mean_energy_j),
+        format!("{:.2}", r.efficiency),
+    ]
+}
+
+fn bench(c: &mut Criterion) {
+    let headers = ["Variant", "T (Gbps)", "E (J)", "Gbps/kJ"];
+
+    // --- PER vs uniform replay -------------------------------------------
+    {
+        let mut cfg = TrainConfig::quick(EPISODES, 21);
+        cfg.use_per = true;
+        let per = eval_policy(train(Sla::EnergyEfficiency, &cfg), "per", true);
+        cfg.use_per = false;
+        let uni = eval_policy(train(Sla::EnergyEfficiency, &cfg), "uniform", true);
+        println!("\n== Ablation: prioritized vs uniform replay (EE SLA) ==");
+        println!(
+            "{}",
+            table(&headers, &[row("prioritized", &per), row("uniform", &uni)])
+        );
+    }
+
+    // --- Shaped vs strict rewards ------------------------------------------
+    {
+        let cfg = TrainConfig::quick(EPISODES, 22);
+        let mk = |shaping| {
+            let env = EnvConfig {
+                shaping,
+                ..EnvConfig::paper(Sla::paper_max_throughput(), cfg.seed)
+            };
+            eval_policy(
+                train_with_env_config(env, &cfg),
+                "shaping",
+                true,
+            )
+        };
+        let shaped = mk(RewardShaping::Shaped);
+        let strict = mk(RewardShaping::Strict);
+        println!("== Ablation: shaped vs strict violation rewards (MaxT SLA) ==");
+        println!(
+            "{}",
+            table(
+                &headers,
+                &[row("shaped", &shaped), row("strict (paper)", &strict)]
+            )
+        );
+    }
+
+    // --- Checkpoint selection ------------------------------------------------
+    {
+        let cfg = TrainConfig::quick(EPISODES, 23);
+        let best = eval_policy(train(Sla::paper_max_throughput(), &cfg), "best", true);
+        let last = eval_policy(train(Sla::paper_max_throughput(), &cfg), "final", false);
+        println!("== Ablation: best-checkpoint vs final-weights deployment ==");
+        println!(
+            "{}",
+            table(
+                &headers,
+                &[row("best checkpoint", &best), row("final weights", &last)]
+            )
+        );
+    }
+
+    // --- Ape-X actor scaling -------------------------------------------------
+    {
+        let mut rows = Vec::new();
+        for actors in [1usize, 3] {
+            let cfg = ApexConfig {
+                actors,
+                episodes_per_actor: 120 / actors as u32,
+                seed: 24,
+                ..ApexConfig::default()
+            };
+            let out = train_apex(Sla::EnergyEfficiency, &cfg);
+            let mut ctrl = out.into_controller("apex");
+            let r = run_controller(&mut ctrl, &RunConfig::paper(15, 888));
+            rows.push(row(&format!("{actors} actor(s)"), &r));
+        }
+        println!("== Ablation: Ape-X actor scaling (same total experience) ==");
+        println!(
+            "{}",
+            table(
+                &headers,
+                &rows.clone()
+            )
+        );
+    }
+
+    // --- Discretized models: tabular Q vs DQN vs DDPG ------------------------
+    {
+        let mut q = QModelController::trained(Sla::EnergyEfficiency, EPISODES, 25);
+        let qr = run_controller(&mut q, &RunConfig::paper(15, 999));
+        let mut d = DqnModelController::trained(Sla::EnergyEfficiency, EPISODES, 25);
+        let dr = run_controller(&mut d, &RunConfig::paper(15, 999));
+        let ddpg = eval_policy(
+            train(Sla::EnergyEfficiency, &TrainConfig::quick(EPISODES, 25)),
+            "ddpg",
+            true,
+        );
+        println!("== Ablation: action-space handling (EE SLA) ==");
+        println!(
+            "{}",
+            table(
+                &headers,
+                &[
+                    row("tabular Q (243 cells)", &qr),
+                    row("DQN (243-way head)", &dr),
+                    row("DDPG (continuous)", &ddpg),
+                ]
+            )
+        );
+    }
+
+    // Timed kernel: one full quick training run.
+    c.bench_function("ddpg_train_20_episodes", |b| {
+        b.iter(|| std::hint::black_box(train(Sla::EnergyEfficiency, &TrainConfig::quick(20, 1))))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

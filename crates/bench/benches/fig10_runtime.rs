@@ -1,0 +1,32 @@
+//! Figure 10 bench: fixed-SLA runtime traces at 1-second control ticks,
+//! then times the per-tick control-loop step.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greennfv_bench::{fig10_runtime, render_trace, Effort};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Figure 10: fixed-SLA runtime traces ==");
+    let data = fig10_runtime(Effort::Quick, 42);
+    println!("-- (a) MaxTh, 110 J/tick cap --");
+    println!("{}", render_trace(&data.maxt, 10));
+    println!("-- (b) MinE, 7.5 Gbps floor --");
+    println!("{}", render_trace(&data.mine, 10));
+
+    use greennfv::prelude::*;
+    c.bench_function("policy_runtime_120_ticks", |b| {
+        let out = train(Sla::EnergyEfficiency, &TrainConfig::quick(10, 3));
+        let params = out.agent.export_params();
+        b.iter(|| {
+            let actor = greennfv_nn::prelude::Mlp::from_json(&params.actor).unwrap();
+            let mut ctrl = PolicyController::new("bench", actor, ActionSpace::default());
+            std::hint::black_box(run_controller(&mut ctrl, &RunConfig::paper(120, 5)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Figure 11 bench: training-energy amortization curve, then times the
+//! evaluation of the saving series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greennfv_bench::{fig11_amortize, Effort};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Figure 11: energy saving incl. training cost ==");
+    let curve = fig11_amortize(Effort::Quick, 42);
+    let hours: Vec<f64> = (1..=6).map(f64::from).collect();
+    println!("{}", curve.render(&hours));
+    println!(
+        "asymptotic saving {:.0}%, break-even {:.2} h",
+        curve.asymptotic_saving() * 100.0,
+        curve.break_even_hours()
+    );
+
+    c.bench_function("amortization_series", |b| {
+        b.iter(|| {
+            (1..=48)
+                .map(|h| curve.saving_at_hours(f64::from(h) * 0.25))
+                .sum::<f64>()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

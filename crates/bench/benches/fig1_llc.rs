@@ -1,0 +1,21 @@
+//! Figure 1 bench: regenerates the LLC-partitioning table, then times the
+//! underlying two-chain epoch evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greennfv_bench::{fig1_llc, render_fig1};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Figure 1: LLC partitioning ==");
+    println!("{}", render_fig1(&fig1_llc(42)));
+
+    c.bench_function("fig1_llc_sweep", |b| {
+        b.iter(|| std::hint::black_box(fig1_llc(42)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

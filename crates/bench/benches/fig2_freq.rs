@@ -1,0 +1,20 @@
+//! Figure 2 bench: regenerates the CPU-frequency sweep, then times it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greennfv_bench::{fig2_freq, render_fig2};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Figure 2: CPU frequency sweep ==");
+    println!("{}", render_fig2(&fig2_freq(42)));
+
+    c.bench_function("fig2_freq_sweep", |b| {
+        b.iter(|| std::hint::black_box(fig2_freq(42)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 3 bench: regenerates the batch-size sweep, then times it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greennfv_bench::{fig3_batch, render_fig3};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Figure 3: batch-size sweep ==");
+    println!("{}", render_fig3(&fig3_batch(42)));
+
+    c.bench_function("fig3_batch_sweep", |b| {
+        b.iter(|| std::hint::black_box(fig3_batch(42)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Figure 4 bench: regenerates the DMA-buffer sweep, then times it.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greennfv_bench::{fig4_dma, render_fig4};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Figure 4: DMA buffer sweep ==");
+    println!("{}", render_fig4(&fig4_dma(42)));
+
+    c.bench_function("fig4_dma_sweep", |b| {
+        b.iter(|| std::hint::black_box(fig4_dma(42)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

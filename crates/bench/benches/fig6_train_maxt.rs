@@ -1,0 +1,27 @@
+//! Figure 6 bench: Maximum-Throughput SLA training curves (energy cap
+//! 2000 J), then times one DDPG training episode on the environment.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greennfv::prelude::*;
+use greennfv_bench::{render_training, train_curves, Effort};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Figure 6: MaxThroughput SLA training ==");
+    let out = train_curves(Sla::paper_max_throughput(), Effort::Quick, 42);
+    println!("{}", render_training(&out.history, false));
+    println!("training energy: {:.0} J", out.training_energy_j);
+
+    c.bench_function("ddpg_training_episode_maxt", |b| {
+        b.iter_with_setup(
+            || TrainConfig::quick(1, 7),
+            |cfg| std::hint::black_box(train(Sla::paper_max_throughput(), &cfg)),
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

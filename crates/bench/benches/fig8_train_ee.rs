@@ -1,0 +1,27 @@
+//! Figure 8 bench: Energy-Efficiency SLA training curves, then times one
+//! DDPG training episode.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greennfv::prelude::*;
+use greennfv_bench::{render_training, train_curves, Effort};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Figure 8: Energy-Efficiency SLA training ==");
+    let out = train_curves(Sla::EnergyEfficiency, Effort::Quick, 42);
+    println!("{}", render_training(&out.history, true));
+    println!("training energy: {:.0} J", out.training_energy_j);
+
+    c.bench_function("ddpg_training_episode_ee", |b| {
+        b.iter_with_setup(
+            || TrainConfig::quick(1, 7),
+            |cfg| std::hint::black_box(train(Sla::EnergyEfficiency, &cfg)),
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Figure 9 bench: full model comparison table, then times one controller
+//! evaluation run (the repeated unit of the comparison).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use greennfv::prelude::*;
+use greennfv_bench::{fig9_compare, Effort};
+
+fn bench(c: &mut Criterion) {
+    println!("\n== Figure 9: model comparison ==");
+    let rep = fig9_compare(Effort::Quick, 42);
+    println!("{}", rep.render());
+
+    c.bench_function("controller_evaluation_20_epochs", |b| {
+        b.iter(|| {
+            let mut ctrl = HeuristicController::default();
+            std::hint::black_box(run_controller(&mut ctrl, &RunConfig::paper(20, 5)))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench
+}
+criterion_main!(benches);

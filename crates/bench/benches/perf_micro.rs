@@ -1,0 +1,121 @@
+//! Performance microbenches of the substrate itself: ring throughput, epoch
+//! evaluation rate, NN update rate, prioritized-replay operations. These are
+//! the kernels whose speed makes the paper-scale training budgets feasible.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use greennfv_nn::prelude::*;
+use greennfv_rl::prelude::*;
+use nfv_sim::prelude::*;
+use nfv_sim::ring::SpscRing;
+
+fn bench(c: &mut Criterion) {
+    // SPSC ring push/pop pair.
+    {
+        let mut g = c.benchmark_group("ring");
+        g.throughput(Throughput::Elements(1));
+        let ring: SpscRing<u64> = SpscRing::with_capacity(1024);
+        g.bench_function("push_pop", |b| {
+            b.iter(|| {
+                ring.push(1).ok();
+                std::hint::black_box(ring.pop())
+            })
+        });
+        g.finish();
+    }
+
+    // Analytic epoch evaluation (the simulator's hot loop).
+    {
+        let cost = ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost();
+        let tuning = SimTuning::default();
+        let load = ChainLoad {
+            arrival_pps: 3.5e6,
+            mean_packet_size: 395.0,
+            burstiness: 1.2,
+        };
+        let knobs = KnobSettings::default_tuned();
+        c.bench_function("engine_evaluate_chain", |b| {
+            b.iter(|| {
+                std::hint::black_box(evaluate_chain(
+                    &knobs,
+                    &cost,
+                    &load,
+                    llc_partition_bytes(0.5),
+                    &tuning,
+                ))
+            })
+        });
+    }
+
+    // Full node epoch through the Node facade.
+    {
+        let mut node = Node::default_greennfv(0);
+        node.add_chain(
+            ChainSpec::canonical_three(ChainId(0)),
+            FlowSet::evaluation_five_flows(),
+            KnobSettings::default_tuned(),
+            1,
+        )
+        .unwrap();
+        c.bench_function("node_run_epoch", |b| {
+            b.iter(|| std::hint::black_box(node.run_epoch()))
+        });
+    }
+
+    // DDPG minibatch update (batch 64, hidden 64) — the training bottleneck.
+    {
+        let mut agent = DdpgAgent::new(4, 5, DdpgConfig::default(), 1);
+        let batch: Vec<Transition> = (0..64)
+            .map(|i| Transition {
+                state: vec![0.1 * (i % 10) as f64; 4],
+                action: vec![0.0; 5],
+                reward: 0.5,
+                next_state: vec![0.1; 4],
+                done: false,
+            })
+            .collect();
+        let w = vec![1.0; 64];
+        c.bench_function("ddpg_update_batch64", |b| {
+            b.iter(|| std::hint::black_box(agent.update(&batch, &w)))
+        });
+    }
+
+    // Prioritized replay: push + sample + priority update.
+    {
+        let mut per = PrioritizedReplay::new(1 << 16, 3);
+        for i in 0..10_000 {
+            per.push_with_priority(
+                Transition {
+                    state: vec![0.0; 4],
+                    action: vec![0.0; 5],
+                    reward: i as f64,
+                    next_state: vec![0.0; 4],
+                    done: false,
+                },
+                (i % 17) as f64,
+            );
+        }
+        c.bench_function("per_sample_update_batch64", |b| {
+            b.iter(|| {
+                let batch = per.sample(64, 0.6);
+                let tds: Vec<f64> = batch.indices.iter().map(|i| (*i % 13) as f64).collect();
+                per.update_priorities(&batch.indices, &tds);
+                std::hint::black_box(batch.indices.len())
+            })
+        });
+    }
+
+    // Actor inference (the deployed controller's per-epoch cost).
+    {
+        let net = Mlp::two_hidden(4, 64, 5, Activation::Tanh, 7);
+        c.bench_function("actor_inference", |b| {
+            b.iter(|| std::hint::black_box(net.infer_one(&[0.5, 0.4, 0.8, 0.7])))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench
+}
+criterion_main!(benches);

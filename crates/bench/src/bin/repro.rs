@@ -1,0 +1,113 @@
+//! `repro` — regenerates every table and figure of the GreenNFV paper.
+//!
+//! ```text
+//! repro [fig1|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|all] [--full] [--seed N]
+//! ```
+//!
+//! `--full` uses the long training budgets recorded in EXPERIMENTS.md;
+//! the default quick mode finishes in well under a minute per figure.
+
+use greennfv::prelude::*;
+use greennfv_bench::*;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let effort = if args.iter().any(|a| a == "--full") {
+        Effort::Full
+    } else {
+        Effort::Quick
+    };
+    let seed = args
+        .iter()
+        .position(|a| a == "--seed")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(42u64);
+    let which: Vec<&str> = args
+        .iter()
+        .filter(|a| a.starts_with("fig") || *a == "all")
+        .map(|s| s.as_str())
+        .collect();
+    let which = if which.is_empty() { vec!["all"] } else { which };
+    let want = |name: &str| which.iter().any(|w| *w == name || *w == "all");
+
+    println!("GreenNFV reproduction harness (mode: {effort:?}, seed: {seed})\n");
+
+    if want("fig1") {
+        println!("== Figure 1: LLC partitioning (two chains, 13 vs 1 Mpps) ==");
+        println!("{}", render_fig1(&fig1_llc(seed)));
+    }
+    if want("fig2") {
+        println!("== Figure 2: CPU frequency sweep (3-NF chain, 1518 B line rate) ==");
+        println!("{}", render_fig2(&fig2_freq(seed)));
+    }
+    if want("fig3") {
+        println!("== Figure 3: batch-size sweep ==");
+        println!("{}", render_fig3(&fig3_batch(seed)));
+    }
+    if want("fig4") {
+        println!("== Figure 4: DMA buffer sweep (64 B vs 1518 B) ==");
+        println!("{}", render_fig4(&fig4_dma(seed)));
+    }
+    if want("fig6") {
+        println!("== Figure 6: Maximum-Throughput SLA training (cap 2000 J) ==");
+        let out = train_curves(Sla::paper_max_throughput(), effort, seed);
+        println!("{}", render_training(&out.history, false));
+        println!("training energy: {:.0} J\n", out.training_energy_j);
+    }
+    if want("fig7") {
+        println!("== Figure 7: Minimum-Energy SLA training (floor 7.5 Gbps) ==");
+        let out = train_curves(Sla::paper_min_energy(), effort, seed);
+        println!("{}", render_training(&out.history, false));
+        println!("training energy: {:.0} J\n", out.training_energy_j);
+    }
+    if want("fig8") {
+        println!("== Figure 8: Energy-Efficiency SLA training ==");
+        let out = train_curves(Sla::EnergyEfficiency, effort, seed);
+        println!("{}", render_training(&out.history, true));
+        println!("training energy: {:.0} J\n", out.training_energy_j);
+    }
+    if want("fig9") {
+        println!("== Figure 9: model comparison ==");
+        let rep = fig9_compare(effort, seed);
+        println!("{}", rep.render());
+        for model in [
+            "Heuristics",
+            "EE-Pstate",
+            "Q-Learning",
+            "GreenNFV(MinE)",
+            "GreenNFV(MaxT)",
+            "GreenNFV(EE)",
+        ] {
+            if let (Some(t), Some(e)) = (
+                rep.throughput_ratio(model, "Baseline"),
+                rep.energy_ratio(model, "Baseline"),
+            ) {
+                println!(
+                    "{model:>16}: {t:.2}x throughput, {:.0}% energy of baseline",
+                    e * 100.0
+                );
+            }
+        }
+        println!();
+    }
+    if want("fig10") {
+        println!("== Figure 10: fixed-SLA runtime traces (1 s ticks, 120 s) ==");
+        let data = fig10_runtime(effort, seed);
+        println!("-- (a) MaxTh, energy cap 110 J/tick (3.3 kJ per 30 s) --");
+        println!("{}", render_trace(&data.maxt, 10));
+        println!("-- (b) MinE, throughput floor 7.5 Gbps --");
+        println!("{}", render_trace(&data.mine, 10));
+    }
+    if want("fig11") {
+        println!("== Figure 11: energy saving incl. training cost (Eq. 9) ==");
+        let curve = fig11_amortize(effort, seed);
+        let hours: Vec<f64> = (1..=6).map(f64::from).collect();
+        println!("{}", curve.render(&hours));
+        println!(
+            "asymptotic saving: {:.0}%; break-even after {:.2} h\n",
+            curve.asymptotic_saving() * 100.0,
+            curve.break_even_hours()
+        );
+    }
+}

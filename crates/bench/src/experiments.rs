@@ -1,0 +1,578 @@
+//! Experiment drivers — one function per paper figure.
+//!
+//! Each function regenerates the data behind one table/figure of the paper
+//! and returns structured rows plus a rendered text table. The `repro`
+//! binary, the Criterion benches, and the integration tests all call these.
+
+use greennfv::prelude::*;
+use greennfv::report::{table, AmortizationCurve, ComparisonReport};
+use nfv_sim::prelude::*;
+
+/// Effort preset: `quick` keeps every experiment under a few seconds; `full`
+/// approaches the paper's training budgets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Effort {
+    /// Fast mode for CI and `cargo bench`.
+    Quick,
+    /// Long mode for the recorded EXPERIMENTS.md numbers.
+    Full,
+}
+
+impl Effort {
+    /// DDPG training episodes for this effort level.
+    pub fn episodes(&self) -> u32 {
+        match self {
+            Effort::Quick => 600,
+            Effort::Full => 2000,
+        }
+    }
+
+    /// Q-learning training episodes.
+    pub fn q_episodes(&self) -> u32 {
+        match self {
+            Effort::Quick => 200,
+            Effort::Full => 2000,
+        }
+    }
+
+    /// Evaluation epochs per controller for the comparison.
+    pub fn eval_epochs(&self) -> u32 {
+        match self {
+            Effort::Quick => 20,
+            Effort::Full => 60,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 1: LLC partitioning micro-benchmark
+// ---------------------------------------------------------------------------
+
+/// One row of the Figure 1 sweep.
+#[derive(Debug, Clone)]
+pub struct Fig1Row {
+    /// (C1, C2) LLC percentage split.
+    pub split: (u32, u32),
+    /// LLC misses of each chain over the epoch.
+    pub misses: (f64, f64),
+    /// Delivered throughput of each chain, Gbps.
+    pub throughput: (f64, f64),
+    /// Node energy per megapacket, J/MP.
+    pub energy_per_mp: f64,
+}
+
+/// Figure 1: two chains (13 Mpps and 1 Mpps input) under four LLC splits.
+///
+/// Chains are lightweight (monitor→firewall) so the 13 Mpps offered rate is
+/// CPU-feasible on the simulated node; the paper's effect — C1 degrading and
+/// energy rising as its partition shrinks — is what is reproduced.
+pub fn fig1_llc(seed: u64) -> Vec<Fig1Row> {
+    let splits = [(90u32, 10u32), (70, 30), (40, 60), (20, 80)];
+    let mut rows = Vec::new();
+    for (c1, c2) in splits {
+        let mut node = Node::default_greennfv(0);
+        let knobs1 = KnobSettings {
+            cpu: CpuAllocation { cores: 3, share: 1.0 },
+            freq_ghz: FREQ_MAX_GHZ,
+            llc_fraction: f64::from(c1) / 100.0,
+            dma: DmaBuffer::from_mb(4.0),
+            batch: 64,
+        };
+        let knobs2 = KnobSettings {
+            llc_fraction: f64::from(c2) / 100.0,
+            cpu: CpuAllocation { cores: 2, share: 1.0 },
+            ..knobs1
+        };
+        node.add_chain(
+            ChainSpec::lightweight(ChainId(0)),
+            FlowSet::new(vec![FlowSpec::cbr(0, 13.0e6, 64)]).expect("valid flow"),
+            knobs1,
+            seed,
+        )
+        .expect("chain 1 fits");
+        node.add_chain(
+            ChainSpec::lightweight(ChainId(1)),
+            FlowSet::new(vec![FlowSpec::cbr(0, 1.0e6, 512)]).expect("valid flow"),
+            knobs2,
+            seed + 1,
+        )
+        .expect("chain 2 fits");
+        let r = node.run_epoch();
+        rows.push(Fig1Row {
+            split: (c1, c2),
+            misses: (r.node.chains[0].llc_misses, r.node.chains[1].llc_misses),
+            throughput: (
+                r.node.chains[0].throughput_gbps,
+                r.node.chains[1].throughput_gbps,
+            ),
+            energy_per_mp: r.node.energy_per_mpkt(),
+        });
+    }
+    rows
+}
+
+/// Renders the Figure 1 table.
+pub fn render_fig1(rows: &[Fig1Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}%+{}%", r.split.0, r.split.1),
+                format!("{:.2e}", r.misses.0),
+                format!("{:.2e}", r.misses.1),
+                format!("{:.2}", r.throughput.0),
+                format!("{:.2}", r.throughput.1),
+                format!("{:.0}", r.energy_per_mp),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "LLC (C1+C2)",
+            "C1 misses",
+            "C2 misses",
+            "C1 Gbps",
+            "C2 Gbps",
+            "Energy/MP (J)",
+        ],
+        &body,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figure 2: CPU frequency micro-benchmark
+// ---------------------------------------------------------------------------
+
+/// One row of the frequency sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig2Row {
+    /// Core frequency, GHz.
+    pub freq_ghz: f64,
+    /// Delivered throughput, Gbps.
+    pub throughput_gbps: f64,
+    /// Epoch energy, joules.
+    pub energy_j: f64,
+}
+
+/// Figure 2: 3-NF chain, line-rate 1518 B traffic, frequency 1.2–2.1 GHz.
+pub fn fig2_freq(seed: u64) -> Vec<Fig2Row> {
+    let scaler = FreqScaler::new(Governor::Userspace);
+    let mut rows = Vec::new();
+    for &f in scaler.ladder() {
+        let mut node = Node::default_greennfv(0);
+        let knobs = KnobSettings {
+            cpu: CpuAllocation { cores: 1, share: 1.0 },
+            freq_ghz: f,
+            llc_fraction: 0.8,
+            dma: DmaBuffer::from_mb(8.0),
+            batch: 64,
+        };
+        node.add_chain(
+            ChainSpec::canonical_three(ChainId(0)),
+            FlowSet::new(vec![FlowSpec::line_rate_large(0)]).expect("valid flow"),
+            knobs,
+            seed,
+        )
+        .expect("chain fits");
+        let r = node.run_epoch();
+        rows.push(Fig2Row {
+            freq_ghz: f,
+            throughput_gbps: r.node.total_throughput_gbps(),
+            energy_j: r.node.energy_j,
+        });
+    }
+    rows
+}
+
+/// Renders the Figure 2 table.
+pub fn render_fig2(rows: &[Fig2Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}", r.freq_ghz),
+                format!("{:.2}", r.throughput_gbps),
+                format!("{:.0}", r.energy_j),
+            ]
+        })
+        .collect();
+    table(&["Freq (GHz)", "Throughput (Gbps)", "Energy (J)"], &body)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 3: batch-size micro-benchmark
+// ---------------------------------------------------------------------------
+
+/// One row of the batch sweep.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig3Row {
+    /// Batch size, packets.
+    pub batch: u32,
+    /// Delivered throughput, Gbps.
+    pub throughput_gbps: f64,
+    /// Epoch energy, kilojoules.
+    pub energy_kj: f64,
+    /// LLC misses over the epoch, ×10⁴.
+    pub misses_e4: f64,
+}
+
+/// Figure 3: batch size 1–300 on a CPU-bound 3-NF chain with a small LLC
+/// partition, showing the interior throughput peak and miss-rate U-shape.
+pub fn fig3_batch(seed: u64) -> Vec<Fig3Row> {
+    let mut rows = Vec::new();
+    for batch in [1u32, 25, 50, 75, 100, 125, 150, 175, 200, 250, 300] {
+        let mut node = Node::default_greennfv(0);
+        let knobs = KnobSettings {
+            cpu: CpuAllocation { cores: 1, share: 1.0 },
+            freq_ghz: 1.9,
+            llc_fraction: 0.12,
+            dma: DmaBuffer::from_mb(8.0),
+            batch,
+        };
+        node.add_chain(
+            ChainSpec::canonical_three(ChainId(0)),
+            FlowSet::new(vec![FlowSpec::cbr(0, 6.0e6, 800)]).expect("valid flow"),
+            knobs,
+            seed,
+        )
+        .expect("chain fits");
+        let r = node.run_epoch();
+        rows.push(Fig3Row {
+            batch,
+            throughput_gbps: r.node.total_throughput_gbps(),
+            energy_kj: r.node.energy_j / 1000.0,
+            misses_e4: r.node.chains[0].llc_misses / 1e4,
+        });
+    }
+    rows
+}
+
+/// Renders the Figure 3 table.
+pub fn render_fig3(rows: &[Fig3Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.batch),
+                format!("{:.2}", r.throughput_gbps),
+                format!("{:.2}", r.energy_kj),
+                format!("{:.0}", r.misses_e4),
+            ]
+        })
+        .collect();
+    table(
+        &["Batch", "Throughput (Gbps)", "Energy (kJ)", "Misses (x10^4)"],
+        &body,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figure 4: DMA buffer micro-benchmark
+// ---------------------------------------------------------------------------
+
+/// One row of the DMA sweep (per packet size).
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Row {
+    /// DMA buffer size, MB.
+    pub dma_mb: f64,
+    /// Throughput at 64 B packets, Gbps.
+    pub throughput_64: f64,
+    /// Throughput at 1518 B packets, Gbps.
+    pub throughput_1518: f64,
+    /// Energy per megapacket at 64 B, J/MP.
+    pub energy_per_mp_64: f64,
+    /// Energy per megapacket at 1518 B, J/MP.
+    pub energy_per_mp_1518: f64,
+}
+
+/// Figure 4: single IDS NF, bursty flows of 64 B and 1518 B packets, DMA
+/// buffer swept 0.5–40 MB.
+pub fn fig4_dma(seed: u64) -> Vec<Fig4Row> {
+    let mut rows = Vec::new();
+    let bursty = |rate: f64, size: u32| {
+        FlowSet::new(vec![FlowSpec {
+            id: 0,
+            rate_pps: rate,
+            packet_size: size,
+            pattern: ArrivalPattern::MarkovOnOff {
+                peak_factor: 2.5,
+                on_fraction: 0.4,
+            },
+        }])
+        .expect("valid flow")
+    };
+    for mb in [0.5, 1.0, 2.0, 5.0, 10.0, 20.0, 30.0, 40.0] {
+        let run = |size: u32, rate: f64, s: u64| -> (f64, f64) {
+            let mut node = Node::default_greennfv(0);
+            let knobs = KnobSettings {
+                cpu: CpuAllocation { cores: 1, share: 1.0 },
+                freq_ghz: FREQ_MAX_GHZ,
+                llc_fraction: 0.8,
+                dma: DmaBuffer::from_mb(mb),
+                batch: 32,
+            };
+            node.add_chain(
+                ChainSpec::new(ChainId(0), vec![NfKind::Ids]).expect("one NF"),
+                bursty(rate, size),
+                knobs,
+                s,
+            )
+            .expect("chain fits");
+            // Average several epochs: on/off traffic needs averaging.
+            let mut t = 0.0;
+            let mut e = 0.0;
+            let mut pkts = 0.0;
+            for _ in 0..8 {
+                let r = node.run_epoch();
+                t += r.node.total_throughput_gbps();
+                e += r.node.energy_j;
+                pkts += r.node.chains[0].delivered_pps;
+            }
+            (t / 8.0, if pkts > 0.0 { e / (pkts / 1e6) / 8.0 } else { 0.0 })
+        };
+        let (t64, e64) = run(64, 1.5e6, seed);
+        let (t1518, e1518) = run(1518, 0.72e6, seed + 9);
+        rows.push(Fig4Row {
+            dma_mb: mb,
+            throughput_64: t64,
+            throughput_1518: t1518,
+            energy_per_mp_64: e64,
+            energy_per_mp_1518: e1518,
+        });
+    }
+    rows
+}
+
+/// Renders the Figure 4 table.
+pub fn render_fig4(rows: &[Fig4Row]) -> String {
+    let body: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1}", r.dma_mb),
+                format!("{:.2}", r.throughput_64),
+                format!("{:.2}", r.throughput_1518),
+                format!("{:.0}", r.energy_per_mp_64),
+                format!("{:.0}", r.energy_per_mp_1518),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "DMA (MB)",
+            "T 64B (Gbps)",
+            "T 1518B (Gbps)",
+            "J/MP 64B",
+            "J/MP 1518B",
+        ],
+        &body,
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Figures 6-8: training curves
+// ---------------------------------------------------------------------------
+
+/// Trains a policy for one SLA and returns the outcome with its curves.
+pub fn train_curves(sla: Sla, effort: Effort, seed: u64) -> TrainOutcome {
+    let mut cfg = TrainConfig::quick(effort.episodes(), seed);
+    if effort == Effort::Full {
+        cfg.eval_every = effort.episodes() / 40;
+    }
+    train(sla, &cfg)
+}
+
+/// Renders a training-curve table (Figures 6, 7, 8).
+pub fn render_training(history: &[EvalPoint], with_efficiency: bool) -> String {
+    let mut headers = vec![
+        "Episode", "T (Gbps)", "E (J)", "CPU (%)", "Freq (GHz)", "LLC (%)", "DMA (MB)", "Batch",
+    ];
+    if with_efficiency {
+        headers.insert(3, "Gbps/kJ");
+    }
+    let body: Vec<Vec<String>> = history
+        .iter()
+        .map(|p| {
+            let mut row = vec![
+                format!("{}", p.episode),
+                format!("{:.2}", p.throughput_gbps),
+                format!("{:.0}", p.energy_j),
+                format!("{:.0}", p.cpu_usage_pct),
+                format!("{:.2}", p.freq_ghz),
+                format!("{:.0}", p.llc_pct),
+                format!("{:.1}", p.dma_mb),
+                format!("{:.0}", p.batch),
+            ];
+            if with_efficiency {
+                row.insert(3, format!("{:.2}", p.efficiency));
+            }
+            row
+        })
+        .collect();
+    table(&headers, &body)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 9: model comparison
+// ---------------------------------------------------------------------------
+
+/// Figure 9: every model evaluated on the common workload.
+///
+/// Trains the three GreenNFV policies and the Q-learning model, then runs
+/// all seven controllers for `effort.eval_epochs()` epochs each.
+pub fn fig9_compare(effort: Effort, seed: u64) -> ComparisonReport {
+    let run_cfg = RunConfig::paper(effort.eval_epochs(), seed.wrapping_add(100));
+
+    let mut results = Vec::new();
+    results.push(run_controller(&mut BaselineController, &run_cfg));
+    results.push(run_controller(&mut HeuristicController::default(), &run_cfg));
+    results.push(run_controller(&mut EePstateController::default(), &run_cfg));
+
+    let mut q = QModelController::trained(Sla::EnergyEfficiency, effort.q_episodes(), seed);
+    results.push(run_controller(&mut q, &run_cfg));
+
+    let slas: [(Sla, &'static str); 3] = [
+        (Sla::paper_min_energy(), "GreenNFV(MinE)"),
+        (Sla::paper_max_throughput(), "GreenNFV(MaxT)"),
+        (Sla::EnergyEfficiency, "GreenNFV(EE)"),
+    ];
+    for (i, (sla, name)) in slas.into_iter().enumerate() {
+        let out = train_curves(sla, effort, seed.wrapping_add(i as u64));
+        let mut ctrl = out.into_controller(name);
+        results.push(run_controller(&mut ctrl, &run_cfg));
+    }
+    ComparisonReport { results }
+}
+
+// ---------------------------------------------------------------------------
+// Figure 10: fixed-SLA runtime traces
+// ---------------------------------------------------------------------------
+
+/// A (time, throughput, energy) trace sample.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceSample {
+    /// Wall time in seconds (one control tick per second).
+    pub time_s: u32,
+    /// Delivered throughput, Gbps.
+    pub throughput_gbps: f64,
+    /// Energy this tick, joules.
+    pub energy_j: f64,
+}
+
+/// Figure 10 output: runtime traces under the two fixed SLAs.
+#[derive(Debug, Clone)]
+pub struct Fig10Data {
+    /// MaxThroughput SLA (energy cap scaled to 1-second ticks).
+    pub maxt: Vec<TraceSample>,
+    /// MinEnergy SLA (7.5 Gbps floor).
+    pub mine: Vec<TraceSample>,
+}
+
+/// Figure 10: deploys freshly trained MaxT/MinE policies at 1-second control
+/// ticks for 120 s. The paper's 3.3 kJ cap over 30 s epochs becomes a 110 J
+/// per-tick cap.
+pub fn fig10_runtime(effort: Effort, seed: u64) -> Fig10Data {
+    let run_sla = |sla: Sla, s: u64| -> Vec<TraceSample> {
+        let tuning = SimTuning {
+            epoch_s: 1.0,
+            ..SimTuning::default()
+        };
+        let env_cfg = EnvConfig {
+            tuning,
+            sla,
+            seed: s,
+            ..EnvConfig::paper(sla, s)
+        };
+        let scale = energy_scale(&env_cfg);
+        let cfg = TrainConfig::quick(effort.episodes(), s);
+        let out = train_with_env_config(env_cfg.clone(), &cfg);
+        let actor =
+            greennfv_nn::mlp::Mlp::from_json(&out.best_params.actor).expect("actor parses");
+        let mut ctrl = PolicyController::new("fig10", actor, out.action_space)
+            .with_energy_scale(scale);
+        let run_cfg = RunConfig {
+            epochs: 120,
+            tuning,
+            seed: s.wrapping_add(7),
+            ..RunConfig::paper(120, s)
+        };
+        let r = run_controller(&mut ctrl, &run_cfg);
+        r.trace
+            .iter()
+            .enumerate()
+            .map(|(i, e)| TraceSample {
+                time_s: i as u32 + 1,
+                throughput_gbps: e.throughput_gbps,
+                energy_j: e.energy_j,
+            })
+            .collect()
+    };
+    Fig10Data {
+        maxt: run_sla(Sla::MaxThroughput { energy_cap_j: 110.0 }, seed),
+        mine: run_sla(
+            Sla::MinEnergy {
+                throughput_floor_gbps: 7.5,
+            },
+            seed + 50,
+        ),
+    }
+}
+
+/// Renders one Figure 10 trace, subsampled every `stride` seconds.
+pub fn render_trace(samples: &[TraceSample], stride: usize) -> String {
+    let body: Vec<Vec<String>> = samples
+        .iter()
+        .step_by(stride.max(1))
+        .map(|s| {
+            vec![
+                format!("{}", s.time_s),
+                format!("{:.2}", s.throughput_gbps),
+                format!("{:.1}", s.energy_j),
+            ]
+        })
+        .collect();
+    table(&["Time (s)", "Throughput (Gbps)", "Energy (J)"], &body)
+}
+
+// ---------------------------------------------------------------------------
+// Figure 11: training-energy amortization
+// ---------------------------------------------------------------------------
+
+/// Figure 11: energy saving over deployment hours, including training cost.
+///
+/// Training experience is collected at 1-second measurement windows (the
+/// paper's tens of thousands of episodes imply far shorter episodes than the
+/// 30 s control epoch), so `E_t` is the energy of the actual training
+/// wall-time. The trained policy is then deployed at the normal epoch scale.
+pub fn fig11_amortize(effort: Effort, seed: u64) -> AmortizationCurve {
+    let sla = Sla::paper_min_energy();
+    let tuning = SimTuning {
+        epoch_s: 1.0,
+        ..SimTuning::default()
+    };
+    let env_cfg = EnvConfig {
+        tuning,
+        seed,
+        ..EnvConfig::paper(sla, seed)
+    };
+    let scale = energy_scale(&env_cfg);
+    let mut cfg = TrainConfig::quick(effort.episodes().min(400), seed);
+    cfg.eval_every = cfg.episodes / 10;
+    let out = train_with_env_config(env_cfg, &cfg);
+    let training_energy = out.training_energy_j;
+    let actor =
+        greennfv_nn::mlp::Mlp::from_json(&out.best_params.actor).expect("actor parses");
+    let mut ctrl = PolicyController::new("GreenNFV(MinE)", actor, out.action_space)
+        .with_energy_scale(scale);
+    // Deployment traces run at 1 s ticks as well, matching the trained scale.
+    let run_cfg = RunConfig {
+        epochs: effort.eval_epochs().max(60),
+        tuning,
+        ..RunConfig::paper(60, seed.wrapping_add(3))
+    };
+    let model = run_controller(&mut ctrl, &run_cfg);
+    let mut base_run_cfg = run_cfg.clone();
+    base_run_cfg.seed = seed.wrapping_add(3);
+    let base = run_controller(&mut BaselineController, &base_run_cfg);
+    AmortizationCurve::new(training_energy, &model, &base, tuning.epoch_s)
+}

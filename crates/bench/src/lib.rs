@@ -1,0 +1,10 @@
+//! Shared experiment drivers for the GreenNFV benchmark harness.
+//!
+//! Each `figN` function regenerates the data behind one figure of the paper
+//! and returns it as a rendered text table plus structured rows, so the
+//! `repro` binary, the Criterion benches, and the integration tests all share
+//! one implementation.
+
+pub mod experiments;
+
+pub use experiments::*;

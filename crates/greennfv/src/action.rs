@@ -1,0 +1,219 @@
+//! Action codec: normalized RL actions ↔ hardware knob settings.
+//!
+//! DDPG emits actions in `[-1, 1]^5` (paper Eq. 7: CPU, frequency, LLC, DMA
+//! buffer, batch size); this module maps them onto the physical knob ranges
+//! and back. The CPU dimension encodes *core-equivalents* (cores × cgroup
+//! share), matching the paper's "CPU usage %" panels that range up to 400%.
+
+use nfv_sim::prelude::*;
+use serde::{Deserialize, Serialize};
+
+/// Number of control knobs per chain.
+pub const ACTION_DIM: usize = 5;
+
+/// Physical ranges of the five knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ActionSpace {
+    /// Minimum core-equivalents (cores × share).
+    pub cpu_min: f64,
+    /// Maximum core-equivalents (limited by the node's NF cores).
+    pub cpu_max: f64,
+    /// DVFS range low, GHz.
+    pub freq_min: f64,
+    /// DVFS range high, GHz.
+    pub freq_max: f64,
+    /// Minimum LLC fraction.
+    pub llc_min: f64,
+    /// Maximum LLC fraction.
+    pub llc_max: f64,
+    /// Minimum DMA buffer, MB.
+    pub dma_min_mb: f64,
+    /// Maximum DMA buffer, MB.
+    pub dma_max_mb: f64,
+    /// Minimum batch size.
+    pub batch_min: u32,
+    /// Maximum batch size.
+    pub batch_max: u32,
+}
+
+impl Default for ActionSpace {
+    fn default() -> Self {
+        Self {
+            cpu_min: 0.25,
+            cpu_max: 6.0,
+            freq_min: FREQ_MIN_GHZ,
+            freq_max: FREQ_MAX_GHZ,
+            llc_min: 0.05,
+            llc_max: 0.95,
+            dma_min_mb: 0.5,
+            dma_max_mb: 40.0,
+            batch_min: BATCH_MIN,
+            batch_max: 256,
+        }
+    }
+}
+
+impl ActionSpace {
+    /// Decodes a normalized action vector into knob settings.
+    ///
+    /// Values are clamped to [-1, 1] first, so any real vector is legal.
+    pub fn decode(&self, action: &[f64]) -> KnobSettings {
+        assert_eq!(action.len(), ACTION_DIM, "action must have 5 dimensions");
+        let u = |i: usize| (action[i].clamp(-1.0, 1.0) + 1.0) / 2.0;
+
+        let cpu_eq = self.cpu_min + u(0) * (self.cpu_max - self.cpu_min);
+        let cores = cpu_eq.ceil().max(1.0) as u32;
+        let share = (cpu_eq / f64::from(cores)).clamp(0.05, 1.0);
+
+        let freq_ghz = self.freq_min + u(1) * (self.freq_max - self.freq_min);
+        let llc_fraction = self.llc_min + u(2) * (self.llc_max - self.llc_min);
+        let dma_mb = self.dma_min_mb + u(3) * (self.dma_max_mb - self.dma_min_mb);
+        let batch = (f64::from(self.batch_min)
+            + u(4) * f64::from(self.batch_max - self.batch_min))
+        .round() as u32;
+
+        KnobSettings {
+            cpu: CpuAllocation { cores, share },
+            freq_ghz,
+            llc_fraction,
+            dma: DmaBuffer::from_mb(dma_mb),
+            batch: batch.clamp(self.batch_min, self.batch_max),
+        }
+    }
+
+    /// Encodes knob settings back into a normalized action vector.
+    pub fn encode(&self, knobs: &KnobSettings) -> [f64; ACTION_DIM] {
+        let norm = |v: f64, lo: f64, hi: f64| ((v - lo) / (hi - lo) * 2.0 - 1.0).clamp(-1.0, 1.0);
+        [
+            norm(knobs.cpu.effective_cores(), self.cpu_min, self.cpu_max),
+            norm(knobs.freq_ghz, self.freq_min, self.freq_max),
+            norm(knobs.llc_fraction, self.llc_min, self.llc_max),
+            norm(knobs.dma.mb(), self.dma_min_mb, self.dma_max_mb),
+            norm(
+                f64::from(knobs.batch),
+                f64::from(self.batch_min),
+                f64::from(self.batch_max),
+            ),
+        ]
+    }
+
+    /// Per-dimension (lo, hi) bounds as vectors — used by the Q-learning
+    /// discretizer.
+    pub fn bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        (
+            vec![
+                self.cpu_min,
+                self.freq_min,
+                self.llc_min,
+                self.dma_min_mb,
+                f64::from(self.batch_min),
+            ],
+            vec![
+                self.cpu_max,
+                self.freq_max,
+                self.llc_max,
+                self.dma_max_mb,
+                f64::from(self.batch_max),
+            ],
+        )
+    }
+
+    /// Decodes a *physical-units* vector `[cpu_eq, ghz, llc, dma_mb, batch]`
+    /// (the Q-learning discretizer's native space) into knobs.
+    pub fn decode_physical(&self, v: &[f64]) -> KnobSettings {
+        assert_eq!(v.len(), ACTION_DIM);
+        let cpu_eq = v[0].clamp(self.cpu_min, self.cpu_max);
+        let cores = cpu_eq.ceil().max(1.0) as u32;
+        let share = (cpu_eq / f64::from(cores)).clamp(0.05, 1.0);
+        KnobSettings {
+            cpu: CpuAllocation { cores, share },
+            freq_ghz: v[1].clamp(self.freq_min, self.freq_max),
+            llc_fraction: v[2].clamp(self.llc_min, self.llc_max),
+            dma: DmaBuffer::from_mb(v[3].clamp(self.dma_min_mb, self.dma_max_mb)),
+            batch: (v[4].round() as u32).clamp(self.batch_min, self.batch_max),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_extremes_hit_range_ends() {
+        let sp = ActionSpace::default();
+        let lo = sp.decode(&[-1.0; 5]);
+        assert_eq!(lo.cpu.cores, 1);
+        assert!((lo.cpu.share - 0.25).abs() < 1e-9);
+        assert!((lo.freq_ghz - FREQ_MIN_GHZ).abs() < 1e-9);
+        assert!((lo.llc_fraction - 0.05).abs() < 1e-9);
+        assert_eq!(lo.batch, 1);
+        let hi = sp.decode(&[1.0; 5]);
+        assert_eq!(hi.cpu.cores, 6);
+        assert!((hi.cpu.share - 1.0).abs() < 1e-9);
+        assert!((hi.freq_ghz - FREQ_MAX_GHZ).abs() < 1e-9);
+        assert_eq!(hi.batch, 256);
+        assert!((hi.dma.mb() - 40.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn decoded_knobs_always_validate() {
+        let sp = ActionSpace::default();
+        // Grid + out-of-range values must all produce valid knobs.
+        for a0 in [-2.0, -1.0, -0.3, 0.0, 0.7, 1.0, 5.0] {
+            for a1 in [-1.0, 0.0, 1.0] {
+                let k = sp.decode(&[a0, a1, a1, a0.min(1.0), a1]);
+                assert!(k.validate().is_ok(), "{k:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip_cpu_equivalents() {
+        let sp = ActionSpace::default();
+        let action = [0.2, -0.5, 0.8, 0.0, -0.9];
+        let knobs = sp.decode(&action);
+        let back = sp.encode(&knobs);
+        let again = sp.decode(&back);
+        // Core-equivalents and continuous knobs survive the roundtrip.
+        assert!((knobs.cpu.effective_cores() - again.cpu.effective_cores()).abs() < 0.02);
+        assert!((knobs.freq_ghz - again.freq_ghz).abs() < 1e-6);
+        assert!((knobs.llc_fraction - again.llc_fraction).abs() < 1e-6);
+        assert!((knobs.dma.mb() - again.dma.mb()).abs() < 0.01);
+        assert_eq!(knobs.batch, again.batch);
+    }
+
+    #[test]
+    fn cpu_split_into_cores_and_share() {
+        let sp = ActionSpace::default();
+        // cpu_eq = 2.5 → 3 cores at ~0.833 share.
+        let a = sp.encode(&KnobSettings {
+            cpu: CpuAllocation { cores: 3, share: 2.5 / 3.0 },
+            freq_ghz: 1.5,
+            llc_fraction: 0.5,
+            dma: DmaBuffer::from_mb(4.0),
+            batch: 32,
+        });
+        let k = sp.decode(&a);
+        assert_eq!(k.cpu.cores, 3);
+        assert!((k.cpu.effective_cores() - 2.5).abs() < 0.05);
+    }
+
+    #[test]
+    fn physical_decode_clamps() {
+        let sp = ActionSpace::default();
+        let k = sp.decode_physical(&[99.0, 0.1, 2.0, 1000.0, 1e6]);
+        assert!(k.validate().is_ok());
+        assert_eq!(k.cpu.cores, 6);
+        assert!((k.freq_ghz - FREQ_MIN_GHZ).abs() < 1e-9);
+        assert_eq!(k.batch, 256);
+    }
+
+    #[test]
+    fn bounds_align_with_dimensions() {
+        let (lo, hi) = ActionSpace::default().bounds();
+        assert_eq!(lo.len(), ACTION_DIM);
+        assert_eq!(hi.len(), ACTION_DIM);
+        assert!(lo.iter().zip(&hi).all(|(a, b)| a < b));
+    }
+}

@@ -1,0 +1,324 @@
+//! Distributed training: the paper's Ape-X framework (§4.3.2, Algorithm 3).
+//!
+//! Multiple **actor** workers (`NF_CONTROLLER` in the paper) run on their own
+//! simulated nodes, generate experience under the current policy, compute
+//! initial TD-error priorities locally, and periodically flush their local
+//! buffers into a **central prioritized replay memory**. A single **central
+//! learner** (`CENTRAL_LEARNER`) samples prioritized minibatches, applies
+//! DDPG updates, refreshes priorities, periodically evicts stale experience,
+//! and broadcasts new parameters, which actors pull on their next sync.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use greennfv_rl::env::{Environment, Transition};
+use greennfv_rl::noise::OrnsteinUhlenbeck;
+use greennfv_rl::per::PrioritizedReplay;
+use greennfv_rl::prelude::{DdpgAgent, DdpgConfig, DdpgParams};
+use greennfv_rl::schedule::Schedule;
+use parking_lot::{Mutex, RwLock};
+
+use crate::action::ActionSpace;
+use crate::envs::{EnvConfig, GreenNfvEnv, STATE_DIM};
+use crate::sla::Sla;
+
+/// Ape-X configuration.
+#[derive(Debug, Clone)]
+pub struct ApexConfig {
+    /// Number of actor workers (the paper deploys three NF-hosting nodes).
+    pub actors: usize,
+    /// Episodes per actor.
+    pub episodes_per_actor: u32,
+    /// Environment steps between local-buffer flushes to the central replay.
+    pub flush_every: usize,
+    /// Environment steps between parameter syncs from the learner.
+    pub sync_every: usize,
+    /// Learner minibatch size.
+    pub batch_size: usize,
+    /// Transitions required before learning starts.
+    pub warmup: usize,
+    /// Central replay capacity.
+    pub replay_capacity: usize,
+    /// Learner updates between parameter broadcasts.
+    pub publish_every: u64,
+    /// Learner updates between stale-experience evictions.
+    pub evict_every: u64,
+    /// OU noise σ schedule over per-actor episodes.
+    pub noise_sigma: Schedule,
+    /// PER β schedule over learner updates.
+    pub beta: Schedule,
+    /// DDPG hyperparameters.
+    pub ddpg: DdpgConfig,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for ApexConfig {
+    fn default() -> Self {
+        Self {
+            actors: 3,
+            episodes_per_actor: 400,
+            flush_every: 16,
+            sync_every: 32,
+            batch_size: 64,
+            warmup: 256,
+            replay_capacity: 100_000,
+            publish_every: 16,
+            evict_every: 4096,
+            noise_sigma: Schedule::Exponential {
+                from: 0.35,
+                rate: 0.995,
+                min: 0.03,
+            },
+            beta: Schedule::Linear {
+                from: 0.4,
+                to: 1.0,
+                steps: 20_000,
+            },
+            ddpg: DdpgConfig::default(),
+            seed: 42,
+        }
+    }
+}
+
+/// Outcome of a distributed training run.
+#[derive(Debug)]
+pub struct ApexOutcome {
+    /// The learner's final agent.
+    pub agent: DdpgAgent,
+    /// Action decoding used during training.
+    pub action_space: ActionSpace,
+    /// Total environment steps across all actors.
+    pub actor_steps: u64,
+    /// Gradient updates applied by the central learner.
+    pub learner_updates: u64,
+    /// Total NFV energy consumed by all actor nodes during training.
+    pub training_energy_j: f64,
+    /// SLA trained for.
+    pub sla: Sla,
+}
+
+/// Shared state between actors and the learner.
+struct Shared {
+    replay: Mutex<PrioritizedReplay>,
+    params: RwLock<DdpgParams>,
+    actors_done: AtomicU64,
+    stop_learner: AtomicBool,
+    actor_steps: AtomicU64,
+}
+
+/// Trains a policy with the distributed Ape-X framework.
+pub fn train_apex(sla: Sla, cfg: &ApexConfig) -> ApexOutcome {
+    let env_cfg = EnvConfig::paper(sla, cfg.seed);
+    let action_space = env_cfg.action_space;
+    let learner_agent = DdpgAgent::new(STATE_DIM, 5, cfg.ddpg, cfg.seed);
+    let shared = Arc::new(Shared {
+        replay: Mutex::new(PrioritizedReplay::new(
+            cfg.replay_capacity,
+            cfg.seed.wrapping_add(77),
+        )),
+        params: RwLock::new(learner_agent.export_params()),
+        actors_done: AtomicU64::new(0),
+        stop_learner: AtomicBool::new(false),
+        actor_steps: AtomicU64::new(0),
+    });
+
+    let mut actor_energies = vec![0.0; cfg.actors];
+    let mut final_agent: Option<DdpgAgent> = None;
+    let mut learner_updates = 0u64;
+
+    std::thread::scope(|scope| {
+        // ---- Actor workers (Algorithm 3, NF_CONTROLLER) --------------------
+        let mut handles = Vec::new();
+        for worker in 0..cfg.actors {
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            let env_cfg = EnvConfig {
+                seed: cfg.seed.wrapping_add(1000 + worker as u64),
+                ..env_cfg.clone()
+            };
+            handles.push(scope.spawn(move || {
+                let mut env = GreenNfvEnv::new(env_cfg);
+                let mut agent =
+                    DdpgAgent::new(STATE_DIM, 5, cfg.ddpg, cfg.seed.wrapping_add(worker as u64));
+                let mut noise =
+                    OrnsteinUhlenbeck::standard(5, cfg.seed.wrapping_add(2000 + worker as u64));
+                let mut local: Vec<(Transition, f64)> = Vec::with_capacity(cfg.flush_every);
+                let mut version = 0u64;
+                let mut steps = 0usize;
+                for ep in 0..cfg.episodes_per_actor {
+                    noise.set_sigma(cfg.noise_sigma.at(u64::from(ep)));
+                    noise.reset();
+                    let mut state = env.reset();
+                    loop {
+                        // Pull the latest policy parameters periodically
+                        // (REMOTE_CALL(central_learner.param)).
+                        if steps.is_multiple_of(cfg.sync_every) {
+                            let params = shared.params.read();
+                            if params.version != version {
+                                version = params.version;
+                                agent
+                                    .import_params(&params)
+                                    .expect("learner params are valid JSON");
+                                agent.sync_targets();
+                            }
+                        }
+                        let mut action = agent.act(&state);
+                        for (a, n) in action.iter_mut().zip(noise.sample()) {
+                            *a = (*a + n).clamp(-1.0, 1.0);
+                        }
+                        let step = env.step(&action);
+                        let tr = Transition {
+                            state: state.clone(),
+                            action,
+                            reward: step.reward,
+                            next_state: step.next_state.clone(),
+                            done: step.done,
+                        };
+                        // Initial priority from the local TD error.
+                        let td = agent.td_error(&tr);
+                        local.push((tr, td));
+                        state = step.next_state;
+                        steps += 1;
+                        shared.actor_steps.fetch_add(1, Ordering::Relaxed);
+                        // Periodically: replay_buffer.STORE(local_buffer).
+                        if local.len() >= cfg.flush_every {
+                            let mut replay = shared.replay.lock();
+                            for (t, td) in local.drain(..) {
+                                replay.push_with_priority(t, td);
+                            }
+                        }
+                        if step.done {
+                            break;
+                        }
+                    }
+                }
+                if !local.is_empty() {
+                    let mut replay = shared.replay.lock();
+                    for (t, td) in local.drain(..) {
+                        replay.push_with_priority(t, td);
+                    }
+                }
+                shared.actors_done.fetch_add(1, Ordering::Release);
+                env.cumulative_energy_j()
+            }));
+        }
+
+        // ---- Central learner (Algorithm 3, CENTRAL_LEARNER) ----------------
+        let learner = {
+            let shared = Arc::clone(&shared);
+            let cfg = cfg.clone();
+            let mut agent = learner_agent;
+            scope.spawn(move || {
+                let mut updates = 0u64;
+                loop {
+                    let all_done =
+                        shared.actors_done.load(Ordering::Acquire) as usize == cfg.actors;
+                    let ready = { shared.replay.lock().len() >= cfg.warmup };
+                    if !ready {
+                        if all_done {
+                            break;
+                        }
+                        std::thread::yield_now();
+                        continue;
+                    }
+                    // Sample under the lock, learn outside it.
+                    let batch = {
+                        let mut replay = shared.replay.lock();
+                        replay.sample(cfg.batch_size, cfg.beta.at(updates))
+                    };
+                    let (_, tds) = agent.update(&batch.transitions, &batch.weights);
+                    {
+                        let mut replay = shared.replay.lock();
+                        replay.update_priorities(&batch.indices, &tds);
+                        if updates > 0 && updates.is_multiple_of(cfg.evict_every) {
+                            // Periodically remove old experiences (line 18).
+                            let n = replay.len() / 10;
+                            replay.evict_oldest(n);
+                        }
+                    }
+                    updates += 1;
+                    if updates.is_multiple_of(cfg.publish_every) {
+                        *shared.params.write() = agent.export_params();
+                    }
+                    if all_done {
+                        break;
+                    }
+                }
+                *shared.params.write() = agent.export_params();
+                (agent, updates)
+            })
+        };
+
+        for (i, h) in handles.into_iter().enumerate() {
+            actor_energies[i] = h.join().expect("actor thread must not panic");
+        }
+        shared.stop_learner.store(true, Ordering::Release);
+        let (agent, updates) = learner.join().expect("learner thread must not panic");
+        final_agent = Some(agent);
+        learner_updates = updates;
+    });
+
+    ApexOutcome {
+        agent: final_agent.expect("learner joined"),
+        action_space,
+        actor_steps: shared.actor_steps.load(Ordering::Relaxed),
+        learner_updates,
+        training_energy_j: actor_energies.iter().sum(),
+        sla,
+    }
+}
+
+impl ApexOutcome {
+    /// Wraps the trained actor as a deployable controller.
+    pub fn into_controller(self, name: &'static str) -> crate::controller::PolicyController {
+        let params = self.agent.export_params();
+        let actor = greennfv_nn::mlp::Mlp::from_json(&params.actor)
+            .expect("actor exported by export_params parses");
+        crate::controller::PolicyController::new(name, actor, self.action_space)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg(actors: usize, episodes: u32) -> ApexConfig {
+        ApexConfig {
+            actors,
+            episodes_per_actor: episodes,
+            warmup: 128,
+            seed: 11,
+            ..ApexConfig::default()
+        }
+    }
+
+    #[test]
+    fn apex_trains_with_multiple_actors() {
+        let out = train_apex(Sla::EnergyEfficiency, &quick_cfg(3, 12));
+        assert_eq!(out.actor_steps, 3 * 12 * 8, "3 actors × 12 eps × 8 steps");
+        assert!(out.learner_updates > 0, "learner must have learned");
+        assert!(out.training_energy_j > 0.0);
+    }
+
+    #[test]
+    fn apex_policy_is_deployable() {
+        let out = train_apex(Sla::EnergyEfficiency, &quick_cfg(2, 10));
+        let mut ctrl = out.into_controller("GreenNFV(apex)");
+        let r = crate::controller::run_controller(
+            &mut ctrl,
+            &crate::controller::RunConfig::paper(4, 5),
+        );
+        assert_eq!(r.trace.len(), 4);
+        for e in &r.trace {
+            assert!(e.knobs.validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn single_actor_apex_matches_sequential_interface() {
+        let out = train_apex(Sla::paper_min_energy(), &quick_cfg(1, 8));
+        assert_eq!(out.actor_steps, 64);
+        assert_eq!(out.sla.name(), "MinE");
+    }
+}

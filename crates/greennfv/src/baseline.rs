@@ -1,0 +1,54 @@
+//! The paper's baseline: performance governor, default knobs, no tuning.
+
+use nfv_sim::prelude::*;
+
+use crate::controller::Controller;
+
+/// Static baseline controller — "the baseline model that uses a Performance
+/// power governor, and all other components are set to default values".
+#[derive(Debug, Default)]
+pub struct BaselineController;
+
+impl Controller for BaselineController {
+    fn name(&self) -> &'static str {
+        "Baseline"
+    }
+
+    fn platform(&self) -> PlatformPolicy {
+        PlatformPolicy::baseline()
+    }
+
+    fn initial_knobs(&self, _flows: &FlowSet) -> KnobSettings {
+        KnobSettings::baseline()
+    }
+
+    fn decide(&mut self, _telemetry: &ChainTelemetry, current: &KnobSettings) -> KnobSettings {
+        // Never adapts.
+        *current
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::controller::{run_controller, RunConfig};
+
+    #[test]
+    fn baseline_runs_at_max_frequency_and_never_adapts() {
+        let mut b = BaselineController;
+        let r = run_controller(&mut b, &RunConfig::paper(4, 7));
+        for e in &r.trace {
+            assert!((e.knobs.freq_ghz - FREQ_MAX_GHZ).abs() < 1e-9);
+            assert_eq!(e.knobs.batch, 1, "per-packet processing");
+        }
+        assert!(r.mean_throughput_gbps > 0.3, "baseline still moves packets");
+        assert!(r.mean_throughput_gbps < 4.0, "but far below line rate");
+    }
+
+    #[test]
+    fn baseline_platform_is_pure_poll() {
+        let b = BaselineController;
+        assert_eq!(b.platform().poll_mode, PollMode::PurePoll);
+        assert!(!b.platform().idle_core_power_off);
+    }
+}

@@ -1,0 +1,253 @@
+//! Controller abstraction and the epoch-loop runner used by the evaluation
+//! (Figures 9 and 10): every model — baseline, heuristics, EE-Pstate,
+//! Q-learning, and trained GreenNFV policies — plugs in here.
+
+use greennfv_nn::prelude::Mlp;
+use nfv_sim::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::action::ActionSpace;
+use crate::envs::STATE_DIM;
+
+/// A resource-scheduling controller: observes last-epoch telemetry and picks
+/// next-epoch knob settings.
+pub trait Controller {
+    /// Display name for reports.
+    fn name(&self) -> &'static str;
+    /// Platform policy the controller requires (poll mode, core power-off).
+    fn platform(&self) -> PlatformPolicy;
+    /// Knobs to apply before the first epoch.
+    fn initial_knobs(&self, flows: &FlowSet) -> KnobSettings;
+    /// Next-epoch knobs from last-epoch telemetry.
+    fn decide(&mut self, telemetry: &ChainTelemetry, current: &KnobSettings) -> KnobSettings;
+}
+
+/// Normalizes chain telemetry into the paper's Eq. 8 state vector, with the
+/// default 30 s-epoch energy scale.
+pub fn telemetry_to_state(t: &ChainTelemetry) -> [f64; STATE_DIM] {
+    telemetry_to_state_scaled(t, crate::sla::DEFAULT_ENERGY_SCALE_J)
+}
+
+/// Normalizes chain telemetry with an explicit energy scale (the same one
+/// the policy saw during training).
+pub fn telemetry_to_state_scaled(t: &ChainTelemetry, energy_scale_j: f64) -> [f64; STATE_DIM] {
+    [
+        t.throughput_gbps / 10.0,
+        t.energy_j / energy_scale_j.max(1e-9),
+        t.cpu_util,
+        t.arrival_pps / 5.0e6,
+    ]
+}
+
+/// Configuration of an evaluation run.
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Number of control epochs.
+    pub epochs: u32,
+    /// Offered workload.
+    pub flows: FlowSet,
+    /// Chain under control.
+    pub chain: ChainSpec,
+    /// Simulator constants.
+    pub tuning: SimTuning,
+    /// Power model.
+    pub power: PowerModel,
+    /// Traffic seed.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// The paper's evaluation workload over `epochs` epochs.
+    pub fn paper(epochs: u32, seed: u64) -> Self {
+        Self {
+            epochs,
+            flows: FlowSet::evaluation_five_flows(),
+            chain: ChainSpec::canonical_three(ChainId(0)),
+            tuning: SimTuning::default(),
+            power: PowerModel::default(),
+            seed,
+        }
+    }
+}
+
+/// Per-epoch trace entry.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EpochTrace {
+    /// Delivered throughput, Gbps.
+    pub throughput_gbps: f64,
+    /// Node energy, joules.
+    pub energy_j: f64,
+    /// CPU utilization of the chain allocation.
+    pub cpu_util: f64,
+    /// Applied knobs.
+    pub knobs: KnobSettings,
+}
+
+/// Result of an evaluation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Controller name.
+    pub name: String,
+    /// Mean delivered throughput, Gbps.
+    pub mean_throughput_gbps: f64,
+    /// Mean epoch energy, joules.
+    pub mean_energy_j: f64,
+    /// Energy efficiency (Gbps per kJ).
+    pub efficiency: f64,
+    /// Full per-epoch trace.
+    pub trace: Vec<EpochTrace>,
+}
+
+impl RunResult {
+    /// Total energy over the run.
+    pub fn total_energy_j(&self) -> f64 {
+        self.trace.iter().map(|t| t.energy_j).sum()
+    }
+}
+
+/// Runs a controller for `cfg.epochs` control epochs and aggregates results.
+pub fn run_controller(ctrl: &mut dyn Controller, cfg: &RunConfig) -> RunResult {
+    let mut node = Node::new(0, cfg.tuning, cfg.power, ctrl.platform());
+    let mut knobs = ctrl.initial_knobs(&cfg.flows);
+    node.add_chain(cfg.chain.clone(), cfg.flows.clone(), knobs, cfg.seed)
+        .expect("initial knobs must fit a fresh node");
+    let mut trace = Vec::with_capacity(cfg.epochs as usize);
+    for _ in 0..cfg.epochs {
+        let report = node.run_epoch();
+        let t = report.telemetry[0];
+        trace.push(EpochTrace {
+            throughput_gbps: t.throughput_gbps,
+            energy_j: report.node.energy_j,
+            cpu_util: t.cpu_util,
+            knobs,
+        });
+        let next = ctrl.decide(&t, &knobs);
+        if node.set_knobs(ChainId(0), next).is_ok() {
+            knobs = next;
+        }
+    }
+    let n = trace.len().max(1) as f64;
+    let mean_t = trace.iter().map(|e| e.throughput_gbps).sum::<f64>() / n;
+    let mean_e = trace.iter().map(|e| e.energy_j).sum::<f64>() / n;
+    RunResult {
+        name: ctrl.name().to_string(),
+        mean_throughput_gbps: mean_t,
+        mean_energy_j: mean_e,
+        efficiency: if mean_e > 0.0 { mean_t / (mean_e / 1000.0) } else { 0.0 },
+        trace,
+    }
+}
+
+/// A trained GreenNFV policy deployed as a controller: the ONVM controller
+/// requests resource allocations from the actor network (paper Fig. 5).
+#[derive(Debug)]
+pub struct PolicyController {
+    name: &'static str,
+    actor: Mlp,
+    space: ActionSpace,
+    initial: KnobSettings,
+    energy_scale_j: f64,
+}
+
+impl PolicyController {
+    /// Wraps a trained actor network.
+    pub fn new(name: &'static str, actor: Mlp, space: ActionSpace) -> Self {
+        Self {
+            name,
+            actor,
+            space,
+            initial: KnobSettings::default_tuned(),
+            energy_scale_j: crate::sla::DEFAULT_ENERGY_SCALE_J,
+        }
+    }
+
+    /// Sets the energy normalization (must match the training environment
+    /// when deploying policies trained at non-default epoch lengths).
+    pub fn with_energy_scale(mut self, energy_scale_j: f64) -> Self {
+        self.energy_scale_j = energy_scale_j;
+        self
+    }
+
+    /// The underlying actor network.
+    pub fn actor(&self) -> &Mlp {
+        &self.actor
+    }
+}
+
+impl Controller for PolicyController {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn platform(&self) -> PlatformPolicy {
+        PlatformPolicy::greennfv()
+    }
+
+    fn initial_knobs(&self, _flows: &FlowSet) -> KnobSettings {
+        self.initial
+    }
+
+    fn decide(&mut self, telemetry: &ChainTelemetry, _current: &KnobSettings) -> KnobSettings {
+        let state = telemetry_to_state_scaled(telemetry, self.energy_scale_j);
+        let action = self.actor.infer_one(&state);
+        self.space.decode(&action)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use greennfv_nn::prelude::Activation;
+
+    struct FixedController(KnobSettings);
+    impl Controller for FixedController {
+        fn name(&self) -> &'static str {
+            "fixed"
+        }
+        fn platform(&self) -> PlatformPolicy {
+            PlatformPolicy::greennfv()
+        }
+        fn initial_knobs(&self, _f: &FlowSet) -> KnobSettings {
+            self.0
+        }
+        fn decide(&mut self, _t: &ChainTelemetry, c: &KnobSettings) -> KnobSettings {
+            *c
+        }
+    }
+
+    #[test]
+    fn run_produces_full_trace_and_means() {
+        let mut c = FixedController(KnobSettings::default_tuned());
+        let r = run_controller(&mut c, &RunConfig::paper(5, 1));
+        assert_eq!(r.trace.len(), 5);
+        assert!(r.mean_throughput_gbps > 0.0);
+        assert!(r.mean_energy_j > 0.0);
+        assert!(r.efficiency > 0.0);
+        assert!((r.total_energy_j() - r.trace.iter().map(|t| t.energy_j).sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn telemetry_state_is_normalized() {
+        let t = ChainTelemetry {
+            throughput_gbps: 5.0,
+            energy_j: 2000.0,
+            cpu_util: 0.7,
+            arrival_pps: 2.5e6,
+            miss_rate: 0.1,
+            loss_frac: 0.0,
+        };
+        let s = telemetry_to_state(&t);
+        assert_eq!(s, [0.5, 0.5, 0.7, 0.5]);
+    }
+
+    #[test]
+    fn policy_controller_decides_valid_knobs() {
+        let actor = Mlp::two_hidden(STATE_DIM, 16, 5, Activation::Tanh, 3);
+        let mut pc = PolicyController::new("test-policy", actor, ActionSpace::default());
+        let r = run_controller(&mut pc, &RunConfig::paper(3, 2));
+        assert_eq!(r.trace.len(), 3);
+        for e in &r.trace {
+            assert!(e.knobs.validate().is_ok());
+        }
+    }
+}

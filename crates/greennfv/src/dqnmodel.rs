@@ -1,0 +1,140 @@
+//! DQN comparison model: GreenNFV's control loop with a Deep Q-Network over
+//! a discretized action set.
+//!
+//! The paper (§4.3) positions DQN between tabular Q-learning and DDPG: it
+//! replaces the Q-table with a network but still "cannot process a high
+//! number of actions in continuous space". This controller demonstrates that
+//! design point: the five knobs are discretized to 3 levels each, giving a
+//! 243-way output head, and the policy can only pick bin centers — exactly
+//! the fine-tuning limitation the paper attributes to discretized models.
+
+use greennfv_rl::dqn::{DqnAgent, DqnConfig};
+use greennfv_rl::qlearning::Discretizer;
+use nfv_sim::prelude::*;
+
+use crate::action::ActionSpace;
+use crate::controller::{telemetry_to_state, Controller};
+use crate::envs::{EnvConfig, GreenNfvEnv, STATE_DIM};
+use crate::qmodel::ACTION_LEVELS;
+use crate::sla::Sla;
+
+/// Trains a DQN policy on the GreenNFV environment.
+///
+/// Returns the agent, the action discretizer, and the training energy.
+pub fn train_dqn(sla: Sla, episodes: u32, seed: u64) -> (DqnAgent, Discretizer, f64) {
+    let cfg = EnvConfig::paper(sla, seed);
+    let space = cfg.action_space;
+    let (lo, hi) = space.bounds();
+    let disc = Discretizer::new(lo, hi, ACTION_LEVELS);
+    let n_actions = disc.cells() as usize;
+    let mut env = GreenNfvEnv::new(cfg);
+    let mut agent = DqnAgent::new(
+        STATE_DIM,
+        n_actions,
+        DqnConfig {
+            epsilon: 0.3,
+            ..DqnConfig::default()
+        },
+        seed.wrapping_add(5),
+    );
+    let steps = env.config().steps_per_episode;
+    {
+        let disc = disc.clone();
+        let decode = move |a: usize| {
+            // Normalized action from the bin center (the env decodes it).
+            let phys = disc.decode(a as u64);
+            let knobs = ActionSpace::default().decode_physical(&phys);
+            ActionSpace::default().encode(&knobs).to_vec()
+        };
+        agent.train_on(&mut env, episodes, steps, 32, decode, seed.wrapping_add(7));
+    }
+    let energy = env.cumulative_energy_j();
+    (agent, disc, energy)
+}
+
+/// A trained DQN deployed through the controller interface.
+#[derive(Debug)]
+pub struct DqnModelController {
+    agent: DqnAgent,
+    disc: Discretizer,
+    space: ActionSpace,
+}
+
+impl DqnModelController {
+    /// Wraps a trained agent.
+    pub fn new(agent: DqnAgent, disc: Discretizer) -> Self {
+        Self {
+            agent,
+            disc,
+            space: ActionSpace::default(),
+        }
+    }
+
+    /// Trains a fresh agent and wraps it.
+    pub fn trained(sla: Sla, episodes: u32, seed: u64) -> Self {
+        let (agent, disc, _) = train_dqn(sla, episodes, seed);
+        Self::new(agent, disc)
+    }
+
+    /// Width of the discrete action head (the `O(k^5)` cost).
+    pub fn n_actions(&self) -> usize {
+        self.agent.n_actions()
+    }
+}
+
+impl Controller for DqnModelController {
+    fn name(&self) -> &'static str {
+        "DQN"
+    }
+
+    fn platform(&self) -> PlatformPolicy {
+        PlatformPolicy::greennfv()
+    }
+
+    fn initial_knobs(&self, _flows: &FlowSet) -> KnobSettings {
+        KnobSettings::default_tuned()
+    }
+
+    fn decide(&mut self, telemetry: &ChainTelemetry, _current: &KnobSettings) -> KnobSettings {
+        let state = telemetry_to_state(telemetry);
+        let a = self.agent.act_greedy(&state);
+        let phys = self.disc.decode(a as u64);
+        self.space.decode_physical(&phys)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineController;
+    use crate::controller::{run_controller, RunConfig};
+
+    #[test]
+    fn action_head_width_matches_paper_complexity() {
+        let c = DqnModelController::trained(Sla::EnergyEfficiency, 2, 3);
+        assert_eq!(c.n_actions(), ACTION_LEVELS.pow(5));
+    }
+
+    #[test]
+    fn training_consumes_energy() {
+        let (_, _, e) = train_dqn(Sla::EnergyEfficiency, 5, 9);
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn trained_dqn_beats_baseline() {
+        let mut dqn = DqnModelController::trained(Sla::EnergyEfficiency, 120, 11);
+        let cfg = RunConfig::paper(15, 31);
+        let base = run_controller(&mut BaselineController, &cfg);
+        let d = run_controller(&mut dqn, &cfg);
+        assert!(
+            d.mean_throughput_gbps > base.mean_throughput_gbps,
+            "dqn {} vs baseline {}",
+            d.mean_throughput_gbps,
+            base.mean_throughput_gbps
+        );
+        for e in &d.trace {
+            assert!(e.knobs.validate().is_ok());
+        }
+    }
+}

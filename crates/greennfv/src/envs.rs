@@ -1,0 +1,312 @@
+//! The GreenNFV reinforcement-learning environment over the NFV simulator.
+//!
+//! State (paper Eq. 8): per-chain throughput `T`, energy `E`, CPU utilization
+//! `ξ`, and packet arrival rate `Ω`, normalized to order 1. Action (Eq. 7):
+//! the five knobs, normalized to `[-1, 1]`.
+
+use greennfv_rl::env::{Environment, Step};
+use nfv_sim::prelude::*;
+
+use crate::action::{ActionSpace, ACTION_DIM};
+use crate::sla::{reward_scaled, RewardShaping, Sla};
+
+/// Dimension of the observation vector.
+pub const STATE_DIM: usize = 4;
+
+/// Normalization constants for the observation.
+const T_SCALE: f64 = 10.0; // Gbps
+const OMEGA_SCALE: f64 = 5.0e6; // pps
+
+/// Environment configuration.
+#[derive(Debug, Clone)]
+pub struct EnvConfig {
+    /// Optimization goal.
+    pub sla: Sla,
+    /// Constraint-violation reward scheme.
+    pub shaping: RewardShaping,
+    /// Knob ranges.
+    pub action_space: ActionSpace,
+    /// Control epochs per episode.
+    pub steps_per_episode: u32,
+    /// Offered workload.
+    pub flows: FlowSet,
+    /// Service chain under control.
+    pub chain: ChainSpec,
+    /// Simulator model constants.
+    pub tuning: SimTuning,
+    /// Power model.
+    pub power: PowerModel,
+    /// RNG seed (traffic).
+    pub seed: u64,
+}
+
+impl EnvConfig {
+    /// The paper's evaluation setup: canonical 3-NF chain, five flows.
+    pub fn paper(sla: Sla, seed: u64) -> Self {
+        Self {
+            sla,
+            shaping: RewardShaping::Shaped,
+            action_space: ActionSpace::default(),
+            steps_per_episode: 8,
+            flows: FlowSet::evaluation_five_flows(),
+            chain: ChainSpec::canonical_three(ChainId(0)),
+            tuning: SimTuning::default(),
+            power: PowerModel::default(),
+            seed,
+        }
+    }
+}
+
+/// RL environment wrapping one GreenNFV-managed node hosting one chain.
+pub struct GreenNfvEnv {
+    cfg: EnvConfig,
+    node: Node,
+    steps: u32,
+    episodes: u64,
+    last_state: [f64; STATE_DIM],
+    last_report: Option<NodeEpochReport>,
+    cumulative_energy_j: f64,
+    sla_violations: u64,
+    total_steps: u64,
+    energy_scale_j: f64,
+}
+
+impl GreenNfvEnv {
+    /// Builds the environment (the node starts under default tuned knobs).
+    pub fn new(cfg: EnvConfig) -> Self {
+        let node = Self::build_node(&cfg, cfg.seed);
+        let energy_scale_j = energy_scale(&cfg);
+        Self {
+            cfg,
+            node,
+            steps: 0,
+            episodes: 0,
+            last_state: [0.0; STATE_DIM],
+            last_report: None,
+            cumulative_energy_j: 0.0,
+            sla_violations: 0,
+            total_steps: 0,
+            energy_scale_j,
+        }
+    }
+
+    fn build_node(cfg: &EnvConfig, seed: u64) -> Node {
+        let mut node = Node::new(0, cfg.tuning, cfg.power, PlatformPolicy::greennfv());
+        node.add_chain(
+            cfg.chain.clone(),
+            cfg.flows.clone(),
+            KnobSettings::default_tuned(),
+            seed,
+        )
+        .expect("default knobs fit a fresh node");
+        node
+    }
+
+    /// Environment configuration.
+    pub fn config(&self) -> &EnvConfig {
+        &self.cfg
+    }
+
+    /// Last epoch's full report (knob telemetry for the training figures).
+    pub fn last_report(&self) -> Option<&NodeEpochReport> {
+        self.last_report.as_ref()
+    }
+
+    /// Current knobs on the controlled chain.
+    pub fn knobs(&self) -> KnobSettings {
+        self.node
+            .knobs(ChainId(0))
+            .expect("chain installed at construction")
+    }
+
+    /// Total energy consumed by the node across all epochs so far (the `E_t`
+    /// term of the paper's Eq. 9 training-amortization analysis).
+    pub fn cumulative_energy_j(&self) -> f64 {
+        self.cumulative_energy_j
+    }
+
+    /// Number of steps whose outcome violated the SLA.
+    pub fn sla_violations(&self) -> u64 {
+        self.sla_violations
+    }
+
+    /// Total environment steps taken.
+    pub fn total_steps(&self) -> u64 {
+        self.total_steps
+    }
+
+    /// Applies explicit knob settings and runs one epoch, bypassing the
+    /// normalized action path (used by the non-RL controllers).
+    pub fn step_with_knobs(&mut self, knobs: KnobSettings) -> (ChainTelemetry, f64) {
+        if self.node.set_knobs(ChainId(0), knobs).is_err() {
+            // Invalid requests leave previous knobs in force.
+        }
+        let report = self.node.run_epoch();
+        let t = report.telemetry[0];
+        let energy = report.node.energy_j;
+        self.cumulative_energy_j += energy;
+        let r = reward_scaled(
+            self.cfg.sla,
+            self.cfg.shaping,
+            t.throughput_gbps,
+            energy,
+            self.energy_scale_j,
+        );
+        if !self.cfg.sla.satisfied(t.throughput_gbps, energy) {
+            self.sla_violations += 1;
+        }
+        self.total_steps += 1;
+        self.last_state = Self::observe_scaled(&t, self.energy_scale_j);
+        self.last_report = Some(report);
+        (t, r)
+    }
+
+    fn observe_scaled(t: &ChainTelemetry, energy_scale_j: f64) -> [f64; STATE_DIM] {
+        [
+            t.throughput_gbps / T_SCALE,
+            t.energy_j / energy_scale_j.max(1e-9),
+            t.cpu_util,
+            t.arrival_pps / OMEGA_SCALE,
+        ]
+    }
+}
+
+/// Energy normalization for an environment configuration: the node's maximum
+/// possible energy per control epoch, times a small margin.
+pub fn energy_scale(cfg: &EnvConfig) -> f64 {
+    cfg.power.pmax_w * cfg.tuning.epoch_s
+}
+
+impl Environment for GreenNfvEnv {
+    fn state_dim(&self) -> usize {
+        STATE_DIM
+    }
+
+    fn action_dim(&self) -> usize {
+        ACTION_DIM
+    }
+
+    fn reset(&mut self) -> Vec<f64> {
+        self.steps = 0;
+        self.episodes += 1;
+        // Observe one epoch under the current knobs to seed the state.
+        let report = self.node.run_epoch();
+        self.cumulative_energy_j += report.node.energy_j;
+        self.last_state = Self::observe_scaled(&report.telemetry[0], self.energy_scale_j);
+        self.last_report = Some(report);
+        self.last_state.to_vec()
+    }
+
+    fn step(&mut self, action: &[f64]) -> Step {
+        let knobs = self.cfg.action_space.decode(action);
+        let (t, r) = self.step_with_knobs(knobs);
+        self.steps += 1;
+        let _ = t;
+        Step {
+            next_state: self.last_state.to_vec(),
+            reward: r,
+            done: self.steps >= self.cfg.steps_per_episode,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sla::Sla;
+
+    fn env(sla: Sla) -> GreenNfvEnv {
+        GreenNfvEnv::new(EnvConfig::paper(sla, 42))
+    }
+
+    #[test]
+    fn dimensions_match_paper() {
+        let e = env(Sla::EnergyEfficiency);
+        assert_eq!(e.state_dim(), 4);
+        assert_eq!(e.action_dim(), 5);
+    }
+
+    #[test]
+    fn reset_returns_normalized_state() {
+        let mut e = env(Sla::EnergyEfficiency);
+        let s = e.reset();
+        assert_eq!(s.len(), STATE_DIM);
+        assert!(s.iter().all(|x| x.is_finite()));
+        assert!(s[0] > 0.0 && s[0] < 1.5, "throughput norm {}", s[0]);
+        assert!(s[2] >= 0.0 && s[2] <= 1.0, "cpu util {}", s[2]);
+    }
+
+    #[test]
+    fn episode_terminates_at_configured_length() {
+        let mut e = env(Sla::EnergyEfficiency);
+        e.reset();
+        let mut dones = 0;
+        for i in 1..=16 {
+            let s = e.step(&[0.0; 5]);
+            if s.done {
+                dones += 1;
+                assert_eq!(i % 8, 0, "episodes are 8 steps");
+                e.reset();
+            }
+        }
+        assert_eq!(dones, 2);
+    }
+
+    #[test]
+    fn better_knobs_earn_better_maxt_reward() {
+        let mut e = env(Sla::MaxThroughput { energy_cap_j: 2500.0 });
+        e.reset();
+        // Weak configuration: minimum everything.
+        let weak = e.step(&[-1.0, -1.0, -1.0, -1.0, -1.0]).reward;
+        // Strong configuration: high CPU/LLC/DMA, moderate frequency, big batch.
+        let strong = e.step(&[0.8, 0.2, 0.9, 0.2, 0.5]).reward;
+        assert!(
+            strong > weak,
+            "strong {strong} must beat weak {weak}"
+        );
+    }
+
+    #[test]
+    fn energy_cap_violations_are_counted() {
+        let mut e = env(Sla::MaxThroughput { energy_cap_j: 100.0 }); // impossible cap
+        e.reset();
+        e.step(&[1.0; 5]);
+        assert!(e.sla_violations() > 0);
+    }
+
+    #[test]
+    fn cumulative_energy_grows_monotonically() {
+        let mut e = env(Sla::EnergyEfficiency);
+        e.reset();
+        let e1 = e.cumulative_energy_j();
+        e.step(&[0.0; 5]);
+        let e2 = e.cumulative_energy_j();
+        assert!(e2 > e1);
+        assert!(e1 > 0.0, "reset epoch consumes energy too");
+    }
+
+    #[test]
+    fn step_with_knobs_applies_settings() {
+        let mut e = env(Sla::EnergyEfficiency);
+        e.reset();
+        let mut k = KnobSettings::default_tuned();
+        k.batch = 128;
+        k.freq_ghz = 1.5;
+        e.step_with_knobs(k);
+        let applied = e.knobs();
+        assert_eq!(applied.batch, 128);
+        assert!((applied.freq_ghz - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = env(Sla::EnergyEfficiency);
+        let mut b = env(Sla::EnergyEfficiency);
+        assert_eq!(a.reset(), b.reset());
+        for _ in 0..4 {
+            let sa = a.step(&[0.3, -0.2, 0.5, 0.0, 0.1]);
+            let sb = b.step(&[0.3, -0.2, 0.5, 0.0, 0.1]);
+            assert_eq!(sa, sb);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! Online flow statistics (paper §1): "Statistical analysis of the network
+//! flows enables GreenNFV to identify packet arrival rates and traffic
+//! patterns. The packet arrival rate decides the polling frequency to match
+//! enough resources to achieve the target performance."
+//!
+//! [`FlowAnalyzer`] ingests per-epoch arrival-rate samples and maintains the
+//! running statistics a controller needs: smoothed rate, trend, variance,
+//! and the index of dispersion that separates CBR / Poisson / bursty
+//! traffic. [`RateClass`] drives polling-frequency and batch-size hints.
+
+use nfv_sim::prelude::Ewma;
+use serde::{Deserialize, Serialize};
+
+/// Traffic-pattern classification from the index of dispersion
+/// (variance-to-mean ratio of per-window counts).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TrafficPattern {
+    /// Near-deterministic arrivals (dispersion « 1).
+    ConstantRate,
+    /// Poisson-like arrivals (dispersion ≈ 1).
+    Poisson,
+    /// Bursty / on-off arrivals (dispersion » 1).
+    Bursty,
+}
+
+/// Coarse load class used to pick polling strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RateClass {
+    /// Arrivals are sparse: sleep and wake on interrupt (callback mode).
+    Idle,
+    /// Moderate: hybrid callback/poll.
+    Moderate,
+    /// Near line rate: dedicated polling.
+    Saturated,
+}
+
+/// Online estimator over per-epoch arrival-rate samples.
+#[derive(Debug)]
+pub struct FlowAnalyzer {
+    /// Smoothed arrival rate (pps).
+    rate: Ewma,
+    /// Smoothed squared deviation (for variance).
+    var: Ewma,
+    /// Previous smoothed rate (for trend).
+    prev_rate: Option<f64>,
+    /// Last computed trend (pps per epoch).
+    trend: f64,
+    /// Window length used to convert rates into counts for dispersion.
+    window_s: f64,
+    samples: u64,
+}
+
+impl FlowAnalyzer {
+    /// Creates an analyzer; `alpha` is the EWMA smoothing factor and
+    /// `window_s` the sampling window length.
+    pub fn new(alpha: f64, window_s: f64) -> Self {
+        Self {
+            rate: Ewma::new(alpha),
+            var: Ewma::new(alpha),
+            prev_rate: None,
+            trend: 0.0,
+            window_s,
+            samples: 0,
+        }
+    }
+
+    /// Default configuration for 30-second control epochs.
+    pub fn for_epochs() -> Self {
+        Self::new(0.3, 30.0)
+    }
+
+    /// Ingests one window's observed arrival rate (pps).
+    pub fn observe(&mut self, rate_pps: f64) {
+        let mean = self.rate.value().unwrap_or(rate_pps);
+        let dev = rate_pps - mean;
+        self.var.update(dev * dev);
+        let new_mean = self.rate.update(rate_pps);
+        if let Some(prev) = self.prev_rate {
+            self.trend = new_mean - prev;
+        }
+        self.prev_rate = Some(new_mean);
+        self.samples += 1;
+    }
+
+    /// Number of samples ingested.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+
+    /// Smoothed arrival rate (pps).
+    pub fn mean_rate_pps(&self) -> f64 {
+        self.rate.value().unwrap_or(0.0)
+    }
+
+    /// One-epoch-ahead rate forecast (mean + trend).
+    pub fn forecast_pps(&self) -> f64 {
+        (self.mean_rate_pps() + self.trend).max(0.0)
+    }
+
+    /// Rate variance across windows (pps²).
+    pub fn rate_variance(&self) -> f64 {
+        self.var.value().unwrap_or(0.0)
+    }
+
+    /// Index of dispersion of *counts* per window: `Var(N) / E[N]`.
+    ///
+    /// For rates, `N = rate × window`, so `Var(N) = Var(rate) × window²`.
+    pub fn index_of_dispersion(&self) -> f64 {
+        let mean_n = self.mean_rate_pps() * self.window_s;
+        if mean_n <= 0.0 {
+            return 0.0;
+        }
+        self.rate_variance() * self.window_s * self.window_s / mean_n
+    }
+
+    /// Classifies the traffic pattern from the index of dispersion.
+    pub fn pattern(&self) -> TrafficPattern {
+        let d = self.index_of_dispersion();
+        if d < 0.1 {
+            TrafficPattern::ConstantRate
+        } else if d < 10.0 {
+            TrafficPattern::Poisson
+        } else {
+            TrafficPattern::Bursty
+        }
+    }
+
+    /// Load class relative to a capacity estimate (pps).
+    pub fn rate_class(&self, capacity_pps: f64) -> RateClass {
+        if capacity_pps <= 0.0 {
+            return RateClass::Saturated;
+        }
+        let util = self.forecast_pps() / capacity_pps;
+        if util < 0.05 {
+            RateClass::Idle
+        } else if util < 0.75 {
+            RateClass::Moderate
+        } else {
+            RateClass::Saturated
+        }
+    }
+
+    /// Suggested batch size: bursty or saturated traffic benefits from big
+    /// batches; idle links should process per-arrival to minimize latency.
+    pub fn suggested_batch(&self, capacity_pps: f64) -> u32 {
+        match (self.rate_class(capacity_pps), self.pattern()) {
+            (RateClass::Idle, _) => 1,
+            (RateClass::Moderate, TrafficPattern::Bursty) => 128,
+            (RateClass::Moderate, _) => 32,
+            (RateClass::Saturated, _) => 192,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nfv_sim::prelude::*;
+
+    #[test]
+    fn mean_converges_on_constant_input() {
+        let mut a = FlowAnalyzer::for_epochs();
+        for _ in 0..50 {
+            a.observe(1e6);
+        }
+        assert!((a.mean_rate_pps() - 1e6).abs() < 1.0);
+        assert_eq!(a.pattern(), TrafficPattern::ConstantRate);
+        assert_eq!(a.samples(), 50);
+    }
+
+    #[test]
+    fn trend_tracks_ramps() {
+        let mut a = FlowAnalyzer::new(0.5, 30.0);
+        for i in 0..40 {
+            a.observe(1e5 * f64::from(i));
+        }
+        assert!(a.trend > 0.0);
+        assert!(a.forecast_pps() > a.mean_rate_pps());
+    }
+
+    #[test]
+    fn classifies_real_generator_patterns() {
+        // Feed actual TrafficGen windows and check the classifier separates
+        // CBR from bursty on/off traffic.
+        let observe_gen = |flows: FlowSet| {
+            let mut gen = TrafficGen::new(flows, 11);
+            let mut a = FlowAnalyzer::new(0.2, 30.0);
+            for _ in 0..200 {
+                let w = gen.next_window(30.0);
+                a.observe(TrafficGen::window_rate_pps(&w, 30.0));
+            }
+            a
+        };
+        let cbr = observe_gen(FlowSet::new(vec![FlowSpec::cbr(0, 1e6, 64)]).unwrap());
+        assert_eq!(cbr.pattern(), TrafficPattern::ConstantRate);
+
+        let onoff = observe_gen(
+            FlowSet::new(vec![FlowSpec {
+                id: 0,
+                rate_pps: 1e6,
+                packet_size: 64,
+                pattern: ArrivalPattern::MarkovOnOff {
+                    peak_factor: 3.0,
+                    on_fraction: 1.0 / 3.0,
+                },
+            }])
+            .unwrap(),
+        );
+        assert_eq!(onoff.pattern(), TrafficPattern::Bursty);
+        // On/off variance must dwarf CBR variance.
+        assert!(onoff.rate_variance() > 100.0 * cbr.rate_variance().max(1.0));
+    }
+
+    #[test]
+    fn rate_class_thresholds() {
+        let mut a = FlowAnalyzer::for_epochs();
+        a.observe(1e4);
+        assert_eq!(a.rate_class(1e6), RateClass::Idle);
+        let mut a = FlowAnalyzer::for_epochs();
+        a.observe(5e5);
+        assert_eq!(a.rate_class(1e6), RateClass::Moderate);
+        let mut a = FlowAnalyzer::for_epochs();
+        a.observe(9.9e5);
+        assert_eq!(a.rate_class(1e6), RateClass::Saturated);
+        assert_eq!(a.rate_class(0.0), RateClass::Saturated);
+    }
+
+    #[test]
+    fn batch_hints_follow_paper_logic() {
+        // Idle → per-packet (the paper sleeps NFs when no packets arrive);
+        // saturated → deep batching.
+        let mut idle = FlowAnalyzer::for_epochs();
+        idle.observe(1e3);
+        assert_eq!(idle.suggested_batch(1e6), 1);
+        let mut hot = FlowAnalyzer::for_epochs();
+        hot.observe(9e5);
+        assert_eq!(hot.suggested_batch(1e6), 192);
+    }
+
+    #[test]
+    fn empty_analyzer_is_quiet() {
+        let a = FlowAnalyzer::for_epochs();
+        assert_eq!(a.mean_rate_pps(), 0.0);
+        assert_eq!(a.index_of_dispersion(), 0.0);
+        assert_eq!(a.forecast_pps(), 0.0);
+    }
+}

@@ -1,0 +1,199 @@
+//! The paper's baseline heuristic controller (§4.2, Algorithm 1).
+//!
+//! Initial assignment: one core at the median frequency, batch size 2, LLC
+//! proportional to flow rate, DMA buffer aligned to the LLC allocation.
+//! Periodically it measures energy efficiency `λ = throughput / energy` and
+//! steps the core frequency toward the nearest available value and nudges
+//! the batch size by ±1 against two thresholds.
+
+use nfv_sim::prelude::*;
+
+use crate::controller::Controller;
+
+/// Algorithm 1 implementation.
+#[derive(Debug)]
+pub struct HeuristicController {
+    /// λ threshold below which the frequency is stepped down (line 9).
+    pub threshold1: f64,
+    /// λ threshold below which the batch size is grown (line 13).
+    pub threshold2: f64,
+    scaler: FreqScaler,
+}
+
+impl Default for HeuristicController {
+    fn default() -> Self {
+        // Thresholds in Gbps/kJ, tuned to the simulator's efficiency range
+        // (~0.5 at baseline to ~5 for well-tuned settings).
+        Self::new(2.1, 2.3)
+    }
+}
+
+impl HeuristicController {
+    /// Creates the controller with explicit λ thresholds.
+    pub fn new(threshold1: f64, threshold2: f64) -> Self {
+        let mut scaler = FreqScaler::new(Governor::Userspace);
+        // Median frequency of the ladder (Algorithm 1 line 3).
+        let ladder = scaler.ladder().to_vec();
+        let median = ladder[ladder.len() / 2];
+        scaler
+            .set_userspace_ghz(median)
+            .expect("median frequency is on the ladder");
+        Self {
+            threshold1,
+            threshold2,
+            scaler,
+        }
+    }
+
+    /// Energy efficiency λ in Gbps per kJ (Algorithm 1 line 8).
+    fn lambda(t: &ChainTelemetry) -> f64 {
+        if t.energy_j <= 0.0 {
+            0.0
+        } else {
+            t.throughput_gbps / (t.energy_j / 1000.0)
+        }
+    }
+}
+
+impl Controller for HeuristicController {
+    fn name(&self) -> &'static str {
+        "Heuristics"
+    }
+
+    fn platform(&self) -> PlatformPolicy {
+        // The heuristic tunes knobs but keeps the stock ONVM platform
+        // (pure polling, no core power management).
+        PlatformPolicy::baseline()
+    }
+
+    fn initial_knobs(&self, flows: &FlowSet) -> KnobSettings {
+        // Lines 1-6 of Algorithm 1: "allocate cores ... evenly to each NF" —
+        // one core per NF of the canonical 3-NF chain.
+        let cores = 3;
+        let batch = 2u32;
+        // LLC proportional to flow rate: a single chain gets a share scaled
+        // by its offered load relative to line rate.
+        let llc_fraction = (flows.total_offered_gbps() / 10.0).clamp(0.1, 0.9);
+        let llc_bytes = llc_fraction * 0.9 * LLC_BYTES as f64;
+        // DMA aligned with the LLC allocation and batch (line 6).
+        let pkt = flows.mean_packet_size().max(64.0);
+        let dma_bytes = (llc_bytes / pkt * f64::from(batch) * 64.0)
+            .clamp(DMA_MIN_BYTES as f64, DMA_MAX_BYTES as f64);
+        KnobSettings {
+            cpu: CpuAllocation { cores, share: 1.0 },
+            freq_ghz: self.scaler.current_ghz(),
+            llc_fraction,
+            dma: DmaBuffer {
+                bytes: dma_bytes as u64,
+            },
+            batch,
+        }
+    }
+
+    fn decide(&mut self, telemetry: &ChainTelemetry, current: &KnobSettings) -> KnobSettings {
+        let lambda = Self::lambda(telemetry);
+        let mut next = *current;
+        // Lines 9-12: frequency step against threshold1.
+        if lambda < self.threshold1 {
+            next.freq_ghz = self.scaler.step_down();
+        } else {
+            next.freq_ghz = self.scaler.step_up();
+        }
+        // Lines 13-16: batch step against threshold2.
+        if lambda < self.threshold2 {
+            next.batch = (next.batch + 1).min(BATCH_MAX);
+        } else {
+            next.batch = next.batch.saturating_sub(1).max(BATCH_MIN);
+        }
+        next
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineController;
+    use crate::controller::{run_controller, RunConfig};
+
+    #[test]
+    fn initial_knobs_follow_algorithm_one() {
+        let h = HeuristicController::default();
+        let k = h.initial_knobs(&FlowSet::evaluation_five_flows());
+        assert_eq!(k.cpu.cores, 3);
+        assert_eq!(k.batch, 2);
+        // Median of [1.2..2.1] ladder.
+        assert!((k.freq_ghz - 1.7).abs() < 0.11);
+        assert!(k.validate().is_ok());
+        // ~line-rate offered traffic → large LLC share.
+        assert!(k.llc_fraction > 0.8);
+    }
+
+    #[test]
+    fn low_efficiency_steps_frequency_down_and_batch_up() {
+        let mut h = HeuristicController::new(1e9, 1e9); // thresholds never met
+        let k = h.initial_knobs(&FlowSet::evaluation_five_flows());
+        let t = ChainTelemetry {
+            throughput_gbps: 1.0,
+            energy_j: 3000.0,
+            cpu_util: 0.5,
+            arrival_pps: 3e6,
+            miss_rate: 0.2,
+            loss_frac: 0.5,
+        };
+        let next = h.decide(&t, &k);
+        assert!(next.freq_ghz < k.freq_ghz);
+        assert_eq!(next.batch, k.batch + 1);
+    }
+
+    #[test]
+    fn high_efficiency_steps_frequency_up_and_batch_down() {
+        let mut h = HeuristicController::new(0.0, 0.0); // thresholds always met
+        let k = h.initial_knobs(&FlowSet::evaluation_five_flows());
+        let t = ChainTelemetry {
+            throughput_gbps: 9.0,
+            energy_j: 1000.0,
+            cpu_util: 0.9,
+            arrival_pps: 3e6,
+            miss_rate: 0.05,
+            loss_frac: 0.0,
+        };
+        let next = h.decide(&t, &k);
+        assert!(next.freq_ghz > k.freq_ghz);
+        assert_eq!(next.batch, k.batch - 1);
+    }
+
+    #[test]
+    fn heuristic_beats_baseline_throughput() {
+        // The paper: "the heuristic-based approach can achieve 2× performance
+        // improvement over baseline". Shape check: ≥ 1.5×.
+        let cfg = RunConfig::paper(30, 3);
+        let base = run_controller(&mut BaselineController, &cfg);
+        let heur = run_controller(&mut HeuristicController::default(), &cfg);
+        assert!(
+            heur.mean_throughput_gbps > 1.5 * base.mean_throughput_gbps,
+            "heuristic {} vs baseline {}",
+            heur.mean_throughput_gbps,
+            base.mean_throughput_gbps
+        );
+    }
+
+    #[test]
+    fn batch_never_leaves_valid_range() {
+        let mut h = HeuristicController::new(0.0, 0.0); // always steps batch down
+        let mut k = h.initial_knobs(&FlowSet::evaluation_five_flows());
+        k.batch = 1;
+        let t = ChainTelemetry {
+            throughput_gbps: 9.0,
+            energy_j: 500.0,
+            cpu_util: 0.5,
+            arrival_pps: 1e6,
+            miss_rate: 0.1,
+            loss_frac: 0.0,
+        };
+        for _ in 0..5 {
+            k = h.decide(&t, &k);
+            assert!(k.batch >= BATCH_MIN);
+            assert!(k.validate().is_ok());
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! # greennfv — energy-efficient NFV resource scheduling under SLAs
+//!
+//! Rust reproduction of *GreenNFV: Energy-Efficient Network Function
+//! Virtualization with Service Level Agreement Constraints* (SC 2023).
+
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod apex;
+pub mod baseline;
+pub mod controller;
+pub mod dqnmodel;
+pub mod eepstate;
+pub mod envs;
+pub mod flowstats;
+pub mod heuristic;
+pub mod placement;
+pub mod qmodel;
+pub mod report;
+pub mod scenario;
+pub mod sla;
+pub mod train;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::action::{ActionSpace, ACTION_DIM};
+    pub use crate::apex::{train_apex, ApexConfig, ApexOutcome};
+    pub use crate::baseline::BaselineController;
+    pub use crate::controller::{
+        run_controller, telemetry_to_state, telemetry_to_state_scaled, Controller, EpochTrace, PolicyController, RunConfig,
+        RunResult,
+    };
+    pub use crate::dqnmodel::{train_dqn, DqnModelController};
+    pub use crate::eepstate::{DesPredictor, EePstateController};
+    pub use crate::envs::{energy_scale, EnvConfig, GreenNfvEnv, STATE_DIM};
+    pub use crate::flowstats::{FlowAnalyzer, RateClass, TrafficPattern};
+    pub use crate::heuristic::HeuristicController;
+    pub use crate::placement::{
+        evaluate_placement, place, ChainRequest, Placement, PlacementEval, PlacementStrategy,
+    };
+    pub use crate::qmodel::{train_qlearning, QModelController};
+    pub use crate::report::{table, AmortizationCurve, ComparisonReport};
+    pub use crate::scenario::{
+        run_scenario, PhaseSummary, Scenario, ScenarioResult, WorkloadPhase,
+    };
+    pub use crate::sla::{reward, reward_scaled, RewardShaping, Sla, DEFAULT_ENERGY_SCALE_J};
+    pub use crate::train::{train, train_with_env_config, EvalPoint, TrainConfig, TrainOutcome};
+}

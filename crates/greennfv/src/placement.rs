@@ -1,0 +1,265 @@
+//! VNF chain placement and consolidation across a cluster.
+//!
+//! The paper (§2) states that GreenNFV "consolidates the VNFs based on the
+//! flow path and minimizes the cache eviction, reducing memory access and
+//! increasing CPU utilization", and its future work (§6) envisions an SDN
+//! controller cooperating with the per-node NF controllers. This module
+//! implements that placement layer: given a set of chain requests and a
+//! cluster of identical nodes, it assigns chains to nodes either by
+//! spreading (one chain per node, the testbed default) or by energy-aware
+//! consolidation (pack chains onto the fewest nodes whose cores and CAT ways
+//! can hold them — idle nodes then cost nothing).
+
+use nfv_sim::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::controller::RunConfig;
+
+/// A chain to place, with its offered load and the knobs it will run under.
+#[derive(Debug, Clone)]
+pub struct ChainRequest {
+    /// Chain description (ids are rewritten per node at placement time).
+    pub spec: ChainSpec,
+    /// Offered flows.
+    pub flows: FlowSet,
+    /// Knob settings the chain runs under.
+    pub knobs: KnobSettings,
+}
+
+impl ChainRequest {
+    /// CAT ways this request needs (over the 18 non-DDIO ways).
+    fn ways(&self) -> u32 {
+        ((self.knobs.llc_fraction * 18.0).round() as u32).min(18)
+    }
+}
+
+/// Placement strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PlacementStrategy {
+    /// One chain per node, round-robin — the unconsolidated deployment.
+    Spread,
+    /// First-fit-decreasing by core demand onto the fewest feasible nodes;
+    /// unused nodes are powered off entirely.
+    Consolidate,
+}
+
+/// A computed placement: `assignments[i]` is the node index of request `i`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Node index per request.
+    pub assignments: Vec<usize>,
+    /// Number of nodes that host at least one chain.
+    pub nodes_used: usize,
+}
+
+/// Computes a placement of `requests` onto `n_nodes` identical nodes.
+///
+/// Fails when any single request cannot fit a node, or when the cluster
+/// cannot hold all requests under the chosen strategy.
+pub fn place(
+    requests: &[ChainRequest],
+    n_nodes: usize,
+    strategy: PlacementStrategy,
+    tuning: &SimTuning,
+) -> SimResult<Placement> {
+    let nf_cores = tuning.total_cores - tuning.manager_cores;
+    for (i, r) in requests.iter().enumerate() {
+        if r.knobs.cpu.cores > nf_cores || r.ways() > 18 {
+            return Err(SimError::NodeConfig(format!(
+                "request {i} needs {} cores / {} ways; a node has {nf_cores} / 18",
+                r.knobs.cpu.cores,
+                r.ways()
+            )));
+        }
+    }
+    match strategy {
+        PlacementStrategy::Spread => {
+            if requests.len() > n_nodes {
+                return Err(SimError::NodeConfig(format!(
+                    "spread placement needs {} nodes, cluster has {n_nodes}",
+                    requests.len()
+                )));
+            }
+            let assignments: Vec<usize> = (0..requests.len()).collect();
+            Ok(Placement {
+                nodes_used: assignments.len(),
+                assignments,
+            })
+        }
+        PlacementStrategy::Consolidate => {
+            // First-fit-decreasing on core demand, checking both cores and ways.
+            let mut order: Vec<usize> = (0..requests.len()).collect();
+            order.sort_by_key(|&i| std::cmp::Reverse(requests[i].knobs.cpu.cores));
+            let mut free_cores = vec![nf_cores; n_nodes];
+            let mut free_ways = vec![18u32; n_nodes];
+            let mut assignments = vec![usize::MAX; requests.len()];
+            for &i in &order {
+                let need_cores = requests[i].knobs.cpu.cores;
+                let need_ways = requests[i].ways();
+                let slot = (0..n_nodes)
+                    .find(|&n| free_cores[n] >= need_cores && free_ways[n] >= need_ways);
+                match slot {
+                    Some(n) => {
+                        free_cores[n] -= need_cores;
+                        free_ways[n] -= need_ways;
+                        assignments[i] = n;
+                    }
+                    None => {
+                        return Err(SimError::NodeConfig(format!(
+                            "request {i} does not fit any node (cores {need_cores}, ways {need_ways})"
+                        )))
+                    }
+                }
+            }
+            let nodes_used = {
+                let mut used: Vec<usize> = assignments.clone();
+                used.sort_unstable();
+                used.dedup();
+                used.len()
+            };
+            Ok(Placement {
+                assignments,
+                nodes_used,
+            })
+        }
+    }
+}
+
+/// Outcome of evaluating a placement over several epochs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementEval {
+    /// Aggregate delivered throughput (Gbps).
+    pub throughput_gbps: f64,
+    /// Aggregate cluster energy per epoch (joules), counting powered-off
+    /// nodes at zero.
+    pub energy_j: f64,
+    /// Nodes hosting at least one chain.
+    pub nodes_used: usize,
+}
+
+/// Builds the placed cluster and runs it for `epochs`, averaging outcomes.
+///
+/// Nodes with no chains are treated as powered off and contribute no energy
+/// (the whole point of consolidation).
+pub fn evaluate_placement(
+    requests: &[ChainRequest],
+    placement: &Placement,
+    n_nodes: usize,
+    cfg: &RunConfig,
+    epochs: u32,
+) -> SimResult<PlacementEval> {
+    let mut nodes: Vec<Option<Node>> = (0..n_nodes).map(|_| None).collect();
+    for (req_idx, &node_idx) in placement.assignments.iter().enumerate() {
+        let node = nodes[node_idx].get_or_insert_with(|| {
+            Node::new(
+                node_idx as u32,
+                cfg.tuning,
+                cfg.power,
+                PlatformPolicy::greennfv(),
+            )
+        });
+        let req = &requests[req_idx];
+        // Re-id the chain uniquely within its node.
+        let local_id = ChainId(node.chain_count() as u32);
+        let spec = ChainSpec::new(local_id, req.spec.nfs.clone())?;
+        node.add_chain(
+            spec,
+            req.flows.clone(),
+            req.knobs,
+            cfg.seed.wrapping_add(req_idx as u64),
+        )?;
+    }
+    let mut throughput = 0.0;
+    let mut energy = 0.0;
+    for _ in 0..epochs {
+        for node in nodes.iter_mut().flatten() {
+            let r = node.run_epoch();
+            throughput += r.node.total_throughput_gbps();
+            energy += r.node.energy_j;
+        }
+    }
+    let e = f64::from(epochs.max(1));
+    Ok(PlacementEval {
+        throughput_gbps: throughput / e,
+        energy_j: energy / e,
+        nodes_used: placement.nodes_used,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn light_request(rate_pps: f64) -> ChainRequest {
+        ChainRequest {
+            spec: ChainSpec::lightweight(ChainId(0)),
+            flows: FlowSet::new(vec![FlowSpec::cbr(0, rate_pps, 512)]).unwrap(),
+            knobs: KnobSettings {
+                cpu: CpuAllocation { cores: 2, share: 1.0 },
+                freq_ghz: 1.7,
+                llc_fraction: 0.3,
+                dma: DmaBuffer::from_mb(4.0),
+                batch: 64,
+            },
+        }
+    }
+
+    #[test]
+    fn spread_uses_one_node_per_chain() {
+        let reqs = vec![light_request(1e5), light_request(2e5), light_request(3e5)];
+        let p = place(&reqs, 3, PlacementStrategy::Spread, &SimTuning::default()).unwrap();
+        assert_eq!(p.assignments, vec![0, 1, 2]);
+        assert_eq!(p.nodes_used, 3);
+        assert!(place(&reqs, 2, PlacementStrategy::Spread, &SimTuning::default()).is_err());
+    }
+
+    #[test]
+    fn consolidation_packs_onto_fewer_nodes() {
+        let reqs = vec![light_request(1e5), light_request(2e5), light_request(3e5)];
+        let p = place(&reqs, 3, PlacementStrategy::Consolidate, &SimTuning::default()).unwrap();
+        // 3 × (2 cores, 5-6 ways) fits one 14-core node with 18 ways.
+        assert_eq!(p.nodes_used, 1, "{p:?}");
+    }
+
+    #[test]
+    fn consolidation_respects_way_capacity() {
+        let mut big = light_request(1e5);
+        big.knobs.llc_fraction = 0.9; // 16 ways each
+        let reqs = vec![big.clone(), big.clone()];
+        let p = place(&reqs, 2, PlacementStrategy::Consolidate, &SimTuning::default()).unwrap();
+        assert_eq!(p.nodes_used, 2, "two 16-way requests cannot share 18 ways");
+    }
+
+    #[test]
+    fn oversized_request_is_rejected() {
+        let mut huge = light_request(1e5);
+        huge.knobs.cpu.cores = 99;
+        assert!(place(
+            &[huge],
+            4,
+            PlacementStrategy::Consolidate,
+            &SimTuning::default()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn consolidation_saves_cluster_energy_at_light_load() {
+        let reqs = vec![light_request(2e5), light_request(2e5), light_request(2e5)];
+        let tuning = SimTuning::default();
+        let cfg = RunConfig::paper(1, 5);
+        let spread = place(&reqs, 3, PlacementStrategy::Spread, &tuning).unwrap();
+        let packed = place(&reqs, 3, PlacementStrategy::Consolidate, &tuning).unwrap();
+        let es = evaluate_placement(&reqs, &spread, 3, &cfg, 4).unwrap();
+        let ep = evaluate_placement(&reqs, &packed, 3, &cfg, 4).unwrap();
+        assert!(ep.nodes_used < es.nodes_used);
+        assert!(
+            ep.energy_j < 0.6 * es.energy_j,
+            "consolidated {} J vs spread {} J",
+            ep.energy_j,
+            es.energy_j
+        );
+        // Light load: consolidation must not sacrifice throughput.
+        assert!(ep.throughput_gbps > 0.9 * es.throughput_gbps);
+    }
+}

@@ -1,0 +1,145 @@
+//! Q-learning comparison model: GreenNFV's control loop with a discretized
+//! tabular agent instead of DDPG (paper §5: "For the Q-learning model, we
+//! discretize the action and state space").
+
+use greennfv_rl::env::Environment;
+use greennfv_rl::qlearning::{Discretizer, QLearning};
+use nfv_sim::prelude::*;
+
+use crate::action::ActionSpace;
+use crate::controller::{telemetry_to_state, Controller};
+use crate::envs::{EnvConfig, GreenNfvEnv, STATE_DIM};
+use crate::sla::Sla;
+
+/// Levels per state dimension (coarse by necessity — the paper's point).
+pub const STATE_LEVELS: usize = 4;
+/// Levels per action dimension: 3^5 = 243 discrete actions.
+pub const ACTION_LEVELS: usize = 3;
+
+/// Builds the discretizers over the paper's state/action spaces.
+pub fn discretizers(space: &ActionSpace) -> (Discretizer, Discretizer) {
+    let state = Discretizer::new(vec![0.0; STATE_DIM], vec![1.2; STATE_DIM], STATE_LEVELS);
+    let (lo, hi) = space.bounds();
+    let action = Discretizer::new(lo, hi, ACTION_LEVELS);
+    (state, action)
+}
+
+/// Trains a tabular Q-learning agent on the GreenNFV environment.
+///
+/// Returns the trained agent and the total energy consumed while training.
+pub fn train_qlearning(sla: Sla, episodes: u32, seed: u64) -> (QLearning, f64) {
+    let cfg = EnvConfig::paper(sla, seed);
+    let space = cfg.action_space;
+    let mut env = GreenNfvEnv::new(cfg);
+    let (sd, ad) = discretizers(&space);
+    let mut agent = QLearning::new(sd, ad, seed.wrapping_add(1));
+    agent.epsilon = 0.4;
+    for ep in 0..episodes {
+        // Decay exploration linearly to 5%.
+        agent.epsilon = (0.4 * (1.0 - f64::from(ep) / f64::from(episodes.max(1)))).max(0.05);
+        let mut state = env.reset();
+        for _ in 0..env.config().steps_per_episode {
+            let physical = agent.act(&state);
+            let knobs = space.decode_physical(&physical);
+            let (t, r) = env.step_with_knobs(knobs);
+            let next_state = telemetry_to_state(&t).to_vec();
+            // Continuing control task: no terminal bootstrapping cut-off.
+            agent.learn(&state, &physical, r, &next_state, false);
+            state = next_state;
+        }
+    }
+    (agent, env.cumulative_energy_j())
+}
+
+/// A trained Q-learning agent deployed as a controller.
+#[derive(Debug)]
+pub struct QModelController {
+    agent: QLearning,
+    space: ActionSpace,
+}
+
+impl QModelController {
+    /// Wraps a trained agent.
+    pub fn new(agent: QLearning, space: ActionSpace) -> Self {
+        Self { agent, space }
+    }
+
+    /// Trains a fresh agent and wraps it.
+    pub fn trained(sla: Sla, episodes: u32, seed: u64) -> Self {
+        let (agent, _) = train_qlearning(sla, episodes, seed);
+        Self::new(agent, ActionSpace::default())
+    }
+}
+
+impl Controller for QModelController {
+    fn name(&self) -> &'static str {
+        "Q-Learning"
+    }
+
+    fn platform(&self) -> PlatformPolicy {
+        PlatformPolicy::greennfv()
+    }
+
+    fn initial_knobs(&self, _flows: &FlowSet) -> KnobSettings {
+        KnobSettings::default_tuned()
+    }
+
+    fn decide(&mut self, telemetry: &ChainTelemetry, _current: &KnobSettings) -> KnobSettings {
+        let state = telemetry_to_state(telemetry);
+        let physical = self.agent.act_greedy(&state);
+        self.space.decode_physical(&physical)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::baseline::BaselineController;
+    use crate::controller::{run_controller, RunConfig};
+
+    #[test]
+    fn discretizers_cover_paper_complexity() {
+        let (sd, ad) = discretizers(&ActionSpace::default());
+        assert_eq!(sd.cells(), (STATE_LEVELS as u64).pow(4));
+        // O(k^5) action cells, the complexity the paper criticizes.
+        assert_eq!(ad.cells(), (ACTION_LEVELS as u64).pow(5));
+    }
+
+    #[test]
+    fn training_populates_table_and_consumes_energy() {
+        let (agent, energy) = train_qlearning(Sla::EnergyEfficiency, 20, 9);
+        assert!(agent.table_size() > 10, "table {}", agent.table_size());
+        assert!(energy > 0.0);
+    }
+
+    #[test]
+    fn trained_qmodel_beats_baseline() {
+        let mut q = QModelController::trained(Sla::EnergyEfficiency, 150, 11);
+        let cfg = RunConfig::paper(20, 13);
+        let base = run_controller(&mut BaselineController, &cfg);
+        let qr = run_controller(&mut q, &cfg);
+        assert!(
+            qr.mean_throughput_gbps > base.mean_throughput_gbps,
+            "q {} vs baseline {}",
+            qr.mean_throughput_gbps,
+            base.mean_throughput_gbps
+        );
+    }
+
+    #[test]
+    fn decide_produces_valid_knobs() {
+        let (sd, ad) = discretizers(&ActionSpace::default());
+        let agent = QLearning::new(sd, ad, 3);
+        let mut c = QModelController::new(agent, ActionSpace::default());
+        let t = ChainTelemetry {
+            throughput_gbps: 3.0,
+            energy_j: 2000.0,
+            cpu_util: 0.5,
+            arrival_pps: 3e6,
+            miss_rate: 0.2,
+            loss_frac: 0.1,
+        };
+        let k = c.decide(&t, &KnobSettings::default_tuned());
+        assert!(k.validate().is_ok());
+    }
+}

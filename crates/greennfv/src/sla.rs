@@ -1,0 +1,200 @@
+//! Service level agreements and their reward signals (paper §4.1, Eq. 1–3).
+
+use serde::{Deserialize, Serialize};
+
+/// The three SLA-based optimization goals of GreenNFV.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Sla {
+    /// Maximize throughput subject to an epoch energy cap (Eq. 1).
+    MaxThroughput {
+        /// Energy budget per control epoch, joules.
+        energy_cap_j: f64,
+    },
+    /// Minimize energy subject to a throughput floor (Eq. 2).
+    MinEnergy {
+        /// Guaranteed throughput, Gbps.
+        throughput_floor_gbps: f64,
+    },
+    /// Maximize energy efficiency λ = T / E (Eq. 3), unconstrained.
+    EnergyEfficiency,
+}
+
+impl Sla {
+    /// The paper's §5.1 configuration: 2000 J energy cap.
+    pub fn paper_max_throughput() -> Self {
+        Sla::MaxThroughput { energy_cap_j: 2000.0 }
+    }
+
+    /// The paper's §5.2 configuration: 7.5 Gbps floor.
+    pub fn paper_min_energy() -> Self {
+        Sla::MinEnergy {
+            throughput_floor_gbps: 7.5,
+        }
+    }
+
+    /// Short display name used in reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Sla::MaxThroughput { .. } => "MaxT",
+            Sla::MinEnergy { .. } => "MinE",
+            Sla::EnergyEfficiency => "EE",
+        }
+    }
+
+    /// Whether an epoch outcome satisfies the SLA constraint.
+    pub fn satisfied(&self, throughput_gbps: f64, energy_j: f64) -> bool {
+        match *self {
+            Sla::MaxThroughput { energy_cap_j } => energy_j <= energy_cap_j,
+            Sla::MinEnergy {
+                throughput_floor_gbps,
+            } => throughput_gbps >= throughput_floor_gbps,
+            Sla::EnergyEfficiency => true,
+        }
+    }
+}
+
+/// How constraint violations are penalized in the reward.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RewardShaping {
+    /// The paper's scheme: zero reward on violation.
+    Strict,
+    /// Smoothly shaped: negative reward proportional to violation magnitude.
+    /// Converges faster; compared against `Strict` in the ablation bench.
+    Shaped,
+}
+
+/// Reward scales chosen so all three SLAs produce rewards of order 1.
+const THROUGHPUT_SCALE_GBPS: f64 = 10.0;
+/// Default reference epoch energy (≈ baseline platform at full tilt over a
+/// 30 s epoch). Environments with other epoch lengths pass their own scale.
+pub const DEFAULT_ENERGY_SCALE_J: f64 = 4000.0;
+
+/// Computes the reward for an epoch outcome under an SLA, normalizing energy
+/// by the default 30 s-epoch scale.
+pub fn reward(sla: Sla, shaping: RewardShaping, throughput_gbps: f64, energy_j: f64) -> f64 {
+    reward_scaled(
+        sla,
+        shaping,
+        throughput_gbps,
+        energy_j,
+        DEFAULT_ENERGY_SCALE_J,
+    )
+}
+
+/// Computes the reward with an explicit energy normalization scale
+/// (≈ the node's maximum energy per control epoch).
+pub fn reward_scaled(
+    sla: Sla,
+    shaping: RewardShaping,
+    throughput_gbps: f64,
+    energy_j: f64,
+    energy_scale_j: f64,
+) -> f64 {
+    match sla {
+        Sla::MaxThroughput { energy_cap_j } => {
+            if energy_j <= energy_cap_j {
+                throughput_gbps / THROUGHPUT_SCALE_GBPS
+            } else {
+                match shaping {
+                    RewardShaping::Strict => 0.0,
+                    RewardShaping::Shaped => {
+                        -(((energy_j - energy_cap_j) / energy_cap_j).min(1.0))
+                    }
+                }
+            }
+        }
+        Sla::MinEnergy {
+            throughput_floor_gbps,
+        } => {
+            if throughput_gbps >= throughput_floor_gbps {
+                // More reward for less energy; the quadratic sharpens the
+                // gradient toward the low-energy corner so the policy does
+                // not idle at "comfortably above the floor" settings.
+                let frugality = (1.0 - energy_j / energy_scale_j.max(1e-9)).max(0.0);
+                2.0 * frugality * frugality + 0.2
+            } else {
+                match shaping {
+                    RewardShaping::Strict => 0.0,
+                    RewardShaping::Shaped => {
+                        -(((throughput_floor_gbps - throughput_gbps) / throughput_floor_gbps)
+                            .min(1.0))
+                    }
+                }
+            }
+        }
+        Sla::EnergyEfficiency => {
+            if energy_j <= 0.0 {
+                0.0
+            } else {
+                // λ = T / E in Gbps per kJ; scale to order 1.
+                (throughput_gbps / (energy_j / 1000.0)) / 5.0
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxt_rewards_throughput_within_cap() {
+        let sla = Sla::MaxThroughput { energy_cap_j: 2000.0 };
+        let lo = reward(sla, RewardShaping::Strict, 2.0, 1500.0);
+        let hi = reward(sla, RewardShaping::Strict, 8.0, 1500.0);
+        assert!(hi > lo);
+        // Violation: zero under strict, negative under shaped.
+        assert_eq!(reward(sla, RewardShaping::Strict, 9.0, 2500.0), 0.0);
+        assert!(reward(sla, RewardShaping::Shaped, 9.0, 2500.0) < 0.0);
+    }
+
+    #[test]
+    fn mine_rewards_energy_reduction_above_floor() {
+        let sla = Sla::MinEnergy {
+            throughput_floor_gbps: 7.5,
+        };
+        let wasteful = reward(sla, RewardShaping::Strict, 8.0, 3000.0);
+        let frugal = reward(sla, RewardShaping::Strict, 8.0, 1200.0);
+        assert!(frugal > wasteful);
+        assert_eq!(reward(sla, RewardShaping::Strict, 5.0, 800.0), 0.0);
+        assert!(reward(sla, RewardShaping::Shaped, 5.0, 800.0) < 0.0);
+    }
+
+    #[test]
+    fn mine_any_satisfying_setting_beats_any_violation() {
+        // The paper: a high-energy setting that meets the floor "is better
+        // than any setting that fails to maintain the throughput guarantee".
+        let sla = Sla::MinEnergy {
+            throughput_floor_gbps: 7.5,
+        };
+        let meets_expensively = reward(sla, RewardShaping::Shaped, 7.6, 3900.0);
+        let misses_cheaply = reward(sla, RewardShaping::Shaped, 7.0, 500.0);
+        assert!(meets_expensively > misses_cheaply);
+    }
+
+    #[test]
+    fn ee_reward_is_efficiency_ratio() {
+        let a = reward(Sla::EnergyEfficiency, RewardShaping::Strict, 6.0, 2000.0);
+        let b = reward(Sla::EnergyEfficiency, RewardShaping::Strict, 6.0, 1000.0);
+        let c = reward(Sla::EnergyEfficiency, RewardShaping::Strict, 3.0, 1000.0);
+        assert!(b > a, "less energy, same throughput → more efficient");
+        assert!(b > c, "more throughput, same energy → more efficient");
+        assert_eq!(reward(Sla::EnergyEfficiency, RewardShaping::Strict, 5.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn satisfied_matches_constraints() {
+        assert!(Sla::paper_max_throughput().satisfied(9.0, 1999.0));
+        assert!(!Sla::paper_max_throughput().satisfied(9.0, 2001.0));
+        assert!(Sla::paper_min_energy().satisfied(7.5, 9999.0));
+        assert!(!Sla::paper_min_energy().satisfied(7.4, 1.0));
+        assert!(Sla::EnergyEfficiency.satisfied(0.0, f64::MAX));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Sla::paper_max_throughput().name(), "MaxT");
+        assert_eq!(Sla::paper_min_energy().name(), "MinE");
+        assert_eq!(Sla::EnergyEfficiency.name(), "EE");
+    }
+}

@@ -1,0 +1,172 @@
+//! Multi-node testbed (the paper's six-server deployment).
+//!
+//! Three servers generate traffic (MoonGen) and three host NF chains; in the
+//! simulator the generators live inside each hosting node's `TrafficGen`, so
+//! a [`Cluster`] is the set of hosting nodes plus aggregate reporting.
+
+use serde::{Deserialize, Serialize};
+
+use crate::chain::ChainSpec;
+use crate::cpu::ChainId;
+use crate::engine::{KnobSettings, PlatformPolicy, SimTuning};
+use crate::error::{SimError, SimResult};
+use crate::flow::FlowSet;
+use crate::node::{Node, NodeEpochReport};
+use crate::power::PowerModel;
+
+/// Aggregate report over all nodes for one epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterEpochReport {
+    /// Per-node reports, in node order.
+    pub nodes: Vec<NodeEpochReport>,
+}
+
+impl ClusterEpochReport {
+    /// Total delivered throughput across the cluster (Gbps).
+    pub fn total_throughput_gbps(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.node.total_throughput_gbps())
+            .sum()
+    }
+
+    /// Total energy across the cluster for the epoch (joules).
+    pub fn total_energy_j(&self) -> f64 {
+        self.nodes.iter().map(|n| n.node.energy_j).sum()
+    }
+
+    /// Cluster-level energy efficiency (Gbps per kJ).
+    pub fn energy_efficiency(&self) -> f64 {
+        let e = self.total_energy_j();
+        if e <= 0.0 {
+            0.0
+        } else {
+            self.total_throughput_gbps() / (e / 1000.0)
+        }
+    }
+}
+
+/// A set of NF-hosting nodes evaluated in lock-step epochs.
+pub struct Cluster {
+    nodes: Vec<Node>,
+}
+
+impl Cluster {
+    /// Creates a cluster of `n` identically configured nodes.
+    pub fn homogeneous(
+        n: usize,
+        tuning: SimTuning,
+        power: PowerModel,
+        policy: PlatformPolicy,
+    ) -> Self {
+        Self {
+            nodes: (0..n as u32)
+                .map(|id| Node::new(id, tuning, power, policy))
+                .collect(),
+        }
+    }
+
+    /// The paper's testbed: three hosting nodes, each with one 3-NF chain
+    /// fed by the five-flow evaluation workload.
+    pub fn paper_testbed(policy: PlatformPolicy, seed: u64) -> Self {
+        let mut c = Self::homogeneous(3, SimTuning::default(), PowerModel::default(), policy);
+        for (i, node) in c.nodes.iter_mut().enumerate() {
+            node.add_chain(
+                ChainSpec::canonical_three(ChainId(0)),
+                FlowSet::evaluation_five_flows(),
+                KnobSettings::default_tuned(),
+                seed.wrapping_add(i as u64),
+            )
+            .expect("default knobs fit a fresh node");
+        }
+        c
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the cluster is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Mutable access to one node.
+    pub fn node_mut(&mut self, idx: usize) -> SimResult<&mut Node> {
+        let len = self.nodes.len();
+        self.nodes
+            .get_mut(idx)
+            .ok_or_else(|| SimError::NodeConfig(format!("node {idx} out of range ({len} nodes)")))
+    }
+
+    /// Immutable access to one node.
+    pub fn node(&self, idx: usize) -> SimResult<&Node> {
+        self.nodes
+            .get(idx)
+            .ok_or_else(|| SimError::NodeConfig(format!("node {idx} out of range")))
+    }
+
+    /// Iterates over the nodes.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.nodes.iter()
+    }
+
+    /// Runs one epoch on every node.
+    pub fn run_epoch(&mut self) -> ClusterEpochReport {
+        ClusterEpochReport {
+            nodes: self.nodes.iter_mut().map(|n| n.run_epoch()).collect(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster").field("nodes", &self.nodes.len()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_testbed_has_three_hosting_nodes() {
+        let c = Cluster::paper_testbed(PlatformPolicy::greennfv(), 1);
+        assert_eq!(c.len(), 3);
+        for n in c.nodes() {
+            assert_eq!(n.chain_count(), 1);
+        }
+    }
+
+    #[test]
+    fn cluster_epoch_aggregates() {
+        let mut c = Cluster::paper_testbed(PlatformPolicy::greennfv(), 1);
+        let r = c.run_epoch();
+        assert_eq!(r.nodes.len(), 3);
+        assert!(r.total_throughput_gbps() > 0.0);
+        assert!(r.total_energy_j() > 0.0);
+        assert!(r.energy_efficiency() > 0.0);
+        // Aggregates equal sums of parts.
+        let t: f64 = r.nodes.iter().map(|n| n.node.total_throughput_gbps()).sum();
+        assert!((r.total_throughput_gbps() - t).abs() < 1e-12);
+    }
+
+    #[test]
+    fn node_access_bounds_checked() {
+        let mut c = Cluster::paper_testbed(PlatformPolicy::greennfv(), 1);
+        assert!(c.node(2).is_ok());
+        assert!(c.node(3).is_err());
+        assert!(c.node_mut(99).is_err());
+    }
+
+    #[test]
+    fn seeds_differentiate_nodes() {
+        let mut c = Cluster::paper_testbed(PlatformPolicy::greennfv(), 7);
+        let r = c.run_epoch();
+        // Poisson flows differ across per-node seeds.
+        let a = r.nodes[0].telemetry[0].arrival_pps;
+        let b = r.nodes[1].telemetry[0].arrival_pps;
+        assert_ne!(a, b);
+    }
+}

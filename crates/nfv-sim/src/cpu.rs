@@ -1,0 +1,184 @@
+//! CPU core allocation and cgroup-style CPU sharing.
+//!
+//! OpenNetVM pins NFs to cores; GreenNFV additionally uses cgroups to cap the
+//! CPU time a chain may consume and turns idle cores off. This module tracks
+//! core ownership per chain and the effective compute budget
+//! (cores × share × frequency) the epoch engine converts into cycles.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SimError, SimResult};
+
+/// Identifier of a service chain on a node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ChainId(pub u32);
+
+/// CPU allocation for one chain: whole cores plus a cgroup share.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuAllocation {
+    /// Number of physical cores assigned (>= 1 when the chain is active).
+    pub cores: u32,
+    /// cgroup cpu share in (0, 1]: fraction of each assigned core's time.
+    pub share: f64,
+}
+
+impl CpuAllocation {
+    /// Validates ranges.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.cores == 0 {
+            return Err(SimError::InvalidKnob {
+                knob: "cpu_cores",
+                reason: "must be >= 1".into(),
+            });
+        }
+        if !(0.0..=1.0).contains(&self.share) || self.share <= 0.0 {
+            return Err(SimError::InvalidKnob {
+                knob: "cpu_share",
+                reason: format!("share {} outside (0, 1]", self.share),
+            });
+        }
+        Ok(())
+    }
+
+    /// Effective core-equivalents available to the chain.
+    pub fn effective_cores(&self) -> f64 {
+        f64::from(self.cores) * self.share
+    }
+}
+
+/// Per-node core manager: 16 cores on the testbed (dual-socket E5-2620 v4).
+#[derive(Debug, Clone)]
+pub struct CoreAllocator {
+    total_cores: u32,
+    /// Reserved for the ONVM manager's Rx/Tx threads.
+    manager_cores: u32,
+    assignments: Vec<(ChainId, CpuAllocation)>,
+}
+
+impl CoreAllocator {
+    /// Creates an allocator for `total_cores`, reserving `manager_cores` for
+    /// the platform's Rx/Tx threads.
+    pub fn new(total_cores: u32, manager_cores: u32) -> Self {
+        Self {
+            total_cores,
+            manager_cores,
+            assignments: Vec::new(),
+        }
+    }
+
+    /// Cores usable by NF chains.
+    pub fn nf_cores(&self) -> u32 {
+        self.total_cores - self.manager_cores
+    }
+
+    /// Cores currently assigned to chains.
+    pub fn assigned_cores(&self) -> u32 {
+        self.assignments.iter().map(|(_, a)| a.cores).sum()
+    }
+
+    /// Cores not assigned to any chain (candidates for power-down).
+    pub fn idle_cores(&self) -> u32 {
+        self.nf_cores() - self.assigned_cores()
+    }
+
+    /// Assigns (or reassigns) `alloc` to `chain`, enforcing capacity.
+    pub fn assign(&mut self, chain: ChainId, alloc: CpuAllocation) -> SimResult<()> {
+        alloc.validate()?;
+        let others: u32 = self
+            .assignments
+            .iter()
+            .filter(|(c, _)| *c != chain)
+            .map(|(_, a)| a.cores)
+            .sum();
+        if others + alloc.cores > self.nf_cores() {
+            return Err(SimError::NodeConfig(format!(
+                "core oversubscription: {} + {} > {}",
+                others,
+                alloc.cores,
+                self.nf_cores()
+            )));
+        }
+        if let Some(slot) = self.assignments.iter_mut().find(|(c, _)| *c == chain) {
+            slot.1 = alloc;
+        } else {
+            self.assignments.push((chain, alloc));
+        }
+        Ok(())
+    }
+
+    /// Removes a chain's assignment.
+    pub fn remove(&mut self, chain: ChainId) {
+        self.assignments.retain(|(c, _)| *c != chain);
+    }
+
+    /// Allocation of `chain`, if any.
+    pub fn allocation(&self, chain: ChainId) -> Option<CpuAllocation> {
+        self.assignments
+            .iter()
+            .find(|(c, _)| *c == chain)
+            .map(|(_, a)| *a)
+    }
+
+    /// Active cores = manager cores + assigned NF cores (idle cores are
+    /// powered down by GreenNFV and excluded from dynamic power).
+    pub fn active_cores(&self) -> u32 {
+        self.manager_cores + self.assigned_cores()
+    }
+
+    /// Total cores on the node.
+    pub fn total_cores(&self) -> u32 {
+        self.total_cores
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allocation_validation() {
+        assert!(CpuAllocation { cores: 0, share: 1.0 }.validate().is_err());
+        assert!(CpuAllocation { cores: 1, share: 0.0 }.validate().is_err());
+        assert!(CpuAllocation { cores: 1, share: 1.5 }.validate().is_err());
+        assert!(CpuAllocation { cores: 2, share: 0.5 }.validate().is_ok());
+    }
+
+    #[test]
+    fn effective_cores_combines_cores_and_share() {
+        let a = CpuAllocation { cores: 4, share: 0.5 };
+        assert!((a.effective_cores() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn allocator_enforces_capacity() {
+        let mut alloc = CoreAllocator::new(16, 2);
+        assert_eq!(alloc.nf_cores(), 14);
+        alloc
+            .assign(ChainId(0), CpuAllocation { cores: 8, share: 1.0 })
+            .unwrap();
+        alloc
+            .assign(ChainId(1), CpuAllocation { cores: 6, share: 1.0 })
+            .unwrap();
+        assert_eq!(alloc.idle_cores(), 0);
+        assert!(alloc
+            .assign(ChainId(2), CpuAllocation { cores: 1, share: 1.0 })
+            .is_err());
+        // Reassignment of an existing chain does not double-count.
+        alloc
+            .assign(ChainId(0), CpuAllocation { cores: 2, share: 0.5 })
+            .unwrap();
+        assert_eq!(alloc.idle_cores(), 6);
+        assert_eq!(alloc.active_cores(), 2 + 8);
+    }
+
+    #[test]
+    fn remove_frees_cores() {
+        let mut alloc = CoreAllocator::new(16, 2);
+        alloc
+            .assign(ChainId(0), CpuAllocation { cores: 14, share: 1.0 })
+            .unwrap();
+        alloc.remove(ChainId(0));
+        assert_eq!(alloc.idle_cores(), 14);
+        assert!(alloc.allocation(ChainId(0)).is_none());
+    }
+}

@@ -1,0 +1,238 @@
+//! DMA buffer / RX-ring loss model.
+//!
+//! The DMA-buffer knob sizes the memory the NIC writes packets into before
+//! the NF chain drains them. An undersized buffer drops packets when arrivals
+//! burst ahead of service (the rising part of Figure 4a); an oversized buffer
+//! spills past the DDIO share of the LLC and inflates miss rates (handled in
+//! `cache::ddio_hit_fraction`, the rising tail of Figure 4b).
+//!
+//! Two loss mechanisms are combined:
+//!
+//! * **steady-state blocking** — an M/M/1/K queue with `K` = packets that fit
+//!   in the buffer, capturing stochastic queue overflow near saturation;
+//! * **burst overflow** — during ON periods of bursty flows the instantaneous
+//!   arrival rate is `burstiness ×` the mean; the buffer absorbs
+//!   `K / T_burst` packets per second of excess, and anything beyond that is
+//!   tail-dropped.
+//!
+//! The two describe overlapping physics (a queue overflowing), so the model
+//! takes their maximum rather than their sum.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SimError, SimResult};
+
+/// Minimum DMA buffer the knob may select, in bytes (512 KB).
+pub const DMA_MIN_BYTES: u64 = 512 * 1024;
+/// Maximum DMA buffer the knob may select, in bytes (40 MB, Figure 4's sweep top).
+pub const DMA_MAX_BYTES: u64 = 40 * 1024 * 1024;
+/// Characteristic burst duration in seconds (tens of milliseconds at 10 GbE).
+pub const BURST_DURATION_S: f64 = 0.02;
+
+/// DMA/RX buffer configuration for a chain.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DmaBuffer {
+    /// Buffer size in bytes.
+    pub bytes: u64,
+}
+
+impl DmaBuffer {
+    /// Creates a buffer of `mb` megabytes.
+    pub fn from_mb(mb: f64) -> Self {
+        Self {
+            bytes: (mb * 1024.0 * 1024.0) as u64,
+        }
+    }
+
+    /// Size in megabytes.
+    pub fn mb(&self) -> f64 {
+        self.bytes as f64 / (1024.0 * 1024.0)
+    }
+
+    /// Validates the knob range.
+    pub fn validate(&self) -> SimResult<()> {
+        if !(DMA_MIN_BYTES..=DMA_MAX_BYTES).contains(&self.bytes) {
+            return Err(SimError::InvalidKnob {
+                knob: "dma_buffer_bytes",
+                reason: format!(
+                    "{} outside {}..={} bytes",
+                    self.bytes, DMA_MIN_BYTES, DMA_MAX_BYTES
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// How many packets of `pkt_size` bytes fit in the buffer.
+    pub fn slots(&self, pkt_size: u32) -> u64 {
+        (self.bytes / u64::from(pkt_size.max(1))).max(1)
+    }
+}
+
+/// M/M/1/K blocking probability.
+///
+/// `rho` = offered rate / service rate, `k` = queue capacity in packets.
+/// Returns the fraction of arrivals dropped.
+pub fn mm1k_loss(rho: f64, k: u64) -> f64 {
+    if rho <= 0.0 {
+        return 0.0;
+    }
+    let k = k.max(1);
+    if (rho - 1.0).abs() < 1e-9 {
+        // Limit as rho → 1: uniform distribution over K+1 states.
+        return 1.0 / (k as f64 + 1.0);
+    }
+    // For numerical stability split the large-rho case: as rho^(k+1) overflows
+    // the loss tends to (rho - 1)/rho.
+    let kf = k as f64;
+    if rho > 1.0 && kf * rho.ln() > 500.0 {
+        return (rho - 1.0) / rho;
+    }
+    let num = (1.0 - rho) * rho.powf(kf);
+    let den = 1.0 - rho.powf(kf + 1.0);
+    (num / den).clamp(0.0, 1.0)
+}
+
+/// Effective loss fraction for an RX/DMA buffer.
+///
+/// * `arrival_pps` — mean offered packet rate;
+/// * `capacity_pps` — chain service rate;
+/// * `pkt_size` — mean packet size (sets how many packets fit);
+/// * `burstiness` — peak-to-mean ratio of the arrival process (>= 1);
+/// * `batch` — service batch size; one batch of headroom is lost because
+///   packets accumulate while the previous batch is processed.
+pub fn buffer_loss(
+    arrival_pps: f64,
+    capacity_pps: f64,
+    buffer: DmaBuffer,
+    pkt_size: u32,
+    burstiness: f64,
+    batch: u32,
+) -> f64 {
+    if arrival_pps <= 0.0 {
+        return 0.0;
+    }
+    if capacity_pps <= 0.0 {
+        return 1.0;
+    }
+    let slots = buffer.slots(pkt_size);
+    let usable = slots.saturating_sub(u64::from(batch / 2)).max(1);
+    let rho = arrival_pps / capacity_pps;
+    let steady = mm1k_loss(rho, usable);
+
+    let b = burstiness.max(1.0);
+    let mut burst = 0.0;
+    if b > 1.0 + 1e-9 {
+        // ON fraction that conserves the mean for an on/off process at peak b.
+        let phi = 1.0 / b;
+        // Excess arrival rate during bursts, beyond both service rate and the
+        // buffer's absorption rate.
+        let excess = (b * arrival_pps - capacity_pps).max(0.0);
+        let absorb = usable as f64 / BURST_DURATION_S;
+        let dropped_pps = (excess - absorb).max(0.0);
+        burst = (phi * dropped_pps / arrival_pps).clamp(0.0, 1.0);
+    }
+    steady.max(burst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validation_enforces_range() {
+        assert!(DmaBuffer::from_mb(0.1).validate().is_err());
+        assert!(DmaBuffer::from_mb(64.0).validate().is_err());
+        assert!(DmaBuffer::from_mb(8.0).validate().is_ok());
+    }
+
+    #[test]
+    fn slots_scale_inversely_with_packet_size() {
+        let b = DmaBuffer::from_mb(1.0);
+        assert!(b.slots(64) > b.slots(1518));
+        assert_eq!(b.slots(64), 1024 * 1024 / 64);
+    }
+
+    #[test]
+    fn mm1k_limits() {
+        // Underload with a deep buffer: negligible loss.
+        assert!(mm1k_loss(0.5, 10_000) < 1e-12);
+        // Heavy overload: loss approaches 1 - 1/rho.
+        let l = mm1k_loss(2.0, 10_000);
+        assert!((l - 0.5).abs() < 1e-6, "loss {l}");
+        // rho = 1 exactly.
+        let l = mm1k_loss(1.0, 9);
+        assert!((l - 0.1).abs() < 1e-9);
+        // Zero offered load.
+        assert_eq!(mm1k_loss(0.0, 10), 0.0);
+    }
+
+    #[test]
+    fn mm1k_monotone_in_depth() {
+        let mut last = 1.0;
+        for k in [1u64, 4, 16, 64, 256] {
+            let l = mm1k_loss(0.9, k);
+            assert!(l < last, "deeper buffer must lose less: k={k} l={l}");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn mm1k_monotone_in_rho() {
+        let mut last = 0.0;
+        for rho in [0.2, 0.6, 0.9, 1.1, 2.0] {
+            let l = mm1k_loss(rho, 32);
+            assert!(l >= last, "more load must lose more");
+            last = l;
+        }
+    }
+
+    #[test]
+    fn buffer_loss_falls_with_buffer_size() {
+        // Fig 4a shape: loss falls (throughput rises) with DMA size.
+        let mut last = 1.0;
+        for mb in [0.5, 1.0, 5.0, 10.0, 40.0] {
+            let l = buffer_loss(
+                2.0e6,
+                2.2e6,
+                DmaBuffer::from_mb(mb),
+                395,
+                2.5,
+                64,
+            );
+            assert!(l <= last + 1e-12, "{mb} MB: {l} > {last}");
+            last = l;
+        }
+        assert!(last < 0.05, "deep buffers absorb the bursts: {last}");
+    }
+
+    #[test]
+    fn burstiness_increases_loss() {
+        let b = DmaBuffer::from_mb(1.0);
+        let calm = buffer_loss(0.9e6, 1.0e6, b, 1518, 1.0, 32);
+        let bursty = buffer_loss(0.9e6, 1.0e6, b, 1518, 3.0, 32);
+        assert!(bursty > calm, "bursty {bursty} vs calm {calm}");
+    }
+
+    #[test]
+    fn large_batches_need_deeper_buffers() {
+        let b = DmaBuffer::from_mb(0.5);
+        let small_batch = buffer_loss(0.95e6, 1.0e6, b, 1518, 1.0, 8);
+        let big_batch = buffer_loss(0.95e6, 1.0e6, b, 1518, 1.0, 300);
+        assert!(big_batch > small_batch);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let b = DmaBuffer::from_mb(1.0);
+        assert_eq!(buffer_loss(0.0, 1e6, b, 64, 1.0, 32), 0.0);
+        assert_eq!(buffer_loss(1e6, 0.0, b, 64, 1.0, 32), 1.0);
+    }
+
+    #[test]
+    fn overload_loses_at_least_excess_fraction() {
+        // Sustained rho = 2 must lose ~half regardless of buffer depth.
+        let l = buffer_loss(2e6, 1e6, DmaBuffer::from_mb(40.0), 64, 1.0, 32);
+        assert!((l - 0.5).abs() < 0.01, "loss {l}");
+    }
+}

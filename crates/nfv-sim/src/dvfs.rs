@@ -1,0 +1,236 @@
+//! Dynamic voltage/frequency scaling (cpufrequtils substitute).
+//!
+//! Models the Xeon E5-2620 v4 ladder (1.2–2.1 GHz in 0.1 GHz steps) and the
+//! Linux cpufreq governors the paper discusses: `performance`, `powersave`,
+//! `userspace` (the one GreenNFV uses for direct control), `ondemand`, and
+//! `conservative`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SimError, SimResult};
+
+/// Lowest frequency on the testbed ladder, in GHz.
+pub const FREQ_MIN_GHZ: f64 = 1.2;
+/// Highest frequency on the testbed ladder, in GHz.
+pub const FREQ_MAX_GHZ: f64 = 2.1;
+/// Ladder step, in GHz.
+pub const FREQ_STEP_GHZ: f64 = 0.1;
+
+/// Linux cpufreq governor behaviours.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Governor {
+    /// Pin to maximum frequency (the paper's baseline).
+    Performance,
+    /// Pin to minimum frequency.
+    Powersave,
+    /// Frequency set explicitly from userspace (GreenNFV's mode).
+    Userspace,
+    /// Jump to max when utilization exceeds a threshold, else scale down hard.
+    OnDemand,
+    /// Step up/down one ladder notch based on utilization thresholds.
+    Conservative,
+}
+
+/// Per-core DVFS controller.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FreqScaler {
+    governor: Governor,
+    current_ghz: f64,
+    ladder: Vec<f64>,
+}
+
+impl Default for FreqScaler {
+    fn default() -> Self {
+        Self::new(Governor::Performance)
+    }
+}
+
+impl FreqScaler {
+    /// Creates a scaler with the testbed ladder under `governor`.
+    pub fn new(governor: Governor) -> Self {
+        let steps = ((FREQ_MAX_GHZ - FREQ_MIN_GHZ) / FREQ_STEP_GHZ).round() as usize + 1;
+        let ladder: Vec<f64> = (0..steps)
+            .map(|i| (FREQ_MIN_GHZ + i as f64 * FREQ_STEP_GHZ) * 10.0)
+            .map(|t| t.round() / 10.0)
+            .collect();
+        let current_ghz = match governor {
+            Governor::Performance => FREQ_MAX_GHZ,
+            Governor::Powersave => FREQ_MIN_GHZ,
+            _ => ladder[ladder.len() / 2],
+        };
+        Self {
+            governor,
+            current_ghz,
+            ladder,
+        }
+    }
+
+    /// Active governor.
+    pub fn governor(&self) -> Governor {
+        self.governor
+    }
+
+    /// Switches governor, snapping frequency to the governor's policy.
+    pub fn set_governor(&mut self, g: Governor) {
+        self.governor = g;
+        match g {
+            Governor::Performance => self.current_ghz = FREQ_MAX_GHZ,
+            Governor::Powersave => self.current_ghz = FREQ_MIN_GHZ,
+            _ => {}
+        }
+    }
+
+    /// Current core frequency in GHz.
+    pub fn current_ghz(&self) -> f64 {
+        self.current_ghz
+    }
+
+    /// The discrete ladder.
+    pub fn ladder(&self) -> &[f64] {
+        &self.ladder
+    }
+
+    /// Snaps `ghz` to the nearest ladder entry.
+    pub fn snap(&self, ghz: f64) -> f64 {
+        *self
+            .ladder
+            .iter()
+            .min_by(|a, b| {
+                (*a - ghz)
+                    .abs()
+                    .partial_cmp(&(*b - ghz).abs())
+                    .expect("ladder entries are finite")
+            })
+            .expect("ladder non-empty")
+    }
+
+    /// Userspace-governor direct set. Fails unless the governor is
+    /// `Userspace` and the value is within the ladder range.
+    pub fn set_userspace_ghz(&mut self, ghz: f64) -> SimResult<f64> {
+        if self.governor != Governor::Userspace {
+            return Err(SimError::InvalidKnob {
+                knob: "cpu_freq_ghz",
+                reason: format!("governor {:?} does not allow userspace control", self.governor),
+            });
+        }
+        if !(FREQ_MIN_GHZ - 1e-9..=FREQ_MAX_GHZ + 1e-9).contains(&ghz) {
+            return Err(SimError::FrequencyNotAvailable { requested_ghz: ghz });
+        }
+        self.current_ghz = self.snap(ghz);
+        Ok(self.current_ghz)
+    }
+
+    /// Nearest smaller ladder entry (Algorithm 1, line 10).
+    pub fn step_down(&mut self) -> f64 {
+        let idx = self
+            .ladder
+            .iter()
+            .position(|&f| (f - self.current_ghz).abs() < 1e-9)
+            .unwrap_or(0);
+        self.current_ghz = self.ladder[idx.saturating_sub(1)];
+        self.current_ghz
+    }
+
+    /// Nearest larger ladder entry (Algorithm 1, line 12).
+    pub fn step_up(&mut self) -> f64 {
+        let idx = self
+            .ladder
+            .iter()
+            .position(|&f| (f - self.current_ghz).abs() < 1e-9)
+            .unwrap_or(self.ladder.len() - 1);
+        self.current_ghz = self.ladder[(idx + 1).min(self.ladder.len() - 1)];
+        self.current_ghz
+    }
+
+    /// Advances governor-driven scaling given the last window's utilization.
+    /// No-op for `Performance`, `Powersave`, and `Userspace`.
+    pub fn on_utilization(&mut self, util: f64) {
+        match self.governor {
+            Governor::OnDemand => {
+                if util > 0.80 {
+                    self.current_ghz = FREQ_MAX_GHZ;
+                } else {
+                    // Scale proportionally down, snapping to the ladder.
+                    let target = FREQ_MIN_GHZ + util * (FREQ_MAX_GHZ - FREQ_MIN_GHZ);
+                    self.current_ghz = self.snap(target);
+                }
+            }
+            Governor::Conservative => {
+                if util > 0.75 {
+                    self.step_up();
+                } else if util < 0.35 {
+                    self.step_down();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ladder_spans_testbed_range() {
+        let s = FreqScaler::new(Governor::Userspace);
+        assert_eq!(s.ladder().len(), 10);
+        assert!((s.ladder()[0] - 1.2).abs() < 1e-9);
+        assert!((s.ladder()[9] - 2.1).abs() < 1e-9);
+    }
+
+    #[test]
+    fn governor_policies_pin_frequency() {
+        assert!((FreqScaler::new(Governor::Performance).current_ghz() - 2.1).abs() < 1e-9);
+        assert!((FreqScaler::new(Governor::Powersave).current_ghz() - 1.2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn userspace_set_snaps_and_validates() {
+        let mut s = FreqScaler::new(Governor::Userspace);
+        assert!((s.set_userspace_ghz(1.57).unwrap() - 1.6).abs() < 1e-9);
+        assert!(s.set_userspace_ghz(3.0).is_err());
+        let mut perf = FreqScaler::new(Governor::Performance);
+        assert!(perf.set_userspace_ghz(1.5).is_err());
+    }
+
+    #[test]
+    fn step_up_down_saturate_at_ladder_ends() {
+        let mut s = FreqScaler::new(Governor::Userspace);
+        s.set_userspace_ghz(1.2).unwrap();
+        assert!((s.step_down() - 1.2).abs() < 1e-9);
+        s.set_userspace_ghz(2.1).unwrap();
+        assert!((s.step_up() - 2.1).abs() < 1e-9);
+        s.set_userspace_ghz(1.5).unwrap();
+        assert!((s.step_up() - 1.6).abs() < 1e-9);
+        assert!((s.step_down() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ondemand_jumps_to_max_under_load() {
+        let mut s = FreqScaler::new(Governor::OnDemand);
+        s.on_utilization(0.95);
+        assert!((s.current_ghz() - FREQ_MAX_GHZ).abs() < 1e-9);
+        s.on_utilization(0.10);
+        assert!(s.current_ghz() < 1.4);
+    }
+
+    #[test]
+    fn conservative_steps_one_notch() {
+        let mut s = FreqScaler::new(Governor::Conservative);
+        let before = s.current_ghz();
+        s.on_utilization(0.9);
+        assert!((s.current_ghz() - before - 0.1).abs() < 1e-9);
+        s.on_utilization(0.1);
+        s.on_utilization(0.1);
+        assert!(s.current_ghz() < before + 0.05);
+    }
+
+    #[test]
+    fn switching_governor_applies_policy() {
+        let mut s = FreqScaler::new(Governor::Userspace);
+        s.set_userspace_ghz(1.5).unwrap();
+        s.set_governor(Governor::Performance);
+        assert!((s.current_ghz() - FREQ_MAX_GHZ).abs() < 1e-9);
+    }
+}

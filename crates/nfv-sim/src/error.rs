@@ -1,0 +1,88 @@
+//! Error types for the NFV simulator.
+
+use std::fmt;
+
+/// Errors produced by the NFV simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimError {
+    /// The mbuf pool has no free buffers left.
+    PoolExhausted {
+        /// Pool capacity in buffers.
+        capacity: usize,
+    },
+    /// A buffer was returned to a pool it does not belong to, or twice.
+    PoolCorruption(String),
+    /// A ring operation failed because the ring was full.
+    RingFull,
+    /// A ring operation failed because the ring was empty.
+    RingEmpty,
+    /// A knob value was outside its legal range.
+    InvalidKnob {
+        /// Knob name (e.g. "cpu_freq_ghz").
+        knob: &'static str,
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+    /// LLC partitioning request could not be satisfied.
+    CacheAllocation(String),
+    /// Chain construction / lookup error.
+    ChainConfig(String),
+    /// Node-level configuration error (core oversubscription, unknown chain, ...).
+    NodeConfig(String),
+    /// Requested frequency is not on the DVFS ladder.
+    FrequencyNotAvailable {
+        /// Requested frequency in GHz.
+        requested_ghz: f64,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PoolExhausted { capacity } => {
+                write!(f, "mbuf pool exhausted (capacity {capacity})")
+            }
+            SimError::PoolCorruption(msg) => write!(f, "mbuf pool corruption: {msg}"),
+            SimError::RingFull => write!(f, "ring full"),
+            SimError::RingEmpty => write!(f, "ring empty"),
+            SimError::InvalidKnob { knob, reason } => {
+                write!(f, "invalid knob `{knob}`: {reason}")
+            }
+            SimError::CacheAllocation(msg) => write!(f, "cache allocation: {msg}"),
+            SimError::ChainConfig(msg) => write!(f, "chain config: {msg}"),
+            SimError::NodeConfig(msg) => write!(f, "node config: {msg}"),
+            SimError::FrequencyNotAvailable { requested_ghz } => {
+                write!(f, "frequency {requested_ghz} GHz not on DVFS ladder")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Convenience result alias used across the simulator.
+pub type SimResult<T> = Result<T, SimError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_human_readable() {
+        let e = SimError::PoolExhausted { capacity: 128 };
+        assert!(e.to_string().contains("128"));
+        let e = SimError::InvalidKnob {
+            knob: "batch_size",
+            reason: "must be >= 1".into(),
+        };
+        assert!(e.to_string().contains("batch_size"));
+        let e = SimError::FrequencyNotAvailable { requested_ghz: 9.9 };
+        assert!(e.to_string().contains("9.9"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(SimError::RingFull, SimError::RingFull);
+        assert_ne!(SimError::RingFull, SimError::RingEmpty);
+    }
+}

@@ -1,0 +1,268 @@
+//! Flow specifications.
+//!
+//! A flow is an offered-load description: rate (packets/s), packet size, and
+//! arrival pattern. The paper's state space tracks per-flow throughput,
+//! energy, and packet arrival rate; the evaluation uses up to five flows per
+//! chain with packet sizes from 64 B to 1518 B.
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::{MAX_PACKET_SIZE, MIN_PACKET_SIZE};
+
+/// Arrival process of a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalPattern {
+    /// Constant bit rate: evenly spaced arrivals (MoonGen's default mode).
+    Cbr,
+    /// Poisson arrivals at the given mean rate.
+    Poisson,
+    /// Markov-modulated on/off process: bursts at `peak_factor` × mean rate
+    /// for `on_fraction` of the time, idle otherwise.
+    MarkovOnOff {
+        /// Multiplier applied to the mean rate while in the ON state.
+        peak_factor: f64,
+        /// Fraction of time spent in the ON state (0, 1].
+        on_fraction: f64,
+    },
+}
+
+/// A single offered flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FlowSpec {
+    /// Dense flow identifier.
+    pub id: u32,
+    /// Mean offered rate in packets per second.
+    pub rate_pps: f64,
+    /// Wire packet size in bytes (64..=1518).
+    pub packet_size: u32,
+    /// Arrival pattern.
+    pub pattern: ArrivalPattern,
+}
+
+impl FlowSpec {
+    /// Constant-bit-rate flow.
+    pub fn cbr(id: u32, rate_pps: f64, packet_size: u32) -> Self {
+        Self {
+            id,
+            rate_pps,
+            packet_size,
+            pattern: ArrivalPattern::Cbr,
+        }
+    }
+
+    /// Poisson flow.
+    pub fn poisson(id: u32, rate_pps: f64, packet_size: u32) -> Self {
+        Self {
+            id,
+            rate_pps,
+            packet_size,
+            pattern: ArrivalPattern::Poisson,
+        }
+    }
+
+    /// Offered load in bits per second.
+    pub fn offered_bps(&self) -> f64 {
+        self.rate_pps * f64::from(self.packet_size) * 8.0
+    }
+
+    /// Offered load in Gbps.
+    pub fn offered_gbps(&self) -> f64 {
+        self.offered_bps() / 1e9
+    }
+
+    /// Validates field ranges.
+    pub fn validate(&self) -> Result<(), String> {
+        if !(MIN_PACKET_SIZE..=MAX_PACKET_SIZE).contains(&self.packet_size) {
+            return Err(format!(
+                "packet_size {} outside {}..={}",
+                self.packet_size, MIN_PACKET_SIZE, MAX_PACKET_SIZE
+            ));
+        }
+        if !self.rate_pps.is_finite() || self.rate_pps < 0.0 {
+            return Err(format!("rate_pps {} must be finite and >= 0", self.rate_pps));
+        }
+        if let ArrivalPattern::MarkovOnOff {
+            peak_factor,
+            on_fraction,
+        } = self.pattern
+        {
+            if peak_factor < 1.0 {
+                return Err("peak_factor must be >= 1".into());
+            }
+            if !(0.0..=1.0).contains(&on_fraction) || on_fraction == 0.0 {
+                return Err("on_fraction must be in (0, 1]".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// The line-rate flow used in the paper's frequency micro-benchmark:
+    /// 1518-byte packets saturating a 10 GbE link.
+    pub fn line_rate_large(id: u32) -> Self {
+        // 10 Gbps / (1518 B * 8) ≈ 823,452 pps
+        Self::cbr(id, 10e9 / (1518.0 * 8.0), 1518)
+    }
+
+    /// The 64-byte small-packet line-rate flow (14.88 Mpps on 10 GbE,
+    /// including the 20 B per-frame overhead).
+    pub fn line_rate_small(id: u32) -> Self {
+        Self::cbr(id, 14.88e6, 64)
+    }
+}
+
+/// A set of flows offered to one service chain.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FlowSet {
+    flows: Vec<FlowSpec>,
+}
+
+impl FlowSet {
+    /// Creates a flow set, validating every flow.
+    pub fn new(flows: Vec<FlowSpec>) -> Result<Self, String> {
+        for f in &flows {
+            f.validate()?;
+        }
+        Ok(Self { flows })
+    }
+
+    /// The flows.
+    pub fn flows(&self) -> &[FlowSpec] {
+        &self.flows
+    }
+
+    /// Number of flows.
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// True when the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// Aggregate mean arrival rate in packets per second.
+    pub fn total_rate_pps(&self) -> f64 {
+        self.flows.iter().map(|f| f.rate_pps).sum()
+    }
+
+    /// Aggregate offered load in Gbps.
+    pub fn total_offered_gbps(&self) -> f64 {
+        self.flows.iter().map(|f| f.offered_gbps()).sum()
+    }
+
+    /// Packet-rate-weighted mean packet size in bytes.
+    pub fn mean_packet_size(&self) -> f64 {
+        let total = self.total_rate_pps();
+        if total <= 0.0 {
+            return f64::from(MIN_PACKET_SIZE);
+        }
+        self.flows
+            .iter()
+            .map(|f| f.rate_pps * f64::from(f.packet_size))
+            .sum::<f64>()
+            / total
+    }
+
+    /// Burstiness factor in [1, ∞): peak-to-mean ratio of the most bursty flow,
+    /// weighted by its rate share. CBR/Poisson contribute 1.
+    pub fn burstiness(&self) -> f64 {
+        let total = self.total_rate_pps();
+        if total <= 0.0 {
+            return 1.0;
+        }
+        self.flows
+            .iter()
+            .map(|f| {
+                let peak = match f.pattern {
+                    ArrivalPattern::Cbr => 1.0,
+                    ArrivalPattern::Poisson => 1.2,
+                    ArrivalPattern::MarkovOnOff { peak_factor, .. } => peak_factor,
+                };
+                peak * f.rate_pps / total
+            })
+            .sum()
+    }
+
+    /// The paper's §5 evaluation workload: five UDP flows with mixed packet
+    /// sizes totalling ≈ 10 Gbps offered on a 10 GbE link.
+    pub fn evaluation_five_flows() -> Self {
+        Self::new(vec![
+            FlowSpec::cbr(0, 2.0e5, 1518),
+            FlowSpec::cbr(1, 2.0e5, 1518),
+            FlowSpec::poisson(2, 1.5e5, 1024),
+            FlowSpec::poisson(3, 1.0e6, 512),
+            FlowSpec::cbr(4, 2.0e6, 64),
+        ])
+        .expect("static flows are valid")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offered_load_math() {
+        let f = FlowSpec::cbr(0, 1e6, 125); // 1 Mpps × 1000 bits
+        assert!((f.offered_gbps() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn line_rate_large_is_ten_gbps() {
+        let f = FlowSpec::line_rate_large(0);
+        assert!((f.offered_gbps() - 10.0).abs() < 1e-6);
+        assert_eq!(f.packet_size, 1518);
+    }
+
+    #[test]
+    fn validation_rejects_bad_sizes_and_rates() {
+        assert!(FlowSpec::cbr(0, 1.0, 32).validate().is_err());
+        assert!(FlowSpec::cbr(0, 1.0, 4000).validate().is_err());
+        assert!(FlowSpec::cbr(0, -1.0, 64).validate().is_err());
+        assert!(FlowSpec::cbr(0, f64::NAN, 64).validate().is_err());
+        let bad = FlowSpec {
+            pattern: ArrivalPattern::MarkovOnOff {
+                peak_factor: 0.5,
+                on_fraction: 0.5,
+            },
+            ..FlowSpec::cbr(0, 1.0, 64)
+        };
+        assert!(bad.validate().is_err());
+    }
+
+    #[test]
+    fn flowset_aggregates() {
+        let s = FlowSet::new(vec![
+            FlowSpec::cbr(0, 1e6, 64),
+            FlowSpec::cbr(1, 1e6, 1518),
+        ])
+        .unwrap();
+        assert_eq!(s.len(), 2);
+        assert!((s.total_rate_pps() - 2e6).abs() < 1.0);
+        assert!((s.mean_packet_size() - 791.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn burstiness_reflects_onoff_flows() {
+        let calm = FlowSet::new(vec![FlowSpec::cbr(0, 1e6, 64)]).unwrap();
+        assert!((calm.burstiness() - 1.0).abs() < 1e-9);
+        let bursty = FlowSet::new(vec![FlowSpec {
+            pattern: ArrivalPattern::MarkovOnOff {
+                peak_factor: 4.0,
+                on_fraction: 0.25,
+            },
+            ..FlowSpec::cbr(0, 1e6, 64)
+        }])
+        .unwrap();
+        assert!(bursty.burstiness() > 3.9);
+    }
+
+    #[test]
+    fn evaluation_workload_is_near_line_rate() {
+        let s = FlowSet::evaluation_five_flows();
+        assert_eq!(s.len(), 5);
+        let g = s.total_offered_gbps();
+        // Slightly above 10 GbE line rate: the NIC clamp in the engine caps it.
+        assert!(g > 9.0 && g < 12.0, "offered {g} Gbps");
+    }
+}

@@ -1,0 +1,72 @@
+//! # nfv-sim — NFV platform substrate for the GreenNFV reproduction
+//!
+//! A from-scratch simulator of the OpenNetVM/DPDK environment the GreenNFV
+//! paper (SC 2023) evaluates on: packets and mbuf pools, lock-free SPSC rings,
+//! six concrete VNFs composed into service chains, a MoonGen-style traffic
+//! generator, an Intel-CAT-partitioned LLC with DDIO, a DVFS ladder with
+//! Linux-governor semantics, an M/M/1/K DMA/RX-buffer loss model, and the
+//! nonlinear server power model of Fan et al. (the paper's Eq. 4) with a
+//! simulated power meter and calibration.
+//!
+//! The [`engine`] module converts knob settings + offered load into the
+//! throughput/energy/miss-rate surfaces the paper measures in §3; [`node`]
+//! and [`cluster`] wrap it into the testbed the controllers in the
+//! `greennfv` crate drive.
+//!
+//! ```
+//! use nfv_sim::prelude::*;
+//!
+//! let mut node = Node::default_greennfv(0);
+//! node.add_chain(
+//!     ChainSpec::canonical_three(ChainId(0)),
+//!     FlowSet::evaluation_five_flows(),
+//!     KnobSettings::default_tuned(),
+//!     42,
+//! ).unwrap();
+//! let report = node.run_epoch();
+//! assert!(report.node.total_throughput_gbps() > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod chain;
+pub mod cluster;
+pub mod cpu;
+pub mod dma;
+pub mod dvfs;
+pub mod engine;
+pub mod error;
+pub mod flow;
+pub mod mbuf;
+pub mod nf;
+pub mod node;
+pub mod packet;
+pub mod power;
+pub mod ring;
+pub mod runtime;
+pub mod stats;
+pub mod traffic;
+
+/// Common imports for simulator users.
+pub mod prelude {
+    pub use crate::cache::{CatLlc, ClosId, MissModel, DDIO_FRACTION, LLC_BYTES, LLC_WAYS};
+    pub use crate::chain::{ChainCost, ChainSpec, ServiceChain};
+    pub use crate::cluster::{Cluster, ClusterEpochReport};
+    pub use crate::cpu::{ChainId, CoreAllocator, CpuAllocation};
+    pub use crate::dma::{DmaBuffer, DMA_MAX_BYTES, DMA_MIN_BYTES};
+    pub use crate::dvfs::{FreqScaler, Governor, FREQ_MAX_GHZ, FREQ_MIN_GHZ, FREQ_STEP_GHZ};
+    pub use crate::engine::{
+        evaluate_chain, evaluate_node, llc_partition_bytes, ChainEpochResult, ChainLoad,
+        KnobSettings, NodeEpochResult, PlatformPolicy, PollMode, SimTuning, BATCH_MAX, BATCH_MIN,
+    };
+    pub use crate::error::{SimError, SimResult};
+    pub use crate::flow::{ArrivalPattern, FlowSet, FlowSpec};
+    pub use crate::nf::{NetworkFunction, NfCost, NfKind};
+    pub use crate::node::{Node, NodeEpochReport};
+    pub use crate::packet::{FiveTuple, Packet, PacketBatch, Protocol};
+    pub use crate::power::{calibrate_h, PowerMeter, PowerModel};
+    pub use crate::runtime::{run_functional, FunctionalStats, RuntimeConfig};
+    pub use crate::stats::{ChainTelemetry, EpochHistory, Ewma, Summary};
+    pub use crate::traffic::{TrafficGen, WindowArrivals};
+}

@@ -1,0 +1,680 @@
+//! Virtual network functions (VNFs).
+//!
+//! Each NF is both *functional* (it transforms packet batches, so behaviour
+//! can be unit-tested) and *costed* (it exposes a [`NfCost`] that the epoch
+//! engine uses to compute cycles-per-packet, memory references, and cache
+//! working-set; see `engine.rs`). The cost parameters follow the paper's
+//! taxonomy: lightweight NFs (NAT, firewall) versus heavyweight ones
+//! (IDS/Evolved-Packet-Core-like), CPU-bound versus memory-bound.
+
+use std::collections::HashMap;
+
+use crate::packet::{FiveTuple, Packet, PacketBatch};
+
+/// Cost model of a network function, consumed by the epoch engine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NfCost {
+    /// Fixed CPU cycles spent per packet regardless of size.
+    pub base_cycles_per_packet: f64,
+    /// Extra CPU cycles per payload byte (e.g. encryption, DPI scanning).
+    pub cycles_per_byte: f64,
+    /// Memory references (cache accesses) issued per packet.
+    pub mem_refs_per_packet: f64,
+    /// Resident state in bytes (rule tables, flow tables, LPM tries) that
+    /// competes for LLC with packet data.
+    pub state_bytes: u64,
+}
+
+impl NfCost {
+    /// Cycles of pure compute for a packet of `size` bytes.
+    pub fn compute_cycles(&self, size: u32) -> f64 {
+        self.base_cycles_per_packet + self.cycles_per_byte * f64::from(size)
+    }
+}
+
+/// Identity of a concrete NF type, used in chain specs and reports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum NfKind {
+    /// Stateless rule-matching firewall.
+    Firewall,
+    /// Network address translator (per-flow state).
+    Nat,
+    /// Deep-packet-inspection intrusion detection (byte scanning).
+    Ids,
+    /// Longest-prefix-match IP router.
+    Router,
+    /// Payload encryptor (AES-like per-byte cost).
+    Encryptor,
+    /// Passive flow monitor / counter.
+    Monitor,
+}
+
+impl NfKind {
+    /// All kinds, in a stable order.
+    pub const ALL: [NfKind; 6] = [
+        NfKind::Firewall,
+        NfKind::Nat,
+        NfKind::Ids,
+        NfKind::Router,
+        NfKind::Encryptor,
+        NfKind::Monitor,
+    ];
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            NfKind::Firewall => "firewall",
+            NfKind::Nat => "nat",
+            NfKind::Ids => "ids",
+            NfKind::Router => "router",
+            NfKind::Encryptor => "encryptor",
+            NfKind::Monitor => "monitor",
+        }
+    }
+
+    /// Builds a default-configured instance of this NF kind.
+    pub fn build(&self) -> Box<dyn NetworkFunction> {
+        match self {
+            NfKind::Firewall => Box::new(Firewall::default_rules()),
+            NfKind::Nat => Box::new(Nat::new(0x0a00_0001)),
+            NfKind::Ids => Box::new(Ids::default_signatures()),
+            NfKind::Router => Box::new(Router::default_table()),
+            NfKind::Encryptor => Box::new(Encryptor::new()),
+            NfKind::Monitor => Box::new(Monitor::new()),
+        }
+    }
+}
+
+/// A virtual network function: processes packet batches in place and exposes
+/// its cost model to the epoch engine.
+pub trait NetworkFunction: Send {
+    /// Which concrete NF this is.
+    fn kind(&self) -> NfKind;
+    /// Cost model used by the analytic engine.
+    fn cost(&self) -> NfCost;
+    /// Processes a batch in place; returns the number of packets dropped.
+    fn process(&mut self, batch: &mut PacketBatch) -> usize;
+    /// Resets any per-run mutable state.
+    fn reset(&mut self);
+}
+
+// ---------------------------------------------------------------------------
+// Firewall
+// ---------------------------------------------------------------------------
+
+/// Action a firewall rule takes on match.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FwAction {
+    /// Let the packet through.
+    Accept,
+    /// Drop the packet.
+    Drop,
+}
+
+/// A single firewall rule matching on destination port range and IP prefix.
+#[derive(Debug, Clone)]
+pub struct FwRule {
+    /// Destination-IP prefix value.
+    pub dst_prefix: u32,
+    /// Destination-IP prefix length (0..=32).
+    pub prefix_len: u8,
+    /// Inclusive destination-port range.
+    pub dst_ports: (u16, u16),
+    /// Action on match.
+    pub action: FwAction,
+}
+
+impl FwRule {
+    fn matches(&self, t: &FiveTuple) -> bool {
+        let mask = if self.prefix_len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(self.prefix_len))
+        };
+        (t.dst_ip & mask) == (self.dst_prefix & mask)
+            && (self.dst_ports.0..=self.dst_ports.1).contains(&t.dst_port)
+    }
+}
+
+/// First-match-wins rule-list firewall; default action is accept.
+#[derive(Debug)]
+pub struct Firewall {
+    rules: Vec<FwRule>,
+    dropped: u64,
+}
+
+impl Firewall {
+    /// Creates a firewall with an explicit rule list.
+    pub fn new(rules: Vec<FwRule>) -> Self {
+        Self { rules, dropped: 0 }
+    }
+
+    /// A representative 64-rule list: blocks one /16 and a port band.
+    pub fn default_rules() -> Self {
+        let mut rules = Vec::with_capacity(64);
+        rules.push(FwRule {
+            dst_prefix: 0xc0a8_0000, // 192.168.0.0/16
+            prefix_len: 16,
+            dst_ports: (0, u16::MAX),
+            action: FwAction::Drop,
+        });
+        rules.push(FwRule {
+            dst_prefix: 0,
+            prefix_len: 0,
+            dst_ports: (6000, 6063),
+            action: FwAction::Drop,
+        });
+        // Filler accept rules emulating a realistic ruleset size (state bytes).
+        for i in 0..62u32 {
+            rules.push(FwRule {
+                dst_prefix: 0x0b00_0000 + (i << 8),
+                prefix_len: 24,
+                dst_ports: (80, 80),
+                action: FwAction::Accept,
+            });
+        }
+        Self::new(rules)
+    }
+
+    /// Total packets dropped so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+}
+
+impl NetworkFunction for Firewall {
+    fn kind(&self) -> NfKind {
+        NfKind::Firewall
+    }
+
+    fn cost(&self) -> NfCost {
+        NfCost {
+            base_cycles_per_packet: 180.0,
+            cycles_per_byte: 0.0,
+            mem_refs_per_packet: 6.0,
+            state_bytes: (self.rules.len() * 24) as u64,
+        }
+    }
+
+    fn process(&mut self, batch: &mut PacketBatch) -> usize {
+        let rules = &self.rules;
+        let dropped = batch.retain(|p| {
+            for r in rules {
+                if r.matches(&p.tuple) {
+                    return r.action == FwAction::Accept;
+                }
+            }
+            true
+        });
+        self.dropped += dropped as u64;
+        dropped
+    }
+
+    fn reset(&mut self) {
+        self.dropped = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// NAT
+// ---------------------------------------------------------------------------
+
+/// Source NAT: rewrites the source IP/port of outbound packets, keeping a
+/// per-flow translation table (the paper's canonical "lightweight stateful" NF).
+#[derive(Debug)]
+pub struct Nat {
+    public_ip: u32,
+    next_port: u16,
+    table: HashMap<FiveTuple, u16>,
+}
+
+impl Nat {
+    /// Creates a NAT advertising `public_ip`.
+    pub fn new(public_ip: u32) -> Self {
+        Self {
+            public_ip,
+            next_port: 20_000,
+            table: HashMap::new(),
+        }
+    }
+
+    /// Number of active translations.
+    pub fn table_len(&self) -> usize {
+        self.table.len()
+    }
+}
+
+impl NetworkFunction for Nat {
+    fn kind(&self) -> NfKind {
+        NfKind::Nat
+    }
+
+    fn cost(&self) -> NfCost {
+        NfCost {
+            base_cycles_per_packet: 220.0,
+            cycles_per_byte: 0.0,
+            mem_refs_per_packet: 10.0,
+            state_bytes: (self.table.len().max(1024) * 32) as u64,
+        }
+    }
+
+    fn process(&mut self, batch: &mut PacketBatch) -> usize {
+        for p in batch.packets_mut() {
+            let port = *self.table.entry(p.tuple).or_insert_with(|| {
+                let port = self.next_port;
+                self.next_port = self.next_port.wrapping_add(1).max(20_000);
+                port
+            });
+            p.tuple.src_ip = self.public_ip;
+            p.tuple.src_port = port;
+            p.mark |= 0x1; // translated
+        }
+        0
+    }
+
+    fn reset(&mut self) {
+        self.table.clear();
+        self.next_port = 20_000;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// IDS
+// ---------------------------------------------------------------------------
+
+/// Signature-scanning IDS. Scanning cost is proportional to payload bytes,
+/// making this the memory/CPU-heavy NF of the default chain.
+#[derive(Debug)]
+pub struct Ids {
+    signatures: Vec<u32>,
+    alerts: u64,
+}
+
+impl Ids {
+    /// Creates an IDS with explicit signature hashes (sorted internally for
+    /// the binary-search match path).
+    pub fn new(mut signatures: Vec<u32>) -> Self {
+        signatures.sort_unstable();
+        Self {
+            signatures,
+            alerts: 0,
+        }
+    }
+
+    /// A 2048-signature database (Snort-community-scale working set).
+    pub fn default_signatures() -> Self {
+        Self::new((0..2048u32).map(|i| i.wrapping_mul(2654435761)).collect())
+    }
+
+    /// Alerts raised so far.
+    pub fn alerts(&self) -> u64 {
+        self.alerts
+    }
+
+    /// Cheap deterministic packet fingerprint standing in for payload content.
+    fn fingerprint(p: &Packet) -> u32 {
+        p.tuple
+            .src_ip
+            .wrapping_mul(2654435761)
+            .wrapping_add(p.tuple.src_port as u32)
+            .wrapping_add(p.size)
+    }
+}
+
+impl NetworkFunction for Ids {
+    fn kind(&self) -> NfKind {
+        NfKind::Ids
+    }
+
+    fn cost(&self) -> NfCost {
+        NfCost {
+            base_cycles_per_packet: 400.0,
+            cycles_per_byte: 1.0,
+            mem_refs_per_packet: 24.0,
+            state_bytes: (self.signatures.len() * 64) as u64,
+        }
+    }
+
+    fn process(&mut self, batch: &mut PacketBatch) -> usize {
+        for p in batch.packets_mut() {
+            let fp = Self::fingerprint(p);
+            // Simulated Aho-Corasick hit check against the signature table.
+            if self.signatures.binary_search(&fp).is_ok() {
+                self.alerts += 1;
+                p.mark |= 0x2; // flagged
+            }
+        }
+        0
+    }
+
+    fn reset(&mut self) {
+        self.alerts = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Router
+// ---------------------------------------------------------------------------
+
+/// Longest-prefix-match router with a flat prefix table and TTL handling.
+#[derive(Debug)]
+pub struct Router {
+    /// (prefix, prefix_len, next_hop) sorted by descending prefix length.
+    table: Vec<(u32, u8, u32)>,
+    ttl_drops: u64,
+}
+
+impl Router {
+    /// Creates a router from an explicit route table.
+    pub fn new(mut table: Vec<(u32, u8, u32)>) -> Self {
+        table.sort_by_key(|e| std::cmp::Reverse(e.1));
+        Self {
+            table,
+            ttl_drops: 0,
+        }
+    }
+
+    /// A 1024-route table plus default route.
+    pub fn default_table() -> Self {
+        let mut t: Vec<(u32, u8, u32)> = (0..1024u32)
+            .map(|i| (0x0a00_0000 | (i << 12), 20, i % 8))
+            .collect();
+        t.push((0, 0, 0)); // default route
+        Self::new(t)
+    }
+
+    /// Longest-prefix-match lookup.
+    pub fn lookup(&self, ip: u32) -> Option<u32> {
+        for &(prefix, len, hop) in &self.table {
+            let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+            if (ip & mask) == (prefix & mask) {
+                return Some(hop);
+            }
+        }
+        None
+    }
+
+    /// Packets dropped due to TTL expiry.
+    pub fn ttl_drops(&self) -> u64 {
+        self.ttl_drops
+    }
+}
+
+impl NetworkFunction for Router {
+    fn kind(&self) -> NfKind {
+        NfKind::Router
+    }
+
+    fn cost(&self) -> NfCost {
+        NfCost {
+            base_cycles_per_packet: 250.0,
+            cycles_per_byte: 0.0,
+            mem_refs_per_packet: 14.0,
+            state_bytes: (self.table.len() * 16) as u64,
+        }
+    }
+
+    fn process(&mut self, batch: &mut PacketBatch) -> usize {
+        let mut expired = 0usize;
+        for p in batch.packets_mut() {
+            if p.ttl <= 1 {
+                expired += 1;
+            } else {
+                p.ttl -= 1;
+                if let Some(hop) = self.lookup(p.tuple.dst_ip) {
+                    p.mark = (p.mark & 0xffff) | (hop << 16);
+                }
+            }
+        }
+        let dropped = batch.retain(|p| p.ttl > 1 || p.mark & 0x8000_0000 != 0);
+        debug_assert_eq!(dropped, expired);
+        self.ttl_drops += dropped as u64;
+        dropped
+    }
+
+    fn reset(&mut self) {
+        self.ttl_drops = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Encryptor
+// ---------------------------------------------------------------------------
+
+/// Payload encryptor: pure per-byte CPU cost (AES-CBC-like), tiny state.
+#[derive(Debug)]
+pub struct Encryptor {
+    key: u64,
+    bytes_done: u64,
+}
+
+impl Encryptor {
+    /// Creates an encryptor with a fixed demo key.
+    pub fn new() -> Self {
+        Self {
+            key: 0x5deece66d,
+            bytes_done: 0,
+        }
+    }
+
+    /// Total payload bytes encrypted so far.
+    pub fn bytes_done(&self) -> u64 {
+        self.bytes_done
+    }
+}
+
+impl Default for Encryptor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl NetworkFunction for Encryptor {
+    fn kind(&self) -> NfKind {
+        NfKind::Encryptor
+    }
+
+    fn cost(&self) -> NfCost {
+        NfCost {
+            base_cycles_per_packet: 300.0,
+            cycles_per_byte: 4.5,
+            mem_refs_per_packet: 8.0,
+            state_bytes: 4096,
+        }
+    }
+
+    fn process(&mut self, batch: &mut PacketBatch) -> usize {
+        for p in batch.packets_mut() {
+            self.bytes_done += u64::from(p.payload_len());
+            // Stand-in for the ciphertext: mix the key into the mark.
+            p.mark ^= (self.key as u32).rotate_left((p.size % 31) + 1);
+        }
+        0
+    }
+
+    fn reset(&mut self) {
+        self.bytes_done = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Monitor
+// ---------------------------------------------------------------------------
+
+/// Passive per-flow byte/packet counter (the lightest NF).
+#[derive(Debug, Default)]
+pub struct Monitor {
+    per_flow: HashMap<u32, (u64, u64)>,
+}
+
+impl Monitor {
+    /// Creates an empty monitor.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// (packets, bytes) observed for `flow_id`.
+    pub fn flow_stats(&self, flow_id: u32) -> Option<(u64, u64)> {
+        self.per_flow.get(&flow_id).copied()
+    }
+
+    /// Number of distinct flows observed.
+    pub fn flows_seen(&self) -> usize {
+        self.per_flow.len()
+    }
+}
+
+impl NetworkFunction for Monitor {
+    fn kind(&self) -> NfKind {
+        NfKind::Monitor
+    }
+
+    fn cost(&self) -> NfCost {
+        NfCost {
+            base_cycles_per_packet: 120.0,
+            cycles_per_byte: 0.0,
+            mem_refs_per_packet: 4.0,
+            state_bytes: (self.per_flow.len().max(256) * 24) as u64,
+        }
+    }
+
+    fn process(&mut self, batch: &mut PacketBatch) -> usize {
+        for p in batch.packets() {
+            let e = self.per_flow.entry(p.flow_id).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += u64::from(p.size);
+        }
+        0
+    }
+
+    fn reset(&mut self) {
+        self.per_flow.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::FiveTuple;
+
+    fn batch_of(tuples: &[(u32, u16)]) -> PacketBatch {
+        let mut b = PacketBatch::with_capacity(tuples.len());
+        for (i, &(dst_ip, dst_port)) in tuples.iter().enumerate() {
+            b.push(Packet::new(
+                FiveTuple::udp(0x0a00_0001 + i as u32, dst_ip, 4000, dst_port),
+                128,
+                i as u32,
+                0,
+            ));
+        }
+        b
+    }
+
+    #[test]
+    fn firewall_drops_blocked_prefix_and_ports() {
+        let mut fw = Firewall::default_rules();
+        let mut b = batch_of(&[
+            (0xc0a8_0a0a, 80),   // 192.168.10.10 → blocked /16
+            (0x0808_0808, 6001), // blocked port band
+            (0x0808_0808, 80),   // allowed
+        ]);
+        let dropped = fw.process(&mut b);
+        assert_eq!(dropped, 2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(fw.dropped(), 2);
+        fw.reset();
+        assert_eq!(fw.dropped(), 0);
+    }
+
+    #[test]
+    fn nat_translates_and_reuses_mapping() {
+        let mut nat = Nat::new(0xdead_beef);
+        let mut b = batch_of(&[(1, 80), (1, 80)]);
+        // Same flow twice (different src in batch_of, so force identical tuples):
+        let t = FiveTuple::udp(7, 8, 9, 10);
+        b.packets_mut()[0].tuple = t;
+        b.packets_mut()[1].tuple = t;
+        nat.process(&mut b);
+        assert_eq!(nat.table_len(), 1);
+        let p0 = &b.packets()[0];
+        let p1 = &b.packets()[1];
+        assert_eq!(p0.tuple.src_ip, 0xdead_beef);
+        assert_eq!(p0.tuple.src_port, p1.tuple.src_port);
+        assert_eq!(p0.mark & 0x1, 1);
+    }
+
+    #[test]
+    fn nat_distinct_flows_get_distinct_ports() {
+        let mut nat = Nat::new(1);
+        let mut b = batch_of(&[(1, 80), (2, 81)]);
+        nat.process(&mut b);
+        assert_eq!(nat.table_len(), 2);
+        assert_ne!(b.packets()[0].tuple.src_port, b.packets()[1].tuple.src_port);
+    }
+
+    #[test]
+    fn router_decrements_ttl_and_drops_expired() {
+        let mut r = Router::default_table();
+        let mut b = batch_of(&[(0x0a00_0123, 80), (0x0a00_1234, 80)]);
+        b.packets_mut()[0].ttl = 1; // will expire
+        let dropped = r.process(&mut b);
+        assert_eq!(dropped, 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.packets()[0].ttl, 63);
+        assert_eq!(r.ttl_drops(), 1);
+    }
+
+    #[test]
+    fn router_lpm_prefers_longest_prefix() {
+        let r = Router::new(vec![(0x0a000000, 8, 1), (0x0a0a0000, 16, 2), (0, 0, 9)]);
+        assert_eq!(r.lookup(0x0a0a_0101), Some(2));
+        assert_eq!(r.lookup(0x0a01_0101), Some(1));
+        assert_eq!(r.lookup(0x0b01_0101), Some(9));
+    }
+
+    #[test]
+    fn encryptor_touches_every_payload_byte() {
+        let mut e = Encryptor::new();
+        let mut b = batch_of(&[(1, 80), (2, 80)]);
+        let before: Vec<u32> = b.packets().iter().map(|p| p.mark).collect();
+        e.process(&mut b);
+        assert_eq!(e.bytes_done(), 2 * (128 - 42));
+        for (p, before) in b.packets().iter().zip(before) {
+            assert_ne!(p.mark, before);
+        }
+    }
+
+    #[test]
+    fn monitor_counts_per_flow() {
+        let mut m = Monitor::new();
+        let mut b = batch_of(&[(1, 80), (2, 80), (3, 80)]);
+        b.packets_mut()[2].flow_id = 0; // two packets in flow 0
+        m.process(&mut b);
+        assert_eq!(m.flows_seen(), 2);
+        assert_eq!(m.flow_stats(0), Some((2, 256)));
+        assert_eq!(m.flow_stats(1), Some((1, 128)));
+    }
+
+    #[test]
+    fn all_kinds_build_and_report_costs() {
+        for kind in NfKind::ALL {
+            let nf = kind.build();
+            assert_eq!(nf.kind(), kind);
+            let c = nf.cost();
+            assert!(c.base_cycles_per_packet > 0.0, "{}", kind.name());
+            assert!(c.mem_refs_per_packet > 0.0);
+            assert!(c.state_bytes > 0);
+            assert!(c.compute_cycles(1518) >= c.compute_cycles(64));
+        }
+    }
+
+    #[test]
+    fn heavyweight_nfs_cost_more_than_lightweight() {
+        let ids = NfKind::Ids.build().cost().compute_cycles(1518);
+        let enc = NfKind::Encryptor.build().cost().compute_cycles(1518);
+        let mon = NfKind::Monitor.build().cost().compute_cycles(1518);
+        let fw = NfKind::Firewall.build().cost().compute_cycles(1518);
+        assert!(ids > fw);
+        assert!(enc > mon);
+    }
+}

@@ -1,0 +1,398 @@
+//! A simulated NFV node: cores + LLC + chains + traffic + power.
+//!
+//! `Node` is the façade the GreenNFV controllers drive: install chains, set
+//! knobs (validated against core capacity and CAT way availability), then run
+//! control epochs and read back telemetry.
+
+use serde::{Deserialize, Serialize};
+
+use crate::cache::{CatLlc, ClosId, LLC_WAYS};
+use crate::chain::{ChainSpec, ServiceChain};
+use crate::cpu::{ChainId, CoreAllocator};
+use crate::engine::{
+    evaluate_node, ChainLoad, KnobSettings, NodeEpochResult, PlatformPolicy, SimTuning,
+};
+use crate::error::{SimError, SimResult};
+use crate::flow::FlowSet;
+use crate::power::PowerModel;
+use crate::stats::ChainTelemetry;
+use crate::traffic::TrafficGen;
+
+/// CLOS id reserved for DDIO (2 of 20 ways = 10%).
+const DDIO_CLOS: ClosId = ClosId(u32::MAX);
+
+/// One chain hosted on a node.
+struct HostedChain {
+    chain: ServiceChain,
+    knobs: KnobSettings,
+    traffic: TrafficGen,
+}
+
+/// Result of one node epoch: engine outputs plus per-chain telemetry with
+/// attributed energy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeEpochReport {
+    /// Raw engine result.
+    pub node: NodeEpochResult,
+    /// Per-chain telemetry (paper Eq. 8 state), in chain insertion order.
+    pub telemetry: Vec<ChainTelemetry>,
+}
+
+/// A simulated NFV server.
+pub struct Node {
+    id: u32,
+    tuning: SimTuning,
+    power: PowerModel,
+    policy: PlatformPolicy,
+    cores: CoreAllocator,
+    llc: CatLlc,
+    chains: Vec<HostedChain>,
+    epochs_run: u64,
+}
+
+impl Node {
+    /// Creates a node with the given platform policy and model parameters.
+    pub fn new(id: u32, tuning: SimTuning, power: PowerModel, policy: PlatformPolicy) -> Self {
+        let mut llc = CatLlc::new(LLC_WAYS);
+        // Reserve the DDIO share (10% = 2 ways) permanently.
+        llc.set_allocation(DDIO_CLOS, 2)
+            .expect("fresh LLC has free ways");
+        Self {
+            id,
+            cores: CoreAllocator::new(tuning.total_cores, tuning.manager_cores),
+            tuning,
+            power,
+            policy,
+            llc,
+            chains: Vec::new(),
+            epochs_run: 0,
+        }
+    }
+
+    /// Node with all defaults under the GreenNFV platform policy.
+    pub fn default_greennfv(id: u32) -> Self {
+        Self::new(
+            id,
+            SimTuning::default(),
+            PowerModel::default(),
+            PlatformPolicy::greennfv(),
+        )
+    }
+
+    /// Node with all defaults under the baseline platform policy.
+    pub fn default_baseline(id: u32) -> Self {
+        Self::new(
+            id,
+            SimTuning::default(),
+            PowerModel::default(),
+            PlatformPolicy::baseline(),
+        )
+    }
+
+    /// Node id.
+    pub fn id(&self) -> u32 {
+        self.id
+    }
+
+    /// Platform policy in force.
+    pub fn policy(&self) -> PlatformPolicy {
+        self.policy
+    }
+
+    /// Replaces the platform policy (used when switching controller types).
+    pub fn set_policy(&mut self, policy: PlatformPolicy) {
+        self.policy = policy;
+    }
+
+    /// Model tuning constants.
+    pub fn tuning(&self) -> &SimTuning {
+        &self.tuning
+    }
+
+    /// Power model.
+    pub fn power_model(&self) -> &PowerModel {
+        &self.power
+    }
+
+    /// Number of hosted chains.
+    pub fn chain_count(&self) -> usize {
+        self.chains.len()
+    }
+
+    /// Epochs executed so far.
+    pub fn epochs_run(&self) -> u64 {
+        self.epochs_run
+    }
+
+    /// Installs a chain with its offered flows and initial knobs.
+    pub fn add_chain(
+        &mut self,
+        spec: ChainSpec,
+        flows: FlowSet,
+        knobs: KnobSettings,
+        seed: u64,
+    ) -> SimResult<()> {
+        if self.chains.iter().any(|h| h.chain.id() == spec.id) {
+            return Err(SimError::NodeConfig(format!(
+                "chain {:?} already hosted",
+                spec.id
+            )));
+        }
+        let id = spec.id;
+        let chain = ServiceChain::build(spec);
+        self.chains.push(HostedChain {
+            chain,
+            knobs: KnobSettings::baseline(),
+            traffic: TrafficGen::new(flows, seed),
+        });
+        // Apply knobs through the validated path; roll back on failure.
+        if let Err(e) = self.set_knobs(id, knobs) {
+            self.chains.pop();
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Applies new knob settings to a chain, enforcing node-level capacity:
+    /// total cores and total CAT ways must fit.
+    pub fn set_knobs(&mut self, chain: ChainId, knobs: KnobSettings) -> SimResult<()> {
+        knobs.validate()?;
+        let idx = self
+            .chains
+            .iter()
+            .position(|h| h.chain.id() == chain)
+            .ok_or_else(|| SimError::NodeConfig(format!("unknown chain {chain:?}")))?;
+        // Core capacity.
+        self.cores.assign(chain, knobs.cpu)?;
+        // CAT ways: llc_fraction is over the non-DDIO 18 ways.
+        let app_ways = LLC_WAYS - 2;
+        let prev = self.llc.ways_of(ClosId(chain.0));
+        let want = ((knobs.llc_fraction * f64::from(app_ways)).round() as u32).min(app_ways);
+        if self.llc.set_allocation(ClosId(chain.0), want).is_err() {
+            // Not enough free ways: restore previous allocation and fail.
+            self.llc
+                .set_allocation(ClosId(chain.0), prev)
+                .expect("restoring previous allocation");
+            return Err(SimError::CacheAllocation(format!(
+                "chain {chain:?} wants {want} ways; insufficient free ways"
+            )));
+        }
+        self.chains[idx].knobs = knobs;
+        Ok(())
+    }
+
+    /// Current knobs of a chain.
+    pub fn knobs(&self, chain: ChainId) -> Option<KnobSettings> {
+        self.chains
+            .iter()
+            .find(|h| h.chain.id() == chain)
+            .map(|h| h.knobs)
+    }
+
+    /// Replaces a chain's offered flows (dynamic workloads).
+    pub fn set_flows(&mut self, chain: ChainId, flows: FlowSet, seed: u64) -> SimResult<()> {
+        let h = self
+            .chains
+            .iter_mut()
+            .find(|h| h.chain.id() == chain)
+            .ok_or_else(|| SimError::NodeConfig(format!("unknown chain {chain:?}")))?;
+        h.traffic = TrafficGen::new(flows, seed);
+        Ok(())
+    }
+
+    /// LLC bytes currently partitioned to a chain.
+    pub fn llc_bytes_of(&self, chain: ChainId) -> u64 {
+        self.llc.bytes_of(ClosId(chain.0))
+    }
+
+    /// Runs one control epoch: samples traffic, evaluates the engine, and
+    /// attributes node energy to chains proportional to busy core-seconds.
+    pub fn run_epoch(&mut self) -> NodeEpochReport {
+        let epoch_s = self.tuning.epoch_s;
+        let mut configs = Vec::with_capacity(self.chains.len());
+        let mut arrivals = Vec::with_capacity(self.chains.len());
+        for h in &mut self.chains {
+            let window = h.traffic.next_window(epoch_s);
+            let pps = TrafficGen::window_rate_pps(&window, epoch_s);
+            let flows = h.traffic.flows();
+            let load = ChainLoad {
+                arrival_pps: pps,
+                mean_packet_size: flows.mean_packet_size(),
+                burstiness: flows.burstiness(),
+            };
+            arrivals.push(pps);
+            let llc_bytes = self.llc.bytes_of(ClosId(h.chain.id().0)) as f64;
+            configs.push((h.knobs, h.chain.cost(), load, llc_bytes));
+        }
+        let node = evaluate_node(&configs, &self.policy, &self.power, &self.tuning);
+
+        // Energy attribution: proportional to busy core-seconds (idle floor
+        // split evenly across chains).
+        let busy_total: f64 = node.chains.iter().map(|c| c.busy_core_seconds).sum();
+        let n = node.chains.len().max(1) as f64;
+        let idle_energy = self.power.pidle_w * epoch_s * node.powered_frac;
+        let dyn_energy = (node.energy_j - idle_energy).max(0.0);
+        let telemetry = node
+            .chains
+            .iter()
+            .zip(&arrivals)
+            .map(|(c, &pps)| {
+                let share = if busy_total > 0.0 {
+                    c.busy_core_seconds / busy_total
+                } else {
+                    1.0 / n
+                };
+                ChainTelemetry {
+                    throughput_gbps: c.throughput_gbps,
+                    energy_j: idle_energy / n + dyn_energy * share,
+                    cpu_util: c.cpu_util,
+                    arrival_pps: pps,
+                    miss_rate: c.miss_rate,
+                    loss_frac: c.loss_frac,
+                }
+            })
+            .collect();
+        self.epochs_run += 1;
+        NodeEpochReport { node, telemetry }
+    }
+}
+
+impl std::fmt::Debug for Node {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Node")
+            .field("id", &self.id)
+            .field("chains", &self.chains.len())
+            .field("epochs_run", &self.epochs_run)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flow::FlowSpec;
+
+    fn eval_flows() -> FlowSet {
+        FlowSet::evaluation_five_flows()
+    }
+
+    fn node_with_chain() -> Node {
+        let mut n = Node::default_greennfv(0);
+        n.add_chain(
+            ChainSpec::canonical_three(ChainId(0)),
+            eval_flows(),
+            KnobSettings::default_tuned(),
+            42,
+        )
+        .unwrap();
+        n
+    }
+
+    #[test]
+    fn add_chain_rejects_duplicates() {
+        let mut n = node_with_chain();
+        let err = n.add_chain(
+            ChainSpec::canonical_three(ChainId(0)),
+            eval_flows(),
+            KnobSettings::default_tuned(),
+            1,
+        );
+        assert!(err.is_err());
+        assert_eq!(n.chain_count(), 1);
+    }
+
+    #[test]
+    fn set_knobs_enforces_core_capacity() {
+        let mut n = node_with_chain();
+        let mut k = KnobSettings::default_tuned();
+        k.cpu.cores = 99;
+        assert!(n.set_knobs(ChainId(0), k).is_err());
+        // Previous knobs survive.
+        assert_eq!(n.knobs(ChainId(0)).unwrap().cpu.cores, 2);
+    }
+
+    #[test]
+    fn set_knobs_enforces_cat_ways() {
+        let mut n = Node::default_greennfv(0);
+        let mut k = KnobSettings::default_tuned();
+        k.llc_fraction = 0.9;
+        n.add_chain(
+            ChainSpec::canonical_three(ChainId(0)),
+            eval_flows(),
+            k,
+            1,
+        )
+        .unwrap();
+        let mut k2 = KnobSettings::default_tuned();
+        k2.llc_fraction = 0.9; // 0.9 + 0.9 over 18 ways cannot fit
+        let err = n.add_chain(
+            ChainSpec::lightweight(ChainId(1)),
+            eval_flows(),
+            k2,
+            2,
+        );
+        assert!(err.is_err());
+        assert_eq!(n.chain_count(), 1, "failed add must roll back");
+    }
+
+    #[test]
+    fn llc_bytes_follow_fraction() {
+        let n = node_with_chain();
+        let b = n.llc_bytes_of(ChainId(0));
+        // 0.5 × 18 ways = 9 ways of 1 MB.
+        assert_eq!(b, 9 * 1024 * 1024);
+    }
+
+    #[test]
+    fn epoch_produces_consistent_telemetry() {
+        let mut n = node_with_chain();
+        let r = n.run_epoch();
+        assert_eq!(r.telemetry.len(), 1);
+        let t = &r.telemetry[0];
+        assert!(t.throughput_gbps > 0.0);
+        assert!(t.arrival_pps > 1e6);
+        assert!(t.cpu_util > 0.0 && t.cpu_util <= 1.0);
+        // Attributed chain energies sum to node energy.
+        let sum: f64 = r.telemetry.iter().map(|t| t.energy_j).sum();
+        assert!((sum - r.node.energy_j).abs() < 1e-6);
+        assert_eq!(n.epochs_run(), 1);
+    }
+
+    #[test]
+    fn two_chains_split_energy() {
+        let mut n = Node::default_greennfv(0);
+        let mut k = KnobSettings::default_tuned();
+        k.llc_fraction = 0.4;
+        n.add_chain(
+            ChainSpec::canonical_three(ChainId(0)),
+            eval_flows(),
+            k,
+            1,
+        )
+        .unwrap();
+        n.add_chain(
+            ChainSpec::lightweight(ChainId(1)),
+            FlowSet::new(vec![FlowSpec::cbr(0, 1e5, 256)]).unwrap(),
+            k,
+            2,
+        )
+        .unwrap();
+        let r = n.run_epoch();
+        assert_eq!(r.telemetry.len(), 2);
+        let sum: f64 = r.telemetry.iter().map(|t| t.energy_j).sum();
+        assert!((sum - r.node.energy_j).abs() < 1e-6);
+        // Busier chain is charged more energy.
+        assert!(r.telemetry[0].energy_j > r.telemetry[1].energy_j);
+    }
+
+    #[test]
+    fn deterministic_epochs_under_same_seed() {
+        let mut a = node_with_chain();
+        let mut b = node_with_chain();
+        for _ in 0..5 {
+            let ra = a.run_epoch();
+            let rb = b.run_epoch();
+            assert_eq!(ra, rb);
+        }
+    }
+}

@@ -1,0 +1,219 @@
+//! Packet and packet-batch types.
+//!
+//! These mirror the minimal subset of a DPDK `rte_mbuf` that the VNFs in this
+//! simulator touch: a 5-tuple, a payload length, and a few bytes of mutable
+//! header scratch that NFs (NAT, router, encryptor) rewrite.
+
+use serde::{Deserialize, Serialize};
+
+/// Minimum Ethernet frame size used in the paper's experiments.
+pub const MIN_PACKET_SIZE: u32 = 64;
+/// Maximum (standard MTU) Ethernet frame size used in the paper's experiments.
+pub const MAX_PACKET_SIZE: u32 = 1518;
+
+/// Transport protocol of a simulated packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Protocol {
+    /// User Datagram Protocol.
+    Udp,
+    /// Transmission Control Protocol.
+    Tcp,
+}
+
+/// A flow 5-tuple identifying the connection a packet belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct FiveTuple {
+    /// Source IPv4 address.
+    pub src_ip: u32,
+    /// Destination IPv4 address.
+    pub dst_ip: u32,
+    /// Source transport port.
+    pub src_port: u16,
+    /// Destination transport port.
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub proto: Protocol,
+}
+
+impl FiveTuple {
+    /// Builds a UDP 5-tuple; the common case for MoonGen-style generated traffic.
+    pub fn udp(src_ip: u32, dst_ip: u32, src_port: u16, dst_port: u16) -> Self {
+        Self {
+            src_ip,
+            dst_ip,
+            src_port,
+            dst_port,
+            proto: Protocol::Udp,
+        }
+    }
+
+    /// Reverses direction (used by NAT return-path handling).
+    pub fn reversed(&self) -> Self {
+        Self {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            proto: self.proto,
+        }
+    }
+}
+
+/// A simulated network packet.
+///
+/// `mbuf_idx` ties the packet to its backing buffer in an [`crate::mbuf::MbufPool`];
+/// a packet without a pool is free-standing (used in unit tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Flow identity.
+    pub tuple: FiveTuple,
+    /// Wire size in bytes (64..=1518).
+    pub size: u32,
+    /// Time-to-live; routers decrement it, packets with ttl 0 are dropped.
+    pub ttl: u8,
+    /// Index of the owning buffer in the mbuf pool, if any.
+    pub mbuf_idx: Option<u32>,
+    /// Flow id assigned by the traffic generator (dense small integers).
+    pub flow_id: u32,
+    /// Arrival timestamp in simulated nanoseconds.
+    pub arrival_ns: u64,
+    /// Scratch word NFs may rewrite (e.g. NAT translation marker).
+    pub mark: u32,
+}
+
+impl Packet {
+    /// Creates a free-standing packet (no backing mbuf).
+    pub fn new(tuple: FiveTuple, size: u32, flow_id: u32, arrival_ns: u64) -> Self {
+        debug_assert!((MIN_PACKET_SIZE..=MAX_PACKET_SIZE).contains(&size));
+        Self {
+            tuple,
+            size,
+            ttl: 64,
+            mbuf_idx: None,
+            flow_id,
+            arrival_ns,
+            mark: 0,
+        }
+    }
+
+    /// Payload bytes (size minus a 42-byte Ethernet+IP+UDP header estimate).
+    pub fn payload_len(&self) -> u32 {
+        self.size.saturating_sub(42)
+    }
+}
+
+/// A batch of packets processed together, as configured by the batch-size knob.
+///
+/// Batching amortizes per-call overhead and improves cache locality — the
+/// effect the paper measures in Figure 3.
+#[derive(Debug, Default, Clone)]
+pub struct PacketBatch {
+    packets: Vec<Packet>,
+}
+
+impl PacketBatch {
+    /// Creates an empty batch with capacity for `cap` packets.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self {
+            packets: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Adds a packet to the batch.
+    pub fn push(&mut self, p: Packet) {
+        self.packets.push(p);
+    }
+
+    /// Number of packets in the batch.
+    pub fn len(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// True when the batch holds no packets.
+    pub fn is_empty(&self) -> bool {
+        self.packets.is_empty()
+    }
+
+    /// Total wire bytes across the batch.
+    pub fn total_bytes(&self) -> u64 {
+        self.packets.iter().map(|p| u64::from(p.size)).sum()
+    }
+
+    /// Immutable view of the packets.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Mutable view of the packets (NFs rewrite headers in place).
+    pub fn packets_mut(&mut self) -> &mut [Packet] {
+        &mut self.packets
+    }
+
+    /// Removes packets not matching `keep`, returning how many were dropped.
+    pub fn retain(&mut self, keep: impl FnMut(&Packet) -> bool) -> usize {
+        let before = self.packets.len();
+        self.packets.retain(keep);
+        before - self.packets.len()
+    }
+
+    /// Drains all packets out of the batch.
+    pub fn drain(&mut self) -> impl Iterator<Item = Packet> + '_ {
+        self.packets.drain(..)
+    }
+
+    /// Empties the batch, keeping its allocation for reuse across epochs.
+    pub fn clear(&mut self) {
+        self.packets.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pkt(size: u32) -> Packet {
+        Packet::new(FiveTuple::udp(1, 2, 1000, 53), size, 0, 0)
+    }
+
+    #[test]
+    fn five_tuple_reverse_roundtrip() {
+        let t = FiveTuple::udp(0x0a000001, 0x0a000002, 1234, 80);
+        assert_eq!(t.reversed().reversed(), t);
+        assert_eq!(t.reversed().src_ip, t.dst_ip);
+    }
+
+    #[test]
+    fn payload_excludes_headers() {
+        assert_eq!(pkt(64).payload_len(), 22);
+        assert_eq!(pkt(1518).payload_len(), 1476);
+    }
+
+    #[test]
+    fn batch_accounting() {
+        let mut b = PacketBatch::with_capacity(4);
+        assert!(b.is_empty());
+        b.push(pkt(64));
+        b.push(pkt(1518));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.total_bytes(), 64 + 1518);
+    }
+
+    #[test]
+    fn batch_retain_counts_drops() {
+        let mut b = PacketBatch::with_capacity(4);
+        for s in [64, 128, 1518] {
+            b.push(pkt(s));
+        }
+        let dropped = b.retain(|p| p.size < 1000);
+        assert_eq!(dropped, 1);
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn batch_clear_keeps_capacity() {
+        let mut b = PacketBatch::with_capacity(8);
+        b.push(pkt(64));
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Power model, simulated power meter, and calibration.
+//!
+//! The paper estimates CPU power with the nonlinear model of Fan et al.
+//! (Equation 4):
+//!
+//! ```text
+//! P(u) = (Pmax − Pidle) · (2u − u^h) + Pidle
+//! ```
+//!
+//! where `u` is CPU utilization and `h` a calibration parameter fit against a
+//! Yokogawa WT210 power meter. We extend `Pmax` with the standard cubic
+//! frequency dependence of dynamic power (`P_dyn ∝ C·V²·f`, with `V ∝ f`) and
+//! scale the dynamic range by the fraction of powered-on cores, since
+//! GreenNFV turns idle cores off. A [`PowerMeter`] adds Gaussian measurement
+//! noise and stands in for the Yokogawa; [`calibrate_h`] reproduces the
+//! paper's calibration loop.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::dvfs::FREQ_MAX_GHZ;
+
+/// Nonlinear server power model (paper Eq. 4 plus frequency/core scaling).
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct PowerModel {
+    /// Average power of the idle server, watts.
+    pub pidle_w: f64,
+    /// Average power of the fully-utilized server at max frequency, watts.
+    pub pmax_w: f64,
+    /// Calibration exponent `h` of Eq. 4.
+    pub h: f64,
+    /// Fraction of the dynamic range that is frequency-independent
+    /// (uncore, DRAM, NIC); the rest scales as (f/fmax)³.
+    pub static_fraction: f64,
+}
+
+impl Default for PowerModel {
+    fn default() -> Self {
+        // Dual-socket E5-2620 v4 server: ~40 W idle, ~155 W fully loaded.
+        Self {
+            pidle_w: 40.0,
+            pmax_w: 155.0,
+            h: 1.4,
+            static_fraction: 0.35,
+        }
+    }
+}
+
+impl PowerModel {
+    /// Effective `Pmax` at frequency `f` GHz with `active_core_frac` of the
+    /// cores powered on.
+    pub fn pmax_at(&self, freq_ghz: f64, active_core_frac: f64) -> f64 {
+        let f_ratio = (freq_ghz / FREQ_MAX_GHZ).clamp(0.0, 1.0);
+        let freq_scale = self.static_fraction + (1.0 - self.static_fraction) * f_ratio.powi(3);
+        let range = (self.pmax_w - self.pidle_w) * freq_scale * active_core_frac.clamp(0.0, 1.0);
+        self.pidle_w + range
+    }
+
+    /// Instantaneous power draw (watts) per Eq. 4.
+    ///
+    /// `utilization` in [0,1] over the powered-on cores; `freq_ghz` the
+    /// operating frequency; `active_core_frac` the fraction of cores on.
+    pub fn power_w(&self, utilization: f64, freq_ghz: f64, active_core_frac: f64) -> f64 {
+        let u = utilization.clamp(0.0, 1.0);
+        let pmax = self.pmax_at(freq_ghz, active_core_frac);
+        (pmax - self.pidle_w) * (2.0 * u - u.powf(self.h)) + self.pidle_w
+    }
+
+    /// Energy in joules for a window of `duration_s` seconds.
+    pub fn energy_j(
+        &self,
+        utilization: f64,
+        freq_ghz: f64,
+        active_core_frac: f64,
+        duration_s: f64,
+    ) -> f64 {
+        self.power_w(utilization, freq_ghz, active_core_frac) * duration_s
+    }
+}
+
+/// Simulated wall-plug power meter (Yokogawa WT210 substitute).
+///
+/// Samples the true model with multiplicative Gaussian noise; used both for
+/// telemetry realism and for calibrating `h`.
+#[derive(Debug)]
+pub struct PowerMeter {
+    truth: PowerModel,
+    noise_sigma: f64,
+    rng: StdRng,
+    samples: u64,
+    energy_j: f64,
+}
+
+impl PowerMeter {
+    /// Creates a meter measuring `truth` with relative noise `noise_sigma`.
+    pub fn new(truth: PowerModel, noise_sigma: f64, seed: u64) -> Self {
+        Self {
+            truth,
+            noise_sigma,
+            rng: StdRng::seed_from_u64(seed),
+            samples: 0,
+            energy_j: 0.0,
+        }
+    }
+
+    /// One noisy power reading in watts.
+    pub fn read_w(&mut self, utilization: f64, freq_ghz: f64, active_core_frac: f64) -> f64 {
+        let true_w = self.truth.power_w(utilization, freq_ghz, active_core_frac);
+        let u1: f64 = self.rng.random::<f64>().max(1e-12);
+        let u2: f64 = self.rng.random();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let w = true_w * (1.0 + self.noise_sigma * z);
+        self.samples += 1;
+        w.max(0.0)
+    }
+
+    /// Integrates a reading over `dt_s` seconds into the cumulative counter.
+    pub fn integrate(
+        &mut self,
+        utilization: f64,
+        freq_ghz: f64,
+        active_core_frac: f64,
+        dt_s: f64,
+    ) -> f64 {
+        let w = self.read_w(utilization, freq_ghz, active_core_frac);
+        self.energy_j += w * dt_s;
+        self.energy_j
+    }
+
+    /// Cumulative measured energy in joules.
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Number of samples taken.
+    pub fn samples(&self) -> u64 {
+        self.samples
+    }
+}
+
+/// Calibrates `h` against meter readings, as the paper does with the
+/// Yokogawa: sweep utilization levels, record measured power, and grid-search
+/// the `h` minimizing squared error.
+pub fn calibrate_h(meter: &mut PowerMeter, model_base: PowerModel, samples_per_level: u32) -> f64 {
+    let levels: Vec<f64> = (0..=10).map(|i| f64::from(i) / 10.0).collect();
+    let mut measured = Vec::with_capacity(levels.len());
+    for &u in &levels {
+        let mut acc = 0.0;
+        for _ in 0..samples_per_level {
+            acc += meter.read_w(u, FREQ_MAX_GHZ, 1.0);
+        }
+        measured.push(acc / f64::from(samples_per_level));
+    }
+    let mut best_h = 1.0;
+    let mut best_err = f64::INFINITY;
+    let mut h = 1.0;
+    while h <= 3.0 + 1e-9 {
+        let candidate = PowerModel { h, ..model_base };
+        let err: f64 = levels
+            .iter()
+            .zip(&measured)
+            .map(|(&u, &m)| {
+                let p = candidate.power_w(u, FREQ_MAX_GHZ, 1.0);
+                (p - m) * (p - m)
+            })
+            .sum();
+        if err < best_err {
+            best_err = err;
+            best_h = h;
+        }
+        h += 0.01;
+    }
+    best_h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_bounded_by_idle_and_max() {
+        let m = PowerModel::default();
+        for u in [0.0, 0.1, 0.5, 0.9, 1.0] {
+            let p = m.power_w(u, FREQ_MAX_GHZ, 1.0);
+            assert!(p >= m.pidle_w - 1e-9, "u={u} p={p}");
+            assert!(p <= m.pmax_w + 1e-9, "u={u} p={p}");
+        }
+        assert!((m.power_w(0.0, FREQ_MAX_GHZ, 1.0) - m.pidle_w).abs() < 1e-9);
+        assert!((m.power_w(1.0, FREQ_MAX_GHZ, 1.0) - m.pmax_w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn eq4_is_concave_above_linear() {
+        // For h > 1, Eq. 4 gives 2u − u^h ≥ u on [0,1]: power rises quickly at
+        // low utilization, the empirical behaviour Fan et al. observed.
+        let m = PowerModel::default();
+        let p_half = m.power_w(0.5, FREQ_MAX_GHZ, 1.0);
+        let linear = m.pidle_w + 0.5 * (m.pmax_w - m.pidle_w);
+        assert!(p_half > linear);
+    }
+
+    #[test]
+    fn lower_frequency_draws_less_power() {
+        let m = PowerModel::default();
+        let hi = m.power_w(0.8, 2.1, 1.0);
+        let lo = m.power_w(0.8, 1.2, 1.0);
+        assert!(lo < hi);
+        assert!(lo > m.pidle_w);
+    }
+
+    #[test]
+    fn powering_off_cores_shrinks_dynamic_range() {
+        let m = PowerModel::default();
+        let all = m.power_w(1.0, 2.1, 1.0);
+        let half = m.power_w(1.0, 2.1, 0.5);
+        assert!(half < all);
+        assert!((half - (m.pidle_w + 0.5 * (m.pmax_w - m.pidle_w))).abs() < 1e-9);
+    }
+
+    #[test]
+    fn energy_integrates_power() {
+        let m = PowerModel::default();
+        let e = m.energy_j(0.0, 2.1, 1.0, 30.0);
+        assert!((e - m.pidle_w * 30.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn meter_tracks_truth_on_average() {
+        let truth = PowerModel::default();
+        let mut meter = PowerMeter::new(truth, 0.02, 11);
+        let mut acc = 0.0;
+        let n = 2000u32;
+        for _ in 0..n {
+            acc += meter.read_w(0.7, 2.1, 1.0);
+        }
+        let mean = acc / f64::from(n);
+        let expect = truth.power_w(0.7, 2.1, 1.0);
+        assert!((mean - expect).abs() / expect < 0.01, "mean {mean} vs {expect}");
+        assert_eq!(meter.samples(), u64::from(n));
+    }
+
+    #[test]
+    fn meter_integration_accumulates() {
+        let mut meter = PowerMeter::new(PowerModel::default(), 0.0, 1);
+        meter.integrate(0.0, 2.1, 1.0, 10.0);
+        meter.integrate(0.0, 2.1, 1.0, 10.0);
+        assert!((meter.energy_j() - 40.0 * 20.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn calibration_recovers_h() {
+        let truth = PowerModel {
+            h: 1.7,
+            ..PowerModel::default()
+        };
+        let mut meter = PowerMeter::new(truth, 0.01, 99);
+        let fitted = calibrate_h(&mut meter, PowerModel::default(), 50);
+        assert!((fitted - 1.7).abs() < 0.1, "fitted h = {fitted}");
+    }
+}

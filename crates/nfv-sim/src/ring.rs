@@ -1,0 +1,286 @@
+//! Lock-free single-producer single-consumer ring.
+//!
+//! OpenNetVM gives every NF two circular queues (RX and TX) through which the
+//! manager's Rx/Tx threads circulate packets. Each queue has exactly one
+//! producer and one consumer, so an SPSC ring with acquire/release ordering is
+//! the faithful (and fast) equivalent of DPDK's `rte_ring` in SP/SC mode.
+//!
+//! The implementation follows the patterns in *Rust Atomics and Locks*:
+//! `head` is only written by the consumer, `tail` only by the producer, and
+//! each side re-reads the other's counter with `Acquire` to synchronize with
+//! the matching `Release` store.
+
+use std::cell::UnsafeCell;
+use std::mem::MaybeUninit;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use crate::error::{SimError, SimResult};
+
+/// A bounded lock-free SPSC ring of `T`.
+///
+/// Capacity is rounded up to the next power of two so index wrapping is a
+/// mask. The ring stores up to `capacity` elements (one slot is *not*
+/// sacrificed; we track head/tail as monotonically increasing counters).
+pub struct SpscRing<T> {
+    mask: usize,
+    slots: Box<[UnsafeCell<MaybeUninit<T>>]>,
+    /// Next slot to read; written by consumer only.
+    head: AtomicUsize,
+    /// Next slot to write; written by producer only.
+    tail: AtomicUsize,
+    /// Cumulative failed pushes (ring full) — DPDK's `tx_drop` analogue.
+    full_drops: AtomicUsize,
+}
+
+// SAFETY: the ring hands out ownership of `T` values across threads; access to
+// each slot is serialized by the head/tail protocol (a slot is written only
+// when tail-head < capacity and read only when head < tail, with Acquire loads
+// pairing with Release stores).
+unsafe impl<T: Send> Send for SpscRing<T> {}
+unsafe impl<T: Send> Sync for SpscRing<T> {}
+
+impl<T> SpscRing<T> {
+    /// Creates a ring holding at least `capacity` elements (rounded up to a
+    /// power of two, minimum 2).
+    pub fn with_capacity(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        let slots = (0..cap)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect::<Vec<_>>()
+            .into_boxed_slice();
+        Self {
+            mask: cap - 1,
+            slots,
+            head: AtomicUsize::new(0),
+            tail: AtomicUsize::new(0),
+            full_drops: AtomicUsize::new(0),
+        }
+    }
+
+    /// Ring capacity in elements.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Number of elements currently queued (approximate under concurrency).
+    pub fn len(&self) -> usize {
+        let tail = self.tail.load(Ordering::Acquire);
+        let head = self.head.load(Ordering::Acquire);
+        tail.wrapping_sub(head)
+    }
+
+    /// True when no elements are queued (approximate under concurrency).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Cumulative pushes rejected because the ring was full.
+    pub fn full_drops(&self) -> usize {
+        self.full_drops.load(Ordering::Relaxed)
+    }
+
+    /// Producer side: enqueues `value`, or returns it back in `Err` when full.
+    ///
+    /// Must only be called from one thread at a time (single producer).
+    pub fn push(&self, value: T) -> Result<(), T> {
+        let tail = self.tail.load(Ordering::Relaxed);
+        let head = self.head.load(Ordering::Acquire);
+        if tail.wrapping_sub(head) >= self.capacity() {
+            self.full_drops.fetch_add(1, Ordering::Relaxed);
+            return Err(value);
+        }
+        // SAFETY: slot `tail & mask` is unoccupied: consumer has advanced head
+        // past it (checked above) and no other producer exists.
+        unsafe {
+            (*self.slots[tail & self.mask].get()).write(value);
+        }
+        self.tail.store(tail.wrapping_add(1), Ordering::Release);
+        Ok(())
+    }
+
+    /// Consumer side: dequeues one element, or `None` when empty.
+    ///
+    /// Must only be called from one thread at a time (single consumer).
+    pub fn pop(&self) -> Option<T> {
+        let head = self.head.load(Ordering::Relaxed);
+        let tail = self.tail.load(Ordering::Acquire);
+        if head == tail {
+            return None;
+        }
+        // SAFETY: slot `head & mask` was initialized by the producer (tail has
+        // advanced past it, synchronized by the Acquire load above).
+        let value = unsafe { (*self.slots[head & self.mask].get()).assume_init_read() };
+        self.head.store(head.wrapping_add(1), Ordering::Release);
+        Some(value)
+    }
+
+    /// Dequeues up to `n` elements into `out`, returning how many were taken.
+    ///
+    /// This is the batched receive used by the batch-size knob: an NF wakes
+    /// up and drains at most one batch per poll.
+    pub fn pop_bulk(&self, n: usize, out: &mut Vec<T>) -> usize {
+        let mut taken = 0;
+        while taken < n {
+            match self.pop() {
+                Some(v) => {
+                    out.push(v);
+                    taken += 1;
+                }
+                None => break,
+            }
+        }
+        taken
+    }
+
+    /// Enqueues from an iterator until the ring fills; returns (pushed, dropped).
+    pub fn push_bulk(&self, items: impl IntoIterator<Item = T>) -> (usize, usize) {
+        let mut pushed = 0;
+        let mut dropped = 0;
+        for item in items {
+            match self.push(item) {
+                Ok(()) => pushed += 1,
+                Err(_) => dropped += 1,
+            }
+        }
+        (pushed, dropped)
+    }
+
+    /// Fallible push mapped onto the simulator error type.
+    pub fn try_push(&self, value: T) -> SimResult<()> {
+        self.push(value).map_err(|_| SimError::RingFull)
+    }
+
+    /// Fallible pop mapped onto the simulator error type.
+    pub fn try_pop(&self) -> SimResult<T> {
+        self.pop().ok_or(SimError::RingEmpty)
+    }
+}
+
+impl<T> Drop for SpscRing<T> {
+    fn drop(&mut self) {
+        // Drain remaining initialized slots so their destructors run.
+        while self.pop().is_some() {}
+    }
+}
+
+impl<T> std::fmt::Debug for SpscRing<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpscRing")
+            .field("capacity", &self.capacity())
+            .field("len", &self.len())
+            .field("full_drops", &self.full_drops())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(SpscRing::<u32>::with_capacity(1).capacity(), 2);
+        assert_eq!(SpscRing::<u32>::with_capacity(100).capacity(), 128);
+        assert_eq!(SpscRing::<u32>::with_capacity(128).capacity(), 128);
+    }
+
+    #[test]
+    fn fifo_order_single_thread() {
+        let r = SpscRing::with_capacity(8);
+        for i in 0..8 {
+            r.push(i).unwrap();
+        }
+        assert_eq!(r.push(99), Err(99));
+        assert_eq!(r.full_drops(), 1);
+        for i in 0..8 {
+            assert_eq!(r.pop(), Some(i));
+        }
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn wraparound_preserves_order() {
+        let r = SpscRing::with_capacity(4);
+        for round in 0u64..100 {
+            r.push(round * 2).unwrap();
+            r.push(round * 2 + 1).unwrap();
+            assert_eq!(r.pop(), Some(round * 2));
+            assert_eq!(r.pop(), Some(round * 2 + 1));
+        }
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn bulk_ops() {
+        let r = SpscRing::with_capacity(8);
+        let (pushed, dropped) = r.push_bulk(0..10);
+        assert_eq!((pushed, dropped), (8, 2));
+        let mut out = Vec::new();
+        assert_eq!(r.pop_bulk(3, &mut out), 3);
+        assert_eq!(out, vec![0, 1, 2]);
+        assert_eq!(r.pop_bulk(100, &mut out), 5);
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn drop_runs_destructors() {
+        let counter = Arc::new(());
+        let r = SpscRing::with_capacity(8);
+        for _ in 0..5 {
+            r.push(Arc::clone(&counter)).unwrap();
+        }
+        assert_eq!(Arc::strong_count(&counter), 6);
+        drop(r);
+        assert_eq!(Arc::strong_count(&counter), 1);
+    }
+
+    #[test]
+    fn cross_thread_transfer_no_loss() {
+        let r = Arc::new(SpscRing::with_capacity(64));
+        let n: u64 = 200_000;
+        let prod = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut i = 0u64;
+                while i < n {
+                    if r.push(i).is_ok() {
+                        i += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            })
+        };
+        let cons = {
+            let r = Arc::clone(&r);
+            std::thread::spawn(move || {
+                let mut expected = 0u64;
+                let mut sum = 0u64;
+                while expected < n {
+                    if let Some(v) = r.pop() {
+                        assert_eq!(v, expected, "FIFO order violated");
+                        sum += v;
+                        expected += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+                sum
+            })
+        };
+        prod.join().unwrap();
+        let sum = cons.join().unwrap();
+        assert_eq!(sum, n * (n - 1) / 2);
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn sim_error_mapping() {
+        let r = SpscRing::with_capacity(2);
+        assert!(matches!(r.try_pop(), Err(SimError::RingEmpty)));
+        r.try_push(1).unwrap();
+        r.try_push(2).unwrap();
+        assert!(matches!(r.try_push(3), Err(SimError::RingFull)));
+    }
+}

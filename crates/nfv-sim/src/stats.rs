@@ -1,0 +1,213 @@
+//! Telemetry: the per-epoch measurements the GreenNFV state space consumes.
+
+use serde::{Deserialize, Serialize};
+
+/// Exponentially weighted moving average with configurable smoothing.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Ewma {
+    alpha: f64,
+    value: Option<f64>,
+}
+
+impl Ewma {
+    /// Creates an EWMA with smoothing factor `alpha` in (0, 1].
+    pub fn new(alpha: f64) -> Self {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0,1]");
+        Self { alpha, value: None }
+    }
+
+    /// Feeds a sample and returns the updated average.
+    pub fn update(&mut self, sample: f64) -> f64 {
+        let v = match self.value {
+            None => sample,
+            Some(prev) => self.alpha * sample + (1.0 - self.alpha) * prev,
+        };
+        self.value = Some(v);
+        v
+    }
+
+    /// Current average, if any sample has been fed.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// Clears history.
+    pub fn reset(&mut self) {
+        self.value = None;
+    }
+}
+
+/// Telemetry snapshot for one chain after one epoch — exactly the paper's
+/// state space Eq. 8: throughput `T`, energy `E`, CPU utilization `ξ`,
+/// packet arrival rate `Ω`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ChainTelemetry {
+    /// Delivered throughput (Gbps).
+    pub throughput_gbps: f64,
+    /// Energy attributed to the chain this epoch (joules).
+    pub energy_j: f64,
+    /// CPU utilization of the chain's allocation in [0, 1].
+    pub cpu_util: f64,
+    /// Packet arrival rate (pps).
+    pub arrival_pps: f64,
+    /// LLC miss rate in [0, 1] (extra observability beyond Eq. 8).
+    pub miss_rate: f64,
+    /// Loss fraction in [0, 1].
+    pub loss_frac: f64,
+}
+
+/// Running history of node-level epochs, with summary statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct EpochHistory {
+    throughputs: Vec<f64>,
+    energies: Vec<f64>,
+}
+
+impl EpochHistory {
+    /// Creates an empty history.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one epoch.
+    pub fn record(&mut self, throughput_gbps: f64, energy_j: f64) {
+        self.throughputs.push(throughput_gbps);
+        self.energies.push(energy_j);
+    }
+
+    /// Number of recorded epochs.
+    pub fn len(&self) -> usize {
+        self.throughputs.len()
+    }
+
+    /// True when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.throughputs.is_empty()
+    }
+
+    /// Mean throughput over the history (Gbps).
+    pub fn mean_throughput(&self) -> f64 {
+        mean(&self.throughputs)
+    }
+
+    /// Mean epoch energy (joules).
+    pub fn mean_energy(&self) -> f64 {
+        mean(&self.energies)
+    }
+
+    /// Total energy (joules).
+    pub fn total_energy(&self) -> f64 {
+        self.energies.iter().sum()
+    }
+
+    /// Per-epoch series (throughput, energy).
+    pub fn series(&self) -> impl Iterator<Item = (f64, f64)> + '_ {
+        self.throughputs
+            .iter()
+            .copied()
+            .zip(self.energies.iter().copied())
+    }
+}
+
+fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Simple descriptive statistics over a slice.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Population standard deviation.
+    pub std: f64,
+}
+
+impl Summary {
+    /// Computes a summary; empty slices produce zeros.
+    pub fn of(xs: &[f64]) -> Self {
+        if xs.is_empty() {
+            return Self {
+                mean: 0.0,
+                min: 0.0,
+                max: 0.0,
+                std: 0.0,
+            };
+        }
+        let mean = mean(xs);
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        Self {
+            mean,
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            std: var.sqrt(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ewma_first_sample_passthrough() {
+        let mut e = Ewma::new(0.3);
+        assert_eq!(e.value(), None);
+        assert!((e.update(10.0) - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ewma_converges_to_constant() {
+        let mut e = Ewma::new(0.5);
+        for _ in 0..40 {
+            e.update(7.0);
+        }
+        assert!((e.value().unwrap() - 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ewma_smooths_spikes() {
+        let mut e = Ewma::new(0.1);
+        e.update(1.0);
+        let v = e.update(100.0);
+        assert!(v < 15.0, "spike must be damped, got {v}");
+        e.reset();
+        assert_eq!(e.value(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha")]
+    fn ewma_rejects_bad_alpha() {
+        let _ = Ewma::new(0.0);
+    }
+
+    #[test]
+    fn history_aggregates() {
+        let mut h = EpochHistory::new();
+        h.record(2.0, 1000.0);
+        h.record(4.0, 3000.0);
+        assert_eq!(h.len(), 2);
+        assert!((h.mean_throughput() - 3.0).abs() < 1e-12);
+        assert!((h.mean_energy() - 2000.0).abs() < 1e-12);
+        assert!((h.total_energy() - 4000.0).abs() < 1e-12);
+        assert_eq!(h.series().count(), 2);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std - (1.25f64).sqrt()).abs() < 1e-12);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.mean, 0.0);
+    }
+}

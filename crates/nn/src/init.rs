@@ -1,0 +1,101 @@
+//! Weight initialization schemes.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::matrix::Matrix;
+
+/// Initialization scheme for dense-layer weights.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Init {
+    /// Xavier/Glorot uniform: U(±√(6/(fan_in+fan_out))) — good for tanh.
+    XavierUniform,
+    /// He/Kaiming uniform: U(±√(6/fan_in)) — good for ReLU.
+    HeUniform,
+    /// Small uniform range, as DDPG uses for its output layers (±3e-3).
+    SmallUniform(f64),
+}
+
+/// A seeded weight initializer.
+#[derive(Debug)]
+pub struct Initializer {
+    rng: StdRng,
+}
+
+impl Initializer {
+    /// Creates an initializer from a seed.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Samples a weight matrix of shape `out × in` under `scheme`.
+    pub fn weights(&mut self, out_dim: usize, in_dim: usize, scheme: Init) -> Matrix {
+        let bound = match scheme {
+            Init::XavierUniform => (6.0 / (in_dim + out_dim) as f64).sqrt(),
+            Init::HeUniform => (6.0 / in_dim as f64).sqrt(),
+            Init::SmallUniform(b) => b,
+        };
+        let mut m = Matrix::zeros(out_dim, in_dim);
+        for v in m.data_mut() {
+            *v = self.rng.random_range(-bound..bound);
+        }
+        m
+    }
+
+    /// Samples a bias vector of length `out` (zeros except SmallUniform).
+    pub fn biases(&mut self, out_dim: usize, scheme: Init) -> Vec<f64> {
+        match scheme {
+            Init::SmallUniform(b) => (0..out_dim).map(|_| self.rng.random_range(-b..b)).collect(),
+            _ => vec![0.0; out_dim],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_within_bound() {
+        let mut init = Initializer::new(1);
+        let w = init.weights(32, 32, Init::XavierUniform);
+        let bound = (6.0 / 64.0f64).sqrt();
+        assert!(w.data().iter().all(|&x| x.abs() <= bound));
+        // Not degenerate.
+        assert!(w.norm() > 0.0);
+    }
+
+    #[test]
+    fn he_bound_depends_on_fan_in() {
+        let mut init = Initializer::new(2);
+        let w = init.weights(4, 100, Init::HeUniform);
+        assert!(w.data().iter().all(|&x| x.abs() <= (6.0f64 / 100.0).sqrt()));
+    }
+
+    #[test]
+    fn small_uniform_is_small() {
+        let mut init = Initializer::new(3);
+        let w = init.weights(4, 4, Init::SmallUniform(3e-3));
+        assert!(w.data().iter().all(|&x| x.abs() <= 3e-3));
+        let b = init.biases(4, Init::SmallUniform(3e-3));
+        assert!(b.iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = Initializer::new(7);
+        let mut b = Initializer::new(7);
+        assert_eq!(
+            a.weights(8, 8, Init::XavierUniform),
+            b.weights(8, 8, Init::XavierUniform)
+        );
+    }
+
+    #[test]
+    fn default_biases_are_zero() {
+        let mut init = Initializer::new(4);
+        assert!(init.biases(5, Init::HeUniform).iter().all(|&x| x == 0.0));
+    }
+}

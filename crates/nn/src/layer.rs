@@ -1,0 +1,304 @@
+//! Dense (fully connected) layer with cached forward state and manual backprop.
+
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::init::{Init, Initializer};
+use crate::matrix::Matrix;
+
+/// A dense layer: `y = act(x · Wᵀ + b)`.
+///
+/// Weights are `out × in`. `forward` caches the input and output needed by
+/// `backward`, which produces parameter gradients and the gradient w.r.t. the
+/// layer input (so gradients can flow to earlier layers, and — for DDPG —
+/// through the critic into the action).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dense {
+    weights: Matrix,
+    bias: Vec<f64>,
+    activation: Activation,
+    // Cached forward state (not serialized).
+    #[serde(skip)]
+    last_input: Option<Matrix>,
+    #[serde(skip)]
+    last_output: Option<Matrix>,
+    // Accumulated gradients.
+    #[serde(skip)]
+    grad_w: Option<Matrix>,
+    #[serde(skip)]
+    grad_b: Option<Vec<f64>>,
+}
+
+impl Dense {
+    /// Creates a layer with the given initialization.
+    pub fn new(
+        in_dim: usize,
+        out_dim: usize,
+        activation: Activation,
+        init: &mut Initializer,
+        scheme: Init,
+    ) -> Self {
+        Self {
+            weights: init.weights(out_dim, in_dim, scheme),
+            bias: init.biases(out_dim, scheme),
+            activation,
+            last_input: None,
+            last_output: None,
+            grad_w: None,
+            grad_b: None,
+        }
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.weights.cols()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.weights.rows()
+    }
+
+    /// The activation function.
+    pub fn activation(&self) -> Activation {
+        self.activation
+    }
+
+    /// Immutable weight access.
+    pub fn weights(&self) -> &Matrix {
+        &self.weights
+    }
+
+    /// Mutable weight access (used by optimizers and soft updates).
+    pub fn weights_mut(&mut self) -> &mut Matrix {
+        &mut self.weights
+    }
+
+    /// Immutable bias access.
+    pub fn bias(&self) -> &[f64] {
+        &self.bias
+    }
+
+    /// Mutable bias access.
+    pub fn bias_mut(&mut self) -> &mut [f64] {
+        &mut self.bias
+    }
+
+    /// Forward pass over a batch (`batch × in`), caching state for backward.
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut z = input.matmul_transpose_b(&self.weights); // batch × out
+        z.add_row_broadcast(&self.bias);
+        let act = self.activation;
+        z.map_inplace(|x| act.apply(x));
+        self.last_input = Some(input.clone());
+        self.last_output = Some(z.clone());
+        z
+    }
+
+    /// Inference-only forward pass (no caching).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut z = input.matmul_transpose_b(&self.weights);
+        z.add_row_broadcast(&self.bias);
+        let act = self.activation;
+        z.map_inplace(|x| act.apply(x));
+        z
+    }
+
+    /// Backward pass: takes `dL/dy` (`batch × out`), stores `dL/dW`, `dL/db`,
+    /// and returns `dL/dx` (`batch × in`).
+    ///
+    /// Panics if called before `forward`.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let input = self
+            .last_input
+            .as_ref()
+            .expect("backward called before forward");
+        let output = self
+            .last_output
+            .as_ref()
+            .expect("backward called before forward");
+        // dL/dz = dL/dy ⊙ act'(z), with act' from cached outputs.
+        let mut dz = grad_out.clone();
+        for r in 0..dz.rows() {
+            for c in 0..dz.cols() {
+                let d = self.activation.derivative_from_output(output.get(r, c));
+                dz.set(r, c, dz.get(r, c) * d);
+            }
+        }
+        // dW = dzᵀ · x  (out × in); db = column sums of dz.
+        let grad_w = dz.transpose_a_matmul(input);
+        let grad_b = dz.col_sums();
+        // dX = dz · W (batch × in).
+        let grad_in = dz.matmul(&self.weights);
+        self.grad_w = Some(grad_w);
+        self.grad_b = Some(grad_b);
+        grad_in
+    }
+
+    /// Gradients from the last backward pass, if any.
+    pub fn grads(&self) -> Option<(&Matrix, &[f64])> {
+        match (&self.grad_w, &self.grad_b) {
+            (Some(w), Some(b)) => Some((w, b.as_slice())),
+            _ => None,
+        }
+    }
+
+    /// Applies a raw SGD step `θ ← θ − lr · ∇θ` (used directly in tests;
+    /// real training goes through `optim`).
+    pub fn sgd_step(&mut self, lr: f64) {
+        if let (Some(gw), Some(gb)) = (&self.grad_w, &self.grad_b) {
+            self.weights.scale_add(1.0, gw, -lr);
+            for (b, g) in self.bias.iter_mut().zip(gb) {
+                *b -= lr * g;
+            }
+        }
+    }
+
+    /// Polyak soft update: `θ ← τ·θ_src + (1−τ)·θ` (paper Algorithm 2 l.9-10).
+    pub fn soft_update_from(&mut self, src: &Dense, tau: f64) {
+        self.weights.scale_add(1.0 - tau, &src.weights, tau);
+        for (b, s) in self.bias.iter_mut().zip(&src.bias) {
+            *b = (1.0 - tau) * *b + tau * s;
+        }
+    }
+
+    /// Copies parameters from another layer.
+    pub fn copy_from(&mut self, src: &Dense) {
+        self.weights = src.weights.clone();
+        self.bias = src.bias.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(act: Activation) -> Dense {
+        let mut init = Initializer::new(42);
+        Dense::new(3, 2, act, &mut init, Init::XavierUniform)
+    }
+
+    #[test]
+    fn forward_shape() {
+        let mut l = layer(Activation::Relu);
+        let x = Matrix::from_vec(4, 3, vec![0.1; 12]);
+        let y = l.forward(&x);
+        assert_eq!(y.rows(), 4);
+        assert_eq!(y.cols(), 2);
+    }
+
+    #[test]
+    fn infer_matches_forward() {
+        let mut l = layer(Activation::Tanh);
+        let x = Matrix::from_vec(2, 3, vec![0.3, -0.1, 0.7, 0.2, 0.5, -0.4]);
+        let y1 = l.forward(&x);
+        let y2 = l.infer(&x);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    #[should_panic(expected = "backward called before forward")]
+    fn backward_requires_forward() {
+        let mut l = layer(Activation::Relu);
+        let g = Matrix::zeros(1, 2);
+        let _ = l.backward(&g);
+    }
+
+    /// Finite-difference check of all gradients: weights, biases, and inputs.
+    #[test]
+    fn gradients_match_finite_differences() {
+        for act in [Activation::Identity, Activation::Tanh, Activation::Sigmoid] {
+            let mut l = layer(act);
+            let x = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.8, -0.6, 0.1, 0.4]);
+            // Loss = sum of outputs; dL/dy = ones.
+            let y = l.forward(&x);
+            let ones = Matrix::from_vec(y.rows(), y.cols(), vec![1.0; y.rows() * y.cols()]);
+            let grad_in = l.backward(&ones);
+            let (gw, gb) = l.grads().map(|(w, b)| (w.clone(), b.to_vec())).unwrap();
+
+            let eps = 1e-6;
+            let loss = |l: &Dense, x: &Matrix| -> f64 { l.infer(x).data().iter().sum() };
+
+            // Weight gradients.
+            for r in 0..gw.rows() {
+                for c in 0..gw.cols() {
+                    let mut lp = l.clone();
+                    let wp = lp.weights().get(r, c) + eps;
+                    lp.weights_mut().set(r, c, wp);
+                    let mut lm = l.clone();
+                    let wm = lm.weights().get(r, c) - eps;
+                    lm.weights_mut().set(r, c, wm);
+                    let numeric = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+                    assert!(
+                        (numeric - gw.get(r, c)).abs() < 1e-5,
+                        "{act:?} dW[{r},{c}]: numeric {numeric} vs {}",
+                        gw.get(r, c)
+                    );
+                }
+            }
+            // Bias gradients.
+            for (i, &gbi) in gb.iter().enumerate() {
+                let mut lp = l.clone();
+                lp.bias_mut()[i] += eps;
+                let mut lm = l.clone();
+                lm.bias_mut()[i] -= eps;
+                let numeric = (loss(&lp, &x) - loss(&lm, &x)) / (2.0 * eps);
+                assert!((numeric - gbi).abs() < 1e-5, "{act:?} db[{i}]");
+            }
+            // Input gradients.
+            for r in 0..x.rows() {
+                for c in 0..x.cols() {
+                    let mut xp = x.clone();
+                    xp.set(r, c, x.get(r, c) + eps);
+                    let mut xm = x.clone();
+                    xm.set(r, c, x.get(r, c) - eps);
+                    let numeric = (loss(&l, &xp) - loss(&l, &xm)) / (2.0 * eps);
+                    assert!(
+                        (numeric - grad_in.get(r, c)).abs() < 1e-5,
+                        "{act:?} dX[{r},{c}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sgd_step_reduces_simple_loss() {
+        let mut init = Initializer::new(1);
+        let mut l = Dense::new(1, 1, Activation::Identity, &mut init, Init::XavierUniform);
+        // Fit y = 2x from one sample, minimizing (y - 2)^2 at x = 1.
+        let x = Matrix::row(vec![1.0]);
+        let mut last_err = f64::INFINITY;
+        for _ in 0..200 {
+            let y = l.forward(&x);
+            let err = (y.get(0, 0) - 2.0).powi(2);
+            assert!(err <= last_err + 1e-9, "loss must not increase");
+            last_err = err;
+            let grad = Matrix::row(vec![2.0 * (y.get(0, 0) - 2.0)]);
+            l.backward(&grad);
+            l.sgd_step(0.1);
+        }
+        assert!(last_err < 1e-6);
+    }
+
+    #[test]
+    fn soft_update_interpolates() {
+        let mut a = layer(Activation::Identity);
+        let b = layer(Activation::Identity);
+        let mut target = a.clone();
+        target.soft_update_from(&b, 1.0);
+        assert_eq!(target.weights(), b.weights());
+        a.soft_update_from(&b, 0.0);
+        // tau = 0 leaves parameters unchanged.
+        assert_eq!(a.weights(), layer(Activation::Identity).weights());
+    }
+
+    #[test]
+    fn serde_roundtrip_preserves_params() {
+        let l = layer(Activation::Tanh);
+        let json = serde_json::to_string(&l).unwrap();
+        let l2: Dense = serde_json::from_str(&json).unwrap();
+        assert_eq!(l.weights(), l2.weights());
+        assert_eq!(l.bias(), l2.bias());
+    }
+}

@@ -1,0 +1,40 @@
+//! # greennfv-nn — minimal dense neural networks with manual backprop
+//!
+//! The GreenNFV paper trains its DDPG actor/critic with TensorFlow; this
+//! crate replaces that dependency with a small, fully tested MLP stack:
+//! row-major matrices, dense layers with cached-state backprop, ReLU/tanh/
+//! sigmoid activations, MSE/Huber losses, SGD and Adam optimizers, Polyak
+//! soft updates for target networks, and serde-serializable weights.
+//!
+//! Gradients are verified against finite differences in the test suite.
+//!
+//! ```
+//! use greennfv_nn::prelude::*;
+//!
+//! let mut net = Mlp::two_hidden(4, 32, 2, Activation::Tanh, 42);
+//! let action = net.infer_one(&[0.1, 0.5, -0.3, 0.9]);
+//! assert_eq!(action.len(), 2);
+//! assert!(action.iter().all(|a| a.abs() <= 1.0));
+//! # let _ = net.forward(&Matrix::row(vec![0.0; 4]));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod activation;
+pub mod init;
+pub mod layer;
+pub mod loss;
+pub mod matrix;
+pub mod mlp;
+pub mod optim;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::activation::Activation;
+    pub use crate::init::{Init, Initializer};
+    pub use crate::layer::Dense;
+    pub use crate::loss::{huber, mse};
+    pub use crate::matrix::Matrix;
+    pub use crate::mlp::Mlp;
+    pub use crate::optim::{Adam, Sgd};
+}

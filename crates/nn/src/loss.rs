@@ -1,0 +1,104 @@
+//! Loss functions returning (value, gradient-w.r.t.-prediction).
+
+use crate::matrix::Matrix;
+
+/// Mean squared error over a batch; gradient is `2 (pred − target) / n`.
+pub fn mse(pred: &Matrix, target: &Matrix) -> (f64, Matrix) {
+    assert_eq!(pred.rows(), target.rows());
+    assert_eq!(pred.cols(), target.cols());
+    let n = (pred.rows() * pred.cols()) as f64;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut total = 0.0;
+    for i in 0..pred.data().len() {
+        let d = pred.data()[i] - target.data()[i];
+        total += d * d;
+        grad.data_mut()[i] = 2.0 * d / n;
+    }
+    (total / n, grad)
+}
+
+/// Huber loss with threshold `delta`: quadratic near zero, linear in the
+/// tails — robust to the outlier TD errors common early in DDPG training.
+pub fn huber(pred: &Matrix, target: &Matrix, delta: f64) -> (f64, Matrix) {
+    assert_eq!(pred.rows(), target.rows());
+    assert_eq!(pred.cols(), target.cols());
+    let n = (pred.rows() * pred.cols()) as f64;
+    let mut grad = Matrix::zeros(pred.rows(), pred.cols());
+    let mut total = 0.0;
+    for i in 0..pred.data().len() {
+        let d = pred.data()[i] - target.data()[i];
+        if d.abs() <= delta {
+            total += 0.5 * d * d;
+            grad.data_mut()[i] = d / n;
+        } else {
+            total += delta * (d.abs() - 0.5 * delta);
+            grad.data_mut()[i] = delta * d.signum() / n;
+        }
+    }
+    (total / n, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mse_zero_at_match() {
+        let p = Matrix::row(vec![1.0, 2.0]);
+        let (l, g) = mse(&p, &p);
+        assert_eq!(l, 0.0);
+        assert!(g.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mse_known_value_and_grad() {
+        let p = Matrix::row(vec![3.0]);
+        let t = Matrix::row(vec![1.0]);
+        let (l, g) = mse(&p, &t);
+        assert_eq!(l, 4.0);
+        assert_eq!(g.data(), &[4.0]);
+    }
+
+    #[test]
+    fn huber_matches_mse_inside_delta() {
+        let p = Matrix::row(vec![0.5]);
+        let t = Matrix::row(vec![0.0]);
+        let (l, g) = huber(&p, &t, 1.0);
+        assert!((l - 0.125).abs() < 1e-12);
+        assert_eq!(g.data(), &[0.5]);
+    }
+
+    #[test]
+    fn huber_linear_in_tails() {
+        let p = Matrix::row(vec![10.0]);
+        let t = Matrix::row(vec![0.0]);
+        let (l, g) = huber(&p, &t, 1.0);
+        assert!((l - 9.5).abs() < 1e-12);
+        assert_eq!(g.data(), &[1.0], "gradient saturates at delta");
+    }
+
+    #[test]
+    fn gradients_match_finite_difference() {
+        let t = Matrix::row(vec![0.3, -0.8]);
+        let p = Matrix::row(vec![0.9, -0.1]);
+        let eps = 1e-6;
+        for (name, f) in [
+            ("mse", Box::new(|a: &Matrix, b: &Matrix| mse(a, b)) as Box<dyn Fn(&Matrix, &Matrix) -> (f64, Matrix)>),
+            ("huber", Box::new(|a: &Matrix, b: &Matrix| huber(a, b, 0.5))),
+        ] {
+            let (_, g) = f(&p, &t);
+            for i in 0..2 {
+                let mut pp = p.clone();
+                pp.data_mut()[i] += eps;
+                let mut pm = p.clone();
+                pm.data_mut()[i] -= eps;
+                let numeric = (f(&pp, &t).0 - f(&pm, &t).0) / (2.0 * eps);
+                assert!(
+                    (numeric - g.data()[i]).abs() < 1e-5,
+                    "{name}[{i}]: {numeric} vs {}",
+                    g.data()[i]
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Multi-layer perceptron: a stack of dense layers.
+
+use serde::{Deserialize, Serialize};
+
+use crate::activation::Activation;
+use crate::init::{Init, Initializer};
+use crate::layer::Dense;
+use crate::matrix::Matrix;
+
+/// A feed-forward network of dense layers.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP from explicit layer sizes and activations.
+    ///
+    /// `sizes = [in, h1, h2, out]` with `activations.len() == sizes.len()-1`.
+    /// Hidden layers use He init for ReLU / Xavier otherwise; the final layer
+    /// uses DDPG's small-uniform init so initial outputs are near zero.
+    pub fn new(sizes: &[usize], activations: &[Activation], seed: u64) -> Self {
+        assert!(sizes.len() >= 2, "need at least input and output sizes");
+        assert_eq!(
+            activations.len(),
+            sizes.len() - 1,
+            "one activation per layer"
+        );
+        let mut init = Initializer::new(seed);
+        let mut layers = Vec::with_capacity(activations.len());
+        for (i, &act) in activations.iter().enumerate() {
+            let last = i == activations.len() - 1;
+            let scheme = if last {
+                Init::SmallUniform(3e-3)
+            } else if act == Activation::Relu {
+                Init::HeUniform
+            } else {
+                Init::XavierUniform
+            };
+            layers.push(Dense::new(sizes[i], sizes[i + 1], act, &mut init, scheme));
+        }
+        Self { layers }
+    }
+
+    /// Standard two-hidden-layer ReLU network with the given head activation.
+    pub fn two_hidden(
+        in_dim: usize,
+        hidden: usize,
+        out_dim: usize,
+        head: Activation,
+        seed: u64,
+    ) -> Self {
+        Self::new(
+            &[in_dim, hidden, hidden, out_dim],
+            &[Activation::Relu, Activation::Relu, head],
+            seed,
+        )
+    }
+
+    /// Input dimension.
+    pub fn in_dim(&self) -> usize {
+        self.layers[0].in_dim()
+    }
+
+    /// Output dimension.
+    pub fn out_dim(&self) -> usize {
+        self.layers.last().expect("non-empty").out_dim()
+    }
+
+    /// Number of layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Layer access for optimizers.
+    pub fn layers(&self) -> &[Dense] {
+        &self.layers
+    }
+
+    /// Mutable layer access for optimizers.
+    pub fn layers_mut(&mut self) -> &mut [Dense] {
+        &mut self.layers
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.layers
+            .iter()
+            .map(|l| l.weights().rows() * l.weights().cols() + l.bias().len())
+            .sum()
+    }
+
+    /// Training forward pass (caches per-layer state).
+    pub fn forward(&mut self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for l in &mut self.layers {
+            x = l.forward(&x);
+        }
+        x
+    }
+
+    /// Inference forward pass (no caching, immutable).
+    pub fn infer(&self, input: &Matrix) -> Matrix {
+        let mut x = input.clone();
+        for l in &self.layers {
+            x = l.infer(&x);
+        }
+        x
+    }
+
+    /// Convenience single-sample inference.
+    pub fn infer_one(&self, input: &[f64]) -> Vec<f64> {
+        self.infer(&Matrix::row(input.to_vec())).data().to_vec()
+    }
+
+    /// Backward pass from `dL/dy`; stores parameter grads in each layer and
+    /// returns `dL/dx` at the network input.
+    pub fn backward(&mut self, grad_out: &Matrix) -> Matrix {
+        let mut g = grad_out.clone();
+        for l in self.layers.iter_mut().rev() {
+            g = l.backward(&g);
+        }
+        g
+    }
+
+    /// Polyak soft update of every layer from `src` (target networks).
+    pub fn soft_update_from(&mut self, src: &Mlp, tau: f64) {
+        assert_eq!(self.layers.len(), src.layers.len());
+        for (dst, s) in self.layers.iter_mut().zip(&src.layers) {
+            dst.soft_update_from(s, tau);
+        }
+    }
+
+    /// Hard copy of parameters from `src`.
+    pub fn copy_from(&mut self, src: &Mlp) {
+        assert_eq!(self.layers.len(), src.layers.len());
+        for (dst, s) in self.layers.iter_mut().zip(&src.layers) {
+            dst.copy_from(s);
+        }
+    }
+
+    /// Serializes parameters to JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("MLP serializes")
+    }
+
+    /// Restores a network from [`Mlp::to_json`] output.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_and_param_count() {
+        let net = Mlp::two_hidden(4, 8, 2, Activation::Tanh, 1);
+        assert_eq!(net.in_dim(), 4);
+        assert_eq!(net.out_dim(), 2);
+        assert_eq!(net.num_layers(), 3);
+        assert_eq!(net.param_count(), 4 * 8 + 8 + 8 * 8 + 8 + 8 * 2 + 2);
+    }
+
+    #[test]
+    fn tanh_head_bounds_outputs() {
+        let net = Mlp::two_hidden(3, 16, 2, Activation::Tanh, 2);
+        let y = net.infer_one(&[10.0, -10.0, 5.0]);
+        assert!(y.iter().all(|v| v.abs() <= 1.0));
+    }
+
+    #[test]
+    fn forward_and_infer_agree() {
+        let mut net = Mlp::two_hidden(3, 8, 1, Activation::Identity, 3);
+        let x = Matrix::from_vec(2, 3, vec![0.1, 0.2, 0.3, -0.1, -0.2, -0.3]);
+        let a = net.forward(&x);
+        let b = net.infer(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn end_to_end_gradient_check() {
+        // Loss = sum(outputs); verify dL/dx through the whole stack.
+        let mut net = Mlp::new(
+            &[3, 5, 2],
+            &[Activation::Tanh, Activation::Identity],
+            7,
+        );
+        let x = Matrix::from_vec(1, 3, vec![0.4, -0.7, 0.2]);
+        let y = net.forward(&x);
+        let ones = Matrix::from_vec(1, y.cols(), vec![1.0; y.cols()]);
+        let gx = net.backward(&ones);
+        let eps = 1e-6;
+        for c in 0..3 {
+            let mut xp = x.clone();
+            xp.set(0, c, x.get(0, c) + eps);
+            let mut xm = x.clone();
+            xm.set(0, c, x.get(0, c) - eps);
+            let numeric: f64 = (net.infer(&xp).data().iter().sum::<f64>()
+                - net.infer(&xm).data().iter().sum::<f64>())
+                / (2.0 * eps);
+            assert!(
+                (numeric - gx.get(0, c)).abs() < 1e-5,
+                "dX[{c}]: {numeric} vs {}",
+                gx.get(0, c)
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_learns_xor_with_sgd() {
+        let mut net = Mlp::new(
+            &[2, 8, 1],
+            &[Activation::Tanh, Activation::Sigmoid],
+            11,
+        );
+        let inputs = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]];
+        let targets = [0.0, 1.0, 1.0, 0.0];
+        for _ in 0..4000 {
+            for (x, &t) in inputs.iter().zip(&targets) {
+                let xm = Matrix::row(x.to_vec());
+                let y = net.forward(&xm);
+                let grad = Matrix::row(vec![2.0 * (y.get(0, 0) - t)]);
+                net.backward(&grad);
+                for l in net.layers_mut() {
+                    l.sgd_step(0.5);
+                }
+            }
+        }
+        for (x, &t) in inputs.iter().zip(&targets) {
+            let y = net.infer_one(x)[0];
+            assert!(
+                (y - t).abs() < 0.2,
+                "XOR({x:?}) = {y}, want {t}"
+            );
+        }
+    }
+
+    #[test]
+    fn soft_update_tau_one_copies() {
+        let a = Mlp::two_hidden(3, 4, 1, Activation::Identity, 5);
+        let mut b = Mlp::two_hidden(3, 4, 1, Activation::Identity, 6);
+        b.soft_update_from(&a, 1.0);
+        let x = [0.2, 0.4, -0.6];
+        assert_eq!(a.infer_one(&x), b.infer_one(&x));
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_behaviour() {
+        let net = Mlp::two_hidden(4, 8, 3, Activation::Tanh, 9);
+        let restored = Mlp::from_json(&net.to_json()).unwrap();
+        let x = [0.1, -0.5, 0.9, 0.0];
+        assert_eq!(net.infer_one(&x), restored.infer_one(&x));
+    }
+
+    #[test]
+    #[should_panic(expected = "one activation per layer")]
+    fn mismatched_activations_panic() {
+        let _ = Mlp::new(&[2, 3, 1], &[Activation::Relu], 1);
+    }
+}

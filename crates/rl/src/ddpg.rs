@@ -1,0 +1,395 @@
+//! Deep Deterministic Policy Gradient (Lillicrap et al. 2016) — the paper's
+//! Algorithm 2.
+//!
+//! Actor `μ_θ(x)` maps states to tanh-bounded actions; critic `Q_θ(x, a)`
+//! scores them. Training follows the paper exactly: targets
+//! `y_i = r_i + γ Q'(x_{i+1}, μ'(x_{i+1}))`, critic regression on `y`, actor
+//! ascent along `∇_a Q(x, a)|_{a=μ(x)}` (the deterministic policy gradient),
+//! and Polyak-averaged target networks (`τ`).
+
+use greennfv_nn::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::env::Transition;
+
+/// Hyperparameters for a DDPG agent.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DdpgConfig {
+    /// Discount factor γ.
+    pub gamma: f64,
+    /// Polyak averaging coefficient τ (Algorithm 2 lines 9–10).
+    pub tau: f64,
+    /// Actor learning rate.
+    pub actor_lr: f64,
+    /// Critic learning rate.
+    pub critic_lr: f64,
+    /// Hidden width of both networks.
+    pub hidden: usize,
+    /// Gradient-norm clip (0 disables).
+    pub grad_clip: f64,
+}
+
+impl Default for DdpgConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.99,
+            tau: 0.005,
+            actor_lr: 1e-3,
+            critic_lr: 1e-3,
+            hidden: 64,
+            grad_clip: 5.0,
+        }
+    }
+}
+
+/// Serializable snapshot of the actor/critic parameters, used for Ape-X
+/// parameter synchronization between the central learner and actors.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DdpgParams {
+    /// Actor network weights (JSON).
+    pub actor: String,
+    /// Critic network weights (JSON).
+    pub critic: String,
+    /// Learner step at which this snapshot was taken.
+    pub version: u64,
+}
+
+/// A DDPG actor-critic agent.
+#[derive(Debug)]
+pub struct DdpgAgent {
+    state_dim: usize,
+    action_dim: usize,
+    actor: Mlp,
+    critic: Mlp,
+    target_actor: Mlp,
+    target_critic: Mlp,
+    actor_opt: Adam,
+    critic_opt: Adam,
+    config: DdpgConfig,
+    updates: u64,
+}
+
+impl DdpgAgent {
+    /// Creates an agent for the given state/action dimensions.
+    pub fn new(state_dim: usize, action_dim: usize, config: DdpgConfig, seed: u64) -> Self {
+        let actor = Mlp::two_hidden(state_dim, config.hidden, action_dim, Activation::Tanh, seed);
+        let critic = Mlp::two_hidden(
+            state_dim + action_dim,
+            config.hidden,
+            1,
+            Activation::Identity,
+            seed.wrapping_add(1),
+        );
+        let target_actor = actor.clone();
+        let target_critic = critic.clone();
+        let mut actor_opt = Adam::new(config.actor_lr);
+        actor_opt.grad_clip = config.grad_clip;
+        let mut critic_opt = Adam::new(config.critic_lr);
+        critic_opt.grad_clip = config.grad_clip;
+        Self {
+            state_dim,
+            action_dim,
+            actor,
+            critic,
+            target_actor,
+            target_critic,
+            actor_opt,
+            critic_opt,
+            config,
+            updates: 0,
+        }
+    }
+
+    /// State dimension.
+    pub fn state_dim(&self) -> usize {
+        self.state_dim
+    }
+
+    /// Action dimension.
+    pub fn action_dim(&self) -> usize {
+        self.action_dim
+    }
+
+    /// Hyperparameters.
+    pub fn config(&self) -> DdpgConfig {
+        self.config
+    }
+
+    /// Number of gradient updates applied.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Deterministic policy action for a state (no exploration noise).
+    pub fn act(&self, state: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(state.len(), self.state_dim);
+        self.actor.infer_one(state)
+    }
+
+    /// Q-value of a (state, action) pair under the online critic.
+    pub fn q_value(&self, state: &[f64], action: &[f64]) -> f64 {
+        let mut input = state.to_vec();
+        input.extend_from_slice(action);
+        self.critic.infer_one(&input)[0]
+    }
+
+    /// One-step TD error of a transition under current networks (used by
+    /// Ape-X actors to set initial priorities).
+    pub fn td_error(&self, t: &Transition) -> f64 {
+        let next_a = self.target_actor.infer_one(&t.next_state);
+        let mut next_in = t.next_state.clone();
+        next_in.extend_from_slice(&next_a);
+        let q_next = self.target_critic.infer_one(&next_in)[0];
+        let y = t.reward + self.config.gamma * if t.done { 0.0 } else { q_next };
+        y - self.q_value(&t.state, &t.action)
+    }
+
+    /// One training step on a minibatch with per-sample importance weights.
+    ///
+    /// Returns `(critic_loss, td_errors)`; TD errors feed back into the
+    /// prioritized replay buffer.
+    pub fn update(&mut self, batch: &[Transition], weights: &[f64]) -> (f64, Vec<f64>) {
+        assert!(!batch.is_empty());
+        assert_eq!(batch.len(), weights.len());
+        let n = batch.len();
+
+        // ---- Targets: y_i = r_i + γ Q'(x', μ'(x')) -----------------------
+        let next_states = Matrix::from_vec(
+            n,
+            self.state_dim,
+            batch.iter().flat_map(|t| t.next_state.clone()).collect(),
+        );
+        let next_actions = self.target_actor.infer(&next_states);
+        let mut next_in = Matrix::zeros(n, self.state_dim + self.action_dim);
+        for i in 0..n {
+            for j in 0..self.state_dim {
+                next_in.set(i, j, next_states.get(i, j));
+            }
+            for j in 0..self.action_dim {
+                next_in.set(i, self.state_dim + j, next_actions.get(i, j));
+            }
+        }
+        let q_next = self.target_critic.infer(&next_in);
+        let targets: Vec<f64> = batch
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                t.reward
+                    + self.config.gamma * if t.done { 0.0 } else { q_next.get(i, 0) }
+            })
+            .collect();
+
+        // ---- Critic regression -------------------------------------------
+        let sa = Matrix::from_vec(
+            n,
+            self.state_dim + self.action_dim,
+            batch
+                .iter()
+                .flat_map(|t| {
+                    let mut v = t.state.clone();
+                    v.extend_from_slice(&t.action);
+                    v
+                })
+                .collect(),
+        );
+        let q = self.critic.forward(&sa);
+        let mut td = Vec::with_capacity(n);
+        let mut loss = 0.0;
+        let mut grad = Matrix::zeros(n, 1);
+        for i in 0..n {
+            let delta = q.get(i, 0) - targets[i];
+            td.push(-delta); // TD error y − Q
+            loss += weights[i] * delta * delta;
+            grad.set(i, 0, weights[i] * 2.0 * delta / n as f64);
+        }
+        loss /= n as f64;
+        self.critic.backward(&grad);
+        self.critic_opt.step(&mut self.critic);
+
+        // ---- Actor: ascend ∇_a Q(s, μ(s)) --------------------------------
+        let states = Matrix::from_vec(
+            n,
+            self.state_dim,
+            batch.iter().flat_map(|t| t.state.clone()).collect(),
+        );
+        let actions = self.actor.forward(&states);
+        let mut sa_pi = Matrix::zeros(n, self.state_dim + self.action_dim);
+        for i in 0..n {
+            for j in 0..self.state_dim {
+                sa_pi.set(i, j, states.get(i, j));
+            }
+            for j in 0..self.action_dim {
+                sa_pi.set(i, self.state_dim + j, actions.get(i, j));
+            }
+        }
+        self.critic.forward(&sa_pi);
+        // dQ/d(input) with dL/dQ = −1/n (maximize Q ⇒ minimize −Q).
+        let neg = Matrix::from_vec(n, 1, vec![-1.0 / n as f64; n]);
+        let dinput = self.critic.backward(&neg);
+        // Extract the action part of the input gradient.
+        let mut daction = Matrix::zeros(n, self.action_dim);
+        for i in 0..n {
+            for j in 0..self.action_dim {
+                daction.set(i, j, dinput.get(i, self.state_dim + j));
+            }
+        }
+        self.actor.backward(&daction);
+        self.actor_opt.step(&mut self.actor);
+
+        // ---- Target networks ----------------------------------------------
+        self.target_actor.soft_update_from(&self.actor, self.config.tau);
+        self.target_critic
+            .soft_update_from(&self.critic, self.config.tau);
+        self.updates += 1;
+        (loss, td)
+    }
+
+    /// Snapshots parameters for distribution to Ape-X actors.
+    pub fn export_params(&self) -> DdpgParams {
+        DdpgParams {
+            actor: self.actor.to_json(),
+            critic: self.critic.to_json(),
+            version: self.updates,
+        }
+    }
+
+    /// Loads a parameter snapshot (actors call this on sync).
+    pub fn import_params(&mut self, p: &DdpgParams) -> Result<(), serde_json::Error> {
+        self.actor = Mlp::from_json(&p.actor)?;
+        self.critic = Mlp::from_json(&p.critic)?;
+        Ok(())
+    }
+
+    /// Hard-copies online networks into the targets (used at initialization).
+    pub fn sync_targets(&mut self) {
+        self.target_actor.copy_from(&self.actor);
+        self.target_critic.copy_from(&self.critic);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_envs::MoveToOrigin;
+    use crate::env::Environment;
+    use crate::noise::OrnsteinUhlenbeck;
+    use crate::replay::ReplayBuffer;
+
+    #[test]
+    fn act_is_bounded_and_deterministic() {
+        let agent = DdpgAgent::new(3, 2, DdpgConfig::default(), 1);
+        let a1 = agent.act(&[0.5, -0.5, 0.1]);
+        let a2 = agent.act(&[0.5, -0.5, 0.1]);
+        assert_eq!(a1, a2);
+        assert!(a1.iter().all(|x| x.abs() <= 1.0));
+        assert_eq!(a1.len(), 2);
+    }
+
+    #[test]
+    fn update_reduces_critic_loss_on_fixed_batch() {
+        let mut agent = DdpgAgent::new(2, 1, DdpgConfig::default(), 2);
+        let batch: Vec<Transition> = (0..16)
+            .map(|i| Transition {
+                state: vec![i as f64 / 16.0, 0.5],
+                action: vec![0.1],
+                reward: 1.0,
+                next_state: vec![i as f64 / 16.0, 0.5],
+                done: true, // targets are just rewards: supervised regression
+            })
+            .collect();
+        let w = vec![1.0; 16];
+        let (first, _) = agent.update(&batch, &w);
+        let mut last = first;
+        for _ in 0..200 {
+            let (l, _) = agent.update(&batch, &w);
+            last = l;
+        }
+        assert!(last < first * 0.1, "critic loss {first} → {last}");
+    }
+
+    #[test]
+    fn td_errors_shrink_as_critic_fits() {
+        let mut agent = DdpgAgent::new(1, 1, DdpgConfig::default(), 3);
+        let t = Transition {
+            state: vec![0.3],
+            action: vec![0.2],
+            reward: 2.0,
+            next_state: vec![0.3],
+            done: true,
+        };
+        let before = agent.td_error(&t).abs();
+        for _ in 0..300 {
+            agent.update(std::slice::from_ref(&t), &[1.0]);
+        }
+        let after = agent.td_error(&t).abs();
+        assert!(after < before, "TD error {before} → {after}");
+    }
+
+    #[test]
+    fn params_roundtrip_preserves_policy() {
+        let agent = DdpgAgent::new(4, 2, DdpgConfig::default(), 4);
+        let params = agent.export_params();
+        let mut clone = DdpgAgent::new(4, 2, DdpgConfig::default(), 999);
+        clone.import_params(&params).unwrap();
+        let s = [0.1, 0.2, 0.3, 0.4];
+        assert_eq!(agent.act(&s), clone.act(&s));
+        assert_eq!(params.version, agent.updates());
+    }
+
+    /// End-to-end sanity: DDPG learns to move to the origin.
+    #[test]
+    fn ddpg_solves_move_to_origin() {
+        let cfg = DdpgConfig {
+            hidden: 32,
+            actor_lr: 3e-3,
+            critic_lr: 3e-3,
+            tau: 0.02,
+            gamma: 0.95,
+            grad_clip: 5.0,
+        };
+        let mut agent = DdpgAgent::new(1, 1, cfg, 7);
+        let mut env = MoveToOrigin::new(0.9, 20);
+        let mut noise = OrnsteinUhlenbeck::standard(1, 8);
+        let mut buf = ReplayBuffer::new(10_000, 9);
+        // Collect + train.
+        for _ep in 0..60 {
+            let mut s = env.reset();
+            noise.reset();
+            loop {
+                let mut a = agent.act(&s);
+                for (ai, ni) in a.iter_mut().zip(noise.sample()) {
+                    *ai = (*ai + ni).clamp(-1.0, 1.0);
+                }
+                let step = env.step(&a);
+                buf.push(Transition {
+                    state: s.clone(),
+                    action: a,
+                    reward: step.reward,
+                    next_state: step.next_state.clone(),
+                    done: step.done,
+                });
+                s = step.next_state;
+                if buf.len() >= 64 {
+                    let batch = buf.sample(64);
+                    let w = vec![1.0; 64];
+                    agent.update(&batch, &w);
+                }
+                if step.done {
+                    break;
+                }
+            }
+        }
+        // Evaluate greedily: should end near the origin.
+        let mut s = env.reset();
+        for _ in 0..20 {
+            let a = agent.act(&s);
+            let step = env.step(&a);
+            s = step.next_state;
+        }
+        assert!(
+            s[0].abs() < 0.25,
+            "final position {} should be near origin",
+            s[0]
+        );
+    }
+}

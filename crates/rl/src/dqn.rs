@@ -1,0 +1,271 @@
+//! Deep Q-Network (Mnih et al. 2015) over a discretized action set.
+//!
+//! The paper's §4.3 discusses DQN as the step between tabular Q-learning and
+//! DDPG: it learns the Q-table with a neural network but "cannot process a
+//! high number of actions in continuous space — because of the DNN, the
+//! output layer can only handle a handful of actions". This implementation
+//! reproduces exactly that design point (and limitation): the action space
+//! must be enumerated, so five knobs at even 3 levels already cost a
+//! 243-way output head.
+
+use greennfv_nn::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::env::Transition;
+use crate::replay::ReplayBuffer;
+
+/// DQN hyperparameters.
+#[derive(Debug, Clone, Copy)]
+pub struct DqnConfig {
+    /// Discount factor.
+    pub gamma: f64,
+    /// Learning rate.
+    pub lr: f64,
+    /// Hidden width.
+    pub hidden: usize,
+    /// Steps between target-network refreshes.
+    pub target_sync_every: u64,
+    /// Exploration rate.
+    pub epsilon: f64,
+}
+
+impl Default for DqnConfig {
+    fn default() -> Self {
+        Self {
+            gamma: 0.99,
+            lr: 1e-3,
+            hidden: 64,
+            target_sync_every: 200,
+            epsilon: 0.1,
+        }
+    }
+}
+
+/// A DQN agent over `n_actions` discrete actions.
+#[derive(Debug)]
+pub struct DqnAgent {
+    online: Mlp,
+    target: Mlp,
+    opt: Adam,
+    config: DqnConfig,
+    n_actions: usize,
+    state_dim: usize,
+    updates: u64,
+    rng: StdRng,
+}
+
+impl DqnAgent {
+    /// Creates an agent for `state_dim`-dimensional states and `n_actions`
+    /// discrete actions.
+    pub fn new(state_dim: usize, n_actions: usize, config: DqnConfig, seed: u64) -> Self {
+        let online = Mlp::two_hidden(state_dim, config.hidden, n_actions, Activation::Identity, seed);
+        let target = online.clone();
+        let mut opt = Adam::new(config.lr);
+        opt.grad_clip = 5.0;
+        Self {
+            online,
+            target,
+            opt,
+            config,
+            n_actions,
+            state_dim,
+            updates: 0,
+            rng: StdRng::seed_from_u64(seed.wrapping_add(99)),
+        }
+    }
+
+    /// Number of discrete actions (the paper's `O(k^5)` head width).
+    pub fn n_actions(&self) -> usize {
+        self.n_actions
+    }
+
+    /// Gradient updates applied so far.
+    pub fn updates(&self) -> u64 {
+        self.updates
+    }
+
+    /// Sets the exploration rate.
+    pub fn set_epsilon(&mut self, eps: f64) {
+        self.config.epsilon = eps;
+    }
+
+    /// All Q-values for a state.
+    pub fn q_values(&self, state: &[f64]) -> Vec<f64> {
+        debug_assert_eq!(state.len(), self.state_dim);
+        self.online.infer_one(state)
+    }
+
+    /// Greedy action index.
+    pub fn act_greedy(&self, state: &[f64]) -> usize {
+        argmax(&self.q_values(state))
+    }
+
+    /// ε-greedy action index.
+    pub fn act(&mut self, state: &[f64]) -> usize {
+        if self.rng.random::<f64>() < self.config.epsilon {
+            self.rng.random_range(0..self.n_actions)
+        } else {
+            self.act_greedy(state)
+        }
+    }
+
+    /// One training step on a minibatch. Actions are stored as one-element
+    /// vectors holding the discrete action index.
+    ///
+    /// Returns the minibatch TD loss.
+    pub fn update(&mut self, batch: &[Transition]) -> f64 {
+        assert!(!batch.is_empty());
+        let n = batch.len();
+        // Q-targets: r + γ max_a' Q_target(s', a').
+        let next_states = Matrix::from_vec(
+            n,
+            self.state_dim,
+            batch.iter().flat_map(|t| t.next_state.clone()).collect(),
+        );
+        let q_next = self.target.infer(&next_states);
+        let states = Matrix::from_vec(
+            n,
+            self.state_dim,
+            batch.iter().flat_map(|t| t.state.clone()).collect(),
+        );
+        let q = self.online.forward(&states);
+        let mut grad = Matrix::zeros(n, self.n_actions);
+        let mut loss = 0.0;
+        for (i, t) in batch.iter().enumerate() {
+            let a = t.action[0] as usize;
+            debug_assert!(a < self.n_actions);
+            let max_next = (0..self.n_actions)
+                .map(|j| q_next.get(i, j))
+                .fold(f64::NEG_INFINITY, f64::max);
+            let target = t.reward + self.config.gamma * if t.done { 0.0 } else { max_next };
+            let delta = q.get(i, a) - target;
+            loss += delta * delta;
+            grad.set(i, a, 2.0 * delta / n as f64);
+        }
+        self.online.backward(&grad);
+        self.opt.step(&mut self.online);
+        self.updates += 1;
+        if self.updates.is_multiple_of(self.config.target_sync_every) {
+            self.target.copy_from(&self.online);
+        }
+        loss / n as f64
+    }
+
+    /// Convenience training loop: interacts with an environment that exposes
+    /// discrete actions through a decode callback.
+    pub fn train_on<F>(
+        &mut self,
+        env: &mut dyn crate::env::Environment,
+        episodes: u32,
+        steps_per_episode: u32,
+        batch_size: usize,
+        mut decode: F,
+        seed: u64,
+    ) where
+        F: FnMut(usize) -> Vec<f64>,
+    {
+        let mut buf = ReplayBuffer::new(50_000, seed);
+        for _ in 0..episodes {
+            let mut state = env.reset();
+            for _ in 0..steps_per_episode {
+                let a_idx = self.act(&state);
+                let step = env.step(&decode(a_idx));
+                buf.push(Transition {
+                    state: state.clone(),
+                    action: vec![a_idx as f64],
+                    reward: step.reward,
+                    next_state: step.next_state.clone(),
+                    done: step.done,
+                });
+                state = step.next_state;
+                if buf.len() >= batch_size * 2 {
+                    let batch = buf.sample(batch_size);
+                    self.update(&batch);
+                }
+                if step.done {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+fn argmax(xs: &[f64]) -> usize {
+    xs.iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite Q-values"))
+        .map(|(i, _)| i)
+        .unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::env::test_envs::MoveToOrigin;
+    use crate::env::Environment;
+
+    #[test]
+    fn qvalues_have_action_width() {
+        let agent = DqnAgent::new(3, 7, DqnConfig::default(), 1);
+        assert_eq!(agent.q_values(&[0.1, 0.2, 0.3]).len(), 7);
+        assert_eq!(agent.n_actions(), 7);
+    }
+
+    #[test]
+    fn epsilon_one_explores_uniformly() {
+        let mut agent = DqnAgent::new(1, 4, DqnConfig::default(), 2);
+        agent.set_epsilon(1.0);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..200 {
+            seen.insert(agent.act(&[0.0]));
+        }
+        assert_eq!(seen.len(), 4);
+    }
+
+    #[test]
+    fn update_fits_fixed_targets() {
+        let mut agent = DqnAgent::new(2, 3, DqnConfig::default(), 3);
+        let batch: Vec<Transition> = (0..16)
+            .map(|i| Transition {
+                state: vec![(i % 4) as f64 / 4.0, 0.2],
+                action: vec![(i % 3) as f64],
+                reward: (i % 3) as f64, // action k pays k
+                next_state: vec![0.0, 0.0],
+                done: true,
+            })
+            .collect();
+        let first = agent.update(&batch);
+        let mut last = first;
+        for _ in 0..300 {
+            last = agent.update(&batch);
+        }
+        assert!(last < first * 0.05, "loss {first} -> {last}");
+        // Action 2 must now look best in these states.
+        assert_eq!(agent.act_greedy(&[0.25, 0.2]), 2);
+    }
+
+    #[test]
+    fn dqn_solves_move_to_origin_with_discrete_actions() {
+        // 3 actions: left / stay / right.
+        let decode = |a: usize| vec![(a as f64) - 1.0];
+        let mut env = MoveToOrigin::new(0.8, 16);
+        let mut agent = DqnAgent::new(
+            1,
+            3,
+            DqnConfig {
+                epsilon: 0.3,
+                ..DqnConfig::default()
+            },
+            7,
+        );
+        agent.train_on(&mut env, 80, 16, 32, decode, 9);
+        agent.set_epsilon(0.0);
+        let mut s = env.reset();
+        for _ in 0..16 {
+            let a = agent.act_greedy(&s);
+            s = env.step(&decode(a)).next_state;
+        }
+        assert!(s[0].abs() < 0.3, "final position {}", s[0]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Environment abstraction for continuous-control RL.
+
+/// Outcome of one environment step.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Step {
+    /// Next observed state.
+    pub next_state: Vec<f64>,
+    /// Scalar reward.
+    pub reward: f64,
+    /// Whether the episode terminated.
+    pub done: bool,
+}
+
+/// A continuous-state, continuous-action environment.
+///
+/// Actions are normalized to `[-1, 1]^action_dim`; environments map them to
+/// their native ranges internally (see `greennfv::action`).
+pub trait Environment {
+    /// Dimension of the observation vector.
+    fn state_dim(&self) -> usize;
+    /// Dimension of the (normalized) action vector.
+    fn action_dim(&self) -> usize;
+    /// Resets to an initial state and returns the first observation.
+    fn reset(&mut self) -> Vec<f64>;
+    /// Applies an action, advancing one step.
+    fn step(&mut self, action: &[f64]) -> Step;
+}
+
+/// One transition `(x_i, a_i, r_i, x_{i+1}, done)` — the experience tuple of
+/// the paper's Algorithm 2 line 2.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Transition {
+    /// State observed before acting.
+    pub state: Vec<f64>,
+    /// Action taken (normalized).
+    pub action: Vec<f64>,
+    /// Reward received.
+    pub reward: f64,
+    /// Resulting state.
+    pub next_state: Vec<f64>,
+    /// Episode-termination flag.
+    pub done: bool,
+}
+
+#[cfg(test)]
+pub(crate) mod test_envs {
+    use super::*;
+
+    /// 1-D deterministic environment: state is the position in [-1, 1];
+    /// action moves it; reward is `-(position)^2`, optimum at the origin.
+    /// DDPG must learn the policy "move toward zero".
+    pub struct MoveToOrigin {
+        pub pos: f64,
+        pub steps: u32,
+        pub horizon: u32,
+        start: f64,
+    }
+
+    impl MoveToOrigin {
+        pub fn new(start: f64, horizon: u32) -> Self {
+            Self {
+                pos: start,
+                steps: 0,
+                horizon,
+                start,
+            }
+        }
+    }
+
+    impl Environment for MoveToOrigin {
+        fn state_dim(&self) -> usize {
+            1
+        }
+        fn action_dim(&self) -> usize {
+            1
+        }
+        fn reset(&mut self) -> Vec<f64> {
+            self.pos = self.start;
+            self.steps = 0;
+            vec![self.pos]
+        }
+        fn step(&mut self, action: &[f64]) -> Step {
+            self.pos = (self.pos + 0.5 * action[0]).clamp(-1.0, 1.0);
+            self.steps += 1;
+            Step {
+                next_state: vec![self.pos],
+                reward: -self.pos * self.pos,
+                done: self.steps >= self.horizon,
+            }
+        }
+    }
+
+    #[test]
+    fn move_to_origin_dynamics() {
+        let mut e = MoveToOrigin::new(0.8, 3);
+        assert_eq!(e.reset(), vec![0.8]);
+        let s = e.step(&[-1.0]);
+        assert!((s.next_state[0] - 0.3).abs() < 1e-12);
+        assert!(s.reward < 0.0);
+        assert!(!s.done);
+        e.step(&[0.0]);
+        let s = e.step(&[0.0]);
+        assert!(s.done);
+    }
+}

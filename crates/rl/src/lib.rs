@@ -1,0 +1,35 @@
+//! # greennfv-rl — reinforcement-learning algorithms for GreenNFV
+//!
+//! Implements everything the paper's learning stack needs, from scratch:
+//!
+//! * [`ddpg`] — Deep Deterministic Policy Gradient (Algorithm 2): actor-critic
+//!   with target networks, Polyak averaging, and importance-weighted updates;
+//! * [`per`] — prioritized experience replay over a sum tree (the Ape-X
+//!   central replay memory), plus uniform replay in [`replay`];
+//! * [`noise`] — Ornstein–Uhlenbeck and Gaussian exploration noise;
+//! * [`qlearning`] — the discretized tabular Q-learning comparison model;
+//! * [`env`] — the environment/transition abstraction the `greennfv` crate
+//!   implements over the NFV simulator.
+
+#![warn(missing_docs)]
+
+pub mod ddpg;
+pub mod dqn;
+pub mod env;
+pub mod noise;
+pub mod per;
+pub mod qlearning;
+pub mod replay;
+pub mod schedule;
+
+/// Common imports.
+pub mod prelude {
+    pub use crate::ddpg::{DdpgAgent, DdpgConfig, DdpgParams};
+    pub use crate::dqn::{DqnAgent, DqnConfig};
+    pub use crate::env::{Environment, Step, Transition};
+    pub use crate::noise::{GaussianNoise, OrnsteinUhlenbeck};
+    pub use crate::per::{PrioritizedBatch, PrioritizedReplay, SumTree};
+    pub use crate::qlearning::{Discretizer, QLearning};
+    pub use crate::replay::ReplayBuffer;
+    pub use crate::schedule::Schedule;
+}

@@ -1,0 +1,167 @@
+//! Exploration noise: Ornstein–Uhlenbeck (DDPG's `N_t` in Algorithm 2) and
+//! uncorrelated Gaussian.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Temporally correlated Ornstein–Uhlenbeck noise:
+/// `dx = θ(μ − x)dt + σ dW`.
+#[derive(Debug)]
+pub struct OrnsteinUhlenbeck {
+    theta: f64,
+    mu: f64,
+    sigma: f64,
+    state: Vec<f64>,
+    rng: StdRng,
+}
+
+impl OrnsteinUhlenbeck {
+    /// Creates an OU process of `dim` dimensions with DDPG's usual parameters
+    /// unless overridden (θ=0.15, μ=0, σ=0.2).
+    pub fn new(dim: usize, theta: f64, mu: f64, sigma: f64, seed: u64) -> Self {
+        Self {
+            theta,
+            mu,
+            sigma,
+            state: vec![mu; dim],
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Standard DDPG configuration.
+    pub fn standard(dim: usize, seed: u64) -> Self {
+        Self::new(dim, 0.15, 0.0, 0.2, seed)
+    }
+
+    /// Scales the volatility (used for exploration decay).
+    pub fn set_sigma(&mut self, sigma: f64) {
+        self.sigma = sigma;
+    }
+
+    /// Current volatility.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// Advances the process one step and returns the noise vector.
+    pub fn sample(&mut self) -> Vec<f64> {
+        for x in &mut self.state {
+            let z = gaussian(&mut self.rng);
+            *x += self.theta * (self.mu - *x) + self.sigma * z;
+        }
+        self.state.clone()
+    }
+
+    /// Resets the process to its mean.
+    pub fn reset(&mut self) {
+        for x in &mut self.state {
+            *x = self.mu;
+        }
+    }
+}
+
+/// Uncorrelated Gaussian action noise.
+#[derive(Debug)]
+pub struct GaussianNoise {
+    dim: usize,
+    sigma: f64,
+    rng: StdRng,
+}
+
+impl GaussianNoise {
+    /// Creates `dim`-dimensional N(0, σ²) noise.
+    pub fn new(dim: usize, sigma: f64, seed: u64) -> Self {
+        Self {
+            dim,
+            sigma,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Sets the standard deviation.
+    pub fn set_sigma(&mut self, sigma: f64) {
+        self.sigma = sigma;
+    }
+
+    /// Draws one noise vector.
+    pub fn sample(&mut self) -> Vec<f64> {
+        (0..self.dim)
+            .map(|_| self.sigma * gaussian(&mut self.rng))
+            .collect()
+    }
+}
+
+/// Box–Muller standard normal.
+fn gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ou_is_mean_reverting() {
+        let mut ou = OrnsteinUhlenbeck::new(1, 0.5, 0.0, 0.0, 1); // no volatility
+        ou.state[0] = 2.0;
+        for _ in 0..50 {
+            ou.sample();
+        }
+        assert!(ou.state[0].abs() < 0.01, "state must revert to mu");
+    }
+
+    #[test]
+    fn ou_is_temporally_correlated() {
+        let mut ou = OrnsteinUhlenbeck::standard(1, 2);
+        let mut prev = ou.sample()[0];
+        let mut abs_diff = 0.0;
+        let mut abs_val = 0.0;
+        for _ in 0..2000 {
+            let x = ou.sample()[0];
+            abs_diff += (x - prev).abs();
+            abs_val += x.abs();
+            prev = x;
+        }
+        // Successive increments are smaller than typical magnitudes.
+        assert!(abs_diff < 2.0 * abs_val, "OU steps should be correlated");
+    }
+
+    #[test]
+    fn ou_reset_returns_to_mean() {
+        let mut ou = OrnsteinUhlenbeck::standard(3, 3);
+        ou.sample();
+        ou.reset();
+        assert_eq!(ou.state, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn gaussian_moments() {
+        let mut g = GaussianNoise::new(1, 2.0, 4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| g.sample()[0]).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.06, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.25, "var {var}");
+    }
+
+    #[test]
+    fn sigma_decay_shrinks_noise() {
+        let mut g = GaussianNoise::new(4, 1.0, 5);
+        let big: f64 = g.sample().iter().map(|x| x.abs()).sum();
+        g.set_sigma(1e-6);
+        let small: f64 = g.sample().iter().map(|x| x.abs()).sum();
+        assert!(small < big);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = OrnsteinUhlenbeck::standard(2, 42);
+        let mut b = OrnsteinUhlenbeck::standard(2, 42);
+        for _ in 0..10 {
+            assert_eq!(a.sample(), b.sample());
+        }
+    }
+}

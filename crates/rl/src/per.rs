@@ -1,0 +1,360 @@
+//! Prioritized experience replay (Schaul et al. 2016) over a sum tree —
+//! the replay memory of the paper's Ape-X style central learner.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::env::Transition;
+
+/// A fixed-capacity sum tree: leaf `i` holds a priority; internal nodes hold
+/// subtree sums, enabling O(log n) prefix-sum sampling and updates.
+#[derive(Debug, Clone)]
+pub struct SumTree {
+    capacity: usize,
+    /// Binary heap layout: nodes[1] is the root; leaves start at `capacity`.
+    nodes: Vec<f64>,
+}
+
+impl SumTree {
+    /// Creates a tree with `capacity` leaves (rounded up to a power of two).
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(2).next_power_of_two();
+        Self {
+            capacity: cap,
+            nodes: vec![0.0; 2 * cap],
+        }
+    }
+
+    /// Number of leaves.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Sum of all priorities.
+    pub fn total(&self) -> f64 {
+        self.nodes[1]
+    }
+
+    /// Priority of leaf `i`.
+    pub fn get(&self, i: usize) -> f64 {
+        self.nodes[self.capacity + i]
+    }
+
+    /// Sets leaf `i` to `priority`, updating ancestor sums.
+    pub fn set(&mut self, i: usize, priority: f64) {
+        assert!(i < self.capacity, "leaf index out of range");
+        assert!(priority >= 0.0 && priority.is_finite(), "priority must be finite, >= 0");
+        let mut idx = self.capacity + i;
+        let delta = priority - self.nodes[idx];
+        self.nodes[idx] = priority;
+        while idx > 1 {
+            idx /= 2;
+            self.nodes[idx] += delta;
+        }
+    }
+
+    /// Finds the leaf whose cumulative-priority interval contains `prefix`
+    /// (`0 <= prefix < total`). Returns the leaf index.
+    pub fn find_prefix(&self, prefix: f64) -> usize {
+        let mut p = prefix.clamp(0.0, self.total().max(0.0));
+        let mut idx = 1;
+        while idx < self.capacity {
+            let left = 2 * idx;
+            if p < self.nodes[left] {
+                idx = left;
+            } else {
+                p -= self.nodes[left];
+                idx = left + 1;
+            }
+        }
+        idx - self.capacity
+    }
+}
+
+/// A sampled minibatch with importance weights.
+#[derive(Debug, Clone)]
+pub struct PrioritizedBatch {
+    /// Buffer slots of the sampled transitions (for priority updates).
+    pub indices: Vec<usize>,
+    /// The transitions themselves.
+    pub transitions: Vec<Transition>,
+    /// Importance-sampling weights, normalized to max 1.
+    pub weights: Vec<f64>,
+}
+
+/// Prioritized replay buffer: priorities `p = (|δ| + ε)^α`, sampling
+/// probability ∝ p, importance weights `(N·P(i))^{-β}` normalized by max.
+#[derive(Debug)]
+pub struct PrioritizedReplay {
+    capacity: usize,
+    tree: SumTree,
+    data: Vec<Option<Transition>>,
+    next: usize,
+    len: usize,
+    max_priority: f64,
+    /// Priority exponent α.
+    pub alpha: f64,
+    /// Small constant ε keeping priorities strictly positive.
+    pub epsilon: f64,
+    rng: StdRng,
+    inserted_total: u64,
+}
+
+impl PrioritizedReplay {
+    /// Creates a buffer of `capacity` transitions.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        let tree = SumTree::new(capacity);
+        let cap = tree.capacity();
+        Self {
+            capacity: cap,
+            tree,
+            data: vec![None; cap],
+            next: 0,
+            len: 0,
+            max_priority: 1.0,
+            alpha: 0.6,
+            epsilon: 1e-3,
+            rng: StdRng::seed_from_u64(seed),
+        inserted_total: 0,
+        }
+    }
+
+    /// Stored transition count.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Capacity in transitions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total insertions over the buffer's lifetime.
+    pub fn inserted_total(&self) -> u64 {
+        self.inserted_total
+    }
+
+    /// Inserts a transition at maximal priority (new experience is always
+    /// worth at least one replay), evicting the oldest slot when full.
+    pub fn push(&mut self, t: Transition) {
+        self.data[self.next] = Some(t);
+        self.tree.set(self.next, self.max_priority);
+        self.next = (self.next + 1) % self.capacity;
+        if self.len < self.capacity {
+            self.len += 1;
+        }
+        self.inserted_total += 1;
+    }
+
+    /// Inserts a transition with an explicit initial priority (used by Ape-X
+    /// actors, which compute initial TD errors locally).
+    pub fn push_with_priority(&mut self, t: Transition, td_error: f64) {
+        let p = (td_error.abs() + self.epsilon).powf(self.alpha);
+        self.max_priority = self.max_priority.max(p);
+        self.data[self.next] = Some(t);
+        self.tree.set(self.next, p);
+        self.next = (self.next + 1) % self.capacity;
+        if self.len < self.capacity {
+            self.len += 1;
+        }
+        self.inserted_total += 1;
+    }
+
+    /// Samples `n` transitions by stratified prefix sampling, returning
+    /// importance weights computed at inverse-temperature `beta`.
+    pub fn sample(&mut self, n: usize, beta: f64) -> PrioritizedBatch {
+        assert!(self.len > 0, "cannot sample an empty buffer");
+        let total = self.tree.total();
+        let seg = total / n as f64;
+        let mut indices = Vec::with_capacity(n);
+        let mut transitions = Vec::with_capacity(n);
+        let mut weights = Vec::with_capacity(n);
+        let mut max_w: f64 = 0.0;
+        for k in 0..n {
+            // Stratified: one draw per segment keeps coverage even.
+            let prefix = seg * k as f64 + self.rng.random::<f64>() * seg;
+            let mut idx = self.tree.find_prefix(prefix);
+            // Guard against landing on an empty slot (can happen while the
+            // buffer is filling because tree capacity is a power of two).
+            if self.data[idx].is_none() {
+                idx = self.rng.random_range(0..self.len);
+            }
+            let p = self.tree.get(idx).max(1e-12);
+            let prob = p / total.max(1e-12);
+            let w = (self.len as f64 * prob).powf(-beta);
+            max_w = max_w.max(w);
+            indices.push(idx);
+            transitions.push(self.data[idx].clone().expect("checked above"));
+            weights.push(w);
+        }
+        if max_w > 0.0 {
+            for w in &mut weights {
+                *w /= max_w;
+            }
+        }
+        PrioritizedBatch {
+            indices,
+            transitions,
+            weights,
+        }
+    }
+
+    /// Updates priorities after a learning step from the new TD errors.
+    pub fn update_priorities(&mut self, indices: &[usize], td_errors: &[f64]) {
+        assert_eq!(indices.len(), td_errors.len());
+        for (&i, &d) in indices.iter().zip(td_errors) {
+            let p = (d.abs() + self.epsilon).powf(self.alpha);
+            self.max_priority = self.max_priority.max(p);
+            if self.data[i].is_some() {
+                self.tree.set(i, p);
+            }
+        }
+    }
+
+    /// Removes the oldest `n` experiences (the paper's learner "periodically
+    /// removes the old experiences from replay buffer", Algorithm 3 line 18).
+    pub fn evict_oldest(&mut self, n: usize) {
+        let n = n.min(self.len);
+        // Oldest entries start at `next` when full, else at 0.
+        let start = if self.len == self.capacity { self.next } else { 0 };
+        for k in 0..n {
+            let idx = (start + k) % self.capacity;
+            self.data[idx] = None;
+            self.tree.set(idx, 0.0);
+        }
+        self.len -= n;
+        // Compact: nothing else needed — sampling skips empty slots.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(v: f64) -> Transition {
+        Transition {
+            state: vec![v],
+            action: vec![0.0],
+            reward: v,
+            next_state: vec![v],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn sum_tree_total_invariant() {
+        let mut t = SumTree::new(8);
+        t.set(0, 3.0);
+        t.set(3, 2.0);
+        t.set(7, 5.0);
+        assert!((t.total() - 10.0).abs() < 1e-12);
+        t.set(3, 0.0);
+        assert!((t.total() - 8.0).abs() < 1e-12);
+        assert_eq!(t.get(0), 3.0);
+    }
+
+    #[test]
+    fn sum_tree_prefix_lookup() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 2.0);
+        t.set(2, 3.0);
+        t.set(3, 4.0);
+        assert_eq!(t.find_prefix(0.5), 0);
+        assert_eq!(t.find_prefix(1.5), 1);
+        assert_eq!(t.find_prefix(3.5), 2);
+        assert_eq!(t.find_prefix(9.9), 3);
+    }
+
+    #[test]
+    fn sum_tree_sampling_proportional_to_priority() {
+        let mut t = SumTree::new(4);
+        t.set(0, 1.0);
+        t.set(1, 9.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0u32; 2];
+        for _ in 0..10_000 {
+            let u: f64 = rng.random::<f64>() * t.total();
+            counts[t.find_prefix(u)] += 1;
+        }
+        let frac = counts[1] as f64 / 10_000.0;
+        assert!((frac - 0.9).abs() < 0.02, "fraction {frac}");
+    }
+
+    #[test]
+    fn per_prefers_high_td_error() {
+        let mut b = PrioritizedReplay::new(8, 7);
+        for i in 0..8 {
+            b.push(tr(i as f64));
+        }
+        // Make element with reward 3.0 dominate.
+        let all: Vec<usize> = (0..8).collect();
+        let mut errs = vec![0.01; 8];
+        errs[3] = 10.0;
+        b.update_priorities(&all, &errs);
+        let batch = b.sample(256, 0.4);
+        let hits = batch
+            .transitions
+            .iter()
+            .filter(|t| (t.reward - 3.0).abs() < 1e-9)
+            .count();
+        assert!(hits > 128, "dominant element sampled {hits}/256");
+        // Its importance weight must be the smallest (down-weighting bias).
+        let w3 = batch
+            .indices
+            .iter()
+            .zip(&batch.weights)
+            .find(|(i, _)| **i == 3)
+            .map(|(_, w)| *w)
+            .unwrap();
+        let wmax = batch.weights.iter().cloned().fold(0.0, f64::max);
+        assert!(w3 <= wmax);
+        assert!((wmax - 1.0).abs() < 1e-12, "weights normalized to max 1");
+    }
+
+    #[test]
+    fn per_eviction_removes_oldest() {
+        let mut b = PrioritizedReplay::new(4, 9);
+        for i in 0..4 {
+            b.push(tr(i as f64));
+        }
+        b.evict_oldest(2);
+        assert_eq!(b.len(), 2);
+        let batch = b.sample(64, 0.4);
+        assert!(batch.transitions.iter().all(|t| t.reward >= 2.0));
+    }
+
+    #[test]
+    fn per_wraparound_overwrites() {
+        let mut b = PrioritizedReplay::new(2, 11);
+        for i in 0..5 {
+            b.push(tr(i as f64));
+        }
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.inserted_total(), 5);
+        let batch = b.sample(32, 0.4);
+        assert!(batch.transitions.iter().all(|t| t.reward >= 3.0));
+    }
+
+    #[test]
+    fn push_with_priority_scales_sampling() {
+        let mut b = PrioritizedReplay::new(8, 13);
+        b.push_with_priority(tr(0.0), 0.001);
+        b.push_with_priority(tr(1.0), 50.0);
+        let batch = b.sample(200, 0.4);
+        let hot = batch.transitions.iter().filter(|t| t.reward == 1.0).count();
+        assert!(hot > 150, "high-error sample drawn {hot}/200");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sampling_empty_panics() {
+        let mut b = PrioritizedReplay::new(4, 1);
+        let _ = b.sample(1, 0.4);
+    }
+}

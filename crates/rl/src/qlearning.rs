@@ -1,0 +1,230 @@
+//! Tabular Q-learning (Watkins & Dayan 1992) over discretized state/action
+//! spaces — the comparison model the paper evaluates against GreenNFV.
+//!
+//! The paper notes its central weakness: with `k` discrete levels per knob
+//! and 5 knobs the action table grows as `O(k^5)`, so only coarse levels are
+//! affordable and fine-tuning is impossible. This implementation reproduces
+//! exactly that trade-off.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Uniform discretizer mapping `[lo, hi]` into `levels` bins.
+#[derive(Debug, Clone)]
+pub struct Discretizer {
+    lo: Vec<f64>,
+    hi: Vec<f64>,
+    levels: usize,
+}
+
+impl Discretizer {
+    /// Creates a discretizer for vectors with per-dimension bounds.
+    pub fn new(lo: Vec<f64>, hi: Vec<f64>, levels: usize) -> Self {
+        assert_eq!(lo.len(), hi.len());
+        assert!(levels >= 2);
+        Self { lo, hi, levels }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.lo.len()
+    }
+
+    /// Levels per dimension.
+    pub fn levels(&self) -> usize {
+        self.levels
+    }
+
+    /// Total number of cells (`levels^dims`).
+    pub fn cells(&self) -> u64 {
+        (self.levels as u64).pow(self.dims() as u32)
+    }
+
+    /// Encodes a continuous vector into a dense cell index.
+    pub fn encode(&self, x: &[f64]) -> u64 {
+        assert_eq!(x.len(), self.dims());
+        let mut idx = 0u64;
+        for ((&xi, &lo), &hi) in x.iter().zip(&self.lo).zip(&self.hi) {
+            let t = if hi > lo {
+                ((xi - lo) / (hi - lo)).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let bin = ((t * self.levels as f64) as usize).min(self.levels - 1);
+            idx = idx * self.levels as u64 + bin as u64;
+        }
+        idx
+    }
+
+    /// Decodes a cell index back to bin-center values.
+    pub fn decode(&self, mut idx: u64) -> Vec<f64> {
+        let mut out = vec![0.0; self.dims()];
+        for i in (0..self.dims()).rev() {
+            let bin = (idx % self.levels as u64) as f64;
+            idx /= self.levels as u64;
+            let t = (bin + 0.5) / self.levels as f64;
+            out[i] = self.lo[i] + t * (self.hi[i] - self.lo[i]);
+        }
+        out
+    }
+}
+
+/// Tabular ε-greedy Q-learning agent.
+#[derive(Debug)]
+pub struct QLearning {
+    state_disc: Discretizer,
+    action_disc: Discretizer,
+    /// Q-table keyed by (state_cell, action_cell); sparse to stay bounded.
+    table: HashMap<(u64, u64), f64>,
+    /// Learning rate.
+    pub alpha: f64,
+    /// Discount factor.
+    pub gamma: f64,
+    /// Exploration rate.
+    pub epsilon: f64,
+    rng: StdRng,
+}
+
+impl QLearning {
+    /// Creates a tabular agent over the given discretizers.
+    pub fn new(state_disc: Discretizer, action_disc: Discretizer, seed: u64) -> Self {
+        Self {
+            state_disc,
+            action_disc,
+            table: HashMap::new(),
+            alpha: 0.2,
+            gamma: 0.95,
+            epsilon: 0.2,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of populated Q-table entries.
+    pub fn table_size(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Size of the full (dense) action space — the `O(k^5)` the paper warns
+    /// about.
+    pub fn action_cells(&self) -> u64 {
+        self.action_disc.cells()
+    }
+
+    fn q(&self, s: u64, a: u64) -> f64 {
+        *self.table.get(&(s, a)).unwrap_or(&0.0)
+    }
+
+    fn best_action(&self, s: u64) -> (u64, f64) {
+        let mut best = (0u64, f64::NEG_INFINITY);
+        for a in 0..self.action_disc.cells() {
+            let q = self.q(s, a);
+            if q > best.1 {
+                best = (a, q);
+            }
+        }
+        if best.1 == f64::NEG_INFINITY {
+            (0, 0.0)
+        } else {
+            best
+        }
+    }
+
+    /// ε-greedy action selection; returns the continuous action vector.
+    pub fn act(&mut self, state: &[f64]) -> Vec<f64> {
+        let s = self.state_disc.encode(state);
+        let cells = self.action_disc.cells();
+        let a = if self.rng.random::<f64>() < self.epsilon {
+            self.rng.random_range(0..cells)
+        } else {
+            self.best_action(s).0
+        };
+        self.action_disc.decode(a)
+    }
+
+    /// Greedy action (evaluation).
+    pub fn act_greedy(&self, state: &[f64]) -> Vec<f64> {
+        let s = self.state_disc.encode(state);
+        self.action_disc.decode(self.best_action(s).0)
+    }
+
+    /// Q-learning update `Q(s,a) += α (r + γ max_a' Q(s',a') − Q(s,a))`.
+    pub fn learn(&mut self, state: &[f64], action: &[f64], reward: f64, next_state: &[f64], done: bool) {
+        let s = self.state_disc.encode(state);
+        let a = self.action_disc.encode(action);
+        let target = if done {
+            reward
+        } else {
+            let s2 = self.state_disc.encode(next_state);
+            reward + self.gamma * self.best_action(s2).1
+        };
+        let q = self.q(s, a);
+        self.table.insert((s, a), q + self.alpha * (target - q));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discretizer_roundtrip_within_bin() {
+        let d = Discretizer::new(vec![0.0, -1.0], vec![10.0, 1.0], 5);
+        assert_eq!(d.cells(), 25);
+        let x = vec![7.3, -0.2];
+        let idx = d.encode(&x);
+        let back = d.decode(idx);
+        // Bin width is 2 and 0.4 respectively; decode returns bin centers.
+        assert!((back[0] - 7.0).abs() <= 1.0);
+        assert!((back[1] + 0.2).abs() <= 0.2 + 1e-12);
+    }
+
+    #[test]
+    fn discretizer_clamps_out_of_range() {
+        let d = Discretizer::new(vec![0.0], vec![1.0], 4);
+        assert_eq!(d.encode(&[-5.0]), 0);
+        assert_eq!(d.encode(&[99.0]), 3);
+    }
+
+    #[test]
+    fn action_space_grows_exponentially() {
+        // The paper's complexity argument: 5 knobs at k levels = k^5 cells.
+        let d = Discretizer::new(vec![0.0; 5], vec![1.0; 5], 4);
+        assert_eq!(d.cells(), 1024);
+        let d8 = Discretizer::new(vec![0.0; 5], vec![1.0; 5], 8);
+        assert_eq!(d8.cells(), 32_768);
+    }
+
+    #[test]
+    fn q_learning_solves_two_state_bandit() {
+        // State 0: action near 1.0 pays 1; action near 0.0 pays 0.
+        let sd = Discretizer::new(vec![0.0], vec![1.0], 2);
+        let ad = Discretizer::new(vec![0.0], vec![1.0], 2);
+        let mut agent = QLearning::new(sd, ad, 5);
+        agent.epsilon = 0.3;
+        for _ in 0..500 {
+            let s = [0.0];
+            let a = agent.act(&s);
+            let r = if a[0] > 0.5 { 1.0 } else { 0.0 };
+            agent.learn(&s, &a, r, &s, true);
+        }
+        let a = agent.act_greedy(&[0.0]);
+        assert!(a[0] > 0.5, "learned action {a:?}");
+        assert!(agent.table_size() <= 4);
+    }
+
+    #[test]
+    fn learn_moves_q_toward_target() {
+        let sd = Discretizer::new(vec![0.0], vec![1.0], 2);
+        let ad = Discretizer::new(vec![0.0], vec![1.0], 2);
+        let mut agent = QLearning::new(sd, ad, 6);
+        agent.alpha = 0.5;
+        agent.learn(&[0.0], &[0.0], 10.0, &[0.0], true);
+        let s = agent.state_disc.encode(&[0.0]);
+        let a = agent.action_disc.encode(&[0.0]);
+        assert!((agent.q(s, a) - 5.0).abs() < 1e-12);
+        agent.learn(&[0.0], &[0.0], 10.0, &[0.0], true);
+        assert!((agent.q(s, a) - 7.5).abs() < 1e-12);
+    }
+}

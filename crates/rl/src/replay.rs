@@ -1,0 +1,134 @@
+//! Uniform experience replay buffer (Lin 1992; paper §4.3.2).
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::env::Transition;
+
+/// Fixed-capacity ring buffer of transitions with uniform sampling.
+#[derive(Debug)]
+pub struct ReplayBuffer {
+    capacity: usize,
+    data: Vec<Transition>,
+    next: usize,
+    rng: StdRng,
+}
+
+impl ReplayBuffer {
+    /// Creates a buffer holding up to `capacity` transitions.
+    pub fn new(capacity: usize, seed: u64) -> Self {
+        assert!(capacity > 0);
+        Self {
+            capacity,
+            data: Vec::with_capacity(capacity.min(1 << 20)),
+            next: 0,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing is stored.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Buffer capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Stores a transition, evicting the oldest once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.data.len() < self.capacity {
+            self.data.push(t);
+        } else {
+            self.data[self.next] = t;
+        }
+        self.next = (self.next + 1) % self.capacity;
+    }
+
+    /// Samples `n` transitions uniformly with replacement.
+    pub fn sample(&mut self, n: usize) -> Vec<Transition> {
+        assert!(!self.data.is_empty(), "cannot sample an empty buffer");
+        (0..n)
+            .map(|_| self.data[self.rng.random_range(0..self.data.len())].clone())
+            .collect()
+    }
+
+    /// Clears the buffer.
+    pub fn clear(&mut self) {
+        self.data.clear();
+        self.next = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tr(v: f64) -> Transition {
+        Transition {
+            state: vec![v],
+            action: vec![0.0],
+            reward: v,
+            next_state: vec![v],
+            done: false,
+        }
+    }
+
+    #[test]
+    fn push_and_len() {
+        let mut b = ReplayBuffer::new(4, 1);
+        assert!(b.is_empty());
+        for i in 0..3 {
+            b.push(tr(i as f64));
+        }
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.capacity(), 4);
+    }
+
+    #[test]
+    fn eviction_replaces_oldest() {
+        let mut b = ReplayBuffer::new(3, 1);
+        for i in 0..5 {
+            b.push(tr(i as f64));
+        }
+        assert_eq!(b.len(), 3);
+        // Survivors must be 2, 3, 4.
+        let rewards: Vec<f64> = b.sample(60).iter().map(|t| t.reward).collect();
+        assert!(rewards.iter().all(|&r| r >= 2.0));
+    }
+
+    #[test]
+    fn sampling_covers_contents() {
+        let mut b = ReplayBuffer::new(8, 2);
+        for i in 0..8 {
+            b.push(tr(i as f64));
+        }
+        let seen: std::collections::HashSet<u64> = b
+            .sample(400)
+            .iter()
+            .map(|t| t.reward as u64)
+            .collect();
+        assert_eq!(seen.len(), 8, "uniform sampling should hit every element");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn sampling_empty_panics() {
+        let mut b = ReplayBuffer::new(2, 3);
+        let _ = b.sample(1);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut b = ReplayBuffer::new(2, 4);
+        b.push(tr(1.0));
+        b.clear();
+        assert!(b.is_empty());
+    }
+}

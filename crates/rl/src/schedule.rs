@@ -1,0 +1,92 @@
+//! Exploration / learning-rate schedules.
+
+use serde::{Deserialize, Serialize};
+
+/// A scalar schedule over training steps.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Schedule {
+    /// Constant value.
+    Constant(f64),
+    /// Linear interpolation from `from` to `to` over `steps`, then flat.
+    Linear {
+        /// Initial value.
+        from: f64,
+        /// Final value.
+        to: f64,
+        /// Steps over which to interpolate.
+        steps: u64,
+    },
+    /// Exponential decay `from · rate^t`, floored at `min`.
+    Exponential {
+        /// Initial value.
+        from: f64,
+        /// Per-step multiplier in (0, 1].
+        rate: f64,
+        /// Lower bound.
+        min: f64,
+    },
+}
+
+impl Schedule {
+    /// Value at step `t`.
+    pub fn at(&self, t: u64) -> f64 {
+        match *self {
+            Schedule::Constant(v) => v,
+            Schedule::Linear { from, to, steps } => {
+                if steps == 0 || t >= steps {
+                    to
+                } else {
+                    from + (to - from) * (t as f64 / steps as f64)
+                }
+            }
+            Schedule::Exponential { from, rate, min } => (from * rate.powf(t as f64)).max(min),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_flat() {
+        let s = Schedule::Constant(0.3);
+        assert_eq!(s.at(0), 0.3);
+        assert_eq!(s.at(1_000_000), 0.3);
+    }
+
+    #[test]
+    fn linear_interpolates_then_clamps() {
+        let s = Schedule::Linear {
+            from: 1.0,
+            to: 0.0,
+            steps: 10,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(5) - 0.5).abs() < 1e-12);
+        assert_eq!(s.at(10), 0.0);
+        assert_eq!(s.at(999), 0.0);
+    }
+
+    #[test]
+    fn exponential_respects_floor() {
+        let s = Schedule::Exponential {
+            from: 1.0,
+            rate: 0.5,
+            min: 0.1,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert!((s.at(2) - 0.25).abs() < 1e-12);
+        assert_eq!(s.at(64), 0.1);
+    }
+
+    #[test]
+    fn zero_step_linear_returns_target() {
+        let s = Schedule::Linear {
+            from: 5.0,
+            to: 2.0,
+            steps: 0,
+        };
+        assert_eq!(s.at(0), 2.0);
+    }
+}

@@ -1,0 +1,54 @@
+//! Dynamic workloads: drives controllers through diurnal and flash-crowd
+//! traffic schedules and compares how they adapt — the behaviour that
+//! motivates GreenNFV's learning-based design.
+//!
+//! ```text
+//! cargo run --release --example dynamic_workload
+//! ```
+
+use greennfv::prelude::*;
+use greennfv::report::table;
+use nfv_sim::prelude::*;
+
+fn main() {
+    for scenario in [Scenario::diurnal(), Scenario::flash_crowd()] {
+        println!("== scenario: {} ==", scenario.name);
+        let mut rows = Vec::new();
+        let mut base = BaselineController;
+        let mut heur = HeuristicController::default();
+        let mut ee = EePstateController::default();
+        let runs = [
+            run_scenario(&mut base, &scenario, SimTuning::default(), PowerModel::default(), 42),
+            run_scenario(&mut heur, &scenario, SimTuning::default(), PowerModel::default(), 42),
+            run_scenario(&mut ee, &scenario, SimTuning::default(), PowerModel::default(), 42),
+        ];
+        for r in &runs {
+            for p in &r.phases {
+                rows.push(vec![
+                    r.controller.clone(),
+                    p.label.clone(),
+                    format!("{:.2}", p.offered_gbps),
+                    format!("{:.2}", p.mean_throughput_gbps),
+                    format!("{:.0}", p.mean_energy_j),
+                    format!("{:.2}", p.efficiency),
+                ]);
+            }
+        }
+        println!(
+            "{}",
+            table(
+                &["Controller", "Phase", "Offered", "Delivered", "E (J)", "Gbps/kJ"],
+                &rows
+            )
+        );
+        // Whole-scenario energy comparison.
+        for r in &runs {
+            println!(
+                "  {:12} mean energy {:.0} J/epoch",
+                r.controller,
+                r.mean_energy_j()
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,51 @@
+//! Power-model calibration (paper §4.1): fit the Eq. 4 exponent `h` against
+//! the (simulated) Yokogawa WT210 power meter, then inspect the fitted
+//! model's error across the utilization range.
+//!
+//! ```text
+//! cargo run --release --example power_calibration
+//! ```
+
+use nfv_sim::prelude::*;
+
+fn main() {
+    // Ground truth: a server whose true exponent is unknown to the operator.
+    let truth = PowerModel {
+        h: 1.62,
+        ..PowerModel::default()
+    };
+    let mut meter = PowerMeter::new(truth, 0.02, 7);
+
+    // Sweep utilization levels and fit h by least squares, as the paper does.
+    let fitted_h = calibrate_h(&mut meter, PowerModel::default(), 100);
+    println!("true h = {:.2}, fitted h = {:.2} ({} meter samples)", truth.h, fitted_h, meter.samples());
+
+    let fitted = PowerModel {
+        h: fitted_h,
+        ..PowerModel::default()
+    };
+    println!("\n util   true W   model W   error");
+    let mut worst: f64 = 0.0;
+    for i in 0..=10 {
+        let u = f64::from(i) / 10.0;
+        let t = truth.power_w(u, FREQ_MAX_GHZ, 1.0);
+        let m = fitted.power_w(u, FREQ_MAX_GHZ, 1.0);
+        let err = (m - t).abs() / t * 100.0;
+        worst = worst.max(err);
+        println!(" {u:4.1}   {t:6.1}   {m:7.1}   {err:4.1}%");
+    }
+    println!("\nworst-case model error: {worst:.2}%");
+
+    // Show what the fitted model predicts for the three platform modes.
+    println!("\npredicted epoch energy (30 s) at 70% utilization:");
+    for (label, freq, frac) in [
+        ("performance governor, all cores", 2.1, 1.0),
+        ("1.5 GHz, all cores", 1.5, 1.0),
+        ("1.5 GHz, half the cores powered", 1.5, 0.5),
+    ] {
+        println!(
+            "  {label:36} {:7.0} J",
+            fitted.energy_j(0.7, freq, frac, 30.0)
+        );
+    }
+}

@@ -1,0 +1,45 @@
+//! Compares all three GreenNFV SLA policies against the paper's baselines —
+//! a compact version of the Figure 9 experiment.
+//!
+//! ```text
+//! cargo run --release --example sla_comparison
+//! ```
+
+use greennfv::prelude::*;
+use greennfv::report::ComparisonReport;
+
+fn main() {
+    let episodes = 400;
+    let eval = RunConfig::paper(15, 1234);
+
+    println!("training 3 GreenNFV policies ({episodes} episodes each)...\n");
+    let mut results = Vec::new();
+    results.push(run_controller(&mut BaselineController, &eval));
+    results.push(run_controller(&mut HeuristicController::default(), &eval));
+    results.push(run_controller(&mut EePstateController::default(), &eval));
+    for (sla, name) in [
+        (Sla::paper_min_energy(), "GreenNFV(MinE)"),
+        (Sla::paper_max_throughput(), "GreenNFV(MaxT)"),
+        (Sla::EnergyEfficiency, "GreenNFV(EE)"),
+    ] {
+        let out = train(sla, &TrainConfig::quick(episodes, 5));
+        let mut ctrl = out.into_controller(name);
+        results.push(run_controller(&mut ctrl, &eval));
+    }
+
+    let report = ComparisonReport { results };
+    println!("{}", report.render());
+
+    for (model, claim) in [
+        ("GreenNFV(MaxT)", "paper: 4.4x throughput, 33% less energy"),
+        ("GreenNFV(MinE)", "paper: 3x throughput, ~half the energy"),
+        ("GreenNFV(EE)", "paper: ~4x throughput at similar energy"),
+    ] {
+        if let (Some(t), Some(e)) = (
+            report.throughput_ratio(model, "Baseline"),
+            report.energy_ratio(model, "Baseline"),
+        ) {
+            println!("{model}: measured {t:.2}x throughput at {:.0}% energy  ({claim})", e * 100.0);
+        }
+    }
+}

@@ -1,0 +1,19 @@
+//! # greennfv-suite — umbrella crate for the GreenNFV reproduction
+//!
+//! Re-exports the four library crates and hosts the runnable examples and
+//! cross-crate integration tests:
+//!
+//! * [`nfv_sim`] — the NFV platform substrate (packets, rings, VNFs, chains,
+//!   LLC/CAT, DVFS, DMA, power model);
+//! * [`greennfv_nn`] — dense neural networks with manual backprop;
+//! * [`greennfv_rl`] — DDPG, prioritized replay, exploration noise,
+//!   Q-learning;
+//! * [`greennfv`] — the paper's contribution: SLA-constrained resource
+//!   scheduling with DDPG + Ape-X, plus all comparison controllers.
+//!
+//! See `examples/quickstart.rs` for the five-minute tour.
+
+pub use greennfv;
+pub use greennfv_nn;
+pub use greennfv_rl;
+pub use nfv_sim;

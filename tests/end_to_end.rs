@@ -1,0 +1,125 @@
+//! Cross-crate integration: simulator → environment → agents → controllers.
+
+use greennfv::prelude::*;
+use greennfv_rl::prelude::*;
+use nfv_sim::prelude::*;
+
+/// The full stack wires together: a node simulates, the env observes, a DDPG
+/// agent acts, the action decodes into knobs the node accepts.
+#[test]
+fn sim_env_agent_roundtrip() {
+    let mut env = GreenNfvEnv::new(EnvConfig::paper(Sla::EnergyEfficiency, 7));
+    let agent = DdpgAgent::new(STATE_DIM, ACTION_DIM, DdpgConfig::default(), 1);
+    let mut state = env.reset();
+    for _ in 0..10 {
+        let action = agent.act(&state);
+        assert_eq!(action.len(), ACTION_DIM);
+        let step = env.step(&action);
+        assert!(step.reward.is_finite());
+        assert!(step.next_state.iter().all(|x| x.is_finite()));
+        state = step.next_state;
+    }
+    // Knobs applied through the whole pipeline must be valid.
+    assert!(env.knobs().validate().is_ok());
+}
+
+/// Telemetry normalization is consistent between the training environment
+/// and the deployed policy controller.
+#[test]
+fn training_and_deployment_use_same_state_encoding() {
+    let t = ChainTelemetry {
+        throughput_gbps: 6.0,
+        energy_j: 2325.0,
+        cpu_util: 0.8,
+        arrival_pps: 3.0e6,
+        miss_rate: 0.1,
+        loss_frac: 0.05,
+    };
+    let cfg = EnvConfig::paper(Sla::EnergyEfficiency, 1);
+    let scale = energy_scale(&cfg);
+    let s = telemetry_to_state_scaled(&t, scale);
+    assert!((s[0] - 0.6).abs() < 1e-12);
+    assert!((s[1] - 2325.0 / scale).abs() < 1e-12);
+    assert!((s[2] - 0.8).abs() < 1e-12);
+    assert!((s[3] - 0.6).abs() < 1e-12);
+}
+
+/// Every comparison controller produces valid knobs on a real node for many
+/// epochs without error.
+#[test]
+fn all_controllers_drive_a_node() {
+    let cfg = RunConfig::paper(10, 3);
+    let mut controllers: Vec<Box<dyn Controller>> = vec![
+        Box::new(BaselineController),
+        Box::new(HeuristicController::default()),
+        Box::new(EePstateController::default()),
+    ];
+    for c in controllers.iter_mut() {
+        let r = run_controller(c.as_mut(), &cfg);
+        assert_eq!(r.trace.len(), 10, "{}", r.name);
+        assert!(r.mean_throughput_gbps > 0.0, "{}", r.name);
+        assert!(r.mean_energy_j > 0.0, "{}", r.name);
+        for e in &r.trace {
+            assert!(e.knobs.validate().is_ok(), "{}", r.name);
+        }
+    }
+}
+
+/// The simulator's power accounting is conserved through the env: cumulative
+/// env energy equals the sum of per-epoch node energies.
+#[test]
+fn energy_accounting_is_conserved() {
+    let mut env = GreenNfvEnv::new(EnvConfig::paper(Sla::EnergyEfficiency, 11));
+    let mut manual_total = 0.0;
+    env.reset();
+    manual_total += env.last_report().unwrap().node.energy_j;
+    for _ in 0..5 {
+        env.step(&[0.0; 5]);
+        manual_total += env.last_report().unwrap().node.energy_j;
+    }
+    assert!((env.cumulative_energy_j() - manual_total).abs() < 1e-6);
+}
+
+/// A policy serialized to JSON and reloaded behaves identically end-to-end.
+#[test]
+fn policy_survives_serialization() {
+    let out = train(Sla::EnergyEfficiency, &TrainConfig::quick(8, 5));
+    let params = out.agent.export_params();
+    let actor = greennfv_nn::prelude::Mlp::from_json(&params.actor).unwrap();
+    let json2 = actor.to_json();
+    let actor2 = greennfv_nn::prelude::Mlp::from_json(&json2).unwrap();
+    let mut p1 = PolicyController::new("a", actor, ActionSpace::default());
+    let mut p2 = PolicyController::new("b", actor2, ActionSpace::default());
+    let cfg = RunConfig::paper(4, 77);
+    let r1 = run_controller(&mut p1, &cfg);
+    let r2 = run_controller(&mut p2, &cfg);
+    assert_eq!(r1.trace, r2.trace);
+}
+
+/// The tabular Q-learning model trains and deploys through the same
+/// controller interface as DDPG policies.
+#[test]
+fn qlearning_full_pipeline() {
+    let mut q = QModelController::trained(Sla::EnergyEfficiency, 30, 13);
+    let r = run_controller(&mut q, &RunConfig::paper(5, 21));
+    assert_eq!(r.trace.len(), 5);
+    assert!(r.mean_throughput_gbps > 0.0);
+}
+
+/// Functional packet path: generated traffic flows through a built chain and
+/// the NFs transform/drop packets as configured.
+#[test]
+fn functional_packet_path_across_crates() {
+    let flows = FlowSet::new(vec![FlowSpec::cbr(0, 1.0e5, 256)]).unwrap();
+    let mut gen = TrafficGen::new(flows, 3);
+    let mut chain = ServiceChain::build(ChainSpec::canonical_three(ChainId(0)));
+    let pkts = gen.generate_packets(0.01, 512);
+    assert!(!pkts.is_empty());
+    let mut batch = PacketBatch::with_capacity(pkts.len());
+    for p in pkts {
+        batch.push(p);
+    }
+    let n = batch.len();
+    chain.process_batch(batch);
+    assert_eq!(chain.processed_packets() as usize + chain.dropped_packets() as usize, n);
+}

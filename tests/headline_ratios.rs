@@ -1,0 +1,97 @@
+//! Headline reproduction checks: the paper's §5 claims, asserted as *shape*
+//! bands (who wins, by roughly what factor), not absolute joules.
+//!
+//! These train real DDPG policies, so they are ignored in debug builds
+//! (`cargo test --release -- --ignored` or plain `cargo test --release`
+//! runs them; the repro binary records full-budget numbers).
+
+use greennfv::prelude::*;
+use greennfv_bench::{fig9_compare, Effort};
+
+#[cfg_attr(debug_assertions, ignore = "trains DDPG policies; run under --release")]
+#[test]
+fn figure9_headline_shape_holds() {
+    let rep = fig9_compare(Effort::Quick, 42);
+
+    let base_t = rep.get("Baseline").unwrap().mean_throughput_gbps;
+    let base_e = rep.get("Baseline").unwrap().mean_energy_j;
+    assert!(base_t > 1.0 && base_t < 4.0, "baseline ~2 Gbps, got {base_t}");
+    assert!(base_e > 2000.0, "baseline is the most wasteful, got {base_e} J");
+
+    // Heuristics / EE-Pstate: meaningfully better than baseline (paper ~2x).
+    for model in ["Heuristics", "EE-Pstate"] {
+        let t = rep.throughput_ratio(model, "Baseline").unwrap();
+        assert!(t > 1.3, "{model} throughput ratio {t}");
+        let e = rep.energy_ratio(model, "Baseline").unwrap();
+        assert!(e < 1.0, "{model} must save energy, ratio {e}");
+    }
+
+    // GreenNFV(MaxT): largest headline — paper 4.4x at 33% less energy.
+    let maxt = rep.throughput_ratio("GreenNFV(MaxT)", "Baseline").unwrap();
+    assert!(maxt > 2.5, "MaxT throughput ratio {maxt} (paper 4.4x)");
+    let maxt_e = rep.get("GreenNFV(MaxT)").unwrap().mean_energy_j;
+    assert!(maxt_e <= 2000.0 * 1.05, "MaxT respects the 2000 J cap, got {maxt_e}");
+
+    // GreenNFV(MinE): paper 3x throughput while cutting energy.
+    let mine = rep.get("GreenNFV(MinE)").unwrap();
+    assert!(
+        mine.mean_throughput_gbps >= 7.5 * 0.93,
+        "MinE holds the 7.5 Gbps floor, got {}",
+        mine.mean_throughput_gbps
+    );
+    let mine_e = rep.energy_ratio("GreenNFV(MinE)", "Baseline").unwrap();
+    assert!(mine_e < 0.85, "MinE energy ratio {mine_e} (paper ~0.4-0.5)");
+
+    // GreenNFV(EE): paper ~4x throughput, ~2x the heuristic trio.
+    let ee = rep.throughput_ratio("GreenNFV(EE)", "Baseline").unwrap();
+    assert!(ee > 3.0, "EE throughput ratio {ee} (paper ~4x)");
+    let ee_eff = rep.get("GreenNFV(EE)").unwrap().efficiency;
+    let heur_eff = rep.get("Heuristics").unwrap().efficiency;
+    assert!(
+        ee_eff > 1.5 * heur_eff,
+        "EE efficiency {ee_eff} vs heuristics {heur_eff} (paper 2x)"
+    );
+
+    // Learned models beat every non-learned model on efficiency.
+    let best_static = ["Baseline", "Heuristics", "EE-Pstate"]
+        .iter()
+        .map(|m| rep.get(m).unwrap().efficiency)
+        .fold(0.0f64, f64::max);
+    for model in ["GreenNFV(MinE)", "GreenNFV(MaxT)", "GreenNFV(EE)"] {
+        let eff = rep.get(model).unwrap().efficiency;
+        assert!(eff > best_static, "{model} efficiency {eff} vs static best {best_static}");
+    }
+}
+
+#[cfg_attr(debug_assertions, ignore = "trains a DDPG policy; run under --release")]
+#[test]
+fn minimum_energy_sla_honours_constraint_during_deployment() {
+    let out = train(Sla::paper_min_energy(), &TrainConfig::quick(400, 9));
+    let mut ctrl = out.into_controller("GreenNFV(MinE)");
+    let r = run_controller(&mut ctrl, &RunConfig::paper(30, 123));
+    let violations = r
+        .trace
+        .iter()
+        .filter(|e| e.throughput_gbps < 7.5 * 0.93)
+        .count();
+    assert!(
+        violations <= r.trace.len() / 5,
+        "{violations}/{} epochs under the floor",
+        r.trace.len()
+    );
+}
+
+#[cfg_attr(debug_assertions, ignore = "trains a DDPG policy; run under --release")]
+#[test]
+fn max_throughput_sla_honours_energy_cap_during_deployment() {
+    let out = train(Sla::paper_max_throughput(), &TrainConfig::quick(400, 17));
+    let mut ctrl = out.into_controller("GreenNFV(MaxT)");
+    let r = run_controller(&mut ctrl, &RunConfig::paper(30, 321));
+    let violations = r.trace.iter().filter(|e| e.energy_j > 2000.0 * 1.05).count();
+    assert!(
+        violations <= r.trace.len() / 5,
+        "{violations}/{} epochs over the cap",
+        r.trace.len()
+    );
+    assert!(r.mean_throughput_gbps > 5.0, "got {}", r.mean_throughput_gbps);
+}

@@ -1,0 +1,88 @@
+//! Shape checks for the §3 micro-benchmarks (Figures 1–4): the qualitative
+//! trends the paper reports must hold in the reproduced sweeps.
+
+use greennfv_bench::*;
+
+#[test]
+fn fig1_shrinking_c1_partition_hurts_c1_and_energy() {
+    let rows = fig1_llc(1);
+    assert_eq!(rows.len(), 4);
+    // C1 throughput monotonically degrades from (90,10) to (20,80).
+    for w in rows.windows(2) {
+        assert!(
+            w[1].throughput.0 <= w[0].throughput.0 + 1e-9,
+            "C1 must degrade: {:?}",
+            rows.iter().map(|r| r.throughput.0).collect::<Vec<_>>()
+        );
+        assert!(w[1].misses.0 >= w[0].misses.0 - 1e-9, "C1 misses must grow");
+    }
+    // Energy per megapacket rises as C1 thrashes (paper Fig 1c).
+    assert!(rows.last().unwrap().energy_per_mp > rows[0].energy_per_mp);
+    // C2's small flow is insensitive: its throughput never falls.
+    for w in rows.windows(2) {
+        assert!(w[1].throughput.1 >= w[0].throughput.1 - 1e-9);
+    }
+}
+
+#[test]
+fn fig2_throughput_and_energy_rise_with_frequency() {
+    let rows = fig2_freq(1);
+    assert_eq!(rows.len(), 10);
+    for w in rows.windows(2) {
+        assert!(w[1].throughput_gbps > w[0].throughput_gbps);
+        assert!(w[1].energy_j > w[0].energy_j);
+    }
+    // Growth is non-linear: the last step gains less throughput than the first.
+    let first_gain = rows[1].throughput_gbps - rows[0].throughput_gbps;
+    let last_gain = rows[9].throughput_gbps - rows[8].throughput_gbps;
+    assert!(last_gain < first_gain, "sub-linear growth (paper Fig 2)");
+}
+
+#[test]
+fn fig3_batch_has_interior_peak_and_miss_ushape() {
+    let rows = fig3_batch(1);
+    let peak = rows
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.throughput_gbps.partial_cmp(&b.1.throughput_gbps).unwrap())
+        .unwrap()
+        .0;
+    assert!(peak > 0, "throughput peak not at batch=1");
+    assert!(peak < rows.len() - 1, "throughput peak not at max batch");
+    // Large batches increase misses again relative to the mid-range.
+    let mid_misses = rows[peak].misses_e4;
+    assert!(rows.last().unwrap().misses_e4 > mid_misses);
+}
+
+#[test]
+fn fig4_dma_buffer_grows_throughput_then_plateaus() {
+    let rows = fig4_dma(1);
+    // 1518 B series: throughput rises markedly with buffer depth.
+    let first = rows.first().unwrap();
+    let last = rows.last().unwrap();
+    assert!(
+        last.throughput_1518 > 1.5 * first.throughput_1518,
+        "{} -> {}",
+        first.throughput_1518,
+        last.throughput_1518
+    );
+    // And energy per megapacket falls (system idles less).
+    assert!(last.energy_per_mp_1518 < first.energy_per_mp_1518);
+    // The 64 B series also improves with buffering.
+    assert!(last.throughput_64 > first.throughput_64);
+    // The plateau: doubling from 20 MB to 40 MB adds little for 64 B flows.
+    let r20 = rows.iter().find(|r| (r.dma_mb - 20.0).abs() < 0.1).unwrap();
+    assert!((last.throughput_64 - r20.throughput_64).abs() / r20.throughput_64 < 0.2);
+}
+
+#[cfg_attr(debug_assertions, ignore = "trains a DDPG policy; run under --release")]
+#[test]
+fn fig11_savings_grow_over_time_and_break_even() {
+    // Uses a tiny training run; shape only.
+    let curve = fig11_amortize(Effort::Quick, 5);
+    let h1 = curve.saving_at_hours(1.0);
+    let h6 = curve.saving_at_hours(6.0);
+    assert!(h6 > h1, "saving must grow as training amortizes: {h1} -> {h6}");
+    assert!(curve.asymptotic_saving() > 0.0, "trained model must save energy");
+    assert!(h6 <= curve.asymptotic_saving());
+}

@@ -1,0 +1,198 @@
+//! Property-based tests over core data structures and model invariants.
+
+use greennfv::prelude::*;
+use greennfv_rl::prelude::*;
+use nfv_sim::mbuf::MbufPool;
+use nfv_sim::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    /// SPSC ring: any interleaving of pushes and pops preserves FIFO order
+    /// and never loses or duplicates elements.
+    #[test]
+    fn ring_fifo_no_loss(ops in proptest::collection::vec(any::<bool>(), 1..400)) {
+        let ring = nfv_sim::ring::SpscRing::with_capacity(16);
+        let mut next_push = 0u64;
+        let mut next_pop = 0u64;
+        for is_push in ops {
+            if is_push {
+                if ring.push(next_push).is_ok() {
+                    next_push += 1;
+                }
+            } else if let Some(v) = ring.pop() {
+                prop_assert_eq!(v, next_pop, "FIFO order");
+                next_pop += 1;
+            }
+        }
+        // Drain and verify the tail.
+        while let Some(v) = ring.pop() {
+            prop_assert_eq!(v, next_pop);
+            next_pop += 1;
+        }
+        prop_assert_eq!(next_pop, next_push, "no loss, no duplication");
+    }
+
+    /// Mbuf pool: interleaved alloc/free conserves capacity and never
+    /// double-allocates a buffer.
+    #[test]
+    fn mbuf_pool_conservation(ops in proptest::collection::vec(any::<bool>(), 1..300)) {
+        let mut pool = MbufPool::new(32, 2048);
+        let mut held = Vec::new();
+        for alloc in ops {
+            if alloc {
+                if let Ok(h) = pool.alloc() {
+                    prop_assert!(!held.contains(&h), "double allocation");
+                    held.push(h);
+                }
+            } else if let Some(h) = held.pop() {
+                prop_assert!(pool.free(h).is_ok());
+            }
+        }
+        prop_assert_eq!(pool.in_use(), held.len());
+        prop_assert_eq!(pool.available() + held.len(), 32);
+    }
+
+    /// Sum tree: total always equals the sum of leaf priorities, and prefix
+    /// lookup always lands on a leaf with nonzero priority (when any exists).
+    #[test]
+    fn sum_tree_invariants(
+        updates in proptest::collection::vec((0usize..32, 0.0f64..100.0), 1..100),
+        probe in 0.0f64..1.0,
+    ) {
+        let mut tree = SumTree::new(32);
+        let mut leaves = vec![0.0f64; 32];
+        for (i, p) in updates {
+            tree.set(i, p);
+            leaves[i] = p;
+        }
+        let expect: f64 = leaves.iter().sum();
+        prop_assert!((tree.total() - expect).abs() < 1e-6 * expect.max(1.0));
+        if expect > 0.0 {
+            let idx = tree.find_prefix(probe * expect * 0.999_999);
+            prop_assert!(leaves[idx] > 0.0, "prefix must land on a populated leaf");
+        }
+    }
+
+    /// Action codec: any normalized action decodes to valid knobs, and
+    /// encode∘decode is idempotent on the decoded point.
+    #[test]
+    fn action_codec_total_and_idempotent(a in proptest::collection::vec(-1.5f64..1.5, 5)) {
+        let space = ActionSpace::default();
+        let knobs = space.decode(&a);
+        prop_assert!(knobs.validate().is_ok());
+        let re = space.decode(&space.encode(&knobs));
+        prop_assert!((knobs.freq_ghz - re.freq_ghz).abs() < 1e-6);
+        prop_assert!((knobs.llc_fraction - re.llc_fraction).abs() < 1e-6);
+        prop_assert!((knobs.cpu.effective_cores() - re.cpu.effective_cores()).abs() < 0.05);
+        prop_assert_eq!(knobs.batch, re.batch);
+    }
+
+    /// Power model: bounded by [Pidle, Pmax] for all inputs; monotone in
+    /// utilization.
+    #[test]
+    fn power_model_bounds(u1 in 0.0f64..1.0, u2 in 0.0f64..1.0,
+                          f in 1.2f64..2.1, frac in 0.0f64..1.0) {
+        let m = PowerModel::default();
+        let p = m.power_w(u1, f, frac);
+        prop_assert!(p >= m.pidle_w - 1e-9);
+        prop_assert!(p <= m.pmax_w + 1e-9);
+        let (lo, hi) = if u1 <= u2 { (u1, u2) } else { (u2, u1) };
+        prop_assert!(m.power_w(lo, f, frac) <= m.power_w(hi, f, frac) + 1e-9);
+    }
+
+    /// M/M/1/K loss: always in [0,1], monotone decreasing in buffer depth.
+    #[test]
+    fn mm1k_properties(rho in 0.01f64..3.0, k in 1u64..1000) {
+        let l = nfv_sim::dma::mm1k_loss(rho, k);
+        prop_assert!((0.0..=1.0).contains(&l));
+        let deeper = nfv_sim::dma::mm1k_loss(rho, k * 2);
+        prop_assert!(deeper <= l + 1e-12);
+    }
+
+    /// Miss model: output in [m_min, 1]; monotone in working set; antitone in
+    /// cache size.
+    #[test]
+    fn miss_model_properties(ws in 0.0f64..1e9, cache in 1.0f64..1e8) {
+        let m = MissModel::default();
+        let r = m.miss_rate(ws, cache);
+        prop_assert!(r >= m.m_min - 1e-12);
+        prop_assert!(r <= 1.0);
+        prop_assert!(m.miss_rate(ws * 2.0, cache) >= r - 1e-12);
+        prop_assert!(m.miss_rate(ws, cache * 2.0) <= r + 1e-12);
+    }
+
+    /// Engine: any valid knob setting under any sane load produces finite,
+    /// non-negative outputs with loss in [0,1] and delivered ≤ offered.
+    #[test]
+    fn engine_outputs_are_sane(
+        a in -1.0f64..1.0, b in -1.0f64..1.0, c in -1.0f64..1.0,
+        d in -1.0f64..1.0, e in -1.0f64..1.0,
+        pps in 1e3f64..2e7, size in 64.0f64..1518.0, burst in 1.0f64..4.0,
+    ) {
+        let knobs = ActionSpace::default().decode(&[a, b, c, d, e]);
+        let cost = ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost();
+        let load = ChainLoad {
+            arrival_pps: pps,
+            mean_packet_size: size,
+            burstiness: burst,
+        };
+        let t = SimTuning::default();
+        let r = evaluate_chain(&knobs, &cost, &load, llc_partition_bytes(knobs.llc_fraction), &t);
+        prop_assert!(r.throughput_gbps.is_finite() && r.throughput_gbps >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&r.loss_frac));
+        prop_assert!((0.0..=1.0).contains(&r.miss_rate));
+        prop_assert!((0.0..=1.0).contains(&r.cpu_util));
+        prop_assert!(r.delivered_pps <= pps + 1e-6);
+        prop_assert!(r.cycles_per_packet > 0.0);
+        prop_assert!(r.throughput_gbps <= t.nic_gbps + 1e-9, "NIC line-rate cap");
+    }
+
+    /// Rewards are finite for all SLAs and all outcomes, and satisfying
+    /// outcomes never score below violating ones under the same SLA.
+    #[test]
+    fn reward_is_finite_and_ordered(t in 0.0f64..12.0, e in 100.0f64..6000.0) {
+        for sla in [
+            Sla::paper_max_throughput(),
+            Sla::paper_min_energy(),
+            Sla::EnergyEfficiency,
+        ] {
+            for shaping in [RewardShaping::Strict, RewardShaping::Shaped] {
+                let r = reward(sla, shaping, t, e);
+                prop_assert!(r.is_finite());
+                if !sla.satisfied(t, e) {
+                    prop_assert!(r <= 0.0, "violations never earn positive reward");
+                }
+            }
+        }
+    }
+
+    /// Discretizer: encode is total and decode(encode(x)) stays within the
+    /// same bin (round-trips to bin centers inside bounds).
+    #[test]
+    fn discretizer_roundtrip(x in proptest::collection::vec(0.0f64..1.0, 3)) {
+        let d = Discretizer::new(vec![0.0; 3], vec![1.0; 3], 5);
+        let idx = d.encode(&x);
+        prop_assert!(idx < d.cells());
+        let back = d.decode(idx);
+        for (orig, dec) in x.iter().zip(&back) {
+            prop_assert!((orig - dec).abs() <= 0.1 + 1e-9, "within one bin width");
+        }
+        prop_assert_eq!(d.encode(&back), idx, "bin centers are fixed points");
+    }
+
+    /// CAT LLC: allocations never exceed total ways and released ways are
+    /// reusable.
+    #[test]
+    fn cat_allocation_conservation(reqs in proptest::collection::vec(0u32..12, 1..8)) {
+        let mut llc = CatLlc::new(20);
+        let mut assigned = 0u32;
+        for (i, ways) in reqs.iter().enumerate() {
+            let clos = ClosId(i as u32);
+            if llc.set_allocation(clos, *ways).is_ok() {
+                assigned += ways;
+            }
+            prop_assert!(assigned <= 20);
+            prop_assert_eq!(llc.free_ways(), 20 - assigned);
+        }
+    }
+}
