@@ -1,0 +1,207 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the macro/API surface the workspace's 12 benches use —
+//! [`Criterion`], [`criterion_group!`], [`criterion_main!`],
+//! `benchmark_group`, [`Throughput`], `Bencher::iter` /
+//! `iter_with_setup` — backed by a simple wall-clock measurement loop:
+//! each sample times a batch of iterations and the per-iteration mean,
+//! min and max across samples are printed. No statistics engine, HTML
+//! reports, or CLI filtering.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Units for reporting per-iteration throughput.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Logical elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timing samples each benchmark collects.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_bench(name, self.sample_size, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the per-iteration throughput for subsequent benches.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, name);
+        run_bench(&full, self.criterion.sample_size, self.throughput, &mut f);
+        self
+    }
+
+    /// Finishes the group (reporting is per-bench, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+/// Timing context handed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine` over the batch of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed_ns = start.elapsed().as_nanos() as f64;
+    }
+
+    /// Times `routine` only, re-running `setup` outside the clock each
+    /// iteration.
+    pub fn iter_with_setup<S, O, P: FnMut() -> S, R: FnMut(S) -> O>(
+        &mut self,
+        mut setup: P,
+        mut routine: R,
+    ) {
+        let mut total_ns = 0.0;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total_ns += start.elapsed().as_nanos() as f64;
+        }
+        self.elapsed_ns = total_ns;
+    }
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(
+    name: &str,
+    samples: usize,
+    throughput: Option<Throughput>,
+    f: &mut F,
+) {
+    // Calibrate the per-sample iteration count so one sample costs ~5 ms
+    // (bounded so slow benches still finish quickly).
+    let mut cal = Bencher { iters: 1, elapsed_ns: 0.0 };
+    f(&mut cal);
+    let per_iter_ns = (cal.elapsed_ns.max(1.0)) / cal.iters as f64;
+    let iters = ((5.0e6 / per_iter_ns).ceil() as u64).clamp(1, 1_000_000);
+
+    let mut means = Vec::with_capacity(samples);
+    for _ in 0..samples {
+        let mut b = Bencher { iters, elapsed_ns: 0.0 };
+        f(&mut b);
+        means.push(b.elapsed_ns / iters as f64);
+    }
+    let mean = means.iter().sum::<f64>() / means.len() as f64;
+    let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+
+    let thr = match throughput {
+        Some(Throughput::Elements(n)) => {
+            format!("  {:>12.0} elem/s", n as f64 * 1.0e9 / mean)
+        }
+        Some(Throughput::Bytes(n)) => {
+            format!("  {:>12.0} B/s", n as f64 * 1.0e9 / mean)
+        }
+        None => String::new(),
+    };
+    println!(
+        "bench {name:<40} {:>12} [{} .. {}]{thr}",
+        fmt_ns(mean),
+        fmt_ns(min),
+        fmt_ns(max)
+    );
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1.0e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1.0e6 {
+        format!("{:.2} µs", ns / 1.0e3)
+    } else if ns < 1.0e9 {
+        format!("{:.2} ms", ns / 1.0e6)
+    } else {
+        format!("{:.2} s", ns / 1.0e9)
+    }
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's two
+/// accepted syntaxes.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c: $crate::Criterion = $config;
+            $( $target(&mut c); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,261 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] macro, range/tuple/`any` strategies, sized
+//! [`collection::vec`] strategies, and `prop_assert!`/`prop_assert_eq!`.
+//! Each test runs [`CASES`] deterministic random cases (seeded from the
+//! test name, so failures reproduce). Unlike real proptest there is no
+//! shrinking: a failing case reports its inputs via `Debug` instead.
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Number of random cases each property runs (matches proptest's default).
+pub const CASES: u32 = 256;
+
+/// Deterministic case generator handed to strategies.
+#[derive(Debug, Clone)]
+pub struct Prng(StdRng);
+
+impl Prng {
+    /// Seeds a generator from a stable hash of the test name.
+    pub fn from_name(name: &str) -> Self {
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        Prng(StdRng::seed_from_u64(h))
+    }
+}
+
+/// Error carried out of a failing property body.
+#[derive(Debug, Clone)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+    /// Draws one value.
+    fn generate(&self, rng: &mut Prng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Prng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut Prng) -> $t {
+                rng.0.random_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+);)*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut Prng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0, B.1);
+    (A.0, B.1, C.2);
+    (A.0, B.1, C.2, D.3);
+    (A.0, B.1, C.2, D.3, E.4);
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draws an unconstrained value.
+    fn arbitrary(rng: &mut Prng) -> Self;
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Prng) -> Self {
+        rng.0.random()
+    }
+}
+
+impl Arbitrary for u64 {
+    fn arbitrary(rng: &mut Prng) -> Self {
+        rng.0.random()
+    }
+}
+
+impl Arbitrary for u32 {
+    fn arbitrary(rng: &mut Prng) -> Self {
+        rng.0.random()
+    }
+}
+
+impl Arbitrary for usize {
+    fn arbitrary(rng: &mut Prng) -> Self {
+        rng.0.random()
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut Prng) -> Self {
+        rng.0.random()
+    }
+}
+
+/// Strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut Prng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy generating any value of `T`.
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(std::marker::PhantomData)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Prng, Strategy};
+    use rand::RngExt;
+
+    /// Length specifications accepted by [`vec`]: a fixed `usize` or a
+    /// `Range<usize>`.
+    pub trait SizeRange {
+        /// Draws a concrete length.
+        fn pick(&self, rng: &mut Prng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut Prng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for std::ops::Range<usize> {
+        fn pick(&self, rng: &mut Prng) -> usize {
+            rng.0.random_range(self.clone())
+        }
+    }
+
+    impl SizeRange for std::ops::RangeInclusive<usize> {
+        fn pick(&self, rng: &mut Prng) -> usize {
+            rng.0.random_range(self.clone())
+        }
+    }
+
+    /// Strategy generating `Vec`s of values from an element strategy.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut Prng) -> Self::Value {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Generates vectors whose elements come from `element` and whose
+    /// length comes from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+}
+
+/// Everything the `proptest!` body needs in scope.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Strategy, TestCaseError};
+}
+
+/// Declares property tests. Each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running [`CASES`](crate::CASES) random cases.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut rng = $crate::Prng::from_name(stringify!($name));
+                for case in 0..$crate::CASES {
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                    let inputs = format!(concat!($(stringify!($arg), " = {:?}  "),+), $(&$arg),+);
+                    let outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(e) = outcome {
+                        panic!("property failed at case {case}/{}:\n  {e}\n  inputs: {inputs}", $crate::CASES);
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body, failing the current case
+/// (with its inputs reported) instead of panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: {} ({})", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n  right: {:?}",
+                stringify!($left), stringify!($right), l, r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError(format!(
+                "assertion failed: `{} == {}` ({})\n  left: {:?}\n  right: {:?}",
+                stringify!($left), stringify!($right), format!($($fmt)+), l, r
+            )));
+        }
+    }};
+}

@@ -1,0 +1,248 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides exactly the surface this workspace uses: [`rngs::StdRng`]
+//! (xoshiro256++, seeded through SplitMix64), [`SeedableRng::seed_from_u64`],
+//! and the [`RngExt`] extension trait with `random()` / `random_range()` /
+//! `random_bool()`. Deterministic for a given seed, which is what the
+//! simulator and tests rely on; statistical quality is ample for Monte
+//! Carlo workloads (xoshiro256++ passes BigCrush).
+
+/// Concrete generators.
+pub mod rngs {
+    /// The workspace's standard PRNG: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        pub(crate) s: [u64; 4],
+    }
+
+    impl StdRng {
+        /// Advances the state and returns the next 64 random bits.
+        #[inline]
+        pub fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+use rngs::StdRng;
+
+/// Construction of generators from seeds.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+impl SeedableRng for StdRng {
+    fn seed_from_u64(state: u64) -> Self {
+        // SplitMix64 expansion of the 64-bit seed into the 256-bit state,
+        // as recommended by the xoshiro authors.
+        let mut sm = state;
+        let mut next = || {
+            sm = sm.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = sm;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        StdRng {
+            s: [next(), next(), next(), next()],
+        }
+    }
+}
+
+/// Types producible uniformly at random from a generator.
+pub trait Random: Sized {
+    /// Draws one uniformly distributed value.
+    fn random_from(rng: &mut StdRng) -> Self;
+}
+
+impl Random for f64 {
+    #[inline]
+    fn random_from(rng: &mut StdRng) -> Self {
+        // 53 high bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Random for f32 {
+    #[inline]
+    fn random_from(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Random for bool {
+    #[inline]
+    fn random_from(rng: &mut StdRng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Random for u64 {
+    #[inline]
+    fn random_from(rng: &mut StdRng) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Random for u32 {
+    #[inline]
+    fn random_from(rng: &mut StdRng) -> Self {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Random for usize {
+    #[inline]
+    fn random_from(rng: &mut StdRng) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+/// Ranges a uniform value can be drawn from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut StdRng) -> T;
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                // Multiply-shift bounded draw (Lemire); bias < 2^-64 is
+                // irrelevant at simulation scales.
+                let hi = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (self.start as i128 + hi as i128) as $t
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let span = (end as i128 - start as i128) as u128 + 1;
+                let hi = ((rng.next_u64() as u128).wrapping_mul(span)) >> 64;
+                (start as i128 + hi as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_range!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for std::ops::Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                assert!(self.start < self.end, "empty range in random_range");
+                let u = <$t as Random>::random_from(rng);
+                let x = self.start + u * (self.end - self.start);
+                // `start + u*(end-start)` can round up to `end` on tight
+                // spans; keep the half-open contract.
+                if x >= self.end { self.end.next_down() } else { x }
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            #[inline]
+            fn sample(self, rng: &mut StdRng) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range in random_range");
+                let u = <$t as Random>::random_from(rng);
+                start + u * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_range!(f32, f64);
+
+/// Extension methods every generator exposes (mirrors rand 0.9's `Rng`).
+pub trait RngExt {
+    /// Draws a uniform value of type `T`.
+    fn random<T: Random>(&mut self) -> T;
+    /// Draws uniformly from `range`.
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T;
+    /// Returns `true` with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool;
+}
+
+impl RngExt for StdRng {
+    #[inline]
+    fn random<T: Random>(&mut self) -> T {
+        T::random_from(self)
+    }
+
+    #[inline]
+    fn random_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    #[inline]
+    fn random_bool(&mut self, p: f64) -> bool {
+        self.random::<f64>() < p
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10_000 {
+            let x: f64 = rng.random_range(-2.5..7.5);
+            assert!((-2.5..7.5).contains(&x));
+            let n: usize = rng.random_range(0..13);
+            assert!(n < 13);
+            let m: i64 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&m));
+            let u: f64 = rng.random();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn tight_float_ranges_honour_exclusive_end() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let (start, end) = (1.0f64, 1.0f64.next_up());
+        for _ in 0..1_000 {
+            let x: f64 = rng.random_range(start..end);
+            assert!(x >= start && x < end, "{x} escaped one-ulp span");
+        }
+    }
+
+    #[test]
+    fn uniform_mean_is_centered() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.random::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    }
+}

@@ -1,0 +1,440 @@
+//! `#[derive(Serialize, Deserialize)]` for the vendored serde shim.
+//!
+//! Hand-rolled over `proc_macro` token trees because `syn`/`quote` are not
+//! available offline. Supports the shapes this workspace actually derives:
+//! non-generic named structs (with `#[serde(skip)]` fields), tuple structs,
+//! unit structs, and enums whose variants are unit, tuple, or struct-like.
+//! Representation matches the shim's `Value` tree: newtype structs are
+//! transparent, unit variants are strings, payload variants are
+//! single-entry maps (serde's external tagging).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+struct Field {
+    name: String,
+    skip: bool,
+}
+
+#[derive(Debug)]
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+#[derive(Debug)]
+enum Shape {
+    Named { name: String, fields: Vec<Field> },
+    Tuple { name: String, arity: usize },
+    Unit { name: String },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Derives the shim's `Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_serialize(&shape).parse().expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `Deserialize` trait.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_item(input);
+    gen_deserialize(&shape).parse().expect("generated Deserialize impl parses")
+}
+
+// ---------------------------------------------------------------- parsing
+
+/// Consumes leading attributes, returning whether any was `#[serde(skip)]`.
+fn eat_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
+    let mut skip = false;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                    if g.delimiter() == Delimiter::Bracket {
+                        skip |= attr_is_serde_skip(&g.stream());
+                        i += 2;
+                        continue;
+                    }
+                }
+                break;
+            }
+            _ => break,
+        }
+    }
+    (i, skip)
+}
+
+fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    match tokens.first() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return false,
+    }
+    match tokens.get(1) {
+        Some(TokenTree::Group(g)) => g
+            .stream()
+            .into_iter()
+            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
+        _ => false,
+    }
+}
+
+/// Consumes a `pub` / `pub(...)` visibility qualifier if present.
+fn eat_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+        if id.to_string() == "pub" {
+            i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    i += 1;
+                }
+            }
+        }
+    }
+    i
+}
+
+fn parse_item(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let (mut i, _) = eat_attrs(&tokens, 0);
+    i = eat_vis(&tokens, i);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected `struct` or `enum`, found {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive shim: generic type `{name}` is not supported");
+    }
+
+    match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Named {
+                name,
+                fields: parse_named_fields(&g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => Shape::Tuple {
+                name,
+                arity: count_top_level_fields(&g.stream()),
+            },
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::Unit { name },
+            other => panic!("serde_derive shim: malformed struct body: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(&g.stream()),
+            },
+            other => panic!("serde_derive shim: malformed enum body: {other:?}"),
+        },
+        other => panic!("serde_derive shim: cannot derive for `{other}`"),
+    }
+}
+
+fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, skip) = eat_attrs(&tokens, i);
+        i = eat_vis(&tokens, next);
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected field name, found {other:?}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}"),
+        }
+        i = skip_type(&tokens, i);
+        fields.push(Field { name, skip });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Advances past one type expression, stopping at a top-level `,`.
+/// Tracks `<`/`>` nesting so commas inside generics don't terminate early.
+fn skip_type(tokens: &[TokenTree], mut i: usize) -> usize {
+    let mut angle_depth = 0i32;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+fn count_top_level_fields(stream: &TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 0;
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = eat_attrs(&tokens, i);
+        i = eat_vis(&tokens, next);
+        if i >= tokens.len() {
+            break;
+        }
+        i = skip_type(&tokens, i);
+        count += 1;
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    count
+}
+
+fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let (next, _) = eat_attrs(&tokens, i);
+        i = next;
+        let name = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            None => break,
+            other => panic!("serde_derive shim: expected variant name, found {other:?}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_fields(&g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(&g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+    }
+    variants
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Named { name, fields } => {
+            let mut body = String::from(
+                "let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n",
+            );
+            for f in fields.iter().filter(|f| !f.skip) {
+                body.push_str(&format!(
+                    "m.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            body.push_str("::serde::Value::Map(m)");
+            impl_serialize(name, &body)
+        }
+        Shape::Tuple { name, arity: 1 } => {
+            impl_serialize(name, "::serde::Serialize::to_value(&self.0)")
+        }
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            impl_serialize(name, &format!("::serde::Value::Seq(vec![{}])", items.join(", ")))
+        }
+        Shape::Unit { name } => impl_serialize(name, "::serde::Value::Null"),
+        Shape::Enum { name, variants } => {
+            let mut arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => arms.push_str(&format!(
+                        "Self::{0} => ::serde::Value::Str(String::from(\"{0}\")),\n",
+                        v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
+                        let payload = if *arity == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binds
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "Self::{0}({1}) => ::serde::Value::Map(vec![(String::from(\"{0}\"), {2})]),\n",
+                            v.name,
+                            binds.join(", "),
+                            payload
+                        ));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let binds: Vec<String> =
+                            fields.iter().map(|f| f.name.clone()).collect();
+                        let items: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "(String::from(\"{0}\"), ::serde::Serialize::to_value({0}))",
+                                    f.name
+                                )
+                            })
+                            .collect();
+                        arms.push_str(&format!(
+                            "Self::{0} {{ {1} }} => ::serde::Value::Map(vec![(String::from(\"{0}\"), ::serde::Value::Map(vec![{2}]))]),\n",
+                            v.name,
+                            binds.join(", "),
+                            items.join(", ")
+                        ));
+                    }
+                }
+            }
+            impl_serialize(name, &format!("match self {{\n{arms}}}"))
+        }
+    }
+}
+
+fn impl_serialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    match shape {
+        Shape::Named { name, fields } => {
+            let mut inits = String::new();
+            for f in fields {
+                if f.skip {
+                    inits.push_str(&format!(
+                        "{}: ::std::default::Default::default(),\n",
+                        f.name
+                    ));
+                } else {
+                    inits.push_str(&format!("{0}: ::serde::field(m, \"{0}\")?,\n", f.name));
+                }
+            }
+            let bind = if fields.iter().any(|f| !f.skip) { "m" } else { "_" };
+            impl_deserialize(
+                name,
+                &format!(
+                    "let {bind} = v.as_map()?;\n::std::result::Result::Ok(Self {{\n{inits}}})"
+                ),
+            )
+        }
+        Shape::Tuple { name, arity: 1 } => impl_deserialize(
+            name,
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(v)?))",
+        ),
+        Shape::Tuple { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(s.get({i}).ok_or_else(|| ::serde::DeError(String::from(\"tuple struct too short\")))?)?"))
+                .collect();
+            impl_deserialize(
+                name,
+                &format!(
+                    "let s = v.as_seq()?;\n::std::result::Result::Ok(Self({}))",
+                    items.join(", ")
+                ),
+            )
+        }
+        Shape::Unit { name } => {
+            impl_deserialize(name, "::std::result::Result::Ok(Self)")
+        }
+        Shape::Enum { name, variants } => {
+            let mut unit_arms = String::new();
+            let mut payload_arms = String::new();
+            for v in variants {
+                match &v.kind {
+                    VariantKind::Unit => unit_arms.push_str(&format!(
+                        "\"{0}\" => ::std::result::Result::Ok(Self::{0}),\n",
+                        v.name
+                    )),
+                    VariantKind::Tuple(arity) => {
+                        let body = if *arity == 1 {
+                            format!(
+                                "::std::result::Result::Ok(Self::{0}(::serde::Deserialize::from_value(payload)?))",
+                                v.name
+                            )
+                        } else {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(s.get({i}).ok_or_else(|| ::serde::DeError(String::from(\"variant payload too short\")))?)?"))
+                                .collect();
+                            format!(
+                                "{{ let s = payload.as_seq()?; ::std::result::Result::Ok(Self::{0}({1})) }}",
+                                v.name,
+                                items.join(", ")
+                            )
+                        };
+                        payload_arms.push_str(&format!("\"{0}\" => {body},\n", v.name));
+                    }
+                    VariantKind::Struct(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                if f.skip {
+                                    format!("{}: ::std::default::Default::default()", f.name)
+                                } else {
+                                    format!("{0}: ::serde::field(m, \"{0}\")?", f.name)
+                                }
+                            })
+                            .collect();
+                        payload_arms.push_str(&format!(
+                            "\"{0}\" => {{ let m = payload.as_map()?; ::std::result::Result::Ok(Self::{0} {{ {1} }}) }},\n",
+                            v.name,
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            let body = format!(
+                "match v {{\n\
+                 ::serde::Value::Str(s) => match s.as_str() {{\n{unit_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(format!(\"unknown variant `{{other}}` for {name}\"))),\n}},\n\
+                 ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                 let (tag, payload) = &entries[0];\n\
+                 match tag.as_str() {{\n{payload_arms}\
+                 other => ::std::result::Result::Err(::serde::DeError(format!(\"unknown variant `{{other}}` for {name}\"))),\n}}\n}},\n\
+                 other => ::std::result::Result::Err(::serde::DeError(format!(\"bad enum encoding for {name}: {{other:?}}\"))),\n}}"
+            );
+            impl_deserialize(name, &body)
+        }
+    }
+}
+
+fn impl_deserialize(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\nimpl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+         #[allow(unused_variables)] let v = v;\n{body}\n}}\n}}\n"
+    )
+}

@@ -1,0 +1,445 @@
+//! Offline stand-in for `serde_json`: renders and parses the vendored serde
+//! shim's `Value` tree as real JSON text.
+//!
+//! Floats are written with Rust's shortest round-trippable representation
+//! (`{:?}`), so `to_string` → `from_str` is lossless for every finite `f64`.
+//! Non-finite floats (which plain JSON cannot spell) are encoded as the
+//! tagged object `{"__nonfinite__": "nan" | "inf" | "-inf"}` and decoded
+//! back transparently, so ordinary strings like `"inf"` round-trip
+//! unchanged.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::fmt;
+
+/// Object key marking an encoded non-finite float. Chosen to be
+/// implausible as a real field name; a genuine single-entry map with this
+/// key and a matching string value would be mis-decoded, which no type in
+/// this workspace produces.
+const NONFINITE_TAG: &str = "__nonfinite__";
+
+/// Error type shared by serialization and deserialization.
+#[derive(Debug, Clone)]
+pub struct Error(pub String);
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<DeError> for Error {
+    fn from(e: DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes any shim-`Serialize` value to a JSON string.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&value.to_value(), &mut out);
+    Ok(out)
+}
+
+/// Parses a JSON string into any shim-`Deserialize` value.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error(format!("trailing characters at byte {}", p.pos)));
+    }
+    Ok(T::from_value(&v)?)
+}
+
+// ---------------------------------------------------------------- writer
+
+fn write_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(n) => out.push_str(&n.to_string()),
+        Value::Float(x) => {
+            if x.is_nan() {
+                out.push_str(&format!("{{\"{NONFINITE_TAG}\":\"nan\"}}"));
+            } else if x.is_infinite() {
+                let spelling = if *x > 0.0 { "inf" } else { "-inf" };
+                out.push_str(&format!("{{\"{NONFINITE_TAG}\":\"{spelling}\"}}"));
+            } else {
+                out.push_str(&format!("{x:?}"));
+            }
+        }
+        Value::Str(s) => write_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while self.pos < self.bytes.len()
+            && matches!(self.bytes[self.pos], b' ' | b'\t' | b'\n' | b'\r')
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), Error> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error(format!(
+                "expected `{}` at byte {}, found {:?}",
+                byte as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            )))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Value, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Value::Null),
+            Some(b't') => self.parse_keyword("true", Value::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Value::Bool(false)),
+            Some(b'"') => Ok(Value::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_array(),
+            Some(b'{') => self.parse_object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.parse_number(),
+            other => Err(Error(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error(format!("invalid literal at byte {}", self.pos)))
+        }
+    }
+
+    /// Reads 4 hex digits starting at byte offset `at`.
+    fn parse_hex4(&self, at: usize) -> Result<u32, Error> {
+        let hex = self
+            .bytes
+            .get(at..at + 4)
+            .ok_or_else(|| Error("truncated \\u escape".into()))?;
+        u32::from_str_radix(
+            std::str::from_utf8(hex).map_err(|_| Error("bad \\u escape".into()))?,
+            16,
+        )
+        .map_err(|_| Error("bad \\u escape".into()))
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error("unterminated string".into())),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{0008}'),
+                        Some(b'f') => out.push('\u{000c}'),
+                        Some(b'u') => {
+                            let code = self.parse_hex4(self.pos + 1)?;
+                            self.pos += 4;
+                            let code = if (0xD800..=0xDBFF).contains(&code) {
+                                // High surrogate: a `\uXXXX` low surrogate
+                                // must follow (JSON's UTF-16 escape pairs).
+                                if self.bytes.get(self.pos + 1..self.pos + 3) != Some(b"\\u") {
+                                    return Err(Error("unpaired high surrogate".into()));
+                                }
+                                let low = self.parse_hex4(self.pos + 3)?;
+                                self.pos += 6;
+                                if !(0xDC00..=0xDFFF).contains(&low) {
+                                    return Err(Error("invalid low surrogate".into()));
+                                }
+                                0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00)
+                            } else {
+                                code
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error("bad \\u code point".into()))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error(format!("bad escape {:?}", other.map(|b| b as char))))
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 code point.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error("invalid UTF-8".into()))?;
+                    let c = rest.chars().next().expect("non-empty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Value, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            match c {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    is_float = true;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error("invalid number".into()))?;
+        if is_float {
+            text.parse::<f64>()
+                .map(Value::Float)
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        } else {
+            text.parse::<i128>()
+                .map(Value::Int)
+                .or_else(|_| text.parse::<f64>().map(Value::Float))
+                .map_err(|_| Error(format!("invalid number `{text}`")))
+        }
+    }
+
+    fn parse_array(&mut self) -> Result<Value, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Seq(items));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `]`, found {:?}",
+                        other.map(|b| b as char)
+                    )))
+                }
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Value, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(finish_object(entries));
+                }
+                other => {
+                    return Err(Error(format!(
+                        "expected `,` or `}}`, found {:?}",
+                        other.map(|b| b as char)
+                    )))
+                }
+            }
+        }
+    }
+}
+
+/// Collapses the non-finite float encoding back to a `Float`; every other
+/// object stays a `Map`.
+fn finish_object(entries: Vec<(String, Value)>) -> Value {
+    if let [(key, Value::Str(spelling))] = entries.as_slice() {
+        if key == NONFINITE_TAG {
+            match spelling.as_str() {
+                "nan" => return Value::Float(f64::NAN),
+                "inf" => return Value::Float(f64::INFINITY),
+                "-inf" => return Value::Float(f64::NEG_INFINITY),
+                _ => {}
+            }
+        }
+    }
+    Value::Map(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        for json in ["null", "true", "false", "0", "-17", "3.5", "1e-3", "\"hi\\n\""] {
+            let v: Value = {
+                let mut p = Parser { bytes: json.as_bytes(), pos: 0 };
+                p.parse_value().unwrap()
+            };
+            let mut out = String::new();
+            write_value(&v, &mut out);
+            let v2 = {
+                let mut p = Parser { bytes: out.as_bytes(), pos: 0 };
+                p.parse_value().unwrap()
+            };
+            assert_eq!(v, v2);
+        }
+    }
+
+    #[test]
+    fn float_round_trip_is_exact() {
+        for x in [0.1, 1.0 / 3.0, f64::MAX, f64::MIN_POSITIVE, -0.0, 2.5e-300] {
+            let s = to_string(&x).unwrap();
+            let back: f64 = from_str(&s).unwrap();
+            assert_eq!(x.to_bits(), back.to_bits(), "{s}");
+        }
+    }
+
+    #[test]
+    fn nonfinite_floats_and_colliding_strings_round_trip() {
+        let s = to_string(&f64::NAN).unwrap();
+        assert!(from_str::<f64>(&s).unwrap().is_nan());
+        for x in [f64::INFINITY, f64::NEG_INFINITY] {
+            let s = to_string(&x).unwrap();
+            assert_eq!(from_str::<f64>(&s).unwrap(), x);
+        }
+        // Strings spelled like the old sentinels stay strings.
+        for text in ["inf", "-inf", "NaN", "nan"] {
+            let s = to_string(&text.to_string()).unwrap();
+            assert_eq!(from_str::<String>(&s).unwrap(), text);
+        }
+        // A vec mixing them survives as-is.
+        let v = vec![f64::INFINITY, 1.5, f64::NEG_INFINITY];
+        let back: Vec<f64> = from_str(&to_string(&v).unwrap()).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn integer_edges() {
+        // Full u64 range survives (Value::Int is i128-wide).
+        let s = to_string(&u64::MAX).unwrap();
+        assert_eq!(s, u64::MAX.to_string());
+        assert_eq!(from_str::<u64>(&s).unwrap(), u64::MAX);
+        assert_eq!(from_str::<i64>(&to_string(&i64::MIN).unwrap()).unwrap(), i64::MIN);
+        // Huge integral floats are rejected for integer targets, not
+        // silently saturated.
+        assert!(from_str::<i64>("1e300").is_err());
+        // Exact integral floats within 2^53 still coerce.
+        assert_eq!(from_str::<u32>("12.0").unwrap(), 12);
+    }
+
+    #[test]
+    fn utf16_surrogate_pairs_decode() {
+        let emoji: String = from_str("\"\\ud83d\\ude00\"").unwrap();
+        assert_eq!(emoji, "\u{1F600}");
+        assert!(from_str::<String>("\"\\ud83d\"").is_err(), "unpaired high surrogate");
+        assert!(from_str::<String>("\"\\ud83d\\u0041\"").is_err(), "bad low surrogate");
+    }
+
+    #[test]
+    fn nested_round_trip() {
+        let v = Value::Map(vec![
+            ("a".into(), Value::Seq(vec![Value::Int(1), Value::Float(2.5)])),
+            ("b".into(), Value::Str("x \"y\" z".into())),
+            ("c".into(), Value::Null),
+        ]);
+        let mut out = String::new();
+        write_value(&v, &mut out);
+        let mut p = Parser { bytes: out.as_bytes(), pos: 0 };
+        assert_eq!(p.parse_value().unwrap(), v);
+    }
+}
