@@ -16,14 +16,16 @@ fn bench(c: &mut Criterion) {
         let ring: SpscRing<u64> = SpscRing::with_capacity(1024);
         g.bench_function("push_pop", |b| {
             b.iter(|| {
-                ring.push(1).ok();
+                ring.push(std::hint::black_box(1)).ok();
                 std::hint::black_box(ring.pop())
             })
         });
         g.finish();
     }
 
-    // Analytic epoch evaluation (the simulator's hot loop).
+    // Analytic epoch evaluation (the simulator's hot loop). Inputs are
+    // black_boxed too, so the optimizer cannot const-fold the kernel and
+    // the batch-vs-scalar comparison below stays honest.
     {
         let cost = ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost();
         let tuning = SimTuning::default();
@@ -33,14 +35,34 @@ fn bench(c: &mut Criterion) {
             burstiness: 1.2,
         };
         let knobs = KnobSettings::default_tuned();
+        let llc = llc_partition_bytes(0.5);
         c.bench_function("engine_evaluate_chain", |b| {
             b.iter(|| {
                 std::hint::black_box(evaluate_chain(
-                    &knobs,
-                    &cost,
-                    &load,
-                    llc_partition_bytes(0.5),
-                    &tuning,
+                    std::hint::black_box(&knobs),
+                    std::hint::black_box(&cost),
+                    std::hint::black_box(&load),
+                    std::hint::black_box(llc),
+                    std::hint::black_box(&tuning),
+                ))
+            })
+        });
+
+        // Batched evaluation: a 64-lane frequency × batch-size candidate
+        // grid (all lanes distinct) in one SoA call. Compare mean/64 with
+        // `engine_evaluate_chain` for the per-lane speedup.
+        let mut batch = ChainBatch::with_capacity(64);
+        for i in 0..64u32 {
+            let mut k = knobs;
+            k.freq_ghz = 1.2 + 0.1 * f64::from(i % 8);
+            k.batch = 1 + (i / 8) * 40;
+            batch.push(&k, &cost, &load, llc);
+        }
+        c.bench_function("engine_evaluate_chain_batch_64", |b| {
+            b.iter(|| {
+                std::hint::black_box(evaluate_chain_batch(
+                    std::hint::black_box(&batch),
+                    std::hint::black_box(&tuning),
                 ))
             })
         });
@@ -75,7 +97,11 @@ fn bench(c: &mut Criterion) {
             .collect();
         let w = vec![1.0; 64];
         c.bench_function("ddpg_update_batch64", |b| {
-            b.iter(|| std::hint::black_box(agent.update(&batch, &w)))
+            b.iter(|| {
+                std::hint::black_box(
+                    agent.update(std::hint::black_box(&batch), std::hint::black_box(&w)),
+                )
+            })
         });
     }
 
@@ -107,8 +133,9 @@ fn bench(c: &mut Criterion) {
     // Actor inference (the deployed controller's per-epoch cost).
     {
         let net = Mlp::two_hidden(4, 64, 5, Activation::Tanh, 7);
+        let obs = [0.5, 0.4, 0.8, 0.7];
         c.bench_function("actor_inference", |b| {
-            b.iter(|| std::hint::black_box(net.infer_one(&[0.5, 0.4, 0.8, 0.7])))
+            b.iter(|| std::hint::black_box(net.infer_one(std::hint::black_box(&obs))))
         });
     }
 }

@@ -7,6 +7,7 @@
 use greennfv::prelude::*;
 use greennfv::report::{table, AmortizationCurve, ComparisonReport};
 use nfv_sim::prelude::*;
+use serde::{Deserialize, Serialize};
 
 /// Effort preset: `quick` keeps every experiment under a few seconds; `full`
 /// approaches the paper's training budgets.
@@ -143,8 +144,9 @@ pub fn render_fig1(rows: &[Fig1Row]) -> String {
 // Figure 2: CPU frequency micro-benchmark
 // ---------------------------------------------------------------------------
 
-/// One row of the frequency sweep.
-#[derive(Debug, Clone, Copy)]
+/// One row of the frequency sweep. Serializable so the golden snapshot
+/// tests can pin the headline grid (`tests/golden/`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Fig2Row {
     /// Core frequency, GHz.
     pub freq_ghz: f64,
@@ -155,33 +157,46 @@ pub struct Fig2Row {
 }
 
 /// Figure 2: 3-NF chain, line-rate 1518 B traffic, frequency 1.2–2.1 GHz.
+///
+/// The whole ladder is submitted as one candidate batch against a single
+/// sampled traffic window — one `evaluate_chain_batch` call instead of a
+/// node epoch per frequency. (Every ladder row previously sampled the same
+/// seeded window on its own node, so the grid is unchanged.)
 pub fn fig2_freq(seed: u64) -> Vec<Fig2Row> {
     let scaler = FreqScaler::new(Governor::Userspace);
-    let mut rows = Vec::new();
-    for &f in scaler.ladder() {
-        let mut node = Node::default_greennfv(0);
-        let knobs = KnobSettings {
-            cpu: CpuAllocation { cores: 1, share: 1.0 },
-            freq_ghz: f,
-            llc_fraction: 0.8,
-            dma: DmaBuffer::from_mb(8.0),
-            batch: 64,
-        };
-        node.add_chain(
-            ChainSpec::canonical_three(ChainId(0)),
-            FlowSet::new(vec![FlowSpec::line_rate_large(0)]).expect("valid flow"),
-            knobs,
-            seed,
-        )
-        .expect("chain fits");
-        let r = node.run_epoch();
-        rows.push(Fig2Row {
-            freq_ghz: f,
-            throughput_gbps: r.node.total_throughput_gbps(),
-            energy_j: r.node.energy_j,
-        });
-    }
-    rows
+    let knobs_at = |f: f64| KnobSettings {
+        cpu: CpuAllocation { cores: 1, share: 1.0 },
+        freq_ghz: f,
+        llc_fraction: 0.8,
+        dma: DmaBuffer::from_mb(8.0),
+        batch: 64,
+    };
+    let mut node = Node::default_greennfv(0);
+    node.add_chain(
+        ChainSpec::canonical_three(ChainId(0)),
+        FlowSet::new(vec![FlowSpec::line_rate_large(0)]).expect("valid flow"),
+        knobs_at(scaler.ladder()[0]),
+        seed,
+    )
+    .expect("chain fits");
+    let load = node.sample_load(ChainId(0)).expect("chain installed");
+    let candidates: Vec<KnobSettings> = scaler.ladder().iter().map(|&f| knobs_at(f)).collect();
+    let swept = node
+        .evaluate_candidates(ChainId(0), &candidates, load)
+        .expect("single-chain node");
+    scaler
+        .ladder()
+        .iter()
+        .zip(swept)
+        .map(|(&f, r)| {
+            let r = r.expect("ladder knobs fit the node");
+            Fig2Row {
+                freq_ghz: f,
+                throughput_gbps: r.total_throughput_gbps(),
+                energy_j: r.energy_j,
+            }
+        })
+        .collect()
 }
 
 /// Renders the Figure 2 table.
@@ -203,8 +218,9 @@ pub fn render_fig2(rows: &[Fig2Row]) -> String {
 // Figure 3: batch-size micro-benchmark
 // ---------------------------------------------------------------------------
 
-/// One row of the batch sweep.
-#[derive(Debug, Clone, Copy)]
+/// One row of the batch sweep. Serializable so the golden snapshot tests
+/// can pin the headline grid (`tests/golden/`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Fig3Row {
     /// Batch size, packets.
     pub batch: u32,
@@ -218,33 +234,44 @@ pub struct Fig3Row {
 
 /// Figure 3: batch size 1–300 on a CPU-bound 3-NF chain with a small LLC
 /// partition, showing the interior throughput peak and miss-rate U-shape.
+///
+/// Like [`fig2_freq`], the whole grid is one candidate batch against a
+/// single sampled window — one `evaluate_chain_batch` call for the figure.
 pub fn fig3_batch(seed: u64) -> Vec<Fig3Row> {
-    let mut rows = Vec::new();
-    for batch in [1u32, 25, 50, 75, 100, 125, 150, 175, 200, 250, 300] {
-        let mut node = Node::default_greennfv(0);
-        let knobs = KnobSettings {
-            cpu: CpuAllocation { cores: 1, share: 1.0 },
-            freq_ghz: 1.9,
-            llc_fraction: 0.12,
-            dma: DmaBuffer::from_mb(8.0),
-            batch,
-        };
-        node.add_chain(
-            ChainSpec::canonical_three(ChainId(0)),
-            FlowSet::new(vec![FlowSpec::cbr(0, 6.0e6, 800)]).expect("valid flow"),
-            knobs,
-            seed,
-        )
-        .expect("chain fits");
-        let r = node.run_epoch();
-        rows.push(Fig3Row {
-            batch,
-            throughput_gbps: r.node.total_throughput_gbps(),
-            energy_kj: r.node.energy_j / 1000.0,
-            misses_e4: r.node.chains[0].llc_misses / 1e4,
-        });
-    }
-    rows
+    const BATCHES: [u32; 11] = [1, 25, 50, 75, 100, 125, 150, 175, 200, 250, 300];
+    let knobs_at = |batch: u32| KnobSettings {
+        cpu: CpuAllocation { cores: 1, share: 1.0 },
+        freq_ghz: 1.9,
+        llc_fraction: 0.12,
+        dma: DmaBuffer::from_mb(8.0),
+        batch,
+    };
+    let mut node = Node::default_greennfv(0);
+    node.add_chain(
+        ChainSpec::canonical_three(ChainId(0)),
+        FlowSet::new(vec![FlowSpec::cbr(0, 6.0e6, 800)]).expect("valid flow"),
+        knobs_at(BATCHES[0]),
+        seed,
+    )
+    .expect("chain fits");
+    let load = node.sample_load(ChainId(0)).expect("chain installed");
+    let candidates: Vec<KnobSettings> = BATCHES.iter().map(|&b| knobs_at(b)).collect();
+    let swept = node
+        .evaluate_candidates(ChainId(0), &candidates, load)
+        .expect("single-chain node");
+    BATCHES
+        .iter()
+        .zip(swept)
+        .map(|(&batch, r)| {
+            let r = r.expect("grid knobs fit the node");
+            Fig3Row {
+                batch,
+                throughput_gbps: r.total_throughput_gbps(),
+                energy_kj: r.energy_j / 1000.0,
+                misses_e4: r.chains[0].llc_misses / 1e4,
+            }
+        })
+        .collect()
 }
 
 /// Renders the Figure 3 table.

@@ -49,6 +49,13 @@ pub struct ApexConfig {
     pub beta: Schedule,
     /// DDPG hyperparameters.
     pub ddpg: DdpgConfig,
+    /// Candidate actions per environment step. At 1 (the default) actors
+    /// step with the single noisy policy action, exactly as before. Above 1
+    /// each actor proposes that many noise-perturbed variants, submits them
+    /// as one batched what-if sweep ([`GreenNfvEnv::sweep_actions`]), and
+    /// commits the best-scoring candidate — shooting-style exploration paid
+    /// for by the batch engine rather than extra environment epochs.
+    pub candidates_per_step: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -76,6 +83,7 @@ impl Default for ApexConfig {
                 steps: 20_000,
             },
             ddpg: DdpgConfig::default(),
+            candidates_per_step: 1,
             seed: 42,
         }
     }
@@ -166,6 +174,26 @@ pub fn train_apex(sla: Sla, cfg: &ApexConfig) -> ApexOutcome {
                         let mut action = agent.act(&state);
                         for (a, n) in action.iter_mut().zip(noise.sample()) {
                             *a = (*a + n).clamp(-1.0, 1.0);
+                        }
+                        if cfg.candidates_per_step > 1 {
+                            // Propose extra noise-perturbed variants and rank
+                            // the whole candidate set in one batched sweep.
+                            let mut candidates = vec![action.clone()];
+                            for _ in 1..cfg.candidates_per_step {
+                                let mut variant = action.clone();
+                                for (a, n) in variant.iter_mut().zip(noise.sample()) {
+                                    *a = (*a + n).clamp(-1.0, 1.0);
+                                }
+                                candidates.push(variant);
+                            }
+                            let swept = env.sweep_actions(&candidates);
+                            let best = swept
+                                .iter()
+                                .enumerate()
+                                .filter_map(|(i, r)| r.as_ref().ok().map(|o| (i, o.reward)))
+                                .max_by(|a, b| a.1.total_cmp(&b.1))
+                                .map_or(0, |(i, _)| i);
+                            action = candidates.swap_remove(best);
                         }
                         let step = env.step(&action);
                         let tr = Transition {
@@ -313,6 +341,24 @@ mod tests {
         for e in &r.trace {
             assert!(e.knobs.validate().is_ok());
         }
+    }
+
+    #[test]
+    fn batched_candidate_exploration_trains() {
+        let cfg = ApexConfig {
+            candidates_per_step: 3,
+            ..quick_cfg(2, 8)
+        };
+        let out = train_apex(Sla::EnergyEfficiency, &cfg);
+        // Candidate sweeps are what-if only: env step counts are unchanged.
+        assert_eq!(out.actor_steps, 2 * 8 * 8);
+        assert!(out.training_energy_j > 0.0);
+        let mut ctrl = out.into_controller("GreenNFV(apex-cand)");
+        let r = crate::controller::run_controller(
+            &mut ctrl,
+            &crate::controller::RunConfig::paper(3, 5),
+        );
+        assert_eq!(r.trace.len(), 3);
     }
 
     #[test]

@@ -169,6 +169,81 @@ impl GreenNfvEnv {
             t.arrival_pps / OMEGA_SCALE,
         ]
     }
+
+    /// The offered load the sweep evaluates against: the last observed
+    /// arrival rate (falling back to the configured mean before any epoch
+    /// has run) with the workload's static packet-size/burstiness mix.
+    fn sweep_load(&self) -> ChainLoad {
+        let arrival_pps = self
+            .last_report
+            .as_ref()
+            .map(|r| r.telemetry[0].arrival_pps)
+            .unwrap_or_else(|| self.cfg.flows.total_rate_pps());
+        ChainLoad {
+            arrival_pps,
+            mean_packet_size: self.cfg.flows.mean_packet_size(),
+            burstiness: self.cfg.flows.burstiness(),
+        }
+    }
+
+    /// Batched what-if step: evaluates every candidate knob setting from the
+    /// current state — last observed load, committed allocations untouched —
+    /// in one [`ChainBatch`](nfv_sim::batch::ChainBatch) sweep, and scores
+    /// each with the environment's reward. No state advances: traffic,
+    /// knobs, energy, and step counters are exactly as before the call.
+    ///
+    /// This is the sweep-style rollout primitive: Ape-X actors use it to
+    /// rank candidate actions before committing one, and the figure grids
+    /// use the same path one level down on [`Node`].
+    pub fn sweep_candidates(&self, candidates: &[KnobSettings]) -> Vec<SimResult<SweepOutcome>> {
+        let load = self.sweep_load();
+        let swept = self
+            .node
+            .evaluate_candidates(ChainId(0), candidates, load)
+            .expect("env nodes host exactly one chain");
+        swept
+            .into_iter()
+            .map(|r| {
+                r.map(|node| {
+                    let chain = node.chains[0];
+                    let reward = reward_scaled(
+                        self.cfg.sla,
+                        self.cfg.shaping,
+                        chain.throughput_gbps,
+                        node.energy_j,
+                        self.energy_scale_j,
+                    );
+                    SweepOutcome {
+                        chain,
+                        energy_j: node.energy_j,
+                        reward,
+                    }
+                })
+            })
+            .collect()
+    }
+
+    /// [`Self::sweep_candidates`] over normalized actions: each action is
+    /// decoded through the environment's [`ActionSpace`] first.
+    pub fn sweep_actions(&self, actions: &[Vec<f64>]) -> Vec<SimResult<SweepOutcome>> {
+        let knobs: Vec<KnobSettings> = actions
+            .iter()
+            .map(|a| self.cfg.action_space.decode(a))
+            .collect();
+        self.sweep_candidates(&knobs)
+    }
+}
+
+/// One lane of a batched what-if sweep: the candidate's chain outcome,
+/// node-level energy, and the reward the environment would have paid.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SweepOutcome {
+    /// Chain-level engine result under the candidate knobs.
+    pub chain: ChainEpochResult,
+    /// Node-level epoch energy (joules) under the candidate knobs.
+    pub energy_j: f64,
+    /// Environment reward for this outcome.
+    pub reward: f64,
 }
 
 /// Energy normalization for an environment configuration: the node's maximum
@@ -296,6 +371,43 @@ mod tests {
         let applied = e.knobs();
         assert_eq!(applied.batch, 128);
         assert!((applied.freq_ghz - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_is_side_effect_free_and_ranks_candidates() {
+        let mut e = env(Sla::EnergyEfficiency);
+        e.reset();
+        let steps_before = e.total_steps();
+        let energy_before = e.cumulative_energy_j();
+        let knobs_before = e.knobs();
+
+        let weak = e.config().action_space.decode(&[-1.0; 5]);
+        let strong = e.config().action_space.decode(&[0.8, 0.2, 0.9, 0.2, 0.5]);
+        let mut invalid = strong;
+        invalid.batch = 0;
+        let out = e.sweep_candidates(&[weak, strong, invalid]);
+
+        assert_eq!(out.len(), 3);
+        let weak_r = out[0].as_ref().unwrap().reward;
+        let strong_r = out[1].as_ref().unwrap().reward;
+        assert!(strong_r > weak_r, "strong {strong_r} must beat weak {weak_r}");
+        assert!(out[2].is_err(), "invalid knobs surface as error lanes");
+
+        assert_eq!(e.total_steps(), steps_before);
+        assert_eq!(e.cumulative_energy_j(), energy_before);
+        assert_eq!(e.knobs(), knobs_before);
+    }
+
+    #[test]
+    fn sweep_actions_decodes_like_step() {
+        let mut e = env(Sla::EnergyEfficiency);
+        e.reset();
+        let action = vec![0.3, -0.2, 0.5, 0.0, 0.1];
+        let sweep = e.sweep_actions(std::slice::from_ref(&action));
+        let outcome = sweep[0].as_ref().unwrap();
+        assert!(outcome.chain.throughput_gbps > 0.0);
+        assert!(outcome.energy_j > 0.0);
+        assert!(outcome.reward.is_finite());
     }
 
     #[test]

@@ -32,7 +32,7 @@ pub mod prelude {
     };
     pub use crate::dqnmodel::{train_dqn, DqnModelController};
     pub use crate::eepstate::{DesPredictor, EePstateController};
-    pub use crate::envs::{energy_scale, EnvConfig, GreenNfvEnv, STATE_DIM};
+    pub use crate::envs::{energy_scale, EnvConfig, GreenNfvEnv, SweepOutcome, STATE_DIM};
     pub use crate::flowstats::{FlowAnalyzer, RateClass, TrafficPattern};
     pub use crate::heuristic::HeuristicController;
     pub use crate::placement::{

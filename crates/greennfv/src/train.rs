@@ -11,6 +11,7 @@ use greennfv_rl::per::PrioritizedReplay;
 use greennfv_rl::replay::ReplayBuffer;
 use greennfv_rl::prelude::{DdpgAgent, DdpgConfig};
 use greennfv_rl::schedule::Schedule;
+use nfv_sim::prelude::KnobSettings;
 use serde::{Deserialize, Serialize};
 
 use greennfv_rl::prelude::DdpgParams;
@@ -44,6 +45,10 @@ pub struct TrainConfig {
     /// Use prioritized experience replay (the paper's choice); `false` falls
     /// back to uniform replay — the ablation bench compares the two.
     pub use_per: bool,
+    /// Candidate knob sets swept (as one batched what-if call) after
+    /// training to probe how close the learned policy sits to a blind grid;
+    /// `0` disables the sweep.
+    pub final_sweep_candidates: usize,
     /// Master seed.
     pub seed: u64,
 }
@@ -69,6 +74,7 @@ impl Default for TrainConfig {
             ddpg: DdpgConfig::default(),
             updates_per_step: 1,
             use_per: true,
+            final_sweep_candidates: 16,
             seed: 42,
         }
     }
@@ -160,6 +166,11 @@ pub struct TrainOutcome {
     /// Total energy consumed by the NFV node during training (`E_t` in
     /// Eq. 9).
     pub training_energy_j: f64,
+    /// Best (knobs, reward) found by the post-training candidate sweep —
+    /// a blind lattice over the knob space submitted as one batched what-if
+    /// call — or `None` when `TrainConfig::final_sweep_candidates` is 0.
+    /// Diagnostic only: a policy scoring far below this grid underfits.
+    pub best_sweep: Option<(KnobSettings, f64)>,
     /// SLA the policy was trained for.
     pub sla: Sla,
 }
@@ -273,6 +284,20 @@ pub fn train_with_env_config(env_cfg: EnvConfig, cfg: &TrainConfig) -> TrainOutc
         }
     }
 
+    // Post-training refinement probe: submit a blind candidate lattice as
+    // one batched what-if sweep (no extra environment epochs or energy).
+    let best_sweep = if cfg.final_sweep_candidates > 0 {
+        let candidates = candidate_lattice(&eval_env, cfg.final_sweep_candidates);
+        eval_env
+            .sweep_candidates(&candidates)
+            .into_iter()
+            .zip(candidates)
+            .filter_map(|(r, k)| r.ok().map(|o| (k, o.reward)))
+            .max_by(|a, b| a.1.total_cmp(&b.1))
+    } else {
+        None
+    };
+
     TrainOutcome {
         agent,
         best_params,
@@ -280,8 +305,29 @@ pub fn train_with_env_config(env_cfg: EnvConfig, cfg: &TrainConfig) -> TrainOutc
         action_space,
         history,
         training_energy_j: env.cumulative_energy_j() + eval_env.cumulative_energy_j(),
+        best_sweep,
         sla,
     }
+}
+
+/// A deterministic low-discrepancy lattice of `n` candidate knob sets over
+/// the normalized action cube, decoded through the environment's action
+/// space (so every candidate is range-valid by construction).
+fn candidate_lattice(env: &GreenNfvEnv, n: usize) -> Vec<KnobSettings> {
+    let space = env.config().action_space;
+    (0..n)
+        .map(|i| {
+            let action: Vec<f64> = (0..5)
+                .map(|dim| {
+                    // Weyl-style hash: dense in [-1, 1], seed-free, stable.
+                    let k = (i * 5 + dim) as u64 + 1;
+                    let h = k.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 11;
+                    -1.0 + 2.0 * (h as f64 / (1u64 << 53) as f64)
+                })
+                .collect();
+            space.decode(&action)
+        })
+        .collect()
 }
 
 /// Runs one greedy episode and summarizes outcomes + chosen knobs.
@@ -357,6 +403,18 @@ mod tests {
         let last = out.final_eval().unwrap();
         assert!(last.throughput_gbps >= 0.0);
         assert!(last.freq_ghz >= 1.2 && last.freq_ghz <= 2.1);
+        // The post-training candidate sweep ran and produced a valid point.
+        let (knobs, reward) = out.best_sweep.expect("default config sweeps 16 candidates");
+        assert!(knobs.validate().is_ok());
+        assert!(reward.is_finite());
+    }
+
+    #[test]
+    fn final_sweep_can_be_disabled() {
+        let mut cfg = TrainConfig::quick(4, 3);
+        cfg.final_sweep_candidates = 0;
+        let out = train(Sla::EnergyEfficiency, &cfg);
+        assert!(out.best_sweep.is_none());
     }
 
     #[test]

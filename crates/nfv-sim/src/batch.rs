@@ -1,0 +1,348 @@
+//! Batched chain evaluation: a structure-of-arrays container of evaluation
+//! lanes plus a multi-threaded sweep kernel.
+//!
+//! [`evaluate_chain`](crate::engine::evaluate_chain) is the hot loop of
+//! every training run, bench, and cluster epoch. Callers that evaluate many
+//! independent (knobs, cost, load, partition) tuples — a cluster epoch over
+//! all nodes, an RL candidate sweep, a figure grid — stage them as lanes of
+//! a [`ChainBatch`] and evaluate the whole batch in one call. Each lane's
+//! result depends only on that lane's inputs, so the batch sweep is
+//! trivially parallel; [`crate::par`] auto-chunks large batches across
+//! threads while small ones run inline.
+//!
+//! **Equivalence contract.** A batch evaluation is *bit-identical*, lane by
+//! lane, to validating the lane's knobs and calling the scalar
+//! `evaluate_chain`: same values, same [`SimError`]s on invalid-knob lanes,
+//! same ordering, for any thread count. The differential proptest in
+//! `tests/proptests.rs` and the thread-determinism test in
+//! `tests/batch_determinism.rs` enforce the contract, so future SIMD work on
+//! this kernel cannot silently drift from the scalar path.
+//!
+//! Columns are contiguous `Vec<f64>` lanes. Integer-valued inputs (cores,
+//! DMA bytes, batch knob, state bytes, hops) are stored as `f64`; every one
+//! of them is far below 2^53, so the round-trip through the column is exact
+//! and the reconstructed structs are bitwise equal to what was pushed.
+
+use crate::chain::ChainCost;
+use crate::cpu::CpuAllocation;
+use crate::dma::DmaBuffer;
+use crate::engine::{evaluate_chain, ChainEpochResult, ChainLoad, KnobSettings, SimTuning};
+use crate::error::SimResult;
+use crate::par;
+
+/// A batch of independent chain-evaluation lanes in SoA layout.
+///
+/// ```
+/// use nfv_sim::prelude::*;
+///
+/// let cost = ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost();
+/// let load = ChainLoad { arrival_pps: 3.5e6, mean_packet_size: 395.0, burstiness: 1.2 };
+/// let tuning = SimTuning::default();
+///
+/// // Stage a 64-point batch-size sweep as one SoA batch...
+/// let mut batch = ChainBatch::with_capacity(64);
+/// for i in 0..64u32 {
+///     let mut knobs = KnobSettings::default_tuned();
+///     knobs.batch = 1 + i * 5;
+///     batch.push(&knobs, &cost, &load, llc_partition_bytes(0.5));
+/// }
+/// // ...and evaluate every lane in one call (auto-threaded for big batches).
+/// let results = evaluate_chain_batch(&batch, &tuning);
+/// assert_eq!(results.len(), 64);
+///
+/// // Each lane equals the scalar path exactly.
+/// let (knobs, cost, load, llc) = batch.lane(7);
+/// let scalar = evaluate_chain(&knobs, &cost, &load, llc, &tuning);
+/// assert_eq!(results[7].as_ref().unwrap(), &scalar);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ChainBatch {
+    // Knob columns.
+    cpu_cores: Vec<f64>,
+    cpu_share: Vec<f64>,
+    freq_ghz: Vec<f64>,
+    llc_fraction: Vec<f64>,
+    dma_bytes: Vec<f64>,
+    batch_knob: Vec<f64>,
+    // Chain-cost columns.
+    base_cycles_per_packet: Vec<f64>,
+    cycles_per_byte: Vec<f64>,
+    mem_refs_per_packet: Vec<f64>,
+    state_bytes: Vec<f64>,
+    hops: Vec<f64>,
+    // Load columns.
+    arrival_pps: Vec<f64>,
+    mean_packet_size: Vec<f64>,
+    burstiness: Vec<f64>,
+    // CAT partition column.
+    llc_bytes: Vec<f64>,
+}
+
+impl ChainBatch {
+    /// An empty batch.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty batch with room for `lanes` lanes in every column.
+    pub fn with_capacity(lanes: usize) -> Self {
+        Self {
+            cpu_cores: Vec::with_capacity(lanes),
+            cpu_share: Vec::with_capacity(lanes),
+            freq_ghz: Vec::with_capacity(lanes),
+            llc_fraction: Vec::with_capacity(lanes),
+            dma_bytes: Vec::with_capacity(lanes),
+            batch_knob: Vec::with_capacity(lanes),
+            base_cycles_per_packet: Vec::with_capacity(lanes),
+            cycles_per_byte: Vec::with_capacity(lanes),
+            mem_refs_per_packet: Vec::with_capacity(lanes),
+            state_bytes: Vec::with_capacity(lanes),
+            hops: Vec::with_capacity(lanes),
+            arrival_pps: Vec::with_capacity(lanes),
+            mean_packet_size: Vec::with_capacity(lanes),
+            burstiness: Vec::with_capacity(lanes),
+            llc_bytes: Vec::with_capacity(lanes),
+        }
+    }
+
+    /// Builds a batch from engine-style `(knobs, cost, load, llc_bytes)`
+    /// config tuples (the shape [`crate::engine::evaluate_node`] consumes).
+    pub fn from_configs(configs: &[(KnobSettings, ChainCost, ChainLoad, f64)]) -> Self {
+        let mut batch = Self::with_capacity(configs.len());
+        for (knobs, cost, load, llc_bytes) in configs {
+            batch.push(knobs, cost, load, *llc_bytes);
+        }
+        batch
+    }
+
+    /// Number of lanes staged.
+    pub fn len(&self) -> usize {
+        self.cpu_cores.len()
+    }
+
+    /// True when no lanes are staged.
+    pub fn is_empty(&self) -> bool {
+        self.cpu_cores.is_empty()
+    }
+
+    /// Removes all lanes, keeping column capacity for reuse.
+    pub fn clear(&mut self) {
+        self.cpu_cores.clear();
+        self.cpu_share.clear();
+        self.freq_ghz.clear();
+        self.llc_fraction.clear();
+        self.dma_bytes.clear();
+        self.batch_knob.clear();
+        self.base_cycles_per_packet.clear();
+        self.cycles_per_byte.clear();
+        self.mem_refs_per_packet.clear();
+        self.state_bytes.clear();
+        self.hops.clear();
+        self.arrival_pps.clear();
+        self.mean_packet_size.clear();
+        self.burstiness.clear();
+        self.llc_bytes.clear();
+    }
+
+    /// Appends one evaluation lane.
+    pub fn push(&mut self, knobs: &KnobSettings, cost: &ChainCost, load: &ChainLoad, llc_bytes: f64) {
+        self.cpu_cores.push(f64::from(knobs.cpu.cores));
+        self.cpu_share.push(knobs.cpu.share);
+        self.freq_ghz.push(knobs.freq_ghz);
+        self.llc_fraction.push(knobs.llc_fraction);
+        self.dma_bytes.push(knobs.dma.bytes as f64);
+        self.batch_knob.push(f64::from(knobs.batch));
+        self.base_cycles_per_packet.push(cost.base_cycles_per_packet);
+        self.cycles_per_byte.push(cost.cycles_per_byte);
+        self.mem_refs_per_packet.push(cost.mem_refs_per_packet);
+        self.state_bytes.push(cost.state_bytes as f64);
+        self.hops.push(f64::from(cost.hops));
+        self.arrival_pps.push(load.arrival_pps);
+        self.mean_packet_size.push(load.mean_packet_size);
+        self.burstiness.push(load.burstiness);
+        self.llc_bytes.push(llc_bytes);
+    }
+
+    /// Reconstructs lane `i`'s inputs from the columns. The round-trip is
+    /// exact (see the module docs), so evaluating the reconstructed lane is
+    /// bit-identical to evaluating the pushed structs.
+    ///
+    /// # Panics
+    /// When `i >= self.len()`.
+    #[inline]
+    pub fn lane(&self, i: usize) -> (KnobSettings, ChainCost, ChainLoad, f64) {
+        let knobs = KnobSettings {
+            cpu: CpuAllocation {
+                cores: self.cpu_cores[i] as u32,
+                share: self.cpu_share[i],
+            },
+            freq_ghz: self.freq_ghz[i],
+            llc_fraction: self.llc_fraction[i],
+            dma: DmaBuffer {
+                bytes: self.dma_bytes[i] as u64,
+            },
+            batch: self.batch_knob[i] as u32,
+        };
+        let cost = ChainCost {
+            base_cycles_per_packet: self.base_cycles_per_packet[i],
+            cycles_per_byte: self.cycles_per_byte[i],
+            mem_refs_per_packet: self.mem_refs_per_packet[i],
+            state_bytes: self.state_bytes[i] as u64,
+            hops: self.hops[i] as u32,
+        };
+        let load = ChainLoad {
+            arrival_pps: self.arrival_pps[i],
+            mean_packet_size: self.mean_packet_size[i],
+            burstiness: self.burstiness[i],
+        };
+        (knobs, cost, load, self.llc_bytes[i])
+    }
+}
+
+/// Evaluates every lane of `batch`, auto-chunking across threads.
+///
+/// Per lane: the knobs are validated (invalid lanes carry the same
+/// [`crate::error::SimError`] the scalar caller would see) and valid lanes
+/// run the scalar [`evaluate_chain`] kernel, so results are bit-identical to
+/// a scalar loop in lane order. Thread count follows [`par::auto_threads`]:
+/// small batches run inline, huge ones fan out to the host's cores.
+pub fn evaluate_chain_batch(
+    batch: &ChainBatch,
+    tuning: &SimTuning,
+) -> Vec<SimResult<ChainEpochResult>> {
+    evaluate_chain_batch_threads(batch, tuning, par::auto_threads(batch.len()))
+}
+
+/// [`evaluate_chain_batch`] with an explicit worker-thread count.
+///
+/// Results — values and ordering — are identical for every `threads`
+/// value; `tests/batch_determinism.rs` pins that down for 1, 2, and 8.
+pub fn evaluate_chain_batch_threads(
+    batch: &ChainBatch,
+    tuning: &SimTuning,
+    threads: usize,
+) -> Vec<SimResult<ChainEpochResult>> {
+    let eval_lane = |i: usize| {
+        let (knobs, cost, load, llc_bytes) = batch.lane(i);
+        knobs.validate()?;
+        Ok(evaluate_chain(&knobs, &cost, &load, llc_bytes, tuning))
+    };
+    if threads <= 1 {
+        // Monomorphic fast path: no pool bookkeeping on the hot sweep.
+        return (0..batch.len()).map(eval_lane).collect();
+    }
+    par::chunked_map(batch.len(), threads, eval_lane)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::{ChainSpec, ServiceChain};
+    use crate::cpu::ChainId;
+    use crate::engine::llc_partition_bytes;
+
+    fn canonical_cost() -> ChainCost {
+        ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost()
+    }
+
+    fn sweep_batch(lanes: u32) -> ChainBatch {
+        let cost = canonical_cost();
+        let mut batch = ChainBatch::with_capacity(lanes as usize);
+        for i in 0..lanes {
+            let mut knobs = KnobSettings::default_tuned();
+            knobs.batch = 1 + (i * 7) % 320;
+            knobs.freq_ghz = 1.2 + 0.1 * f64::from(i % 10);
+            let load = ChainLoad {
+                arrival_pps: 1.0e6 + 5.0e4 * f64::from(i),
+                mean_packet_size: 64.0 + f64::from(i % 20) * 70.0,
+                burstiness: 1.0 + f64::from(i % 4) * 0.5,
+            };
+            batch.push(&knobs, &cost, &load, llc_partition_bytes(0.5));
+        }
+        batch
+    }
+
+    #[test]
+    fn lane_roundtrip_is_exact() {
+        let cost = canonical_cost();
+        let knobs = KnobSettings::baseline();
+        let load = ChainLoad {
+            arrival_pps: 3.55e6,
+            mean_packet_size: 395.0,
+            burstiness: 1.2,
+        };
+        let mut batch = ChainBatch::new();
+        batch.push(&knobs, &cost, &load, 1234.5);
+        let (k, c, l, llc) = batch.lane(0);
+        assert_eq!(k, knobs);
+        assert_eq!(c, cost);
+        assert_eq!(l.arrival_pps, load.arrival_pps);
+        assert_eq!(l.mean_packet_size, load.mean_packet_size);
+        assert_eq!(l.burstiness, load.burstiness);
+        assert_eq!(llc, 1234.5);
+    }
+
+    #[test]
+    fn batch_matches_scalar_loop_exactly() {
+        let batch = sweep_batch(64);
+        let tuning = SimTuning::default();
+        let got = evaluate_chain_batch(&batch, &tuning);
+        assert_eq!(got.len(), 64);
+        for (i, r) in got.iter().enumerate() {
+            let (knobs, cost, load, llc) = batch.lane(i);
+            let expect = evaluate_chain(&knobs, &cost, &load, llc, &tuning);
+            assert_eq!(r.as_ref().unwrap(), &expect, "lane {i}");
+        }
+    }
+
+    #[test]
+    fn invalid_lanes_carry_scalar_errors() {
+        let cost = canonical_cost();
+        let load = ChainLoad {
+            arrival_pps: 1.0e6,
+            mean_packet_size: 395.0,
+            burstiness: 1.2,
+        };
+        let mut bad = KnobSettings::default_tuned();
+        bad.batch = 0;
+        let mut batch = ChainBatch::new();
+        batch.push(&KnobSettings::default_tuned(), &cost, &load, 1e6);
+        batch.push(&bad, &cost, &load, 1e6);
+        let got = evaluate_chain_batch(&batch, &SimTuning::default());
+        assert!(got[0].is_ok());
+        assert_eq!(got[1], Err(bad.validate().unwrap_err()));
+    }
+
+    #[test]
+    fn clear_retains_nothing() {
+        let mut batch = sweep_batch(8);
+        assert_eq!(batch.len(), 8);
+        batch.clear();
+        assert!(batch.is_empty());
+        assert!(evaluate_chain_batch(&batch, &SimTuning::default()).is_empty());
+    }
+
+    #[test]
+    fn from_configs_matches_pushes() {
+        let cost = canonical_cost();
+        let load = ChainLoad {
+            arrival_pps: 2.0e6,
+            mean_packet_size: 512.0,
+            burstiness: 1.5,
+        };
+        let configs = vec![
+            (KnobSettings::baseline(), cost, load, 1e6),
+            (KnobSettings::default_tuned(), cost, load, 9e6),
+        ];
+        let a = ChainBatch::from_configs(&configs);
+        let mut b = ChainBatch::new();
+        for (k, c, l, llc) in &configs {
+            b.push(k, c, l, *llc);
+        }
+        let tuning = SimTuning::default();
+        assert_eq!(
+            evaluate_chain_batch(&a, &tuning),
+            evaluate_chain_batch(&b, &tuning)
+        );
+    }
+}

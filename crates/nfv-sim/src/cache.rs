@@ -137,7 +137,7 @@ impl CatLlc {
 /// `miss_rate = m_min + (1 - m_min) · ws / (ws + cache_bytes)` — compulsory
 /// floor plus a capacity term that grows as the working set exceeds the
 /// partition. The shape is validated against [`SetAssocCache`] in tests.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct MissModel {
     /// Compulsory miss floor (cold/streaming accesses).
     pub m_min: f64,

@@ -6,9 +6,10 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::{evaluate_chain_batch, ChainBatch};
 use crate::chain::ChainSpec;
 use crate::cpu::ChainId;
-use crate::engine::{KnobSettings, PlatformPolicy, SimTuning};
+use crate::engine::{ChainEpochResult, KnobSettings, PlatformPolicy, SimTuning};
 use crate::error::{SimError, SimResult};
 use crate::flow::FlowSet;
 use crate::node::{Node, NodeEpochReport};
@@ -113,10 +114,66 @@ impl Cluster {
     }
 
     /// Runs one epoch on every node.
+    ///
+    /// All chains of all nodes are staged as lanes of one
+    /// [`ChainBatch`] and evaluated in a single
+    /// [`evaluate_chain_batch`] call (auto-chunked across threads for large
+    /// clusters), then folded back into per-node reports in node order. The
+    /// batch kernel is lane-order deterministic for any thread count, so
+    /// this is bit-identical to running each node's epoch serially. When
+    /// nodes carry heterogeneous model tunings their lanes cannot share one
+    /// batch, and each node evaluates its own.
     pub fn run_epoch(&mut self) -> ClusterEpochReport {
-        ClusterEpochReport {
-            nodes: self.nodes.iter_mut().map(|n| n.run_epoch()).collect(),
-        }
+        // Sample traffic node-by-node first (deterministic generator order).
+        let prepared: Vec<_> = self.nodes.iter_mut().map(|n| n.prepare_epoch()).collect();
+
+        let shared_tuning = match self.nodes.first() {
+            Some(first) => {
+                let t = *first.tuning();
+                self.nodes.iter().all(|n| *n.tuning() == t).then_some(t)
+            }
+            None => None,
+        };
+
+        let nodes = match shared_tuning {
+            Some(tuning) => {
+                let mut batch =
+                    ChainBatch::with_capacity(prepared.iter().map(|(c, _)| c.len()).sum());
+                for (configs, _) in &prepared {
+                    for (knobs, cost, load, llc_bytes) in configs {
+                        batch.push(knobs, cost, load, *llc_bytes);
+                    }
+                }
+                let mut lanes = evaluate_chain_batch(&batch, &tuning).into_iter();
+                self.nodes
+                    .iter_mut()
+                    .zip(&prepared)
+                    .map(|(node, (configs, arrivals))| {
+                        let results: Vec<ChainEpochResult> = lanes
+                            .by_ref()
+                            .take(configs.len())
+                            .map(|r| r.expect("node-resident knobs were validated by set_knobs"))
+                            .collect();
+                        node.finish_epoch(configs, arrivals, &results)
+                    })
+                    .collect()
+            }
+            None => self
+                .nodes
+                .iter_mut()
+                .zip(&prepared)
+                .map(|(node, (configs, arrivals))| {
+                    let tuning = *node.tuning();
+                    let results: Vec<ChainEpochResult> =
+                        evaluate_chain_batch(&ChainBatch::from_configs(configs), &tuning)
+                            .into_iter()
+                            .map(|r| r.expect("node-resident knobs were validated by set_knobs"))
+                            .collect();
+                    node.finish_epoch(configs, arrivals, &results)
+                })
+                .collect(),
+        };
+        ClusterEpochReport { nodes }
     }
 }
 
@@ -158,6 +215,21 @@ mod tests {
         assert!(c.node(2).is_ok());
         assert!(c.node(3).is_err());
         assert!(c.node_mut(99).is_err());
+    }
+
+    #[test]
+    fn batched_epoch_matches_per_node_epochs() {
+        // One fused ChainBatch over the whole cluster must reproduce the
+        // per-node path exactly (guards shard-boundary reduction drift).
+        let mut fused = Cluster::paper_testbed(PlatformPolicy::greennfv(), 9);
+        let mut serial = Cluster::paper_testbed(PlatformPolicy::greennfv(), 9);
+        for _ in 0..3 {
+            let fused_report = fused.run_epoch();
+            let serial_reports: Vec<_> = (0..serial.len())
+                .map(|i| serial.node_mut(i).unwrap().run_epoch())
+                .collect();
+            assert_eq!(fused_report.nodes, serial_reports);
+        }
     }
 
     #[test]

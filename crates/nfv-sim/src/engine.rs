@@ -147,7 +147,9 @@ pub struct ChainLoad {
 
 /// Tunable model constants. Defaults are calibrated so the §3
 /// micro-benchmarks land in the paper's ranges; see `tests/calibration.rs`.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+/// `PartialEq` lets the batched cluster path verify that nodes share one
+/// tuning before fusing their lanes into a single [`crate::batch::ChainBatch`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SimTuning {
     /// DRAM access latency in nanoseconds.
     pub mem_latency_ns: f64,
@@ -363,20 +365,56 @@ pub fn evaluate_chain(
 
 /// Evaluates a whole node (several chains) for one epoch, producing power
 /// and energy from Eq. 4.
+///
+/// This is the scalar composition of the per-chain kernel with
+/// [`aggregate_node`]; the batched callers ([`crate::cluster::Cluster`],
+/// [`crate::node::Node::evaluate_candidates`]) run the same kernel through
+/// [`crate::batch::evaluate_chain_batch`] and then aggregate, so both paths
+/// produce identical numbers.
 pub fn evaluate_node(
     configs: &[(KnobSettings, ChainCost, ChainLoad, f64)],
     policy: &PlatformPolicy,
     power: &PowerModel,
     tuning: &SimTuning,
 ) -> NodeEpochResult {
-    let mut chains = Vec::with_capacity(configs.len());
+    let results: Vec<ChainEpochResult> = configs
+        .iter()
+        .map(|(knobs, cost, load, llc_bytes)| evaluate_chain(knobs, cost, load, *llc_bytes, tuning))
+        .collect();
+    let knobs: Vec<KnobSettings> = configs.iter().map(|(k, ..)| *k).collect();
+    aggregate_node(&results, &knobs, policy, power, tuning)
+}
+
+/// Folds per-chain epoch results into the node-level outcome (power and
+/// energy from Eq. 4), applying the platform policy's poll-mode burn.
+///
+/// `chain_results[i]` must be the evaluation of the chain whose knobs are
+/// `knobs[i]`; both slices are consumed in order, so the reduction is
+/// deterministic regardless of how (or on how many threads) the per-chain
+/// results were computed.
+///
+/// # Panics
+/// When the two slices differ in length.
+pub fn aggregate_node(
+    chain_results: &[ChainEpochResult],
+    knobs: &[KnobSettings],
+    policy: &PlatformPolicy,
+    power: &PowerModel,
+    tuning: &SimTuning,
+) -> NodeEpochResult {
+    assert_eq!(
+        chain_results.len(),
+        knobs.len(),
+        "one knob set per chain result"
+    );
+    let mut chains = Vec::with_capacity(chain_results.len());
     let mut assigned_cores = 0u32;
     let mut busy_core_seconds = 0.0;
     let mut freq_weighted = 0.0;
     let mut freq_weight = 0.0;
 
-    for (knobs, cost, load, llc_bytes) in configs {
-        let mut r = evaluate_chain(knobs, cost, load, *llc_bytes, tuning);
+    for (result, knobs) in chain_results.iter().zip(knobs) {
+        let mut r = *result;
         assigned_cores += knobs.cpu.cores;
         if policy.poll_mode == PollMode::PurePoll {
             // Pure PMD: the chain's allocated cores spin at 100%.

@@ -29,6 +29,7 @@
 
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cache;
 pub mod chain;
 pub mod cluster;
@@ -42,6 +43,7 @@ pub mod mbuf;
 pub mod nf;
 pub mod node;
 pub mod packet;
+pub mod par;
 pub mod power;
 pub mod ring;
 pub mod runtime;
@@ -50,6 +52,7 @@ pub mod traffic;
 
 /// Common imports for simulator users.
 pub mod prelude {
+    pub use crate::batch::{evaluate_chain_batch, evaluate_chain_batch_threads, ChainBatch};
     pub use crate::cache::{CatLlc, ClosId, MissModel, DDIO_FRACTION, LLC_BYTES, LLC_WAYS};
     pub use crate::chain::{ChainCost, ChainSpec, ServiceChain};
     pub use crate::cluster::{Cluster, ClusterEpochReport};
@@ -57,8 +60,9 @@ pub mod prelude {
     pub use crate::dma::{DmaBuffer, DMA_MAX_BYTES, DMA_MIN_BYTES};
     pub use crate::dvfs::{FreqScaler, Governor, FREQ_MAX_GHZ, FREQ_MIN_GHZ, FREQ_STEP_GHZ};
     pub use crate::engine::{
-        evaluate_chain, evaluate_node, llc_partition_bytes, ChainEpochResult, ChainLoad,
-        KnobSettings, NodeEpochResult, PlatformPolicy, PollMode, SimTuning, BATCH_MAX, BATCH_MIN,
+        aggregate_node, evaluate_chain, evaluate_node, llc_partition_bytes, ChainEpochResult,
+        ChainLoad, KnobSettings, NodeEpochResult, PlatformPolicy, PollMode, SimTuning, BATCH_MAX,
+        BATCH_MIN,
     };
     pub use crate::error::{SimError, SimResult};
     pub use crate::flow::{ArrivalPattern, FlowSet, FlowSpec};

@@ -6,11 +6,13 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::batch::{evaluate_chain_batch, ChainBatch};
 use crate::cache::{CatLlc, ClosId, LLC_WAYS};
-use crate::chain::{ChainSpec, ServiceChain};
+use crate::chain::{ChainCost, ChainSpec, ServiceChain};
 use crate::cpu::{ChainId, CoreAllocator};
 use crate::engine::{
-    evaluate_node, ChainLoad, KnobSettings, NodeEpochResult, PlatformPolicy, SimTuning,
+    aggregate_node, evaluate_chain, ChainEpochResult, ChainLoad, KnobSettings, NodeEpochResult,
+    PlatformPolicy, SimTuning,
 };
 use crate::error::{SimError, SimResult};
 use crate::flow::FlowSet;
@@ -20,6 +22,10 @@ use crate::traffic::TrafficGen;
 
 /// CLOS id reserved for DDIO (2 of 20 ways = 10%).
 const DDIO_CLOS: ClosId = ClosId(u32::MAX);
+
+/// One staged engine lane: the tuple shape `evaluate_node` and
+/// [`ChainBatch::from_configs`] consume.
+pub(crate) type ChainConfig = (KnobSettings, ChainCost, ChainLoad, f64);
 
 /// One chain hosted on a node.
 struct HostedChain {
@@ -163,13 +169,20 @@ impl Node {
             .position(|h| h.chain.id() == chain)
             .ok_or_else(|| SimError::NodeConfig(format!("unknown chain {chain:?}")))?;
         // Core capacity.
+        let prev_cpu = self.cores.allocation(chain);
         self.cores.assign(chain, knobs.cpu)?;
-        // CAT ways: llc_fraction is over the non-DDIO 18 ways.
-        let app_ways = LLC_WAYS - 2;
         let prev = self.llc.ways_of(ClosId(chain.0));
-        let want = ((knobs.llc_fraction * f64::from(app_ways)).round() as u32).min(app_ways);
+        let want = Self::app_llc_ways(knobs.llc_fraction);
         if self.llc.set_allocation(ClosId(chain.0), want).is_err() {
-            // Not enough free ways: restore previous allocation and fail.
+            // Not enough free ways: restore both allocators and fail, so a
+            // rejected request leaves no trace in capacity accounting.
+            match prev_cpu {
+                Some(alloc) => self
+                    .cores
+                    .assign(chain, alloc)
+                    .expect("restoring previous core allocation"),
+                None => self.cores.remove(chain),
+            }
             self.llc
                 .set_allocation(ClosId(chain.0), prev)
                 .expect("restoring previous allocation");
@@ -205,9 +218,18 @@ impl Node {
         self.llc.bytes_of(ClosId(chain.0))
     }
 
-    /// Runs one control epoch: samples traffic, evaluates the engine, and
-    /// attributes node energy to chains proportional to busy core-seconds.
-    pub fn run_epoch(&mut self) -> NodeEpochReport {
+    /// CAT ways for an `llc_fraction` knob: the fraction is over the
+    /// non-DDIO `LLC_WAYS - 2` application ways, rounded to whole ways.
+    /// `set_knobs` and the what-if sweeps share this so they cannot drift.
+    fn app_llc_ways(llc_fraction: f64) -> u32 {
+        let app_ways = LLC_WAYS - 2;
+        ((llc_fraction * f64::from(app_ways)).round() as u32).min(app_ways)
+    }
+
+    /// Samples one control window of every chain's traffic and stages the
+    /// engine configs plus raw arrival rates. Advances the traffic
+    /// generators: each call consumes one epoch of offered load.
+    pub(crate) fn prepare_epoch(&mut self) -> (Vec<ChainConfig>, Vec<f64>) {
         let epoch_s = self.tuning.epoch_s;
         let mut configs = Vec::with_capacity(self.chains.len());
         let mut arrivals = Vec::with_capacity(self.chains.len());
@@ -224,7 +246,20 @@ impl Node {
             let llc_bytes = self.llc.bytes_of(ClosId(h.chain.id().0)) as f64;
             configs.push((h.knobs, h.chain.cost(), load, llc_bytes));
         }
-        let node = evaluate_node(&configs, &self.policy, &self.power, &self.tuning);
+        (configs, arrivals)
+    }
+
+    /// Folds externally computed per-chain results (one per `prepare_epoch`
+    /// config, in order) into the node report and advances the epoch count.
+    pub(crate) fn finish_epoch(
+        &mut self,
+        configs: &[ChainConfig],
+        arrivals: &[f64],
+        chain_results: &[ChainEpochResult],
+    ) -> NodeEpochReport {
+        let epoch_s = self.tuning.epoch_s;
+        let knobs: Vec<KnobSettings> = configs.iter().map(|(k, ..)| *k).collect();
+        let node = aggregate_node(chain_results, &knobs, &self.policy, &self.power, &self.tuning);
 
         // Energy attribution: proportional to busy core-seconds (idle floor
         // split evenly across chains).
@@ -235,7 +270,7 @@ impl Node {
         let telemetry = node
             .chains
             .iter()
-            .zip(&arrivals)
+            .zip(arrivals)
             .map(|(c, &pps)| {
                 let share = if busy_total > 0.0 {
                     c.busy_core_seconds / busy_total
@@ -254,6 +289,124 @@ impl Node {
             .collect();
         self.epochs_run += 1;
         NodeEpochReport { node, telemetry }
+    }
+
+    /// Runs one control epoch: samples traffic, evaluates the chains, and
+    /// attributes node energy to chains proportional to busy core-seconds.
+    ///
+    /// A single node hosts a handful of chains — far below the threading
+    /// threshold — so the lanes run through the scalar kernel directly;
+    /// `Cluster::run_epoch` is the layer that fuses many nodes into one
+    /// [`ChainBatch`]. Both produce identical results (same kernel, same
+    /// [`aggregate_node`] fold; see `cluster::tests`).
+    pub fn run_epoch(&mut self) -> NodeEpochReport {
+        let (configs, arrivals) = self.prepare_epoch();
+        let results: Vec<ChainEpochResult> = configs
+            .iter()
+            .map(|(k, c, l, llc)| evaluate_chain(k, c, l, *llc, &self.tuning))
+            .collect();
+        self.finish_epoch(&configs, &arrivals, &results)
+    }
+
+    /// Samples one control window of `chain`'s traffic and returns the
+    /// offered load. Advances the generator — the returned load is the one
+    /// the next epoch would have seen. Used to feed what-if sweeps.
+    pub fn sample_load(&mut self, chain: ChainId) -> SimResult<ChainLoad> {
+        let epoch_s = self.tuning.epoch_s;
+        let h = self
+            .chains
+            .iter_mut()
+            .find(|h| h.chain.id() == chain)
+            .ok_or_else(|| SimError::NodeConfig(format!("unknown chain {chain:?}")))?;
+        let window = h.traffic.next_window(epoch_s);
+        let pps = TrafficGen::window_rate_pps(&window, epoch_s);
+        let flows = h.traffic.flows();
+        Ok(ChainLoad {
+            arrival_pps: pps,
+            mean_packet_size: flows.mean_packet_size(),
+            burstiness: flows.burstiness(),
+        })
+    }
+
+    /// What-if sweep: evaluates the whole node under each candidate knob
+    /// setting for `chain`, against a fixed offered `load`, without touching
+    /// the node's committed knobs, allocations, or traffic state.
+    ///
+    /// Every candidate is checked exactly as [`Node::set_knobs`] would check
+    /// it — range validation, core capacity, CAT way availability — by
+    /// replaying the assignment on throwaway clones of the allocators, so a
+    /// candidate errs here iff committing it would err. Valid candidates are
+    /// staged as lanes of one [`ChainBatch`] and evaluated in a single
+    /// batched call; each lane is then folded into a per-candidate
+    /// [`NodeEpochResult`].
+    ///
+    /// Restricted to single-chain nodes (the RL environments and the figure
+    /// sweeps): with co-hosted chains a candidate's node-level power would
+    /// need fresh loads for every other chain, which a side-effect-free
+    /// sweep cannot sample.
+    pub fn evaluate_candidates(
+        &self,
+        chain: ChainId,
+        candidates: &[KnobSettings],
+        load: ChainLoad,
+    ) -> SimResult<Vec<SimResult<NodeEpochResult>>> {
+        if self.chains.len() != 1 {
+            return Err(SimError::NodeConfig(format!(
+                "candidate sweep requires a single-chain node ({} chains hosted)",
+                self.chains.len()
+            )));
+        }
+        let hosted = &self.chains[0];
+        if hosted.chain.id() != chain {
+            return Err(SimError::NodeConfig(format!("unknown chain {chain:?}")));
+        }
+        let cost = hosted.chain.cost();
+
+        // Admission-check every candidate on throwaway allocator clones.
+        let admitted: Vec<SimResult<f64>> = candidates
+            .iter()
+            .map(|knobs| {
+                knobs.validate()?;
+                let mut cores = self.cores.clone();
+                cores.assign(chain, knobs.cpu)?;
+                let mut llc = self.llc.clone();
+                let want = Self::app_llc_ways(knobs.llc_fraction);
+                llc.set_allocation(ClosId(chain.0), want).map_err(|_| {
+                    SimError::CacheAllocation(format!(
+                        "chain {chain:?} wants {want} ways; insufficient free ways"
+                    ))
+                })?;
+                Ok(llc.bytes_of(ClosId(chain.0)) as f64)
+            })
+            .collect();
+
+        // One batched kernel call over the admitted lanes.
+        let mut batch = ChainBatch::with_capacity(candidates.len());
+        for (knobs, llc_bytes) in candidates.iter().zip(&admitted) {
+            if let Ok(llc_bytes) = llc_bytes {
+                batch.push(knobs, &cost, &load, *llc_bytes);
+            }
+        }
+        let mut lane_results = evaluate_chain_batch(&batch, &self.tuning).into_iter();
+
+        Ok(candidates
+            .iter()
+            .zip(admitted)
+            .map(|(knobs, admitted)| {
+                admitted.and_then(|_| {
+                    let r = lane_results
+                        .next()
+                        .expect("one batch lane per admitted candidate")?;
+                    Ok(aggregate_node(
+                        &[r],
+                        std::slice::from_ref(knobs),
+                        &self.policy,
+                        &self.power,
+                        &self.tuning,
+                    ))
+                })
+            })
+            .collect())
     }
 }
 
@@ -336,6 +489,36 @@ mod tests {
     }
 
     #[test]
+    fn rejected_set_knobs_rolls_back_core_allocation() {
+        // A CAT-rejected request must not leave its core assignment behind:
+        // chain1's failed upgrade (cores 2→8 alongside an unsatisfiable LLC
+        // ask) must not count 8 cores against chain0's later request.
+        let mut n = Node::default_greennfv(0);
+        let mut k0 = KnobSettings::default_tuned();
+        k0.cpu.cores = 4;
+        k0.llc_fraction = 0.9; // 16 of 18 app ways
+        n.add_chain(ChainSpec::canonical_three(ChainId(0)), eval_flows(), k0, 1)
+            .unwrap();
+        let mut k1 = KnobSettings::default_tuned();
+        k1.cpu.cores = 2;
+        k1.llc_fraction = 0.1; // the remaining 2 ways
+        n.add_chain(ChainSpec::lightweight(ChainId(1)), eval_flows(), k1, 2)
+            .unwrap();
+
+        let mut upgrade = k1;
+        upgrade.cpu.cores = 8;
+        upgrade.llc_fraction = 0.9; // cannot fit next to chain0's 16 ways
+        assert!(n.set_knobs(ChainId(1), upgrade).is_err());
+        assert_eq!(n.knobs(ChainId(1)).unwrap(), k1, "knobs unchanged");
+
+        // 14 NF cores: chain0 can now grow to 10 iff chain1 still holds 2.
+        let mut grow = k0;
+        grow.cpu.cores = 10;
+        n.set_knobs(ChainId(0), grow)
+            .expect("rolled-back request must not consume core capacity");
+    }
+
+    #[test]
     fn llc_bytes_follow_fraction() {
         let n = node_with_chain();
         let b = n.llc_bytes_of(ChainId(0));
@@ -383,6 +566,55 @@ mod tests {
         assert!((sum - r.node.energy_j).abs() < 1e-6);
         // Busier chain is charged more energy.
         assert!(r.telemetry[0].energy_j > r.telemetry[1].energy_j);
+    }
+
+    #[test]
+    fn candidate_sweep_matches_committed_epoch() {
+        // Evaluating a candidate against a sampled load must equal actually
+        // committing the knobs and running the epoch on a twin node.
+        let mut sweep_node = node_with_chain();
+        let mut commit_node = node_with_chain();
+        let mut candidate = KnobSettings::default_tuned();
+        candidate.freq_ghz = 1.3;
+        candidate.batch = 96;
+
+        let load = sweep_node.sample_load(ChainId(0)).unwrap();
+        let swept = sweep_node.evaluate_candidates(ChainId(0), &[candidate], load).unwrap();
+
+        commit_node.set_knobs(ChainId(0), candidate).unwrap();
+        let committed = commit_node.run_epoch();
+
+        assert_eq!(swept.len(), 1);
+        assert_eq!(swept[0].as_ref().unwrap(), &committed.node);
+        // The sweep committed nothing.
+        assert_eq!(sweep_node.knobs(ChainId(0)).unwrap(), KnobSettings::default_tuned());
+        assert_eq!(sweep_node.epochs_run(), 0);
+    }
+
+    #[test]
+    fn candidate_sweep_flags_inadmissible_lanes() {
+        let mut n = node_with_chain();
+        let load = n.sample_load(ChainId(0)).unwrap();
+        let good = KnobSettings::default_tuned();
+        let mut bad_range = good;
+        bad_range.batch = 0;
+        let mut bad_cores = good;
+        bad_cores.cpu.cores = 99;
+        let out = n.evaluate_candidates(ChainId(0), &[good, bad_range, bad_cores], load).unwrap();
+        assert!(out[0].is_ok());
+        assert_eq!(out[1], Err(bad_range.validate().unwrap_err()));
+        assert!(out[2].is_err(), "oversubscribed cores must be rejected");
+    }
+
+    #[test]
+    fn candidate_sweep_requires_single_chain() {
+        let mut n = Node::default_greennfv(0);
+        let mut k = KnobSettings::default_tuned();
+        k.llc_fraction = 0.3;
+        n.add_chain(ChainSpec::canonical_three(ChainId(0)), eval_flows(), k, 1).unwrap();
+        n.add_chain(ChainSpec::lightweight(ChainId(1)), eval_flows(), k, 2).unwrap();
+        let load = n.sample_load(ChainId(0)).unwrap();
+        assert!(n.evaluate_candidates(ChainId(0), &[k], load).is_err());
     }
 
     #[test]

@@ -1,0 +1,145 @@
+//! Minimal data-parallel helper for the batched evaluation engine.
+//!
+//! [`chunked_map`] maps a function over an index range on a scoped pool of
+//! `std::thread` workers that pull fixed-size chunks from a shared cursor
+//! (guarded by the vendored `parking_lot` mutex — no new dependencies).
+//! Results are reassembled **in index order**, so the output is independent
+//! of how the scheduler interleaves workers: evaluating a batch with 1, 2,
+//! or 8 threads yields identical `Vec`s. `tests/batch_determinism.rs` and
+//! the differential proptest in `tests/proptests.rs` enforce this.
+//!
+//! The pool is intentionally conservative about going parallel: spawning a
+//! scope of workers costs tens of microseconds, so tiny batches (a node's
+//! handful of chains, a 64-lane knob sweep) run inline on the calling
+//! thread. [`auto_threads`] encodes that policy for callers that don't want
+//! to pick a thread count themselves.
+
+use parking_lot::Mutex;
+
+/// Minimum lanes of work per worker before parallelism pays for the scoped
+/// spawn. Calibrated for the ~100 ns analytic chain kernel: a worker's share
+/// must dwarf the tens-of-microseconds thread start-up cost.
+pub const MIN_LANES_PER_THREAD: usize = 16 * 1024;
+
+/// Worker threads the host offers (`available_parallelism`, floor 1).
+/// Cached: the OS query costs microseconds — longer than an entire small
+/// batch — and the answer never changes over a run.
+pub fn default_threads() -> usize {
+    static THREADS: std::sync::OnceLock<usize> = std::sync::OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
+}
+
+/// Thread count for a batch of `lanes` independent ~100 ns work items:
+/// capped by the host's parallelism and by [`MIN_LANES_PER_THREAD`], so
+/// batches up to `MIN_LANES_PER_THREAD` lanes run inline and bigger ones
+/// fan out (one extra worker per further `MIN_LANES_PER_THREAD` lanes).
+pub fn auto_threads(lanes: usize) -> usize {
+    default_threads().min(lanes.div_ceil(MIN_LANES_PER_THREAD).max(1))
+}
+
+/// Maps `f` over `0..n`, returning results in index order.
+///
+/// With `threads <= 1` (or a trivially small `n`) the map runs inline on the
+/// calling thread. Otherwise a `std::thread::scope` pool of `threads`
+/// workers (the calling thread included) pulls contiguous chunks from a
+/// shared cursor; each chunk's results are collected separately and the
+/// chunks are stitched back together sorted by index, so the output — values
+/// and ordering both — is identical for every thread count.
+pub fn chunked_map<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> R + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 || n <= 1 {
+        return (0..n).map(f).collect();
+    }
+
+    // ~4 chunks per worker balances load without shredding cache locality.
+    let chunk = n.div_ceil(threads * 4).max(1);
+    let n_chunks = n.div_ceil(chunk);
+    let cursor = Mutex::new(0usize);
+    let done: Mutex<Vec<(usize, Vec<R>)>> = Mutex::new(Vec::with_capacity(n_chunks));
+
+    let worker = || loop {
+        let k = {
+            let mut c = cursor.lock();
+            let k = *c;
+            if k >= n_chunks {
+                break;
+            }
+            *c += 1;
+            k
+        };
+        let start = k * chunk;
+        let end = (start + chunk).min(n);
+        let out: Vec<R> = (start..end).map(&f).collect();
+        done.lock().push((k, out));
+    };
+
+    std::thread::scope(|s| {
+        let worker = &worker;
+        for _ in 1..threads {
+            s.spawn(worker);
+        }
+        worker();
+    });
+
+    let mut chunks = done.into_inner();
+    chunks.sort_unstable_by_key(|&(k, _)| k);
+    debug_assert_eq!(chunks.len(), n_chunks);
+    chunks.into_iter().flat_map(|(_, v)| v).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_and_threaded_agree() {
+        let f = |i: usize| (i * 31) ^ (i >> 2);
+        let seq = chunked_map(1000, 1, f);
+        for t in [2, 3, 8, 64] {
+            assert_eq!(chunked_map(1000, t, f), seq, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_sizes() {
+        assert!(chunked_map(0, 8, |i| i).is_empty());
+        assert_eq!(chunked_map(1, 8, |i| i + 1), vec![1]);
+        assert_eq!(chunked_map(7, 64, |i| i), (0..7).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn auto_threads_keeps_small_batches_inline() {
+        assert_eq!(auto_threads(0), 1);
+        assert_eq!(auto_threads(64), 1);
+        assert_eq!(auto_threads(MIN_LANES_PER_THREAD), 1);
+        // Threading engages just past the documented threshold (host cores
+        // permitting).
+        assert_eq!(
+            auto_threads(MIN_LANES_PER_THREAD + 1),
+            default_threads().min(2)
+        );
+        assert!(auto_threads(64 * MIN_LANES_PER_THREAD) >= 1);
+        assert!(auto_threads(usize::MAX / 2) <= default_threads());
+    }
+
+    #[test]
+    fn ordering_is_by_index_not_completion() {
+        // Uneven work per index: later indices finish first under any
+        // work-stealing schedule, yet output order must stay by index.
+        let f = |i: usize| {
+            if i < 8 {
+                std::thread::yield_now();
+            }
+            i
+        };
+        assert_eq!(chunked_map(256, 8, f), (0..256).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,90 @@
+//! Thread-count determinism of the batched evaluation engine.
+//!
+//! `Cluster::run_epoch` fuses every node's chains into one `ChainBatch` and
+//! the pool in `nfv_sim::par` may slice that batch across any number of
+//! workers, so these tests pin the invariant the sharding relies on: the
+//! result vector — values *and* ordering — is identical for every thread
+//! count, and the auto-threaded entry point agrees with all of them.
+
+use nfv_sim::prelude::*;
+
+/// A batch big enough to split into many chunks, mixing valid and invalid
+/// lanes so error positions are part of the checked ordering.
+fn mixed_batch(lanes: u32) -> ChainBatch {
+    let costs = [
+        ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost(),
+        ServiceChain::build(ChainSpec::lightweight(ChainId(1))).cost(),
+        ServiceChain::build(ChainSpec::heavyweight(ChainId(2))).cost(),
+    ];
+    let mut batch = ChainBatch::with_capacity(lanes as usize);
+    for i in 0..lanes {
+        let mut knobs = KnobSettings::default_tuned();
+        knobs.freq_ghz = 1.2 + 0.05 * f64::from(i % 19);
+        knobs.batch = (i * 13) % 400; // overruns BATCH_MAX on some lanes
+        knobs.cpu.cores = 1 + i % 4;
+        let load = ChainLoad {
+            arrival_pps: 5.0e5 + 3.7e4 * f64::from(i),
+            mean_packet_size: 64.0 + f64::from((i * 31) % 1454),
+            burstiness: 1.0 + f64::from(i % 5) * 0.4,
+        };
+        batch.push(
+            &knobs,
+            &costs[i as usize % costs.len()],
+            &load,
+            llc_partition_bytes(f64::from(i % 10) / 10.0),
+        );
+    }
+    batch
+}
+
+#[test]
+fn thread_counts_1_2_8_agree_exactly() {
+    let batch = mixed_batch(1000);
+    let tuning = SimTuning::default();
+    let reference = evaluate_chain_batch_threads(&batch, &tuning, 1);
+    assert_eq!(reference.len(), 1000);
+    assert!(
+        reference.iter().any(|r| r.is_err()) && reference.iter().any(|r| r.is_ok()),
+        "fixture must mix valid and invalid lanes"
+    );
+    for threads in [2usize, 8] {
+        let got = evaluate_chain_batch_threads(&batch, &tuning, threads);
+        assert_eq!(got, reference, "threads = {threads}");
+    }
+}
+
+#[test]
+fn auto_threading_matches_explicit_single_thread() {
+    let batch = mixed_batch(257); // deliberately not a multiple of any chunk
+    let tuning = SimTuning::default();
+    assert_eq!(
+        evaluate_chain_batch(&batch, &tuning),
+        evaluate_chain_batch_threads(&batch, &tuning, 1)
+    );
+}
+
+#[test]
+fn repeated_threaded_runs_are_stable() {
+    // Scheduling differs run to run; results must not.
+    let batch = mixed_batch(512);
+    let tuning = SimTuning::default();
+    let first = evaluate_chain_batch_threads(&batch, &tuning, 8);
+    for _ in 0..5 {
+        assert_eq!(evaluate_chain_batch_threads(&batch, &tuning, 8), first);
+    }
+}
+
+#[test]
+fn cluster_epochs_are_thread_path_independent() {
+    // The cluster's fused batch must reproduce per-node epochs exactly over
+    // several epochs (traffic advances identically on both paths).
+    let mut fused = Cluster::paper_testbed(PlatformPolicy::greennfv(), 123);
+    let mut serial = Cluster::paper_testbed(PlatformPolicy::greennfv(), 123);
+    for _ in 0..4 {
+        let a = fused.run_epoch();
+        let b: Vec<_> = (0..serial.len())
+            .map(|i| serial.node_mut(i).unwrap().run_epoch())
+            .collect();
+        assert_eq!(a.nodes, b);
+    }
+}

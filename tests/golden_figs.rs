@@ -1,0 +1,86 @@
+//! Golden snapshots of the headline figure grids.
+//!
+//! The fig2 (frequency) and fig3 (batch-size) sweeps are the paper-facing
+//! numbers most exposed to the batched evaluation engine: both grids are
+//! now produced by single `evaluate_chain_batch` calls. These tests pin the
+//! grids against JSON snapshots in `tests/golden/` within 1e-9, so future
+//! work on the batch kernel (SIMD lanes, reduction reordering) cannot
+//! silently shift paper-reproduction results.
+//!
+//! Blessing: when a snapshot file is missing the test writes the current
+//! grid and passes. To re-bless intentionally, delete the file and rerun
+//! (`rm tests/golden/*.json && cargo test --test golden_figs`), then review
+//! the diff like any other code change.
+
+use greennfv_bench::{fig2_freq, fig3_batch, Fig2Row, Fig3Row};
+use std::path::PathBuf;
+
+/// Seed shared by both snapshots; arbitrary but fixed forever.
+const GOLDEN_SEED: u64 = 42;
+/// Absolute tolerance for each serialized field.
+const TOL: f64 = 1e-9;
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// Compares against the snapshot, writing it first when absent. Blessing is
+/// local-only: on CI a missing snapshot is a failure, so an uncommitted (or
+/// deleted) golden file can never silently disable the drift guard.
+fn check_or_bless<T: serde::Serialize + serde::de::DeserializeOwned>(
+    name: &str,
+    rows: &Vec<T>,
+    fields: impl Fn(&T) -> Vec<(&'static str, f64)>,
+) {
+    let path = golden_path(name);
+    if !path.exists() {
+        assert!(
+            std::env::var_os("CI").is_none(),
+            "golden snapshot {name} missing on CI — commit tests/golden/{name}"
+        );
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&path, serde_json::to_string(rows).expect("serialize rows"))
+            .expect("write golden snapshot");
+        eprintln!("blessed new golden snapshot {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).expect("read golden snapshot");
+    let golden: Vec<T> = serde_json::from_str(&text).expect("parse golden snapshot");
+    assert_eq!(golden.len(), rows.len(), "{name}: row count drifted");
+    for (i, (got, want)) in rows.iter().zip(&golden).enumerate() {
+        let (g, w) = (fields(got), fields(want));
+        for ((field, gv), (_, wv)) in g.iter().zip(&w) {
+            assert!(
+                (gv - wv).abs() <= TOL,
+                "{name} row {i} field {field}: got {gv}, golden {wv} (|Δ| > {TOL})"
+            );
+        }
+    }
+}
+
+#[test]
+fn fig2_frequency_grid_matches_golden() {
+    let rows = fig2_freq(GOLDEN_SEED);
+    check_or_bless("fig2_freq.json", &rows, |r: &Fig2Row| {
+        vec![
+            ("freq_ghz", r.freq_ghz),
+            ("throughput_gbps", r.throughput_gbps),
+            ("energy_j", r.energy_j),
+        ]
+    });
+}
+
+#[test]
+fn fig3_batch_grid_matches_golden() {
+    let rows = fig3_batch(GOLDEN_SEED);
+    check_or_bless("fig3_batch.json", &rows, |r: &Fig3Row| {
+        vec![
+            ("batch", f64::from(r.batch)),
+            ("throughput_gbps", r.throughput_gbps),
+            ("energy_kj", r.energy_kj),
+            ("misses_e4", r.misses_e4),
+        ]
+    });
+}

@@ -147,6 +147,69 @@ proptest! {
         prop_assert!(r.throughput_gbps <= t.nic_gbps + 1e-9, "NIC line-rate cap");
     }
 
+    /// Differential harness for the batched engine: for any lane vector —
+    /// valid and invalid knobs mixed, arbitrary loads and partitions —
+    /// `evaluate_chain_batch` is *exactly* equal (`==`, not approx), lane by
+    /// lane, to validating and running the scalar `evaluate_chain`,
+    /// including which lanes err and with which error.
+    #[test]
+    fn batch_is_bit_equal_to_scalar_loop(
+        lanes in proptest::collection::vec(
+            (
+                // Knob raws: ranges straddle the legal bounds so a fraction
+                // of lanes draw invalid knobs and exercise the error path.
+                (0u32..6, 0.0f64..1.1, 1.0f64..2.3, -0.2f64..1.2, 0.1f64..48.0),
+                // batch knob raw, load, chain-spec selector, llc partition.
+                (0u32..400, 1e3f64..2e7, 64.0f64..1518.0, 1.0f64..4.0),
+            ),
+            1..128,
+        ),
+        llc_frac in 0.0f64..1.0,
+    ) {
+        let costs = [
+            ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost(),
+            ServiceChain::build(ChainSpec::lightweight(ChainId(1))).cost(),
+            ServiceChain::build(ChainSpec::heavyweight(ChainId(2))).cost(),
+        ];
+        let tuning = SimTuning::default();
+        let llc_bytes = llc_partition_bytes(llc_frac);
+
+        let mut batch = ChainBatch::with_capacity(lanes.len());
+        let mut scalar = Vec::with_capacity(lanes.len());
+        for (i, ((cores, share, freq, llc, dma_mb), (b, pps, size, burst))) in
+            lanes.iter().enumerate()
+        {
+            let knobs = KnobSettings {
+                cpu: CpuAllocation { cores: *cores, share: *share },
+                freq_ghz: *freq,
+                llc_fraction: *llc,
+                dma: DmaBuffer::from_mb(*dma_mb),
+                batch: *b,
+            };
+            let cost = costs[i % costs.len()];
+            let load = ChainLoad {
+                arrival_pps: *pps,
+                mean_packet_size: *size,
+                burstiness: *burst,
+            };
+            batch.push(&knobs, &cost, &load, llc_bytes);
+            // The scalar reference: validate, then run the scalar kernel.
+            scalar.push(
+                knobs
+                    .validate()
+                    .map(|()| evaluate_chain(&knobs, &cost, &load, llc_bytes, &tuning)),
+            );
+        }
+
+        let got = evaluate_chain_batch(&batch, &tuning);
+        prop_assert_eq!(&got, &scalar);
+        // Thread count must not change values or ordering either.
+        for threads in [2usize, 8] {
+            let threaded = evaluate_chain_batch_threads(&batch, &tuning, threads);
+            prop_assert_eq!(&threaded, &scalar, "threads = {}", threads);
+        }
+    }
+
     /// Rewards are finite for all SLAs and all outcomes, and satisfying
     /// outcomes never score below violating ones under the same SLA.
     #[test]

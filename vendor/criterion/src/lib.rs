@@ -5,8 +5,16 @@
 //! `benchmark_group`, [`Throughput`], `Bencher::iter` /
 //! `iter_with_setup` — backed by a simple wall-clock measurement loop:
 //! each sample times a batch of iterations and the per-iteration mean,
-//! min and max across samples are printed. No statistics engine, HTML
-//! reports, or CLI filtering.
+//! min and max across samples are printed. No statistics engine or HTML
+//! reports.
+//!
+//! Two pieces of real criterion's CLI are honored (anything else after
+//! `cargo bench ... --` is ignored):
+//!
+//! * positional `<filter>` args — run only benchmarks whose full name
+//!   contains any filter substring;
+//! * `--test` — run each selected benchmark exactly once without timing
+//!   (CI smoke mode), printing `ok` per benchmark.
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -24,11 +32,50 @@ pub enum Throughput {
 #[derive(Debug, Clone)]
 pub struct Criterion {
     sample_size: usize,
+    filters: Vec<String>,
+    smoke: bool,
 }
 
 impl Default for Criterion {
     fn default() -> Self {
-        Criterion { sample_size: 20 }
+        // cargo passes its own flags (e.g. `--bench`) through; honor the
+        // supported subset, swallow the operands of real criterion's
+        // value-taking flags (so `--save-baseline main` does not turn
+        // `main` into a name filter that silently deselects every bench),
+        // and treat remaining bare words as name filters.
+        const VALUE_FLAGS: [&str; 9] = [
+            "--save-baseline",
+            "--baseline",
+            "--load-baseline",
+            "--sample-size",
+            "--warm-up-time",
+            "--measurement-time",
+            "--significance-level",
+            "--noise-threshold",
+            "--color",
+        ];
+        let mut filters = Vec::new();
+        let mut smoke = false;
+        let mut args = std::env::args().skip(1).peekable();
+        while let Some(arg) = args.next() {
+            if arg == "--test" {
+                smoke = true;
+            } else if let Some(flag) = arg.split('=').next().filter(|_| arg.starts_with('-')) {
+                // `--flag=value` carries its operand inline; `--flag value`
+                // needs the next arg consumed for known value flags. Other
+                // flags (cargo's `--bench`, `--verbose`, ...) are ignored.
+                if VALUE_FLAGS.contains(&flag) && !arg.contains('=') {
+                    args.next();
+                }
+            } else {
+                filters.push(arg);
+            }
+        }
+        Criterion {
+            sample_size: 20,
+            filters,
+            smoke,
+        }
     }
 }
 
@@ -39,12 +86,30 @@ impl Criterion {
         self
     }
 
+    /// True when `name` passes the CLI filters (all pass when none given).
+    /// Selections are counted globally so [`assert_some_benches_ran`] can
+    /// fail a filtered run that matched nothing.
+    fn selected(&self, name: &str) -> bool {
+        let hit = self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()));
+        if hit {
+            BENCHES_RUN.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        hit
+    }
+
     /// Runs one named benchmark.
     pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
     where
         F: FnMut(&mut Bencher),
     {
-        run_bench(name, self.sample_size, None, &mut f);
+        if !self.selected(name) {
+            return self;
+        }
+        if self.smoke {
+            smoke_bench(name, &mut f);
+        } else {
+            run_bench(name, self.sample_size, None, &mut f);
+        }
         self
     }
 
@@ -84,7 +149,14 @@ impl BenchmarkGroup<'_> {
         F: FnMut(&mut Bencher),
     {
         let full = format!("{}/{}", self.name, name);
-        run_bench(&full, self.criterion.sample_size, self.throughput, &mut f);
+        if !self.criterion.selected(&full) {
+            return self;
+        }
+        if self.criterion.smoke {
+            smoke_bench(&full, &mut f);
+        } else {
+            run_bench(&full, self.criterion.sample_size, self.throughput, &mut f);
+        }
         self
     }
 
@@ -124,6 +196,28 @@ impl Bencher {
         }
         self.elapsed_ns = total_ns;
     }
+}
+
+/// Benchmarks selected (filter-passed) across all groups in this process.
+static BENCHES_RUN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Called by `criterion_main!` after every group has run: a CLI filter that
+/// selected zero benchmarks exits nonzero instead of green-lighting a run
+/// that measured nothing (e.g. a renamed bench under a CI smoke filter).
+pub fn assert_some_benches_ran() {
+    if BENCHES_RUN.load(std::sync::atomic::Ordering::Relaxed) == 0
+        && !Criterion::default().filters.is_empty()
+    {
+        eprintln!("error: benchmark filters matched no benchmarks");
+        std::process::exit(1);
+    }
+}
+
+/// `--test` smoke mode: one untimed iteration, pass/fail only.
+fn smoke_bench<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
+    let mut b = Bencher { iters: 1, elapsed_ns: 0.0 };
+    f(&mut b);
+    println!("bench {name:<40} ok (--test)");
 }
 
 fn run_bench<F: FnMut(&mut Bencher)>(
@@ -202,6 +296,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $( $group(); )+
+            $crate::assert_some_benches_ran();
         }
     };
 }

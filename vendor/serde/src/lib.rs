@@ -112,6 +112,15 @@ pub trait Deserialize: Sized {
     fn from_value(v: &Value) -> Result<Self, DeError>;
 }
 
+/// Mirror of real serde's `serde::de` module for the one name downstream
+/// bounds use: in real serde, owned deserialization is spelled
+/// `de::DeserializeOwned`; here every [`Deserialize`] is already owned, so
+/// the alias keeps generic bounds source-compatible with a future swap to
+/// the crates.io dependency.
+pub mod de {
+    pub use crate::Deserialize as DeserializeOwned;
+}
+
 /// Looks up `name` in a deserialized object and decodes it — the helper the
 /// derive macro expands struct fields into.
 pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, DeError> {
