@@ -3,8 +3,10 @@
 //! the kernels whose speed makes the paper-scale training budgets feasible.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use greennfv_bench::PERF_LANE_COUNTS;
 use greennfv_nn::prelude::*;
 use greennfv_rl::prelude::*;
+use nfv_sim::engine::{pass_capacity, pass_cycles, pass_load, pass_miss_rate, pass_outputs};
 use nfv_sim::prelude::*;
 use nfv_sim::ring::SpscRing;
 
@@ -48,21 +50,118 @@ fn bench(c: &mut Criterion) {
             })
         });
 
-        // Batched evaluation: a 64-lane frequency × batch-size candidate
-        // grid (all lanes distinct) in one SoA call. Compare mean/64 with
-        // `engine_evaluate_chain` for the per-lane speedup.
-        let mut batch = ChainBatch::with_capacity(64);
-        for i in 0..64u32 {
-            let mut k = knobs;
-            k.freq_ghz = 1.2 + 0.1 * f64::from(i % 8);
-            k.batch = 1 + (i / 8) * 40;
-            batch.push(&k, &cost, &load, llc);
+        // Batched evaluation through the column-pass kernel: an 8×8
+        // frequency × batch-size candidate grid with a per-lane arrival
+        // rate, so every lane is distinct at every `PERF_LANE_COUNTS`
+        // size. One worker thread, so the number is the kernel's ns/lane
+        // (threading is a separate axis measured by `par::auto_threads`
+        // policy, not here). Compare mean/lanes with
+        // `engine_evaluate_chain` for the per-lane speedup; the same lane
+        // counts are differential-tested in `tests/batch_remainder.rs`.
+        for lanes in PERF_LANE_COUNTS {
+            let mut batch = ChainBatch::with_capacity(lanes);
+            for i in 0..lanes as u32 {
+                let mut k = knobs;
+                k.freq_ghz = 1.2 + 0.1 * f64::from(i % 8);
+                k.batch = 1 + ((i / 8) % 8) * 40;
+                let mut l = load;
+                l.arrival_pps = 1.0e6 + 37.0 * f64::from(i);
+                batch.push(&k, &cost, &l, llc);
+            }
+            c.bench_function(&format!("engine_evaluate_chain_batch_{lanes}"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(evaluate_chain_batch_threads(
+                        std::hint::black_box(&batch),
+                        std::hint::black_box(&tuning),
+                        1,
+                    ))
+                })
+            });
         }
-        c.bench_function("engine_evaluate_chain_batch_64", |b| {
+
+        // Per-pass benches: one F64x8 bundle (8 lanes) through each wide
+        // column pass, isolating where the kernel's time goes. The M/M/1/K
+        // loss stage is deliberately absent: it stays scalar (powf/ln).
+        let w = |x: f64| F64x8::splat(x);
+        let (pkt8, arr8) = pass_load(w(3.5e6), w(395.0), &tuning);
+        let miss8 = pass_miss_rate(
+            pkt8,
+            arr8,
+            w(160.0),
+            w(3.0),
+            w(6.0e6),
+            w(8.0 * 1024.0 * 1024.0),
+            w(llc),
+            &tuning,
+        );
+        let cpp8 = pass_cycles(
+            pkt8,
+            miss8,
+            w(160.0),
+            w(3.0),
+            w(1.7),
+            w(900.0),
+            w(2.2),
+            w(30.0),
+            &tuning,
+        );
+        let cap8 = pass_capacity(cpp8, w(2.0), w(1.0), w(1.7), &tuning);
+        let bb = std::hint::black_box::<F64x8>;
+        c.bench_function("engine_pass_load_x8", |b| {
+            b.iter(|| std::hint::black_box(pass_load(bb(arr8), bb(pkt8), &tuning)))
+        });
+        c.bench_function("engine_pass_miss_rate_x8", |b| {
             b.iter(|| {
-                std::hint::black_box(evaluate_chain_batch(
-                    std::hint::black_box(&batch),
-                    std::hint::black_box(&tuning),
+                std::hint::black_box(pass_miss_rate(
+                    bb(pkt8),
+                    bb(arr8),
+                    bb(w(160.0)),
+                    bb(w(3.0)),
+                    bb(w(6.0e6)),
+                    bb(w(8.0 * 1024.0 * 1024.0)),
+                    bb(w(llc)),
+                    &tuning,
+                ))
+            })
+        });
+        c.bench_function("engine_pass_cycles_x8", |b| {
+            b.iter(|| {
+                std::hint::black_box(pass_cycles(
+                    bb(pkt8),
+                    bb(miss8),
+                    bb(w(160.0)),
+                    bb(w(3.0)),
+                    bb(w(1.7)),
+                    bb(w(900.0)),
+                    bb(w(2.2)),
+                    bb(w(30.0)),
+                    &tuning,
+                ))
+            })
+        });
+        c.bench_function("engine_pass_capacity_x8", |b| {
+            b.iter(|| {
+                std::hint::black_box(pass_capacity(
+                    bb(cpp8),
+                    bb(w(2.0)),
+                    bb(w(1.0)),
+                    bb(w(1.7)),
+                    &tuning,
+                ))
+            })
+        });
+        c.bench_function("engine_pass_outputs_x8", |b| {
+            b.iter(|| {
+                std::hint::black_box(pass_outputs(
+                    bb(pkt8),
+                    bb(arr8),
+                    bb(cap8),
+                    bb(w(0.02)),
+                    bb(miss8),
+                    bb(w(30.0)),
+                    bb(w(2.0)),
+                    bb(w(1.0)),
+                    &tuning,
                 ))
             })
         });

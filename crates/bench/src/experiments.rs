@@ -9,6 +9,13 @@ use greennfv::report::{table, AmortizationCurve, ComparisonReport};
 use nfv_sim::prelude::*;
 use serde::{Deserialize, Serialize};
 
+/// Lane counts exercised by the wide-lane `perf_micro` benches
+/// (`engine_evaluate_chain_batch_{N}`) **and** by the differential
+/// remainder tests in `tests/batch_remainder.rs`. One definition serves
+/// both so the README perf table and the equivalence tests measure the
+/// same batch shapes and cannot drift apart.
+pub const PERF_LANE_COUNTS: [usize; 3] = [64, 1024, 16384];
+
 /// Effort preset: `quick` keeps every experiment under a few seconds; `full`
 /// approaches the paper's training budgets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]

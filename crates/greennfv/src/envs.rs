@@ -188,7 +188,7 @@ impl GreenNfvEnv {
 
     /// Batched what-if step: evaluates every candidate knob setting from the
     /// current state — last observed load, committed allocations untouched —
-    /// in one [`ChainBatch`](nfv_sim::batch::ChainBatch) sweep, and scores
+    /// in one [`ChainBatch`] sweep, and scores
     /// each with the environment's reward. No state advances: traffic,
     /// knobs, energy, and step counters are exactly as before the call.
     ///

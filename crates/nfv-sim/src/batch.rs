@@ -10,13 +10,25 @@
 //! trivially parallel; [`crate::par`] auto-chunks large batches across
 //! threads while small ones run inline.
 //!
+//! **Column-pass kernel.** The batch is evaluated in *column passes* rather
+//! than one lane at a time: a validate pass builds the lane mask, then the
+//! load, miss-model, cycles, and capacity stages of the analytic model —
+//! the generic `pass_*` functions of [`crate::engine`] — sweep the SoA
+//! columns [`crate::simd::WIDTH`] lanes at a time as
+//! [`F64x8`] bundles (with a scalar tail for the
+//! remainder), the M/M/1/K loss stage runs per lane (its `powf`/`ln`
+//! transcendentals stay scalar by design), and a final wide pass scatters
+//! the outputs. See [`crate::simd`] for why the wide and scalar
+//! instantiations of the same pass are bit-identical.
+//!
 //! **Equivalence contract.** A batch evaluation is *bit-identical*, lane by
 //! lane, to validating the lane's knobs and calling the scalar
 //! `evaluate_chain`: same values, same [`SimError`]s on invalid-knob lanes,
 //! same ordering, for any thread count. The differential proptest in
-//! `tests/proptests.rs` and the thread-determinism test in
-//! `tests/batch_determinism.rs` enforce the contract, so future SIMD work on
-//! this kernel cannot silently drift from the scalar path.
+//! `tests/proptests.rs`, the thread-determinism test in
+//! `tests/batch_determinism.rs`, and the remainder-tail grid in
+//! `tests/batch_remainder.rs` enforce the contract, so the wide-lane work
+//! cannot silently drift from the scalar path.
 //!
 //! Columns are contiguous `Vec<f64>` lanes. Integer-valued inputs (cores,
 //! DMA bytes, batch knob, state bytes, hops) are stored as `f64`; every one
@@ -25,10 +37,14 @@
 
 use crate::chain::ChainCost;
 use crate::cpu::CpuAllocation;
-use crate::dma::DmaBuffer;
-use crate::engine::{evaluate_chain, ChainEpochResult, ChainLoad, KnobSettings, SimTuning};
-use crate::error::SimResult;
+use crate::dma::{buffer_loss, DmaBuffer};
+use crate::engine::{
+    pass_capacity, pass_cycles, pass_load, pass_miss_rate, pass_outputs, ChainEpochResult,
+    ChainLoad, KnobSettings, SimTuning,
+};
+use crate::error::{SimError, SimResult};
 use crate::par;
+use crate::simd::{F64x8, WideLane, WIDTH};
 
 /// A batch of independent chain-evaluation lanes in SoA layout.
 ///
@@ -163,15 +179,11 @@ impl ChainBatch {
         self.llc_bytes.push(llc_bytes);
     }
 
-    /// Reconstructs lane `i`'s inputs from the columns. The round-trip is
-    /// exact (see the module docs), so evaluating the reconstructed lane is
-    /// bit-identical to evaluating the pushed structs.
-    ///
-    /// # Panics
-    /// When `i >= self.len()`.
+    /// Reconstructs lane `i`'s knob settings from the columns (the part of
+    /// [`Self::lane`] the validate pass needs).
     #[inline]
-    pub fn lane(&self, i: usize) -> (KnobSettings, ChainCost, ChainLoad, f64) {
-        let knobs = KnobSettings {
+    fn lane_knobs(&self, i: usize) -> KnobSettings {
+        KnobSettings {
             cpu: CpuAllocation {
                 cores: self.cpu_cores[i] as u32,
                 share: self.cpu_share[i],
@@ -182,7 +194,18 @@ impl ChainBatch {
                 bytes: self.dma_bytes[i] as u64,
             },
             batch: self.batch_knob[i] as u32,
-        };
+        }
+    }
+
+    /// Reconstructs lane `i`'s inputs from the columns. The round-trip is
+    /// exact (see the module docs), so evaluating the reconstructed lane is
+    /// bit-identical to evaluating the pushed structs.
+    ///
+    /// # Panics
+    /// When `i >= self.len()`.
+    #[inline]
+    pub fn lane(&self, i: usize) -> (KnobSettings, ChainCost, ChainLoad, f64) {
+        let knobs = self.lane_knobs(i);
         let cost = ChainCost {
             base_cycles_per_packet: self.base_cycles_per_packet[i],
             cycles_per_byte: self.cycles_per_byte[i],
@@ -201,11 +224,13 @@ impl ChainBatch {
 
 /// Evaluates every lane of `batch`, auto-chunking across threads.
 ///
-/// Per lane: the knobs are validated (invalid lanes carry the same
-/// [`crate::error::SimError`] the scalar caller would see) and valid lanes
-/// run the scalar [`evaluate_chain`] kernel, so results are bit-identical to
-/// a scalar loop in lane order. Thread count follows [`par::auto_threads`]:
-/// small batches run inline, huge ones fan out to the host's cores.
+/// Lanes run through the **column-pass kernel** (see the module docs):
+/// knobs are validated into a lane mask (invalid lanes carry the same
+/// [`crate::error::SimError`] the scalar caller would see) and the valid
+/// lanes flow through the wide-lane passes of [`crate::engine`], so results
+/// are bit-identical to a scalar [`crate::engine::evaluate_chain`] loop in
+/// lane order. Thread count follows [`par::auto_threads`]: small batches
+/// run inline, huge ones fan out to the host's cores.
 pub fn evaluate_chain_batch(
     batch: &ChainBatch,
     tuning: &SimTuning,
@@ -215,23 +240,273 @@ pub fn evaluate_chain_batch(
 
 /// [`evaluate_chain_batch`] with an explicit worker-thread count.
 ///
-/// Results — values and ordering — are identical for every `threads`
-/// value; `tests/batch_determinism.rs` pins that down for 1, 2, and 8.
+/// Each worker runs the column-pass kernel over a contiguous slice of lanes
+/// (via [`par::chunked_map_ranges`]). Results — values and ordering — are
+/// identical for every `threads` value; `tests/batch_determinism.rs` pins
+/// that down for 1, 2, and 8.
 pub fn evaluate_chain_batch_threads(
     batch: &ChainBatch,
     tuning: &SimTuning,
     threads: usize,
 ) -> Vec<SimResult<ChainEpochResult>> {
-    let eval_lane = |i: usize| {
-        let (knobs, cost, load, llc_bytes) = batch.lane(i);
-        knobs.validate()?;
-        Ok(evaluate_chain(&knobs, &cost, &load, llc_bytes, tuning))
-    };
     if threads <= 1 {
-        // Monomorphic fast path: no pool bookkeeping on the hot sweep.
-        return (0..batch.len()).map(eval_lane).collect();
+        // No pool bookkeeping on the hot sweep.
+        return eval_columns(batch, tuning, 0..batch.len());
     }
-    par::chunked_map(batch.len(), threads, eval_lane)
+    par::chunked_map_ranges(batch.len(), threads, |r| eval_columns(batch, tuning, r))
+}
+
+/// The column-pass kernel: evaluates lanes `range` of `batch` by sweeping
+/// each stage of the analytic model over the SoA columns.
+///
+/// Stage order (one sweep each):
+///
+/// 1. **validate** — per-lane knob validation into a mask of
+///    `Option<SimError>` (the only stage that builds structs);
+/// 2. **load / miss-model / cycles / capacity** — the generic passes of
+///    [`crate::engine`] applied [`WIDTH`] lanes at a time as [`F64x8`]
+///    bundles, with a scalar (`W = f64`) tail for the remainder — the same
+///    generic code either way, so the split point cannot shift bits;
+/// 3. **M/M/1/K loss** — per-lane scalar [`buffer_loss`]: blocking
+///    probability needs `powf`/`ln` and integer slot math, which stay
+///    scalar by design (and skip masked lanes entirely);
+/// 4. **outputs** — wide again, scattered into lane-ordered
+///    [`ChainEpochResult`]s with masked lanes yielding their `Err`.
+///
+/// Masked (invalid-knob) lanes still flow through the wide arithmetic —
+/// every operation is an element-wise float op, so garbage lanes cannot
+/// panic or perturb their neighbours — and their outputs are discarded at
+/// scatter time.
+///
+/// Large ranges are processed in [`BLOCK_LANES`]-sized blocks so the input
+/// columns plus scratch stay cache-resident across all passes (sweeping a
+/// 16k-lane batch column-by-column would stream megabytes per pass).
+/// Because every pass is element-wise per lane, the block size — like the
+/// wide/tail split and the thread-chunk boundaries — cannot shift bits.
+fn eval_columns(
+    batch: &ChainBatch,
+    tuning: &SimTuning,
+    range: std::ops::Range<usize>,
+) -> Vec<SimResult<ChainEpochResult>> {
+    let mut out = Vec::with_capacity(range.len());
+    let mut scratch = Scratch::with_capacity(range.len().min(BLOCK_LANES));
+    let mut start = range.start;
+    while start < range.end {
+        let end = (start + BLOCK_LANES).min(range.end);
+        eval_block(batch, tuning, start..end, &mut scratch, &mut out);
+        start = end;
+    }
+    out
+}
+
+/// Lanes per kernel block: 256 lanes keep the ~15 input columns plus the
+/// [`Scratch`] columns (~44 KB total) inside L1/L2 while every pass sweeps
+/// the block, and still give the wide loops long runs of full [`WIDTH`]
+/// chunks.
+const BLOCK_LANES: usize = 256;
+
+/// Reusable per-block scratch columns carried between passes.
+#[derive(Default)]
+struct Scratch {
+    mask: Vec<Option<SimError>>,
+    pkt: Vec<f64>,
+    arrival: Vec<f64>,
+    miss: Vec<f64>,
+    cpp: Vec<f64>,
+    capacity: Vec<f64>,
+    loss: Vec<f64>,
+}
+
+impl Scratch {
+    fn with_capacity(lanes: usize) -> Self {
+        Self {
+            mask: Vec::with_capacity(lanes),
+            pkt: vec![0.0; lanes],
+            arrival: vec![0.0; lanes],
+            miss: vec![0.0; lanes],
+            cpp: vec![0.0; lanes],
+            capacity: vec![0.0; lanes],
+            loss: vec![0.0; lanes],
+        }
+    }
+}
+
+/// One [`BLOCK_LANES`]-bounded block of the column-pass kernel; see
+/// [`eval_columns`] for the stage list.
+fn eval_block(
+    batch: &ChainBatch,
+    tuning: &SimTuning,
+    range: std::ops::Range<usize>,
+    scratch: &mut Scratch,
+    out: &mut Vec<SimResult<ChainEpochResult>>,
+) {
+    let n = range.len();
+    if n == 0 {
+        return;
+    }
+
+    // Input column slices for this chunk.
+    let cores = &batch.cpu_cores[range.clone()];
+    let share = &batch.cpu_share[range.clone()];
+    let freq = &batch.freq_ghz[range.clone()];
+    let dma_bytes = &batch.dma_bytes[range.clone()];
+    let batch_knob = &batch.batch_knob[range.clone()];
+    let base_cpp = &batch.base_cycles_per_packet[range.clone()];
+    let cyc_byte = &batch.cycles_per_byte[range.clone()];
+    let mem_refs = &batch.mem_refs_per_packet[range.clone()];
+    let state = &batch.state_bytes[range.clone()];
+    let hops = &batch.hops[range.clone()];
+    let arrival_col = &batch.arrival_pps[range.clone()];
+    let mps = &batch.mean_packet_size[range.clone()];
+    let burst = &batch.burstiness[range.clone()];
+    let llc = &batch.llc_bytes[range.clone()];
+
+    // Validate pass: lane mask (None = valid lane).
+    scratch.mask.clear();
+    for i in range {
+        scratch.mask.push(batch.lane_knobs(i).validate().err());
+    }
+
+    // Scratch columns carried between passes. Stale values past `n` (or
+    // under masked lanes, for `loss`) are never read: every loop below is
+    // bounded by `n` and masked lanes scatter their `Err` instead.
+    let mask = &mut scratch.mask;
+    let pkt = &mut scratch.pkt[..n];
+    let arrival = &mut scratch.arrival[..n];
+    let miss = &mut scratch.miss[..n];
+    let cpp = &mut scratch.cpp[..n];
+    let capacity = &mut scratch.capacity[..n];
+    let loss = &mut scratch.loss[..n];
+
+    // Runs one pass over the whole chunk: full `WIDTH`-lane bundles first,
+    // then the same generic pass one lane at a time for the remainder.
+    macro_rules! sweep {
+        ($pass:ident) => {{
+            let main = n - n % WIDTH;
+            let mut j = 0;
+            while j < main {
+                $pass!(F64x8, j);
+                j += WIDTH;
+            }
+            while j < n {
+                $pass!(f64, j);
+                j += 1;
+            }
+        }};
+    }
+
+    macro_rules! load_pass {
+        ($W:ty, $j:ident) => {{
+            let (p, a) = pass_load::<$W>(
+                <$W>::load(arrival_col, $j),
+                <$W>::load(mps, $j),
+                tuning,
+            );
+            p.store(pkt, $j);
+            a.store(arrival, $j);
+        }};
+    }
+    sweep!(load_pass);
+
+    macro_rules! miss_pass {
+        ($W:ty, $j:ident) => {{
+            pass_miss_rate::<$W>(
+                <$W>::load(pkt, $j),
+                <$W>::load(arrival, $j),
+                <$W>::load(batch_knob, $j),
+                <$W>::load(hops, $j),
+                <$W>::load(state, $j),
+                <$W>::load(dma_bytes, $j),
+                <$W>::load(llc, $j),
+                tuning,
+            )
+            .store(miss, $j);
+        }};
+    }
+    sweep!(miss_pass);
+
+    macro_rules! cycles_pass {
+        ($W:ty, $j:ident) => {{
+            pass_cycles::<$W>(
+                <$W>::load(pkt, $j),
+                <$W>::load(miss, $j),
+                <$W>::load(batch_knob, $j),
+                <$W>::load(hops, $j),
+                <$W>::load(freq, $j),
+                <$W>::load(base_cpp, $j),
+                <$W>::load(cyc_byte, $j),
+                <$W>::load(mem_refs, $j),
+                tuning,
+            )
+            .store(cpp, $j);
+        }};
+    }
+    sweep!(cycles_pass);
+
+    macro_rules! capacity_pass {
+        ($W:ty, $j:ident) => {{
+            pass_capacity::<$W>(
+                <$W>::load(cpp, $j),
+                <$W>::load(cores, $j),
+                <$W>::load(share, $j),
+                <$W>::load(freq, $j),
+                tuning,
+            )
+            .store(capacity, $j);
+        }};
+    }
+    sweep!(capacity_pass);
+
+    // M/M/1/K loss pass: scalar per lane (powf/ln + integer slot math);
+    // masked lanes are skipped — their loss is never read.
+    for j in 0..n {
+        if mask[j].is_none() {
+            loss[j] = buffer_loss(
+                arrival[j],
+                capacity[j],
+                DmaBuffer {
+                    bytes: dma_bytes[j] as u64,
+                },
+                pkt[j] as u32,
+                burst[j],
+                batch_knob[j] as u32,
+            );
+        }
+    }
+
+    // Output pass: wide math, scattered into lane-ordered results.
+    macro_rules! output_pass {
+        ($W:ty, $j:ident) => {{
+            let o = pass_outputs::<$W>(
+                <$W>::load(pkt, $j),
+                <$W>::load(arrival, $j),
+                <$W>::load(capacity, $j),
+                <$W>::load(loss, $j),
+                <$W>::load(miss, $j),
+                <$W>::load(mem_refs, $j),
+                <$W>::load(cores, $j),
+                <$W>::load(share, $j),
+                tuning,
+            );
+            for k in 0..<$W as WideLane>::LANES {
+                let i = $j + k;
+                out.push(match mask[i].take() {
+                    Some(e) => Err(e),
+                    None => Ok(ChainEpochResult {
+                        throughput_gbps: o.throughput_gbps.lane(k),
+                        delivered_pps: o.delivered_pps.lane(k),
+                        loss_frac: o.loss_frac.lane(k),
+                        miss_rate: miss[i],
+                        llc_misses: o.llc_misses.lane(k),
+                        cpu_util: o.cpu_util.lane(k),
+                        busy_core_seconds: o.busy_core_seconds.lane(k),
+                        cycles_per_packet: cpp[i],
+                    }),
+                });
+            }
+        }};
+    }
+    sweep!(output_pass);
 }
 
 #[cfg(test)]
@@ -239,7 +514,7 @@ mod tests {
     use super::*;
     use crate::chain::{ChainSpec, ServiceChain};
     use crate::cpu::ChainId;
-    use crate::engine::llc_partition_bytes;
+    use crate::engine::{evaluate_chain, llc_partition_bytes};
 
     fn canonical_cost() -> ChainCost {
         ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost()

@@ -11,6 +11,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{SimError, SimResult};
+use crate::simd::WideLane;
 
 /// Number of ways in the modeled LLC.
 pub const LLC_WAYS: u32 = 20;
@@ -158,9 +159,18 @@ impl MissModel {
     /// Miss rate for a working set of `ws_bytes` in a partition of
     /// `cache_bytes` (both > 0 handled gracefully).
     pub fn miss_rate(&self, ws_bytes: f64, cache_bytes: f64) -> f64 {
-        let cache = (cache_bytes * self.capacity_scale).max(1.0);
-        let ws = ws_bytes.max(0.0);
-        (self.m_min + (1.0 - self.m_min) * ws / (ws + cache)).clamp(0.0, 1.0)
+        self.miss_rate_lanes(ws_bytes, cache_bytes)
+    }
+
+    /// [`Self::miss_rate`] over a bundle of lanes — the miss-model column
+    /// pass of the batched engine. Every operation is element-wise, so
+    /// `miss_rate_lanes::<f64>` *is* `miss_rate` and the wide instantiation
+    /// is bit-identical per lane (see [`crate::simd`]).
+    #[inline(always)]
+    pub fn miss_rate_lanes<W: WideLane>(&self, ws_bytes: W, cache_bytes: W) -> W {
+        let cache = (cache_bytes * W::splat(self.capacity_scale)).vmax(W::splat(1.0));
+        let ws = ws_bytes.vmax(W::splat(0.0));
+        (W::splat(self.m_min) + W::splat(1.0 - self.m_min) * ws / (ws + cache)).clamp01()
     }
 }
 
@@ -169,11 +179,21 @@ impl MissModel {
 /// The DDIO partition is `DDIO_FRACTION` of the cache; once the in-flight DMA
 /// buffer exceeds it, the excess spills to DRAM and later packet reads miss.
 pub fn ddio_hit_fraction(dma_buffer_bytes: f64) -> f64 {
-    let ddio_bytes = DDIO_FRACTION * LLC_BYTES as f64;
-    if dma_buffer_bytes <= 0.0 {
-        return 1.0;
-    }
-    (ddio_bytes / dma_buffer_bytes).min(1.0)
+    ddio_hit_lanes(dma_buffer_bytes)
+}
+
+/// [`ddio_hit_fraction`] over a bundle of lanes — used by the miss-model
+/// column pass of the batched engine. A non-positive (or NaN) buffer size
+/// selects the full-hit branch, exactly as the scalar early return does, so
+/// `ddio_hit_lanes::<f64>` *is* `ddio_hit_fraction` and wider instantiations
+/// are bit-identical per lane.
+#[inline(always)]
+pub fn ddio_hit_lanes<W: WideLane>(dma_buffer_bytes: W) -> W {
+    let ddio_bytes = W::splat(DDIO_FRACTION * LLC_BYTES as f64);
+    dma_buffer_bytes.select_gt_zero(
+        (ddio_bytes / dma_buffer_bytes).vmin(W::splat(1.0)),
+        W::splat(1.0),
+    )
 }
 
 // ---------------------------------------------------------------------------

@@ -14,16 +14,26 @@
 //! * **power** = Eq. 4 over powered cores, with poll-mode burn: pure DPDK
 //!   polling keeps assigned cores at 100% regardless of load, adaptive
 //!   sleep (GreenNFV's callback/poll mix) burns only a small poll fraction.
+//!
+//! The per-chain model is implemented once as **column passes** —
+//! [`pass_load`], [`pass_miss_rate`], [`pass_cycles`], [`pass_capacity`],
+//! [`pass_outputs`] — generic over [`crate::simd::WideLane`]. The scalar
+//! [`evaluate_chain`] runs them one lane at a time (`f64`); the batched
+//! kernel in [`crate::batch`] runs the same functions eight lanes at a time
+//! ([`crate::simd::F64x8`]). Because every `WideLane` operation is
+//! element-wise (see the `simd` module docs), both paths are bit-identical
+//! by construction.
 
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{ddio_hit_fraction, MissModel, LLC_BYTES};
+use crate::cache::{ddio_hit_lanes, MissModel, LLC_BYTES};
 use crate::chain::ChainCost;
 use crate::cpu::CpuAllocation;
 use crate::dma::{buffer_loss, DmaBuffer};
 use crate::dvfs::{FREQ_MAX_GHZ, FREQ_MIN_GHZ};
 use crate::error::{SimError, SimResult};
 use crate::power::PowerModel;
+use crate::simd::WideLane;
 
 /// Batch-size knob bounds (packets per NF wakeup).
 pub const BATCH_MIN: u32 = 1;
@@ -277,10 +287,166 @@ impl NodeEpochResult {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Column passes
+// ---------------------------------------------------------------------------
+//
+// Each pass is one stage of the analytic model, written once over
+// `WideLane` so the scalar engine (W = f64) and the batched column kernel
+// (W = F64x8) execute the *same* sequence of element-wise IEEE-754
+// operations per lane. Keep every operation element-wise and keep the
+// operation order stable: the golden snapshots and the differential
+// proptest pin the results bit-for-bit.
+
+/// Load pass: clamps the packet size to the 64 B Ethernet floor and caps the
+/// offered rate at NIC line rate. Returns `(pkt_bytes, arrival_pps)`.
+#[inline(always)]
+pub fn pass_load<W: WideLane>(arrival_pps: W, mean_packet_size: W, tuning: &SimTuning) -> (W, W) {
+    let pkt = mean_packet_size.vmax(W::splat(64.0));
+    // The NIC cannot deliver more than line rate.
+    let nic_pps = W::splat(tuning.nic_gbps * 1e9) / (pkt * W::splat(8.0));
+    (pkt, arrival_pps.vmin(nic_pps))
+}
+
+/// Miss-model pass: capacity misses (working set vs CAT partition) +
+/// interleave misses (tiny batches lose locality) + DDIO spill, clamped to
+/// `[0, 1]`.
+#[inline(always)]
+pub fn pass_miss_rate<W: WideLane>(
+    pkt: W,
+    arrival_pps: W,
+    batch: W,
+    hops: W,
+    state_bytes: W,
+    dma_bytes: W,
+    llc_bytes: W,
+    tuning: &SimTuning,
+) -> W {
+    // Working set: one batch of packet data (amplified by chain hops, which
+    // keep more of the batch live) plus resident NF state.
+    let hop_amp = W::splat(1.0) + W::splat(tuning.hop_ws_amplification) * (hops - W::splat(1.0));
+    let ws = batch * pkt * hop_amp + state_bytes + arrival_pps * W::splat(tuning.ws_per_pps);
+    let m_capacity = tuning
+        .miss_model
+        .miss_rate_lanes(ws, llc_bytes.vmax(W::splat(1.0)));
+    // Locality loss at tiny batches: every packet is fetched cold.
+    let m_interleave = W::splat(tuning.interleave_base)
+        / (W::splat(1.0) + batch / W::splat(tuning.interleave_half_batch));
+    // DDIO spill: DMA buffers beyond the DDIO share land in DRAM.
+    let ddio_spill = W::splat(1.0) - ddio_hit_lanes(dma_bytes);
+    (m_capacity + m_interleave + W::splat(tuning.ddio_spill_weight) * ddio_spill).clamp01()
+}
+
+/// Cycles pass: chain compute (per quantized packet byte) + per-wakeup call
+/// overhead amortized by the batch knob + memory-stall cycles driven by the
+/// miss rate. Returns cycles per packet.
+#[inline(always)]
+pub fn pass_cycles<W: WideLane>(
+    pkt: W,
+    miss_rate: W,
+    batch: W,
+    hops: W,
+    freq_ghz: W,
+    base_cycles_per_packet: W,
+    cycles_per_byte: W,
+    mem_refs_per_packet: W,
+    tuning: &SimTuning,
+) -> W {
+    // `ChainCost::compute_cycles` quantizes the packet size to whole bytes.
+    let compute = base_cycles_per_packet + cycles_per_byte * pkt.trunc_u32();
+    let call_overhead = hops * W::splat(tuning.per_call_cycles) / batch;
+    let stall = mem_refs_per_packet
+        * (miss_rate * W::splat(tuning.mem_latency_ns)
+            + (W::splat(1.0) - miss_rate) * W::splat(tuning.llc_hit_ns))
+        * freq_ghz;
+    compute + call_overhead + stall
+}
+
+/// Capacity pass: packets per second the chain's allocated compute can
+/// service at its cycles-per-packet cost, with diminishing multi-core
+/// scaling.
+#[inline(always)]
+pub fn pass_capacity<W: WideLane>(
+    cpp: W,
+    cores: W,
+    share: W,
+    freq_ghz: W,
+    tuning: &SimTuning,
+) -> W {
+    let scale = W::splat(1.0) + W::splat(tuning.core_scale_eff) * (cores - W::splat(1.0));
+    share * freq_ghz * W::splat(1e9) / cpp * scale
+}
+
+/// Per-lane outputs of [`pass_outputs`], one [`WideLane`] bundle per
+/// [`ChainEpochResult`] field it computes (`miss_rate` and
+/// `cycles_per_packet` come straight from the earlier passes).
+#[derive(Debug, Clone, Copy)]
+pub struct PassOutputs<W> {
+    /// Delivered throughput in Gbps.
+    pub throughput_gbps: W,
+    /// Delivered packet rate (pps).
+    pub delivered_pps: W,
+    /// Fraction of offered packets lost.
+    pub loss_frac: W,
+    /// Work utilization of the allocated compute in [0, 1].
+    pub cpu_util: W,
+    /// Absolute LLC misses during the epoch.
+    pub llc_misses: W,
+    /// Core-seconds of busy (work + poll burn) time this epoch.
+    pub busy_core_seconds: W,
+}
+
+/// Output pass: folds offered load, service capacity, and buffer loss into
+/// the delivered-rate outputs of the epoch.
+///
+/// Zero-offered-load and zero-capacity lanes take the same guarded branches
+/// the scalar engine takes (via [`WideLane::select_gt_zero`]), so division
+/// hazards never leak into results.
+#[inline(always)]
+pub fn pass_outputs<W: WideLane>(
+    pkt: W,
+    arrival_pps: W,
+    capacity_pps: W,
+    buf_loss: W,
+    miss_rate: W,
+    mem_refs_per_packet: W,
+    cores: W,
+    share: W,
+    tuning: &SimTuning,
+) -> PassOutputs<W> {
+    let accepted_pps = arrival_pps * (W::splat(1.0) - buf_loss);
+    let delivered_pps = accepted_pps.vmin(capacity_pps);
+    let loss_frac = arrival_pps.select_gt_zero(
+        W::splat(1.0) - delivered_pps / arrival_pps,
+        W::splat(0.0),
+    );
+    let throughput_gbps = delivered_pps * pkt * W::splat(8.0) / W::splat(1e9);
+    let cpu_util =
+        capacity_pps.select_gt_zero((delivered_pps / capacity_pps).clamp01(), W::splat(0.0));
+    let llc_misses = delivered_pps * mem_refs_per_packet * miss_rate * W::splat(tuning.epoch_s);
+    // Busy time: work plus poll burn on the allocated share.
+    let allocated_core_seconds = cores * share * W::splat(tuning.epoch_s);
+    let busy_core_seconds = allocated_core_seconds * cpu_util
+        + allocated_core_seconds * (W::splat(1.0) - cpu_util)
+            * W::splat(tuning.adaptive_poll_burn);
+    PassOutputs {
+        throughput_gbps,
+        delivered_pps,
+        loss_frac,
+        cpu_util,
+        llc_misses,
+        busy_core_seconds,
+    }
+}
+
 /// Evaluates one chain for one epoch.
 ///
 /// `llc_bytes` is the chain's CAT partition in bytes (the node computes it
 /// from the llc_fraction knobs of all chains so contention is explicit).
+///
+/// This is the one-lane (`W = f64`) instantiation of the column passes; the
+/// batched kernel in [`crate::batch`] runs the identical passes eight lanes
+/// at a time.
 pub fn evaluate_chain(
     knobs: &KnobSettings,
     cost: &ChainCost,
@@ -288,40 +454,35 @@ pub fn evaluate_chain(
     llc_bytes: f64,
     tuning: &SimTuning,
 ) -> ChainEpochResult {
-    let pkt = load.mean_packet_size.max(64.0);
-    let f_ghz = knobs.freq_ghz;
     let batch = f64::from(knobs.batch);
-    // The NIC cannot deliver more than line rate.
-    let nic_pps = tuning.nic_gbps * 1e9 / (pkt * 8.0);
-    let arrival_pps = load.arrival_pps.min(nic_pps);
-
-    // --- Miss rate -------------------------------------------------------
-    // Working set: one batch of packet data (amplified by chain hops, which
-    // keep more of the batch live) plus resident NF state.
-    let hop_amp = 1.0 + tuning.hop_ws_amplification * (f64::from(cost.hops) - 1.0);
-    let ws = batch * pkt * hop_amp
-        + cost.state_bytes as f64
-        + arrival_pps * tuning.ws_per_pps;
-    let m_capacity = tuning.miss_model.miss_rate(ws, llc_bytes.max(1.0));
-    // Locality loss at tiny batches: every packet is fetched cold.
-    let m_interleave = tuning.interleave_base / (1.0 + batch / tuning.interleave_half_batch);
-    // DDIO spill: DMA buffers beyond the DDIO share land in DRAM.
-    let ddio_spill = 1.0 - ddio_hit_fraction(knobs.dma.bytes as f64);
-    let miss_rate = (m_capacity + m_interleave + tuning.ddio_spill_weight * ddio_spill)
-        .clamp(0.0, 1.0);
-
-    // --- Cycles per packet ------------------------------------------------
-    let compute = cost.compute_cycles(pkt as u32);
-    let call_overhead = f64::from(cost.hops) * tuning.per_call_cycles / batch;
-    let stall = cost.mem_refs_per_packet
-        * (miss_rate * tuning.mem_latency_ns + (1.0 - miss_rate) * tuning.llc_hit_ns)
-        * f_ghz;
-    let cpp = compute + call_overhead + stall;
-
-    // --- Capacity & loss --------------------------------------------------
+    let hops = f64::from(cost.hops);
     let cores = f64::from(knobs.cpu.cores);
-    let scale = 1.0 + tuning.core_scale_eff * (cores - 1.0);
-    let capacity_pps = knobs.cpu.share * f_ghz * 1e9 / cpp * scale;
+
+    let (pkt, arrival_pps) = pass_load(load.arrival_pps, load.mean_packet_size, tuning);
+    let miss_rate = pass_miss_rate(
+        pkt,
+        arrival_pps,
+        batch,
+        hops,
+        cost.state_bytes as f64,
+        knobs.dma.bytes as f64,
+        llc_bytes,
+        tuning,
+    );
+    let cpp = pass_cycles(
+        pkt,
+        miss_rate,
+        batch,
+        hops,
+        knobs.freq_ghz,
+        cost.base_cycles_per_packet,
+        cost.cycles_per_byte,
+        cost.mem_refs_per_packet,
+        tuning,
+    );
+    let capacity_pps = pass_capacity(cpp, cores, knobs.cpu.share, knobs.freq_ghz, tuning);
+    // The loss stage stays scalar even in the batched kernel: M/M/1/K
+    // blocking runs `powf`/`ln` per lane (`crate::dma::mm1k_loss`).
     let buf_loss = buffer_loss(
         arrival_pps,
         capacity_pps,
@@ -330,35 +491,26 @@ pub fn evaluate_chain(
         load.burstiness,
         knobs.batch,
     );
-    let accepted_pps = arrival_pps * (1.0 - buf_loss);
-    let delivered_pps = accepted_pps.min(capacity_pps);
-    let loss_frac = if arrival_pps > 0.0 {
-        1.0 - delivered_pps / arrival_pps
-    } else {
-        0.0
-    };
-
-    // --- Outputs -----------------------------------------------------------
-    let throughput_gbps = delivered_pps * pkt * 8.0 / 1e9;
-    let cpu_util = if capacity_pps > 0.0 {
-        (delivered_pps / capacity_pps).clamp(0.0, 1.0)
-    } else {
-        0.0
-    };
-    let llc_misses = delivered_pps * cost.mem_refs_per_packet * miss_rate * tuning.epoch_s;
-    // Busy time: work plus poll burn on the allocated share.
-    let allocated_core_seconds = cores * knobs.cpu.share * tuning.epoch_s;
-    let busy_core_seconds = allocated_core_seconds * cpu_util
-        + allocated_core_seconds * (1.0 - cpu_util) * tuning.adaptive_poll_burn;
+    let out = pass_outputs(
+        pkt,
+        arrival_pps,
+        capacity_pps,
+        buf_loss,
+        miss_rate,
+        cost.mem_refs_per_packet,
+        cores,
+        knobs.cpu.share,
+        tuning,
+    );
 
     ChainEpochResult {
-        throughput_gbps,
-        delivered_pps,
-        loss_frac,
+        throughput_gbps: out.throughput_gbps,
+        delivered_pps: out.delivered_pps,
+        loss_frac: out.loss_frac,
         miss_rate,
-        llc_misses,
-        cpu_util,
-        busy_core_seconds,
+        llc_misses: out.llc_misses,
+        cpu_util: out.cpu_util,
+        busy_core_seconds: out.busy_core_seconds,
         cycles_per_packet: cpp,
     }
 }

@@ -11,7 +11,10 @@
 //! The [`engine`] module converts knob settings + offered load into the
 //! throughput/energy/miss-rate surfaces the paper measures in §3; [`node`]
 //! and [`cluster`] wrap it into the testbed the controllers in the
-//! `greennfv` crate drive.
+//! `greennfv` crate drive. Hot sweeps go through [`batch`]: a
+//! structure-of-arrays lane container evaluated by a wide-lane column-pass
+//! kernel ([`simd`]), auto-chunked across threads by [`par`] — bit-identical
+//! to the scalar engine, lane by lane, for any thread count.
 //!
 //! ```
 //! use nfv_sim::prelude::*;
@@ -47,6 +50,7 @@ pub mod par;
 pub mod power;
 pub mod ring;
 pub mod runtime;
+pub mod simd;
 pub mod stats;
 pub mod traffic;
 
@@ -71,6 +75,7 @@ pub mod prelude {
     pub use crate::packet::{FiveTuple, Packet, PacketBatch, Protocol};
     pub use crate::power::{calibrate_h, PowerMeter, PowerModel};
     pub use crate::runtime::{run_functional, FunctionalStats, RuntimeConfig};
+    pub use crate::simd::{F64x8, WideLane, WIDTH};
     pub use crate::stats::{ChainTelemetry, EpochHistory, Ewma, Summary};
     pub use crate::traffic::{TrafficGen, WindowArrivals};
 }

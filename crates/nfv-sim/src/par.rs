@@ -44,19 +44,51 @@ pub fn auto_threads(lanes: usize) -> usize {
 /// Maps `f` over `0..n`, returning results in index order.
 ///
 /// With `threads <= 1` (or a trivially small `n`) the map runs inline on the
-/// calling thread. Otherwise a `std::thread::scope` pool of `threads`
-/// workers (the calling thread included) pulls contiguous chunks from a
-/// shared cursor; each chunk's results are collected separately and the
-/// chunks are stitched back together sorted by index, so the output — values
-/// and ordering both — is identical for every thread count.
+/// calling thread. Otherwise each worker of [`chunked_map_ranges`] maps `f`
+/// over the indices of its chunk, so the output — values and ordering — is
+/// identical for every thread count.
+///
+/// ```
+/// let doubled = nfv_sim::par::chunked_map(5, 2, |i| i * 2);
+/// assert_eq!(doubled, vec![0, 2, 4, 6, 8]);
+/// ```
 pub fn chunked_map<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
 where
     R: Send,
     F: Fn(usize) -> R + Sync,
 {
+    chunked_map_ranges(n, threads, |r| r.map(&f).collect())
+}
+
+/// Maps a *range kernel* over `0..n`, returning results in index order.
+///
+/// Like [`chunked_map`], but `f` receives each contiguous chunk as a whole
+/// `Range` and returns that chunk's results as a `Vec` (one element per
+/// index). This is the entry point for kernels that want to sweep a chunk
+/// column-wise — e.g. the wide-lane batch evaluator in [`crate::batch`] —
+/// instead of being called back once per index.
+///
+/// With `threads <= 1` (or a trivially small `n`) the kernel runs inline on
+/// the whole range. Otherwise a `std::thread::scope` pool of `threads`
+/// workers (the calling thread included) pulls contiguous chunks from a
+/// shared cursor; the chunks are stitched back together sorted by index, so
+/// the output — values and ordering — is identical for every thread count,
+/// provided `f` is deterministic per index (chunk boundaries must not
+/// influence per-index results; the differential tests in `tests/` enforce
+/// this for the batch evaluator).
+///
+/// ```
+/// let squares = nfv_sim::par::chunked_map_ranges(10, 4, |r| r.map(|i| i * i).collect());
+/// assert_eq!(squares, (0..10).map(|i| i * i).collect::<Vec<_>>());
+/// ```
+pub fn chunked_map_ranges<R, F>(n: usize, threads: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(std::ops::Range<usize>) -> Vec<R> + Sync,
+{
     let threads = threads.max(1).min(n.max(1));
     if threads == 1 || n <= 1 {
-        return (0..n).map(f).collect();
+        return f(0..n);
     }
 
     // ~4 chunks per worker balances load without shredding cache locality.
@@ -77,7 +109,8 @@ where
         };
         let start = k * chunk;
         let end = (start + chunk).min(n);
-        let out: Vec<R> = (start..end).map(&f).collect();
+        let out = f(start..end);
+        debug_assert_eq!(out.len(), end - start, "one result per index");
         done.lock().push((k, out));
     };
 
@@ -128,6 +161,16 @@ mod tests {
         );
         assert!(auto_threads(64 * MIN_LANES_PER_THREAD) >= 1);
         assert!(auto_threads(usize::MAX / 2) <= default_threads());
+    }
+
+    #[test]
+    fn range_kernel_agrees_with_index_map() {
+        let f = |r: std::ops::Range<usize>| r.map(|i| i * 3 + 1).collect::<Vec<_>>();
+        let seq = chunked_map_ranges(500, 1, f);
+        assert_eq!(seq, chunked_map(500, 1, |i| i * 3 + 1));
+        for t in [2usize, 5, 16] {
+            assert_eq!(chunked_map_ranges(500, t, f), seq, "threads={t}");
+        }
     }
 
     #[test]

@@ -59,7 +59,7 @@ impl PowerModel {
 
     /// Instantaneous power draw (watts) per Eq. 4.
     ///
-    /// `utilization` in [0,1] over the powered-on cores; `freq_ghz` the
+    /// `utilization` in \[0,1\] over the powered-on cores; `freq_ghz` the
     /// operating frequency; `active_core_frac` the fraction of cores on.
     pub fn power_w(&self, utilization: f64, freq_ghz: f64, active_core_frac: f64) -> f64 {
         let u = utilization.clamp(0.0, 1.0);

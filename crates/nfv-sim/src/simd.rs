@@ -1,0 +1,350 @@
+//! Fixed-width wide-lane arithmetic for the column-pass evaluation kernel.
+//!
+//! The batched engine ([`crate::batch`]) evaluates [`ChainBatch`] lanes in
+//! column passes: each pass applies one stage of the analytic model
+//! ([`crate::engine::pass_miss_rate`], [`crate::engine::pass_cycles`], ...)
+//! to a group of lanes at once. This module supplies the lane groups: the
+//! [`WideLane`] trait abstracts "a bundle of f64 lanes", and its two
+//! implementations are
+//!
+//! * [`f64`] — one lane, used by the scalar [`crate::engine::evaluate_chain`]
+//!   and by the remainder tail of a batch whose length is not a multiple of
+//!   [`WIDTH`];
+//! * [`F64x8`] — [`WIDTH`] (= 8) lanes held in a plain `[f64; 8]`, written
+//!   as fixed-bound element-wise loops that LLVM autovectorizes on stable
+//!   Rust (no `std::simd`, no intrinsics, no new dependencies).
+//!
+//! **Bit-equality contract.** Every `WideLane` operation is element-wise: it
+//! applies exactly one IEEE-754 double operation per lane, in the lane's own
+//! data, with no cross-lane shuffles or reassociation. A kernel written
+//! generically over `WideLane` therefore produces *bit-identical* results
+//! whether it runs one lane at a time (`f64`) or eight at a time
+//! ([`F64x8`]) — which is what lets the column-pass batch kernel keep the
+//! exact-`==` equivalence contract with the scalar engine. Per-lane
+//! transcendentals (`powf`/`ln` in [`crate::dma::mm1k_loss`]) are *not* part
+//! of this trait; they stay scalar in the loss pass.
+//!
+//! ```
+//! use nfv_sim::simd::{F64x8, WideLane, WIDTH};
+//!
+//! let xs = [1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0];
+//! let wide = F64x8::from_slice(&xs) * F64x8::splat(2.0) + F64x8::splat(1.0);
+//! for (i, &x) in xs.iter().enumerate() {
+//!     // Same expression, one lane at a time: bit-identical.
+//!     assert_eq!(wide.lane(i), x * 2.0 + 1.0);
+//! }
+//! assert_eq!(WIDTH, 8);
+//! ```
+//!
+//! [`ChainBatch`]: crate::batch::ChainBatch
+
+use std::ops::{Add, Div, Mul, Sub};
+
+/// Lanes per [`F64x8`] chunk. Eight doubles span one AVX-512 register or two
+/// AVX2 registers; the fixed bound is what lets LLVM unroll and vectorize
+/// the element loops.
+pub const WIDTH: usize = 8;
+
+/// A bundle of f64 lanes supporting the element-wise operations the
+/// evaluation kernel needs.
+///
+/// Implemented by [`f64`] (one lane) and [`F64x8`] ([`WIDTH`] lanes). All
+/// methods are element-wise and perform exactly one IEEE-754 operation per
+/// lane, so generic kernel code produces bit-identical results for every
+/// implementation — see the module docs for why that matters.
+pub trait WideLane:
+    Copy
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+{
+    /// Number of f64 lanes in this bundle.
+    const LANES: usize;
+
+    /// All lanes set to `x`.
+    fn splat(x: f64) -> Self;
+
+    /// Element-wise `f64::min`.
+    fn vmin(self, other: Self) -> Self;
+
+    /// Element-wise `f64::max`.
+    fn vmax(self, other: Self) -> Self;
+
+    /// Element-wise `f64::clamp(x, 0.0, 1.0)`.
+    fn clamp01(self) -> Self;
+
+    /// Element-wise `f64::from(x as u32)` — the saturating float→int→float
+    /// round-trip the engine uses to quantize packet sizes.
+    fn trunc_u32(self) -> Self;
+
+    /// Element-wise `if self > 0.0 { then } else { otherwise }`. NaN
+    /// conditions select `otherwise`, matching the scalar comparison.
+    fn select_gt_zero(self, then: Self, otherwise: Self) -> Self;
+
+    /// Value of lane `i` (`i < Self::LANES`).
+    fn lane(self, i: usize) -> f64;
+
+    /// Loads lanes `i..i + Self::LANES` from a column slice.
+    ///
+    /// # Panics
+    /// When the slice is shorter than `i + Self::LANES`.
+    fn load(src: &[f64], i: usize) -> Self;
+
+    /// Stores this bundle into lanes `i..i + Self::LANES` of a column slice.
+    ///
+    /// # Panics
+    /// When the slice is shorter than `i + Self::LANES`.
+    fn store(self, dst: &mut [f64], i: usize);
+}
+
+impl WideLane for f64 {
+    const LANES: usize = 1;
+
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        x
+    }
+
+    #[inline(always)]
+    fn vmin(self, other: Self) -> Self {
+        f64::min(self, other)
+    }
+
+    #[inline(always)]
+    fn vmax(self, other: Self) -> Self {
+        f64::max(self, other)
+    }
+
+    #[inline(always)]
+    fn clamp01(self) -> Self {
+        f64::clamp(self, 0.0, 1.0)
+    }
+
+    #[inline(always)]
+    fn trunc_u32(self) -> Self {
+        f64::from(self as u32)
+    }
+
+    #[inline(always)]
+    fn select_gt_zero(self, then: Self, otherwise: Self) -> Self {
+        if self > 0.0 {
+            then
+        } else {
+            otherwise
+        }
+    }
+
+    #[inline(always)]
+    fn lane(self, _i: usize) -> f64 {
+        self
+    }
+
+    #[inline(always)]
+    fn load(src: &[f64], i: usize) -> Self {
+        src[i]
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f64], i: usize) {
+        dst[i] = self;
+    }
+}
+
+/// Eight f64 lanes in a plain array — the autovectorization-friendly chunk
+/// the column passes run on. Construct with [`F64x8::splat`] /
+/// [`F64x8::from_slice`]; combine with the ordinary `+ - * /` operators and
+/// the [`WideLane`] methods.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F64x8(pub [f64; WIDTH]);
+
+impl F64x8 {
+    /// Loads the first [`WIDTH`] elements of `s`.
+    ///
+    /// # Panics
+    /// When `s.len() < WIDTH`.
+    #[inline(always)]
+    pub fn from_slice(s: &[f64]) -> Self {
+        let mut out = [0.0; WIDTH];
+        out.copy_from_slice(&s[..WIDTH]);
+        Self(out)
+    }
+
+    /// The underlying lane array.
+    #[inline(always)]
+    pub fn to_array(self) -> [f64; WIDTH] {
+        self.0
+    }
+}
+
+macro_rules! wide_binop {
+    ($trait:ident, $method:ident, $op:tt) => {
+        impl $trait for F64x8 {
+            type Output = F64x8;
+
+            #[inline(always)]
+            fn $method(self, rhs: F64x8) -> F64x8 {
+                let mut out = self.0;
+                for (o, r) in out.iter_mut().zip(rhs.0) {
+                    *o $op r;
+                }
+                F64x8(out)
+            }
+        }
+    };
+}
+
+wide_binop!(Add, add, +=);
+wide_binop!(Sub, sub, -=);
+wide_binop!(Mul, mul, *=);
+wide_binop!(Div, div, /=);
+
+macro_rules! wide_map {
+    ($self:ident, |$x:ident| $body:expr) => {{
+        let mut out = $self.0;
+        for o in &mut out {
+            let $x = *o;
+            *o = $body;
+        }
+        F64x8(out)
+    }};
+}
+
+impl WideLane for F64x8 {
+    const LANES: usize = WIDTH;
+
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        Self([x; WIDTH])
+    }
+
+    #[inline(always)]
+    fn vmin(self, other: Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(other.0) {
+            *o = f64::min(*o, b);
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn vmax(self, other: Self) -> Self {
+        let mut out = self.0;
+        for (o, b) in out.iter_mut().zip(other.0) {
+            *o = f64::max(*o, b);
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn clamp01(self) -> Self {
+        wide_map!(self, |x| f64::clamp(x, 0.0, 1.0))
+    }
+
+    #[inline(always)]
+    fn trunc_u32(self) -> Self {
+        wide_map!(self, |x| f64::from(x as u32))
+    }
+
+    #[inline(always)]
+    fn select_gt_zero(self, then: Self, otherwise: Self) -> Self {
+        let mut out = [0.0; WIDTH];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = if self.0[i] > 0.0 {
+                then.0[i]
+            } else {
+                otherwise.0[i]
+            };
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn lane(self, i: usize) -> f64 {
+        self.0[i]
+    }
+
+    #[inline(always)]
+    fn load(src: &[f64], i: usize) -> Self {
+        Self::from_slice(&src[i..])
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f64], i: usize) {
+        dst[i..i + WIDTH].copy_from_slice(&self.0);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> [f64; WIDTH] {
+        [0.0, -1.5, 2.25, 64.9, 1e9, f64::NAN, 0.5, 3.0]
+    }
+
+    /// Every trait method must agree bit-for-bit with its scalar twin on
+    /// every lane — this is the whole contract the column passes rely on.
+    #[test]
+    fn wide_ops_match_scalar_per_lane() {
+        let a = F64x8::from_slice(&sample());
+        let b = F64x8::splat(2.0);
+        for i in 0..WIDTH {
+            let x = sample()[i];
+            assert!(eq_bits((a + b).lane(i), x + 2.0), "add lane {i}");
+            assert!(eq_bits((a - b).lane(i), x - 2.0), "sub lane {i}");
+            assert!(eq_bits((a * b).lane(i), x * 2.0), "mul lane {i}");
+            assert!(eq_bits((a / b).lane(i), x / 2.0), "div lane {i}");
+            assert!(eq_bits(a.vmin(b).lane(i), f64::min(x, 2.0)), "vmin lane {i}");
+            assert!(eq_bits(a.vmax(b).lane(i), f64::max(x, 2.0)), "vmax lane {i}");
+            assert!(eq_bits(a.clamp01().lane(i), x.clamp01()), "clamp01 lane {i}");
+            assert!(eq_bits(a.trunc_u32().lane(i), x.trunc_u32()), "trunc lane {i}");
+            assert!(
+                eq_bits(
+                    a.select_gt_zero(b, F64x8::splat(-7.0)).lane(i),
+                    x.select_gt_zero(2.0, -7.0)
+                ),
+                "select lane {i}"
+            );
+        }
+    }
+
+    fn eq_bits(a: f64, b: f64) -> bool {
+        a.to_bits() == b.to_bits()
+    }
+
+    #[test]
+    fn select_treats_nan_and_zero_as_false() {
+        let cond = F64x8([0.0, -0.0, f64::NAN, 1e-300, -1.0, f64::INFINITY, 0.5, -0.5]);
+        let got = cond.select_gt_zero(F64x8::splat(1.0), F64x8::splat(0.0));
+        assert_eq!(got.to_array(), [0.0, 0.0, 0.0, 1.0, 0.0, 1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn scalar_impl_is_one_lane() {
+        assert_eq!(<f64 as WideLane>::LANES, 1);
+        assert_eq!(f64::splat(3.5), 3.5);
+        assert_eq!(3.5f64.lane(0), 3.5);
+        assert_eq!(F64x8::LANES, WIDTH);
+    }
+
+    #[test]
+    #[should_panic]
+    fn from_slice_rejects_short_slices() {
+        let _ = F64x8::from_slice(&[1.0; 3]);
+    }
+
+    #[test]
+    fn load_store_roundtrip_at_offset() {
+        let col: Vec<f64> = (0..12).map(f64::from).collect();
+        let wide = F64x8::load(&col, 3);
+        assert_eq!(wide.to_array(), [3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0]);
+        let mut out = vec![0.0; 12];
+        wide.store(&mut out, 1);
+        assert_eq!(&out[1..9], &col[3..11]);
+        assert_eq!(<f64 as WideLane>::load(&col, 5), 5.0);
+        let mut one = vec![0.0; 2];
+        9.5f64.store(&mut one, 1);
+        assert_eq!(one, [0.0, 9.5]);
+    }
+}

@@ -8,7 +8,7 @@
 //!   central replay memory), plus uniform replay in [`replay`];
 //! * [`noise`] — Ornstein–Uhlenbeck and Gaussian exploration noise;
 //! * [`qlearning`] — the discretized tabular Q-learning comparison model;
-//! * [`env`] — the environment/transition abstraction the `greennfv` crate
+//! * [`env`](mod@env) — the environment/transition abstraction the `greennfv` crate
 //!   implements over the NFV simulator.
 
 #![warn(missing_docs)]

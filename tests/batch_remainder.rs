@@ -1,0 +1,124 @@
+//! Remainder-tail and lane-mask coverage for the column-pass batch kernel.
+//!
+//! The kernel in `nfv_sim::batch` sweeps each pass over full 8-lane
+//! (`nfv_sim::simd::WIDTH`) bundles and finishes the block with a scalar
+//! tail, so the lane counts straddling the chunk boundary — 1, 7, 8, 9, 63,
+//! 65 — are exactly where a wide/tail split bug would live. These tests pin
+//! every such count (plus the shared `PERF_LANE_COUNTS` bench sizes, which
+//! cross the kernel's internal block boundary) to the scalar reference with
+//! exact `==`, and drive the validate mask to both extremes: a batch whose
+//! lanes are all invalid, and one whose lanes are all valid.
+
+use greennfv_bench::PERF_LANE_COUNTS;
+use nfv_sim::prelude::*;
+
+fn costs() -> [ChainCost; 3] {
+    [
+        ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost(),
+        ServiceChain::build(ChainSpec::lightweight(ChainId(1))).cost(),
+        ServiceChain::build(ChainSpec::heavyweight(ChainId(2))).cost(),
+    ]
+}
+
+/// Valid-knob lane `i` of the fixture grid.
+fn valid_knobs(i: u32) -> KnobSettings {
+    let mut knobs = KnobSettings::default_tuned();
+    knobs.freq_ghz = 1.2 + 0.05 * f64::from(i % 19);
+    knobs.batch = 1 + (i * 13) % 320;
+    knobs.cpu.cores = 1 + i % 4;
+    knobs.llc_fraction = f64::from(i % 11) / 10.0;
+    knobs
+}
+
+fn load_at(i: u32) -> ChainLoad {
+    ChainLoad {
+        arrival_pps: 5.0e5 + 3.7e4 * f64::from(i),
+        mean_packet_size: 64.0 + f64::from((i * 31) % 1454),
+        burstiness: 1.0 + f64::from(i % 5) * 0.4,
+    }
+}
+
+/// Builds a `lanes`-sized batch; `invalidate` marks which lanes get
+/// out-of-range knobs (batch knob 0 / absurd frequency, alternating).
+fn build_batch(lanes: usize, invalidate: impl Fn(u32) -> bool) -> ChainBatch {
+    let costs = costs();
+    let mut batch = ChainBatch::with_capacity(lanes);
+    for i in 0..lanes as u32 {
+        let mut knobs = valid_knobs(i);
+        if invalidate(i) {
+            if i % 2 == 0 {
+                knobs.batch = 0;
+            } else {
+                knobs.freq_ghz = 99.0;
+            }
+        }
+        batch.push(
+            &knobs,
+            &costs[i as usize % costs.len()],
+            &load_at(i),
+            llc_partition_bytes(f64::from(i % 10) / 10.0),
+        );
+    }
+    batch
+}
+
+/// The scalar reference: validate each lane, then run `evaluate_chain`.
+fn scalar_reference(
+    batch: &ChainBatch,
+    tuning: &SimTuning,
+) -> Vec<SimResult<ChainEpochResult>> {
+    (0..batch.len())
+        .map(|i| {
+            let (knobs, cost, load, llc) = batch.lane(i);
+            knobs.validate()?;
+            Ok(evaluate_chain(&knobs, &cost, &load, llc, tuning))
+        })
+        .collect()
+}
+
+#[test]
+fn chunk_boundary_lane_counts_match_scalar_exactly() {
+    let tuning = SimTuning::default();
+    for lanes in [1usize, 7, 8, 9, 63, 65] {
+        // Mix validity so the mask interleaves with the wide/tail split.
+        let batch = build_batch(lanes, |i| i % 5 == 3);
+        let got = evaluate_chain_batch(&batch, &tuning);
+        assert_eq!(got, scalar_reference(&batch, &tuning), "lanes = {lanes}");
+    }
+}
+
+#[test]
+fn bench_lane_counts_match_scalar_exactly() {
+    // The perf-table batch shapes (64 / 1k / 16k lanes) cross the kernel's
+    // internal cache-block boundary; pin them to the scalar path too.
+    let tuning = SimTuning::default();
+    for lanes in PERF_LANE_COUNTS {
+        let batch = build_batch(lanes, |i| i % 97 == 13);
+        let got = evaluate_chain_batch(&batch, &tuning);
+        assert_eq!(got, scalar_reference(&batch, &tuning), "lanes = {lanes}");
+    }
+}
+
+#[test]
+fn all_invalid_batch_yields_scalar_errors_in_order() {
+    let tuning = SimTuning::default();
+    for lanes in [1usize, 9, 65] {
+        let batch = build_batch(lanes, |_| true);
+        let got = evaluate_chain_batch(&batch, &tuning);
+        assert_eq!(got.len(), lanes);
+        assert!(got.iter().all(|r| r.is_err()), "lanes = {lanes}");
+        assert_eq!(got, scalar_reference(&batch, &tuning), "lanes = {lanes}");
+    }
+}
+
+#[test]
+fn all_valid_batch_has_no_error_lanes() {
+    let tuning = SimTuning::default();
+    for lanes in [1usize, 9, 65] {
+        let batch = build_batch(lanes, |_| false);
+        let got = evaluate_chain_batch(&batch, &tuning);
+        assert_eq!(got.len(), lanes);
+        assert!(got.iter().all(|r| r.is_ok()), "lanes = {lanes}");
+        assert_eq!(got, scalar_reference(&batch, &tuning), "lanes = {lanes}");
+    }
+}

@@ -2,15 +2,35 @@
 //!
 //! The fig2 (frequency) and fig3 (batch-size) sweeps are the paper-facing
 //! numbers most exposed to the batched evaluation engine: both grids are
-//! now produced by single `evaluate_chain_batch` calls. These tests pin the
-//! grids against JSON snapshots in `tests/golden/` within 1e-9, so future
-//! work on the batch kernel (SIMD lanes, reduction reordering) cannot
-//! silently shift paper-reproduction results.
+//! produced by single `evaluate_chain_batch` calls, which now run the
+//! wide-lane column-pass kernel. These tests pin the grids against JSON
+//! snapshots in `tests/golden/` within 1e-9, so work on the batch kernel
+//! (wide-lane packing, block sizing, reduction reordering) cannot silently
+//! shift paper-reproduction results.
 //!
-//! Blessing: when a snapshot file is missing the test writes the current
-//! grid and passes. To re-bless intentionally, delete the file and rerun
-//! (`rm tests/golden/*.json && cargo test --test golden_figs`), then review
-//! the diff like any other code change.
+//! # Blessing workflow
+//!
+//! A **blessing** is writing the current grid as the new reference. It is
+//! self-service but deliberately friction-ful:
+//!
+//! 1. When a snapshot file is *missing*, the test computes the grid,
+//!    writes it to `tests/golden/<name>.json`, prints
+//!    `blessed new golden snapshot …`, and passes. This is how the very
+//!    first snapshot (and any intentional re-bless) is produced.
+//! 2. To re-bless after an intentional model change:
+//!    `rm tests/golden/*.json && cargo test --test golden_figs`, then
+//!    `git diff` the regenerated JSON and review the numeric drift like
+//!    any other code change before committing it.
+//! 3. **CI refuses to bless.** When the `CI` environment variable is set
+//!    (as on every workflow run), a missing snapshot is a test *failure*,
+//!    not a write — so an uncommitted, deleted, or renamed golden file can
+//!    never silently disable the drift guard, and a bless can only happen
+//!    on a developer machine where the diff is reviewable.
+//!
+//! Changes that keep per-lane operation order (e.g. the column-pass
+//! kernel, thread-chunk or block-boundary shifts) must pass these tests
+//! *without* re-blessing; needing a bless is the signal that lane math
+//! actually changed.
 
 use greennfv_bench::{fig2_freq, fig3_batch, Fig2Row, Fig3Row};
 use std::path::PathBuf;
