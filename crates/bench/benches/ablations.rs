@@ -58,11 +58,7 @@ fn bench(c: &mut Criterion) {
                 shaping,
                 ..EnvConfig::paper(Sla::paper_max_throughput(), cfg.seed)
             };
-            eval_policy(
-                train_with_env_config(env, &cfg),
-                "shaping",
-                true,
-            )
+            eval_policy(train_with_env_config(env, &cfg), "shaping", true)
         };
         let shaped = mk(RewardShaping::Shaped);
         let strict = mk(RewardShaping::Strict);
@@ -107,13 +103,7 @@ fn bench(c: &mut Criterion) {
             rows.push(row(&format!("{actors} actor(s)"), &r));
         }
         println!("== Ablation: Ape-X actor scaling (same total experience) ==");
-        println!(
-            "{}",
-            table(
-                &headers,
-                &rows.clone()
-            )
-        );
+        println!("{}", table(&headers, &rows.clone()));
     }
 
     // --- Discretized models: tabular Q vs DQN vs DDPG ------------------------

@@ -1,8 +1,15 @@
 //! Performance microbenches of the substrate itself: ring throughput, epoch
-//! evaluation rate, NN update rate, prioritized-replay operations. These are
-//! the kernels whose speed makes the paper-scale training budgets feasible.
+//! evaluation rate, scenario-epoch rate over the whole registry, NN update
+//! rate, prioritized-replay operations. These are the kernels whose speed
+//! makes the paper-scale training budgets feasible.
+//!
+//! With `PERF_RECORD_PATH=<file>` set (see the vendored criterion), every
+//! run — including the CI `--test` smoke — also emits a machine-readable
+//! JSON record of ns/iteration and ns/element per bench id; the committed
+//! `BENCH_*.json` files at the repository root are snapshots of it.
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use greennfv::prelude::Scenario;
 use greennfv_bench::PERF_LANE_COUNTS;
 use greennfv_nn::prelude::*;
 use greennfv_rl::prelude::*;
@@ -58,25 +65,32 @@ fn bench(c: &mut Criterion) {
         // policy, not here). Compare mean/lanes with
         // `engine_evaluate_chain` for the per-lane speedup; the same lane
         // counts are differential-tested in `tests/batch_remainder.rs`.
-        for lanes in PERF_LANE_COUNTS {
-            let mut batch = ChainBatch::with_capacity(lanes);
-            for i in 0..lanes as u32 {
-                let mut k = knobs;
-                k.freq_ghz = 1.2 + 0.1 * f64::from(i % 8);
-                k.batch = 1 + ((i / 8) % 8) * 40;
-                let mut l = load;
-                l.arrival_pps = 1.0e6 + 37.0 * f64::from(i);
-                batch.push(&k, &cost, &l, llc);
+        {
+            let mut g = c.benchmark_group("engine_evaluate_chain_batch");
+            for lanes in PERF_LANE_COUNTS {
+                let mut batch = ChainBatch::with_capacity(lanes);
+                for i in 0..lanes as u32 {
+                    let mut k = knobs;
+                    k.freq_ghz = 1.2 + 0.1 * f64::from(i % 8);
+                    k.batch = 1 + ((i / 8) % 8) * 40;
+                    let mut l = load;
+                    l.arrival_pps = 1.0e6 + 37.0 * f64::from(i);
+                    batch.push(&k, &cost, &l, llc);
+                }
+                // Declared element throughput makes the perf record's
+                // ns_per_element the kernel's ns/lane directly.
+                g.throughput(Throughput::Elements(lanes as u64));
+                g.bench_function(&format!("{lanes}"), |b| {
+                    b.iter(|| {
+                        std::hint::black_box(evaluate_chain_batch_threads(
+                            std::hint::black_box(&batch),
+                            std::hint::black_box(&tuning),
+                            1,
+                        ))
+                    })
+                });
             }
-            c.bench_function(&format!("engine_evaluate_chain_batch_{lanes}"), |b| {
-                b.iter(|| {
-                    std::hint::black_box(evaluate_chain_batch_threads(
-                        std::hint::black_box(&batch),
-                        std::hint::black_box(&tuning),
-                        1,
-                    ))
-                })
-            });
+            g.finish();
         }
 
         // Per-pass benches: one F64x8 bundle (8 lanes) through each wide
@@ -180,6 +194,24 @@ fn bench(c: &mut Criterion) {
         c.bench_function("node_run_epoch", |b| {
             b.iter(|| std::hint::black_box(node.run_epoch()))
         });
+    }
+
+    // Scenario-parameterized cluster epochs: every named scenario in the
+    // registry, one fused `Cluster::run_epoch` per iteration (traffic
+    // sampling + batched column-pass evaluation + per-node aggregation).
+    // Element throughput = chains per epoch, so the perf record reports
+    // ns/chain-lane per scenario.
+    {
+        let mut g = c.benchmark_group("scenario_epoch");
+        for scenario in Scenario::registry() {
+            let chains: u64 = scenario.nodes.iter().map(|n| n.tenants.len() as u64).sum();
+            let mut cluster = scenario.build_cluster().expect("registry scenarios build");
+            g.throughput(Throughput::Elements(chains));
+            g.bench_function(&scenario.name.replace('-', "_"), |b| {
+                b.iter(|| std::hint::black_box(cluster.run_epoch()))
+            });
+        }
+        g.finish();
     }
 
     // DDPG minibatch update (batch 64, hidden 64) — the training bottleneck.

@@ -80,7 +80,10 @@ pub fn fig1_llc(seed: u64) -> Vec<Fig1Row> {
     for (c1, c2) in splits {
         let mut node = Node::default_greennfv(0);
         let knobs1 = KnobSettings {
-            cpu: CpuAllocation { cores: 3, share: 1.0 },
+            cpu: CpuAllocation {
+                cores: 3,
+                share: 1.0,
+            },
             freq_ghz: FREQ_MAX_GHZ,
             llc_fraction: f64::from(c1) / 100.0,
             dma: DmaBuffer::from_mb(4.0),
@@ -88,7 +91,10 @@ pub fn fig1_llc(seed: u64) -> Vec<Fig1Row> {
         };
         let knobs2 = KnobSettings {
             llc_fraction: f64::from(c2) / 100.0,
-            cpu: CpuAllocation { cores: 2, share: 1.0 },
+            cpu: CpuAllocation {
+                cores: 2,
+                share: 1.0,
+            },
             ..knobs1
         };
         node.add_chain(
@@ -172,7 +178,10 @@ pub struct Fig2Row {
 pub fn fig2_freq(seed: u64) -> Vec<Fig2Row> {
     let scaler = FreqScaler::new(Governor::Userspace);
     let knobs_at = |f: f64| KnobSettings {
-        cpu: CpuAllocation { cores: 1, share: 1.0 },
+        cpu: CpuAllocation {
+            cores: 1,
+            share: 1.0,
+        },
         freq_ghz: f,
         llc_fraction: 0.8,
         dma: DmaBuffer::from_mb(8.0),
@@ -247,7 +256,10 @@ pub struct Fig3Row {
 pub fn fig3_batch(seed: u64) -> Vec<Fig3Row> {
     const BATCHES: [u32; 11] = [1, 25, 50, 75, 100, 125, 150, 175, 200, 250, 300];
     let knobs_at = |batch: u32| KnobSettings {
-        cpu: CpuAllocation { cores: 1, share: 1.0 },
+        cpu: CpuAllocation {
+            cores: 1,
+            share: 1.0,
+        },
         freq_ghz: 1.9,
         llc_fraction: 0.12,
         dma: DmaBuffer::from_mb(8.0),
@@ -295,7 +307,12 @@ pub fn render_fig3(rows: &[Fig3Row]) -> String {
         })
         .collect();
     table(
-        &["Batch", "Throughput (Gbps)", "Energy (kJ)", "Misses (x10^4)"],
+        &[
+            "Batch",
+            "Throughput (Gbps)",
+            "Energy (kJ)",
+            "Misses (x10^4)",
+        ],
         &body,
     )
 }
@@ -339,7 +356,10 @@ pub fn fig4_dma(seed: u64) -> Vec<Fig4Row> {
         let run = |size: u32, rate: f64, s: u64| -> (f64, f64) {
             let mut node = Node::default_greennfv(0);
             let knobs = KnobSettings {
-                cpu: CpuAllocation { cores: 1, share: 1.0 },
+                cpu: CpuAllocation {
+                    cores: 1,
+                    share: 1.0,
+                },
                 freq_ghz: FREQ_MAX_GHZ,
                 llc_fraction: 0.8,
                 dma: DmaBuffer::from_mb(mb),
@@ -362,7 +382,14 @@ pub fn fig4_dma(seed: u64) -> Vec<Fig4Row> {
                 e += r.node.energy_j;
                 pkts += r.node.chains[0].delivered_pps;
             }
-            (t / 8.0, if pkts > 0.0 { e / (pkts / 1e6) / 8.0 } else { 0.0 })
+            (
+                t / 8.0,
+                if pkts > 0.0 {
+                    e / (pkts / 1e6) / 8.0
+                } else {
+                    0.0
+                },
+            )
         };
         let (t64, e64) = run(64, 1.5e6, seed);
         let (t1518, e1518) = run(1518, 0.72e6, seed + 9);
@@ -419,7 +446,14 @@ pub fn train_curves(sla: Sla, effort: Effort, seed: u64) -> TrainOutcome {
 /// Renders a training-curve table (Figures 6, 7, 8).
 pub fn render_training(history: &[EvalPoint], with_efficiency: bool) -> String {
     let mut headers = vec![
-        "Episode", "T (Gbps)", "E (J)", "CPU (%)", "Freq (GHz)", "LLC (%)", "DMA (MB)", "Batch",
+        "Episode",
+        "T (Gbps)",
+        "E (J)",
+        "CPU (%)",
+        "Freq (GHz)",
+        "LLC (%)",
+        "DMA (MB)",
+        "Batch",
     ];
     if with_efficiency {
         headers.insert(3, "Gbps/kJ");
@@ -459,7 +493,10 @@ pub fn fig9_compare(effort: Effort, seed: u64) -> ComparisonReport {
 
     let mut results = Vec::new();
     results.push(run_controller(&mut BaselineController, &run_cfg));
-    results.push(run_controller(&mut HeuristicController::default(), &run_cfg));
+    results.push(run_controller(
+        &mut HeuristicController::default(),
+        &run_cfg,
+    ));
     results.push(run_controller(&mut EePstateController::default(), &run_cfg));
 
     let mut q = QModelController::trained(Sla::EnergyEfficiency, effort.q_episodes(), seed);
@@ -520,10 +557,9 @@ pub fn fig10_runtime(effort: Effort, seed: u64) -> Fig10Data {
         let scale = energy_scale(&env_cfg);
         let cfg = TrainConfig::quick(effort.episodes(), s);
         let out = train_with_env_config(env_cfg.clone(), &cfg);
-        let actor =
-            greennfv_nn::mlp::Mlp::from_json(&out.best_params.actor).expect("actor parses");
-        let mut ctrl = PolicyController::new("fig10", actor, out.action_space)
-            .with_energy_scale(scale);
+        let actor = greennfv_nn::mlp::Mlp::from_json(&out.best_params.actor).expect("actor parses");
+        let mut ctrl =
+            PolicyController::new("fig10", actor, out.action_space).with_energy_scale(scale);
         let run_cfg = RunConfig {
             epochs: 120,
             tuning,
@@ -542,7 +578,12 @@ pub fn fig10_runtime(effort: Effort, seed: u64) -> Fig10Data {
             .collect()
     };
     Fig10Data {
-        maxt: run_sla(Sla::MaxThroughput { energy_cap_j: 110.0 }, seed),
+        maxt: run_sla(
+            Sla::MaxThroughput {
+                energy_cap_j: 110.0,
+            },
+            seed,
+        ),
         mine: run_sla(
             Sla::MinEnergy {
                 throughput_floor_gbps: 7.5,
@@ -594,10 +635,9 @@ pub fn fig11_amortize(effort: Effort, seed: u64) -> AmortizationCurve {
     cfg.eval_every = cfg.episodes / 10;
     let out = train_with_env_config(env_cfg, &cfg);
     let training_energy = out.training_energy_j;
-    let actor =
-        greennfv_nn::mlp::Mlp::from_json(&out.best_params.actor).expect("actor parses");
-    let mut ctrl = PolicyController::new("GreenNFV(MinE)", actor, out.action_space)
-        .with_energy_scale(scale);
+    let actor = greennfv_nn::mlp::Mlp::from_json(&out.best_params.actor).expect("actor parses");
+    let mut ctrl =
+        PolicyController::new("GreenNFV(MinE)", actor, out.action_space).with_energy_scale(scale);
     // Deployment traces run at 1 s ticks as well, matching the trained scale.
     let run_cfg = RunConfig {
         epochs: effort.eval_epochs().max(60),

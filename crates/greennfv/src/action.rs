@@ -68,9 +68,8 @@ impl ActionSpace {
         let freq_ghz = self.freq_min + u(1) * (self.freq_max - self.freq_min);
         let llc_fraction = self.llc_min + u(2) * (self.llc_max - self.llc_min);
         let dma_mb = self.dma_min_mb + u(3) * (self.dma_max_mb - self.dma_min_mb);
-        let batch = (f64::from(self.batch_min)
-            + u(4) * f64::from(self.batch_max - self.batch_min))
-        .round() as u32;
+        let batch = (f64::from(self.batch_min) + u(4) * f64::from(self.batch_max - self.batch_min))
+            .round() as u32;
 
         KnobSettings {
             cpu: CpuAllocation { cores, share },
@@ -188,7 +187,10 @@ mod tests {
         let sp = ActionSpace::default();
         // cpu_eq = 2.5 → 3 cores at ~0.833 share.
         let a = sp.encode(&KnobSettings {
-            cpu: CpuAllocation { cores: 3, share: 2.5 / 3.0 },
+            cpu: CpuAllocation {
+                cores: 3,
+                share: 2.5 / 3.0,
+            },
             freq_ghz: 1.5,
             llc_fraction: 0.5,
             dma: DmaBuffer::from_mb(4.0),

@@ -175,9 +175,11 @@ pub fn train_apex(sla: Sla, cfg: &ApexConfig) -> ApexOutcome {
                         for (a, n) in action.iter_mut().zip(noise.sample()) {
                             *a = (*a + n).clamp(-1.0, 1.0);
                         }
-                        if cfg.candidates_per_step > 1 {
+                        if cfg.candidates_per_step > 1 && !env.is_multi_tenant() {
                             // Propose extra noise-perturbed variants and rank
                             // the whole candidate set in one batched sweep.
+                            // (Skipped on multi-tenant nodes: what-if sweeps
+                            // need a single-chain node.)
                             let mut candidates = vec![action.clone()];
                             for _ in 1..cfg.candidates_per_step {
                                 let mut variant = action.clone();

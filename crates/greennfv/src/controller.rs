@@ -133,7 +133,11 @@ pub fn run_controller(ctrl: &mut dyn Controller, cfg: &RunConfig) -> RunResult {
         name: ctrl.name().to_string(),
         mean_throughput_gbps: mean_t,
         mean_energy_j: mean_e,
-        efficiency: if mean_e > 0.0 { mean_t / (mean_e / 1000.0) } else { 0.0 },
+        efficiency: if mean_e > 0.0 {
+            mean_t / (mean_e / 1000.0)
+        } else {
+            0.0
+        },
         trace,
     }
 }
@@ -223,7 +227,9 @@ mod tests {
         assert!(r.mean_throughput_gbps > 0.0);
         assert!(r.mean_energy_j > 0.0);
         assert!(r.efficiency > 0.0);
-        assert!((r.total_energy_j() - r.trace.iter().map(|t| t.energy_j).sum::<f64>()).abs() < 1e-9);
+        assert!(
+            (r.total_energy_j() - r.trace.iter().map(|t| t.energy_j).sum::<f64>()).abs() < 1e-9
+        );
     }
 
     #[test]

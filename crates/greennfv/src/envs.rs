@@ -8,7 +8,8 @@ use greennfv_rl::env::{Environment, Step};
 use nfv_sim::prelude::*;
 
 use crate::action::{ActionSpace, ACTION_DIM};
-use crate::sla::{reward_scaled, RewardShaping, Sla};
+use crate::scenario::TenantSpec;
+use crate::sla::{reward_scaled, tenant_reward_scaled, RewardShaping, Sla, TenantSla};
 
 /// Dimension of the observation vector.
 pub const STATE_DIM: usize = 4;
@@ -20,15 +21,25 @@ const OMEGA_SCALE: f64 = 5.0e6; // pps
 /// Environment configuration.
 #[derive(Debug, Clone)]
 pub struct EnvConfig {
-    /// Optimization goal.
+    /// Optimization goal of the controlled tenant.
     pub sla: Sla,
-    /// Constraint-violation reward scheme.
+    /// Constraint-violation reward scheme of the controlled tenant.
     pub shaping: RewardShaping,
+    /// Optional loss ceiling on the controlled tenant (per-tenant shaping:
+    /// epochs losing more than this fraction are penalized like any other
+    /// constraint violation).
+    pub max_loss_frac: Option<f64>,
+    /// Background tenants co-resident on the node. Each holds fixed knobs
+    /// (consuming cores and cache ways) and is scored per epoch against its
+    /// own [`TenantSla`] on its own attributed energy; the step reward
+    /// becomes the weight-normalized mean over all tenants. Empty =
+    /// single-tenant environment, byte-identical to the pre-tenant behavior.
+    pub background: Vec<TenantSpec>,
     /// Knob ranges.
     pub action_space: ActionSpace,
     /// Control epochs per episode.
     pub steps_per_episode: u32,
-    /// Offered workload.
+    /// Offered workload of the controlled tenant.
     pub flows: FlowSet,
     /// Service chain under control.
     pub chain: ChainSpec,
@@ -46,6 +57,8 @@ impl EnvConfig {
         Self {
             sla,
             shaping: RewardShaping::Shaped,
+            max_loss_frac: None,
+            background: Vec::new(),
             action_space: ActionSpace::default(),
             steps_per_episode: 8,
             flows: FlowSet::evaluation_five_flows(),
@@ -53,6 +66,16 @@ impl EnvConfig {
             tuning: SimTuning::default(),
             power: PowerModel::default(),
             seed,
+        }
+    }
+
+    /// The controlled tenant's full agreement (goal + shaping + loss cap).
+    pub fn controlled_sla(&self) -> TenantSla {
+        TenantSla {
+            sla: self.sla,
+            shaping: self.shaping,
+            max_loss_frac: self.max_loss_frac,
+            weight: 1.0,
         }
     }
 }
@@ -99,7 +122,25 @@ impl GreenNfvEnv {
             seed,
         )
         .expect("default knobs fit a fresh node");
+        for (i, tenant) in cfg.background.iter().enumerate() {
+            let chain = ChainSpec::new(ChainId(1 + i as u32), tenant.nfs.clone())
+                .expect("background tenant chains are non-empty");
+            let source = tenant
+                .traffic
+                .build_source(seed.wrapping_add(7919 * (1 + i as u64)))
+                .expect("background tenant traffic is valid");
+            node.add_chain_with_source(chain, source, tenant.knobs)
+                .expect("background tenant knobs fit next to the controlled chain");
+        }
         node
+    }
+
+    /// True when background tenants share the node with the controlled
+    /// chain. Multi-tenant environments cannot run batched what-if sweeps
+    /// ([`Node::evaluate_candidates`] needs a single-chain node), so sweep
+    /// users (Ape-X actors, the post-training lattice probe) must skip them.
+    pub fn is_multi_tenant(&self) -> bool {
+        !self.cfg.background.is_empty()
     }
 
     /// Environment configuration.
@@ -137,6 +178,13 @@ impl GreenNfvEnv {
 
     /// Applies explicit knob settings and runs one epoch, bypassing the
     /// normalized action path (used by the non-RL controllers).
+    ///
+    /// Single-tenant environments score the controlled chain's throughput
+    /// against node-level energy (the paper's formulation). With background
+    /// tenants, the reward is the weight-normalized mean of every tenant's
+    /// [`tenant_reward_scaled`] on its own attributed energy — per-tenant
+    /// reward shaping — and violations count the *controlled* tenant's
+    /// agreement (including its optional loss ceiling).
     pub fn step_with_knobs(&mut self, knobs: KnobSettings) -> (ChainTelemetry, f64) {
         if self.node.set_knobs(ChainId(0), knobs).is_err() {
             // Invalid requests leave previous knobs in force.
@@ -145,14 +193,45 @@ impl GreenNfvEnv {
         let t = report.telemetry[0];
         let energy = report.node.energy_j;
         self.cumulative_energy_j += energy;
-        let r = reward_scaled(
-            self.cfg.sla,
-            self.cfg.shaping,
-            t.throughput_gbps,
-            energy,
-            self.energy_scale_j,
-        );
-        if !self.cfg.sla.satisfied(t.throughput_gbps, energy) {
+        let (r, violated) = if self.cfg.background.is_empty() {
+            let controlled = self.cfg.controlled_sla();
+            let r = tenant_reward_scaled(
+                &controlled,
+                t.throughput_gbps,
+                energy,
+                t.loss_frac,
+                self.energy_scale_j,
+            );
+            (
+                r,
+                !controlled.satisfied(t.throughput_gbps, energy, t.loss_frac),
+            )
+        } else {
+            let controlled = self.cfg.controlled_sla();
+            let mut acc = controlled.weight
+                * tenant_reward_scaled(
+                    &controlled,
+                    t.throughput_gbps,
+                    t.energy_j,
+                    t.loss_frac,
+                    self.energy_scale_j,
+                );
+            let mut weight_sum = controlled.weight;
+            for (tenant, tel) in self.cfg.background.iter().zip(&report.telemetry[1..]) {
+                acc += tenant.sla.weight
+                    * tenant_reward_scaled(
+                        &tenant.sla,
+                        tel.throughput_gbps,
+                        tel.energy_j,
+                        tel.loss_frac,
+                        self.energy_scale_j,
+                    );
+                weight_sum += tenant.sla.weight;
+            }
+            let violated = !controlled.satisfied(t.throughput_gbps, t.energy_j, t.loss_frac);
+            (acc / weight_sum, violated)
+        };
+        if violated {
             self.sla_violations += 1;
         }
         self.total_steps += 1;
@@ -288,6 +367,7 @@ impl Environment for GreenNfvEnv {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::scenario::TrafficSpec;
     use crate::sla::Sla;
 
     fn env(sla: Sla) -> GreenNfvEnv {
@@ -329,21 +409,22 @@ mod tests {
 
     #[test]
     fn better_knobs_earn_better_maxt_reward() {
-        let mut e = env(Sla::MaxThroughput { energy_cap_j: 2500.0 });
+        let mut e = env(Sla::MaxThroughput {
+            energy_cap_j: 2500.0,
+        });
         e.reset();
         // Weak configuration: minimum everything.
         let weak = e.step(&[-1.0, -1.0, -1.0, -1.0, -1.0]).reward;
         // Strong configuration: high CPU/LLC/DMA, moderate frequency, big batch.
         let strong = e.step(&[0.8, 0.2, 0.9, 0.2, 0.5]).reward;
-        assert!(
-            strong > weak,
-            "strong {strong} must beat weak {weak}"
-        );
+        assert!(strong > weak, "strong {strong} must beat weak {weak}");
     }
 
     #[test]
     fn energy_cap_violations_are_counted() {
-        let mut e = env(Sla::MaxThroughput { energy_cap_j: 100.0 }); // impossible cap
+        let mut e = env(Sla::MaxThroughput {
+            energy_cap_j: 100.0,
+        }); // impossible cap
         e.reset();
         e.step(&[1.0; 5]);
         assert!(e.sla_violations() > 0);
@@ -390,7 +471,10 @@ mod tests {
         assert_eq!(out.len(), 3);
         let weak_r = out[0].as_ref().unwrap().reward;
         let strong_r = out[1].as_ref().unwrap().reward;
-        assert!(strong_r > weak_r, "strong {strong_r} must beat weak {weak_r}");
+        assert!(
+            strong_r > weak_r,
+            "strong {strong_r} must beat weak {weak_r}"
+        );
         assert!(out[2].is_err(), "invalid knobs surface as error lanes");
 
         assert_eq!(e.total_steps(), steps_before);
@@ -420,5 +504,87 @@ mod tests {
             let sb = b.step(&[0.3, -0.2, 0.5, 0.0, 0.1]);
             assert_eq!(sa, sb);
         }
+    }
+
+    fn background_tenant(weight: f64) -> TenantSpec {
+        let mut knobs = KnobSettings::default_tuned();
+        knobs.llc_fraction = 0.2;
+        knobs.cpu = CpuAllocation {
+            cores: 2,
+            share: 1.0,
+        };
+        TenantSpec {
+            name: "colo".into(),
+            nfs: ChainSpec::lightweight(ChainId(0)).nfs,
+            sla: TenantSla::new(Sla::EnergyEfficiency)
+                .with_loss_cap(0.1)
+                .with_weight(weight),
+            knobs,
+            traffic: TrafficSpec::Flows(
+                FlowSet::new(vec![FlowSpec::poisson(0, 5.0e5, 256)]).unwrap(),
+            ),
+        }
+    }
+
+    fn multi_tenant_env(seed: u64) -> GreenNfvEnv {
+        let mut cfg = EnvConfig::paper(Sla::EnergyEfficiency, seed);
+        cfg.background = vec![background_tenant(1.0)];
+        GreenNfvEnv::new(cfg)
+    }
+
+    #[test]
+    fn background_tenants_share_the_node() {
+        let mut e = multi_tenant_env(11);
+        assert!(e.is_multi_tenant());
+        assert!(!env(Sla::EnergyEfficiency).is_multi_tenant());
+        e.reset();
+        let report = e.last_report().unwrap();
+        assert_eq!(report.telemetry.len(), 2, "controlled + background chain");
+        assert!(report.telemetry[1].throughput_gbps > 0.0);
+        // Attributed energies still sum to the node's.
+        let sum: f64 = report.telemetry.iter().map(|t| t.energy_j).sum();
+        assert!((sum - report.node.energy_j).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multi_tenant_reward_mixes_per_tenant_shaping() {
+        // Raising the background tenant's weight must move the step reward
+        // toward that tenant's score — the per-tenant shaping at work.
+        let step_reward = |weight: f64| {
+            let mut cfg = EnvConfig::paper(Sla::EnergyEfficiency, 11);
+            cfg.background = vec![background_tenant(weight)];
+            let mut e = GreenNfvEnv::new(cfg);
+            e.reset();
+            e.step(&[0.3, -0.2, 0.5, 0.0, 0.1]).reward
+        };
+        let light = step_reward(0.25);
+        let heavy = step_reward(16.0);
+        assert!(
+            (light - heavy).abs() > 1e-9,
+            "weights must matter: light {light}, heavy {heavy}"
+        );
+    }
+
+    #[test]
+    fn multi_tenant_runs_are_deterministic() {
+        let mut a = multi_tenant_env(5);
+        let mut b = multi_tenant_env(5);
+        assert_eq!(a.reset(), b.reset());
+        for _ in 0..4 {
+            assert_eq!(a.step(&[0.1; 5]), b.step(&[0.1; 5]));
+        }
+    }
+
+    #[test]
+    fn controlled_loss_cap_counts_violations() {
+        // An impossible loss ceiling flags every epoch without changing the
+        // environment's dynamics.
+        let mut cfg = EnvConfig::paper(Sla::EnergyEfficiency, 3);
+        cfg.max_loss_frac = Some(0.0);
+        let mut e = GreenNfvEnv::new(cfg);
+        e.reset();
+        // Overload the node (weak knobs) so some packets are lost.
+        e.step(&[-1.0; 5]);
+        assert!(e.sla_violations() > 0, "zero-loss ceiling must trip");
     }
 }

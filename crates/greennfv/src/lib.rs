@@ -27,8 +27,8 @@ pub mod prelude {
     pub use crate::apex::{train_apex, ApexConfig, ApexOutcome};
     pub use crate::baseline::BaselineController;
     pub use crate::controller::{
-        run_controller, telemetry_to_state, telemetry_to_state_scaled, Controller, EpochTrace, PolicyController, RunConfig,
-        RunResult,
+        run_controller, telemetry_to_state, telemetry_to_state_scaled, Controller, EpochTrace,
+        PolicyController, RunConfig, RunResult,
     };
     pub use crate::dqnmodel::{train_dqn, DqnModelController};
     pub use crate::eepstate::{DesPredictor, EePstateController};
@@ -39,10 +39,14 @@ pub mod prelude {
         evaluate_placement, place, ChainRequest, Placement, PlacementEval, PlacementStrategy,
     };
     pub use crate::qmodel::{train_qlearning, QModelController};
-    pub use crate::report::{table, AmortizationCurve, ComparisonReport};
+    pub use crate::report::{scenario_comparison, table, AmortizationCurve, ComparisonReport};
     pub use crate::scenario::{
-        run_scenario, PhaseSummary, Scenario, ScenarioResult, WorkloadPhase,
+        run_schedule, NodeSpec, PhaseSummary, Scenario, ScenarioRunResult, ScheduleResult,
+        TenantEpochRecord, TenantSpec, TenantSummary, TrafficSpec, WorkloadPhase, WorkloadSchedule,
     };
-    pub use crate::sla::{reward, reward_scaled, RewardShaping, Sla, DEFAULT_ENERGY_SCALE_J};
+    pub use crate::sla::{
+        reward, reward_scaled, tenant_reward_scaled, RewardShaping, Sla, TenantSla,
+        DEFAULT_ENERGY_SCALE_J,
+    };
     pub use crate::train::{train, train_with_env_config, EvalPoint, TrainConfig, TrainOutcome};
 }

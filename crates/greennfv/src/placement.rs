@@ -106,8 +106,8 @@ pub fn place(
                     }
                     None => {
                         return Err(SimError::NodeConfig(format!(
-                            "request {i} does not fit any node (cores {need_cores}, ways {need_ways})"
-                        )))
+                        "request {i} does not fit any node (cores {need_cores}, ways {need_ways})"
+                    )))
                     }
                 }
             }
@@ -195,7 +195,10 @@ mod tests {
             spec: ChainSpec::lightweight(ChainId(0)),
             flows: FlowSet::new(vec![FlowSpec::cbr(0, rate_pps, 512)]).unwrap(),
             knobs: KnobSettings {
-                cpu: CpuAllocation { cores: 2, share: 1.0 },
+                cpu: CpuAllocation {
+                    cores: 2,
+                    share: 1.0,
+                },
                 freq_ghz: 1.7,
                 llc_fraction: 0.3,
                 dma: DmaBuffer::from_mb(4.0),
@@ -216,7 +219,13 @@ mod tests {
     #[test]
     fn consolidation_packs_onto_fewer_nodes() {
         let reqs = vec![light_request(1e5), light_request(2e5), light_request(3e5)];
-        let p = place(&reqs, 3, PlacementStrategy::Consolidate, &SimTuning::default()).unwrap();
+        let p = place(
+            &reqs,
+            3,
+            PlacementStrategy::Consolidate,
+            &SimTuning::default(),
+        )
+        .unwrap();
         // 3 × (2 cores, 5-6 ways) fits one 14-core node with 18 ways.
         assert_eq!(p.nodes_used, 1, "{p:?}");
     }
@@ -226,7 +235,13 @@ mod tests {
         let mut big = light_request(1e5);
         big.knobs.llc_fraction = 0.9; // 16 ways each
         let reqs = vec![big.clone(), big.clone()];
-        let p = place(&reqs, 2, PlacementStrategy::Consolidate, &SimTuning::default()).unwrap();
+        let p = place(
+            &reqs,
+            2,
+            PlacementStrategy::Consolidate,
+            &SimTuning::default(),
+        )
+        .unwrap();
         assert_eq!(p.nodes_used, 2, "two 16-way requests cannot share 18 ways");
     }
 

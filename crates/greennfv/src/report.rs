@@ -1,9 +1,11 @@
-//! Experiment reporting: text tables for the reproduced figures, and the
-//! training-energy amortization analysis of Figure 11 (Eq. 9).
+//! Experiment reporting: text tables for the reproduced figures, the
+//! training-energy amortization analysis of Figure 11 (Eq. 9), and the
+//! cross-scenario comparison used by `examples/scenario_sweep.rs`.
 
 use serde::{Deserialize, Serialize};
 
 use crate::controller::RunResult;
+use crate::scenario::ScenarioRunResult;
 
 /// Renders a fixed-width text table.
 pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
@@ -35,6 +37,44 @@ pub fn table(headers: &[&str], rows: &[Vec<String>]) -> String {
         out.push_str(&fmt_row(row, &widths));
     }
     out
+}
+
+/// Renders one row per scenario run: cluster-level throughput, energy,
+/// efficiency, and the worst tenant's SLA satisfaction — the sweep-level
+/// view over the scenario registry.
+pub fn scenario_comparison(results: &[ScenarioRunResult]) -> String {
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|r| {
+            let tenants = r.tenants.len();
+            let worst_sat = r
+                .tenants
+                .iter()
+                .map(|t| t.satisfaction_frac)
+                .fold(1.0f64, f64::min);
+            vec![
+                r.name.clone(),
+                format!("{}", r.epochs),
+                format!("{tenants}"),
+                format!("{:.2}", r.mean_throughput_gbps),
+                format!("{:.0}", r.mean_energy_j),
+                format!("{:.2}", r.efficiency),
+                format!("{:.0}", worst_sat * 100.0),
+            ]
+        })
+        .collect();
+    table(
+        &[
+            "Scenario",
+            "Epochs",
+            "Tenants",
+            "T (Gbps)",
+            "E (J)",
+            "Gbps/kJ",
+            "Worst sat (%)",
+        ],
+        &rows,
+    )
 }
 
 /// The Figure 9 comparison across all models.
@@ -114,7 +154,12 @@ pub struct AmortizationCurve {
 
 impl AmortizationCurve {
     /// Builds the curve inputs from run results and training energy.
-    pub fn new(training_energy_j: f64, model: &RunResult, baseline: &RunResult, epoch_s: f64) -> Self {
+    pub fn new(
+        training_energy_j: f64,
+        model: &RunResult,
+        baseline: &RunResult,
+        epoch_s: f64,
+    ) -> Self {
         Self {
             training_energy_j,
             model_power_w: model.mean_energy_j / epoch_s,
@@ -199,7 +244,10 @@ mod tests {
     #[test]
     fn comparison_ratios() {
         let rep = ComparisonReport {
-            results: vec![rr("Baseline", 2.0, 2800.0), rr("GreenNFV(MaxT)", 8.8, 1880.0)],
+            results: vec![
+                rr("Baseline", 2.0, 2800.0),
+                rr("GreenNFV(MaxT)", 8.8, 1880.0),
+            ],
         };
         let tr = rep.throughput_ratio("GreenNFV(MaxT)", "Baseline").unwrap();
         assert!((tr - 4.4).abs() < 1e-9);
@@ -226,6 +274,22 @@ mod tests {
         assert!((c.asymptotic_saving() - 0.62).abs() < 0.01);
         assert!(early > 0.0 && early < 0.45, "early saving {early}");
         assert!(c.break_even_hours() < 4.0);
+    }
+
+    #[test]
+    fn scenario_comparison_renders_every_run() {
+        use crate::scenario::Scenario;
+        let runs: Vec<_> = [
+            Scenario::baseline_homogeneous(),
+            Scenario::two_tenant_shared_node(),
+        ]
+        .iter()
+        .map(|s| s.run().unwrap())
+        .collect();
+        let t = scenario_comparison(&runs);
+        assert!(t.contains("baseline-homogeneous"));
+        assert!(t.contains("two-tenant-shared-node"));
+        assert!(t.contains("Worst sat"));
     }
 
     #[test]

@@ -22,7 +22,9 @@ pub enum Sla {
 impl Sla {
     /// The paper's §5.1 configuration: 2000 J energy cap.
     pub fn paper_max_throughput() -> Self {
-        Sla::MaxThroughput { energy_cap_j: 2000.0 }
+        Sla::MaxThroughput {
+            energy_cap_j: 2000.0,
+        }
     }
 
     /// The paper's §5.2 configuration: 7.5 Gbps floor.
@@ -97,9 +99,7 @@ pub fn reward_scaled(
             } else {
                 match shaping {
                     RewardShaping::Strict => 0.0,
-                    RewardShaping::Shaped => {
-                        -(((energy_j - energy_cap_j) / energy_cap_j).min(1.0))
-                    }
+                    RewardShaping::Shaped => -(((energy_j - energy_cap_j) / energy_cap_j).min(1.0)),
                 }
             }
         }
@@ -133,13 +133,97 @@ pub fn reward_scaled(
     }
 }
 
+/// A tenant's full service agreement: one of the paper's optimization goals
+/// plus an optional packet-loss ceiling, with per-tenant reward shaping and
+/// a weight for combining multiple tenants sharing one node.
+///
+/// Multi-SLA tenancy is the scenario subsystem's second axis: several chains
+/// with *different* agreements (say, a throughput-hungry tenant next to a
+/// loss-sensitive one) compete for one node's cores and cache ways, and each
+/// is scored against its own agreement on its own attributed energy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TenantSla {
+    /// The tenant's optimization goal (Eq. 1–3).
+    pub sla: Sla,
+    /// How this tenant's constraint violations are penalized.
+    pub shaping: RewardShaping,
+    /// Optional loss ceiling: epochs losing more than this fraction of
+    /// offered packets violate the agreement regardless of the goal.
+    pub max_loss_frac: Option<f64>,
+    /// Relative weight when combining tenants into one node-level reward.
+    pub weight: f64,
+}
+
+impl TenantSla {
+    /// A plain tenant agreement: `sla` with shaped penalties, no loss
+    /// ceiling, unit weight.
+    pub fn new(sla: Sla) -> Self {
+        Self {
+            sla,
+            shaping: RewardShaping::Shaped,
+            max_loss_frac: None,
+            weight: 1.0,
+        }
+    }
+
+    /// Adds a packet-loss ceiling to the agreement.
+    pub fn with_loss_cap(mut self, max_loss_frac: f64) -> Self {
+        self.max_loss_frac = Some(max_loss_frac);
+        self
+    }
+
+    /// Sets the tenant's combination weight.
+    pub fn with_weight(mut self, weight: f64) -> Self {
+        self.weight = weight;
+        self
+    }
+
+    /// Whether an epoch outcome satisfies the whole agreement (goal
+    /// constraint *and* loss ceiling).
+    pub fn satisfied(&self, throughput_gbps: f64, energy_j: f64, loss_frac: f64) -> bool {
+        self.sla.satisfied(throughput_gbps, energy_j)
+            && self.max_loss_frac.is_none_or(|cap| loss_frac <= cap)
+    }
+}
+
+/// Computes a tenant's shaped reward for an epoch outcome.
+///
+/// The base term is [`reward_scaled`] on the tenant's goal; a violated loss
+/// ceiling overrides it with zero (strict) or a negative proportional to the
+/// excess loss (shaped), mirroring how the goal constraints are penalized.
+pub fn tenant_reward_scaled(
+    tenant: &TenantSla,
+    throughput_gbps: f64,
+    energy_j: f64,
+    loss_frac: f64,
+    energy_scale_j: f64,
+) -> f64 {
+    if let Some(cap) = tenant.max_loss_frac {
+        if loss_frac > cap {
+            return match tenant.shaping {
+                RewardShaping::Strict => 0.0,
+                RewardShaping::Shaped => -((loss_frac - cap) / (1.0 - cap).max(1e-9)).min(1.0),
+            };
+        }
+    }
+    reward_scaled(
+        tenant.sla,
+        tenant.shaping,
+        throughput_gbps,
+        energy_j,
+        energy_scale_j,
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn maxt_rewards_throughput_within_cap() {
-        let sla = Sla::MaxThroughput { energy_cap_j: 2000.0 };
+        let sla = Sla::MaxThroughput {
+            energy_cap_j: 2000.0,
+        };
         let lo = reward(sla, RewardShaping::Strict, 2.0, 1500.0);
         let hi = reward(sla, RewardShaping::Strict, 8.0, 1500.0);
         assert!(hi > lo);
@@ -179,7 +263,10 @@ mod tests {
         let c = reward(Sla::EnergyEfficiency, RewardShaping::Strict, 3.0, 1000.0);
         assert!(b > a, "less energy, same throughput → more efficient");
         assert!(b > c, "more throughput, same energy → more efficient");
-        assert_eq!(reward(Sla::EnergyEfficiency, RewardShaping::Strict, 5.0, 0.0), 0.0);
+        assert_eq!(
+            reward(Sla::EnergyEfficiency, RewardShaping::Strict, 5.0, 0.0),
+            0.0
+        );
     }
 
     #[test]
@@ -196,5 +283,53 @@ mod tests {
         assert_eq!(Sla::paper_max_throughput().name(), "MaxT");
         assert_eq!(Sla::paper_min_energy().name(), "MinE");
         assert_eq!(Sla::EnergyEfficiency.name(), "EE");
+    }
+
+    #[test]
+    fn tenant_loss_ceiling_gates_the_goal_reward() {
+        let t = TenantSla::new(Sla::EnergyEfficiency).with_loss_cap(0.02);
+        // Within the ceiling: reward equals the bare goal reward.
+        let ok = tenant_reward_scaled(&t, 6.0, 1500.0, 0.01, DEFAULT_ENERGY_SCALE_J);
+        assert_eq!(
+            ok,
+            reward(Sla::EnergyEfficiency, RewardShaping::Shaped, 6.0, 1500.0)
+        );
+        assert!(t.satisfied(6.0, 1500.0, 0.01));
+        // Beyond it: shaped penalty grows with the excess, strict zeroes out.
+        let mild = tenant_reward_scaled(&t, 6.0, 1500.0, 0.05, DEFAULT_ENERGY_SCALE_J);
+        let severe = tenant_reward_scaled(&t, 6.0, 1500.0, 0.40, DEFAULT_ENERGY_SCALE_J);
+        assert!(mild < 0.0 && severe < mild, "mild {mild}, severe {severe}");
+        assert!(!t.satisfied(6.0, 1500.0, 0.05));
+        let strict = TenantSla {
+            shaping: RewardShaping::Strict,
+            ..t
+        };
+        assert_eq!(
+            tenant_reward_scaled(&strict, 6.0, 1500.0, 0.05, DEFAULT_ENERGY_SCALE_J),
+            0.0
+        );
+    }
+
+    #[test]
+    fn tenant_without_ceiling_matches_plain_reward() {
+        let t = TenantSla::new(Sla::paper_min_energy());
+        for (tp, e, loss) in [(8.0, 1200.0, 0.0), (8.0, 1200.0, 0.9), (5.0, 800.0, 0.3)] {
+            assert_eq!(
+                tenant_reward_scaled(&t, tp, e, loss, DEFAULT_ENERGY_SCALE_J),
+                reward(Sla::paper_min_energy(), RewardShaping::Shaped, tp, e),
+                "loss must not matter without a ceiling"
+            );
+        }
+        assert!(t.satisfied(8.0, 9999.0, 1.0));
+    }
+
+    #[test]
+    fn tenant_builders_compose() {
+        let t = TenantSla::new(Sla::EnergyEfficiency)
+            .with_loss_cap(0.1)
+            .with_weight(2.5);
+        assert_eq!(t.max_loss_frac, Some(0.1));
+        assert_eq!(t.weight, 2.5);
+        assert_eq!(t.shaping, RewardShaping::Shaped);
     }
 }

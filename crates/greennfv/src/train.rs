@@ -8,8 +8,8 @@
 use greennfv_rl::env::{Environment, Transition};
 use greennfv_rl::noise::OrnsteinUhlenbeck;
 use greennfv_rl::per::PrioritizedReplay;
-use greennfv_rl::replay::ReplayBuffer;
 use greennfv_rl::prelude::{DdpgAgent, DdpgConfig};
+use greennfv_rl::replay::ReplayBuffer;
 use greennfv_rl::schedule::Schedule;
 use nfv_sim::prelude::KnobSettings;
 use serde::{Deserialize, Serialize};
@@ -252,7 +252,11 @@ pub fn train_with_env_config(env_cfg: EnvConfig, cfg: &TrainConfig) -> TrainOutc
             }
             state = step.next_state;
 
-            let stored = if cfg.use_per { replay.len() } else { uniform.len() };
+            let stored = if cfg.use_per {
+                replay.len()
+            } else {
+                uniform.len()
+            };
             if stored >= cfg.warmup_steps {
                 for _ in 0..cfg.updates_per_step {
                     if cfg.use_per {
@@ -286,7 +290,11 @@ pub fn train_with_env_config(env_cfg: EnvConfig, cfg: &TrainConfig) -> TrainOutc
 
     // Post-training refinement probe: submit a blind candidate lattice as
     // one batched what-if sweep (no extra environment epochs or energy).
-    let best_sweep = if cfg.final_sweep_candidates > 0 {
+    // Multi-tenant environments skip it: the what-if sweep needs a
+    // single-chain node (`Node::evaluate_candidates`), and a candidate's
+    // node-level outcome next to co-tenants would need fresh loads for
+    // every other chain.
+    let best_sweep = if cfg.final_sweep_candidates > 0 && !eval_env.is_multi_tenant() {
         let candidates = candidate_lattice(&eval_env, cfg.final_sweep_candidates);
         eval_env
             .sweep_candidates(&candidates)
@@ -373,7 +381,11 @@ fn evaluate_greedy(
         episode,
         throughput_gbps: mean_t,
         energy_j: mean_e,
-        efficiency: if mean_e > 0.0 { mean_t / (mean_e / 1000.0) } else { 0.0 },
+        efficiency: if mean_e > 0.0 {
+            mean_t / (mean_e / 1000.0)
+        } else {
+            0.0
+        },
         cpu_usage_pct: cpu / nf,
         freq_ghz: freq / nf,
         llc_pct: llc / nf,
@@ -436,12 +448,36 @@ mod tests {
     }
 
     #[test]
+    fn multi_tenant_training_skips_the_sweep_and_still_learns() {
+        // Training next to a fixed background tenant must run end-to-end;
+        // the post-training lattice sweep is skipped (single-chain only).
+        use crate::scenario::{TenantSpec, TrafficSpec};
+        use crate::sla::TenantSla;
+        use nfv_sim::prelude::*;
+
+        let mut env_cfg = EnvConfig::paper(Sla::EnergyEfficiency, 13);
+        let mut knobs = KnobSettings::default_tuned();
+        knobs.llc_fraction = 0.2;
+        env_cfg.background = vec![TenantSpec {
+            name: "colo".into(),
+            nfs: ChainSpec::lightweight(ChainId(0)).nfs,
+            sla: TenantSla::new(Sla::EnergyEfficiency).with_loss_cap(0.1),
+            knobs,
+            traffic: TrafficSpec::Flows(
+                FlowSet::new(vec![FlowSpec::poisson(0, 5.0e5, 256)]).unwrap(),
+            ),
+        }];
+        let cfg = TrainConfig::quick(8, 13);
+        let out = train_with_env_config(env_cfg, &cfg);
+        assert!(out.best_sweep.is_none(), "sweep must be skipped");
+        assert!(out.agent.updates() > 0);
+        assert!(out.training_energy_j > 0.0);
+    }
+
+    #[test]
     fn eval_points_are_ordered_by_episode() {
         let cfg = TrainConfig::quick(30, 5);
         let out = train(Sla::paper_max_throughput(), &cfg);
-        assert!(out
-            .history
-            .windows(2)
-            .all(|w| w[0].episode < w[1].episode));
+        assert!(out.history.windows(2).all(|w| w[0].episode < w[1].episode));
     }
 }

@@ -161,14 +161,21 @@ impl ChainBatch {
     }
 
     /// Appends one evaluation lane.
-    pub fn push(&mut self, knobs: &KnobSettings, cost: &ChainCost, load: &ChainLoad, llc_bytes: f64) {
+    pub fn push(
+        &mut self,
+        knobs: &KnobSettings,
+        cost: &ChainCost,
+        load: &ChainLoad,
+        llc_bytes: f64,
+    ) {
         self.cpu_cores.push(f64::from(knobs.cpu.cores));
         self.cpu_share.push(knobs.cpu.share);
         self.freq_ghz.push(knobs.freq_ghz);
         self.llc_fraction.push(knobs.llc_fraction);
         self.dma_bytes.push(knobs.dma.bytes as f64);
         self.batch_knob.push(f64::from(knobs.batch));
-        self.base_cycles_per_packet.push(cost.base_cycles_per_packet);
+        self.base_cycles_per_packet
+            .push(cost.base_cycles_per_packet);
         self.cycles_per_byte.push(cost.cycles_per_byte);
         self.mem_refs_per_packet.push(cost.mem_refs_per_packet);
         self.state_bytes.push(cost.state_bytes as f64);
@@ -397,11 +404,7 @@ fn eval_block(
 
     macro_rules! load_pass {
         ($W:ty, $j:ident) => {{
-            let (p, a) = pass_load::<$W>(
-                <$W>::load(arrival_col, $j),
-                <$W>::load(mps, $j),
-                tuning,
-            );
+            let (p, a) = pass_load::<$W>(<$W>::load(arrival_col, $j), <$W>::load(mps, $j), tuning);
             p.store(pkt, $j);
             a.store(arrival, $j);
         }};

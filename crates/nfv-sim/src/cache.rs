@@ -335,7 +335,10 @@ mod tests {
             assert!(r >= last, "monotone in ws");
             last = r;
         }
-        assert!(m.miss_rate(1e6, 20e6) < m.miss_rate(1e6, 2e6), "more cache, fewer misses");
+        assert!(
+            m.miss_rate(1e6, 20e6) < m.miss_rate(1e6, 2e6),
+            "more cache, fewer misses"
+        );
         assert!(m.miss_rate(1e6, 10e6) >= m.m_min);
         assert!(m.miss_rate(1e12, 10e6) <= 1.0);
     }
@@ -395,7 +398,10 @@ mod tests {
             predicted.push(model.miss_rate(ws as f64, cache_bytes as f64));
         }
         // Both should be strictly increasing across the sweep.
-        assert!(measured[0] < measured[1] && measured[1] <= measured[2], "{measured:?}");
+        assert!(
+            measured[0] < measured[1] && measured[1] <= measured[2],
+            "{measured:?}"
+        );
         assert!(predicted[0] < predicted[1] && predicted[1] < predicted[2]);
         // Fits-in-cache case is a near-zero miss rate in both.
         assert!(measured[0] < 0.05);

@@ -26,7 +26,9 @@ impl ChainSpec {
     /// Creates a spec; chains must contain at least one NF.
     pub fn new(id: ChainId, nfs: Vec<NfKind>) -> SimResult<Self> {
         if nfs.is_empty() {
-            return Err(SimError::ChainConfig("chain must contain at least one NF".into()));
+            return Err(SimError::ChainConfig(
+                "chain must contain at least one NF".into(),
+            ));
         }
         Ok(Self { id, nfs })
     }

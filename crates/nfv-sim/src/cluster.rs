@@ -12,7 +12,7 @@ use crate::cpu::ChainId;
 use crate::engine::{ChainEpochResult, KnobSettings, PlatformPolicy, SimTuning};
 use crate::error::{SimError, SimResult};
 use crate::flow::FlowSet;
-use crate::node::{Node, NodeEpochReport};
+use crate::node::{Node, NodeEpochReport, NodeProfile};
 use crate::power::PowerModel;
 
 /// Aggregate report over all nodes for one epoch.
@@ -48,11 +48,22 @@ impl ClusterEpochReport {
 }
 
 /// A set of NF-hosting nodes evaluated in lock-step epochs.
+#[derive(Default)]
 pub struct Cluster {
     nodes: Vec<Node>,
 }
 
 impl Cluster {
+    /// An empty cluster; add nodes with [`Cluster::add_node`].
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a node (built externally, e.g. via [`Node::with_profile`]).
+    pub fn add_node(&mut self, node: Node) {
+        self.nodes.push(node);
+    }
+
     /// Creates a cluster of `n` identically configured nodes.
     pub fn homogeneous(
         n: usize,
@@ -65,6 +76,23 @@ impl Cluster {
                 .map(|id| Node::new(id, tuning, power, policy))
                 .collect(),
         }
+    }
+
+    /// Creates a heterogeneous cluster: one node per [`NodeProfile`], all
+    /// sharing the model `tuning` and platform `policy`. Shared tuning is
+    /// what lets [`Cluster::run_epoch`] fuse every node's chains into a
+    /// single batched kernel call even when the hardware profiles differ.
+    pub fn from_profiles(
+        profiles: &[NodeProfile],
+        tuning: SimTuning,
+        policy: PlatformPolicy,
+    ) -> SimResult<Self> {
+        let nodes = profiles
+            .iter()
+            .enumerate()
+            .map(|(id, p)| Node::with_profile(id as u32, tuning, policy, p.clone()))
+            .collect::<SimResult<Vec<_>>>()?;
+        Ok(Self { nodes })
     }
 
     /// The paper's testbed: three hosting nodes, each with one 3-NF chain
@@ -179,7 +207,9 @@ impl Cluster {
 
 impl std::fmt::Debug for Cluster {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Cluster").field("nodes", &self.nodes.len()).finish()
+        f.debug_struct("Cluster")
+            .field("nodes", &self.nodes.len())
+            .finish()
     }
 }
 
@@ -230,6 +260,49 @@ mod tests {
                 .collect();
             assert_eq!(fused_report.nodes, serial_reports);
         }
+    }
+
+    #[test]
+    fn heterogeneous_profiles_fuse_into_one_batch() {
+        // Nodes with different hardware profiles share one SimTuning, so the
+        // fused path still applies — and must equal per-node serial epochs.
+        let profiles = [
+            NodeProfile::paper_default(),
+            NodeProfile::edge_low_power(),
+            NodeProfile::high_perf(),
+        ];
+        let build = || {
+            let mut c =
+                Cluster::from_profiles(&profiles, SimTuning::default(), PlatformPolicy::greennfv())
+                    .unwrap();
+            for i in 0..c.len() {
+                let mut k = KnobSettings::default_tuned();
+                k.freq_ghz = 1.6; // inside every profile's range
+                c.node_mut(i)
+                    .unwrap()
+                    .add_chain(
+                        ChainSpec::canonical_three(ChainId(0)),
+                        FlowSet::evaluation_five_flows(),
+                        k,
+                        17 + i as u64,
+                    )
+                    .unwrap();
+            }
+            c
+        };
+        let mut fused = build();
+        let mut serial = build();
+        for _ in 0..3 {
+            let fused_report = fused.run_epoch();
+            let serial_reports: Vec<_> = (0..serial.len())
+                .map(|i| serial.node_mut(i).unwrap().run_epoch())
+                .collect();
+            assert_eq!(fused_report.nodes, serial_reports);
+        }
+        // The profiles actually differentiate the power draw.
+        let r = fused.run_epoch();
+        assert_ne!(r.nodes[0].node.energy_j, r.nodes[1].node.energy_j);
+        assert_ne!(r.nodes[1].node.energy_j, r.nodes[2].node.energy_j);
     }
 
     #[test]

@@ -137,15 +137,38 @@ mod tests {
 
     #[test]
     fn allocation_validation() {
-        assert!(CpuAllocation { cores: 0, share: 1.0 }.validate().is_err());
-        assert!(CpuAllocation { cores: 1, share: 0.0 }.validate().is_err());
-        assert!(CpuAllocation { cores: 1, share: 1.5 }.validate().is_err());
-        assert!(CpuAllocation { cores: 2, share: 0.5 }.validate().is_ok());
+        assert!(CpuAllocation {
+            cores: 0,
+            share: 1.0
+        }
+        .validate()
+        .is_err());
+        assert!(CpuAllocation {
+            cores: 1,
+            share: 0.0
+        }
+        .validate()
+        .is_err());
+        assert!(CpuAllocation {
+            cores: 1,
+            share: 1.5
+        }
+        .validate()
+        .is_err());
+        assert!(CpuAllocation {
+            cores: 2,
+            share: 0.5
+        }
+        .validate()
+        .is_ok());
     }
 
     #[test]
     fn effective_cores_combines_cores_and_share() {
-        let a = CpuAllocation { cores: 4, share: 0.5 };
+        let a = CpuAllocation {
+            cores: 4,
+            share: 0.5,
+        };
         assert!((a.effective_cores() - 2.0).abs() < 1e-12);
     }
 
@@ -154,18 +177,42 @@ mod tests {
         let mut alloc = CoreAllocator::new(16, 2);
         assert_eq!(alloc.nf_cores(), 14);
         alloc
-            .assign(ChainId(0), CpuAllocation { cores: 8, share: 1.0 })
+            .assign(
+                ChainId(0),
+                CpuAllocation {
+                    cores: 8,
+                    share: 1.0,
+                },
+            )
             .unwrap();
         alloc
-            .assign(ChainId(1), CpuAllocation { cores: 6, share: 1.0 })
+            .assign(
+                ChainId(1),
+                CpuAllocation {
+                    cores: 6,
+                    share: 1.0,
+                },
+            )
             .unwrap();
         assert_eq!(alloc.idle_cores(), 0);
         assert!(alloc
-            .assign(ChainId(2), CpuAllocation { cores: 1, share: 1.0 })
+            .assign(
+                ChainId(2),
+                CpuAllocation {
+                    cores: 1,
+                    share: 1.0
+                }
+            )
             .is_err());
         // Reassignment of an existing chain does not double-count.
         alloc
-            .assign(ChainId(0), CpuAllocation { cores: 2, share: 0.5 })
+            .assign(
+                ChainId(0),
+                CpuAllocation {
+                    cores: 2,
+                    share: 0.5,
+                },
+            )
             .unwrap();
         assert_eq!(alloc.idle_cores(), 6);
         assert_eq!(alloc.active_cores(), 2 + 8);
@@ -175,7 +222,13 @@ mod tests {
     fn remove_frees_cores() {
         let mut alloc = CoreAllocator::new(16, 2);
         alloc
-            .assign(ChainId(0), CpuAllocation { cores: 14, share: 1.0 })
+            .assign(
+                ChainId(0),
+                CpuAllocation {
+                    cores: 14,
+                    share: 1.0,
+                },
+            )
             .unwrap();
         alloc.remove(ChainId(0));
         assert_eq!(alloc.idle_cores(), 14);

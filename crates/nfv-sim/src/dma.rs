@@ -192,14 +192,7 @@ mod tests {
         // Fig 4a shape: loss falls (throughput rises) with DMA size.
         let mut last = 1.0;
         for mb in [0.5, 1.0, 5.0, 10.0, 40.0] {
-            let l = buffer_loss(
-                2.0e6,
-                2.2e6,
-                DmaBuffer::from_mb(mb),
-                395,
-                2.5,
-                64,
-            );
+            let l = buffer_loss(2.0e6, 2.2e6, DmaBuffer::from_mb(mb), 395, 2.5, 64);
             assert!(l <= last + 1e-12, "{mb} MB: {l} > {last}");
             last = l;
         }

@@ -110,7 +110,10 @@ impl FreqScaler {
         if self.governor != Governor::Userspace {
             return Err(SimError::InvalidKnob {
                 knob: "cpu_freq_ghz",
-                reason: format!("governor {:?} does not allow userspace control", self.governor),
+                reason: format!(
+                    "governor {:?} does not allow userspace control",
+                    self.governor
+                ),
             });
         }
         if !(FREQ_MIN_GHZ - 1e-9..=FREQ_MAX_GHZ + 1e-9).contains(&ghz) {

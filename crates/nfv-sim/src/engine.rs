@@ -86,7 +86,10 @@ impl KnobSettings {
     /// LLC (small effective share under contention), small default DMA ring.
     pub fn baseline() -> Self {
         Self {
-            cpu: CpuAllocation { cores: 3, share: 1.0 },
+            cpu: CpuAllocation {
+                cores: 3,
+                share: 1.0,
+            },
             freq_ghz: FREQ_MAX_GHZ,
             llc_fraction: 0.25,
             dma: DmaBuffer::from_mb(2.0),
@@ -97,7 +100,10 @@ impl KnobSettings {
     /// Sensible mid-range defaults used by the non-learning controllers.
     pub fn default_tuned() -> Self {
         Self {
-            cpu: CpuAllocation { cores: 2, share: 1.0 },
+            cpu: CpuAllocation {
+                cores: 2,
+                share: 1.0,
+            },
             freq_ghz: 1.7,
             llc_fraction: 0.5,
             dma: DmaBuffer::from_mb(4.0),
@@ -274,11 +280,7 @@ impl NodeEpochResult {
 
     /// Energy per megapacket delivered (the paper's "Energy/MP" metric).
     pub fn energy_per_mpkt(&self) -> f64 {
-        let mp: f64 = self
-            .chains
-            .iter()
-            .map(|c| c.delivered_pps)
-            .sum::<f64>();
+        let mp: f64 = self.chains.iter().map(|c| c.delivered_pps).sum::<f64>();
         if mp <= 0.0 {
             return 0.0;
         }
@@ -416,10 +418,8 @@ pub fn pass_outputs<W: WideLane>(
 ) -> PassOutputs<W> {
     let accepted_pps = arrival_pps * (W::splat(1.0) - buf_loss);
     let delivered_pps = accepted_pps.vmin(capacity_pps);
-    let loss_frac = arrival_pps.select_gt_zero(
-        W::splat(1.0) - delivered_pps / arrival_pps,
-        W::splat(0.0),
-    );
+    let loss_frac =
+        arrival_pps.select_gt_zero(W::splat(1.0) - delivered_pps / arrival_pps, W::splat(0.0));
     let throughput_gbps = delivered_pps * pkt * W::splat(8.0) / W::splat(1e9);
     let cpu_util =
         capacity_pps.select_gt_zero((delivered_pps / capacity_pps).clamp01(), W::splat(0.0));
@@ -427,8 +427,7 @@ pub fn pass_outputs<W: WideLane>(
     // Busy time: work plus poll burn on the allocated share.
     let allocated_core_seconds = cores * share * W::splat(tuning.epoch_s);
     let busy_core_seconds = allocated_core_seconds * cpu_util
-        + allocated_core_seconds * (W::splat(1.0) - cpu_util)
-            * W::splat(tuning.adaptive_poll_burn);
+        + allocated_core_seconds * (W::splat(1.0) - cpu_util) * W::splat(tuning.adaptive_poll_burn);
     PassOutputs {
         throughput_gbps,
         delivered_pps,
@@ -647,7 +646,10 @@ mod tests {
 
     fn good_knobs() -> KnobSettings {
         KnobSettings {
-            cpu: CpuAllocation { cores: 4, share: 1.0 },
+            cpu: CpuAllocation {
+                cores: 4,
+                share: 1.0,
+            },
             freq_ghz: 1.7,
             llc_fraction: 0.9,
             dma: DmaBuffer::from_mb(8.0),
@@ -702,7 +704,10 @@ mod tests {
             let mut k = good_knobs();
             // One core keeps the chain CPU-bound across the whole ladder
             // (more cores would hit the 10 GbE line rate and flatten).
-            k.cpu = CpuAllocation { cores: 1, share: 1.0 };
+            k.cpu = CpuAllocation {
+                cores: 1,
+                share: 1.0,
+            };
             k.freq_ghz = f;
             let r = evaluate_chain(&k, &cost, &l, llc_partition_bytes(0.9), &t);
             assert!(r.throughput_gbps > last, "f={f}");
@@ -725,7 +730,10 @@ mod tests {
                 let mut k = good_knobs();
                 // One core keeps the sweep CPU-bound (below NIC line rate) so
                 // the batch trade-off is visible in delivered throughput.
-                k.cpu = CpuAllocation { cores: 1, share: 1.0 };
+                k.cpu = CpuAllocation {
+                    cores: 1,
+                    share: 1.0,
+                };
                 k.batch = b;
                 evaluate_chain(&k, &cost, &l, llc, &t).throughput_gbps
             })
@@ -737,7 +745,10 @@ mod tests {
             .unwrap()
             .0;
         assert!(peak_idx > 0, "peak not at batch=1: {sweep:?}");
-        assert!(peak_idx < sweep.len() - 1, "peak not at max batch: {sweep:?}");
+        assert!(
+            peak_idx < sweep.len() - 1,
+            "peak not at max batch: {sweep:?}"
+        );
     }
 
     #[test]
@@ -780,14 +791,20 @@ mod tests {
         let llc = llc_partition_bytes(0.8);
         let eval = |mb: f64| {
             let mut k = good_knobs();
-            k.cpu = CpuAllocation { cores: 2, share: 0.9 };
+            k.cpu = CpuAllocation {
+                cores: 2,
+                share: 0.9,
+            };
             k.dma = DmaBuffer::from_mb(mb);
             evaluate_chain(&k, &cost, &l, llc, &t)
         };
         let tiny = eval(0.5);
         let mid = eval(8.0);
         let huge = eval(40.0);
-        assert!(mid.throughput_gbps > tiny.throughput_gbps, "buffer absorbs bursts");
+        assert!(
+            mid.throughput_gbps > tiny.throughput_gbps,
+            "buffer absorbs bursts"
+        );
         assert!(huge.miss_rate > mid.miss_rate, "DDIO spill at huge buffers");
     }
 
@@ -816,7 +833,12 @@ mod tests {
         let t = SimTuning::default();
         let pm = PowerModel::default();
         let l = load(1.0e6, 395.0); // light load: poll burn dominates
-        let cfg = vec![(KnobSettings::default_tuned(), cost, l, llc_partition_bytes(0.5))];
+        let cfg = vec![(
+            KnobSettings::default_tuned(),
+            cost,
+            l,
+            llc_partition_bytes(0.5),
+        )];
         let base = evaluate_node(&cfg, &PlatformPolicy::baseline(), &pm, &t);
         let green = evaluate_node(&cfg, &PlatformPolicy::greennfv(), &pm, &t);
         assert!(
@@ -826,9 +848,7 @@ mod tests {
             base.energy_j
         );
         // Same knobs → same throughput; only the platform power differs.
-        assert!(
-            (green.total_throughput_gbps() - base.total_throughput_gbps()).abs() < 1e-9
-        );
+        assert!((green.total_throughput_gbps() - base.total_throughput_gbps()).abs() < 1e-9);
     }
 
     #[test]
@@ -848,7 +868,12 @@ mod tests {
             &t,
         );
         let fast = evaluate_node(
-            &[(good_knobs(), cost, load(3.55e6, 395.0), llc_partition_bytes(0.9))],
+            &[(
+                good_knobs(),
+                cost,
+                load(3.55e6, 395.0),
+                llc_partition_bytes(0.9),
+            )],
             &PlatformPolicy::greennfv(),
             &pm,
             &t,

@@ -34,6 +34,8 @@ pub enum SimError {
         /// Requested frequency in GHz.
         requested_ghz: f64,
     },
+    /// Traffic trace construction / parse error.
+    TraceConfig(String),
 }
 
 impl fmt::Display for SimError {
@@ -54,6 +56,7 @@ impl fmt::Display for SimError {
             SimError::FrequencyNotAvailable { requested_ghz } => {
                 write!(f, "frequency {requested_ghz} GHz not on DVFS ladder")
             }
+            SimError::TraceConfig(msg) => write!(f, "trace config: {msg}"),
         }
     }
 }

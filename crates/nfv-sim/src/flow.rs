@@ -79,7 +79,10 @@ impl FlowSpec {
             ));
         }
         if !self.rate_pps.is_finite() || self.rate_pps < 0.0 {
-            return Err(format!("rate_pps {} must be finite and >= 0", self.rate_pps));
+            return Err(format!(
+                "rate_pps {} must be finite and >= 0",
+                self.rate_pps
+            ));
         }
         if let ArrivalPattern::MarkovOnOff {
             peak_factor,
@@ -232,11 +235,7 @@ mod tests {
 
     #[test]
     fn flowset_aggregates() {
-        let s = FlowSet::new(vec![
-            FlowSpec::cbr(0, 1e6, 64),
-            FlowSpec::cbr(1, 1e6, 1518),
-        ])
-        .unwrap();
+        let s = FlowSet::new(vec![FlowSpec::cbr(0, 1e6, 64), FlowSpec::cbr(1, 1e6, 1518)]).unwrap();
         assert_eq!(s.len(), 2);
         assert!((s.total_rate_pps() - 2e6).abs() < 1.0);
         assert!((s.mean_packet_size() - 791.0).abs() < 1.0);

@@ -71,11 +71,13 @@ pub mod prelude {
     pub use crate::error::{SimError, SimResult};
     pub use crate::flow::{ArrivalPattern, FlowSet, FlowSpec};
     pub use crate::nf::{NetworkFunction, NfCost, NfKind};
-    pub use crate::node::{Node, NodeEpochReport};
+    pub use crate::node::{Node, NodeEpochReport, NodeProfile};
     pub use crate::packet::{FiveTuple, Packet, PacketBatch, Protocol};
     pub use crate::power::{calibrate_h, PowerMeter, PowerModel};
     pub use crate::runtime::{run_functional, FunctionalStats, RuntimeConfig};
     pub use crate::simd::{F64x8, WideLane, WIDTH};
     pub use crate::stats::{ChainTelemetry, EpochHistory, Ewma, Summary};
-    pub use crate::traffic::{TrafficGen, WindowArrivals};
+    pub use crate::traffic::{
+        Trace, TracePoint, TraceSource, TrafficGen, TrafficSource, WindowArrivals,
+    };
 }

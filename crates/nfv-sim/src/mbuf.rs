@@ -108,7 +108,9 @@ impl MbufPool {
             )));
         }
         if !self.allocated[idx] {
-            return Err(SimError::PoolCorruption(format!("double free of buffer {idx}")));
+            return Err(SimError::PoolCorruption(format!(
+                "double free of buffer {idx}"
+            )));
         }
         self.allocated[idx] = false;
         self.free.push(h.0);
@@ -148,7 +150,10 @@ mod tests {
         let mut p = MbufPool::new(2, 2048);
         p.alloc().unwrap();
         p.alloc().unwrap();
-        assert!(matches!(p.alloc(), Err(SimError::PoolExhausted { capacity: 2 })));
+        assert!(matches!(
+            p.alloc(),
+            Err(SimError::PoolExhausted { capacity: 2 })
+        ));
         assert_eq!(p.alloc_fail_count(), 1);
     }
 

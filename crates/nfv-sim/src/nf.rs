@@ -386,7 +386,11 @@ impl Router {
     /// Longest-prefix-match lookup.
     pub fn lookup(&self, ip: u32) -> Option<u32> {
         for &(prefix, len, hop) in &self.table {
-            let mask = if len == 0 { 0 } else { u32::MAX << (32 - u32::from(len)) };
+            let mask = if len == 0 {
+                0
+            } else {
+                u32::MAX << (32 - u32::from(len))
+            };
             if (ip & mask) == (prefix & mask) {
                 return Some(hop);
             }

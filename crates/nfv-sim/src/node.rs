@@ -2,7 +2,11 @@
 //!
 //! `Node` is the façade the GreenNFV controllers drive: install chains, set
 //! knobs (validated against core capacity and CAT way availability), then run
-//! control epochs and read back telemetry.
+//! control epochs and read back telemetry. Hardware heterogeneity lives in
+//! [`NodeProfile`]: each node carries its own DVFS frequency range, LLC way
+//! count, DDIO way reservation, and power curve, so a
+//! [`Cluster`](crate::cluster::Cluster) can mix server classes while every
+//! node still evaluates through the shared batched engine.
 
 use serde::{Deserialize, Serialize};
 
@@ -10,6 +14,7 @@ use crate::batch::{evaluate_chain_batch, ChainBatch};
 use crate::cache::{CatLlc, ClosId, LLC_WAYS};
 use crate::chain::{ChainCost, ChainSpec, ServiceChain};
 use crate::cpu::{ChainId, CoreAllocator};
+use crate::dvfs::{FREQ_MAX_GHZ, FREQ_MIN_GHZ};
 use crate::engine::{
     aggregate_node, evaluate_chain, ChainEpochResult, ChainLoad, KnobSettings, NodeEpochResult,
     PlatformPolicy, SimTuning,
@@ -18,20 +23,138 @@ use crate::error::{SimError, SimResult};
 use crate::flow::FlowSet;
 use crate::power::PowerModel;
 use crate::stats::ChainTelemetry;
-use crate::traffic::TrafficGen;
+use crate::traffic::TrafficSource;
 
-/// CLOS id reserved for DDIO (2 of 20 ways = 10%).
+/// CLOS id reserved for DDIO.
 const DDIO_CLOS: ClosId = ClosId(u32::MAX);
 
 /// One staged engine lane: the tuple shape `evaluate_node` and
 /// [`ChainBatch::from_configs`] consume.
 pub(crate) type ChainConfig = (KnobSettings, ChainCost, ChainLoad, f64);
 
+/// Hardware profile of one node: the per-node axes of cluster heterogeneity.
+///
+/// The profile constrains what knobs a node accepts (frequency range), how
+/// much cache its chains can partition (LLC ways minus the DDIO
+/// reservation), and how busy-time converts to watts (power curve). Model
+/// *tuning* ([`SimTuning`]) stays cluster-wide so heterogeneous nodes still
+/// fuse into one [`ChainBatch`] per epoch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeProfile {
+    /// Profile name for reports and scenario descriptors.
+    pub name: String,
+    /// Lowest frequency this node's DVFS ladder reaches, GHz.
+    pub freq_min_ghz: f64,
+    /// Highest frequency this node's DVFS ladder reaches, GHz.
+    pub freq_max_ghz: f64,
+    /// LLC ways physically present on this node (way size is fixed at
+    /// `LLC_BYTES / LLC_WAYS` = 1 MB).
+    pub llc_ways: u32,
+    /// Ways permanently reserved for DDIO (NIC DMA writes).
+    pub ddio_ways: u32,
+    /// Node power curve (idle/max watts, Eq. 4 exponent, static fraction).
+    pub power: PowerModel,
+}
+
+impl Default for NodeProfile {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+impl NodeProfile {
+    /// The paper's testbed server: dual-socket E5-2620 v4, 20-way 20 MB LLC
+    /// with 2 DDIO ways, full 1.2–2.1 GHz ladder, default power curve.
+    pub fn paper_default() -> Self {
+        Self {
+            name: "paper-default".into(),
+            freq_min_ghz: FREQ_MIN_GHZ,
+            freq_max_ghz: FREQ_MAX_GHZ,
+            llc_ways: LLC_WAYS,
+            ddio_ways: 2,
+            power: PowerModel::default(),
+        }
+    }
+
+    /// An edge-class low-power node: smaller 12-way LLC with a single DDIO
+    /// way, frequency capped at 1.7 GHz, low idle floor.
+    pub fn edge_low_power() -> Self {
+        Self {
+            name: "edge-low-power".into(),
+            freq_min_ghz: FREQ_MIN_GHZ,
+            freq_max_ghz: 1.7,
+            llc_ways: 12,
+            ddio_ways: 1,
+            power: PowerModel {
+                pidle_w: 22.0,
+                pmax_w: 80.0,
+                h: 1.3,
+                static_fraction: 0.4,
+            },
+        }
+    }
+
+    /// A high-performance node: full cache, frequency floor raised to
+    /// 1.5 GHz (no deep DVFS states), hotter power curve.
+    pub fn high_perf() -> Self {
+        Self {
+            name: "high-perf".into(),
+            freq_min_ghz: 1.5,
+            freq_max_ghz: FREQ_MAX_GHZ,
+            llc_ways: LLC_WAYS,
+            ddio_ways: 2,
+            power: PowerModel {
+                pidle_w: 55.0,
+                pmax_w: 190.0,
+                h: 1.5,
+                static_fraction: 0.3,
+            },
+        }
+    }
+
+    /// Validates profile invariants: a sane frequency sub-range of the
+    /// global ladder and at least one application way next to the DDIO
+    /// reservation.
+    pub fn validate(&self) -> SimResult<()> {
+        let bad = |reason: String| {
+            Err(SimError::NodeConfig(format!(
+                "profile `{}`: {reason}",
+                self.name
+            )))
+        };
+        if !(FREQ_MIN_GHZ - 1e-9..=FREQ_MAX_GHZ + 1e-9).contains(&self.freq_min_ghz)
+            || !(FREQ_MIN_GHZ - 1e-9..=FREQ_MAX_GHZ + 1e-9).contains(&self.freq_max_ghz)
+            || self.freq_min_ghz > self.freq_max_ghz
+        {
+            return bad(format!(
+                "frequency range [{}, {}] outside ladder [{FREQ_MIN_GHZ}, {FREQ_MAX_GHZ}]",
+                self.freq_min_ghz, self.freq_max_ghz
+            ));
+        }
+        if self.llc_ways == 0 || self.llc_ways > LLC_WAYS {
+            return bad(format!("llc_ways {} outside 1..={LLC_WAYS}", self.llc_ways));
+        }
+        if self.ddio_ways >= self.llc_ways {
+            return bad(format!(
+                "ddio_ways {} leaves no application ways of {}",
+                self.ddio_ways, self.llc_ways
+            ));
+        }
+        if self.power.pidle_w <= 0.0 || self.power.pmax_w <= self.power.pidle_w {
+            return bad(format!(
+                "power curve needs 0 < pidle ({}) < pmax ({})",
+                self.power.pidle_w, self.power.pmax_w
+            ));
+        }
+        Ok(())
+    }
+}
+
 /// One chain hosted on a node.
 struct HostedChain {
     chain: ServiceChain,
     knobs: KnobSettings,
-    traffic: TrafficGen,
+    traffic: TrafficSource,
 }
 
 /// Result of one node epoch: engine outputs plus per-chain telemetry with
@@ -48,7 +171,7 @@ pub struct NodeEpochReport {
 pub struct Node {
     id: u32,
     tuning: SimTuning,
-    power: PowerModel,
+    profile: NodeProfile,
     policy: PlatformPolicy,
     cores: CoreAllocator,
     llc: CatLlc,
@@ -57,22 +180,49 @@ pub struct Node {
 }
 
 impl Node {
-    /// Creates a node with the given platform policy and model parameters.
+    /// Creates a node with the given platform policy and model parameters,
+    /// using the paper's default hardware profile with `power` as its curve.
+    ///
+    /// # Panics
+    /// When the power curve is degenerate (`pidle_w <= 0` or
+    /// `pmax_w <= pidle_w`) — the only part of the paper-default profile a
+    /// caller can influence. Use [`Node::with_profile`] to handle the error.
     pub fn new(id: u32, tuning: SimTuning, power: PowerModel, policy: PlatformPolicy) -> Self {
-        let mut llc = CatLlc::new(LLC_WAYS);
-        // Reserve the DDIO share (10% = 2 ways) permanently.
-        llc.set_allocation(DDIO_CLOS, 2)
+        Self::with_profile(
+            id,
+            tuning,
+            policy,
+            NodeProfile {
+                power,
+                ..NodeProfile::paper_default()
+            },
+        )
+        .expect("power curve must satisfy 0 < pidle_w < pmax_w")
+    }
+
+    /// Creates a node with an explicit hardware [`NodeProfile`] (the
+    /// heterogeneous-cluster construction path).
+    pub fn with_profile(
+        id: u32,
+        tuning: SimTuning,
+        policy: PlatformPolicy,
+        profile: NodeProfile,
+    ) -> SimResult<Self> {
+        profile.validate()?;
+        let mut llc = CatLlc::new(profile.llc_ways);
+        // Reserve the profile's DDIO share permanently.
+        llc.set_allocation(DDIO_CLOS, profile.ddio_ways)
             .expect("fresh LLC has free ways");
-        Self {
+        Ok(Self {
             id,
             cores: CoreAllocator::new(tuning.total_cores, tuning.manager_cores),
             tuning,
-            power,
+            profile,
             policy,
             llc,
             chains: Vec::new(),
             epochs_run: 0,
-        }
+        })
     }
 
     /// Node with all defaults under the GreenNFV platform policy.
@@ -115,9 +265,14 @@ impl Node {
         &self.tuning
     }
 
-    /// Power model.
+    /// Power model (from the node's hardware profile).
     pub fn power_model(&self) -> &PowerModel {
-        &self.power
+        &self.profile.power
+    }
+
+    /// The node's hardware profile.
+    pub fn profile(&self) -> &NodeProfile {
+        &self.profile
     }
 
     /// Number of hosted chains.
@@ -138,6 +293,17 @@ impl Node {
         knobs: KnobSettings,
         seed: u64,
     ) -> SimResult<()> {
+        self.add_chain_with_source(spec, TrafficSource::synthetic(flows, seed), knobs)
+    }
+
+    /// Installs a chain fed by an arbitrary [`TrafficSource`] — synthetic
+    /// flows or trace-driven replay — with initial knobs.
+    pub fn add_chain_with_source(
+        &mut self,
+        spec: ChainSpec,
+        source: TrafficSource,
+        knobs: KnobSettings,
+    ) -> SimResult<()> {
         if self.chains.iter().any(|h| h.chain.id() == spec.id) {
             return Err(SimError::NodeConfig(format!(
                 "chain {:?} already hosted",
@@ -149,7 +315,7 @@ impl Node {
         self.chains.push(HostedChain {
             chain,
             knobs: KnobSettings::baseline(),
-            traffic: TrafficGen::new(flows, seed),
+            traffic: source,
         });
         // Apply knobs through the validated path; roll back on failure.
         if let Err(e) = self.set_knobs(id, knobs) {
@@ -159,10 +325,28 @@ impl Node {
         Ok(())
     }
 
+    /// Validates a frequency request against the node profile's DVFS range
+    /// (a sub-range of the global ladder on heterogeneous nodes).
+    fn check_profile_freq(&self, freq_ghz: f64) -> SimResult<()> {
+        let (lo, hi) = (self.profile.freq_min_ghz, self.profile.freq_max_ghz);
+        if !(lo - 1e-9..=hi + 1e-9).contains(&freq_ghz) {
+            return Err(SimError::InvalidKnob {
+                knob: "freq_ghz",
+                reason: format!(
+                    "{freq_ghz} outside node profile `{}` range [{lo}, {hi}]",
+                    self.profile.name
+                ),
+            });
+        }
+        Ok(())
+    }
+
     /// Applies new knob settings to a chain, enforcing node-level capacity:
-    /// total cores and total CAT ways must fit.
+    /// total cores, the profile's frequency range, and total CAT ways must
+    /// fit.
     pub fn set_knobs(&mut self, chain: ChainId, knobs: KnobSettings) -> SimResult<()> {
         knobs.validate()?;
+        self.check_profile_freq(knobs.freq_ghz)?;
         let idx = self
             .chains
             .iter()
@@ -172,7 +356,7 @@ impl Node {
         let prev_cpu = self.cores.allocation(chain);
         self.cores.assign(chain, knobs.cpu)?;
         let prev = self.llc.ways_of(ClosId(chain.0));
-        let want = Self::app_llc_ways(knobs.llc_fraction);
+        let want = self.app_llc_ways(knobs.llc_fraction);
         if self.llc.set_allocation(ClosId(chain.0), want).is_err() {
             // Not enough free ways: restore both allocators and fail, so a
             // rejected request leaves no trace in capacity accounting.
@@ -204,12 +388,18 @@ impl Node {
 
     /// Replaces a chain's offered flows (dynamic workloads).
     pub fn set_flows(&mut self, chain: ChainId, flows: FlowSet, seed: u64) -> SimResult<()> {
+        self.set_traffic(chain, TrafficSource::synthetic(flows, seed))
+    }
+
+    /// Replaces a chain's traffic source (e.g. swapping synthetic flows for
+    /// trace replay mid-run).
+    pub fn set_traffic(&mut self, chain: ChainId, source: TrafficSource) -> SimResult<()> {
         let h = self
             .chains
             .iter_mut()
             .find(|h| h.chain.id() == chain)
             .ok_or_else(|| SimError::NodeConfig(format!("unknown chain {chain:?}")))?;
-        h.traffic = TrafficGen::new(flows, seed);
+        h.traffic = source;
         Ok(())
     }
 
@@ -219,30 +409,23 @@ impl Node {
     }
 
     /// CAT ways for an `llc_fraction` knob: the fraction is over the
-    /// non-DDIO `LLC_WAYS - 2` application ways, rounded to whole ways.
+    /// profile's non-DDIO application ways, rounded to whole ways.
     /// `set_knobs` and the what-if sweeps share this so they cannot drift.
-    fn app_llc_ways(llc_fraction: f64) -> u32 {
-        let app_ways = LLC_WAYS - 2;
+    fn app_llc_ways(&self, llc_fraction: f64) -> u32 {
+        let app_ways = self.profile.llc_ways - self.profile.ddio_ways;
         ((llc_fraction * f64::from(app_ways)).round() as u32).min(app_ways)
     }
 
     /// Samples one control window of every chain's traffic and stages the
     /// engine configs plus raw arrival rates. Advances the traffic
-    /// generators: each call consumes one epoch of offered load.
+    /// sources: each call consumes one epoch of offered load.
     pub(crate) fn prepare_epoch(&mut self) -> (Vec<ChainConfig>, Vec<f64>) {
         let epoch_s = self.tuning.epoch_s;
         let mut configs = Vec::with_capacity(self.chains.len());
         let mut arrivals = Vec::with_capacity(self.chains.len());
         for h in &mut self.chains {
-            let window = h.traffic.next_window(epoch_s);
-            let pps = TrafficGen::window_rate_pps(&window, epoch_s);
-            let flows = h.traffic.flows();
-            let load = ChainLoad {
-                arrival_pps: pps,
-                mean_packet_size: flows.mean_packet_size(),
-                burstiness: flows.burstiness(),
-            };
-            arrivals.push(pps);
+            let load = h.traffic.sample_load(epoch_s);
+            arrivals.push(load.arrival_pps);
             let llc_bytes = self.llc.bytes_of(ClosId(h.chain.id().0)) as f64;
             configs.push((h.knobs, h.chain.cost(), load, llc_bytes));
         }
@@ -259,13 +442,19 @@ impl Node {
     ) -> NodeEpochReport {
         let epoch_s = self.tuning.epoch_s;
         let knobs: Vec<KnobSettings> = configs.iter().map(|(k, ..)| *k).collect();
-        let node = aggregate_node(chain_results, &knobs, &self.policy, &self.power, &self.tuning);
+        let node = aggregate_node(
+            chain_results,
+            &knobs,
+            &self.policy,
+            &self.profile.power,
+            &self.tuning,
+        );
 
         // Energy attribution: proportional to busy core-seconds (idle floor
         // split evenly across chains).
         let busy_total: f64 = node.chains.iter().map(|c| c.busy_core_seconds).sum();
         let n = node.chains.len().max(1) as f64;
-        let idle_energy = self.power.pidle_w * epoch_s * node.powered_frac;
+        let idle_energy = self.profile.power.pidle_w * epoch_s * node.powered_frac;
         let dyn_energy = (node.energy_j - idle_energy).max(0.0);
         let telemetry = node
             .chains
@@ -318,14 +507,7 @@ impl Node {
             .iter_mut()
             .find(|h| h.chain.id() == chain)
             .ok_or_else(|| SimError::NodeConfig(format!("unknown chain {chain:?}")))?;
-        let window = h.traffic.next_window(epoch_s);
-        let pps = TrafficGen::window_rate_pps(&window, epoch_s);
-        let flows = h.traffic.flows();
-        Ok(ChainLoad {
-            arrival_pps: pps,
-            mean_packet_size: flows.mean_packet_size(),
-            burstiness: flows.burstiness(),
-        })
+        Ok(h.traffic.sample_load(epoch_s))
     }
 
     /// What-if sweep: evaluates the whole node under each candidate knob
@@ -367,10 +549,11 @@ impl Node {
             .iter()
             .map(|knobs| {
                 knobs.validate()?;
+                self.check_profile_freq(knobs.freq_ghz)?;
                 let mut cores = self.cores.clone();
                 cores.assign(chain, knobs.cpu)?;
                 let mut llc = self.llc.clone();
-                let want = Self::app_llc_ways(knobs.llc_fraction);
+                let want = self.app_llc_ways(knobs.llc_fraction);
                 llc.set_allocation(ClosId(chain.0), want).map_err(|_| {
                     SimError::CacheAllocation(format!(
                         "chain {chain:?} wants {want} ways; insufficient free ways"
@@ -401,7 +584,7 @@ impl Node {
                         &[r],
                         std::slice::from_ref(knobs),
                         &self.policy,
-                        &self.power,
+                        &self.profile.power,
                         &self.tuning,
                     ))
                 })
@@ -424,6 +607,7 @@ impl std::fmt::Debug for Node {
 mod tests {
     use super::*;
     use crate::flow::FlowSpec;
+    use crate::traffic::{Trace, TracePoint};
 
     fn eval_flows() -> FlowSet {
         FlowSet::evaluation_five_flows()
@@ -469,21 +653,11 @@ mod tests {
         let mut n = Node::default_greennfv(0);
         let mut k = KnobSettings::default_tuned();
         k.llc_fraction = 0.9;
-        n.add_chain(
-            ChainSpec::canonical_three(ChainId(0)),
-            eval_flows(),
-            k,
-            1,
-        )
-        .unwrap();
+        n.add_chain(ChainSpec::canonical_three(ChainId(0)), eval_flows(), k, 1)
+            .unwrap();
         let mut k2 = KnobSettings::default_tuned();
         k2.llc_fraction = 0.9; // 0.9 + 0.9 over 18 ways cannot fit
-        let err = n.add_chain(
-            ChainSpec::lightweight(ChainId(1)),
-            eval_flows(),
-            k2,
-            2,
-        );
+        let err = n.add_chain(ChainSpec::lightweight(ChainId(1)), eval_flows(), k2, 2);
         assert!(err.is_err());
         assert_eq!(n.chain_count(), 1, "failed add must roll back");
     }
@@ -546,13 +720,8 @@ mod tests {
         let mut n = Node::default_greennfv(0);
         let mut k = KnobSettings::default_tuned();
         k.llc_fraction = 0.4;
-        n.add_chain(
-            ChainSpec::canonical_three(ChainId(0)),
-            eval_flows(),
-            k,
-            1,
-        )
-        .unwrap();
+        n.add_chain(ChainSpec::canonical_three(ChainId(0)), eval_flows(), k, 1)
+            .unwrap();
         n.add_chain(
             ChainSpec::lightweight(ChainId(1)),
             FlowSet::new(vec![FlowSpec::cbr(0, 1e5, 256)]).unwrap(),
@@ -579,7 +748,9 @@ mod tests {
         candidate.batch = 96;
 
         let load = sweep_node.sample_load(ChainId(0)).unwrap();
-        let swept = sweep_node.evaluate_candidates(ChainId(0), &[candidate], load).unwrap();
+        let swept = sweep_node
+            .evaluate_candidates(ChainId(0), &[candidate], load)
+            .unwrap();
 
         commit_node.set_knobs(ChainId(0), candidate).unwrap();
         let committed = commit_node.run_epoch();
@@ -587,7 +758,10 @@ mod tests {
         assert_eq!(swept.len(), 1);
         assert_eq!(swept[0].as_ref().unwrap(), &committed.node);
         // The sweep committed nothing.
-        assert_eq!(sweep_node.knobs(ChainId(0)).unwrap(), KnobSettings::default_tuned());
+        assert_eq!(
+            sweep_node.knobs(ChainId(0)).unwrap(),
+            KnobSettings::default_tuned()
+        );
         assert_eq!(sweep_node.epochs_run(), 0);
     }
 
@@ -600,7 +774,9 @@ mod tests {
         bad_range.batch = 0;
         let mut bad_cores = good;
         bad_cores.cpu.cores = 99;
-        let out = n.evaluate_candidates(ChainId(0), &[good, bad_range, bad_cores], load).unwrap();
+        let out = n
+            .evaluate_candidates(ChainId(0), &[good, bad_range, bad_cores], load)
+            .unwrap();
         assert!(out[0].is_ok());
         assert_eq!(out[1], Err(bad_range.validate().unwrap_err()));
         assert!(out[2].is_err(), "oversubscribed cores must be rejected");
@@ -611,8 +787,10 @@ mod tests {
         let mut n = Node::default_greennfv(0);
         let mut k = KnobSettings::default_tuned();
         k.llc_fraction = 0.3;
-        n.add_chain(ChainSpec::canonical_three(ChainId(0)), eval_flows(), k, 1).unwrap();
-        n.add_chain(ChainSpec::lightweight(ChainId(1)), eval_flows(), k, 2).unwrap();
+        n.add_chain(ChainSpec::canonical_three(ChainId(0)), eval_flows(), k, 1)
+            .unwrap();
+        n.add_chain(ChainSpec::lightweight(ChainId(1)), eval_flows(), k, 2)
+            .unwrap();
         let load = n.sample_load(ChainId(0)).unwrap();
         assert!(n.evaluate_candidates(ChainId(0), &[k], load).is_err());
     }
@@ -626,5 +804,141 @@ mod tests {
             let rb = b.run_epoch();
             assert_eq!(ra, rb);
         }
+    }
+
+    #[test]
+    fn profile_validation_rejects_degenerate_hardware() {
+        assert!(NodeProfile::paper_default().validate().is_ok());
+        assert!(NodeProfile::edge_low_power().validate().is_ok());
+        assert!(NodeProfile::high_perf().validate().is_ok());
+        let mut p = NodeProfile::paper_default();
+        p.freq_max_ghz = 3.5;
+        assert!(p.validate().is_err(), "range beyond the global ladder");
+        p = NodeProfile::paper_default();
+        p.ddio_ways = p.llc_ways;
+        assert!(p.validate().is_err(), "no application ways left");
+        p = NodeProfile::paper_default();
+        p.llc_ways = LLC_WAYS + 4;
+        assert!(p.validate().is_err(), "more ways than the modeled LLC");
+        p = NodeProfile::paper_default();
+        p.power.pmax_w = p.power.pidle_w - 1.0;
+        assert!(p.validate().is_err(), "inverted power curve");
+    }
+
+    #[test]
+    fn default_profile_reproduces_legacy_node_exactly() {
+        // `Node::new` and `with_profile(paper_default)` must be the same node.
+        let mut legacy = node_with_chain();
+        let mut profiled = Node::with_profile(
+            0,
+            SimTuning::default(),
+            PlatformPolicy::greennfv(),
+            NodeProfile::paper_default(),
+        )
+        .unwrap();
+        profiled
+            .add_chain(
+                ChainSpec::canonical_three(ChainId(0)),
+                eval_flows(),
+                KnobSettings::default_tuned(),
+                42,
+            )
+            .unwrap();
+        for _ in 0..3 {
+            assert_eq!(legacy.run_epoch(), profiled.run_epoch());
+        }
+    }
+
+    #[test]
+    fn profile_frequency_range_is_enforced() {
+        let mut n = Node::with_profile(
+            0,
+            SimTuning::default(),
+            PlatformPolicy::greennfv(),
+            NodeProfile::edge_low_power(),
+        )
+        .unwrap();
+        let mut k = KnobSettings::default_tuned();
+        k.freq_ghz = 2.1; // legal globally, above the edge node's 1.7 cap
+        assert!(n
+            .add_chain(ChainSpec::canonical_three(ChainId(0)), eval_flows(), k, 1)
+            .is_err());
+        k.freq_ghz = 1.7;
+        n.add_chain(ChainSpec::canonical_three(ChainId(0)), eval_flows(), k, 1)
+            .unwrap();
+        // The candidate sweep rejects out-of-range frequencies identically.
+        let load = n.sample_load(ChainId(0)).unwrap();
+        let mut hot = k;
+        hot.freq_ghz = 2.0;
+        let out = n.evaluate_candidates(ChainId(0), &[k, hot], load).unwrap();
+        assert!(out[0].is_ok());
+        assert!(out[1].is_err(), "sweep must mirror set_knobs admission");
+    }
+
+    #[test]
+    fn smaller_profile_llc_shrinks_partitions() {
+        let mut n = Node::with_profile(
+            0,
+            SimTuning::default(),
+            PlatformPolicy::greennfv(),
+            NodeProfile::edge_low_power(),
+        )
+        .unwrap();
+        let mut k = KnobSettings::default_tuned();
+        k.freq_ghz = 1.5;
+        n.add_chain(ChainSpec::canonical_three(ChainId(0)), eval_flows(), k, 1)
+            .unwrap();
+        // 0.5 × (12 − 1) app ways rounds to 6 ways of 1 MB, vs 9 on the
+        // paper node.
+        assert_eq!(n.llc_bytes_of(ChainId(0)), 6 * 1024 * 1024);
+        // A full-cache ask caps at the 11 application ways.
+        k.llc_fraction = 1.0;
+        n.set_knobs(ChainId(0), k).unwrap();
+        assert_eq!(n.llc_bytes_of(ChainId(0)), 11 * 1024 * 1024);
+    }
+
+    #[test]
+    fn trace_fed_chain_runs_epochs_deterministically() {
+        let trace = Trace::new(
+            "step",
+            vec![
+                TracePoint {
+                    duration_s: 30.0,
+                    rate_pps: 4.0e5,
+                    packet_size: 512,
+                    burstiness: 1.2,
+                },
+                TracePoint {
+                    duration_s: 30.0,
+                    rate_pps: 2.4e6,
+                    packet_size: 512,
+                    burstiness: 1.2,
+                },
+            ],
+        )
+        .unwrap();
+        let build = || {
+            let mut n = Node::default_greennfv(0);
+            n.add_chain_with_source(
+                ChainSpec::canonical_three(ChainId(0)),
+                TrafficSource::replay(trace.clone(), 0.05, 11).unwrap(),
+                KnobSettings::default_tuned(),
+            )
+            .unwrap();
+            n
+        };
+        let mut a = build();
+        let mut b = build();
+        let (ra1, rb1) = (a.run_epoch(), b.run_epoch());
+        assert_eq!(ra1, rb1, "same trace + seed must be bit-identical");
+        let ra2 = a.run_epoch();
+        b.run_epoch();
+        // The second epoch replays the trace's high-rate segment.
+        assert!(
+            ra2.telemetry[0].arrival_pps > 3.0 * ra1.telemetry[0].arrival_pps,
+            "epoch 1 {} vs epoch 2 {}",
+            ra1.telemetry[0].arrival_pps,
+            ra2.telemetry[0].arrival_pps
+        );
     }
 }

@@ -22,7 +22,7 @@ use serde::{Deserialize, Serialize};
 use crate::dvfs::FREQ_MAX_GHZ;
 
 /// Nonlinear server power model (paper Eq. 4 plus frequency/core scaling).
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct PowerModel {
     /// Average power of the idle server, watts.
     pub pidle_w: f64,
@@ -236,7 +236,10 @@ mod tests {
         }
         let mean = acc / f64::from(n);
         let expect = truth.power_w(0.7, 2.1, 1.0);
-        assert!((mean - expect).abs() / expect < 0.01, "mean {mean} vs {expect}");
+        assert!(
+            (mean - expect).abs() / expect < 0.01,
+            "mean {mean} vs {expect}"
+        );
         assert_eq!(meter.samples(), u64::from(n));
     }
 

@@ -92,8 +92,9 @@ pub fn run_functional(cfg: &RuntimeConfig) -> FunctionalStats {
     let rings: Vec<Arc<SpscRing<PacketBatch>>> = (0..=n_stages)
         .map(|_| Arc::new(SpscRing::with_capacity(cfg.ring_batches)))
         .collect();
-    let producer_done: Vec<Arc<AtomicBool>> =
-        (0..=n_stages).map(|_| Arc::new(AtomicBool::new(false))).collect();
+    let producer_done: Vec<Arc<AtomicBool>> = (0..=n_stages)
+        .map(|_| Arc::new(AtomicBool::new(false)))
+        .collect();
 
     let injected = Arc::new(AtomicU64::new(0));
     let delivered = Arc::new(AtomicU64::new(0));
@@ -102,8 +103,9 @@ pub fn run_functional(cfg: &RuntimeConfig) -> FunctionalStats {
     let pool_drops = Arc::new(AtomicU64::new(0));
     // Completion ring: Tx returns retired mbuf indices so the Rx thread can
     // free them into its pool — the same loop DPDK drivers run.
-    let completions: Arc<SpscRing<u32>> =
-        Arc::new(SpscRing::with_capacity(cfg.pool_capacity.max(cfg.packets as usize).max(2)));
+    let completions: Arc<SpscRing<u32>> = Arc::new(SpscRing::with_capacity(
+        cfg.pool_capacity.max(cfg.packets as usize).max(2),
+    ));
 
     let start = std::time::Instant::now();
     std::thread::scope(|scope| {
@@ -337,6 +339,9 @@ mod tests {
         cfg.flows = FlowSet::new(vec![FlowSpec::cbr(0, 1e6, 256)]).unwrap();
         let stats = run_functional(&cfg);
         assert!(stats.is_conserved());
-        assert!(stats.delivered as f64 >= 0.9 * stats.injected as f64, "{stats:?}");
+        assert!(
+            stats.delivered as f64 >= 0.9 * stats.injected as f64,
+            "{stats:?}"
+        );
     }
 }

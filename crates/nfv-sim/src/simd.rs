@@ -53,11 +53,7 @@ pub const WIDTH: usize = 8;
 /// lane, so generic kernel code produces bit-identical results for every
 /// implementation — see the module docs for why that matters.
 pub trait WideLane:
-    Copy
-    + Add<Output = Self>
-    + Sub<Output = Self>
-    + Mul<Output = Self>
-    + Div<Output = Self>
+    Copy + Add<Output = Self> + Sub<Output = Self> + Mul<Output = Self> + Div<Output = Self>
 {
     /// Number of f64 lanes in this bundle.
     const LANES: usize;
@@ -295,10 +291,22 @@ mod tests {
             assert!(eq_bits((a - b).lane(i), x - 2.0), "sub lane {i}");
             assert!(eq_bits((a * b).lane(i), x * 2.0), "mul lane {i}");
             assert!(eq_bits((a / b).lane(i), x / 2.0), "div lane {i}");
-            assert!(eq_bits(a.vmin(b).lane(i), f64::min(x, 2.0)), "vmin lane {i}");
-            assert!(eq_bits(a.vmax(b).lane(i), f64::max(x, 2.0)), "vmax lane {i}");
-            assert!(eq_bits(a.clamp01().lane(i), x.clamp01()), "clamp01 lane {i}");
-            assert!(eq_bits(a.trunc_u32().lane(i), x.trunc_u32()), "trunc lane {i}");
+            assert!(
+                eq_bits(a.vmin(b).lane(i), f64::min(x, 2.0)),
+                "vmin lane {i}"
+            );
+            assert!(
+                eq_bits(a.vmax(b).lane(i), f64::max(x, 2.0)),
+                "vmax lane {i}"
+            );
+            assert!(
+                eq_bits(a.clamp01().lane(i), x.clamp01()),
+                "clamp01 lane {i}"
+            );
+            assert!(
+                eq_bits(a.trunc_u32().lane(i), x.trunc_u32()),
+                "trunc lane {i}"
+            );
             assert!(
                 eq_bits(
                     a.select_gt_zero(b, F64x8::splat(-7.0)).lane(i),

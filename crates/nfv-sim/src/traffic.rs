@@ -1,4 +1,4 @@
-//! Traffic generation (MoonGen substitute).
+//! Traffic generation (MoonGen substitute) and trace-driven replay.
 //!
 //! Generates packet arrivals for a [`FlowSet`] deterministically from a seed.
 //! Two granularities are provided:
@@ -7,12 +7,24 @@
 //!   the analytic epoch engine (fast path, millions of epochs per second);
 //! * [`TrafficGen::generate_packets`] — concrete [`Packet`] values used by the
 //!   functional data-plane tests and examples.
+//!
+//! Alongside the synthetic generators, [`TraceSource`] replays a recorded
+//! [`Trace`] (a piecewise-constant rate/packet-size schedule, loadable from
+//! CSV or any serde-backed format) with deterministic seeded jitter, so
+//! long-horizon runs can be driven by real-world diurnal profiles instead of
+//! stationary arrival processes. [`TrafficSource`] is the node-facing union
+//! of both: every hosted chain samples its offered [`ChainLoad`] through it,
+//! and the samples feed the fused batch path of
+//! [`Cluster::run_epoch`](crate::cluster::Cluster::run_epoch) unchanged.
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
 
+use crate::engine::ChainLoad;
+use crate::error::{SimError, SimResult};
 use crate::flow::{ArrivalPattern, FlowSet, FlowSpec};
-use crate::packet::{FiveTuple, Packet};
+use crate::packet::{FiveTuple, Packet, MAX_PACKET_SIZE, MIN_PACKET_SIZE};
 
 /// Deterministic, seedable traffic generator.
 #[derive(Debug)]
@@ -151,6 +163,288 @@ impl TrafficGen {
         let u2: f64 = self.rng.random();
         (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
     }
+
+    /// Samples one control window and folds it into the [`ChainLoad`] the
+    /// epoch engine consumes: observed arrival rate over the window plus the
+    /// flow set's static packet-size mix and burstiness. Advances the
+    /// generator by one window.
+    pub fn sample_load(&mut self, window_s: f64) -> ChainLoad {
+        let window = self.next_window(window_s);
+        let pps = Self::window_rate_pps(&window, window_s);
+        ChainLoad {
+            arrival_pps: pps,
+            mean_packet_size: self.flows.mean_packet_size(),
+            burstiness: self.flows.burstiness(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Trace-driven replay
+// ---------------------------------------------------------------------------
+
+/// One piecewise-constant segment of a recorded traffic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TracePoint {
+    /// How long this segment lasts, in seconds.
+    pub duration_s: f64,
+    /// Mean offered rate during the segment, packets per second.
+    pub rate_pps: f64,
+    /// Mean wire packet size during the segment, bytes (64..=1518).
+    pub packet_size: u32,
+    /// Peak-to-mean burstiness observed during the segment (>= 1).
+    pub burstiness: f64,
+}
+
+impl TracePoint {
+    /// Validates field ranges.
+    pub fn validate(&self) -> SimResult<()> {
+        if !self.duration_s.is_finite() || self.duration_s <= 0.0 {
+            return Err(SimError::TraceConfig(format!(
+                "duration_s {} must be finite and > 0",
+                self.duration_s
+            )));
+        }
+        if !self.rate_pps.is_finite() || self.rate_pps < 0.0 {
+            return Err(SimError::TraceConfig(format!(
+                "rate_pps {} must be finite and >= 0",
+                self.rate_pps
+            )));
+        }
+        if !(MIN_PACKET_SIZE..=MAX_PACKET_SIZE).contains(&self.packet_size) {
+            return Err(SimError::TraceConfig(format!(
+                "packet_size {} outside {MIN_PACKET_SIZE}..={MAX_PACKET_SIZE}",
+                self.packet_size
+            )));
+        }
+        if !self.burstiness.is_finite() || self.burstiness < 1.0 {
+            return Err(SimError::TraceConfig(format!(
+                "burstiness {} must be finite and >= 1",
+                self.burstiness
+            )));
+        }
+        Ok(())
+    }
+}
+
+/// A recorded traffic trace: an ordered schedule of [`TracePoint`]s that is
+/// replayed cyclically (a 24 h diurnal trace wraps around at midnight).
+///
+/// Traces are serde-serializable (JSON through the vendored `serde_json`)
+/// and loadable from CSV via [`Trace::from_csv`]; an example diurnal trace
+/// ships in `traces/diurnal.csv` at the repository root.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Trace {
+    name: String,
+    points: Vec<TracePoint>,
+}
+
+impl Trace {
+    /// Builds a trace, validating every point.
+    pub fn new(name: impl Into<String>, points: Vec<TracePoint>) -> SimResult<Self> {
+        let trace = Self {
+            name: name.into(),
+            points,
+        };
+        trace.validate()?;
+        Ok(trace)
+    }
+
+    /// Re-checks the trace invariants: at least one point, every point
+    /// valid. [`Trace::new`] and [`Trace::from_csv`] enforce this at
+    /// construction, but serde-deserialized traces bypass both — callers
+    /// accepting external descriptors must re-validate.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.points.is_empty() {
+            return Err(SimError::TraceConfig("trace has no points".into()));
+        }
+        for (i, p) in self.points.iter().enumerate() {
+            p.validate()
+                .map_err(|e| SimError::TraceConfig(format!("point {i}: {e}")))?;
+        }
+        Ok(())
+    }
+
+    /// Parses the CSV trace format: a `duration_s,rate_pps,packet_size,burstiness`
+    /// header line followed by one data row per point. Blank lines and lines
+    /// starting with `#` are skipped.
+    pub fn from_csv(name: impl Into<String>, text: &str) -> SimResult<Self> {
+        let mut rows = text
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.is_empty() && !l.starts_with('#'));
+        let header = rows
+            .next()
+            .ok_or_else(|| SimError::TraceConfig("empty CSV trace".into()))?;
+        let expect = "duration_s,rate_pps,packet_size,burstiness";
+        if header.replace(' ', "") != expect {
+            return Err(SimError::TraceConfig(format!(
+                "CSV header `{header}` != `{expect}`"
+            )));
+        }
+        let mut points = Vec::new();
+        for (lineno, row) in rows.enumerate() {
+            let cols: Vec<&str> = row.split(',').map(str::trim).collect();
+            if cols.len() != 4 {
+                return Err(SimError::TraceConfig(format!(
+                    "row {}: expected 4 columns, found {}",
+                    lineno + 1,
+                    cols.len()
+                )));
+            }
+            let parse_f = |s: &str, col: &str| -> SimResult<f64> {
+                s.parse::<f64>().map_err(|_| {
+                    SimError::TraceConfig(format!("row {}: bad {col} `{s}`", lineno + 1))
+                })
+            };
+            points.push(TracePoint {
+                duration_s: parse_f(cols[0], "duration_s")?,
+                rate_pps: parse_f(cols[1], "rate_pps")?,
+                packet_size: cols[2].parse::<u32>().map_err(|_| {
+                    SimError::TraceConfig(format!(
+                        "row {}: bad packet_size `{}`",
+                        lineno + 1,
+                        cols[2]
+                    ))
+                })?,
+                burstiness: parse_f(cols[3], "burstiness")?,
+            });
+        }
+        Self::new(name, points)
+    }
+
+    /// Trace name (for reports).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The schedule points in replay order.
+    pub fn points(&self) -> &[TracePoint] {
+        &self.points
+    }
+
+    /// Total scheduled duration of one replay cycle, seconds.
+    pub fn total_duration_s(&self) -> f64 {
+        self.points.iter().map(|p| p.duration_s).sum()
+    }
+
+    /// The point in force at time `t_s`, replaying cyclically.
+    pub fn point_at(&self, t_s: f64) -> &TracePoint {
+        let total = self.total_duration_s();
+        let mut t = if total > 0.0 {
+            t_s.rem_euclid(total)
+        } else {
+            0.0
+        };
+        for p in &self.points {
+            if t < p.duration_s {
+                return p;
+            }
+            t -= p.duration_s;
+        }
+        self.points.last().expect("trace validated non-empty")
+    }
+}
+
+/// Replays a [`Trace`] as per-epoch offered loads with deterministic seeded
+/// jitter: each sampled window draws a multiplicative Gaussian factor
+/// `1 + jitter_frac · z` (clamped at 0) around the scheduled rate, so two
+/// sources with the same trace and seed produce identical load sequences.
+#[derive(Debug)]
+pub struct TraceSource {
+    trace: Trace,
+    jitter_frac: f64,
+    rng: StdRng,
+    now_s: f64,
+}
+
+impl TraceSource {
+    /// Creates a replay source over `trace`; `jitter_frac` is the relative
+    /// standard deviation of the per-window rate jitter (0 disables it).
+    pub fn new(trace: Trace, jitter_frac: f64, seed: u64) -> SimResult<Self> {
+        if !jitter_frac.is_finite() || jitter_frac < 0.0 {
+            return Err(SimError::TraceConfig(format!(
+                "jitter_frac {jitter_frac} must be finite and >= 0"
+            )));
+        }
+        Ok(Self {
+            trace,
+            jitter_frac,
+            rng: StdRng::seed_from_u64(seed),
+            now_s: 0.0,
+        })
+    }
+
+    /// The trace being replayed.
+    pub fn trace(&self) -> &Trace {
+        &self.trace
+    }
+
+    /// Current replay position in seconds (wraps at the trace length).
+    pub fn now_s(&self) -> f64 {
+        self.now_s
+    }
+
+    /// Samples the offered load for the next window and advances replay time.
+    pub fn sample_load(&mut self, window_s: f64) -> ChainLoad {
+        let p = *self.trace.point_at(self.now_s);
+        self.now_s += window_s;
+        let jitter = if self.jitter_frac > 0.0 {
+            let u1: f64 = self.rng.random::<f64>().max(1e-12);
+            let u2: f64 = self.rng.random();
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (1.0 + self.jitter_frac * z).max(0.0)
+        } else {
+            1.0
+        };
+        ChainLoad {
+            arrival_pps: p.rate_pps * jitter,
+            mean_packet_size: f64::from(p.packet_size),
+            burstiness: p.burstiness,
+        }
+    }
+}
+
+/// A chain's offered-load source: either a synthetic [`TrafficGen`] over a
+/// [`FlowSet`] or trace-driven replay through a [`TraceSource`].
+///
+/// [`Node`](crate::node::Node) samples every hosted chain's load through
+/// this union, so replayed and synthetic chains flow through the identical
+/// epoch pipeline (and the fused cluster batch) with no special casing.
+#[derive(Debug)]
+pub enum TrafficSource {
+    /// Seeded synthetic generation from a flow set.
+    Synthetic(TrafficGen),
+    /// Deterministic trace replay with seeded jitter.
+    Replay(TraceSource),
+}
+
+impl TrafficSource {
+    /// Synthetic source over `flows`.
+    pub fn synthetic(flows: FlowSet, seed: u64) -> Self {
+        Self::Synthetic(TrafficGen::new(flows, seed))
+    }
+
+    /// Replay source over `trace`.
+    pub fn replay(trace: Trace, jitter_frac: f64, seed: u64) -> SimResult<Self> {
+        Ok(Self::Replay(TraceSource::new(trace, jitter_frac, seed)?))
+    }
+
+    /// Samples the offered load for one window, advancing the source.
+    pub fn sample_load(&mut self, window_s: f64) -> ChainLoad {
+        match self {
+            TrafficSource::Synthetic(gen) => gen.sample_load(window_s),
+            TrafficSource::Replay(src) => src.sample_load(window_s),
+        }
+    }
+
+    /// The flow set of a synthetic source (`None` for trace replay).
+    pub fn flows(&self) -> Option<&FlowSet> {
+        match self {
+            TrafficSource::Synthetic(gen) => Some(gen.flows()),
+            TrafficSource::Replay(_) => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -220,6 +514,146 @@ mod tests {
         assert!(!pkts.is_empty());
         assert!(pkts.windows(2).all(|w| w[0].arrival_ns <= w[1].arrival_ns));
         assert!(pkts.iter().all(|p| p.size == 64 && p.flow_id == 0));
+    }
+
+    fn diurnal_like_trace() -> Trace {
+        Trace::new(
+            "mini-diurnal",
+            vec![
+                TracePoint {
+                    duration_s: 60.0,
+                    rate_pps: 2.0e5,
+                    packet_size: 512,
+                    burstiness: 1.2,
+                },
+                TracePoint {
+                    duration_s: 60.0,
+                    rate_pps: 1.6e6,
+                    packet_size: 640,
+                    burstiness: 1.5,
+                },
+                TracePoint {
+                    duration_s: 60.0,
+                    rate_pps: 6.0e5,
+                    packet_size: 512,
+                    burstiness: 1.2,
+                },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn trace_validation_rejects_bad_points() {
+        assert!(Trace::new("empty", vec![]).is_err());
+        let bad_size = TracePoint {
+            duration_s: 1.0,
+            rate_pps: 1.0,
+            packet_size: 32,
+            burstiness: 1.0,
+        };
+        assert!(Trace::new("t", vec![bad_size]).is_err());
+        let bad_dur = TracePoint {
+            duration_s: 0.0,
+            rate_pps: 1.0,
+            packet_size: 64,
+            burstiness: 1.0,
+        };
+        assert!(Trace::new("t", vec![bad_dur]).is_err());
+        let bad_burst = TracePoint {
+            duration_s: 1.0,
+            rate_pps: 1.0,
+            packet_size: 64,
+            burstiness: 0.5,
+        };
+        assert!(Trace::new("t", vec![bad_burst]).is_err());
+    }
+
+    #[test]
+    fn trace_point_lookup_wraps() {
+        let t = diurnal_like_trace();
+        assert_eq!(t.total_duration_s(), 180.0);
+        assert_eq!(t.point_at(0.0).rate_pps, 2.0e5);
+        assert_eq!(t.point_at(90.0).rate_pps, 1.6e6);
+        assert_eq!(t.point_at(179.0).rate_pps, 6.0e5);
+        // Cyclic replay: one full cycle later lands on the same point.
+        assert_eq!(t.point_at(180.0 + 90.0).rate_pps, 1.6e6);
+    }
+
+    #[test]
+    fn trace_csv_round_trip() {
+        let csv = "\
+# mini diurnal profile
+duration_s,rate_pps,packet_size,burstiness
+60,200000,512,1.2
+60,1600000,640,1.5
+60,600000,512,1.2
+";
+        let t = Trace::from_csv("mini-diurnal", csv).unwrap();
+        assert_eq!(t, diurnal_like_trace());
+        assert!(Trace::from_csv("bad", "wrong,header\n1,2").is_err());
+        assert!(Trace::from_csv("bad", "duration_s,rate_pps,packet_size,burstiness\n1,2").is_err());
+    }
+
+    #[test]
+    fn trace_replay_is_deterministic_under_seed() {
+        let t = diurnal_like_trace();
+        let mut a = TraceSource::new(t.clone(), 0.1, 7).unwrap();
+        let mut b = TraceSource::new(t, 0.1, 7).unwrap();
+        for _ in 0..12 {
+            assert_eq!(a.sample_load(30.0), b.sample_load(30.0));
+        }
+    }
+
+    #[test]
+    fn trace_replay_follows_schedule_with_jitter_around_mean() {
+        let t = diurnal_like_trace();
+        // No jitter: exact schedule rates in order, wrapping after 6 windows.
+        let mut src = TraceSource::new(t.clone(), 0.0, 1).unwrap();
+        let rates: Vec<f64> = (0..8).map(|_| src.sample_load(30.0).arrival_pps).collect();
+        assert_eq!(
+            rates,
+            vec![2.0e5, 2.0e5, 1.6e6, 1.6e6, 6.0e5, 6.0e5, 2.0e5, 2.0e5]
+        );
+        // Jitter: mean converges to the scheduled rate, samples stay >= 0.
+        let mut src = TraceSource::new(t, 0.2, 3).unwrap();
+        let mut acc = 0.0;
+        let n = 600;
+        for _ in 0..n {
+            let l = src.sample_load(180.0); // full cycle per window: point 0 each time
+            assert!(l.arrival_pps >= 0.0);
+            acc += l.arrival_pps;
+        }
+        let mean = acc / n as f64;
+        assert!((mean - 2.0e5).abs() < 0.05 * 2.0e5, "mean {mean}");
+    }
+
+    #[test]
+    fn traffic_source_union_samples_both_paths() {
+        let mut synth = TrafficSource::synthetic(flows(vec![FlowSpec::cbr(0, 1000.0, 256)]), 1);
+        assert!(synth.flows().is_some());
+        let l = synth.sample_load(2.0);
+        assert!((l.arrival_pps - 1000.0).abs() < 1e-9);
+        assert_eq!(l.mean_packet_size, 256.0);
+
+        let mut replay = TrafficSource::replay(diurnal_like_trace(), 0.0, 1).unwrap();
+        assert!(replay.flows().is_none());
+        let l = replay.sample_load(30.0);
+        assert_eq!(l.arrival_pps, 2.0e5);
+        assert_eq!(l.mean_packet_size, 512.0);
+        assert!(TrafficSource::replay(diurnal_like_trace(), -0.5, 1).is_err());
+    }
+
+    #[test]
+    fn synthetic_sample_load_matches_manual_fold() {
+        let fs = flows(vec![FlowSpec::poisson(0, 5_000.0, 256)]);
+        let mut gen = TrafficGen::new(fs.clone(), 9);
+        let mut reference = TrafficGen::new(fs.clone(), 9);
+        let load = gen.sample_load(1.0);
+        let window = reference.next_window(1.0);
+        assert_eq!(load.arrival_pps, TrafficGen::window_rate_pps(&window, 1.0));
+        assert_eq!(load.mean_packet_size, fs.mean_packet_size());
+        assert_eq!(load.burstiness, fs.burstiness());
     }
 
     #[test]

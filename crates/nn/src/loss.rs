@@ -83,7 +83,11 @@ mod tests {
         let p = Matrix::row(vec![0.9, -0.1]);
         let eps = 1e-6;
         for (name, f) in [
-            ("mse", Box::new(|a: &Matrix, b: &Matrix| mse(a, b)) as Box<dyn Fn(&Matrix, &Matrix) -> (f64, Matrix)>),
+            (
+                "mse",
+                Box::new(|a: &Matrix, b: &Matrix| mse(a, b))
+                    as Box<dyn Fn(&Matrix, &Matrix) -> (f64, Matrix)>,
+            ),
             ("huber", Box::new(|a: &Matrix, b: &Matrix| huber(a, b, 0.5))),
         ] {
             let (_, g) = f(&p, &t);

@@ -182,11 +182,7 @@ mod tests {
     #[test]
     fn end_to_end_gradient_check() {
         // Loss = sum(outputs); verify dL/dx through the whole stack.
-        let mut net = Mlp::new(
-            &[3, 5, 2],
-            &[Activation::Tanh, Activation::Identity],
-            7,
-        );
+        let mut net = Mlp::new(&[3, 5, 2], &[Activation::Tanh, Activation::Identity], 7);
         let x = Matrix::from_vec(1, 3, vec![0.4, -0.7, 0.2]);
         let y = net.forward(&x);
         let ones = Matrix::from_vec(1, y.cols(), vec![1.0; y.cols()]);
@@ -210,11 +206,7 @@ mod tests {
 
     #[test]
     fn mlp_learns_xor_with_sgd() {
-        let mut net = Mlp::new(
-            &[2, 8, 1],
-            &[Activation::Tanh, Activation::Sigmoid],
-            11,
-        );
+        let mut net = Mlp::new(&[2, 8, 1], &[Activation::Tanh, Activation::Sigmoid], 11);
         let inputs = [[0.0, 0.0], [0.0, 1.0], [1.0, 0.0], [1.0, 1.0]];
         let targets = [0.0, 1.0, 1.0, 0.0];
         for _ in 0..4000 {
@@ -230,10 +222,7 @@ mod tests {
         }
         for (x, &t) in inputs.iter().zip(&targets) {
             let y = net.infer_one(x)[0];
-            assert!(
-                (y - t).abs() < 0.2,
-                "XOR({x:?}) = {y}, want {t}"
-            );
+            assert!((y - t).abs() < 0.2, "XOR({x:?}) = {y}, want {t}");
         }
     }
 

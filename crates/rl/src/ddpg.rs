@@ -174,8 +174,7 @@ impl DdpgAgent {
             .iter()
             .enumerate()
             .map(|(i, t)| {
-                t.reward
-                    + self.config.gamma * if t.done { 0.0 } else { q_next.get(i, 0) }
+                t.reward + self.config.gamma * if t.done { 0.0 } else { q_next.get(i, 0) }
             })
             .collect();
 
@@ -237,7 +236,8 @@ impl DdpgAgent {
         self.actor_opt.step(&mut self.actor);
 
         // ---- Target networks ----------------------------------------------
-        self.target_actor.soft_update_from(&self.actor, self.config.tau);
+        self.target_actor
+            .soft_update_from(&self.actor, self.config.tau);
         self.target_critic
             .soft_update_from(&self.critic, self.config.tau);
         self.updates += 1;

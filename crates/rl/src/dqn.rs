@@ -59,7 +59,13 @@ impl DqnAgent {
     /// Creates an agent for `state_dim`-dimensional states and `n_actions`
     /// discrete actions.
     pub fn new(state_dim: usize, n_actions: usize, config: DqnConfig, seed: u64) -> Self {
-        let online = Mlp::two_hidden(state_dim, config.hidden, n_actions, Activation::Identity, seed);
+        let online = Mlp::two_hidden(
+            state_dim,
+            config.hidden,
+            n_actions,
+            Activation::Identity,
+            seed,
+        );
         let target = online.clone();
         let mut opt = Adam::new(config.lr);
         opt.grad_clip = 5.0;

@@ -43,7 +43,10 @@ impl SumTree {
     /// Sets leaf `i` to `priority`, updating ancestor sums.
     pub fn set(&mut self, i: usize, priority: f64) {
         assert!(i < self.capacity, "leaf index out of range");
-        assert!(priority >= 0.0 && priority.is_finite(), "priority must be finite, >= 0");
+        assert!(
+            priority >= 0.0 && priority.is_finite(),
+            "priority must be finite, >= 0"
+        );
         let mut idx = self.capacity + i;
         let delta = priority - self.nodes[idx];
         self.nodes[idx] = priority;
@@ -115,7 +118,7 @@ impl PrioritizedReplay {
             alpha: 0.6,
             epsilon: 1e-3,
             rng: StdRng::seed_from_u64(seed),
-        inserted_total: 0,
+            inserted_total: 0,
         }
     }
 
@@ -221,7 +224,11 @@ impl PrioritizedReplay {
     pub fn evict_oldest(&mut self, n: usize) {
         let n = n.min(self.len);
         // Oldest entries start at `next` when full, else at 0.
-        let start = if self.len == self.capacity { self.next } else { 0 };
+        let start = if self.len == self.capacity {
+            self.next
+        } else {
+            0
+        };
         for k in 0..n {
             let idx = (start + k) % self.capacity;
             self.data[idx] = None;

@@ -150,7 +150,14 @@ impl QLearning {
     }
 
     /// Q-learning update `Q(s,a) += α (r + γ max_a' Q(s',a') − Q(s,a))`.
-    pub fn learn(&mut self, state: &[f64], action: &[f64], reward: f64, next_state: &[f64], done: bool) {
+    pub fn learn(
+        &mut self,
+        state: &[f64],
+        action: &[f64],
+        reward: f64,
+        next_state: &[f64],
+        done: bool,
+    ) {
         let s = self.state_disc.encode(state);
         let a = self.action_disc.encode(action);
         let target = if done {

@@ -109,11 +109,8 @@ mod tests {
         for i in 0..8 {
             b.push(tr(i as f64));
         }
-        let seen: std::collections::HashSet<u64> = b
-            .sample(400)
-            .iter()
-            .map(|t| t.reward as u64)
-            .collect();
+        let seen: std::collections::HashSet<u64> =
+            b.sample(400).iter().map(|t| t.reward as u64).collect();
         assert_eq!(seen.len(), 8, "uniform sampling should hit every element");
     }
 

@@ -16,8 +16,14 @@ use nfv_sim::prelude::*;
 fn main() {
     // One controller per node, as GreenNFV deploys one NF_CONTROLLER per host.
     let chains = [
-        ("canonical fw→nat→ids", ChainSpec::canonical_three(ChainId(0))),
-        ("heavyweight router→crypto→ids", ChainSpec::heavyweight(ChainId(0))),
+        (
+            "canonical fw→nat→ids",
+            ChainSpec::canonical_three(ChainId(0)),
+        ),
+        (
+            "heavyweight router→crypto→ids",
+            ChainSpec::heavyweight(ChainId(0)),
+        ),
         ("lightweight monitor→fw", ChainSpec::lightweight(ChainId(0))),
     ];
     let workloads = [

@@ -11,16 +11,34 @@ use greennfv::report::table;
 use nfv_sim::prelude::*;
 
 fn main() {
-    for scenario in [Scenario::diurnal(), Scenario::flash_crowd()] {
-        println!("== scenario: {} ==", scenario.name);
+    for schedule in [WorkloadSchedule::diurnal(), WorkloadSchedule::flash_crowd()] {
+        println!("== schedule: {} ==", schedule.name);
         let mut rows = Vec::new();
         let mut base = BaselineController;
         let mut heur = HeuristicController::default();
         let mut ee = EePstateController::default();
         let runs = [
-            run_scenario(&mut base, &scenario, SimTuning::default(), PowerModel::default(), 42),
-            run_scenario(&mut heur, &scenario, SimTuning::default(), PowerModel::default(), 42),
-            run_scenario(&mut ee, &scenario, SimTuning::default(), PowerModel::default(), 42),
+            run_schedule(
+                &mut base,
+                &schedule,
+                SimTuning::default(),
+                PowerModel::default(),
+                42,
+            ),
+            run_schedule(
+                &mut heur,
+                &schedule,
+                SimTuning::default(),
+                PowerModel::default(),
+                42,
+            ),
+            run_schedule(
+                &mut ee,
+                &schedule,
+                SimTuning::default(),
+                PowerModel::default(),
+                42,
+            ),
         ];
         for r in &runs {
             for p in &r.phases {
@@ -37,7 +55,14 @@ fn main() {
         println!(
             "{}",
             table(
-                &["Controller", "Phase", "Offered", "Delivered", "E (J)", "Gbps/kJ"],
+                &[
+                    "Controller",
+                    "Phase",
+                    "Offered",
+                    "Delivered",
+                    "E (J)",
+                    "Gbps/kJ"
+                ],
                 &rows
             )
         );

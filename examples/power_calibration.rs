@@ -18,7 +18,12 @@ fn main() {
 
     // Sweep utilization levels and fit h by least squares, as the paper does.
     let fitted_h = calibrate_h(&mut meter, PowerModel::default(), 100);
-    println!("true h = {:.2}, fitted h = {:.2} ({} meter samples)", truth.h, fitted_h, meter.samples());
+    println!(
+        "true h = {:.2}, fitted h = {:.2} ({} meter samples)",
+        truth.h,
+        fitted_h,
+        meter.samples()
+    );
 
     let fitted = PowerModel {
         h: fitted_h,

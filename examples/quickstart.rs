@@ -30,7 +30,10 @@ fn main() {
 
     // --- 2. Hand-tuned knobs ------------------------------------------------
     let tuned = KnobSettings {
-        cpu: CpuAllocation { cores: 4, share: 1.0 },
+        cpu: CpuAllocation {
+            cores: 4,
+            share: 1.0,
+        },
         freq_ghz: 1.7,
         llc_fraction: 0.9,
         dma: DmaBuffer::from_mb(8.0),

@@ -1,0 +1,37 @@
+//! Runs every named scenario in the registry end-to-end and prints the
+//! per-tenant outcomes plus a cross-scenario comparison: heterogeneous
+//! clusters, multi-SLA tenants sharing nodes, and trace-driven diurnal
+//! replay, all flowing through the fused batched engine.
+//!
+//! ```text
+//! cargo run --release --example scenario_sweep
+//! ```
+
+use greennfv::prelude::*;
+
+fn main() {
+    let mut runs = Vec::new();
+    for scenario in Scenario::registry() {
+        let nodes = scenario.nodes.len();
+        let tenants: usize = scenario.nodes.iter().map(|n| n.tenants.len()).sum();
+        println!(
+            "== scenario: {} ({} node(s), {} tenant(s), {} epochs of {:.0} s) ==",
+            scenario.name, nodes, tenants, scenario.epochs, scenario.tuning.epoch_s
+        );
+        let run = scenario.run().expect("registry scenarios run");
+        println!("{}", run.render());
+        runs.push(run);
+    }
+    println!("== registry summary ==");
+    println!("{}", scenario_comparison(&runs));
+    // The descriptors are plain data: show one round-tripping through JSON.
+    let sc = Scenario::by_name("two-tenant-shared-node").expect("registry name");
+    let json = sc.to_json();
+    let back = Scenario::from_json(&json).expect("round-trip parses");
+    assert_eq!(back, sc);
+    println!(
+        "descriptor `{}` serializes to {} bytes of JSON and round-trips exactly",
+        sc.name,
+        json.len()
+    );
+}

@@ -39,7 +39,10 @@ fn main() {
             report.throughput_ratio(model, "Baseline"),
             report.energy_ratio(model, "Baseline"),
         ) {
-            println!("{model}: measured {t:.2}x throughput at {:.0}% energy  ({claim})", e * 100.0);
+            println!(
+                "{model}: measured {t:.2}x throughput at {:.0}% energy  ({claim})",
+                e * 100.0
+            );
         }
     }
 }

@@ -63,10 +63,7 @@ fn build_batch(lanes: usize, invalidate: impl Fn(u32) -> bool) -> ChainBatch {
 }
 
 /// The scalar reference: validate each lane, then run `evaluate_chain`.
-fn scalar_reference(
-    batch: &ChainBatch,
-    tuning: &SimTuning,
-) -> Vec<SimResult<ChainEpochResult>> {
+fn scalar_reference(batch: &ChainBatch, tuning: &SimTuning) -> Vec<SimResult<ChainEpochResult>> {
     (0..batch.len())
         .map(|i| {
             let (knobs, cost, load, llc) = batch.lane(i);

@@ -121,5 +121,8 @@ fn functional_packet_path_across_crates() {
     }
     let n = batch.len();
     chain.process_batch(batch);
-    assert_eq!(chain.processed_packets() as usize + chain.dropped_packets() as usize, n);
+    assert_eq!(
+        chain.processed_packets() as usize + chain.dropped_packets() as usize,
+        n
+    );
 }

@@ -27,7 +27,11 @@ fn both_paths_agree_on_zero_policy_drops() {
         llc_partition_bytes(0.5),
         &SimTuning::default(),
     );
-    assert!(r.loss_frac < 1e-6, "underload loses nothing: {}", r.loss_frac);
+    assert!(
+        r.loss_frac < 1e-6,
+        "underload loses nothing: {}",
+        r.loss_frac
+    );
 }
 
 /// Batching semantics match: the functional runtime moves packets in batches

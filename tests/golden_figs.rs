@@ -1,4 +1,4 @@
-//! Golden snapshots of the headline figure grids.
+//! Golden snapshots of the headline figure grids and scenario runs.
 //!
 //! The fig2 (frequency) and fig3 (batch-size) sweeps are the paper-facing
 //! numbers most exposed to the batched evaluation engine: both grids are
@@ -6,7 +6,9 @@
 //! wide-lane column-pass kernel. These tests pin the grids against JSON
 //! snapshots in `tests/golden/` within 1e-9, so work on the batch kernel
 //! (wide-lane packing, block sizing, reduction reordering) cannot silently
-//! shift paper-reproduction results.
+//! shift paper-reproduction results. Two scenario-subsystem snapshots ride
+//! the same workflow: the `two-tenant-shared-node` run (multi-SLA scoring on
+//! attributed energy) and the `diurnal-trace` run (seeded-jitter replay).
 //!
 //! # Blessing workflow
 //!
@@ -32,7 +34,9 @@
 //! *without* re-blessing; needing a bless is the signal that lane math
 //! actually changed.
 
+use greennfv::prelude::{Scenario, TenantEpochRecord};
 use greennfv_bench::{fig2_freq, fig3_batch, Fig2Row, Fig3Row};
+use std::ffi::OsStr;
 use std::path::PathBuf;
 
 /// Seed shared by both snapshots; arbitrary but fixed forever.
@@ -46,6 +50,14 @@ fn golden_path(name: &str) -> PathBuf {
         .join(name)
 }
 
+/// Interprets a `CI` environment value: any **non-empty** value marks a CI
+/// run. GitHub Actions sets `CI=true`, other systems use `CI=1` — both (and
+/// any other non-empty spelling) must refuse blessing; unset or empty means
+/// a developer machine.
+fn ci_env_active(value: Option<&OsStr>) -> bool {
+    value.is_some_and(|v| !v.is_empty())
+}
+
 /// Compares against the snapshot, writing it first when absent. Blessing is
 /// local-only: on CI a missing snapshot is a failure, so an uncommitted (or
 /// deleted) golden file can never silently disable the drift guard.
@@ -57,7 +69,7 @@ fn check_or_bless<T: serde::Serialize + serde::de::DeserializeOwned>(
     let path = golden_path(name);
     if !path.exists() {
         assert!(
-            std::env::var_os("CI").is_none(),
+            !ci_env_active(std::env::var_os("CI").as_deref()),
             "golden snapshot {name} missing on CI — commit tests/golden/{name}"
         );
         std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
@@ -103,4 +115,52 @@ fn fig3_batch_grid_matches_golden() {
             ("misses_e4", r.misses_e4),
         ]
     });
+}
+
+/// Field extractor shared by the scenario snapshots: every numeric outcome
+/// of a per-tenant epoch record (identity fields pin ordering).
+fn scenario_fields(r: &TenantEpochRecord) -> Vec<(&'static str, f64)> {
+    vec![
+        ("epoch", f64::from(r.epoch)),
+        ("node", f64::from(r.node)),
+        ("throughput_gbps", r.throughput_gbps),
+        ("energy_j", r.energy_j),
+        ("loss_frac", r.loss_frac),
+        ("reward", r.reward),
+        ("satisfied", if r.satisfied { 1.0 } else { 0.0 }),
+    ]
+}
+
+#[test]
+fn scenario_two_tenant_matches_golden() {
+    // The multi-SLA shared-node scenario: per-tenant telemetry, attributed
+    // energy, and rewards are pinned across the whole run, so neither the
+    // batch kernel nor the tenant scoring can silently drift.
+    let run = Scenario::by_name("two-tenant-shared-node")
+        .expect("registry scenario")
+        .run()
+        .expect("scenario runs");
+    check_or_bless("scenario_two_tenant.json", &run.records, scenario_fields);
+}
+
+#[test]
+fn scenario_diurnal_trace_matches_golden() {
+    // The trace-replay scenario: pins the seeded-jitter replay sequence on
+    // top of the engine outputs (a changed jitter draw shifts every epoch).
+    let run = Scenario::by_name("diurnal-trace")
+        .expect("registry scenario")
+        .run()
+        .expect("scenario runs");
+    check_or_bless("scenario_diurnal_trace.json", &run.records, scenario_fields);
+}
+
+#[test]
+fn ci_detection_accepts_any_nonempty_spelling() {
+    // GitHub Actions sets CI=true; other CI systems set CI=1. Both refuse
+    // blessing; unset or empty values mean a developer machine.
+    assert!(ci_env_active(Some(OsStr::new("true"))));
+    assert!(ci_env_active(Some(OsStr::new("1"))));
+    assert!(ci_env_active(Some(OsStr::new("yes"))));
+    assert!(!ci_env_active(Some(OsStr::new(""))));
+    assert!(!ci_env_active(None));
 }

@@ -15,8 +15,14 @@ fn figure9_headline_shape_holds() {
 
     let base_t = rep.get("Baseline").unwrap().mean_throughput_gbps;
     let base_e = rep.get("Baseline").unwrap().mean_energy_j;
-    assert!(base_t > 1.0 && base_t < 4.0, "baseline ~2 Gbps, got {base_t}");
-    assert!(base_e > 2000.0, "baseline is the most wasteful, got {base_e} J");
+    assert!(
+        base_t > 1.0 && base_t < 4.0,
+        "baseline ~2 Gbps, got {base_t}"
+    );
+    assert!(
+        base_e > 2000.0,
+        "baseline is the most wasteful, got {base_e} J"
+    );
 
     // Heuristics / EE-Pstate: meaningfully better than baseline (paper ~2x).
     for model in ["Heuristics", "EE-Pstate"] {
@@ -30,7 +36,10 @@ fn figure9_headline_shape_holds() {
     let maxt = rep.throughput_ratio("GreenNFV(MaxT)", "Baseline").unwrap();
     assert!(maxt > 2.5, "MaxT throughput ratio {maxt} (paper 4.4x)");
     let maxt_e = rep.get("GreenNFV(MaxT)").unwrap().mean_energy_j;
-    assert!(maxt_e <= 2000.0 * 1.05, "MaxT respects the 2000 J cap, got {maxt_e}");
+    assert!(
+        maxt_e <= 2000.0 * 1.05,
+        "MaxT respects the 2000 J cap, got {maxt_e}"
+    );
 
     // GreenNFV(MinE): paper 3x throughput while cutting energy.
     let mine = rep.get("GreenNFV(MinE)").unwrap();
@@ -59,7 +68,10 @@ fn figure9_headline_shape_holds() {
         .fold(0.0f64, f64::max);
     for model in ["GreenNFV(MinE)", "GreenNFV(MaxT)", "GreenNFV(EE)"] {
         let eff = rep.get(model).unwrap().efficiency;
-        assert!(eff > best_static, "{model} efficiency {eff} vs static best {best_static}");
+        assert!(
+            eff > best_static,
+            "{model} efficiency {eff} vs static best {best_static}"
+        );
     }
 }
 
@@ -87,11 +99,19 @@ fn max_throughput_sla_honours_energy_cap_during_deployment() {
     let out = train(Sla::paper_max_throughput(), &TrainConfig::quick(400, 17));
     let mut ctrl = out.into_controller("GreenNFV(MaxT)");
     let r = run_controller(&mut ctrl, &RunConfig::paper(30, 321));
-    let violations = r.trace.iter().filter(|e| e.energy_j > 2000.0 * 1.05).count();
+    let violations = r
+        .trace
+        .iter()
+        .filter(|e| e.energy_j > 2000.0 * 1.05)
+        .count();
     assert!(
         violations <= r.trace.len() / 5,
         "{violations}/{} epochs over the cap",
         r.trace.len()
     );
-    assert!(r.mean_throughput_gbps > 5.0, "got {}", r.mean_throughput_gbps);
+    assert!(
+        r.mean_throughput_gbps > 5.0,
+        "got {}",
+        r.mean_throughput_gbps
+    );
 }

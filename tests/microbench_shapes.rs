@@ -44,7 +44,11 @@ fn fig3_batch_has_interior_peak_and_miss_ushape() {
     let peak = rows
         .iter()
         .enumerate()
-        .max_by(|a, b| a.1.throughput_gbps.partial_cmp(&b.1.throughput_gbps).unwrap())
+        .max_by(|a, b| {
+            a.1.throughput_gbps
+                .partial_cmp(&b.1.throughput_gbps)
+                .unwrap()
+        })
         .unwrap()
         .0;
     assert!(peak > 0, "throughput peak not at batch=1");
@@ -82,7 +86,13 @@ fn fig11_savings_grow_over_time_and_break_even() {
     let curve = fig11_amortize(Effort::Quick, 5);
     let h1 = curve.saving_at_hours(1.0);
     let h6 = curve.saving_at_hours(6.0);
-    assert!(h6 > h1, "saving must grow as training amortizes: {h1} -> {h6}");
-    assert!(curve.asymptotic_saving() > 0.0, "trained model must save energy");
+    assert!(
+        h6 > h1,
+        "saving must grow as training amortizes: {h1} -> {h6}"
+    );
+    assert!(
+        curve.asymptotic_saving() > 0.0,
+        "trained model must save energy"
+    );
     assert!(h6 <= curve.asymptotic_saving());
 }

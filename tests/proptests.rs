@@ -6,6 +6,99 @@ use nfv_sim::mbuf::MbufPool;
 use nfv_sim::prelude::*;
 use proptest::prelude::*;
 
+/// Raw per-tenant draw for the scenario strategies: (chain selector, SLA
+/// selector, rate pps, packet size, traffic kind 0=flows / 1=trace).
+type TenantRaw = (u32, u32, f64, f64, u32);
+
+/// Builds an arbitrary-but-valid [`Scenario`] from primitive draws: up to
+/// three nodes with random profiles, each hosting 1–2 tenants with random
+/// chains, SLAs, and synthetic-or-replay traffic. Knobs are chosen to fit
+/// every profile (frequency inside all preset ranges, modest way shares),
+/// so construction never trips capacity checks and the properties exercise
+/// the *evaluation* paths.
+fn scenario_from_raw(nodes: &[(u32, Vec<TenantRaw>)], seed: u64, epochs: u32) -> Scenario {
+    let node_specs = nodes
+        .iter()
+        .map(|(profile_sel, tenants)| NodeSpec {
+            profile: match profile_sel % 3 {
+                0 => NodeProfile::paper_default(),
+                1 => NodeProfile::edge_low_power(),
+                _ => NodeProfile::high_perf(),
+            },
+            tenants: tenants
+                .iter()
+                .enumerate()
+                .map(|(ti, &(chain_sel, sla_sel, rate, size, kind))| {
+                    let nfs = match chain_sel % 3 {
+                        0 => ChainSpec::canonical_three(ChainId(0)).nfs,
+                        1 => ChainSpec::lightweight(ChainId(0)).nfs,
+                        _ => ChainSpec::heavyweight(ChainId(0)).nfs,
+                    };
+                    let sla = match sla_sel % 3 {
+                        0 => TenantSla::new(Sla::EnergyEfficiency),
+                        1 => TenantSla::new(Sla::paper_max_throughput()),
+                        _ => TenantSla::new(Sla::MinEnergy {
+                            throughput_floor_gbps: 0.5,
+                        }),
+                    };
+                    let sla = if sla_sel % 2 == 0 {
+                        sla.with_loss_cap(0.1)
+                    } else {
+                        sla
+                    };
+                    let pkt = (size as u32).clamp(64, 1518);
+                    let traffic = if kind % 2 == 0 {
+                        TrafficSpec::Flows(
+                            FlowSet::new(vec![FlowSpec::poisson(0, rate, pkt)]).expect("valid"),
+                        )
+                    } else {
+                        TrafficSpec::Replay {
+                            trace: Trace::new(
+                                "prop",
+                                vec![
+                                    TracePoint {
+                                        duration_s: 60.0,
+                                        rate_pps: rate,
+                                        packet_size: pkt,
+                                        burstiness: 1.3,
+                                    },
+                                    TracePoint {
+                                        duration_s: 60.0,
+                                        rate_pps: rate * 0.25,
+                                        packet_size: pkt,
+                                        burstiness: 1.1,
+                                    },
+                                ],
+                            )
+                            .expect("valid trace"),
+                            jitter_frac: 0.05,
+                        }
+                    };
+                    let mut knobs = KnobSettings::default_tuned();
+                    knobs.freq_ghz = 1.6; // inside every preset profile range
+                    knobs.llc_fraction = 0.3;
+                    knobs.batch = 16 + (chain_sel % 3) * 48;
+                    TenantSpec {
+                        name: format!("t{ti}"),
+                        nfs,
+                        sla,
+                        knobs,
+                        traffic,
+                    }
+                })
+                .collect(),
+        })
+        .collect();
+    Scenario {
+        name: "prop-scenario".into(),
+        epochs,
+        seed,
+        tuning: SimTuning::default(),
+        policy: PlatformPolicy::greennfv(),
+        nodes: node_specs,
+    }
+}
+
 proptest! {
     /// SPSC ring: any interleaving of pushes and pops preserves FIFO order
     /// and never loses or duplicates elements.
@@ -208,6 +301,63 @@ proptest! {
             let threaded = evaluate_chain_batch_threads(&batch, &tuning, threads);
             prop_assert_eq!(&threaded, &scalar, "threads = {}", threads);
         }
+    }
+
+    /// Scenario-driven extension of the differential harness: for any
+    /// generated scenario — heterogeneous profiles, co-resident multi-SLA
+    /// tenants, synthetic and trace-driven traffic mixed — the fused cluster
+    /// epoch (all chains of all nodes staged as one column-pass batch) is
+    /// *exactly* equal, node by node and epoch by epoch, to running every
+    /// node's epoch through the scalar per-node path.
+    #[test]
+    fn scenario_driven_fused_batch_equals_serial(
+        nodes in proptest::collection::vec(
+            (
+                0u32..3,
+                proptest::collection::vec(
+                    (0u32..3, 0u32..3, 1e4f64..8e6, 64.0f64..1518.0, 0u32..2),
+                    1..3,
+                ),
+            ),
+            1..4,
+        ),
+        seed in 0u64..1_000_000,
+        epochs in 1u32..4,
+    ) {
+        let scenario = scenario_from_raw(&nodes, seed, epochs);
+        let mut fused = scenario.build_cluster().expect("generated scenarios build");
+        let mut serial = scenario.build_cluster().expect("second build");
+        for epoch in 0..epochs {
+            let fused_report = fused.run_epoch();
+            let serial_reports: Vec<NodeEpochReport> = (0..serial.len())
+                .map(|i| serial.node_mut(i).unwrap().run_epoch())
+                .collect();
+            prop_assert_eq!(&fused_report.nodes, &serial_reports, "epoch {}", epoch);
+        }
+    }
+
+    /// Any scenario descriptor round-trips through serde: the deserialized
+    /// twin is structurally identical and reproduces the same epoch results
+    /// bit-for-bit (the vendored serde_json writes exact floats).
+    #[test]
+    fn scenario_serde_round_trip_preserves_epoch_results(
+        nodes in proptest::collection::vec(
+            (
+                0u32..3,
+                proptest::collection::vec(
+                    (0u32..3, 0u32..3, 1e4f64..8e6, 64.0f64..1518.0, 0u32..2),
+                    1..3,
+                ),
+            ),
+            1..3,
+        ),
+        seed in 0u64..1_000_000,
+    ) {
+        let scenario = scenario_from_raw(&nodes, seed, 2);
+        let json = scenario.to_json();
+        let back = Scenario::from_json(&json).expect("round-trip parses");
+        prop_assert_eq!(&back, &scenario);
+        prop_assert_eq!(back.run().expect("twin runs"), scenario.run().expect("original runs"));
     }
 
     /// Rewards are finite for all SLAs and all outcomes, and satisfying

@@ -1,0 +1,192 @@
+//! End-to-end checks of every named scenario in the registry.
+//!
+//! One test per [`Scenario::NAMES`] entry (dashes become underscores), so
+//! the CI scenario-matrix job can run exactly one scenario per matrix leg —
+//! `cargo test -q --test scenarios -- <scenario_name>` — and a failure names
+//! the exact scenario that broke. Each scenario check verifies:
+//!
+//! * the descriptor validates, builds, and runs end-to-end;
+//! * the fused cluster epoch (all chains of all nodes as one column-pass
+//!   batch) is **bit-identical** to running every node's epoch serially —
+//!   the scenario-driven face of the batch-equivalence contract;
+//! * runs are deterministic under the descriptor's seed;
+//! * the serde round-trip reproduces identical epoch results.
+//!
+//! Registry-level tests pin the name list itself and keep the GitHub
+//! Actions matrix in sync with it.
+
+use greennfv::prelude::*;
+use nfv_sim::prelude::*;
+
+/// Full per-scenario check; see the module docs for the list.
+fn check_scenario(name: &str) {
+    let scenario = Scenario::by_name(name).expect("registry name resolves");
+    assert_eq!(scenario.name, name);
+    scenario.validate().expect("registry scenario validates");
+
+    // Fused cluster epochs == serial per-node epochs, bit for bit, for the
+    // scenario's full horizon.
+    let mut fused = scenario.build_cluster().expect("scenario builds");
+    let mut serial = scenario.build_cluster().expect("scenario builds twice");
+    for epoch in 0..scenario.epochs {
+        let fused_report = fused.run_epoch();
+        let serial_reports: Vec<NodeEpochReport> = (0..serial.len())
+            .map(|i| serial.node_mut(i).unwrap().run_epoch())
+            .collect();
+        assert_eq!(
+            fused_report.nodes, serial_reports,
+            "{name}: fused epoch {epoch} diverged from the serial path"
+        );
+    }
+
+    // End-to-end run: right shape, live traffic, deterministic.
+    let run = scenario.run().expect("scenario runs");
+    let tenants: usize = scenario.nodes.iter().map(|n| n.tenants.len()).sum();
+    assert_eq!(run.records.len(), tenants * scenario.epochs as usize);
+    assert_eq!(run.tenants.len(), tenants);
+    assert!(run.mean_throughput_gbps > 0.0, "{name}: dead cluster");
+    assert!(run.mean_energy_j > 0.0);
+    for t in &run.tenants {
+        assert!(
+            t.mean_reward.is_finite() && (0.0..=1.0).contains(&t.satisfaction_frac),
+            "{name}: tenant {} summary out of range",
+            t.tenant
+        );
+    }
+    assert_eq!(run, scenario.run().unwrap(), "{name}: nondeterministic run");
+
+    // Serde round-trip rebuilds a scenario with identical results.
+    let back = Scenario::from_json(&scenario.to_json()).expect("round-trip parses");
+    assert_eq!(back, scenario, "{name}: descriptor drifted through JSON");
+    assert_eq!(
+        back.run().unwrap(),
+        run,
+        "{name}: JSON twin ran differently"
+    );
+}
+
+#[test]
+fn baseline_homogeneous() {
+    check_scenario("baseline-homogeneous");
+}
+
+#[test]
+fn hetero_3_profile() {
+    check_scenario("hetero-3-profile");
+    // The three profiles produce genuinely different node power draws.
+    let run = Scenario::by_name("hetero-3-profile")
+        .unwrap()
+        .run()
+        .unwrap();
+    let energies: Vec<f64> = run.tenants.iter().map(|t| t.mean_energy_j).collect();
+    assert!(energies[0] != energies[1] && energies[1] != energies[2]);
+}
+
+#[test]
+fn two_tenant_shared_node() {
+    check_scenario("two-tenant-shared-node");
+    // Both tenants live on one node and are scored against distinct SLAs.
+    let run = Scenario::by_name("two-tenant-shared-node")
+        .unwrap()
+        .run()
+        .unwrap();
+    assert_eq!(run.tenants.len(), 2);
+    assert!(run.tenants.iter().all(|t| t.node == 0));
+    assert_ne!(run.tenants[0].sla, run.tenants[1].sla);
+}
+
+#[test]
+fn tenant_storm() {
+    check_scenario("tenant-storm");
+    // Four bursty tenants share the node; the storm must actually stress
+    // someone (some loss somewhere across the run).
+    let run = Scenario::by_name("tenant-storm").unwrap().run().unwrap();
+    assert_eq!(run.tenants.len(), 4);
+    let max_loss = run
+        .records
+        .iter()
+        .map(|r| r.loss_frac)
+        .fold(0.0f64, f64::max);
+    assert!(max_loss > 0.0, "storm scenario never stressed the node");
+}
+
+#[test]
+fn diurnal_trace() {
+    check_scenario("diurnal-trace");
+    // Replay sweeps the full day: epochs must not be load-stationary.
+    let run = Scenario::by_name("diurnal-trace").unwrap().run().unwrap();
+    let min_t = run
+        .records
+        .iter()
+        .map(|r| r.throughput_gbps)
+        .fold(f64::INFINITY, f64::min);
+    let max_t = run
+        .records
+        .iter()
+        .map(|r| r.throughput_gbps)
+        .fold(0.0f64, f64::max);
+    assert!(max_t > 3.0 * min_t, "no diurnal swing: {min_t}..{max_t}");
+}
+
+#[test]
+fn mixed_trace_hetero() {
+    check_scenario("mixed-trace-hetero");
+    let scenario = Scenario::by_name("mixed-trace-hetero").unwrap();
+    // The widest scenario really mixes the axes: >1 node profile, >1 SLA
+    // kind, and both traffic specs.
+    let profiles: std::collections::HashSet<&str> = scenario
+        .nodes
+        .iter()
+        .map(|n| n.profile.name.as_str())
+        .collect();
+    assert!(profiles.len() >= 3);
+    let has_replay = scenario
+        .nodes
+        .iter()
+        .flat_map(|n| &n.tenants)
+        .any(|t| matches!(t.traffic, TrafficSpec::Replay { .. }));
+    let has_flows = scenario
+        .nodes
+        .iter()
+        .flat_map(|n| &n.tenants)
+        .any(|t| matches!(t.traffic, TrafficSpec::Flows(_)));
+    assert!(has_replay && has_flows);
+}
+
+#[test]
+fn registry_names_are_stable_and_unique() {
+    let names: std::collections::HashSet<&str> = Scenario::NAMES.iter().copied().collect();
+    assert_eq!(
+        names.len(),
+        Scenario::NAMES.len(),
+        "duplicate registry name"
+    );
+    assert_eq!(Scenario::registry().len(), Scenario::NAMES.len());
+    // The per-scenario tests above must cover the registry one-to-one: this
+    // file declares exactly one test per name (underscored).
+    let this_file = include_str!("scenarios.rs");
+    for name in Scenario::NAMES {
+        let test_fn = format!("fn {}()", name.replace('-', "_"));
+        assert!(
+            this_file.contains(&test_fn),
+            "registry scenario `{name}` has no dedicated test fn"
+        );
+    }
+}
+
+#[test]
+fn ci_matrix_covers_every_scenario() {
+    // The GitHub Actions scenario-matrix job enumerates the registry by
+    // (underscored) name; keep the YAML in lock-step with `Scenario::NAMES`.
+    let workflow = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join(".github/workflows/ci.yml"),
+    )
+    .expect("CI workflow exists");
+    for name in Scenario::NAMES {
+        let matrix_entry = name.replace('-', "_");
+        assert!(
+            workflow.contains(&matrix_entry),
+            "scenario `{name}` missing from the CI matrix (expected `{matrix_entry}` in ci.yml)"
+        );
+    }
+}

@@ -15,8 +15,22 @@
 //!   contains any filter substring;
 //! * `--test` — run each selected benchmark exactly once without timing
 //!   (CI smoke mode), printing `ok` per benchmark.
+//!
+//! # Machine-readable perf records
+//!
+//! When the `PERF_RECORD_PATH` environment variable names a file, every
+//! selected benchmark's per-iteration time is also written there as JSON at
+//! process exit (see [`write_perf_record`]): one entry per bench id with
+//! `ns_per_iter`, the declared [`Throughput`] element count, and the derived
+//! `ns_per_element` (ns/lane for the batch benches). In `--test` smoke mode
+//! the record is still produced — each selected benchmark runs a short
+//! calibrated measurement instead of a single untimed pass — so CI can
+//! upload a perf trajectory artifact from the smoke job without paying for
+//! a full benchmark run.
 
 use std::hint::black_box;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
 use std::time::Instant;
 
 /// Units for reporting per-iteration throughput.
@@ -106,7 +120,7 @@ impl Criterion {
             return self;
         }
         if self.smoke {
-            smoke_bench(name, &mut f);
+            smoke_bench(name, None, &mut f);
         } else {
             run_bench(name, self.sample_size, None, &mut f);
         }
@@ -153,7 +167,7 @@ impl BenchmarkGroup<'_> {
             return self;
         }
         if self.criterion.smoke {
-            smoke_bench(&full, &mut f);
+            smoke_bench(&full, self.throughput, &mut f);
         } else {
             run_bench(&full, self.criterion.sample_size, self.throughput, &mut f);
         }
@@ -199,23 +213,134 @@ impl Bencher {
 }
 
 /// Benchmarks selected (filter-passed) across all groups in this process.
-static BENCHES_RUN: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+static BENCHES_RUN: AtomicUsize = AtomicUsize::new(0);
+
+/// Whether any benchmark ran in `--test` smoke mode (tags the perf record).
+static SMOKE_RAN: AtomicBool = AtomicBool::new(false);
+
+/// One measured benchmark, queued for the `PERF_RECORD_PATH` JSON.
+struct PerfEntry {
+    id: String,
+    ns_per_iter: f64,
+    elements_per_iter: u64,
+}
+
+/// Measurements accumulated for [`write_perf_record`].
+static PERF_RECORD: Mutex<Vec<PerfEntry>> = Mutex::new(Vec::new());
+
+/// The perf-record output path, when recording is enabled.
+fn perf_record_path() -> Option<std::path::PathBuf> {
+    std::env::var_os("PERF_RECORD_PATH").map(std::path::PathBuf::from)
+}
+
+/// Elements processed per iteration for a throughput declaration (1 when
+/// undeclared, so `ns_per_element == ns_per_iter`).
+fn elements_of(throughput: Option<Throughput>) -> u64 {
+    match throughput {
+        Some(Throughput::Elements(n)) => n.max(1),
+        _ => 1,
+    }
+}
+
+/// Queues one measurement for the perf record (no-op unless enabled).
+fn record_measurement(id: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
+    if perf_record_path().is_none() {
+        return;
+    }
+    PERF_RECORD
+        .lock()
+        .expect("perf record lock")
+        .push(PerfEntry {
+            id: id.to_string(),
+            ns_per_iter,
+            elements_per_iter: elements_of(throughput),
+        });
+}
 
 /// Called by `criterion_main!` after every group has run: a CLI filter that
 /// selected zero benchmarks exits nonzero instead of green-lighting a run
 /// that measured nothing (e.g. a renamed bench under a CI smoke filter).
 pub fn assert_some_benches_ran() {
-    if BENCHES_RUN.load(std::sync::atomic::Ordering::Relaxed) == 0
-        && !Criterion::default().filters.is_empty()
-    {
+    if BENCHES_RUN.load(Ordering::Relaxed) == 0 && !Criterion::default().filters.is_empty() {
         eprintln!("error: benchmark filters matched no benchmarks");
         std::process::exit(1);
     }
 }
 
-/// `--test` smoke mode: one untimed iteration, pass/fail only.
-fn smoke_bench<F: FnMut(&mut Bencher)>(name: &str, f: &mut F) {
-    let mut b = Bencher { iters: 1, elapsed_ns: 0.0 };
+/// Called by `criterion_main!` at exit: when `PERF_RECORD_PATH` is set,
+/// writes every queued measurement as a machine-readable JSON record —
+/// `{"schema": "...", "mode": "smoke"|"timed", "benches": [{"id", "ns_per_iter",
+/// "elements_per_iter", "ns_per_element"}, ...]}` — for the CI perf-record
+/// artifact and the committed `BENCH_*.json` trajectory files.
+pub fn write_perf_record() {
+    let Some(path) = perf_record_path() else {
+        return;
+    };
+    let entries = PERF_RECORD.lock().expect("perf record lock");
+    let mode = if SMOKE_RAN.load(Ordering::Relaxed) {
+        "smoke"
+    } else {
+        "timed"
+    };
+    let mut out = String::from("{\"schema\":\"greennfv-perf-record/v1\",");
+    out.push_str(&format!("\"mode\":\"{mode}\",\"benches\":["));
+    for (i, e) in entries.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let id = e.id.replace('\\', "\\\\").replace('"', "\\\"");
+        out.push_str(&format!(
+            "{{\"id\":\"{id}\",\"ns_per_iter\":{:?},\"elements_per_iter\":{},\"ns_per_element\":{:?}}}",
+            e.ns_per_iter,
+            e.elements_per_iter,
+            e.ns_per_iter / e.elements_per_iter as f64,
+        ));
+    }
+    out.push_str("]}\n");
+    if let Err(err) = std::fs::write(&path, out) {
+        eprintln!("error: cannot write perf record {}: {err}", path.display());
+        std::process::exit(1);
+    }
+    eprintln!(
+        "wrote perf record ({} bench{}) to {}",
+        entries.len(),
+        if entries.len() == 1 { "" } else { "es" },
+        path.display()
+    );
+}
+
+/// `--test` smoke mode: one untimed iteration, pass/fail only — unless a
+/// perf record was requested, in which case a short calibrated measurement
+/// (a few ~2 ms samples) produces a usable `ns_per_iter` without the cost
+/// of the full timing loop.
+fn smoke_bench<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput>, f: &mut F) {
+    SMOKE_RAN.store(true, Ordering::Relaxed);
+    if perf_record_path().is_some() {
+        let mut cal = Bencher {
+            iters: 1,
+            elapsed_ns: 0.0,
+        };
+        f(&mut cal);
+        let per_iter_ns = (cal.elapsed_ns.max(1.0)) / cal.iters as f64;
+        let iters = ((2.0e6 / per_iter_ns).ceil() as u64).clamp(1, 1_000_000);
+        let mut means = Vec::with_capacity(3);
+        for _ in 0..3 {
+            let mut b = Bencher {
+                iters,
+                elapsed_ns: 0.0,
+            };
+            f(&mut b);
+            means.push(b.elapsed_ns / iters as f64);
+        }
+        let mean = means.iter().sum::<f64>() / means.len() as f64;
+        record_measurement(name, mean, throughput);
+        println!("bench {name:<40} ok (--test, {} recorded)", fmt_ns(mean));
+        return;
+    }
+    let mut b = Bencher {
+        iters: 1,
+        elapsed_ns: 0.0,
+    };
     f(&mut b);
     println!("bench {name:<40} ok (--test)");
 }
@@ -228,20 +353,27 @@ fn run_bench<F: FnMut(&mut Bencher)>(
 ) {
     // Calibrate the per-sample iteration count so one sample costs ~5 ms
     // (bounded so slow benches still finish quickly).
-    let mut cal = Bencher { iters: 1, elapsed_ns: 0.0 };
+    let mut cal = Bencher {
+        iters: 1,
+        elapsed_ns: 0.0,
+    };
     f(&mut cal);
     let per_iter_ns = (cal.elapsed_ns.max(1.0)) / cal.iters as f64;
     let iters = ((5.0e6 / per_iter_ns).ceil() as u64).clamp(1, 1_000_000);
 
     let mut means = Vec::with_capacity(samples);
     for _ in 0..samples {
-        let mut b = Bencher { iters, elapsed_ns: 0.0 };
+        let mut b = Bencher {
+            iters,
+            elapsed_ns: 0.0,
+        };
         f(&mut b);
         means.push(b.elapsed_ns / iters as f64);
     }
     let mean = means.iter().sum::<f64>() / means.len() as f64;
     let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    record_measurement(name, mean, throughput);
 
     let thr = match throughput {
         Some(Throughput::Elements(n)) => {
@@ -297,6 +429,7 @@ macro_rules! criterion_main {
         fn main() {
             $( $group(); )+
             $crate::assert_some_benches_ran();
+            $crate::write_perf_record();
         }
     };
 }

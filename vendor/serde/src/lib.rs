@@ -273,7 +273,10 @@ impl<T: Deserialize + Default + Copy, const N: usize> Deserialize for [T; N] {
     fn from_value(v: &Value) -> Result<Self, DeError> {
         let s = v.as_seq()?;
         if s.len() != N {
-            return Err(DeError(format!("expected array of length {N}, found {}", s.len())));
+            return Err(DeError(format!(
+                "expected array of length {N}, found {}",
+                s.len()
+            )));
         }
         let mut out = [T::default(); N];
         for (slot, item) in out.iter_mut().zip(s) {

@@ -31,24 +31,39 @@ struct Variant {
 
 #[derive(Debug)]
 enum Shape {
-    Named { name: String, fields: Vec<Field> },
-    Tuple { name: String, arity: usize },
-    Unit { name: String },
-    Enum { name: String, variants: Vec<Variant> },
+    Named {
+        name: String,
+        fields: Vec<Field>,
+    },
+    Tuple {
+        name: String,
+        arity: usize,
+    },
+    Unit {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
 }
 
 /// Derives the shim's `Serialize` trait.
 #[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let shape = parse_item(input);
-    gen_serialize(&shape).parse().expect("generated Serialize impl parses")
+    gen_serialize(&shape)
+        .parse()
+        .expect("generated Serialize impl parses")
 }
 
 /// Derives the shim's `Deserialize` trait.
 #[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     let shape = parse_item(input);
-    gen_deserialize(&shape).parse().expect("generated Deserialize impl parses")
+    gen_deserialize(&shape)
+        .parse()
+        .expect("generated Deserialize impl parses")
 }
 
 // ---------------------------------------------------------------- parsing
@@ -162,7 +177,9 @@ fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
         i += 1;
         match tokens.get(i) {
             Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
-            other => panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}"),
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}")
+            }
         }
         i = skip_type(&tokens, i);
         fields.push(Field { name, skip });
@@ -248,9 +265,7 @@ fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
 fn gen_serialize(shape: &Shape) -> String {
     match shape {
         Shape::Named { name, fields } => {
-            let mut body = String::from(
-                "let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n",
-            );
+            let mut body = String::from("let mut m: Vec<(String, ::serde::Value)> = Vec::new();\n");
             for f in fields.iter().filter(|f| !f.skip) {
                 body.push_str(&format!(
                     "m.push((String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
@@ -267,7 +282,10 @@ fn gen_serialize(shape: &Shape) -> String {
             let items: Vec<String> = (0..*arity)
                 .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
                 .collect();
-            impl_serialize(name, &format!("::serde::Value::Seq(vec![{}])", items.join(", ")))
+            impl_serialize(
+                name,
+                &format!("::serde::Value::Seq(vec![{}])", items.join(", ")),
+            )
         }
         Shape::Unit { name } => impl_serialize(name, "::serde::Value::Null"),
         Shape::Enum { name, variants } => {
@@ -297,8 +315,7 @@ fn gen_serialize(shape: &Shape) -> String {
                         ));
                     }
                     VariantKind::Struct(fields) => {
-                        let binds: Vec<String> =
-                            fields.iter().map(|f| f.name.clone()).collect();
+                        let binds: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
                         let items: Vec<String> = fields
                             .iter()
                             .map(|f| {
@@ -343,7 +360,11 @@ fn gen_deserialize(shape: &Shape) -> String {
                     inits.push_str(&format!("{0}: ::serde::field(m, \"{0}\")?,\n", f.name));
                 }
             }
-            let bind = if fields.iter().any(|f| !f.skip) { "m" } else { "_" };
+            let bind = if fields.iter().any(|f| !f.skip) {
+                "m"
+            } else {
+                "_"
+            };
             impl_deserialize(
                 name,
                 &format!(
@@ -367,9 +388,7 @@ fn gen_deserialize(shape: &Shape) -> String {
                 ),
             )
         }
-        Shape::Unit { name } => {
-            impl_deserialize(name, "::std::result::Result::Ok(Self)")
-        }
+        Shape::Unit { name } => impl_deserialize(name, "::std::result::Result::Ok(Self)"),
         Shape::Enum { name, variants } => {
             let mut unit_arms = String::new();
             let mut payload_arms = String::new();

@@ -44,7 +44,10 @@ pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
 
 /// Parses a JSON string into any shim-`Deserialize` value.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
-    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.parse_value()?;
     p.skip_ws();
@@ -365,15 +368,30 @@ mod tests {
 
     #[test]
     fn round_trip_scalars() {
-        for json in ["null", "true", "false", "0", "-17", "3.5", "1e-3", "\"hi\\n\""] {
+        for json in [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-17",
+            "3.5",
+            "1e-3",
+            "\"hi\\n\"",
+        ] {
             let v: Value = {
-                let mut p = Parser { bytes: json.as_bytes(), pos: 0 };
+                let mut p = Parser {
+                    bytes: json.as_bytes(),
+                    pos: 0,
+                };
                 p.parse_value().unwrap()
             };
             let mut out = String::new();
             write_value(&v, &mut out);
             let v2 = {
-                let mut p = Parser { bytes: out.as_bytes(), pos: 0 };
+                let mut p = Parser {
+                    bytes: out.as_bytes(),
+                    pos: 0,
+                };
                 p.parse_value().unwrap()
             };
             assert_eq!(v, v2);
@@ -414,7 +432,10 @@ mod tests {
         let s = to_string(&u64::MAX).unwrap();
         assert_eq!(s, u64::MAX.to_string());
         assert_eq!(from_str::<u64>(&s).unwrap(), u64::MAX);
-        assert_eq!(from_str::<i64>(&to_string(&i64::MIN).unwrap()).unwrap(), i64::MIN);
+        assert_eq!(
+            from_str::<i64>(&to_string(&i64::MIN).unwrap()).unwrap(),
+            i64::MIN
+        );
         // Huge integral floats are rejected for integer targets, not
         // silently saturated.
         assert!(from_str::<i64>("1e300").is_err());
@@ -426,20 +447,32 @@ mod tests {
     fn utf16_surrogate_pairs_decode() {
         let emoji: String = from_str("\"\\ud83d\\ude00\"").unwrap();
         assert_eq!(emoji, "\u{1F600}");
-        assert!(from_str::<String>("\"\\ud83d\"").is_err(), "unpaired high surrogate");
-        assert!(from_str::<String>("\"\\ud83d\\u0041\"").is_err(), "bad low surrogate");
+        assert!(
+            from_str::<String>("\"\\ud83d\"").is_err(),
+            "unpaired high surrogate"
+        );
+        assert!(
+            from_str::<String>("\"\\ud83d\\u0041\"").is_err(),
+            "bad low surrogate"
+        );
     }
 
     #[test]
     fn nested_round_trip() {
         let v = Value::Map(vec![
-            ("a".into(), Value::Seq(vec![Value::Int(1), Value::Float(2.5)])),
+            (
+                "a".into(),
+                Value::Seq(vec![Value::Int(1), Value::Float(2.5)]),
+            ),
             ("b".into(), Value::Str("x \"y\" z".into())),
             ("c".into(), Value::Null),
         ]);
         let mut out = String::new();
         write_value(&v, &mut out);
-        let mut p = Parser { bytes: out.as_bytes(), pos: 0 };
+        let mut p = Parser {
+            bytes: out.as_bytes(),
+            pos: 0,
+        };
         assert_eq!(p.parse_value().unwrap(), v);
     }
 }
