@@ -214,6 +214,71 @@ fn bench(c: &mut Criterion) {
         g.finish();
     }
 
+    // Pipelined multi-epoch runtime vs stepping epochs one by one, on the
+    // long-horizon diurnal-trace scenario (the replay workload the pipeline
+    // exists for). One iteration = the scenario's full 48-epoch day; element
+    // throughput = epochs, so the perf record reports ns/epoch. On a
+    // single-core container `run_epochs` stays inline (the overlap worker
+    // cannot pay) and the win is buffer reuse; on multicore hosts with
+    // >= OVERLAP_MIN_LANES staged lanes the producer overlaps the kernel.
+    {
+        let mut g = c.benchmark_group("pipeline_epoch");
+        let scenario = Scenario::by_name("diurnal-trace").expect("registry name");
+        let epochs = scenario.epochs as usize;
+        g.throughput(Throughput::Elements(epochs as u64));
+        let mut pipelined = scenario.build_cluster().expect("scenario builds");
+        g.bench_function("diurnal_trace_pipelined_48", |b| {
+            b.iter(|| std::hint::black_box(pipelined.run_epochs(epochs)))
+        });
+        let mut serial = scenario.build_cluster().expect("scenario builds");
+        g.bench_function("diurnal_trace_serial_48", |b| {
+            b.iter(|| {
+                let mut reports = Vec::with_capacity(epochs);
+                for _ in 0..epochs {
+                    reports.push(serial.run_epoch());
+                }
+                std::hint::black_box(reports)
+            })
+        });
+        // A wide cluster (64 nodes) amortizes per-epoch overheads further.
+        let wide = || {
+            let mut c = Cluster::homogeneous(
+                64,
+                SimTuning::default(),
+                PowerModel::default(),
+                PlatformPolicy::greennfv(),
+            );
+            for i in 0..64 {
+                c.node_mut(i)
+                    .unwrap()
+                    .add_chain(
+                        ChainSpec::canonical_three(ChainId(0)),
+                        FlowSet::evaluation_five_flows(),
+                        KnobSettings::default_tuned(),
+                        100 + i as u64,
+                    )
+                    .unwrap();
+            }
+            c
+        };
+        g.throughput(Throughput::Elements(8 * 64));
+        let mut wide_pipelined = wide();
+        g.bench_function("wide64_pipelined_8", |b| {
+            b.iter(|| std::hint::black_box(wide_pipelined.run_epochs(8)))
+        });
+        let mut wide_serial = wide();
+        g.bench_function("wide64_serial_8", |b| {
+            b.iter(|| {
+                let mut reports = Vec::with_capacity(8);
+                for _ in 0..8 {
+                    reports.push(wide_serial.run_epoch());
+                }
+                std::hint::black_box(reports)
+            })
+        });
+        g.finish();
+    }
+
     // DDPG minibatch update (batch 64, hidden 64) — the training bottleneck.
     {
         let mut agent = DdpgAgent::new(4, 5, DdpgConfig::default(), 1);

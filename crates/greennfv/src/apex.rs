@@ -56,6 +56,12 @@ pub struct ApexConfig {
     /// commits the best-scoring candidate — shooting-style exploration paid
     /// for by the batch engine rather than extra environment epochs.
     pub candidates_per_step: usize,
+    /// Warm-start parameters for the central learner (e.g. the
+    /// `best_params` of a sequential [`crate::train::TrainCheckpoint`]):
+    /// the learner imports them before the first update and every actor
+    /// pulls them at its first sync, so a distributed run can continue from
+    /// a checkpointed sequential one instead of starting cold.
+    pub initial_params: Option<DdpgParams>,
     /// Master seed.
     pub seed: u64,
 }
@@ -84,6 +90,7 @@ impl Default for ApexConfig {
             },
             ddpg: DdpgConfig::default(),
             candidates_per_step: 1,
+            initial_params: None,
             seed: 42,
         }
     }
@@ -119,7 +126,13 @@ struct Shared {
 pub fn train_apex(sla: Sla, cfg: &ApexConfig) -> ApexOutcome {
     let env_cfg = EnvConfig::paper(sla, cfg.seed);
     let action_space = env_cfg.action_space;
-    let learner_agent = DdpgAgent::new(STATE_DIM, 5, cfg.ddpg, cfg.seed);
+    let mut learner_agent = DdpgAgent::new(STATE_DIM, 5, cfg.ddpg, cfg.seed);
+    if let Some(params) = &cfg.initial_params {
+        learner_agent
+            .import_params(params)
+            .expect("warm-start params are valid exported JSON");
+        learner_agent.sync_targets();
+    }
     let shared = Arc::new(Shared {
         replay: Mutex::new(PrioritizedReplay::new(
             cfg.replay_capacity,
@@ -152,7 +165,14 @@ pub fn train_apex(sla: Sla, cfg: &ApexConfig) -> ApexOutcome {
                 let mut noise =
                     OrnsteinUhlenbeck::standard(5, cfg.seed.wrapping_add(2000 + worker as u64));
                 let mut local: Vec<(Transition, f64)> = Vec::with_capacity(cfg.flush_every);
-                let mut version = 0u64;
+                // With a warm start, force the first sync to import the
+                // learner's (checkpointed) policy instead of acting on a
+                // fresh random net until the first publish.
+                let mut version = if cfg.initial_params.is_some() {
+                    u64::MAX
+                } else {
+                    0u64
+                };
                 let mut steps = 0usize;
                 for ep in 0..cfg.episodes_per_actor {
                     noise.set_sigma(cfg.noise_sigma.at(u64::from(ep)));
@@ -361,6 +381,42 @@ mod tests {
             &crate::controller::RunConfig::paper(3, 5),
         );
         assert_eq!(r.trace.len(), 3);
+    }
+
+    #[test]
+    fn warm_start_resumes_distributed_training_from_a_checkpoint() {
+        // Train sequentially, checkpoint, then continue distributed from
+        // the checkpointed policy: the learner must start from those
+        // parameters (identical actions before any update) and keep
+        // learning.
+        use crate::train::{train_resumable, TrainConfig};
+        let mut taken = None;
+        train_resumable(
+            EnvConfig::paper(Sla::EnergyEfficiency, 11),
+            &TrainConfig::quick(6, 11),
+            3,
+            |ck| taken = Some(ck),
+        );
+        let ck = taken.expect("checkpoint was taken");
+        let cfg = ApexConfig {
+            initial_params: Some(ck.best_params.clone()),
+            ..quick_cfg(2, 10)
+        };
+        let out = train_apex(Sla::EnergyEfficiency, &cfg);
+        assert!(out.learner_updates > 0);
+        assert!(out.training_energy_j > 0.0);
+        // With no actor episodes the learner never updates, so its final
+        // policy must be exactly the warm-start parameters.
+        let idle = ApexConfig {
+            initial_params: Some(ck.best_params.clone()),
+            episodes_per_actor: 0,
+            ..quick_cfg(1, 6)
+        };
+        let out = train_apex(Sla::EnergyEfficiency, &idle);
+        assert_eq!(out.learner_updates, 0);
+        let warm = greennfv_nn::mlp::Mlp::from_json(&ck.best_params.actor).unwrap();
+        let s = [0.4, 0.3, 0.6, 0.2];
+        assert_eq!(out.agent.act(&s), warm.infer_one(&s));
     }
 
     #[test]

@@ -6,6 +6,7 @@
 
 use greennfv_rl::env::{Environment, Step};
 use nfv_sim::prelude::*;
+use serde::{Deserialize, Serialize};
 
 use crate::action::{ActionSpace, ACTION_DIM};
 use crate::scenario::TenantSpec;
@@ -18,8 +19,9 @@ pub const STATE_DIM: usize = 4;
 const T_SCALE: f64 = 10.0; // Gbps
 const OMEGA_SCALE: f64 = 5.0e6; // pps
 
-/// Environment configuration.
-#[derive(Debug, Clone)]
+/// Environment configuration. Serializable so a training checkpoint can
+/// carry everything needed to rebuild its environments from scratch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct EnvConfig {
     /// Optimization goal of the controlled tenant.
     pub sla: Sla,
@@ -311,6 +313,66 @@ impl GreenNfvEnv {
             .collect();
         self.sweep_candidates(&knobs)
     }
+
+    /// Serializable snapshot of the whole environment: the config (to
+    /// rebuild the node) plus every piece of mutable drift (knobs, traffic
+    /// RNG streams and trace cursors, episode/step counters, telemetry).
+    /// Restore with [`GreenNfvEnv::from_checkpoint`]; the restored twin
+    /// steps bit-identically to the original from the snapshot point on.
+    pub fn checkpoint(&self) -> EnvCheckpoint {
+        EnvCheckpoint {
+            cfg: self.cfg.clone(),
+            node: self.node.cursor(),
+            steps: self.steps,
+            episodes: self.episodes,
+            last_state: self.last_state,
+            last_report: self.last_report.clone(),
+            cumulative_energy_j: self.cumulative_energy_j,
+            sla_violations: self.sla_violations,
+            total_steps: self.total_steps,
+        }
+    }
+
+    /// Rebuilds an environment from a [`GreenNfvEnv::checkpoint`] snapshot:
+    /// the node is reconstructed from the config (validated allocator path),
+    /// then every stream is restored to its captured position.
+    pub fn from_checkpoint(ck: EnvCheckpoint) -> SimResult<Self> {
+        let mut env = Self::new(ck.cfg);
+        env.node.restore_cursor(&ck.node)?;
+        env.steps = ck.steps;
+        env.episodes = ck.episodes;
+        env.last_state = ck.last_state;
+        env.last_report = ck.last_report;
+        env.cumulative_energy_j = ck.cumulative_energy_j;
+        env.sla_violations = ck.sla_violations;
+        env.total_steps = ck.total_steps;
+        Ok(env)
+    }
+}
+
+/// Serializable snapshot of a [`GreenNfvEnv`] (see
+/// [`GreenNfvEnv::checkpoint`]): part of [`crate::train::TrainCheckpoint`],
+/// the unit of resumable training.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EnvCheckpoint {
+    /// Environment configuration (rebuilds the node and its chains).
+    pub cfg: EnvConfig,
+    /// Mutable node drift: knobs, traffic cursors, epoch counter.
+    pub node: NodeCursor,
+    /// Steps into the current episode.
+    pub steps: u32,
+    /// Episodes started so far.
+    pub episodes: u64,
+    /// Last observed (normalized) state.
+    pub last_state: [f64; STATE_DIM],
+    /// Last epoch's full report (feeds what-if sweeps).
+    pub last_report: Option<NodeEpochReport>,
+    /// Total energy consumed so far (Eq. 9's `E_t`).
+    pub cumulative_energy_j: f64,
+    /// SLA-violation count.
+    pub sla_violations: u64,
+    /// Total environment steps taken.
+    pub total_steps: u64,
 }
 
 /// One lane of a batched what-if sweep: the candidate's chain outcome,
@@ -572,6 +634,29 @@ mod tests {
         assert_eq!(a.reset(), b.reset());
         for _ in 0..4 {
             assert_eq!(a.step(&[0.1; 5]), b.step(&[0.1; 5]));
+        }
+    }
+
+    #[test]
+    fn checkpoint_restores_env_bit_exactly() {
+        // Single- and multi-tenant environments, snapshotted mid-episode
+        // through JSON, must step identically to the live original.
+        for mut live in [env(Sla::EnergyEfficiency), multi_tenant_env(23)] {
+            live.reset();
+            live.step(&[0.3, -0.2, 0.5, 0.0, 0.1]);
+            live.step(&[-0.5, 0.9, 0.0, 0.2, -0.8]);
+            let json = serde_json::to_string(&live.checkpoint()).unwrap();
+            let mut resumed =
+                GreenNfvEnv::from_checkpoint(serde_json::from_str(&json).unwrap()).unwrap();
+            assert_eq!(resumed.knobs(), live.knobs());
+            assert_eq!(resumed.total_steps(), live.total_steps());
+            assert_eq!(resumed.cumulative_energy_j(), live.cumulative_energy_j());
+            assert_eq!(resumed.last_report(), live.last_report());
+            for i in 0..6 {
+                let a = [0.1 * f64::from(i) - 0.2; 5];
+                assert_eq!(live.step(&a), resumed.step(&a), "step {i}");
+            }
+            assert_eq!(live.reset(), resumed.reset(), "post-episode reset");
         }
     }
 

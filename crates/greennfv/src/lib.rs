@@ -32,7 +32,9 @@ pub mod prelude {
     };
     pub use crate::dqnmodel::{train_dqn, DqnModelController};
     pub use crate::eepstate::{DesPredictor, EePstateController};
-    pub use crate::envs::{energy_scale, EnvConfig, GreenNfvEnv, SweepOutcome, STATE_DIM};
+    pub use crate::envs::{
+        energy_scale, EnvCheckpoint, EnvConfig, GreenNfvEnv, SweepOutcome, STATE_DIM,
+    };
     pub use crate::flowstats::{FlowAnalyzer, RateClass, TrafficPattern};
     pub use crate::heuristic::HeuristicController;
     pub use crate::placement::{
@@ -48,5 +50,8 @@ pub mod prelude {
         reward, reward_scaled, tenant_reward_scaled, RewardShaping, Sla, TenantSla,
         DEFAULT_ENERGY_SCALE_J,
     };
-    pub use crate::train::{train, train_with_env_config, EvalPoint, TrainConfig, TrainOutcome};
+    pub use crate::train::{
+        resume_from, resume_resumable, train, train_resumable, train_with_env_config, EvalPoint,
+        TrainCheckpoint, TrainConfig, TrainOutcome, TrainSession,
+    };
 }

@@ -138,12 +138,16 @@ impl Scenario {
                         tenant.name
                     )));
                 }
-                if tenant.nfs.is_empty() {
-                    return Err(SimError::ChainConfig(format!(
-                        "node {ni} tenant {ti} (`{}`) has an empty chain",
-                        tenant.name
-                    )));
-                }
+                // Chain invariants (non-empty, length cap, no duplicate NF
+                // kinds) through the one validator `ChainSpec::new` applies,
+                // so descriptors and direct construction cannot drift.
+                let chain_check = ChainSpec {
+                    id: ChainId(ti as u32),
+                    nfs: tenant.nfs.clone(),
+                };
+                chain_check.validate().map_err(|e| {
+                    SimError::ChainConfig(format!("node {ni} tenant {ti} (`{}`): {e}", tenant.name))
+                })?;
                 if tenant.sla.weight <= 0.0 || !tenant.sla.weight.is_finite() {
                     return Err(SimError::NodeConfig(format!(
                         "node {ni} tenant `{}`: weight {} must be finite and > 0",
@@ -222,15 +226,21 @@ impl Scenario {
     }
 
     /// Runs the scenario end-to-end: `epochs` lock-step cluster epochs
-    /// through the fused batch path, scoring every tenant per epoch against
-    /// its own agreement on its own attributed energy.
+    /// through the **pipelined** fused batch path
+    /// ([`Cluster::run_epochs`] — on multicore hosts with enough chains,
+    /// traffic generation for the next epoch overlaps the current epoch's
+    /// kernel sweep), scoring every tenant per epoch against its own
+    /// agreement on its own attributed energy. Bit-identical to stepping
+    /// [`Cluster::run_epoch`] per epoch.
     pub fn run(&self) -> SimResult<ScenarioRunResult> {
         let mut cluster = self.build_cluster()?;
         let mut records = Vec::new();
         let mut cluster_t = 0.0;
         let mut cluster_e = 0.0;
-        for epoch in 0..self.epochs {
-            let report = cluster.run_epoch();
+        // Stream: each report is scored and dropped as its epoch
+        // aggregates, so memory stays O(1) in the horizon (the pipeline
+        // itself only looks one epoch ahead).
+        cluster.stream_epochs(self.epochs as usize, PipelineMode::Auto, |epoch, report| {
             cluster_t += report.total_throughput_gbps();
             cluster_e += report.total_energy_j();
             for (ni, node_report) in report.nodes.iter().enumerate() {
@@ -238,7 +248,7 @@ impl Scenario {
                 for (ti, tel) in node_report.telemetry.iter().enumerate() {
                     let tenant = &self.nodes[ni].tenants[ti];
                     records.push(TenantEpochRecord {
-                        epoch,
+                        epoch: epoch as u32,
                         node: ni as u32,
                         tenant: tenant.name.clone(),
                         throughput_gbps: tel.throughput_gbps,
@@ -259,7 +269,7 @@ impl Scenario {
                     });
                 }
             }
-        }
+        });
         let tenants = self.summarize(&records);
         let epochs_f = f64::from(self.epochs.max(1));
         let mean_t = cluster_t / epochs_f;
@@ -318,13 +328,14 @@ impl Scenario {
     /// Names of the canonical scenarios, in registry order. The CI scenario
     /// matrix, `tests/scenarios.rs`, and the `scenario_epoch` benches all
     /// enumerate this list (a test pins the CI workflow against it).
-    pub const NAMES: [&'static str; 6] = [
+    pub const NAMES: [&'static str; 7] = [
         "baseline-homogeneous",
         "hetero-3-profile",
         "two-tenant-shared-node",
         "tenant-storm",
         "diurnal-trace",
         "mixed-trace-hetero",
+        "scale-out-edge",
     ];
 
     /// The canonical scenario set, one per [`Scenario::NAMES`] entry.
@@ -344,6 +355,7 @@ impl Scenario {
             "tenant-storm" => Some(Self::tenant_storm()),
             "diurnal-trace" => Some(Self::diurnal_trace()),
             "mixed-trace-hetero" => Some(Self::mixed_trace_hetero()),
+            "scale-out-edge" => Some(Self::scale_out_edge()),
             _ => None,
         }
     }
@@ -568,6 +580,58 @@ impl Scenario {
                         jitter_frac: 0.05,
                     },
                 }],
+            }],
+        }
+    }
+
+    /// A scale-out edge front end built from the newer NF kinds: an
+    /// edge-class node running load balancer → dedup → NAT next to a
+    /// monitor-only colo tenant, both under loss-capped agreements — chain
+    /// diversity beyond the paper's canonical three chains.
+    pub fn scale_out_edge() -> Scenario {
+        let mut frontend_knobs = KnobSettings::default_tuned();
+        frontend_knobs.freq_ghz = 1.6;
+        frontend_knobs.llc_fraction = 0.5;
+        frontend_knobs.batch = 64;
+        let mut colo_knobs = KnobSettings::default_tuned();
+        colo_knobs.freq_ghz = 1.6;
+        colo_knobs.llc_fraction = 0.2;
+        Scenario {
+            name: "scale-out-edge".into(),
+            epochs: 8,
+            seed: 48,
+            tuning: SimTuning::default(),
+            policy: PlatformPolicy::greennfv(),
+            nodes: vec![NodeSpec {
+                profile: NodeProfile::edge_low_power(),
+                tenants: vec![
+                    TenantSpec {
+                        name: "frontend".into(),
+                        nfs: ChainSpec::scale_out(ChainId(0)).nfs,
+                        sla: TenantSla::new(Sla::EnergyEfficiency).with_loss_cap(0.15),
+                        knobs: frontend_knobs,
+                        traffic: TrafficSpec::Flows(
+                            FlowSet::new(vec![
+                                FlowSpec::poisson(0, 9.0e5, 512),
+                                FlowSpec::cbr(1, 3.0e5, 256),
+                            ])
+                            .expect("static flows are valid"),
+                        ),
+                    },
+                    TenantSpec {
+                        name: "colo-monitor".into(),
+                        nfs: vec![NfKind::Monitor],
+                        sla: TenantSla::new(Sla::MinEnergy {
+                            throughput_floor_gbps: 0.2,
+                        })
+                        .with_weight(0.5),
+                        knobs: colo_knobs,
+                        traffic: TrafficSpec::Flows(
+                            FlowSet::new(vec![FlowSpec::poisson(0, 2.0e5, 512)])
+                                .expect("static flows are valid"),
+                        ),
+                    },
+                ],
             }],
         }
     }

@@ -4,25 +4,34 @@
 //! interleaves environment interaction with learning steps on a prioritized
 //! replay buffer. The distributed Ape-X variant (multiple actor workers, one
 //! central learner) lives in [`crate::apex`].
+//!
+//! Training is **checkpointable**: a [`TrainSession`] steps one episode at a
+//! time and can snapshot its *entire* state — environments (traffic RNG
+//! streams and trace cursors included), agent networks with optimizer
+//! moments, replay buffers, exploration noise, and loop counters — into a
+//! serializable [`TrainCheckpoint`]. A run interrupted at any episode
+//! boundary and resumed via [`resume_from`] is **bit-identical** to an
+//! uninterrupted run (pinned by `tests/checkpoint_resume.rs`), so multi-day
+//! trace replays survive restarts.
 
 use greennfv_rl::env::{Environment, Transition};
-use greennfv_rl::noise::OrnsteinUhlenbeck;
-use greennfv_rl::per::PrioritizedReplay;
-use greennfv_rl::prelude::{DdpgAgent, DdpgConfig};
-use greennfv_rl::replay::ReplayBuffer;
+use greennfv_rl::noise::{OrnsteinUhlenbeck, OuState};
+use greennfv_rl::per::{PrioritizedReplay, PrioritizedReplayState};
+use greennfv_rl::prelude::{DdpgAgent, DdpgConfig, DdpgState};
+use greennfv_rl::replay::{ReplayBuffer, ReplayBufferState};
 use greennfv_rl::schedule::Schedule;
-use nfv_sim::prelude::KnobSettings;
+use nfv_sim::prelude::{KnobSettings, SimError, SimResult};
 use serde::{Deserialize, Serialize};
 
 use greennfv_rl::prelude::DdpgParams;
 
 use crate::action::ActionSpace;
 use crate::controller::PolicyController;
-use crate::envs::{EnvConfig, GreenNfvEnv, STATE_DIM};
+use crate::envs::{EnvCheckpoint, EnvConfig, GreenNfvEnv, STATE_DIM};
 use crate::sla::Sla;
 
 /// Training hyperparameters.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct TrainConfig {
     /// Training episodes (each `steps_per_episode` control epochs).
     pub episodes: u32,
@@ -204,39 +213,200 @@ pub fn train(sla: Sla, cfg: &TrainConfig) -> TrainOutcome {
 
 /// Trains on an explicit environment configuration.
 pub fn train_with_env_config(env_cfg: EnvConfig, cfg: &TrainConfig) -> TrainOutcome {
-    let sla = env_cfg.sla;
-    let action_space = env_cfg.action_space;
-    let mut env = GreenNfvEnv::new(env_cfg.clone());
-    // A separate environment for periodic greedy evaluation, so exploration
-    // noise never pollutes the reported curves.
-    let mut eval_env = GreenNfvEnv::new(EnvConfig {
-        seed: env_cfg.seed.wrapping_add(500),
-        ..env_cfg
-    });
+    let mut session = TrainSession::new(env_cfg, cfg.clone());
+    while !session.is_done() {
+        session.run_episode();
+    }
+    session.finish()
+}
 
-    let mut agent = DdpgAgent::new(STATE_DIM, 5, cfg.ddpg, cfg.seed);
-    let mut noise = OrnsteinUhlenbeck::standard(5, cfg.seed.wrapping_add(1));
-    let mut replay = PrioritizedReplay::new(cfg.replay_capacity, cfg.seed.wrapping_add(2));
-    let mut uniform = ReplayBuffer::new(cfg.replay_capacity, cfg.seed.wrapping_add(3));
-    let mut history = Vec::new();
-    let mut reward_acc = 0.0;
-    let mut reward_n = 0u32;
-    let mut best_params = agent.export_params();
-    let mut best_score = f64::NEG_INFINITY;
+/// Like [`train_with_env_config`], but snapshots a [`TrainCheckpoint`] into
+/// `sink` every `checkpoint_every` episodes (and once more at the final
+/// episode). Persist the snapshot wherever you like — it is plain serde
+/// data — and hand it to [`resume_from`] after an interruption; the resumed
+/// run is bit-identical to the uninterrupted one.
+pub fn train_resumable(
+    env_cfg: EnvConfig,
+    cfg: &TrainConfig,
+    checkpoint_every: u32,
+    mut sink: impl FnMut(TrainCheckpoint),
+) -> TrainOutcome {
+    let every = checkpoint_every.max(1);
+    let mut session = TrainSession::new(env_cfg, cfg.clone());
+    while !session.is_done() {
+        session.run_episode();
+        if session.next_episode.is_multiple_of(every) || session.is_done() {
+            sink(session.checkpoint());
+        }
+    }
+    session.finish()
+}
 
-    for ep in 0..cfg.episodes {
-        noise.set_sigma(cfg.noise_sigma.at(u64::from(ep)));
-        noise.reset();
+/// Resumes an interrupted training run from a [`TrainCheckpoint`] and runs
+/// it to completion. The outcome is bit-identical to the run the checkpoint
+/// was taken from, had it never been interrupted
+/// (`tests/checkpoint_resume.rs` pins this).
+pub fn resume_from(checkpoint: TrainCheckpoint) -> SimResult<TrainOutcome> {
+    let mut session = TrainSession::from_checkpoint(checkpoint)?;
+    while !session.is_done() {
+        session.run_episode();
+    }
+    Ok(session.finish())
+}
+
+/// [`resume_from`] that keeps checkpointing while it runs — the symmetric
+/// twin of [`train_resumable`], so a run that crosses *multiple* restarts
+/// never loses more than `checkpoint_every` episodes of progress.
+pub fn resume_resumable(
+    checkpoint: TrainCheckpoint,
+    checkpoint_every: u32,
+    mut sink: impl FnMut(TrainCheckpoint),
+) -> SimResult<TrainOutcome> {
+    let every = checkpoint_every.max(1);
+    let mut session = TrainSession::from_checkpoint(checkpoint)?;
+    while !session.is_done() {
+        session.run_episode();
+        if session.next_episode.is_multiple_of(every) || session.is_done() {
+            sink(session.checkpoint());
+        }
+    }
+    Ok(session.finish())
+}
+
+/// Everything a training checkpoint must carry to make resumption
+/// bit-exact: the full config, both environments (with traffic RNG streams
+/// and trace cursors), the agent's networks *and* optimizer moments, both
+/// replay buffers (contents, priorities, sampler RNGs), the exploration
+/// noise stream, and the loop bookkeeping.
+///
+/// Serialize with [`TrainCheckpoint::to_json`] (the vendored `serde_json`
+/// round-trips every `f64` exactly, non-finite values included) or any
+/// serde format.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct TrainCheckpoint {
+    /// Training hyperparameters (the resumed loop continues them).
+    pub cfg: TrainConfig,
+    /// Exploration environment.
+    pub env: EnvCheckpoint,
+    /// Greedy-evaluation environment.
+    pub eval_env: EnvCheckpoint,
+    /// Agent networks, targets, and optimizer moments.
+    pub agent: DdpgState,
+    /// Exploration-noise process state.
+    pub noise: OuState,
+    /// Prioritized replay buffer state.
+    pub replay: PrioritizedReplayState,
+    /// Uniform replay buffer state (the `use_per = false` ablation).
+    pub uniform: ReplayBufferState,
+    /// Evaluation history so far.
+    pub history: Vec<EvalPoint>,
+    /// Reward accumulator since the last evaluation.
+    pub reward_acc: f64,
+    /// Rewards accumulated since the last evaluation.
+    pub reward_n: u32,
+    /// Best checkpoint parameters so far.
+    pub best_params: DdpgParams,
+    /// Best evaluation score so far (`-inf` before the first evaluation).
+    pub best_score: f64,
+    /// The episode the resumed loop will run next.
+    pub next_episode: u32,
+}
+
+impl TrainCheckpoint {
+    /// Serializes the checkpoint to JSON (exact float round-trip).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialization is infallible")
+    }
+
+    /// Rebuilds a checkpoint from [`TrainCheckpoint::to_json`] output.
+    pub fn from_json(text: &str) -> SimResult<Self> {
+        serde_json::from_str(text)
+            .map_err(|e| SimError::NodeConfig(format!("train checkpoint JSON: {e}")))
+    }
+}
+
+/// An in-flight sequential training run, steppable one episode at a time.
+///
+/// [`train_with_env_config`] is a thin loop over this; use it directly when
+/// you need checkpoints ([`TrainSession::checkpoint`]) or custom pacing.
+pub struct TrainSession {
+    cfg: TrainConfig,
+    env: GreenNfvEnv,
+    eval_env: GreenNfvEnv,
+    agent: DdpgAgent,
+    noise: OrnsteinUhlenbeck,
+    replay: PrioritizedReplay,
+    uniform: ReplayBuffer,
+    history: Vec<EvalPoint>,
+    reward_acc: f64,
+    reward_n: u32,
+    best_params: DdpgParams,
+    best_score: f64,
+    next_episode: u32,
+}
+
+impl TrainSession {
+    /// Builds a fresh session (episode 0 not yet run).
+    pub fn new(env_cfg: EnvConfig, cfg: TrainConfig) -> Self {
+        let env = GreenNfvEnv::new(env_cfg.clone());
+        // A separate environment for periodic greedy evaluation, so
+        // exploration noise never pollutes the reported curves.
+        let eval_env = GreenNfvEnv::new(EnvConfig {
+            seed: env_cfg.seed.wrapping_add(500),
+            ..env_cfg
+        });
+        let agent = DdpgAgent::new(STATE_DIM, 5, cfg.ddpg, cfg.seed);
+        let noise = OrnsteinUhlenbeck::standard(5, cfg.seed.wrapping_add(1));
+        let replay = PrioritizedReplay::new(cfg.replay_capacity, cfg.seed.wrapping_add(2));
+        let uniform = ReplayBuffer::new(cfg.replay_capacity, cfg.seed.wrapping_add(3));
+        let best_params = agent.export_params();
+        Self {
+            cfg,
+            env,
+            eval_env,
+            agent,
+            noise,
+            replay,
+            uniform,
+            history: Vec::new(),
+            reward_acc: 0.0,
+            reward_n: 0,
+            best_params,
+            best_score: f64::NEG_INFINITY,
+            next_episode: 0,
+        }
+    }
+
+    /// True once every configured episode has run.
+    pub fn is_done(&self) -> bool {
+        self.next_episode >= self.cfg.episodes
+    }
+
+    /// The episode index [`TrainSession::run_episode`] will run next.
+    pub fn next_episode(&self) -> u32 {
+        self.next_episode
+    }
+
+    /// Runs one training episode (environment interaction + learning steps
+    /// + the periodic greedy evaluation when due). No-op once done.
+    pub fn run_episode(&mut self) {
+        if self.is_done() {
+            return;
+        }
+        let ep = self.next_episode;
+        let cfg = &self.cfg;
+        self.noise.set_sigma(cfg.noise_sigma.at(u64::from(ep)));
+        self.noise.reset();
         let beta = cfg.beta.at(u64::from(ep));
-        let mut state = env.reset();
+        let mut state = self.env.reset();
         loop {
-            let mut action = agent.act(&state);
-            for (a, n) in action.iter_mut().zip(noise.sample()) {
+            let mut action = self.agent.act(&state);
+            for (a, n) in action.iter_mut().zip(self.noise.sample()) {
                 *a = (*a + n).clamp(-1.0, 1.0);
             }
-            let step = env.step(&action);
-            reward_acc += step.reward;
-            reward_n += 1;
+            let step = self.env.step(&action);
+            self.reward_acc += step.reward;
+            self.reward_n += 1;
             let tr = Transition {
                 state: state.clone(),
                 action,
@@ -245,28 +415,28 @@ pub fn train_with_env_config(env_cfg: EnvConfig, cfg: &TrainConfig) -> TrainOutc
                 done: step.done,
             };
             if cfg.use_per {
-                let td = agent.td_error(&tr);
-                replay.push_with_priority(tr, td);
+                let td = self.agent.td_error(&tr);
+                self.replay.push_with_priority(tr, td);
             } else {
-                uniform.push(tr);
+                self.uniform.push(tr);
             }
             state = step.next_state;
 
             let stored = if cfg.use_per {
-                replay.len()
+                self.replay.len()
             } else {
-                uniform.len()
+                self.uniform.len()
             };
             if stored >= cfg.warmup_steps {
                 for _ in 0..cfg.updates_per_step {
                     if cfg.use_per {
-                        let batch = replay.sample(cfg.batch_size, beta);
-                        let (_, tds) = agent.update(&batch.transitions, &batch.weights);
-                        replay.update_priorities(&batch.indices, &tds);
+                        let batch = self.replay.sample(cfg.batch_size, beta);
+                        let (_, tds) = self.agent.update(&batch.transitions, &batch.weights);
+                        self.replay.update_priorities(&batch.indices, &tds);
                     } else {
-                        let batch = uniform.sample(cfg.batch_size);
+                        let batch = self.uniform.sample(cfg.batch_size);
                         let w = vec![1.0; batch.len()];
-                        agent.update(&batch, &w);
+                        self.agent.update(&batch, &w);
                     }
                 }
             }
@@ -275,46 +445,96 @@ pub fn train_with_env_config(env_cfg: EnvConfig, cfg: &TrainConfig) -> TrainOutc
             }
         }
 
-        if (ep + 1) % cfg.eval_every == 0 || ep + 1 == cfg.episodes {
-            let point = evaluate_greedy(&agent, &mut eval_env, ep + 1, reward_acc, reward_n);
-            let score = eval_score(sla, &point);
-            if score > best_score {
-                best_score = score;
-                best_params = agent.export_params();
+        if (ep + 1).is_multiple_of(cfg.eval_every) || ep + 1 == cfg.episodes {
+            let point = evaluate_greedy(
+                &self.agent,
+                &mut self.eval_env,
+                ep + 1,
+                self.reward_acc,
+                self.reward_n,
+            );
+            let score = eval_score(self.env.config().sla, &point);
+            if score > self.best_score {
+                self.best_score = score;
+                self.best_params = self.agent.export_params();
             }
-            history.push(point);
-            reward_acc = 0.0;
-            reward_n = 0;
+            self.history.push(point);
+            self.reward_acc = 0.0;
+            self.reward_n = 0;
+        }
+        self.next_episode = ep + 1;
+    }
+
+    /// Snapshot of the whole session at the current episode boundary.
+    pub fn checkpoint(&self) -> TrainCheckpoint {
+        TrainCheckpoint {
+            cfg: self.cfg.clone(),
+            env: self.env.checkpoint(),
+            eval_env: self.eval_env.checkpoint(),
+            agent: self.agent.export_state(),
+            noise: self.noise.export_state(),
+            replay: self.replay.export_state(),
+            uniform: self.uniform.export_state(),
+            history: self.history.clone(),
+            reward_acc: self.reward_acc,
+            reward_n: self.reward_n,
+            best_params: self.best_params.clone(),
+            best_score: self.best_score,
+            next_episode: self.next_episode,
         }
     }
 
-    // Post-training refinement probe: submit a blind candidate lattice as
-    // one batched what-if sweep (no extra environment epochs or energy).
-    // Multi-tenant environments skip it: the what-if sweep needs a
-    // single-chain node (`Node::evaluate_candidates`), and a candidate's
-    // node-level outcome next to co-tenants would need fresh loads for
-    // every other chain.
-    let best_sweep = if cfg.final_sweep_candidates > 0 && !eval_env.is_multi_tenant() {
-        let candidates = candidate_lattice(&eval_env, cfg.final_sweep_candidates);
-        eval_env
-            .sweep_candidates(&candidates)
-            .into_iter()
-            .zip(candidates)
-            .filter_map(|(r, k)| r.ok().map(|o| (k, o.reward)))
-            .max_by(|a, b| a.1.total_cmp(&b.1))
-    } else {
-        None
-    };
+    /// Rebuilds a session from a [`TrainSession::checkpoint`] snapshot.
+    pub fn from_checkpoint(ck: TrainCheckpoint) -> SimResult<Self> {
+        Ok(Self {
+            cfg: ck.cfg,
+            env: GreenNfvEnv::from_checkpoint(ck.env)?,
+            eval_env: GreenNfvEnv::from_checkpoint(ck.eval_env)?,
+            agent: DdpgAgent::from_state(ck.agent),
+            noise: OrnsteinUhlenbeck::from_state(ck.noise),
+            replay: PrioritizedReplay::from_state(ck.replay),
+            uniform: ReplayBuffer::from_state(ck.uniform),
+            history: ck.history,
+            reward_acc: ck.reward_acc,
+            reward_n: ck.reward_n,
+            best_params: ck.best_params,
+            best_score: ck.best_score,
+            next_episode: ck.next_episode,
+        })
+    }
 
-    TrainOutcome {
-        agent,
-        best_params,
-        best_score,
-        action_space,
-        history,
-        training_energy_j: env.cumulative_energy_j() + eval_env.cumulative_energy_j(),
-        best_sweep,
-        sla,
+    /// Finishes the run: the post-training candidate-lattice probe plus the
+    /// assembled [`TrainOutcome`].
+    pub fn finish(self) -> TrainOutcome {
+        // Post-training refinement probe: submit a blind candidate lattice
+        // as one batched what-if sweep (no extra environment epochs or
+        // energy). Multi-tenant environments skip it: the what-if sweep
+        // needs a single-chain node (`Node::evaluate_candidates`), and a
+        // candidate's node-level outcome next to co-tenants would need
+        // fresh loads for every other chain.
+        let best_sweep = if self.cfg.final_sweep_candidates > 0 && !self.eval_env.is_multi_tenant()
+        {
+            let candidates = candidate_lattice(&self.eval_env, self.cfg.final_sweep_candidates);
+            self.eval_env
+                .sweep_candidates(&candidates)
+                .into_iter()
+                .zip(candidates)
+                .filter_map(|(r, k)| r.ok().map(|o| (k, o.reward)))
+                .max_by(|a, b| a.1.total_cmp(&b.1))
+        } else {
+            None
+        };
+
+        TrainOutcome {
+            best_params: self.best_params,
+            best_score: self.best_score,
+            action_space: self.env.config().action_space,
+            history: self.history,
+            training_energy_j: self.env.cumulative_energy_j() + self.eval_env.cumulative_energy_j(),
+            best_sweep,
+            sla: self.env.config().sla,
+            agent: self.agent,
+        }
     }
 }
 

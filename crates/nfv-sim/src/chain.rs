@@ -22,15 +22,46 @@ pub struct ChainSpec {
     pub nfs: Vec<NfKind>,
 }
 
+/// Maximum NFs per chain: the testbed pins one core-pair per hop, so chains
+/// longer than the NF core pool cannot be scheduled.
+pub const MAX_CHAIN_NFS: usize = 8;
+
 impl ChainSpec {
-    /// Creates a spec; chains must contain at least one NF.
+    /// Creates a spec; see [`ChainSpec::validate`] for the invariants.
     pub fn new(id: ChainId, nfs: Vec<NfKind>) -> SimResult<Self> {
-        if nfs.is_empty() {
+        let spec = Self { id, nfs };
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    /// Chain invariants: at least one NF, at most [`MAX_CHAIN_NFS`], and no
+    /// NF kind twice. Each kind's state tables (rule sets, flow tables,
+    /// signature DBs) are modeled once per instance; duplicating a kind in
+    /// one chain would double-count its working set against the LLC
+    /// partition, so the composition layer rejects it. Serde-deserialized
+    /// specs bypass [`ChainSpec::new`] — re-validate descriptors from
+    /// outside.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.nfs.is_empty() {
             return Err(SimError::ChainConfig(
                 "chain must contain at least one NF".into(),
             ));
         }
-        Ok(Self { id, nfs })
+        if self.nfs.len() > MAX_CHAIN_NFS {
+            return Err(SimError::ChainConfig(format!(
+                "chain has {} NFs; at most {MAX_CHAIN_NFS} are schedulable",
+                self.nfs.len()
+            )));
+        }
+        for (i, kind) in self.nfs.iter().enumerate() {
+            if self.nfs[..i].contains(kind) {
+                return Err(SimError::ChainConfig(format!(
+                    "NF kind `{}` appears twice; state tables are modeled once per chain",
+                    kind.name()
+                )));
+            }
+        }
+        Ok(())
     }
 
     /// The paper's canonical 3-NF chain: firewall → NAT → IDS.
@@ -54,6 +85,15 @@ impl ChainSpec {
         Self {
             id,
             nfs: vec![NfKind::Monitor, NfKind::Firewall],
+        }
+    }
+
+    /// A scale-out front-end chain: load balancer → dedup → NAT (the flow
+    /// fan-out + redundancy-elimination edge deployment).
+    pub fn scale_out(id: ChainId) -> Self {
+        Self {
+            id,
+            nfs: vec![NfKind::LoadBalancer, NfKind::Dedup, NfKind::Nat],
         }
     }
 }
@@ -237,6 +277,65 @@ mod tests {
     fn spec_rejects_empty_chain() {
         assert!(ChainSpec::new(ChainId(0), vec![]).is_err());
         assert!(ChainSpec::new(ChainId(0), vec![NfKind::Nat]).is_ok());
+    }
+
+    #[test]
+    fn spec_rejects_duplicate_and_oversized_chains() {
+        assert!(ChainSpec::new(ChainId(0), vec![NfKind::Nat, NfKind::Nat]).is_err());
+        assert!(
+            ChainSpec::new(ChainId(0), NfKind::ALL.to_vec()).is_ok(),
+            "all 8 kinds once each is the longest legal chain"
+        );
+        let mut nine = NfKind::ALL.to_vec();
+        nine.push(NfKind::Monitor);
+        assert!(ChainSpec::new(ChainId(0), nine).is_err(), "dup + too long");
+        // validate() re-checks deserialized specs that bypassed new().
+        let smuggled = ChainSpec {
+            id: ChainId(0),
+            nfs: vec![NfKind::Ids, NfKind::Ids],
+        };
+        assert!(smuggled.validate().is_err());
+    }
+
+    #[test]
+    fn chain_diversity_every_kind_is_chainable_with_distinct_cost() {
+        // Each NF kind must be composable into a runnable chain and carry a
+        // cost profile distinguishable from every other kind — the guard
+        // that new kinds are wired through the cost model, not stubs.
+        let mut profiles = std::collections::HashSet::new();
+        for kind in NfKind::ALL {
+            let chain = ServiceChain::build(ChainSpec::new(ChainId(0), vec![kind]).unwrap());
+            let c = chain.cost();
+            assert_eq!(c.hops, 1);
+            assert!(c.base_cycles_per_packet > 0.0, "{}", kind.name());
+            assert!(c.state_bytes > 0, "{}", kind.name());
+            let fingerprint = (
+                c.base_cycles_per_packet.to_bits(),
+                c.cycles_per_byte.to_bits(),
+                c.mem_refs_per_packet.to_bits(),
+            );
+            assert!(
+                profiles.insert(fingerprint),
+                "{} duplicates another kind's cost profile",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn scale_out_chain_balances_dedups_and_translates() {
+        let mut chain = ServiceChain::build(ChainSpec::scale_out(ChainId(0)));
+        assert_eq!(chain.len(), 3);
+        let mut b = batch(4);
+        // Make packets 0 and 1 identical so dedup eliminates one.
+        let twin = b.packets()[0].clone();
+        b.packets_mut()[1] = twin;
+        let (_, dropped) = chain.process_batch(b);
+        assert_eq!(dropped, 1, "dedup removes the duplicate");
+        assert_eq!(chain.processed_packets(), 3);
+        // Survivors were balanced (mark bit) and NAT-translated.
+        let cost = chain.cost();
+        assert!(cost.state_bytes > 0);
     }
 
     #[test]

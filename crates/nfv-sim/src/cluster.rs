@@ -6,13 +6,13 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::batch::{evaluate_chain_batch, ChainBatch};
 use crate::chain::ChainSpec;
 use crate::cpu::ChainId;
-use crate::engine::{ChainEpochResult, KnobSettings, PlatformPolicy, SimTuning};
+use crate::engine::{KnobSettings, PlatformPolicy, SimTuning};
 use crate::error::{SimError, SimResult};
 use crate::flow::FlowSet;
 use crate::node::{Node, NodeEpochReport, NodeProfile};
+use crate::pipeline::{EpochPipeline, PipelineMode};
 use crate::power::PowerModel;
 
 /// Aggregate report over all nodes for one epoch.
@@ -51,6 +51,9 @@ impl ClusterEpochReport {
 #[derive(Default)]
 pub struct Cluster {
     nodes: Vec<Node>,
+    /// The epoch runtime: owns the double-buffered batches, so repeated
+    /// epochs (and multi-epoch runs) never re-fuse or re-allocate lanes.
+    pipeline: EpochPipeline,
 }
 
 impl Cluster {
@@ -75,6 +78,7 @@ impl Cluster {
             nodes: (0..n as u32)
                 .map(|id| Node::new(id, tuning, power, policy))
                 .collect(),
+            pipeline: EpochPipeline::new(),
         }
     }
 
@@ -92,7 +96,10 @@ impl Cluster {
             .enumerate()
             .map(|(id, p)| Node::with_profile(id as u32, tuning, policy, p.clone()))
             .collect::<SimResult<Vec<_>>>()?;
-        Ok(Self { nodes })
+        Ok(Self {
+            nodes,
+            pipeline: EpochPipeline::new(),
+        })
     }
 
     /// The paper's testbed: three hosting nodes, each with one 3-NF chain
@@ -141,67 +148,54 @@ impl Cluster {
         self.nodes.iter()
     }
 
-    /// Runs one epoch on every node.
+    /// Runs one epoch on every node: a thin wrapper over the pipelined
+    /// multi-epoch runtime ([`Cluster::run_epochs`]) at horizon 1.
     ///
-    /// All chains of all nodes are staged as lanes of one
-    /// [`ChainBatch`] and evaluated in a single
-    /// [`evaluate_chain_batch`] call (auto-chunked across threads for large
-    /// clusters), then folded back into per-node reports in node order. The
-    /// batch kernel is lane-order deterministic for any thread count, so
-    /// this is bit-identical to running each node's epoch serially. When
-    /// nodes carry heterogeneous model tunings their lanes cannot share one
-    /// batch, and each node evaluates its own.
+    /// All chains of all nodes are staged as lanes of one fused
+    /// [`ChainBatch`](crate::batch::ChainBatch) and evaluated in a single
+    /// [`evaluate_chain_batch`](crate::batch::evaluate_chain_batch) call
+    /// (auto-chunked across threads for large clusters), then folded back
+    /// into per-node reports in node order. The batch kernel is lane-order
+    /// deterministic for any thread count, so this is bit-identical to
+    /// running each node's epoch serially. When nodes carry heterogeneous
+    /// model tunings their lanes cannot share one batch, and each node
+    /// evaluates its own.
     pub fn run_epoch(&mut self) -> ClusterEpochReport {
-        // Sample traffic node-by-node first (deterministic generator order).
-        let prepared: Vec<_> = self.nodes.iter_mut().map(|n| n.prepare_epoch()).collect();
+        self.pipeline.step(&mut self.nodes)
+    }
 
-        let shared_tuning = match self.nodes.first() {
-            Some(first) => {
-                let t = *first.tuning();
-                self.nodes.iter().all(|n| *n.tuning() == t).then_some(t)
-            }
-            None => None,
-        };
+    /// Runs `epochs` lock-step epochs through the
+    /// [pipelined runtime](crate::pipeline): on multicore hosts with enough
+    /// staged lanes, traffic generation for epoch *N + 1* overlaps the
+    /// kernel sweep of epoch *N* in a double-buffered producer/consumer
+    /// pipeline — bit-identical to calling [`Cluster::run_epoch`] in a loop
+    /// (proptested in `tests/proptests.rs`).
+    pub fn run_epochs(&mut self, epochs: usize) -> Vec<ClusterEpochReport> {
+        self.run_epochs_with(epochs, PipelineMode::Auto)
+    }
 
-        let nodes = match shared_tuning {
-            Some(tuning) => {
-                let mut batch =
-                    ChainBatch::with_capacity(prepared.iter().map(|(c, _)| c.len()).sum());
-                for (configs, _) in &prepared {
-                    for (knobs, cost, load, llc_bytes) in configs {
-                        batch.push(knobs, cost, load, *llc_bytes);
-                    }
-                }
-                let mut lanes = evaluate_chain_batch(&batch, &tuning).into_iter();
-                self.nodes
-                    .iter_mut()
-                    .zip(&prepared)
-                    .map(|(node, (configs, arrivals))| {
-                        let results: Vec<ChainEpochResult> = lanes
-                            .by_ref()
-                            .take(configs.len())
-                            .map(|r| r.expect("node-resident knobs were validated by set_knobs"))
-                            .collect();
-                        node.finish_epoch(configs, arrivals, &results)
-                    })
-                    .collect()
-            }
-            None => self
-                .nodes
-                .iter_mut()
-                .zip(&prepared)
-                .map(|(node, (configs, arrivals))| {
-                    let tuning = *node.tuning();
-                    let results: Vec<ChainEpochResult> =
-                        evaluate_chain_batch(&ChainBatch::from_configs(configs), &tuning)
-                            .into_iter()
-                            .map(|r| r.expect("node-resident knobs were validated by set_knobs"))
-                            .collect();
-                    node.finish_epoch(configs, arrivals, &results)
-                })
-                .collect(),
-        };
-        ClusterEpochReport { nodes }
+    /// [`Cluster::run_epochs`] with an explicit [`PipelineMode`] (tests pin
+    /// the overlapped path's bit-equality even on small clusters).
+    pub fn run_epochs_with(
+        &mut self,
+        epochs: usize,
+        mode: PipelineMode,
+    ) -> Vec<ClusterEpochReport> {
+        self.pipeline.run(&mut self.nodes, epochs, mode)
+    }
+
+    /// Streaming form of [`Cluster::run_epochs`]: each epoch's report is
+    /// handed to `consume(epoch_index, report)` as soon as it aggregates,
+    /// so long-horizon replays score and drop reports in O(1) memory
+    /// instead of materializing the whole horizon.
+    pub fn stream_epochs(
+        &mut self,
+        epochs: usize,
+        mode: PipelineMode,
+        consume: impl FnMut(usize, ClusterEpochReport),
+    ) {
+        self.pipeline
+            .run_with(&mut self.nodes, epochs, mode, consume);
     }
 }
 

@@ -47,6 +47,7 @@ pub mod nf;
 pub mod node;
 pub mod packet;
 pub mod par;
+pub mod pipeline;
 pub mod power;
 pub mod ring;
 pub mod runtime;
@@ -71,13 +72,14 @@ pub mod prelude {
     pub use crate::error::{SimError, SimResult};
     pub use crate::flow::{ArrivalPattern, FlowSet, FlowSpec};
     pub use crate::nf::{NetworkFunction, NfCost, NfKind};
-    pub use crate::node::{Node, NodeEpochReport, NodeProfile};
+    pub use crate::node::{Node, NodeCursor, NodeEpochReport, NodeProfile};
     pub use crate::packet::{FiveTuple, Packet, PacketBatch, Protocol};
+    pub use crate::pipeline::{EpochPipeline, PipelineMode, OVERLAP_MIN_LANES};
     pub use crate::power::{calibrate_h, PowerMeter, PowerModel};
     pub use crate::runtime::{run_functional, FunctionalStats, RuntimeConfig};
     pub use crate::simd::{F64x8, WideLane, WIDTH};
     pub use crate::stats::{ChainTelemetry, EpochHistory, Ewma, Summary};
     pub use crate::traffic::{
-        Trace, TracePoint, TraceSource, TrafficGen, TrafficSource, WindowArrivals,
+        Trace, TracePoint, TraceSource, TrafficCursor, TrafficGen, TrafficSource, WindowArrivals,
     };
 }

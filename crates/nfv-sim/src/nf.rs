@@ -47,17 +47,23 @@ pub enum NfKind {
     Encryptor,
     /// Passive flow monitor / counter.
     Monitor,
+    /// L4 load balancer (consistent per-flow backend hashing).
+    LoadBalancer,
+    /// Redundancy-elimination dedup (payload fingerprinting, drops repeats).
+    Dedup,
 }
 
 impl NfKind {
     /// All kinds, in a stable order.
-    pub const ALL: [NfKind; 6] = [
+    pub const ALL: [NfKind; 8] = [
         NfKind::Firewall,
         NfKind::Nat,
         NfKind::Ids,
         NfKind::Router,
         NfKind::Encryptor,
         NfKind::Monitor,
+        NfKind::LoadBalancer,
+        NfKind::Dedup,
     ];
 
     /// Short display name.
@@ -69,6 +75,8 @@ impl NfKind {
             NfKind::Router => "router",
             NfKind::Encryptor => "encryptor",
             NfKind::Monitor => "monitor",
+            NfKind::LoadBalancer => "loadbalancer",
+            NfKind::Dedup => "dedup",
         }
     }
 
@@ -81,6 +89,8 @@ impl NfKind {
             NfKind::Router => Box::new(Router::default_table()),
             NfKind::Encryptor => Box::new(Encryptor::new()),
             NfKind::Monitor => Box::new(Monitor::new()),
+            NfKind::LoadBalancer => Box::new(LoadBalancer::default_backends()),
+            NfKind::Dedup => Box::new(Dedup::new(DEDUP_DEFAULT_WINDOW)),
         }
     }
 }
@@ -556,6 +566,225 @@ impl NetworkFunction for Monitor {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Load balancer
+// ---------------------------------------------------------------------------
+
+/// Most flow-affinity entries a [`LoadBalancer`] memoizes. The backend pick
+/// is a pure hash of the five-tuple, so affinity survives even for flows
+/// past the cap — the table is a memo (and the working-set model's state),
+/// not the source of truth — which keeps memory bounded on
+/// many-short-flows workloads (mirroring [`Dedup`]'s bounded window).
+pub const LB_AFFINITY_CAP: usize = 16 * 1024;
+
+/// L4 load balancer: hashes each flow onto one of a fixed set of backends and
+/// rewrites the destination IP, keeping a (bounded) per-flow affinity table
+/// so a flow never migrates mid-life (the paper's scale-out front-end NF
+/// class: lightweight per packet, flow-table memory bound).
+#[derive(Debug)]
+pub struct LoadBalancer {
+    backends: Vec<u32>,
+    affinity: HashMap<FiveTuple, u32>,
+    balanced: u64,
+}
+
+impl LoadBalancer {
+    /// Creates a balancer over an explicit backend IP list.
+    ///
+    /// # Panics
+    /// When `backends` is empty — a balancer with nowhere to send traffic is
+    /// a configuration bug, not a runtime condition.
+    pub fn new(backends: Vec<u32>) -> Self {
+        assert!(!backends.is_empty(), "load balancer needs >= 1 backend");
+        Self {
+            backends,
+            affinity: HashMap::new(),
+            balanced: 0,
+        }
+    }
+
+    /// A representative 8-backend pool (10.1.0.1 … 10.1.0.8).
+    pub fn default_backends() -> Self {
+        Self::new((1..=8).map(|i| 0x0a01_0000 | i).collect())
+    }
+
+    /// Packets balanced so far.
+    pub fn balanced(&self) -> u64 {
+        self.balanced
+    }
+
+    /// Active flow-affinity entries.
+    pub fn affinity_len(&self) -> usize {
+        self.affinity.len()
+    }
+
+    /// Deterministic flow hash → backend index (Fibonacci mixing).
+    fn pick(&self, t: &FiveTuple) -> u32 {
+        let h = t
+            .src_ip
+            .wrapping_mul(2654435761)
+            .wrapping_add(t.dst_ip.rotate_left(13))
+            .wrapping_add((u32::from(t.src_port) << 16) | u32::from(t.dst_port));
+        self.backends[(h as usize) % self.backends.len()]
+    }
+}
+
+impl NetworkFunction for LoadBalancer {
+    fn kind(&self) -> NfKind {
+        NfKind::LoadBalancer
+    }
+
+    fn cost(&self) -> NfCost {
+        NfCost {
+            base_cycles_per_packet: 200.0,
+            cycles_per_byte: 0.0,
+            mem_refs_per_packet: 9.0,
+            state_bytes: (self.backends.len() * 8 + self.affinity.len().max(512) * 32) as u64,
+        }
+    }
+
+    fn process(&mut self, batch: &mut PacketBatch) -> usize {
+        for p in batch.packets_mut() {
+            let backend = match self.affinity.get(&p.tuple) {
+                Some(&b) => b,
+                None => {
+                    let b = self.pick(&p.tuple);
+                    // Memo only below the cap; the pick itself is a pure
+                    // hash, so affinity holds for un-memoized flows too.
+                    if self.affinity.len() < LB_AFFINITY_CAP {
+                        self.affinity.insert(p.tuple, b);
+                    }
+                    b
+                }
+            };
+            p.tuple.dst_ip = backend;
+            p.mark |= 0x4; // balanced
+            self.balanced += 1;
+        }
+        0
+    }
+
+    fn reset(&mut self) {
+        self.affinity.clear();
+        self.balanced = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Dedup
+// ---------------------------------------------------------------------------
+
+/// Default dedup fingerprint-window size (packets remembered).
+pub const DEDUP_DEFAULT_WINDOW: usize = 4096;
+
+/// Redundancy-elimination dedup: fingerprints each payload and drops packets
+/// whose fingerprint was already seen within a bounded window (WAN-optimizer
+/// style). Per-byte fingerprinting cost plus a large fingerprint store make
+/// it the memory-heavy middle ground between the monitor and the IDS.
+#[derive(Debug)]
+pub struct Dedup {
+    window: usize,
+    /// Insertion-ordered ring of remembered fingerprints; each slot has
+    /// exactly one matching entry in `seen` (duplicates never re-insert).
+    order: Vec<u64>,
+    seen: std::collections::HashSet<u64>,
+    next: usize,
+    duplicates: u64,
+}
+
+impl Dedup {
+    /// Creates a dedup stage remembering up to `window` fingerprints.
+    ///
+    /// # Panics
+    /// When `window` is zero.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0, "dedup window must hold at least one entry");
+        Self {
+            window,
+            order: Vec::with_capacity(window),
+            seen: std::collections::HashSet::new(),
+            next: 0,
+            duplicates: 0,
+        }
+    }
+
+    /// Duplicate packets dropped so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+
+    /// Fingerprints currently remembered.
+    pub fn remembered(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Deterministic payload stand-in fingerprint (tuple + size + flow).
+    fn fingerprint(p: &Packet) -> u64 {
+        let t = &p.tuple;
+        ((u64::from(t.src_ip) << 32) | u64::from(t.dst_ip))
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(u64::from(t.src_port) << 48)
+            .wrapping_add(u64::from(t.dst_port) << 32)
+            .wrapping_add(u64::from(p.size) << 8)
+            .wrapping_add(u64::from(p.flow_id))
+    }
+
+    /// Records `fp`, evicting the oldest fingerprint once the window is full.
+    /// Returns `true` when `fp` was already remembered (a duplicate).
+    fn remember(&mut self, fp: u64) -> bool {
+        if self.seen.contains(&fp) {
+            return true;
+        }
+        if self.order.len() < self.window {
+            self.order.push(fp);
+        } else {
+            let old = self.order[self.next];
+            self.seen.remove(&old);
+            self.order[self.next] = fp;
+        }
+        self.next = (self.next + 1) % self.window;
+        self.seen.insert(fp);
+        false
+    }
+}
+
+impl NetworkFunction for Dedup {
+    fn kind(&self) -> NfKind {
+        NfKind::Dedup
+    }
+
+    fn cost(&self) -> NfCost {
+        NfCost {
+            base_cycles_per_packet: 260.0,
+            cycles_per_byte: 0.6, // rolling-hash fingerprint over the payload
+            mem_refs_per_packet: 16.0,
+            state_bytes: (self.window * 48) as u64,
+        }
+    }
+
+    fn process(&mut self, batch: &mut PacketBatch) -> usize {
+        // Two phases to keep borrow scopes clean: fingerprint + classify,
+        // then drop the duplicates.
+        let fps: Vec<u64> = batch.packets().iter().map(Self::fingerprint).collect();
+        let dup_flags: Vec<bool> = fps.into_iter().map(|fp| self.remember(fp)).collect();
+        let mut i = 0;
+        let dropped = batch.retain(|_| {
+            let keep = !dup_flags[i];
+            i += 1;
+            keep
+        });
+        self.duplicates += dropped as u64;
+        dropped
+    }
+
+    fn reset(&mut self) {
+        self.order.clear();
+        self.seen.clear();
+        self.next = 0;
+        self.duplicates = 0;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -657,6 +886,72 @@ mod tests {
         assert_eq!(m.flows_seen(), 2);
         assert_eq!(m.flow_stats(0), Some((2, 256)));
         assert_eq!(m.flow_stats(1), Some((1, 128)));
+    }
+
+    #[test]
+    fn load_balancer_keeps_flow_affinity() {
+        let mut lb = LoadBalancer::default_backends();
+        let mut b = batch_of(&[(0x0808_0808, 80), (0x0808_0808, 80), (0x0909_0909, 443)]);
+        // Two packets of one flow, one of another.
+        let t = FiveTuple::udp(7, 0x0808_0808, 9, 80);
+        b.packets_mut()[0].tuple = t;
+        b.packets_mut()[1].tuple = t;
+        lb.process(&mut b);
+        assert_eq!(lb.balanced(), 3);
+        assert_eq!(lb.affinity_len(), 2);
+        let p = b.packets();
+        // Same flow → same backend; every packet rewritten into the pool.
+        assert_eq!(p[0].tuple.dst_ip, p[1].tuple.dst_ip);
+        assert!(p
+            .iter()
+            .all(|p| p.tuple.dst_ip & 0xffff_0000 == 0x0a01_0000));
+        assert!(p.iter().all(|p| p.mark & 0x4 != 0));
+        lb.reset();
+        assert_eq!(lb.affinity_len(), 0);
+    }
+
+    #[test]
+    fn load_balancer_spreads_flows_across_backends() {
+        let mut lb = LoadBalancer::default_backends();
+        let mut b = PacketBatch::with_capacity(64);
+        for i in 0..64u32 {
+            b.push(Packet::new(
+                FiveTuple::udp(0x0a00_0001 + i * 7919, 0x0b00_0001, 4000 + i as u16, 80),
+                128,
+                i,
+                0,
+            ));
+        }
+        lb.process(&mut b);
+        let backends: std::collections::HashSet<u32> =
+            b.packets().iter().map(|p| p.tuple.dst_ip).collect();
+        assert!(backends.len() >= 4, "64 flows over 8 backends must spread");
+    }
+
+    #[test]
+    fn dedup_drops_repeats_within_window() {
+        let mut d = Dedup::new(16);
+        let mut b = batch_of(&[(1, 80), (2, 80)]);
+        assert_eq!(d.process(&mut b), 0, "first sightings pass");
+        let mut again = batch_of(&[(1, 80), (3, 80)]);
+        let dropped = d.process(&mut again);
+        assert_eq!(dropped, 1, "repeat of flow-0 packet is eliminated");
+        assert_eq!(again.len(), 1);
+        assert_eq!(d.duplicates(), 1);
+        d.reset();
+        assert_eq!(d.remembered(), 0);
+        assert_eq!(d.duplicates(), 0);
+    }
+
+    #[test]
+    fn dedup_window_evicts_oldest_fingerprints() {
+        let mut d = Dedup::new(2);
+        let mut b = batch_of(&[(1, 80), (2, 80), (3, 80)]); // 3 distinct > window 2
+        d.process(&mut b);
+        assert_eq!(d.remembered(), 2, "window caps the store");
+        // The oldest (flow 0's packet) was evicted, so it passes again.
+        let mut again = batch_of(&[(1, 80)]);
+        assert_eq!(d.process(&mut again), 0);
     }
 
     #[test]

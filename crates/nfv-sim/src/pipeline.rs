@@ -1,0 +1,371 @@
+//! Pipelined epoch runtime: a staged generate → evaluate → aggregate graph
+//! with double-buffered batches.
+//!
+//! One cluster epoch decomposes into three stages:
+//!
+//! 1. **generate** — advance every node's
+//!    [`TrafficSource`](crate::traffic::TrafficSource) one control window
+//!    and stage the engine configs, in node-index order;
+//! 2. **evaluate** — sweep the column-pass kernel
+//!    ([`evaluate_chain_batch`]) over all staged lanes fused into one
+//!    [`ChainBatch`];
+//! 3. **aggregate** — fold the lane results back into per-node reports
+//!    (the same [`engine`](crate::engine) fold every epoch path uses), in
+//!    node-index order.
+//!
+//! Generation only touches traffic state, evaluation only reads the staged
+//! batch, and aggregation only folds results — the stages are data-disjoint.
+//! [`EpochPipeline`] exploits that with **two** [`ChainBatch`] buffers: over
+//! a multi-epoch run, the producer (the calling thread) advances every
+//! traffic stream and fills batch *N + 1* into the back buffer while a
+//! worker thread sweeps the kernel over batch *N* in the front buffer (the
+//! kernel itself still fans out through [`crate::par`] on huge batches).
+//! Buffers swap at each epoch boundary, so nothing is re-fused or
+//! re-allocated per epoch.
+//!
+//! **Determinism.** The pipelined path is *bit-identical* to running
+//! [`Cluster::run_epoch`](crate::cluster::Cluster::run_epoch) serially:
+//!
+//! * every traffic RNG stream is advanced by exactly one actor — the
+//!   producer — in node-index order, the same order the serial path uses,
+//!   so stream positions per epoch are identical;
+//! * evaluation consumes an immutable staged batch and is itself
+//!   lane-deterministic for any thread count (the PR 2/3 contract);
+//! * aggregation runs strictly after the epoch's evaluation joins, in node
+//!   order.
+//!
+//! Overlap therefore changes *when* work happens, never *what* is computed.
+//! `tests/proptests.rs::pipelined_epochs_equal_serial_fused` pins this over
+//! random scenarios, and `tests/scenarios.rs` over the whole registry.
+//!
+//! **Overlap policy.** Spawning the evaluation worker costs tens of
+//! microseconds per epoch, so overlap only pays when an epoch carries real
+//! work. [`PipelineMode::Auto`] engages it above [`OVERLAP_MIN_LANES`]
+//! staged lanes on multicore hosts and otherwise runs the same stage graph
+//! inline — still ahead of per-epoch
+//! [`Cluster::run_epoch`](crate::cluster::Cluster::run_epoch) calls thanks
+//! to buffer reuse. Heterogeneous model tunings cannot share one batch;
+//! such clusters fall back to the per-node serial path unchanged.
+
+use crate::batch::{evaluate_chain_batch, ChainBatch};
+use crate::cluster::ClusterEpochReport;
+use crate::engine::{ChainEpochResult, SimTuning};
+use crate::error::SimResult;
+use crate::node::{ChainConfig, Node};
+use crate::par;
+
+/// Staged lanes per epoch below which [`PipelineMode::Auto`] keeps the
+/// pipeline inline: the producer's traffic sampling and the kernel sweep
+/// both run in the hundreds of nanoseconds per lane, so the
+/// tens-of-microseconds worker spawn only amortizes on epochs of thousands
+/// of lanes.
+pub const OVERLAP_MIN_LANES: usize = 4096;
+
+/// How a multi-epoch run schedules its stages. Every mode computes
+/// bit-identical results; modes differ only in wall-clock overlap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PipelineMode {
+    /// Overlap when it can pay: multicore host and at least
+    /// [`OVERLAP_MIN_LANES`] staged lanes per epoch.
+    #[default]
+    Auto,
+    /// Never spawn the evaluation worker; run the stage graph inline.
+    Inline,
+    /// Always overlap generation with evaluation (tests force this to pin
+    /// the overlapped path's bit-equality even on small clusters).
+    Overlapped,
+}
+
+/// One epoch's staged inputs: per node, the engine configs and raw arrival
+/// rates from [`Node::prepare_epoch`].
+type PreparedEpoch = Vec<(Vec<ChainConfig>, Vec<f64>)>;
+
+/// The double-buffered epoch pipeline. Owns the two [`ChainBatch`] buffers
+/// (front = being evaluated, back = being filled) so multi-epoch runs and
+/// repeated [`EpochPipeline::step`] calls never re-allocate columns.
+#[derive(Debug, Default)]
+pub struct EpochPipeline {
+    front: ChainBatch,
+    back: ChainBatch,
+}
+
+impl EpochPipeline {
+    /// A pipeline with empty buffers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Runs one epoch through the stage graph (inline — a single epoch has
+    /// no next batch to produce in parallel).
+    pub fn step(&mut self, nodes: &mut [Node]) -> ClusterEpochReport {
+        self.run(nodes, 1, PipelineMode::Inline)
+            .pop()
+            .expect("one epoch requested")
+    }
+
+    /// Runs `epochs` lock-step cluster epochs, returning one report per
+    /// epoch in order. See the module docs for the stage graph and the
+    /// determinism argument. Long horizons that only need each report once
+    /// should use [`EpochPipeline::run_with`] instead and keep memory O(1)
+    /// in the horizon.
+    pub fn run(
+        &mut self,
+        nodes: &mut [Node],
+        epochs: usize,
+        mode: PipelineMode,
+    ) -> Vec<ClusterEpochReport> {
+        let mut reports = Vec::with_capacity(epochs);
+        self.run_with(nodes, epochs, mode, |_, report| reports.push(report));
+        reports
+    }
+
+    /// Streaming form of [`EpochPipeline::run`]: hands each epoch's report
+    /// to `consume(epoch_index, report)` as soon as its aggregate stage
+    /// completes, instead of materializing the whole horizon. The pipeline
+    /// needs only one epoch of lookahead, so a multi-day replay scores and
+    /// drops each report in O(1) memory.
+    pub fn run_with(
+        &mut self,
+        nodes: &mut [Node],
+        epochs: usize,
+        mode: PipelineMode,
+        mut consume: impl FnMut(usize, ClusterEpochReport),
+    ) {
+        if epochs == 0 {
+            return;
+        }
+        let Some(tuning) = shared_tuning(nodes) else {
+            // Heterogeneous model tunings (or an empty cluster): per-node
+            // batches, serial, identical to the pre-pipeline fallback.
+            for k in 0..epochs {
+                consume(k, epoch_unfused(nodes));
+            }
+            return;
+        };
+
+        // Prime the pipeline: generate epoch 0 into the front buffer.
+        let mut pending = generate(nodes);
+        fill(&mut self.front, &pending);
+        let overlap = match mode {
+            PipelineMode::Inline => false,
+            PipelineMode::Overlapped => true,
+            PipelineMode::Auto => {
+                self.front.len() >= OVERLAP_MIN_LANES && par::default_threads() > 1
+            }
+        };
+
+        for k in 0..epochs {
+            let last = k + 1 == epochs;
+            let (results, next) = if overlap && !last {
+                // Split borrows: the worker sweeps the front buffer while
+                // the producer advances traffic and fills the back buffer.
+                let front = &self.front;
+                let back = &mut self.back;
+                std::thread::scope(|s| {
+                    let worker = s.spawn(move || evaluate_chain_batch(front, &tuning));
+                    let next = generate(nodes);
+                    fill(back, &next);
+                    let results = worker.join().expect("kernel sweep must not panic");
+                    (results, Some(next))
+                })
+            } else {
+                let results = evaluate_chain_batch(&self.front, &tuning);
+                let next = (!last).then(|| {
+                    let next = generate(nodes);
+                    fill(&mut self.back, &next);
+                    next
+                });
+                (results, next)
+            };
+            consume(k, aggregate(nodes, &pending, results));
+            if let Some(next) = next {
+                pending = next;
+                std::mem::swap(&mut self.front, &mut self.back);
+            }
+        }
+    }
+}
+
+/// The model tuning shared by every node, or `None` when nodes disagree (or
+/// the cluster is empty) and lanes cannot fuse into one batch.
+fn shared_tuning(nodes: &[Node]) -> Option<SimTuning> {
+    let first = *nodes.first()?.tuning();
+    nodes.iter().all(|n| *n.tuning() == first).then_some(first)
+}
+
+/// Stage 1 — generate: advance every node's traffic one control window, in
+/// node-index order (the determinism anchor), staging engine configs.
+fn generate(nodes: &mut [Node]) -> PreparedEpoch {
+    nodes.iter_mut().map(|n| n.prepare_epoch()).collect()
+}
+
+/// Fills `batch` with every staged lane of `prepared`, reusing the buffer's
+/// column capacity.
+fn fill(batch: &mut ChainBatch, prepared: &PreparedEpoch) {
+    batch.clear();
+    for (configs, _) in prepared {
+        for (knobs, cost, load, llc_bytes) in configs {
+            batch.push(knobs, cost, load, *llc_bytes);
+        }
+    }
+}
+
+/// Stage 3 — aggregate: fold lane results back into per-node reports, in
+/// node-index order.
+fn aggregate(
+    nodes: &mut [Node],
+    prepared: &PreparedEpoch,
+    results: Vec<SimResult<ChainEpochResult>>,
+) -> ClusterEpochReport {
+    let mut lanes = results.into_iter();
+    ClusterEpochReport {
+        nodes: nodes
+            .iter_mut()
+            .zip(prepared)
+            .map(|(node, (configs, arrivals))| {
+                let results: Vec<ChainEpochResult> = lanes
+                    .by_ref()
+                    .take(configs.len())
+                    .map(|r| r.expect("node-resident knobs were validated by set_knobs"))
+                    .collect();
+                node.finish_epoch(configs, arrivals, &results)
+            })
+            .collect(),
+    }
+}
+
+/// Fallback epoch for clusters whose nodes carry heterogeneous model
+/// tunings: each node evaluates its own batch with its own tuning, serially.
+fn epoch_unfused(nodes: &mut [Node]) -> ClusterEpochReport {
+    let prepared = generate(nodes);
+    ClusterEpochReport {
+        nodes: nodes
+            .iter_mut()
+            .zip(&prepared)
+            .map(|(node, (configs, arrivals))| {
+                let tuning = *node.tuning();
+                let results: Vec<ChainEpochResult> =
+                    evaluate_chain_batch(&ChainBatch::from_configs(configs), &tuning)
+                        .into_iter()
+                        .map(|r| r.expect("node-resident knobs were validated by set_knobs"))
+                        .collect();
+                node.finish_epoch(configs, arrivals, &results)
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chain::ChainSpec;
+    use crate::cluster::Cluster;
+    use crate::cpu::ChainId;
+    use crate::engine::{KnobSettings, PlatformPolicy, SimTuning};
+    use crate::flow::FlowSet;
+    use crate::power::PowerModel;
+
+    fn testbed() -> Cluster {
+        Cluster::paper_testbed(PlatformPolicy::greennfv(), 21)
+    }
+
+    #[test]
+    fn multi_epoch_run_equals_serial_epoch_loop() {
+        for mode in [
+            PipelineMode::Auto,
+            PipelineMode::Inline,
+            PipelineMode::Overlapped,
+        ] {
+            let mut pipelined = testbed();
+            let mut serial = testbed();
+            let got = pipelined.run_epochs_with(5, mode);
+            let expect: Vec<_> = (0..5).map(|_| serial.run_epoch()).collect();
+            assert_eq!(got, expect, "mode {mode:?} diverged from serial epochs");
+        }
+    }
+
+    #[test]
+    fn step_and_run_agree() {
+        let mut a = testbed();
+        let mut b = testbed();
+        let stepped: Vec<_> = (0..4).map(|_| a.run_epoch()).collect();
+        let ran = b.run_epochs(4);
+        assert_eq!(stepped, ran);
+    }
+
+    #[test]
+    fn zero_epochs_and_empty_clusters_are_fine() {
+        let mut c = testbed();
+        assert!(c.run_epochs(0).is_empty());
+        let mut empty = Cluster::new();
+        let reports = empty.run_epochs(3);
+        assert_eq!(reports.len(), 3);
+        assert!(reports.iter().all(|r| r.nodes.is_empty()));
+    }
+
+    #[test]
+    fn heterogeneous_tunings_fall_back_per_node() {
+        // Two nodes with different model tunings cannot fuse; the pipeline
+        // must still match per-node serial epochs exactly.
+        let build = || {
+            let mut c = Cluster::new();
+            for (i, epoch_s) in [30.0, 60.0].into_iter().enumerate() {
+                let tuning = SimTuning {
+                    epoch_s,
+                    ..SimTuning::default()
+                };
+                let mut node = crate::node::Node::new(
+                    i as u32,
+                    tuning,
+                    PowerModel::default(),
+                    PlatformPolicy::greennfv(),
+                );
+                node.add_chain(
+                    ChainSpec::canonical_three(ChainId(0)),
+                    FlowSet::evaluation_five_flows(),
+                    KnobSettings::default_tuned(),
+                    33 + i as u64,
+                )
+                .unwrap();
+                c.add_node(node);
+            }
+            c
+        };
+        let mut pipelined = build();
+        let mut serial = build();
+        let got = pipelined.run_epochs(3);
+        for (epoch, report) in got.iter().enumerate() {
+            let expect: Vec<_> = (0..serial.len())
+                .map(|i| serial.node_mut(i).unwrap().run_epoch())
+                .collect();
+            assert_eq!(report.nodes, expect, "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn streaming_matches_collected_reports() {
+        let mut collected = testbed();
+        let mut streamed = testbed();
+        let expect = collected.run_epochs(4);
+        let mut got = Vec::new();
+        streamed.stream_epochs(4, PipelineMode::Inline, |k, r| got.push((k, r)));
+        assert_eq!(got.len(), 4);
+        for (k, (idx, report)) in got.into_iter().enumerate() {
+            assert_eq!(idx, k, "epoch indices arrive in order");
+            assert_eq!(report, expect[k]);
+        }
+    }
+
+    #[test]
+    fn buffers_are_reused_across_runs() {
+        // Two runs through one cluster share the pipeline's buffers; results
+        // must keep matching a fresh serial cluster (no stale-lane leaks).
+        let mut pipelined = testbed();
+        let mut serial = testbed();
+        for chunk in [3usize, 2, 4] {
+            let got = pipelined.run_epochs(chunk);
+            let expect: Vec<_> = (0..chunk).map(|_| serial.run_epoch()).collect();
+            assert_eq!(got, expect);
+        }
+    }
+}

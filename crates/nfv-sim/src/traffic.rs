@@ -267,13 +267,24 @@ impl Trace {
 
     /// Parses the CSV trace format: a `duration_s,rate_pps,packet_size,burstiness`
     /// header line followed by one data row per point. Blank lines and lines
-    /// starting with `#` are skipped.
+    /// starting with `#` are skipped; Windows (`\r\n`) line endings are
+    /// accepted.
+    ///
+    /// The parser is total: **any** input — truncated rows, non-numeric or
+    /// non-finite fields, out-of-range values, a missing header, an empty
+    /// file — returns a [`SimError::TraceConfig`] naming the offending
+    /// 1-based *file* line (comments and blanks included in the count),
+    /// never a panic. A proptest in `tests/proptests.rs` feeds it garbage to
+    /// keep that contract honest.
     pub fn from_csv(name: impl Into<String>, text: &str) -> SimResult<Self> {
+        // Keep original line numbers through the comment/blank filter so
+        // errors point at the real file line.
         let mut rows = text
             .lines()
-            .map(str::trim)
-            .filter(|l| !l.is_empty() && !l.starts_with('#'));
-        let header = rows
+            .enumerate()
+            .map(|(i, l)| (i + 1, l.trim()))
+            .filter(|(_, l)| !l.is_empty() && !l.starts_with('#'));
+        let (_, header) = rows
             .next()
             .ok_or_else(|| SimError::TraceConfig("empty CSV trace".into()))?;
         let expect = "duration_s,rate_pps,packet_size,burstiness";
@@ -283,34 +294,53 @@ impl Trace {
             )));
         }
         let mut points = Vec::new();
-        for (lineno, row) in rows.enumerate() {
+        for (lineno, row) in rows {
             let cols: Vec<&str> = row.split(',').map(str::trim).collect();
             if cols.len() != 4 {
                 return Err(SimError::TraceConfig(format!(
-                    "row {}: expected 4 columns, found {}",
-                    lineno + 1,
+                    "line {lineno}: expected 4 columns, found {}",
                     cols.len()
                 )));
             }
             let parse_f = |s: &str, col: &str| -> SimResult<f64> {
-                s.parse::<f64>().map_err(|_| {
-                    SimError::TraceConfig(format!("row {}: bad {col} `{s}`", lineno + 1))
-                })
+                s.parse::<f64>()
+                    .map_err(|_| SimError::TraceConfig(format!("line {lineno}: bad {col} `{s}`")))
             };
-            points.push(TracePoint {
+            let point = TracePoint {
                 duration_s: parse_f(cols[0], "duration_s")?,
                 rate_pps: parse_f(cols[1], "rate_pps")?,
                 packet_size: cols[2].parse::<u32>().map_err(|_| {
-                    SimError::TraceConfig(format!(
-                        "row {}: bad packet_size `{}`",
-                        lineno + 1,
-                        cols[2]
-                    ))
+                    SimError::TraceConfig(format!("line {lineno}: bad packet_size `{}`", cols[2]))
                 })?,
                 burstiness: parse_f(cols[3], "burstiness")?,
-            });
+            };
+            // Range-check each row where it sits, so the error names the
+            // line instead of a point index the caller cannot see.
+            point
+                .validate()
+                .map_err(|e| SimError::TraceConfig(format!("line {lineno}: {e}")))?;
+            points.push(point);
         }
         Self::new(name, points)
+    }
+
+    /// Renders the trace in the [`Trace::from_csv`] format. Floats print in
+    /// shortest-round-trip form, so `from_csv(to_csv(t)) == t` exactly.
+    pub fn to_csv(&self) -> String {
+        let mut out = format!(
+            "# trace: {}\nduration_s,rate_pps,packet_size,burstiness\n",
+            {
+                // Keep the name comment single-line even for hostile names.
+                self.name.replace(['\n', '\r'], " ")
+            }
+        );
+        for p in &self.points {
+            out.push_str(&format!(
+                "{},{},{},{}\n",
+                p.duration_s, p.rate_pps, p.packet_size, p.burstiness
+            ));
+        }
+        out
     }
 
     /// Trace name (for reports).
@@ -445,6 +475,128 @@ impl TrafficSource {
             TrafficSource::Replay(_) => None,
         }
     }
+
+    /// Snapshot of this source's replay position ([`TrafficCursor`]).
+    pub fn cursor(&self) -> TrafficCursor {
+        match self {
+            TrafficSource::Synthetic(gen) => gen.cursor(),
+            TrafficSource::Replay(src) => src.cursor(),
+        }
+    }
+
+    /// Restores a [`TrafficCursor`] taken from a source of the same shape
+    /// (same variant; for synthetic sources, same flow count). The stream
+    /// resumes bit-exactly at the captured point.
+    pub fn restore_cursor(&mut self, cursor: &TrafficCursor) -> SimResult<()> {
+        match (self, cursor) {
+            (TrafficSource::Synthetic(gen), TrafficCursor::Synthetic { .. }) => {
+                gen.restore_cursor(cursor)
+            }
+            (TrafficSource::Replay(src), TrafficCursor::Replay { .. }) => {
+                src.restore_cursor(cursor)
+            }
+            _ => Err(SimError::TraceConfig(
+                "traffic cursor kind does not match the source (synthetic vs replay)".into(),
+            )),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint cursors
+// ---------------------------------------------------------------------------
+
+/// Serializable position of a [`TrafficSource`] stream: the RNG state plus
+/// the source's replay clock. Restoring a cursor resumes the offered-load
+/// sequence **bit-exactly** where the snapshot was taken — the foundation of
+/// the checkpoint/resume guarantee (an interrupted run must see the same
+/// traffic as an uninterrupted one).
+///
+/// The RNG state is exposed by the vendored `rand` shim
+/// (`StdRng::state`/`from_state`, a documented divergence from crates.io
+/// `rand`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TrafficCursor {
+    /// Position of a synthetic [`TrafficGen`].
+    Synthetic {
+        /// xoshiro256++ state of the generator.
+        rng: [u64; 4],
+        /// Per-flow Markov ON/OFF phase.
+        onoff_state: Vec<bool>,
+        /// Simulated clock, nanoseconds.
+        now_ns: u64,
+    },
+    /// Position of a [`TraceSource`] replay.
+    Replay {
+        /// xoshiro256++ state of the jitter stream.
+        rng: [u64; 4],
+        /// Replay clock, seconds (wraps at the trace length).
+        now_s: f64,
+    },
+}
+
+impl TrafficGen {
+    /// Snapshot of the generator's stream position.
+    pub fn cursor(&self) -> TrafficCursor {
+        TrafficCursor::Synthetic {
+            rng: self.rng.state(),
+            onoff_state: self.onoff_state.clone(),
+            now_ns: self.now_ns,
+        }
+    }
+
+    /// Restores a [`TrafficGen::cursor`] snapshot; the ON/OFF vector must
+    /// match this generator's flow count.
+    pub fn restore_cursor(&mut self, cursor: &TrafficCursor) -> SimResult<()> {
+        let TrafficCursor::Synthetic {
+            rng,
+            onoff_state,
+            now_ns,
+        } = cursor
+        else {
+            return Err(SimError::TraceConfig(
+                "expected a synthetic traffic cursor".into(),
+            ));
+        };
+        if onoff_state.len() != self.flows.len() {
+            return Err(SimError::TraceConfig(format!(
+                "cursor has {} ON/OFF phases for {} flows",
+                onoff_state.len(),
+                self.flows.len()
+            )));
+        }
+        self.rng = StdRng::from_state(*rng);
+        self.onoff_state = onoff_state.clone();
+        self.now_ns = *now_ns;
+        Ok(())
+    }
+}
+
+impl TraceSource {
+    /// Snapshot of the replay position and jitter stream.
+    pub fn cursor(&self) -> TrafficCursor {
+        TrafficCursor::Replay {
+            rng: self.rng.state(),
+            now_s: self.now_s,
+        }
+    }
+
+    /// Restores a [`TraceSource::cursor`] snapshot.
+    pub fn restore_cursor(&mut self, cursor: &TrafficCursor) -> SimResult<()> {
+        let TrafficCursor::Replay { rng, now_s } = cursor else {
+            return Err(SimError::TraceConfig(
+                "expected a replay traffic cursor".into(),
+            ));
+        };
+        if !now_s.is_finite() || *now_s < 0.0 {
+            return Err(SimError::TraceConfig(format!(
+                "cursor replay clock {now_s} must be finite and >= 0"
+            )));
+        }
+        self.rng = StdRng::from_state(*rng);
+        self.now_s = *now_s;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -578,6 +730,125 @@ mod tests {
         assert_eq!(t.point_at(179.0).rate_pps, 6.0e5);
         // Cyclic replay: one full cycle later lands on the same point.
         assert_eq!(t.point_at(180.0 + 90.0).rate_pps, 1.6e6);
+    }
+
+    #[test]
+    fn csv_errors_name_the_real_file_line() {
+        let csv = "\
+# comment on line 1
+
+duration_s,rate_pps,packet_size,burstiness
+60,200000,512,1.2
+# another comment
+oops,200000,512,1.2
+";
+        let err = Trace::from_csv("t", csv).unwrap_err().to_string();
+        assert!(err.contains("line 6"), "comments count toward lines: {err}");
+        let err = Trace::from_csv("t", "duration_s,rate_pps,packet_size,burstiness\n1,2\n")
+            .unwrap_err()
+            .to_string();
+        assert!(err.contains("line 2") && err.contains("found 2"), "{err}");
+    }
+
+    #[test]
+    fn csv_rejects_nonfinite_and_out_of_range_rows() {
+        let header = "duration_s,rate_pps,packet_size,burstiness\n";
+        for bad_row in [
+            "NaN,1000,512,1.2",   // non-finite duration
+            "60,inf,512,1.2",     // non-finite rate
+            "60,1000,32,1.2",     // packet below 64B
+            "60,1000,512,0.2",    // burstiness < 1
+            "60,1000,-512,1.2",   // negative packet size
+            "60,1000,512,1.2,99", // extra column
+            "-60,1000,512,1.2",   // negative duration
+        ] {
+            let res = Trace::from_csv("t", &format!("{header}{bad_row}\n"));
+            assert!(res.is_err(), "row `{bad_row}` must be rejected");
+        }
+        // CRLF input parses fine.
+        let crlf = format!("{header}60,1000,512,1.2\r\n").replace('\n', "\r\n");
+        assert!(Trace::from_csv("t", &crlf).is_ok());
+    }
+
+    #[test]
+    fn csv_write_read_round_trips_exactly() {
+        let t = diurnal_like_trace();
+        assert_eq!(Trace::from_csv(t.name(), &t.to_csv()).unwrap(), t);
+        // Shortest-round-trip floats survive awkward values too.
+        let odd = Trace::new(
+            "odd",
+            vec![TracePoint {
+                duration_s: 0.1 + 0.2,
+                rate_pps: 1.0 / 3.0,
+                packet_size: 1518,
+                burstiness: 1.000000001,
+            }],
+        )
+        .unwrap();
+        assert_eq!(Trace::from_csv("odd", &odd.to_csv()).unwrap(), odd);
+    }
+
+    #[test]
+    fn cursors_resume_streams_bit_exactly() {
+        // Synthetic: run a twin to the snapshot point, restore, compare.
+        let fs = flows(vec![
+            FlowSpec::poisson(0, 5_000.0, 256),
+            FlowSpec {
+                pattern: ArrivalPattern::MarkovOnOff {
+                    peak_factor: 2.0,
+                    on_fraction: 0.5,
+                },
+                ..FlowSpec::cbr(1, 1000.0, 64)
+            },
+        ]);
+        let mut live = TrafficSource::synthetic(fs.clone(), 7);
+        for _ in 0..9 {
+            live.sample_load(1.0);
+        }
+        let cursor = live.cursor();
+        let mut resumed = TrafficSource::synthetic(fs.clone(), 999); // wrong seed on purpose
+        resumed.restore_cursor(&cursor).unwrap();
+        for _ in 0..20 {
+            assert_eq!(live.sample_load(1.0), resumed.sample_load(1.0));
+        }
+
+        // Replay: same contract through the jittered trace path.
+        let trace = diurnal_like_trace();
+        let mut live = TrafficSource::replay(trace.clone(), 0.1, 3).unwrap();
+        for _ in 0..5 {
+            live.sample_load(30.0);
+        }
+        let cursor = live.cursor();
+        let mut resumed = TrafficSource::replay(trace.clone(), 0.1, 42).unwrap();
+        resumed.restore_cursor(&cursor).unwrap();
+        for _ in 0..20 {
+            assert_eq!(live.sample_load(30.0), resumed.sample_load(30.0));
+        }
+
+        // Mismatched cursor kinds and shapes are rejected.
+        let mut synth = TrafficSource::synthetic(fs, 1);
+        assert!(synth.restore_cursor(&cursor).is_err(), "replay→synthetic");
+        let bad = TrafficCursor::Synthetic {
+            rng: [1, 2, 3, 4],
+            onoff_state: vec![true; 9],
+            now_ns: 0,
+        };
+        assert!(synth.restore_cursor(&bad).is_err(), "flow-count mismatch");
+        let mut replay = TrafficSource::replay(diurnal_like_trace(), 0.0, 1).unwrap();
+        let bad_clock = TrafficCursor::Replay {
+            rng: [1, 2, 3, 4],
+            now_s: f64::NAN,
+        };
+        assert!(replay.restore_cursor(&bad_clock).is_err());
+    }
+
+    #[test]
+    fn cursors_serde_round_trip() {
+        let src = TrafficSource::replay(diurnal_like_trace(), 0.2, 5).unwrap();
+        let cursor = src.cursor();
+        let json = serde_json::to_string(&cursor).unwrap();
+        let back: TrafficCursor = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, cursor);
     }
 
     #[test]

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 use crate::env::Transition;
 
 /// Hyperparameters for a DDPG agent.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DdpgConfig {
     /// Discount factor γ.
     pub gamma: f64,
@@ -40,6 +40,34 @@ impl Default for DdpgConfig {
             grad_clip: 5.0,
         }
     }
+}
+
+/// Full serializable agent state — online and target networks, optimizer
+/// moments, and the update counter — for bit-exact checkpoint/resume of a
+/// training run. [`DdpgParams`] snapshots only the policy (enough to *act*);
+/// this snapshots everything needed to *continue learning* identically.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DdpgState {
+    /// State dimension.
+    pub state_dim: usize,
+    /// Action dimension.
+    pub action_dim: usize,
+    /// Online actor network.
+    pub actor: Mlp,
+    /// Online critic network.
+    pub critic: Mlp,
+    /// Target actor network.
+    pub target_actor: Mlp,
+    /// Target critic network.
+    pub target_critic: Mlp,
+    /// Actor Adam optimizer (with first/second moments).
+    pub actor_opt: Adam,
+    /// Critic Adam optimizer (with first/second moments).
+    pub critic_opt: Adam,
+    /// Hyperparameters.
+    pub config: DdpgConfig,
+    /// Gradient updates applied so far.
+    pub updates: u64,
 }
 
 /// Serializable snapshot of the actor/critic parameters, used for Ape-X
@@ -265,6 +293,41 @@ impl DdpgAgent {
         self.target_actor.copy_from(&self.actor);
         self.target_critic.copy_from(&self.critic);
     }
+
+    /// Full-state snapshot for checkpointing; restore with
+    /// [`DdpgAgent::from_state`]. Unlike [`DdpgAgent::export_params`], this
+    /// captures target networks and optimizer moments, so a restored agent
+    /// *learns* identically, not just acts identically.
+    pub fn export_state(&self) -> DdpgState {
+        DdpgState {
+            state_dim: self.state_dim,
+            action_dim: self.action_dim,
+            actor: self.actor.clone(),
+            critic: self.critic.clone(),
+            target_actor: self.target_actor.clone(),
+            target_critic: self.target_critic.clone(),
+            actor_opt: self.actor_opt.clone(),
+            critic_opt: self.critic_opt.clone(),
+            config: self.config,
+            updates: self.updates,
+        }
+    }
+
+    /// Rebuilds an agent from a [`DdpgAgent::export_state`] snapshot.
+    pub fn from_state(s: DdpgState) -> Self {
+        Self {
+            state_dim: s.state_dim,
+            action_dim: s.action_dim,
+            actor: s.actor,
+            critic: s.critic,
+            target_actor: s.target_actor,
+            target_critic: s.target_critic,
+            actor_opt: s.actor_opt,
+            critic_opt: s.critic_opt,
+            config: s.config,
+            updates: s.updates,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -334,6 +397,38 @@ mod tests {
         let s = [0.1, 0.2, 0.3, 0.4];
         assert_eq!(agent.act(&s), clone.act(&s));
         assert_eq!(params.version, agent.updates());
+    }
+
+    #[test]
+    fn full_state_roundtrip_continues_learning_identically() {
+        // Train two updates, snapshot through JSON, keep training both
+        // twins on the same data: every subsequent update must match in
+        // loss and TD errors (targets + optimizer moments survive).
+        let mut live = DdpgAgent::new(2, 1, DdpgConfig::default(), 17);
+        let batch: Vec<Transition> = (0..8)
+            .map(|i| Transition {
+                state: vec![i as f64 / 8.0, 0.2],
+                action: vec![0.3],
+                reward: (i % 3) as f64,
+                next_state: vec![i as f64 / 8.0, 0.25],
+                done: i % 4 == 0,
+            })
+            .collect();
+        let w = vec![1.0; 8];
+        for _ in 0..2 {
+            live.update(&batch, &w);
+        }
+        let json = serde_json::to_string(&live.export_state()).unwrap();
+        let mut resumed = DdpgAgent::from_state(serde_json::from_str(&json).unwrap());
+        assert_eq!(resumed.updates(), live.updates());
+        for _ in 0..5 {
+            let (la, ta) = live.update(&batch, &w);
+            let (lb, tb) = resumed.update(&batch, &w);
+            assert_eq!(la, lb, "critic losses must match bit-for-bit");
+            assert_eq!(ta, tb, "TD errors must match bit-for-bit");
+        }
+        let s = [0.4, -0.1];
+        assert_eq!(live.act(&s), resumed.act(&s));
     }
 
     /// End-to-end sanity: DDPG learns to move to the origin.

@@ -1,5 +1,7 @@
 //! Environment abstraction for continuous-control RL.
 
+use serde::{Deserialize, Serialize};
+
 /// Outcome of one environment step.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Step {
@@ -27,8 +29,9 @@ pub trait Environment {
 }
 
 /// One transition `(x_i, a_i, r_i, x_{i+1}, done)` — the experience tuple of
-/// the paper's Algorithm 2 line 2.
-#[derive(Debug, Clone, PartialEq)]
+/// the paper's Algorithm 2 line 2. Serializable so replay buffers can be
+/// checkpointed with training runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Transition {
     /// State observed before acting.
     pub state: Vec<f64>,

@@ -24,12 +24,12 @@ pub mod schedule;
 
 /// Common imports.
 pub mod prelude {
-    pub use crate::ddpg::{DdpgAgent, DdpgConfig, DdpgParams};
-    pub use crate::dqn::{DqnAgent, DqnConfig};
+    pub use crate::ddpg::{DdpgAgent, DdpgConfig, DdpgParams, DdpgState};
+    pub use crate::dqn::{DqnAgent, DqnConfig, DqnState};
     pub use crate::env::{Environment, Step, Transition};
-    pub use crate::noise::{GaussianNoise, OrnsteinUhlenbeck};
-    pub use crate::per::{PrioritizedBatch, PrioritizedReplay, SumTree};
+    pub use crate::noise::{GaussianNoise, OrnsteinUhlenbeck, OuState};
+    pub use crate::per::{PrioritizedBatch, PrioritizedReplay, PrioritizedReplayState, SumTree};
     pub use crate::qlearning::{Discretizer, QLearning};
-    pub use crate::replay::ReplayBuffer;
+    pub use crate::replay::{ReplayBuffer, ReplayBufferState};
     pub use crate::schedule::Schedule;
 }

@@ -3,12 +3,18 @@
 
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
+use serde::{Deserialize, Serialize};
 
 use crate::env::Transition;
 
 /// A fixed-capacity sum tree: leaf `i` holds a priority; internal nodes hold
 /// subtree sums, enabling O(log n) prefix-sum sampling and updates.
-#[derive(Debug, Clone)]
+///
+/// Serialization preserves the internal node sums verbatim rather than
+/// rebuilding them from the leaves: the sums accumulate incremental deltas,
+/// so a rebuilt tree could differ in final bits and perturb resumed
+/// prefix-sampling — checkpointed training must replay the exact stream.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SumTree {
     capacity: usize,
     /// Binary heap layout: nodes[1] is the root; leaves start at `capacity`.
@@ -72,6 +78,31 @@ impl SumTree {
         }
         idx - self.capacity
     }
+}
+
+/// Serializable snapshot of a [`PrioritizedReplay`] buffer — tree (with
+/// verbatim internal sums), slots, cursors, priority bookkeeping, and the
+/// sampler RNG — for bit-exact training resume.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PrioritizedReplayState {
+    /// Priority sum tree, internal sums preserved bit-for-bit.
+    pub tree: SumTree,
+    /// Transition slots (power-of-two ring; `None` = empty slot).
+    pub data: Vec<Option<Transition>>,
+    /// Next write slot.
+    pub next: usize,
+    /// Stored transition count.
+    pub len: usize,
+    /// Running maximum priority (new experience enters at this priority).
+    pub max_priority: f64,
+    /// Priority exponent α.
+    pub alpha: f64,
+    /// Priority floor ε.
+    pub epsilon: f64,
+    /// Sampler RNG state (xoshiro256++).
+    pub rng: [u64; 4],
+    /// Lifetime insertion count.
+    pub inserted_total: u64,
 }
 
 /// A sampled minibatch with importance weights.
@@ -219,6 +250,50 @@ impl PrioritizedReplay {
         }
     }
 
+    /// Snapshot for checkpointing; restore with
+    /// [`PrioritizedReplay::from_state`].
+    pub fn export_state(&self) -> PrioritizedReplayState {
+        PrioritizedReplayState {
+            tree: self.tree.clone(),
+            data: self.data.clone(),
+            next: self.next,
+            len: self.len,
+            max_priority: self.max_priority,
+            alpha: self.alpha,
+            epsilon: self.epsilon,
+            rng: self.rng.state(),
+            inserted_total: self.inserted_total,
+        }
+    }
+
+    /// Rebuilds a buffer from a [`PrioritizedReplay::export_state`]
+    /// snapshot; sampling, priority updates, and evictions resume exactly
+    /// where the snapshot was taken.
+    ///
+    /// # Panics
+    /// When the snapshot is inconsistent (slot count != tree capacity, or
+    /// cursors outside the ring).
+    pub fn from_state(state: PrioritizedReplayState) -> Self {
+        let capacity = state.tree.capacity();
+        assert_eq!(state.data.len(), capacity, "snapshot slots != tree leaves");
+        assert!(
+            state.next < capacity && state.len <= capacity,
+            "snapshot cursors outside the ring"
+        );
+        Self {
+            capacity,
+            tree: state.tree,
+            data: state.data,
+            next: state.next,
+            len: state.len,
+            max_priority: state.max_priority,
+            alpha: state.alpha,
+            epsilon: state.epsilon,
+            rng: StdRng::from_state(state.rng),
+            inserted_total: state.inserted_total,
+        }
+    }
+
     /// Removes the oldest `n` experiences (the paper's learner "periodically
     /// removes the old experiences from replay buffer", Algorithm 3 line 18).
     pub fn evict_oldest(&mut self, n: usize) {
@@ -363,5 +438,41 @@ mod tests {
     fn sampling_empty_panics() {
         let mut b = PrioritizedReplay::new(4, 1);
         let _ = b.sample(1, 0.4);
+    }
+
+    #[test]
+    fn state_roundtrip_resumes_sampling_exactly() {
+        let mut live = PrioritizedReplay::new(16, 21);
+        for i in 0..12 {
+            live.push_with_priority(tr(i as f64), 0.1 + i as f64);
+        }
+        // Disturb priorities + sampler so the snapshot is mid-stream.
+        let b = live.sample(8, 0.5);
+        live.update_priorities(&b.indices, &[2.5; 8]);
+        live.evict_oldest(2);
+
+        let snap = live.export_state();
+        let mut resumed = PrioritizedReplay::from_state(snap);
+        assert_eq!(resumed.len(), live.len());
+        assert_eq!(resumed.inserted_total(), live.inserted_total());
+        for _ in 0..6 {
+            let a = live.sample(8, 0.7);
+            let b = resumed.sample(8, 0.7);
+            assert_eq!(a.indices, b.indices);
+            assert_eq!(a.transitions, b.transitions);
+            assert_eq!(a.weights, b.weights);
+            live.update_priorities(&a.indices, &[1.25; 8]);
+            resumed.update_priorities(&b.indices, &[1.25; 8]);
+            live.push_with_priority(tr(50.0), 3.0);
+            resumed.push_with_priority(tr(50.0), 3.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cursors outside")]
+    fn corrupt_state_is_rejected() {
+        let mut s = PrioritizedReplay::new(4, 1).export_state();
+        s.next = 99;
+        let _ = PrioritizedReplay::from_state(s);
     }
 }

@@ -1,0 +1,213 @@
+//! Checkpointed-training equivalence suite: a run interrupted at any
+//! episode boundary and resumed from a serialized [`TrainCheckpoint`] must
+//! be **bit-identical** to an uninterrupted run — histories, best scores,
+//! final network parameters, replay contents, and environment counters.
+//!
+//! The "kill" is simulated the strongest way available in-process: the
+//! entire session is dropped, the checkpoint goes through a JSON round-trip
+//! (as it would through a file on a real restart), and a brand-new process
+//! state is rebuilt purely from the parsed bytes.
+
+use greennfv::prelude::*;
+use nfv_sim::prelude::*;
+
+/// Everything observable about a finished run, for exact comparison.
+fn outcome_fingerprint(out: &TrainOutcome) -> (Vec<EvalPoint>, f64, String, String, f64) {
+    let params = out.agent.export_params();
+    (
+        out.history.clone(),
+        out.best_score,
+        params.actor,
+        params.critic,
+        out.training_energy_j,
+    )
+}
+
+fn interrupted_twin(env_cfg: EnvConfig, cfg: &TrainConfig, kill_at: u32) -> TrainOutcome {
+    // Run up to the kill point, checkpoint, drop everything.
+    let json = {
+        let mut session = TrainSession::new(env_cfg, cfg.clone());
+        for _ in 0..kill_at {
+            session.run_episode();
+        }
+        session.checkpoint().to_json()
+        // <- session dropped here: the "kill".
+    };
+    // A restart rebuilds purely from the serialized bytes.
+    let checkpoint = TrainCheckpoint::from_json(&json).expect("checkpoint parses");
+    assert_eq!(checkpoint.next_episode, kill_at);
+    resume_from(checkpoint).expect("resume runs to completion")
+}
+
+#[test]
+fn resume_is_bit_identical_for_every_kill_point() {
+    // Kill at several boundaries, including before the first episode and
+    // right before the last; every resumed run must equal the uninterrupted
+    // one exactly.
+    let cfg = TrainConfig::quick(6, 19);
+    let env_cfg = EnvConfig::paper(Sla::EnergyEfficiency, 19);
+    let uninterrupted = train_with_env_config(env_cfg.clone(), &cfg);
+    let expect = outcome_fingerprint(&uninterrupted);
+    for kill_at in [0, 1, 3, 5] {
+        let resumed = interrupted_twin(env_cfg.clone(), &cfg, kill_at);
+        assert_eq!(
+            outcome_fingerprint(&resumed),
+            expect,
+            "kill at episode {kill_at} must not change the outcome"
+        );
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_across_slas_and_uniform_replay() {
+    // The contract holds for every SLA and for the uniform-replay ablation
+    // (both replay buffers are checkpointed).
+    for (sla, use_per) in [
+        (Sla::paper_max_throughput(), true),
+        (Sla::paper_min_energy(), false),
+        (Sla::EnergyEfficiency, false),
+    ] {
+        let mut cfg = TrainConfig::quick(5, 23);
+        cfg.use_per = use_per;
+        let env_cfg = EnvConfig::paper(sla, 23);
+        let uninterrupted = train_with_env_config(env_cfg.clone(), &cfg);
+        let resumed = interrupted_twin(env_cfg, &cfg, 2);
+        assert_eq!(
+            outcome_fingerprint(&resumed),
+            outcome_fingerprint(&uninterrupted),
+            "sla {sla:?} use_per {use_per}"
+        );
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_on_trace_replay_workloads() {
+    // The motivating case: long trace-driven replays must survive a
+    // restart. Feed the environment the checked-in diurnal trace and kill
+    // mid-run; the trace cursor and jitter RNG must resume exactly.
+    let mut env_cfg = EnvConfig::paper(Sla::EnergyEfficiency, 31);
+    env_cfg.background = vec![TenantSpec {
+        name: "replay".into(),
+        nfs: ChainSpec::lightweight(ChainId(0)).nfs,
+        sla: TenantSla::new(Sla::EnergyEfficiency),
+        knobs: {
+            let mut k = KnobSettings::default_tuned();
+            k.llc_fraction = 0.2;
+            k
+        },
+        traffic: TrafficSpec::Replay {
+            trace: Scenario::diurnal_trace_data(),
+            jitter_frac: 0.1,
+        },
+    }];
+    let cfg = TrainConfig::quick(5, 31);
+    let uninterrupted = train_with_env_config(env_cfg.clone(), &cfg);
+    let resumed = interrupted_twin(env_cfg, &cfg, 3);
+    assert_eq!(
+        outcome_fingerprint(&resumed),
+        outcome_fingerprint(&uninterrupted)
+    );
+}
+
+#[test]
+fn checkpoints_chain_across_repeated_kills() {
+    // Kill → resume → kill → resume: checkpoints taken from resumed
+    // sessions must be as good as first-generation ones.
+    let cfg = TrainConfig::quick(6, 41);
+    let env_cfg = EnvConfig::paper(Sla::EnergyEfficiency, 41);
+    let uninterrupted = train_with_env_config(env_cfg.clone(), &cfg);
+
+    let first = {
+        let mut s = TrainSession::new(env_cfg, cfg.clone());
+        s.run_episode();
+        s.run_episode();
+        s.checkpoint().to_json()
+    };
+    let second = {
+        let mut s =
+            TrainSession::from_checkpoint(TrainCheckpoint::from_json(&first).unwrap()).unwrap();
+        s.run_episode();
+        s.run_episode();
+        s.checkpoint().to_json()
+    };
+    let resumed = resume_from(TrainCheckpoint::from_json(&second).unwrap()).unwrap();
+    assert_eq!(
+        outcome_fingerprint(&resumed),
+        outcome_fingerprint(&uninterrupted)
+    );
+}
+
+#[test]
+fn env_checkpoints_round_trip_through_scenario_backgrounds() {
+    // GreenNfvEnv checkpoints restore multi-tenant nodes (background
+    // tenants' knob/traffic state included) — shape mismatches error
+    // instead of corrupting.
+    let mut env_cfg = EnvConfig::paper(Sla::EnergyEfficiency, 53);
+    env_cfg.max_loss_frac = Some(0.5);
+    let mut live = GreenNfvEnv::new(env_cfg.clone());
+    greennfv_rl::env::Environment::reset(&mut live);
+    let ck = live.checkpoint();
+
+    // Restoring onto a different shape must fail loudly.
+    let single = EnvConfig::paper(Sla::EnergyEfficiency, 53);
+    let mut wrong = ck.clone();
+    wrong.cfg = single;
+    wrong.node.knobs.push(KnobSettings::default_tuned());
+    assert!(GreenNfvEnv::from_checkpoint(wrong).is_err());
+
+    // Same-shape restore steps identically.
+    let mut resumed = GreenNfvEnv::from_checkpoint(ck).unwrap();
+    use greennfv_rl::env::Environment;
+    for _ in 0..4 {
+        assert_eq!(live.step(&[0.2; 5]), resumed.step(&[0.2; 5]));
+    }
+}
+
+#[test]
+fn resume_resumable_keeps_checkpointing_after_a_restart() {
+    // Crash → resume → crash again: the resumed run must keep sinking
+    // checkpoints, and a resume from one of *those* still matches the
+    // uninterrupted outcome.
+    let env_cfg = EnvConfig::paper(Sla::EnergyEfficiency, 71);
+    let cfg = TrainConfig::quick(8, 71);
+    let uninterrupted = train_with_env_config(env_cfg.clone(), &cfg);
+
+    let mut first = None;
+    train_resumable(env_cfg, &cfg, 3, |ck| {
+        if first.is_none() {
+            first = Some(ck);
+        }
+    });
+    let first = first.expect("checkpoint at episode 3");
+
+    let mut later = Vec::new();
+    let resumed = resume_resumable(first, 2, |ck| later.push(ck)).unwrap();
+    assert_eq!(
+        later.iter().map(|c| c.next_episode).collect::<Vec<_>>(),
+        vec![4, 6, 8],
+        "resumed run sinks on its own schedule (multiples of 2 + final)"
+    );
+    assert_eq!(
+        outcome_fingerprint(&resumed),
+        outcome_fingerprint(&uninterrupted)
+    );
+    // Second "crash": resume from a checkpoint the resumed run produced.
+    let second = later.swap_remove(0);
+    let twice = resume_from(second).unwrap();
+    assert_eq!(
+        outcome_fingerprint(&twice),
+        outcome_fingerprint(&uninterrupted)
+    );
+}
+
+#[test]
+fn train_resumable_sinks_checkpoints_on_schedule() {
+    let env_cfg = EnvConfig::paper(Sla::EnergyEfficiency, 67);
+    let cfg = TrainConfig::quick(6, 67);
+    let mut seen = Vec::new();
+    let out = train_resumable(env_cfg.clone(), &cfg, 2, |ck| seen.push(ck.next_episode));
+    assert_eq!(seen, vec![2, 4, 6], "every 2 episodes + final");
+    // And the sinked run equals the plain one.
+    let plain = train_with_env_config(env_cfg, &cfg);
+    assert_eq!(outcome_fingerprint(&out), outcome_fingerprint(&plain));
+}

@@ -336,6 +336,99 @@ proptest! {
         }
     }
 
+    /// Differential harness for the pipelined epoch runtime: for any
+    /// generated scenario, a single `Cluster::run_epochs` call — in both the
+    /// inline and the forced-overlap (producer thread + double-buffered
+    /// batches) modes — is *exactly* equal, epoch by epoch and node by node,
+    /// to stepping `Cluster::run_epoch` serially and to the per-node scalar
+    /// path. Every named registry scenario gets the same check in
+    /// `tests/scenarios.rs`; this covers the random space between them.
+    #[test]
+    fn pipelined_epochs_equal_serial_fused(
+        nodes in proptest::collection::vec(
+            (
+                0u32..3,
+                proptest::collection::vec(
+                    (0u32..3, 0u32..3, 1e4f64..8e6, 64.0f64..1518.0, 0u32..2),
+                    1..3,
+                ),
+            ),
+            1..4,
+        ),
+        seed in 0u64..1_000_000,
+        epochs in 1u32..5,
+    ) {
+        let scenario = scenario_from_raw(&nodes, seed, epochs);
+        let mut serial = scenario.build_cluster().expect("generated scenarios build");
+        let mut inline_run = scenario.build_cluster().expect("second build");
+        let mut overlapped = scenario.build_cluster().expect("third build");
+
+        let expect: Vec<ClusterEpochReport> =
+            (0..epochs).map(|_| serial.run_epoch()).collect();
+        let inline_reports =
+            inline_run.run_epochs_with(epochs as usize, PipelineMode::Inline);
+        prop_assert_eq!(&inline_reports, &expect, "inline pipeline diverged");
+        let overlapped_reports =
+            overlapped.run_epochs_with(epochs as usize, PipelineMode::Overlapped);
+        prop_assert_eq!(&overlapped_reports, &expect, "overlapped pipeline diverged");
+    }
+
+    /// The trace CSV parser is total: arbitrary garbage text never panics —
+    /// it parses or reports a `SimError`. Valid traces survive a
+    /// `to_csv` → `from_csv` round trip exactly.
+    #[test]
+    fn trace_csv_parser_is_total_and_round_trips(
+        garbage in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..40),
+            0..12,
+        ),
+        points in proptest::collection::vec(
+            (1e-3f64..1e5, 0.0f64..1e8, 64u32..1519, 1.0f64..8.0),
+            1..6,
+        ),
+    ) {
+        // Garbage: arbitrary bytes per line (lossily decoded), with commas
+        // and digits sprinkled in so rows often look almost-parseable.
+        let lines: Vec<String> = garbage
+            .iter()
+            .map(|bytes| {
+                bytes
+                    .iter()
+                    .map(|&b| match b % 7 {
+                        0 => ',',
+                        1 => char::from(b'0' + (b % 10)),
+                        2 => '.',
+                        _ => char::from(b.clamp(32, 126)),
+                    })
+                    .collect()
+            })
+            .collect();
+        let text = lines.join("\n");
+        let _ = Trace::from_csv("garbage", &text);
+        let with_header =
+            format!("duration_s,rate_pps,packet_size,burstiness\n{text}");
+        let _ = Trace::from_csv("garbage-with-header", &with_header);
+
+        // Valid traces: exact round trip through the CSV renderer.
+        let trace = Trace::new(
+            "prop-round-trip",
+            points
+                .into_iter()
+                .map(|(duration_s, rate_pps, packet_size, burstiness)| TracePoint {
+                    duration_s,
+                    rate_pps,
+                    packet_size,
+                    burstiness,
+                })
+                .collect(),
+        )
+        .expect("generated points are in range");
+        prop_assert_eq!(
+            Trace::from_csv("prop-round-trip", &trace.to_csv()).expect("round trip parses"),
+            trace
+        );
+    }
+
     /// Any scenario descriptor round-trips through serde: the deserialized
     /// twin is structurally identical and reproduces the same epoch results
     /// bit-for-bit (the vendored serde_json writes exact floats).

@@ -25,9 +25,13 @@ fn check_scenario(name: &str) {
     scenario.validate().expect("registry scenario validates");
 
     // Fused cluster epochs == serial per-node epochs, bit for bit, for the
-    // scenario's full horizon.
+    // scenario's full horizon — and the pipelined multi-epoch runtime
+    // (forced into its overlapped producer/consumer mode) == both.
     let mut fused = scenario.build_cluster().expect("scenario builds");
     let mut serial = scenario.build_cluster().expect("scenario builds twice");
+    let mut pipelined = scenario.build_cluster().expect("scenario builds thrice");
+    let pipelined_reports =
+        pipelined.run_epochs_with(scenario.epochs as usize, PipelineMode::Overlapped);
     for epoch in 0..scenario.epochs {
         let fused_report = fused.run_epoch();
         let serial_reports: Vec<NodeEpochReport> = (0..serial.len())
@@ -36,6 +40,10 @@ fn check_scenario(name: &str) {
         assert_eq!(
             fused_report.nodes, serial_reports,
             "{name}: fused epoch {epoch} diverged from the serial path"
+        );
+        assert_eq!(
+            pipelined_reports[epoch as usize].nodes, serial_reports,
+            "{name}: pipelined epoch {epoch} diverged from the serial path"
         );
     }
 
@@ -151,6 +159,46 @@ fn mixed_trace_hetero() {
         .flat_map(|n| &n.tenants)
         .any(|t| matches!(t.traffic, TrafficSpec::Flows(_)));
     assert!(has_replay && has_flows);
+}
+
+#[test]
+fn scale_out_edge() {
+    check_scenario("scale-out-edge");
+    // The newer NF kinds really are in the chain, and the front end moves
+    // traffic through them.
+    let scenario = Scenario::by_name("scale-out-edge").unwrap();
+    let frontend = &scenario.nodes[0].tenants[0];
+    assert!(frontend.nfs.contains(&NfKind::LoadBalancer));
+    assert!(frontend.nfs.contains(&NfKind::Dedup));
+    let run = scenario.run().unwrap();
+    assert!(run.tenant(0, "frontend").unwrap().mean_throughput_gbps > 0.0);
+}
+
+#[test]
+fn checkpoint_resume() {
+    // The scenario-matrix leg for resumable training: a short sequential
+    // run checkpointed mid-flight (JSON round-trip included) must finish
+    // bit-identically to an uninterrupted twin. The exhaustive version
+    // lives in tests/checkpoint_resume.rs; this leg keeps the contract in
+    // the per-scenario CI matrix.
+    let env_cfg = EnvConfig::paper(Sla::EnergyEfficiency, 77);
+    let cfg = TrainConfig::quick(8, 77);
+    let uninterrupted = train_with_env_config(env_cfg.clone(), &cfg);
+
+    let mut taken = Vec::new();
+    train_resumable(env_cfg, &cfg, 4, |ck| taken.push(ck));
+    let mid = taken.first().expect("checkpoint at episode 4");
+    assert_eq!(mid.next_episode, 4);
+    let restored = TrainCheckpoint::from_json(&mid.to_json()).expect("JSON round-trip");
+    let resumed = resume_from(restored).expect("resume runs");
+
+    assert_eq!(resumed.history, uninterrupted.history);
+    assert_eq!(resumed.best_score, uninterrupted.best_score);
+    assert_eq!(resumed.best_sweep, uninterrupted.best_sweep);
+    assert_eq!(
+        resumed.agent.export_params().actor,
+        uninterrupted.agent.export_params().actor
+    );
 }
 
 #[test]
