@@ -276,6 +276,124 @@ fn bench(c: &mut Criterion) {
                 std::hint::black_box(reports)
             })
         });
+
+        // Incremental vs full evaluation at controlled churn. A 64-node
+        // single-tenant cluster where `churn` percent of the lanes replay a
+        // jittered trace (dirty every window) and the rest sit on one-point
+        // zero-jitter plateaus (bitwise-unchanged after their first window).
+        // One iteration = an 8-epoch horizon; epoch 0 of every incremental
+        // call re-primes with a full sweep by contract, so the steady-state
+        // win shows up in the remaining 7. Ids live under
+        // `pipeline_epoch/incremental*` so the CI perf gate tracks them.
+        let churned = |churn_lanes: usize| {
+            let mut c = Cluster::homogeneous(
+                64,
+                SimTuning::default(),
+                PowerModel::default(),
+                PlatformPolicy::greennfv(),
+            );
+            for i in 0..64 {
+                let source = if i < churn_lanes {
+                    TrafficSource::replay(
+                        Trace::new(
+                            "churn",
+                            vec![TracePoint {
+                                duration_s: 3600.0,
+                                rate_pps: 2.0e6 + 1.3e4 * i as f64,
+                                packet_size: 512,
+                                burstiness: 1.2,
+                            }],
+                        )
+                        .expect("static trace is valid"),
+                        0.05,
+                        200 + i as u64,
+                    )
+                    .expect("valid jitter")
+                } else {
+                    TrafficSource::replay(
+                        Trace::new(
+                            "plateau",
+                            vec![TracePoint {
+                                duration_s: 3600.0,
+                                rate_pps: 1.5e6 + 1.3e4 * i as f64,
+                                packet_size: 512,
+                                burstiness: 1.2,
+                            }],
+                        )
+                        .expect("static trace is valid"),
+                        0.0,
+                        200 + i as u64,
+                    )
+                    .expect("zero jitter is valid")
+                };
+                c.node_mut(i)
+                    .unwrap()
+                    .add_chain_with_source(
+                        ChainSpec::canonical_three(ChainId(0)),
+                        source,
+                        KnobSettings::default_tuned(),
+                    )
+                    .unwrap();
+            }
+            c
+        };
+        g.throughput(Throughput::Elements(8 * 64));
+        for churn_pct in [10usize, 50, 100] {
+            let churn_lanes = 64 * churn_pct / 100;
+            let mut inc = churned(churn_lanes);
+            g.bench_function(&format!("incremental_wide64_churn{churn_pct}_8"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(inc.run_epochs_eval(
+                        8,
+                        PipelineMode::Auto,
+                        EvalMode::Incremental,
+                    ))
+                })
+            });
+            let mut full = churned(churn_lanes);
+            g.bench_function(&format!("full_wide64_churn{churn_pct}_8"), |b| {
+                b.iter(|| {
+                    std::hint::black_box(full.run_epochs_eval(
+                        8,
+                        PipelineMode::Auto,
+                        EvalMode::Full,
+                    ))
+                })
+            });
+        }
+
+        // The registry's low-churn scenario under both modes: the acceptance
+        // measurement for push-mode evaluation (incremental must beat the
+        // full pipelined path on exactly this workload). One iteration = a
+        // 48-epoch replay horizon over the scenario's 192 lanes — four times
+        // the descriptor's 12-epoch day, because a long horizon is the
+        // regime incremental evaluation exists for (every run's first epoch
+        // is a full priming sweep by contract; a longer horizon amortizes it
+        // the way multi-day replays do).
+        let low_churn = Scenario::by_name("diurnal-low-churn").expect("registry name");
+        let lc_epochs = 4 * low_churn.epochs as usize;
+        let lc_lanes: u64 = low_churn.nodes.iter().map(|n| n.tenants.len() as u64).sum();
+        g.throughput(Throughput::Elements(lc_epochs as u64 * lc_lanes));
+        let mut lc_inc = low_churn.build_cluster().expect("scenario builds");
+        g.bench_function("incremental_low_churn_48", |b| {
+            b.iter(|| {
+                std::hint::black_box(lc_inc.run_epochs_eval(
+                    lc_epochs,
+                    PipelineMode::Auto,
+                    EvalMode::Incremental,
+                ))
+            })
+        });
+        let mut lc_full = low_churn.build_cluster().expect("scenario builds");
+        g.bench_function("full_low_churn_48", |b| {
+            b.iter(|| {
+                std::hint::black_box(lc_full.run_epochs_eval(
+                    lc_epochs,
+                    PipelineMode::Auto,
+                    EvalMode::Full,
+                ))
+            })
+        });
         g.finish();
     }
 

@@ -94,6 +94,13 @@ pub struct GreenNfvEnv {
     sla_violations: u64,
     total_steps: u64,
     energy_scale_j: f64,
+    // What-if sweep cache: lanes and kernel outputs persist across
+    // `sweep_candidates` calls so only candidates whose knobs (or the
+    // observed load) actually moved re-enter the kernel. Pure memoization —
+    // never checkpointed; a resumed environment simply re-primes on its
+    // first sweep.
+    sweep_batch: ChainBatch,
+    sweep_outputs: BatchOutputs,
 }
 
 impl GreenNfvEnv {
@@ -112,6 +119,8 @@ impl GreenNfvEnv {
             sla_violations: 0,
             total_steps: 0,
             energy_scale_j,
+            sweep_batch: ChainBatch::new(),
+            sweep_outputs: BatchOutputs::new(),
         }
     }
 
@@ -273,14 +282,31 @@ impl GreenNfvEnv {
     /// each with the environment's reward. No state advances: traffic,
     /// knobs, energy, and step counters are exactly as before the call.
     ///
+    /// The sweep is incrementally cached: the candidate lanes and their
+    /// kernel outputs persist inside the environment, and only lanes whose
+    /// knobs or observed load differ bitwise from the previous call are
+    /// marked dirty and re-swept ([`Node::evaluate_candidates_into`]) —
+    /// an Ape-X actor probing a slowly-drifting lattice around its policy
+    /// re-runs only the candidates that moved. Results are bit-identical
+    /// to an uncached sweep.
+    ///
     /// This is the sweep-style rollout primitive: Ape-X actors use it to
     /// rank candidate actions before committing one, and the figure grids
     /// use the same path one level down on [`Node`].
-    pub fn sweep_candidates(&self, candidates: &[KnobSettings]) -> Vec<SimResult<SweepOutcome>> {
+    pub fn sweep_candidates(
+        &mut self,
+        candidates: &[KnobSettings],
+    ) -> Vec<SimResult<SweepOutcome>> {
         let load = self.sweep_load();
         let swept = self
             .node
-            .evaluate_candidates(ChainId(0), candidates, load)
+            .evaluate_candidates_into(
+                ChainId(0),
+                candidates,
+                load,
+                &mut self.sweep_batch,
+                &mut self.sweep_outputs,
+            )
             .expect("env nodes host exactly one chain");
         swept
             .into_iter()
@@ -306,7 +332,7 @@ impl GreenNfvEnv {
 
     /// [`Self::sweep_candidates`] over normalized actions: each action is
     /// decoded through the environment's [`ActionSpace`] first.
-    pub fn sweep_actions(&self, actions: &[Vec<f64>]) -> Vec<SimResult<SweepOutcome>> {
+    pub fn sweep_actions(&mut self, actions: &[Vec<f64>]) -> Vec<SimResult<SweepOutcome>> {
         let knobs: Vec<KnobSettings> = actions
             .iter()
             .map(|a| self.cfg.action_space.decode(a))
@@ -542,6 +568,41 @@ mod tests {
         assert_eq!(e.total_steps(), steps_before);
         assert_eq!(e.cumulative_energy_j(), energy_before);
         assert_eq!(e.knobs(), knobs_before);
+    }
+
+    #[test]
+    fn repeated_sweeps_hit_the_lane_cache() {
+        // Sweeping the same lattice from the same state twice must return
+        // identical outcomes without re-entering the kernel at all — the
+        // persistent sweep batch recognizes every lane as clean.
+        let mut e = env(Sla::EnergyEfficiency);
+        e.reset();
+        let grid: Vec<KnobSettings> = (0..6)
+            .map(|i| {
+                let mut k = KnobSettings::default_tuned();
+                k.batch = 16 + i * 24;
+                k
+            })
+            .collect();
+        let first = e.sweep_candidates(&grid);
+        let lanes_before = kernel_lanes_swept();
+        let second = e.sweep_candidates(&grid);
+        assert_eq!(
+            kernel_lanes_swept(),
+            lanes_before,
+            "identical repeat sweep must re-run zero kernel lanes"
+        );
+        assert_eq!(first, second);
+        // Advancing the environment changes the observed load, which
+        // dirties every lane — and the cached path must still agree with a
+        // fresh environment's uncached sweep.
+        e.step(&[0.2, -0.1, 0.4, 0.0, 0.3]);
+        let moved = e.sweep_candidates(&grid);
+        assert!(kernel_lanes_swept() > lanes_before);
+        let mut fresh = env(Sla::EnergyEfficiency);
+        fresh.reset();
+        fresh.step(&[0.2, -0.1, 0.4, 0.0, 0.3]);
+        assert_eq!(moved, fresh.sweep_candidates(&grid));
     }
 
     #[test]

@@ -107,6 +107,14 @@ pub struct Scenario {
     pub tuning: SimTuning,
     /// Platform policy on every node.
     pub policy: PlatformPolicy,
+    /// How [`Scenario::run`] evaluates each epoch's fused batch: `full`
+    /// sweeps every lane through the kernel every epoch; `incremental`
+    /// re-runs only lanes whose sampled load or knobs changed, reusing the
+    /// previous epoch's cached outputs for clean lane groups. Bit-identical
+    /// either way — this is purely a cost knob for low-churn workloads.
+    /// Descriptors written before this field existed parse as `full`.
+    #[serde(default)]
+    pub evaluation: EvalMode,
     /// The nodes.
     pub nodes: Vec<NodeSpec>,
 }
@@ -226,12 +234,14 @@ impl Scenario {
     }
 
     /// Runs the scenario end-to-end: `epochs` lock-step cluster epochs
-    /// through the **pipelined** fused batch path
-    /// ([`Cluster::run_epochs`] — on multicore hosts with enough chains,
-    /// traffic generation for the next epoch overlaps the current epoch's
-    /// kernel sweep), scoring every tenant per epoch against its own
-    /// agreement on its own attributed energy. Bit-identical to stepping
-    /// [`Cluster::run_epoch`] per epoch.
+    /// through the fused batch path under the scenario's [`EvalMode`] —
+    /// `full` uses the **pipelined** sweep ([`Cluster::run_epochs`] — on
+    /// multicore hosts with enough chains, traffic generation for the next
+    /// epoch overlaps the current epoch's kernel sweep), `incremental` keeps
+    /// the staged batch alive across epochs and re-runs only dirty lane
+    /// groups — scoring every tenant per epoch against its own agreement on
+    /// its own attributed energy. Bit-identical to stepping
+    /// [`Cluster::run_epoch`] per epoch in either mode.
     pub fn run(&self) -> SimResult<ScenarioRunResult> {
         let mut cluster = self.build_cluster()?;
         let mut records = Vec::new();
@@ -240,36 +250,41 @@ impl Scenario {
         // Stream: each report is scored and dropped as its epoch
         // aggregates, so memory stays O(1) in the horizon (the pipeline
         // itself only looks one epoch ahead).
-        cluster.stream_epochs(self.epochs as usize, PipelineMode::Auto, |epoch, report| {
-            cluster_t += report.total_throughput_gbps();
-            cluster_e += report.total_energy_j();
-            for (ni, node_report) in report.nodes.iter().enumerate() {
-                let scale = self.nodes[ni].profile.power.pmax_w * self.tuning.epoch_s;
-                for (ti, tel) in node_report.telemetry.iter().enumerate() {
-                    let tenant = &self.nodes[ni].tenants[ti];
-                    records.push(TenantEpochRecord {
-                        epoch: epoch as u32,
-                        node: ni as u32,
-                        tenant: tenant.name.clone(),
-                        throughput_gbps: tel.throughput_gbps,
-                        energy_j: tel.energy_j,
-                        loss_frac: tel.loss_frac,
-                        reward: tenant_reward_scaled(
-                            &tenant.sla,
-                            tel.throughput_gbps,
-                            tel.energy_j,
-                            tel.loss_frac,
-                            scale,
-                        ),
-                        satisfied: tenant.sla.satisfied(
-                            tel.throughput_gbps,
-                            tel.energy_j,
-                            tel.loss_frac,
-                        ),
-                    });
+        cluster.stream_epochs_eval(
+            self.epochs as usize,
+            PipelineMode::Auto,
+            self.evaluation,
+            |epoch, report| {
+                cluster_t += report.total_throughput_gbps();
+                cluster_e += report.total_energy_j();
+                for (ni, node_report) in report.nodes.iter().enumerate() {
+                    let scale = self.nodes[ni].profile.power.pmax_w * self.tuning.epoch_s;
+                    for (ti, tel) in node_report.telemetry.iter().enumerate() {
+                        let tenant = &self.nodes[ni].tenants[ti];
+                        records.push(TenantEpochRecord {
+                            epoch: epoch as u32,
+                            node: ni as u32,
+                            tenant: tenant.name.clone(),
+                            throughput_gbps: tel.throughput_gbps,
+                            energy_j: tel.energy_j,
+                            loss_frac: tel.loss_frac,
+                            reward: tenant_reward_scaled(
+                                &tenant.sla,
+                                tel.throughput_gbps,
+                                tel.energy_j,
+                                tel.loss_frac,
+                                scale,
+                            ),
+                            satisfied: tenant.sla.satisfied(
+                                tel.throughput_gbps,
+                                tel.energy_j,
+                                tel.loss_frac,
+                            ),
+                        });
+                    }
                 }
-            }
-        });
+            },
+        );
         let tenants = self.summarize(&records);
         let epochs_f = f64::from(self.epochs.max(1));
         let mean_t = cluster_t / epochs_f;
@@ -328,12 +343,13 @@ impl Scenario {
     /// Names of the canonical scenarios, in registry order. The CI scenario
     /// matrix, `tests/scenarios.rs`, and the `scenario_epoch` benches all
     /// enumerate this list (a test pins the CI workflow against it).
-    pub const NAMES: [&'static str; 7] = [
+    pub const NAMES: [&'static str; 8] = [
         "baseline-homogeneous",
         "hetero-3-profile",
         "two-tenant-shared-node",
         "tenant-storm",
         "diurnal-trace",
+        "diurnal-low-churn",
         "mixed-trace-hetero",
         "scale-out-edge",
     ];
@@ -354,6 +370,7 @@ impl Scenario {
             "two-tenant-shared-node" => Some(Self::two_tenant_shared_node()),
             "tenant-storm" => Some(Self::tenant_storm()),
             "diurnal-trace" => Some(Self::diurnal_trace()),
+            "diurnal-low-churn" => Some(Self::diurnal_low_churn()),
             "mixed-trace-hetero" => Some(Self::mixed_trace_hetero()),
             "scale-out-edge" => Some(Self::scale_out_edge()),
             _ => None,
@@ -381,6 +398,7 @@ impl Scenario {
             seed: 42,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            evaluation: EvalMode::Full,
             nodes: (0..3)
                 .map(|i| NodeSpec {
                     profile: NodeProfile::paper_default(),
@@ -408,6 +426,7 @@ impl Scenario {
             seed: 43,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            evaluation: EvalMode::Full,
             nodes: vec![
                 NodeSpec {
                     profile: NodeProfile::paper_default(),
@@ -478,6 +497,7 @@ impl Scenario {
             seed: 44,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            evaluation: EvalMode::Full,
             nodes: vec![NodeSpec {
                 profile: NodeProfile::paper_default(),
                 tenants: vec![
@@ -543,6 +563,7 @@ impl Scenario {
             seed: 45,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            evaluation: EvalMode::Full,
             nodes: vec![NodeSpec {
                 profile: NodeProfile::paper_default(),
                 tenants: vec![
@@ -568,6 +589,7 @@ impl Scenario {
             seed: 46,
             tuning,
             policy: PlatformPolicy::greennfv(),
+            evaluation: EvalMode::Full,
             nodes: vec![NodeSpec {
                 profile: NodeProfile::paper_default(),
                 tenants: vec![TenantSpec {
@@ -581,6 +603,81 @@ impl Scenario {
                     },
                 }],
             }],
+        }
+    }
+
+    /// The incremental-evaluation showcase: sixty-four nodes of three
+    /// tenants each (192 fused lanes), where only node 0's three tenants
+    /// replay the jittered diurnal trace — every other tenant sits on a
+    /// zero-jitter flat plateau trace whose sampled load never moves. Under
+    /// 2% of the lanes change per epoch, and the changing lanes are adjacent
+    /// (lanes 0–2, all inside the first 8-lane dirty group), so
+    /// `incremental` evaluation re-runs one group out of twenty-four and
+    /// scatter-copies the rest from cache — the long-plateau regime the
+    /// dirty tracking is for.
+    pub fn diurnal_low_churn() -> Scenario {
+        let tuning = SimTuning {
+            epoch_s: 1800.0,
+            ..SimTuning::default()
+        };
+        let knobs = KnobSettings {
+            cpu: CpuAllocation {
+                cores: 2,
+                share: 1.0,
+            },
+            llc_fraction: 0.25,
+            ..KnobSettings::default_tuned()
+        };
+        // A one-point trace replayed cyclically with zero jitter: the
+        // sampled load is bitwise identical every window, so the lane
+        // reports `Unchanged` from the second epoch on.
+        let plateau = |rate_pps: f64, packet_size: u32| TrafficSpec::Replay {
+            trace: Trace::new(
+                "plateau",
+                vec![TracePoint {
+                    duration_s: 3600.0,
+                    rate_pps,
+                    packet_size,
+                    burstiness: 1.2,
+                }],
+            )
+            .expect("static trace is valid"),
+            jitter_frac: 0.0,
+        };
+        let nodes = (0..64)
+            .map(|ni| NodeSpec {
+                profile: NodeProfile::paper_default(),
+                tenants: (0..3)
+                    .map(|ti| TenantSpec {
+                        name: format!("n{ni}-t{ti}"),
+                        nfs: ChainSpec::lightweight(ChainId(0)).nfs,
+                        sla: TenantSla::new(Sla::EnergyEfficiency),
+                        knobs,
+                        traffic: if ni == 0 {
+                            // The churn: jittered diurnal replay moves
+                            // every window.
+                            TrafficSpec::Replay {
+                                trace: Self::diurnal_trace_data(),
+                                jitter_frac: 0.05,
+                            }
+                        } else {
+                            plateau(
+                                1.5e5 + ni as f64 * 1.7e4 + ti as f64 * 4.3e4,
+                                [256, 512, 1024][ti],
+                            )
+                        },
+                    })
+                    .collect(),
+            })
+            .collect();
+        Scenario {
+            name: "diurnal-low-churn".into(),
+            epochs: 12,
+            seed: 49,
+            tuning,
+            policy: PlatformPolicy::greennfv(),
+            evaluation: EvalMode::Incremental,
+            nodes,
         }
     }
 
@@ -602,6 +699,7 @@ impl Scenario {
             seed: 48,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            evaluation: EvalMode::Full,
             nodes: vec![NodeSpec {
                 profile: NodeProfile::edge_low_power(),
                 tenants: vec![
@@ -655,6 +753,7 @@ impl Scenario {
             seed: 47,
             tuning,
             policy: PlatformPolicy::greennfv(),
+            evaluation: EvalMode::Full,
             nodes: vec![
                 NodeSpec {
                     profile: NodeProfile::paper_default(),
@@ -1209,6 +1308,31 @@ mod tests {
             .map(|rec| rec.throughput_gbps)
             .fold(0.0f64, f64::max);
         assert!(peak > 3.0 * night, "peak {peak} vs night {night}");
+    }
+
+    #[test]
+    fn low_churn_incremental_matches_full_evaluation() {
+        // The registry's incremental scenario must be a pure cost knob:
+        // flipping it to full evaluation reproduces every record exactly.
+        let inc = Scenario::diurnal_low_churn();
+        assert_eq!(inc.evaluation, EvalMode::Incremental);
+        let mut full = inc.clone();
+        full.evaluation = EvalMode::Full;
+        assert_eq!(inc.run().unwrap(), full.run().unwrap());
+    }
+
+    #[test]
+    fn evaluation_field_defaults_to_full_and_round_trips() {
+        let sc = Scenario::diurnal_low_churn();
+        let json = sc.to_json();
+        assert!(json.contains("\"evaluation\":\"incremental\""));
+        assert_eq!(Scenario::from_json(&json).unwrap(), sc);
+        // Descriptors written before the field existed omit it entirely and
+        // must parse as full evaluation.
+        let legacy = json.replace("\"evaluation\":\"incremental\",", "");
+        assert!(!legacy.contains("evaluation"));
+        let back = Scenario::from_json(&legacy).unwrap();
+        assert_eq!(back.evaluation, EvalMode::Full);
     }
 
     #[test]

@@ -505,7 +505,7 @@ impl TrainSession {
 
     /// Finishes the run: the post-training candidate-lattice probe plus the
     /// assembled [`TrainOutcome`].
-    pub fn finish(self) -> TrainOutcome {
+    pub fn finish(mut self) -> TrainOutcome {
         // Post-training refinement probe: submit a blind candidate lattice
         // as one batched what-if sweep (no extra environment epochs or
         // energy). Multi-tenant environments skip it: the what-if sweep

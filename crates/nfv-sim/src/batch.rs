@@ -92,6 +92,11 @@ pub struct ChainBatch {
     burstiness: Vec<f64>,
     // CAT partition column.
     llc_bytes: Vec<f64>,
+    /// Dirty mask alongside the validity mask: lane `i` is dirty when any of
+    /// its column values changed since the last incremental sweep cleared
+    /// it. Freshly pushed lanes start dirty; the self-comparing `set_*`
+    /// mutators flip it only when a value actually moved (bitwise compare).
+    dirty: Vec<bool>,
 }
 
 impl ChainBatch {
@@ -118,6 +123,7 @@ impl ChainBatch {
             mean_packet_size: Vec::with_capacity(lanes),
             burstiness: Vec::with_capacity(lanes),
             llc_bytes: Vec::with_capacity(lanes),
+            dirty: Vec::with_capacity(lanes),
         }
     }
 
@@ -158,6 +164,7 @@ impl ChainBatch {
         self.mean_packet_size.clear();
         self.burstiness.clear();
         self.llc_bytes.clear();
+        self.dirty.clear();
     }
 
     /// Appends one evaluation lane.
@@ -184,6 +191,135 @@ impl ChainBatch {
         self.mean_packet_size.push(load.mean_packet_size);
         self.burstiness.push(load.burstiness);
         self.llc_bytes.push(llc_bytes);
+        self.dirty.push(true);
+    }
+
+    /// Writes `v` into `col[i]` and flips the lane's dirty flag iff the bits
+    /// actually changed (bitwise compare — `-0.0` vs `0.0` counts as a
+    /// change, because clean lanes must reuse the *exact* prior inputs).
+    #[inline]
+    fn set_col(col: &mut [f64], dirty: &mut bool, i: usize, v: f64) {
+        if col[i].to_bits() != v.to_bits() {
+            col[i] = v;
+            *dirty = true;
+        }
+    }
+
+    /// Overwrites lane `i`'s knob columns, marking the lane dirty only if a
+    /// value moved.
+    ///
+    /// # Panics
+    /// When `i >= self.len()`.
+    pub fn set_knobs(&mut self, i: usize, knobs: &KnobSettings) {
+        let d = &mut self.dirty[i];
+        Self::set_col(&mut self.cpu_cores, d, i, f64::from(knobs.cpu.cores));
+        Self::set_col(&mut self.cpu_share, d, i, knobs.cpu.share);
+        Self::set_col(&mut self.freq_ghz, d, i, knobs.freq_ghz);
+        Self::set_col(&mut self.llc_fraction, d, i, knobs.llc_fraction);
+        Self::set_col(&mut self.dma_bytes, d, i, knobs.dma.bytes as f64);
+        Self::set_col(&mut self.batch_knob, d, i, f64::from(knobs.batch));
+    }
+
+    /// Overwrites lane `i`'s chain-cost columns, marking the lane dirty only
+    /// if a value moved.
+    ///
+    /// # Panics
+    /// When `i >= self.len()`.
+    pub fn set_cost(&mut self, i: usize, cost: &ChainCost) {
+        let d = &mut self.dirty[i];
+        Self::set_col(
+            &mut self.base_cycles_per_packet,
+            d,
+            i,
+            cost.base_cycles_per_packet,
+        );
+        Self::set_col(&mut self.cycles_per_byte, d, i, cost.cycles_per_byte);
+        Self::set_col(
+            &mut self.mem_refs_per_packet,
+            d,
+            i,
+            cost.mem_refs_per_packet,
+        );
+        Self::set_col(&mut self.state_bytes, d, i, cost.state_bytes as f64);
+        Self::set_col(&mut self.hops, d, i, f64::from(cost.hops));
+    }
+
+    /// Overwrites lane `i`'s load columns, marking the lane dirty only if a
+    /// value moved.
+    ///
+    /// # Panics
+    /// When `i >= self.len()`.
+    pub fn set_load(&mut self, i: usize, load: &ChainLoad) {
+        let d = &mut self.dirty[i];
+        Self::set_col(&mut self.arrival_pps, d, i, load.arrival_pps);
+        Self::set_col(&mut self.mean_packet_size, d, i, load.mean_packet_size);
+        Self::set_col(&mut self.burstiness, d, i, load.burstiness);
+    }
+
+    /// Overwrites lane `i`'s CAT partition column, marking the lane dirty
+    /// only if the value moved.
+    ///
+    /// # Panics
+    /// When `i >= self.len()`.
+    pub fn set_llc_bytes(&mut self, i: usize, llc_bytes: f64) {
+        let d = &mut self.dirty[i];
+        Self::set_col(&mut self.llc_bytes, d, i, llc_bytes);
+    }
+
+    /// Force-marks lane `i` stale regardless of column values.
+    ///
+    /// # Panics
+    /// When `i >= self.len()`.
+    pub fn mark_dirty(&mut self, i: usize) {
+        self.dirty[i] = true;
+    }
+
+    /// Force-marks every lane stale (the next incremental sweep degenerates
+    /// to a full sweep).
+    pub fn mark_all_dirty(&mut self) {
+        self.dirty.fill(true);
+    }
+
+    /// Whether lane `i` is currently marked stale.
+    ///
+    /// # Panics
+    /// When `i >= self.len()`.
+    pub fn is_dirty(&self, i: usize) -> bool {
+        self.dirty[i]
+    }
+
+    /// Number of lanes currently marked stale.
+    pub fn dirty_lanes(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+
+    /// Maximal contiguous lane ranges covering every dirty [`WIDTH`]-lane
+    /// group (a group is dirty iff any lane in it is), clamped to the batch
+    /// length. Group granularity keeps the wide kernel untouched: the sweep
+    /// re-evaluates whole groups, and re-evaluating the clean lanes inside a
+    /// dirty group is bit-identical to their cached outputs anyway.
+    fn dirty_group_ranges(&self) -> Vec<std::ops::Range<usize>> {
+        let n = self.len();
+        let mut ranges: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut g = 0;
+        while g * WIDTH < n {
+            let start = g * WIDTH;
+            let end = (start + WIDTH).min(n);
+            if self.dirty[start..end].iter().any(|&d| d) {
+                match ranges.last_mut() {
+                    Some(last) if last.end == start => last.end = end,
+                    _ => ranges.push(start..end),
+                }
+            }
+            g += 1;
+        }
+        ranges
+    }
+
+    /// Clears every dirty flag (the incremental sweep just refreshed the
+    /// cached outputs).
+    fn clear_dirty(&mut self) {
+        self.dirty.fill(false);
     }
 
     /// Reconstructs lane `i`'s knob settings from the columns (the part of
@@ -261,6 +397,139 @@ pub fn evaluate_chain_batch_threads(
         return eval_columns(batch, tuning, 0..batch.len());
     }
     par::chunked_map_ranges(batch.len(), threads, |r| eval_columns(batch, tuning, r))
+}
+
+/// Retained outputs of a previous batch sweep: the per-lane results an
+/// incremental sweep scatter-copies for clean lanes and overwrites in place
+/// for dirty groups. Starts empty; the first
+/// [`evaluate_chain_batch_incremental`] call over it runs a full sweep to
+/// prime the cache.
+#[derive(Debug, Clone, Default)]
+pub struct BatchOutputs {
+    results: Vec<SimResult<ChainEpochResult>>,
+}
+
+impl BatchOutputs {
+    /// An empty (unprimed) cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached lane results.
+    pub fn len(&self) -> usize {
+        self.results.len()
+    }
+
+    /// True when the cache holds no results (next incremental sweep is full).
+    pub fn is_empty(&self) -> bool {
+        self.results.is_empty()
+    }
+
+    /// The cached lane-ordered results.
+    pub fn results(&self) -> &[SimResult<ChainEpochResult>] {
+        &self.results
+    }
+
+    /// Drops the cached results; the next incremental sweep runs full.
+    pub fn invalidate(&mut self) {
+        self.results.clear();
+    }
+}
+
+/// Evaluates only the *dirty* lanes of `batch`, reusing `outputs` for the
+/// rest, with auto-selected threading over the dirty lane count.
+///
+/// See [`evaluate_chain_batch_incremental_threads`] for the contract.
+pub fn evaluate_chain_batch_incremental(
+    batch: &mut ChainBatch,
+    tuning: &SimTuning,
+    outputs: &mut BatchOutputs,
+) -> Vec<SimResult<ChainEpochResult>> {
+    let dirty = batch.dirty_lanes();
+    evaluate_chain_batch_incremental_threads(batch, tuning, outputs, par::auto_threads(dirty))
+}
+
+/// In-place form of [`evaluate_chain_batch_incremental`]: refreshes
+/// `outputs` without cloning the lane results. Callers that only need a
+/// borrowed view of the epoch's results — the incremental pipeline hands
+/// them straight to the aggregate stage — read [`BatchOutputs::results`]
+/// afterwards instead of paying a per-epoch copy of every lane.
+pub fn sweep_chain_batch_incremental(
+    batch: &mut ChainBatch,
+    tuning: &SimTuning,
+    outputs: &mut BatchOutputs,
+) {
+    let dirty = batch.dirty_lanes();
+    sweep_chain_batch_incremental_threads(batch, tuning, outputs, par::auto_threads(dirty));
+}
+
+/// The incremental column-pass sweep: re-evaluates dirty [`WIDTH`]-lane
+/// groups (a group is dirty iff any lane in it is) and scatter-copies the
+/// cached result for every clean group from `outputs`, then refreshes the
+/// cache in place and clears the batch's dirty flags.
+///
+/// **Bit-exactness.** The returned vector is bit-identical to a full
+/// [`evaluate_chain_batch_threads`] sweep of the same batch, for any dirty
+/// pattern and any thread count: every kernel pass is element-wise per lane,
+/// so evaluating a lane range standalone produces exactly the bits a full
+/// sweep would (the remainder-tail grid in `tests/batch_remainder.rs` and
+/// the delta-pattern proptests in `tests/proptests.rs` pin this), and clean
+/// lanes reuse their cached outputs verbatim — no float re-association
+/// anywhere.
+///
+/// A cache whose length does not match the batch (first use, lanes
+/// added/removed, explicit [`BatchOutputs::invalidate`]) triggers one full
+/// sweep that primes it. `threads` fans the dirty ranges out via
+/// [`par::chunked_map_ranges`] with the usual stitched-in-order determinism.
+pub fn evaluate_chain_batch_incremental_threads(
+    batch: &mut ChainBatch,
+    tuning: &SimTuning,
+    outputs: &mut BatchOutputs,
+    threads: usize,
+) -> Vec<SimResult<ChainEpochResult>> {
+    sweep_chain_batch_incremental_threads(batch, tuning, outputs, threads);
+    outputs.results.clone()
+}
+
+/// In-place form of [`evaluate_chain_batch_incremental_threads`]; see
+/// [`sweep_chain_batch_incremental`].
+pub fn sweep_chain_batch_incremental_threads(
+    batch: &mut ChainBatch,
+    tuning: &SimTuning,
+    outputs: &mut BatchOutputs,
+    threads: usize,
+) {
+    if outputs.results.len() != batch.len() {
+        outputs.results = evaluate_chain_batch_threads(batch, tuning, threads);
+        batch.clear_dirty();
+        return;
+    }
+    let ranges = batch.dirty_group_ranges();
+    if !ranges.is_empty() {
+        // Evaluate each maximal dirty range through the same kernel a full
+        // sweep uses; parallelism chunks the *range list* so workers still
+        // emit lane-ordered runs that stitch deterministically.
+        let fresh: Vec<(usize, Vec<SimResult<ChainEpochResult>>)> = {
+            let shared: &ChainBatch = batch;
+            if threads <= 1 {
+                ranges
+                    .iter()
+                    .map(|r| (r.start, eval_columns(shared, tuning, r.clone())))
+                    .collect()
+            } else {
+                par::chunked_map_ranges(ranges.len(), threads, |idx| {
+                    ranges[idx]
+                        .iter()
+                        .map(|r| (r.start, eval_columns(shared, tuning, r.clone())))
+                        .collect()
+                })
+            }
+        };
+        for (start, results) in fresh {
+            outputs.results[start..start + results.len()].clone_from_slice(&results);
+        }
+        batch.clear_dirty();
+    }
 }
 
 /// The column-pass kernel: evaluates lanes `range` of `batch` by sweeping
@@ -351,6 +620,7 @@ fn eval_block(
     if n == 0 {
         return;
     }
+    crate::engine::record_kernel_lanes(n as u64);
 
     // Input column slices for this chunk.
     let cores = &batch.cpu_cores[range.clone()];
@@ -598,6 +868,120 @@ mod tests {
         batch.clear();
         assert!(batch.is_empty());
         assert!(evaluate_chain_batch(&batch, &SimTuning::default()).is_empty());
+    }
+
+    #[test]
+    fn setters_mark_dirty_only_on_real_change() {
+        let mut batch = sweep_batch(16);
+        let mut outputs = BatchOutputs::new();
+        let tuning = SimTuning::default();
+        evaluate_chain_batch_incremental(&mut batch, &tuning, &mut outputs);
+        assert_eq!(batch.dirty_lanes(), 0, "sweep clears the dirty mask");
+
+        // Re-writing identical values keeps every lane clean.
+        for i in 0..batch.len() {
+            let (knobs, cost, load, llc) = batch.lane(i);
+            batch.set_knobs(i, &knobs);
+            batch.set_cost(i, &cost);
+            batch.set_load(i, &load);
+            batch.set_llc_bytes(i, llc);
+        }
+        assert_eq!(batch.dirty_lanes(), 0);
+
+        // A single moved value dirties exactly its lane.
+        let (_, _, mut load, _) = batch.lane(5);
+        load.arrival_pps += 1.0;
+        batch.set_load(5, &load);
+        assert_eq!(batch.dirty_lanes(), 1);
+        assert!(batch.is_dirty(5) && !batch.is_dirty(4));
+
+        // -0.0 vs 0.0 is a change under the bitwise contract.
+        batch.set_llc_bytes(0, 0.0);
+        let before = batch.dirty_lanes();
+        batch.set_llc_bytes(0, -0.0);
+        assert!(batch.dirty_lanes() > before || batch.is_dirty(0));
+    }
+
+    #[test]
+    fn incremental_sweep_equals_full_sweep_exactly() {
+        let tuning = SimTuning::default();
+        for lanes in [1u32, 7, 8, 9, 63, 65, 256, 300] {
+            let mut batch = sweep_batch(lanes);
+            let mut outputs = BatchOutputs::new();
+            // Unprimed cache: the incremental call runs a (priming) full sweep.
+            let first = evaluate_chain_batch_incremental(&mut batch, &tuning, &mut outputs);
+            assert_eq!(first, evaluate_chain_batch(&batch, &tuning));
+
+            // Dirty a scattered subset and compare against a fresh full sweep.
+            for i in (0..lanes as usize).step_by(5) {
+                let (_, _, mut load, _) = batch.lane(i);
+                load.arrival_pps *= 1.25;
+                batch.set_load(i, &load);
+            }
+            let incr = evaluate_chain_batch_incremental(&mut batch, &tuning, &mut outputs);
+            assert_eq!(incr, evaluate_chain_batch(&batch, &tuning), "lanes={lanes}");
+            assert_eq!(batch.dirty_lanes(), 0);
+
+            // All-clean epoch: cached results come back verbatim.
+            let again = evaluate_chain_batch_incremental(&mut batch, &tuning, &mut outputs);
+            assert_eq!(again, incr);
+        }
+    }
+
+    #[test]
+    fn incremental_sweep_is_thread_count_invariant() {
+        let tuning = SimTuning::default();
+        let reference = {
+            let mut batch = sweep_batch(300);
+            let mut outputs = BatchOutputs::new();
+            evaluate_chain_batch_incremental_threads(&mut batch, &tuning, &mut outputs, 1);
+            for i in (0..300).step_by(7) {
+                let (_, _, mut load, _) = batch.lane(i);
+                load.arrival_pps += 9.0e4;
+                batch.set_load(i, &load);
+            }
+            evaluate_chain_batch_incremental_threads(&mut batch, &tuning, &mut outputs, 1)
+        };
+        for threads in [2usize, 8] {
+            let mut batch = sweep_batch(300);
+            let mut outputs = BatchOutputs::new();
+            evaluate_chain_batch_incremental_threads(&mut batch, &tuning, &mut outputs, threads);
+            for i in (0..300).step_by(7) {
+                let (_, _, mut load, _) = batch.lane(i);
+                load.arrival_pps += 9.0e4;
+                batch.set_load(i, &load);
+            }
+            let got = evaluate_chain_batch_incremental_threads(
+                &mut batch,
+                &tuning,
+                &mut outputs,
+                threads,
+            );
+            assert_eq!(got, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn lane_count_change_invalidates_the_cache() {
+        let tuning = SimTuning::default();
+        let mut batch = sweep_batch(16);
+        let mut outputs = BatchOutputs::new();
+        evaluate_chain_batch_incremental(&mut batch, &tuning, &mut outputs);
+        batch.clear();
+        for i in 0..24u32 {
+            let cost = canonical_cost();
+            let mut knobs = KnobSettings::default_tuned();
+            knobs.batch = 1 + i;
+            let load = ChainLoad {
+                arrival_pps: 1.0e6,
+                mean_packet_size: 400.0,
+                burstiness: 1.1,
+            };
+            batch.push(&knobs, &cost, &load, 1e6);
+        }
+        let incr = evaluate_chain_batch_incremental(&mut batch, &tuning, &mut outputs);
+        assert_eq!(incr, evaluate_chain_batch(&batch, &tuning));
+        assert_eq!(outputs.len(), 24);
     }
 
     #[test]

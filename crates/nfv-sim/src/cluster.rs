@@ -12,7 +12,7 @@ use crate::engine::{KnobSettings, PlatformPolicy, SimTuning};
 use crate::error::{SimError, SimResult};
 use crate::flow::FlowSet;
 use crate::node::{Node, NodeEpochReport, NodeProfile};
-use crate::pipeline::{EpochPipeline, PipelineMode};
+use crate::pipeline::{EpochPipeline, EvalMode, PipelineMode};
 use crate::power::PowerModel;
 
 /// Aggregate report over all nodes for one epoch.
@@ -184,6 +184,21 @@ impl Cluster {
         self.pipeline.run(&mut self.nodes, epochs, mode)
     }
 
+    /// [`Cluster::run_epochs_with`] with an explicit [`EvalMode`]: `Full`
+    /// sweeps every lane every epoch, `Incremental` keeps the staged batch
+    /// as persistent state and re-evaluates only lanes whose inputs changed
+    /// (the first epoch of each run is always a full priming sweep, which is
+    /// also what keeps resumed runs bit-identical). Results are
+    /// bit-identical across modes; only the kernel work differs.
+    pub fn run_epochs_eval(
+        &mut self,
+        epochs: usize,
+        mode: PipelineMode,
+        eval: EvalMode,
+    ) -> Vec<ClusterEpochReport> {
+        self.pipeline.run_eval(&mut self.nodes, epochs, mode, eval)
+    }
+
     /// Streaming form of [`Cluster::run_epochs`]: each epoch's report is
     /// handed to `consume(epoch_index, report)` as soon as it aggregates,
     /// so long-horizon replays score and drop reports in O(1) memory
@@ -196,6 +211,18 @@ impl Cluster {
     ) {
         self.pipeline
             .run_with(&mut self.nodes, epochs, mode, consume);
+    }
+
+    /// Streaming form of [`Cluster::run_epochs_eval`].
+    pub fn stream_epochs_eval(
+        &mut self,
+        epochs: usize,
+        mode: PipelineMode,
+        eval: EvalMode,
+        consume: impl FnMut(usize, ClusterEpochReport),
+    ) {
+        self.pipeline
+            .run_with_eval(&mut self.nodes, epochs, mode, eval, consume);
     }
 }
 

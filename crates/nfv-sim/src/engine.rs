@@ -290,6 +290,33 @@ impl NodeEpochResult {
 }
 
 // ---------------------------------------------------------------------------
+// Kernel instrumentation
+// ---------------------------------------------------------------------------
+
+thread_local! {
+    /// Lanes swept through the column-pass kernel by *this thread*; see
+    /// [`kernel_lanes_swept`].
+    static KERNEL_LANES_SWEPT: std::cell::Cell<u64> = const { std::cell::Cell::new(0) };
+}
+
+/// Test hook: total lanes this thread has pushed through the column-pass
+/// kernel (each [`crate::batch`] kernel block adds its lane count).
+///
+/// Thread-local on purpose: integration tests run concurrently, and an
+/// all-clean-epoch test asserting "zero kernel invocations" must not observe
+/// another test's sweeps. Callers that want the counting to happen on their
+/// own thread should evaluate inline (thread count 1), which is exactly what
+/// a clean incremental epoch does anyway.
+pub fn kernel_lanes_swept() -> u64 {
+    KERNEL_LANES_SWEPT.with(std::cell::Cell::get)
+}
+
+/// Adds a kernel block's lane count to this thread's sweep counter.
+pub(crate) fn record_kernel_lanes(lanes: u64) {
+    KERNEL_LANES_SWEPT.with(|c| c.set(c.get() + lanes));
+}
+
+// ---------------------------------------------------------------------------
 // Column passes
 // ---------------------------------------------------------------------------
 //

@@ -57,7 +57,12 @@ pub mod traffic;
 
 /// Common imports for simulator users.
 pub mod prelude {
-    pub use crate::batch::{evaluate_chain_batch, evaluate_chain_batch_threads, ChainBatch};
+    pub use crate::batch::{
+        evaluate_chain_batch, evaluate_chain_batch_incremental,
+        evaluate_chain_batch_incremental_threads, evaluate_chain_batch_threads,
+        sweep_chain_batch_incremental, sweep_chain_batch_incremental_threads, BatchOutputs,
+        ChainBatch,
+    };
     pub use crate::cache::{CatLlc, ClosId, MissModel, DDIO_FRACTION, LLC_BYTES, LLC_WAYS};
     pub use crate::chain::{ChainCost, ChainSpec, ServiceChain};
     pub use crate::cluster::{Cluster, ClusterEpochReport};
@@ -65,21 +70,22 @@ pub mod prelude {
     pub use crate::dma::{DmaBuffer, DMA_MAX_BYTES, DMA_MIN_BYTES};
     pub use crate::dvfs::{FreqScaler, Governor, FREQ_MAX_GHZ, FREQ_MIN_GHZ, FREQ_STEP_GHZ};
     pub use crate::engine::{
-        aggregate_node, evaluate_chain, evaluate_node, llc_partition_bytes, ChainEpochResult,
-        ChainLoad, KnobSettings, NodeEpochResult, PlatformPolicy, PollMode, SimTuning, BATCH_MAX,
-        BATCH_MIN,
+        aggregate_node, evaluate_chain, evaluate_node, kernel_lanes_swept, llc_partition_bytes,
+        ChainEpochResult, ChainLoad, KnobSettings, NodeEpochResult, PlatformPolicy, PollMode,
+        SimTuning, BATCH_MAX, BATCH_MIN,
     };
     pub use crate::error::{SimError, SimResult};
     pub use crate::flow::{ArrivalPattern, FlowSet, FlowSpec};
     pub use crate::nf::{NetworkFunction, NfCost, NfKind};
     pub use crate::node::{Node, NodeCursor, NodeEpochReport, NodeProfile};
     pub use crate::packet::{FiveTuple, Packet, PacketBatch, Protocol};
-    pub use crate::pipeline::{EpochPipeline, PipelineMode, OVERLAP_MIN_LANES};
+    pub use crate::pipeline::{EpochPipeline, EvalMode, PipelineMode, OVERLAP_MIN_LANES};
     pub use crate::power::{calibrate_h, PowerMeter, PowerModel};
     pub use crate::runtime::{run_functional, FunctionalStats, RuntimeConfig};
     pub use crate::simd::{F64x8, WideLane, WIDTH};
     pub use crate::stats::{ChainTelemetry, EpochHistory, Ewma, Summary};
     pub use crate::traffic::{
-        Trace, TracePoint, TraceSource, TrafficCursor, TrafficGen, TrafficSource, WindowArrivals,
+        LoadDelta, Trace, TracePoint, TraceSource, TrafficCursor, TrafficGen, TrafficSource,
+        WindowArrivals,
     };
 }

@@ -10,7 +10,9 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::batch::{evaluate_chain_batch, ChainBatch};
+use crate::batch::{
+    evaluate_chain_batch, evaluate_chain_batch_incremental, BatchOutputs, ChainBatch,
+};
 use crate::cache::{CatLlc, ClosId, LLC_WAYS};
 use crate::chain::{ChainCost, ChainSpec, ServiceChain};
 use crate::cpu::{ChainId, CoreAllocator};
@@ -31,6 +33,22 @@ const DDIO_CLOS: ClosId = ClosId(u32::MAX);
 /// One staged engine lane: the tuple shape `evaluate_node` and
 /// [`ChainBatch::from_configs`] consume.
 pub(crate) type ChainConfig = (KnobSettings, ChainCost, ChainLoad, f64);
+
+/// One node's staged inputs for an epoch, from [`Node::prepare_epoch`]:
+/// the engine configs, the raw arrival rates, and — for the incremental
+/// pipeline — a per-chain flag saying whether the sampled load actually
+/// moved since the previous window (the
+/// [`LoadDelta`](crate::traffic::LoadDelta) verdict). The full-sweep paths
+/// simply ignore `load_changed`, so there is exactly one generate path.
+#[derive(Debug, Default)]
+pub(crate) struct PreparedNode {
+    /// Engine configs, one per hosted chain in chain order.
+    pub(crate) configs: Vec<ChainConfig>,
+    /// Raw arrival rates (pps), one per hosted chain.
+    pub(crate) arrivals: Vec<f64>,
+    /// Whether each chain's sampled load changed this window.
+    pub(crate) load_changed: Vec<bool>,
+}
 
 /// Hardware profile of one node: the per-node axes of cluster heterogeneity.
 ///
@@ -473,17 +491,28 @@ impl Node {
     /// Samples one control window of every chain's traffic and stages the
     /// engine configs plus raw arrival rates. Advances the traffic
     /// sources: each call consumes one epoch of offered load.
-    pub(crate) fn prepare_epoch(&mut self) -> (Vec<ChainConfig>, Vec<f64>) {
+    pub(crate) fn prepare_epoch(&mut self) -> PreparedNode {
+        let mut prepared = PreparedNode::default();
+        self.prepare_epoch_into(&mut prepared);
+        prepared
+    }
+
+    /// [`Self::prepare_epoch`] into a caller-retained buffer: the
+    /// incremental pipeline stages every epoch into the same
+    /// [`PreparedNode`]s, so a steady-state epoch allocates nothing in the
+    /// generate stage. Clears and refills `out`'s vectors in place.
+    pub(crate) fn prepare_epoch_into(&mut self, out: &mut PreparedNode) {
         let epoch_s = self.tuning.epoch_s;
-        let mut configs = Vec::with_capacity(self.chains.len());
-        let mut arrivals = Vec::with_capacity(self.chains.len());
+        out.configs.clear();
+        out.arrivals.clear();
+        out.load_changed.clear();
         for h in &mut self.chains {
-            let load = h.traffic.sample_load(epoch_s);
-            arrivals.push(load.arrival_pps);
+            let (load, delta) = h.traffic.sample_load_delta(epoch_s);
+            out.arrivals.push(load.arrival_pps);
+            out.load_changed.push(delta.is_changed());
             let llc_bytes = self.llc.bytes_of(ClosId(h.chain.id().0)) as f64;
-            configs.push((h.knobs, h.chain.cost(), load, llc_bytes));
+            out.configs.push((h.knobs, h.chain.cost(), load, llc_bytes));
         }
-        (configs, arrivals)
     }
 
     /// Folds externally computed per-chain results (one per `prepare_epoch`
@@ -534,6 +563,18 @@ impl Node {
         NodeEpochReport { node, telemetry }
     }
 
+    /// The cached-epoch shortcut for the incremental pipeline:
+    /// [`Self::finish_epoch`] is a pure fold of its inputs (plus the
+    /// `epochs_run` bump), so when every one of this node's lanes stayed
+    /// bitwise-clean for a window — identical knobs, costs, partitions, and
+    /// an `Unchanged` load verdict — the previous epoch's report *is* this
+    /// epoch's report. Advances the epoch count and returns a clone of the
+    /// retained report without re-aggregating.
+    pub(crate) fn finish_epoch_cached(&mut self, cached: &NodeEpochReport) -> NodeEpochReport {
+        self.epochs_run += 1;
+        cached.clone()
+    }
+
     /// Runs one control epoch: samples traffic, evaluates the chains, and
     /// attributes node energy to chains proportional to busy core-seconds.
     ///
@@ -543,12 +584,13 @@ impl Node {
     /// [`ChainBatch`]. Both produce identical results (same kernel, same
     /// [`aggregate_node`] fold; see `cluster::tests`).
     pub fn run_epoch(&mut self) -> NodeEpochReport {
-        let (configs, arrivals) = self.prepare_epoch();
-        let results: Vec<ChainEpochResult> = configs
+        let prepared = self.prepare_epoch();
+        let results: Vec<ChainEpochResult> = prepared
+            .configs
             .iter()
             .map(|(k, c, l, llc)| evaluate_chain(k, c, l, *llc, &self.tuning))
             .collect();
-        self.finish_epoch(&configs, &arrivals, &results)
+        self.finish_epoch(&prepared.configs, &prepared.arrivals, &results)
     }
 
     /// Samples one control window of `chain`'s traffic and returns the
@@ -586,6 +628,76 @@ impl Node {
         candidates: &[KnobSettings],
         load: ChainLoad,
     ) -> SimResult<Vec<SimResult<NodeEpochResult>>> {
+        let (cost, admitted) = self.admit_candidates(chain, candidates)?;
+
+        // One batched kernel call over the admitted lanes.
+        let mut batch = ChainBatch::with_capacity(candidates.len());
+        for (knobs, llc_bytes) in candidates.iter().zip(&admitted) {
+            if let Ok(llc_bytes) = llc_bytes {
+                batch.push(knobs, &cost, &load, *llc_bytes);
+            }
+        }
+        let lane_results = evaluate_chain_batch(&batch, &self.tuning);
+        Ok(self.fold_candidates(candidates, admitted, lane_results))
+    }
+
+    /// [`Node::evaluate_candidates`] over caller-retained sweep state: the
+    /// admitted lanes are staged into `batch` through the self-comparing
+    /// column setters and evaluated with the incremental kernel against
+    /// `outputs`. When the candidate grid and the probed load are unchanged
+    /// since the previous call (the common RL-sweep shape: a fixed action
+    /// lattice probed under a CBR or plateaued load), every lane stays clean
+    /// and the sweep costs zero kernel work; any changed lane re-evaluates
+    /// its dirty group. Results are bit-identical to
+    /// [`Node::evaluate_candidates`] either way.
+    pub fn evaluate_candidates_into(
+        &self,
+        chain: ChainId,
+        candidates: &[KnobSettings],
+        load: ChainLoad,
+        batch: &mut ChainBatch,
+        outputs: &mut BatchOutputs,
+    ) -> SimResult<Vec<SimResult<NodeEpochResult>>> {
+        let (cost, admitted) = self.admit_candidates(chain, candidates)?;
+
+        let admitted_lanes = admitted.iter().filter(|r| r.is_ok()).count();
+        if batch.len() == admitted_lanes {
+            // Same lane count: overwrite in place. The setters compare
+            // bitwise, so an identical grid + load leaves every lane clean.
+            let mut lane = 0;
+            for (knobs, llc_bytes) in candidates.iter().zip(&admitted) {
+                if let Ok(llc_bytes) = llc_bytes {
+                    batch.set_knobs(lane, knobs);
+                    batch.set_cost(lane, &cost);
+                    batch.set_load(lane, &load);
+                    batch.set_llc_bytes(lane, *llc_bytes);
+                    lane += 1;
+                }
+            }
+        } else {
+            // Grid shape changed: rebuild (freshly pushed lanes are dirty,
+            // and the length mismatch re-primes the output cache).
+            batch.clear();
+            for (knobs, llc_bytes) in candidates.iter().zip(&admitted) {
+                if let Ok(llc_bytes) = llc_bytes {
+                    batch.push(knobs, &cost, &load, *llc_bytes);
+                }
+            }
+        }
+        let lane_results = evaluate_chain_batch_incremental(batch, &self.tuning, outputs);
+        Ok(self.fold_candidates(candidates, admitted, lane_results))
+    }
+
+    /// Shared admission front half of the candidate sweeps: checks the node
+    /// shape and replays every candidate's assignment on throwaway allocator
+    /// clones, exactly as [`Node::set_knobs`] would. Returns the hosted
+    /// chain's cost and, per candidate, the CAT partition bytes it would get
+    /// (or the error committing it would raise).
+    fn admit_candidates(
+        &self,
+        chain: ChainId,
+        candidates: &[KnobSettings],
+    ) -> SimResult<(ChainCost, Vec<SimResult<f64>>)> {
         if self.chains.len() != 1 {
             return Err(SimError::NodeConfig(format!(
                 "candidate sweep requires a single-chain node ({} chains hosted)",
@@ -616,17 +728,20 @@ impl Node {
                 Ok(llc.bytes_of(ClosId(chain.0)) as f64)
             })
             .collect();
+        Ok((cost, admitted))
+    }
 
-        // One batched kernel call over the admitted lanes.
-        let mut batch = ChainBatch::with_capacity(candidates.len());
-        for (knobs, llc_bytes) in candidates.iter().zip(&admitted) {
-            if let Ok(llc_bytes) = llc_bytes {
-                batch.push(knobs, &cost, &load, *llc_bytes);
-            }
-        }
-        let mut lane_results = evaluate_chain_batch(&batch, &self.tuning).into_iter();
-
-        Ok(candidates
+    /// Shared back half of the candidate sweeps: zips the admitted lanes'
+    /// kernel results back over the candidate list and folds each into a
+    /// per-candidate [`NodeEpochResult`].
+    fn fold_candidates(
+        &self,
+        candidates: &[KnobSettings],
+        admitted: Vec<SimResult<f64>>,
+        lane_results: Vec<SimResult<ChainEpochResult>>,
+    ) -> Vec<SimResult<NodeEpochResult>> {
+        let mut lane_results = lane_results.into_iter();
+        candidates
             .iter()
             .zip(admitted)
             .map(|(knobs, admitted)| {
@@ -643,7 +758,7 @@ impl Node {
                     ))
                 })
             })
-            .collect())
+            .collect()
     }
 }
 
@@ -834,6 +949,63 @@ mod tests {
         assert!(out[0].is_ok());
         assert_eq!(out[1], Err(bad_range.validate().unwrap_err()));
         assert!(out[2].is_err(), "oversubscribed cores must be rejected");
+    }
+
+    #[test]
+    fn cached_candidate_sweep_matches_fresh_sweep() {
+        // evaluate_candidates_into over retained state must equal the
+        // one-shot sweep bit-for-bit, and a repeated identical sweep must
+        // cost zero kernel lanes (everything clean).
+        let mut n = node_with_chain();
+        let load = n.sample_load(ChainId(0)).unwrap();
+        let mut grid = Vec::new();
+        for i in 0..10u32 {
+            let mut k = KnobSettings::default_tuned();
+            k.batch = 16 + i * 24;
+            grid.push(k);
+        }
+        let mut bad = KnobSettings::default_tuned();
+        bad.batch = 0;
+        grid.push(bad);
+
+        let fresh = n.evaluate_candidates(ChainId(0), &grid, load).unwrap();
+        let mut batch = ChainBatch::new();
+        let mut outputs = BatchOutputs::new();
+        let cached = n
+            .evaluate_candidates_into(ChainId(0), &grid, load, &mut batch, &mut outputs)
+            .unwrap();
+        assert_eq!(cached, fresh);
+
+        // Identical grid + load again: all lanes clean, zero kernel work.
+        let before = crate::engine::kernel_lanes_swept();
+        let again = n
+            .evaluate_candidates_into(ChainId(0), &grid, load, &mut batch, &mut outputs)
+            .unwrap();
+        assert_eq!(crate::engine::kernel_lanes_swept(), before);
+        assert_eq!(again, fresh);
+
+        // A changed probe load re-evaluates and still matches a fresh sweep.
+        let hotter = ChainLoad {
+            arrival_pps: load.arrival_pps * 1.5,
+            ..load
+        };
+        let cached = n
+            .evaluate_candidates_into(ChainId(0), &grid, hotter, &mut batch, &mut outputs)
+            .unwrap();
+        assert_eq!(
+            cached,
+            n.evaluate_candidates(ChainId(0), &grid, hotter).unwrap()
+        );
+
+        // A different grid shape rebuilds the lanes and still matches.
+        let shrunk = &grid[..4];
+        let cached = n
+            .evaluate_candidates_into(ChainId(0), shrunk, hotter, &mut batch, &mut outputs)
+            .unwrap();
+        assert_eq!(
+            cached,
+            n.evaluate_candidates(ChainId(0), shrunk, hotter).unwrap()
+        );
     }
 
     #[test]

@@ -47,11 +47,13 @@
 //! to buffer reuse. Heterogeneous model tunings cannot share one batch;
 //! such clusters fall back to the per-node serial path unchanged.
 
-use crate::batch::{evaluate_chain_batch, ChainBatch};
+use serde::{Deserialize, Serialize};
+
+use crate::batch::{evaluate_chain_batch, sweep_chain_batch_incremental, BatchOutputs, ChainBatch};
 use crate::cluster::ClusterEpochReport;
 use crate::engine::{ChainEpochResult, SimTuning};
 use crate::error::SimResult;
-use crate::node::{ChainConfig, Node};
+use crate::node::{Node, NodeEpochReport, PreparedNode};
 use crate::par;
 
 /// Staged lanes per epoch below which [`PipelineMode::Auto`] keeps the
@@ -76,17 +78,49 @@ pub enum PipelineMode {
     Overlapped,
 }
 
-/// One epoch's staged inputs: per node, the engine configs and raw arrival
-/// rates from [`Node::prepare_epoch`].
-type PreparedEpoch = Vec<(Vec<ChainConfig>, Vec<f64>)>;
+/// One epoch's staged inputs: per node, the engine configs, raw arrival
+/// rates, and load-change flags from [`Node::prepare_epoch`].
+type PreparedEpoch = Vec<PreparedNode>;
+
+/// How each epoch's staged batch is evaluated. Every mode computes
+/// bit-identical results; modes differ only in how much kernel work a
+/// low-churn epoch re-runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[serde(rename_all = "lowercase")]
+pub enum EvalMode {
+    /// Sweep every staged lane through the column-pass kernel each epoch.
+    #[default]
+    Full,
+    /// Dirty-tracked incremental sweeps: the staged batch becomes persistent
+    /// epoch state, per-epoch deltas are applied in place through the
+    /// self-comparing column setters, and only dirty lane groups re-run the
+    /// kernel — clean lanes reuse the cached outputs of the previous epoch
+    /// verbatim. The first epoch of a run (or after any structural change)
+    /// is a full priming sweep.
+    Incremental,
+}
 
 /// The double-buffered epoch pipeline. Owns the two [`ChainBatch`] buffers
 /// (front = being evaluated, back = being filled) so multi-epoch runs and
-/// repeated [`EpochPipeline::step`] calls never re-allocate columns.
+/// repeated [`EpochPipeline::step`] calls never re-allocate columns. Under
+/// [`EvalMode::Incremental`] the front buffer doubles as the persistent
+/// lane state and `outputs` retains the previous epoch's kernel results.
 #[derive(Debug, Default)]
 pub struct EpochPipeline {
     front: ChainBatch,
     back: ChainBatch,
+    outputs: BatchOutputs,
+    /// Per-node reports retained by the incremental loop: a node whose lanes
+    /// all stayed bitwise-clean for a window reuses its previous report
+    /// verbatim ([`Node::finish_epoch`] is a pure fold of its inputs), so a
+    /// low-churn epoch skips the aggregate stage for clean nodes just like
+    /// it skips the kernel for clean lane groups. Refilled on every run's
+    /// priming epoch, never checkpointed.
+    node_reports: Vec<NodeEpochReport>,
+    /// The incremental loop's staging buffer: every epoch's generate stage
+    /// refills the same per-node vectors in place, so a steady-state epoch
+    /// allocates nothing between sampling traffic and sweeping the kernel.
+    staged: PreparedEpoch,
 }
 
 impl EpochPipeline {
@@ -119,6 +153,19 @@ impl EpochPipeline {
         reports
     }
 
+    /// [`EpochPipeline::run`] with an explicit [`EvalMode`].
+    pub fn run_eval(
+        &mut self,
+        nodes: &mut [Node],
+        epochs: usize,
+        mode: PipelineMode,
+        eval: EvalMode,
+    ) -> Vec<ClusterEpochReport> {
+        let mut reports = Vec::with_capacity(epochs);
+        self.run_with_eval(nodes, epochs, mode, eval, |_, report| reports.push(report));
+        reports
+    }
+
     /// Streaming form of [`EpochPipeline::run`]: hands each epoch's report
     /// to `consume(epoch_index, report)` as soon as its aggregate stage
     /// completes, instead of materializing the whole horizon. The pipeline
@@ -129,6 +176,24 @@ impl EpochPipeline {
         nodes: &mut [Node],
         epochs: usize,
         mode: PipelineMode,
+        consume: impl FnMut(usize, ClusterEpochReport),
+    ) {
+        self.run_with_eval(nodes, epochs, mode, EvalMode::Full, consume);
+    }
+
+    /// Streaming form of [`EpochPipeline::run_eval`]; see
+    /// [`EpochPipeline::run_with`] for the streaming contract and
+    /// [`EvalMode`] for what `eval` selects. The incremental path runs the
+    /// stage graph inline regardless of `mode`: applying deltas in place has
+    /// a sequential dependency on the buffer the previous epoch just
+    /// evaluated, so there is no second buffer to fill ahead — the win comes
+    /// from skipping kernel work, not overlapping it.
+    pub fn run_with_eval(
+        &mut self,
+        nodes: &mut [Node],
+        epochs: usize,
+        mode: PipelineMode,
+        eval: EvalMode,
         mut consume: impl FnMut(usize, ClusterEpochReport),
     ) {
         if epochs == 0 {
@@ -142,6 +207,10 @@ impl EpochPipeline {
             }
             return;
         };
+        if eval == EvalMode::Incremental {
+            self.run_incremental(nodes, epochs, &tuning, consume);
+            return;
+        }
 
         // Prime the pipeline: generate epoch 0 into the front buffer.
         let mut pending = generate(nodes);
@@ -184,6 +253,51 @@ impl EpochPipeline {
             }
         }
     }
+
+    /// The incremental epoch loop: the front buffer is persistent epoch
+    /// state. Epoch 0 refills it from scratch (every pushed lane starts
+    /// dirty, so the sweep primes the output cache with one full pass); each
+    /// later epoch applies the generate stage's deltas in place — knob,
+    /// cost, and partition columns through the self-comparing setters, load
+    /// columns only for chains whose [`LoadDelta`](crate::traffic::LoadDelta)
+    /// reported a change — and sweeps only the dirty lane groups.
+    ///
+    /// Rebuilding at epoch 0 (rather than trusting buffer state from a
+    /// previous `run` call) makes every run's first epoch a full sweep: a
+    /// resumed run, a fresh pipeline, or a cluster whose chain layout
+    /// changed between runs all start from the same primed state, which is
+    /// how resumed-incremental stays bit-identical to uninterrupted runs.
+    fn run_incremental(
+        &mut self,
+        nodes: &mut [Node],
+        epochs: usize,
+        tuning: &SimTuning,
+        mut consume: impl FnMut(usize, ClusterEpochReport),
+    ) {
+        for k in 0..epochs {
+            generate_into(nodes, &mut self.staged);
+            // Per-node clean verdicts: read after the deltas land and before
+            // the sweep clears the flags. `None` on the priming epoch, which
+            // recomputes (and retains) every node's report.
+            let clean = if k == 0 {
+                fill(&mut self.front, &self.staged);
+                self.outputs.invalidate();
+                None
+            } else {
+                apply_deltas(&mut self.front, &self.staged);
+                Some(node_clean_flags(&self.front, &self.staged))
+            };
+            sweep_chain_batch_incremental(&mut self.front, tuning, &mut self.outputs);
+            let report = aggregate_cached(
+                nodes,
+                &self.staged,
+                self.outputs.results(),
+                clean.as_deref(),
+                &mut self.node_reports,
+            );
+            consume(k, report);
+        }
+    }
 }
 
 /// The model tuning shared by every node, or `None` when nodes disagree (or
@@ -199,13 +313,46 @@ fn generate(nodes: &mut [Node]) -> PreparedEpoch {
     nodes.iter_mut().map(|n| n.prepare_epoch()).collect()
 }
 
+/// [`generate`] into a retained buffer: per-node vectors are cleared and
+/// refilled in place, so repeated epochs stage without allocating. The
+/// buffer is resized to the cluster (it starts empty on a fresh pipeline).
+fn generate_into(nodes: &mut [Node], staged: &mut PreparedEpoch) {
+    staged.resize_with(nodes.len(), PreparedNode::default);
+    for (node, p) in nodes.iter_mut().zip(staged.iter_mut()) {
+        node.prepare_epoch_into(p);
+    }
+}
+
 /// Fills `batch` with every staged lane of `prepared`, reusing the buffer's
-/// column capacity.
+/// column capacity. Pushed lanes start dirty, so a filled batch always
+/// full-sweeps.
 fn fill(batch: &mut ChainBatch, prepared: &PreparedEpoch) {
     batch.clear();
-    for (configs, _) in prepared {
-        for (knobs, cost, load, llc_bytes) in configs {
+    for p in prepared {
+        for (knobs, cost, load, llc_bytes) in &p.configs {
             batch.push(knobs, cost, load, *llc_bytes);
+        }
+    }
+}
+
+/// Applies one epoch's deltas onto a persistent `batch` whose lanes already
+/// hold the previous epoch's values in the same order. Knob, cost, and
+/// partition columns always go through the self-comparing setters (they can
+/// drift between epochs, e.g. a controller retuning knobs); load columns
+/// are written only for chains whose source reported a change — an
+/// `Unchanged` verdict guarantees the sampled load is bitwise-identical to
+/// what the lane already holds, so skipping the write *is* the comparison.
+fn apply_deltas(batch: &mut ChainBatch, prepared: &PreparedEpoch) {
+    let mut lane = 0;
+    for p in prepared {
+        for ((knobs, cost, load, llc_bytes), &changed) in p.configs.iter().zip(&p.load_changed) {
+            batch.set_knobs(lane, knobs);
+            batch.set_cost(lane, cost);
+            batch.set_llc_bytes(lane, *llc_bytes);
+            if changed {
+                batch.set_load(lane, load);
+            }
+            lane += 1;
         }
     }
 }
@@ -222,13 +369,82 @@ fn aggregate(
         nodes: nodes
             .iter_mut()
             .zip(prepared)
-            .map(|(node, (configs, arrivals))| {
+            .map(|(node, p)| {
                 let results: Vec<ChainEpochResult> = lanes
                     .by_ref()
-                    .take(configs.len())
+                    .take(p.configs.len())
                     .map(|r| r.expect("node-resident knobs were validated by set_knobs"))
                     .collect();
-                node.finish_epoch(configs, arrivals, &results)
+                node.finish_epoch(&p.configs, &p.arrivals, &results)
+            })
+            .collect(),
+    }
+}
+
+/// Per-node clean verdicts over a delta-applied `batch`: node `i` is clean
+/// iff *none* of its lanes carries a dirty flag. Lane-level (not group-level)
+/// dirtiness is the right criterion — a clean node sharing an 8-lane group
+/// with a dirty neighbour re-evaluates, but to bit-identical results, so its
+/// cached report stays valid.
+fn node_clean_flags(batch: &ChainBatch, prepared: &PreparedEpoch) -> Vec<bool> {
+    let mut lane = 0;
+    prepared
+        .iter()
+        .map(|p| {
+            let n = p.configs.len();
+            let all_clean = (lane..lane + n).all(|i| !batch.is_dirty(i));
+            lane += n;
+            all_clean
+        })
+        .collect()
+}
+
+/// [`aggregate`] with the incremental loop's per-node report cache: clean
+/// nodes (`clean[i]` true) clone their retained report instead of re-folding
+/// — [`Node::finish_epoch`] is pure, and a clean node's inputs this epoch
+/// are bitwise those of the last — while dirty nodes re-fold and refresh
+/// their cache slot. `clean = None` (the priming epoch) re-folds everything
+/// and rebuilds the cache.
+fn aggregate_cached(
+    nodes: &mut [Node],
+    prepared: &PreparedEpoch,
+    results: &[SimResult<ChainEpochResult>],
+    clean: Option<&[bool]>,
+    cache: &mut Vec<NodeEpochReport>,
+) -> ClusterEpochReport {
+    let cache_valid = clean.is_some() && cache.len() == nodes.len();
+    if !cache_valid {
+        cache.clear();
+    }
+    let mut lane = 0;
+    ClusterEpochReport {
+        nodes: nodes
+            .iter_mut()
+            .zip(prepared)
+            .enumerate()
+            .map(|(i, (node, p))| {
+                let n = p.configs.len();
+                let node_results = &results[lane..lane + n];
+                lane += n;
+                if cache_valid && clean.is_some_and(|c| c[i]) {
+                    // This node's lanes are bitwise-identical to the cached
+                    // fold's inputs; reuse the report without re-folding.
+                    return node.finish_epoch_cached(&cache[i]);
+                }
+                let owned: Vec<ChainEpochResult> = node_results
+                    .iter()
+                    .map(|r| {
+                        *r.as_ref()
+                            .expect("node-resident knobs were validated by set_knobs")
+                    })
+                    .collect();
+                let report = node.finish_epoch(&p.configs, &p.arrivals, &owned);
+                if cache_valid {
+                    cache[i] = report.clone();
+                } else {
+                    cache.push(report.clone());
+                }
+                report
             })
             .collect(),
     }
@@ -242,14 +458,14 @@ fn epoch_unfused(nodes: &mut [Node]) -> ClusterEpochReport {
         nodes: nodes
             .iter_mut()
             .zip(&prepared)
-            .map(|(node, (configs, arrivals))| {
+            .map(|(node, p)| {
                 let tuning = *node.tuning();
                 let results: Vec<ChainEpochResult> =
-                    evaluate_chain_batch(&ChainBatch::from_configs(configs), &tuning)
+                    evaluate_chain_batch(&ChainBatch::from_configs(&p.configs), &tuning)
                         .into_iter()
                         .map(|r| r.expect("node-resident knobs were validated by set_knobs"))
                         .collect();
-                node.finish_epoch(configs, arrivals, &results)
+                node.finish_epoch(&p.configs, &p.arrivals, &results)
             })
             .collect(),
     }
@@ -354,6 +570,86 @@ mod tests {
             assert_eq!(idx, k, "epoch indices arrive in order");
             assert_eq!(report, expect[k]);
         }
+    }
+
+    #[test]
+    fn incremental_epochs_equal_serial_epochs() {
+        // The dirty-tracked path must be bit-identical to per-epoch serial
+        // runs for every pipeline mode (mode is a no-op under Incremental).
+        for mode in [
+            PipelineMode::Auto,
+            PipelineMode::Inline,
+            PipelineMode::Overlapped,
+        ] {
+            let mut incremental = testbed();
+            let mut serial = testbed();
+            let got = incremental.run_epochs_eval(6, mode, EvalMode::Incremental);
+            let expect: Vec<_> = (0..6).map(|_| serial.run_epoch()).collect();
+            assert_eq!(got, expect, "mode {mode:?} diverged under Incremental");
+        }
+    }
+
+    #[test]
+    fn incremental_runs_reprime_across_calls() {
+        // Chunked incremental runs over one cluster must keep matching a
+        // fresh serial cluster: each run's first epoch re-primes the
+        // persistent buffer, so no stale lane state leaks across calls.
+        let mut incremental = testbed();
+        let mut serial = testbed();
+        for chunk in [3usize, 1, 4] {
+            let got = incremental.run_epochs_eval(chunk, PipelineMode::Auto, EvalMode::Incremental);
+            let expect: Vec<_> = (0..chunk).map(|_| serial.run_epoch()).collect();
+            assert_eq!(got, expect, "chunk {chunk}");
+        }
+    }
+
+    #[test]
+    fn incremental_falls_back_for_heterogeneous_tunings() {
+        let build = || {
+            let mut c = Cluster::new();
+            for (i, epoch_s) in [30.0, 60.0].into_iter().enumerate() {
+                let tuning = SimTuning {
+                    epoch_s,
+                    ..SimTuning::default()
+                };
+                let mut node = crate::node::Node::new(
+                    i as u32,
+                    tuning,
+                    PowerModel::default(),
+                    PlatformPolicy::greennfv(),
+                );
+                node.add_chain(
+                    ChainSpec::canonical_three(ChainId(0)),
+                    FlowSet::evaluation_five_flows(),
+                    KnobSettings::default_tuned(),
+                    33 + i as u64,
+                )
+                .unwrap();
+                c.add_node(node);
+            }
+            c
+        };
+        let mut incremental = build();
+        let mut serial = build();
+        let got = incremental.run_epochs_eval(3, PipelineMode::Auto, EvalMode::Incremental);
+        for (epoch, report) in got.iter().enumerate() {
+            let expect: Vec<_> = (0..serial.len())
+                .map(|i| serial.node_mut(i).unwrap().run_epoch())
+                .collect();
+            assert_eq!(report.nodes, expect, "epoch {epoch}");
+        }
+    }
+
+    #[test]
+    fn eval_mode_serde_uses_lowercase_names() {
+        assert_eq!(serde_json::to_string(&EvalMode::Full).unwrap(), "\"full\"");
+        assert_eq!(
+            serde_json::to_string(&EvalMode::Incremental).unwrap(),
+            "\"incremental\""
+        );
+        let back: EvalMode = serde_json::from_str("\"incremental\"").unwrap();
+        assert_eq!(back, EvalMode::Incremental);
+        assert_eq!(EvalMode::default(), EvalMode::Full);
     }
 
     #[test]

@@ -26,6 +26,48 @@ use crate::error::{SimError, SimResult};
 use crate::flow::{ArrivalPattern, FlowSet, FlowSpec};
 use crate::packet::{FiveTuple, Packet, MAX_PACKET_SIZE, MIN_PACKET_SIZE};
 
+/// Whether the load sampled for a window differs from the previous window's.
+///
+/// Sources compare the *sampled values* bitwise, not their internal cursor
+/// movement: a CBR flow set or a flat trace plateau reports
+/// [`LoadDelta::Unchanged`] even though the stream advanced, which is what
+/// lets the incremental batch engine skip clean lanes. `Changed` carries the
+/// new arrival rate for cheap logging/telemetry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadDelta {
+    /// Bitwise-identical to the previous window's sampled load.
+    Unchanged,
+    /// The load changed; carries the new arrival rate in packets/second.
+    Changed(f64),
+}
+
+impl LoadDelta {
+    /// True iff the sampled load differs from the previous window's.
+    pub fn is_changed(&self) -> bool {
+        matches!(self, LoadDelta::Changed(_))
+    }
+}
+
+/// Bitwise equality on sampled loads: `==` would conflate `-0.0` with `0.0`,
+/// and clean-lane reuse must be reuse of the *exact* bits.
+fn load_bits_eq(a: ChainLoad, b: ChainLoad) -> bool {
+    a.arrival_pps.to_bits() == b.arrival_pps.to_bits()
+        && a.mean_packet_size.to_bits() == b.mean_packet_size.to_bits()
+        && a.burstiness.to_bits() == b.burstiness.to_bits()
+}
+
+/// Folds a freshly sampled load into the source's `last_load` memory and
+/// reports whether it moved.
+fn track_delta(last: &mut Option<ChainLoad>, load: ChainLoad) -> LoadDelta {
+    let unchanged = last.is_some_and(|prev| load_bits_eq(prev, load));
+    *last = Some(load);
+    if unchanged {
+        LoadDelta::Unchanged
+    } else {
+        LoadDelta::Changed(load.arrival_pps)
+    }
+}
+
 /// Deterministic, seedable traffic generator.
 #[derive(Debug)]
 pub struct TrafficGen {
@@ -34,6 +76,8 @@ pub struct TrafficGen {
     /// Per-flow ON/OFF phase for Markov flows (true = ON).
     onoff_state: Vec<bool>,
     now_ns: u64,
+    /// Previous window's sampled load, for [`LoadDelta`] reporting.
+    last_load: Option<ChainLoad>,
 }
 
 /// One flow's arrivals within a window.
@@ -56,6 +100,7 @@ impl TrafficGen {
             rng: StdRng::seed_from_u64(seed),
             onoff_state: vec![true; n],
             now_ns: 0,
+            last_load: None,
         }
     }
 
@@ -169,13 +214,25 @@ impl TrafficGen {
     /// flow set's static packet-size mix and burstiness. Advances the
     /// generator by one window.
     pub fn sample_load(&mut self, window_s: f64) -> ChainLoad {
+        self.sample_load_delta(window_s).0
+    }
+
+    /// [`Self::sample_load`] plus a [`LoadDelta`] saying whether the sampled
+    /// load moved since the previous window (bitwise comparison of the
+    /// sampled values — CBR-only flow sets report `Unchanged` every window
+    /// after the first). Advances the generator identically to
+    /// `sample_load`, so mixing the two entry points never perturbs the
+    /// stream.
+    pub fn sample_load_delta(&mut self, window_s: f64) -> (ChainLoad, LoadDelta) {
         let window = self.next_window(window_s);
         let pps = Self::window_rate_pps(&window, window_s);
-        ChainLoad {
+        let load = ChainLoad {
             arrival_pps: pps,
             mean_packet_size: self.flows.mean_packet_size(),
             burstiness: self.flows.burstiness(),
-        }
+        };
+        let delta = track_delta(&mut self.last_load, load);
+        (load, delta)
     }
 }
 
@@ -386,6 +443,8 @@ pub struct TraceSource {
     jitter_frac: f64,
     rng: StdRng,
     now_s: f64,
+    /// Previous window's sampled load, for [`LoadDelta`] reporting.
+    last_load: Option<ChainLoad>,
 }
 
 impl TraceSource {
@@ -402,6 +461,7 @@ impl TraceSource {
             jitter_frac,
             rng: StdRng::seed_from_u64(seed),
             now_s: 0.0,
+            last_load: None,
         })
     }
 
@@ -417,6 +477,16 @@ impl TraceSource {
 
     /// Samples the offered load for the next window and advances replay time.
     pub fn sample_load(&mut self, window_s: f64) -> ChainLoad {
+        self.sample_load_delta(window_s).0
+    }
+
+    /// [`Self::sample_load`] plus a [`LoadDelta`]. The delta compares the
+    /// *sampled values*, not cursor movement: a zero-jitter replay crossing
+    /// from one trace point to another with equal rate/size/burstiness is
+    /// `Unchanged`, so flat trace plateaus count as clean even though the
+    /// replay clock keeps advancing. The jitter stream draws identically to
+    /// `sample_load`, so mixing entry points never perturbs the RNG.
+    pub fn sample_load_delta(&mut self, window_s: f64) -> (ChainLoad, LoadDelta) {
         let p = *self.trace.point_at(self.now_s);
         self.now_s += window_s;
         let jitter = if self.jitter_frac > 0.0 {
@@ -427,11 +497,13 @@ impl TraceSource {
         } else {
             1.0
         };
-        ChainLoad {
+        let load = ChainLoad {
             arrival_pps: p.rate_pps * jitter,
             mean_packet_size: f64::from(p.packet_size),
             burstiness: p.burstiness,
-        }
+        };
+        let delta = track_delta(&mut self.last_load, load);
+        (load, delta)
     }
 }
 
@@ -462,9 +534,16 @@ impl TrafficSource {
 
     /// Samples the offered load for one window, advancing the source.
     pub fn sample_load(&mut self, window_s: f64) -> ChainLoad {
+        self.sample_load_delta(window_s).0
+    }
+
+    /// Samples the offered load for one window plus a [`LoadDelta`] flagging
+    /// whether it moved since the previous window. Advances the source
+    /// identically to [`Self::sample_load`].
+    pub fn sample_load_delta(&mut self, window_s: f64) -> (ChainLoad, LoadDelta) {
         match self {
-            TrafficSource::Synthetic(gen) => gen.sample_load(window_s),
-            TrafficSource::Replay(src) => src.sample_load(window_s),
+            TrafficSource::Synthetic(gen) => gen.sample_load_delta(window_s),
+            TrafficSource::Replay(src) => src.sample_load_delta(window_s),
         }
     }
 
@@ -525,6 +604,12 @@ pub enum TrafficCursor {
         onoff_state: Vec<bool>,
         /// Simulated clock, nanoseconds.
         now_ns: u64,
+        /// Previous window's sampled load (the [`LoadDelta`] memory), so a
+        /// resumed source reports the same deltas as an uninterrupted one.
+        /// Defaults to `None` for pre-delta cursors, which merely makes the
+        /// first resumed window report `Changed` — still bit-exact output.
+        #[serde(default)]
+        last_load: Option<ChainLoad>,
     },
     /// Position of a [`TraceSource`] replay.
     Replay {
@@ -532,6 +617,9 @@ pub enum TrafficCursor {
         rng: [u64; 4],
         /// Replay clock, seconds (wraps at the trace length).
         now_s: f64,
+        /// Previous window's sampled load (the [`LoadDelta`] memory).
+        #[serde(default)]
+        last_load: Option<ChainLoad>,
     },
 }
 
@@ -542,6 +630,7 @@ impl TrafficGen {
             rng: self.rng.state(),
             onoff_state: self.onoff_state.clone(),
             now_ns: self.now_ns,
+            last_load: self.last_load,
         }
     }
 
@@ -552,6 +641,7 @@ impl TrafficGen {
             rng,
             onoff_state,
             now_ns,
+            last_load,
         } = cursor
         else {
             return Err(SimError::TraceConfig(
@@ -568,6 +658,7 @@ impl TrafficGen {
         self.rng = StdRng::from_state(*rng);
         self.onoff_state = onoff_state.clone();
         self.now_ns = *now_ns;
+        self.last_load = *last_load;
         Ok(())
     }
 }
@@ -578,12 +669,18 @@ impl TraceSource {
         TrafficCursor::Replay {
             rng: self.rng.state(),
             now_s: self.now_s,
+            last_load: self.last_load,
         }
     }
 
     /// Restores a [`TraceSource::cursor`] snapshot.
     pub fn restore_cursor(&mut self, cursor: &TrafficCursor) -> SimResult<()> {
-        let TrafficCursor::Replay { rng, now_s } = cursor else {
+        let TrafficCursor::Replay {
+            rng,
+            now_s,
+            last_load,
+        } = cursor
+        else {
             return Err(SimError::TraceConfig(
                 "expected a replay traffic cursor".into(),
             ));
@@ -595,6 +692,7 @@ impl TraceSource {
         }
         self.rng = StdRng::from_state(*rng);
         self.now_s = *now_s;
+        self.last_load = *last_load;
         Ok(())
     }
 }
@@ -832,14 +930,128 @@ oops,200000,512,1.2
             rng: [1, 2, 3, 4],
             onoff_state: vec![true; 9],
             now_ns: 0,
+            last_load: None,
         };
         assert!(synth.restore_cursor(&bad).is_err(), "flow-count mismatch");
         let mut replay = TrafficSource::replay(diurnal_like_trace(), 0.0, 1).unwrap();
         let bad_clock = TrafficCursor::Replay {
             rng: [1, 2, 3, 4],
             now_s: f64::NAN,
+            last_load: None,
         };
         assert!(replay.restore_cursor(&bad_clock).is_err());
+    }
+
+    #[test]
+    fn cursors_resume_delta_streams_identically() {
+        // A cursor carries the LoadDelta memory: a source resumed mid-plateau
+        // must report Unchanged exactly where the uninterrupted twin does.
+        let trace = diurnal_like_trace();
+        let mut live = TrafficSource::replay(trace.clone(), 0.0, 3).unwrap();
+        live.sample_load_delta(30.0); // first window is always Changed
+        let cursor = live.cursor();
+        let mut resumed = TrafficSource::replay(trace, 0.0, 99).unwrap();
+        resumed.restore_cursor(&cursor).unwrap();
+        for _ in 0..8 {
+            assert_eq!(
+                live.sample_load_delta(30.0),
+                resumed.sample_load_delta(30.0)
+            );
+        }
+    }
+
+    #[test]
+    fn pre_delta_cursors_still_deserialize() {
+        // Checkpoints written before `last_load` existed omit the field;
+        // `#[serde(default)]` must fill in `None` (first resumed window then
+        // reports Changed — conservative but bit-exact).
+        let mut live = TrafficSource::synthetic(flows(vec![FlowSpec::cbr(0, 1000.0, 64)]), 7);
+        live.sample_load_delta(1.0);
+        use serde::{Deserialize, Serialize};
+        let mut v = Serialize::to_value(&live.cursor());
+        let serde::Value::Map(entries) = &mut v else {
+            panic!("cursor serializes as a map");
+        };
+        let (_, payload) = &mut entries[0];
+        let serde::Value::Map(fields) = payload else {
+            panic!("cursor payload is a map");
+        };
+        fields.retain(|(k, _)| k != "last_load");
+        let old = TrafficCursor::from_value(&v).unwrap();
+        let mut resumed = TrafficSource::synthetic(flows(vec![FlowSpec::cbr(0, 1000.0, 64)]), 9);
+        resumed.restore_cursor(&old).unwrap();
+        let (load, delta) = resumed.sample_load_delta(1.0);
+        assert_eq!(load, live.sample_load_delta(1.0).0);
+        assert_eq!(delta, LoadDelta::Changed(load.arrival_pps));
+    }
+
+    #[test]
+    fn cbr_flows_report_unchanged_after_first_window() {
+        let mut g = TrafficGen::new(flows(vec![FlowSpec::cbr(0, 1000.0, 64)]), 1);
+        let (first, d0) = g.sample_load_delta(1.0);
+        assert_eq!(d0, LoadDelta::Changed(first.arrival_pps));
+        for _ in 0..5 {
+            let (load, delta) = g.sample_load_delta(1.0);
+            assert_eq!(load, first);
+            assert_eq!(delta, LoadDelta::Unchanged);
+        }
+        // Poisson flows keep moving.
+        let mut g = TrafficGen::new(flows(vec![FlowSpec::poisson(0, 5_000.0, 256)]), 1);
+        g.sample_load_delta(1.0);
+        assert!(g.sample_load_delta(1.0).1.is_changed());
+    }
+
+    #[test]
+    fn flat_trace_segments_count_as_clean() {
+        // Two consecutive points with identical rate/size/burstiness: the
+        // replay cursor moves between them, but the *sampled values* do not,
+        // so windows crossing the boundary must report Unchanged.
+        let flat = Trace::new(
+            "flat-plateau",
+            vec![
+                TracePoint {
+                    duration_s: 30.0,
+                    rate_pps: 5.0e5,
+                    packet_size: 512,
+                    burstiness: 1.2,
+                },
+                TracePoint {
+                    duration_s: 30.0,
+                    rate_pps: 5.0e5,
+                    packet_size: 512,
+                    burstiness: 1.2,
+                },
+            ],
+        )
+        .unwrap();
+        let mut src = TraceSource::new(flat, 0.0, 1).unwrap();
+        assert!(src.sample_load_delta(30.0).1.is_changed());
+        for _ in 0..6 {
+            // Crosses point boundaries and the cyclic wrap every window.
+            assert_eq!(src.sample_load_delta(30.0).1, LoadDelta::Unchanged);
+        }
+
+        // Jittered replay of the same plateau keeps changing (and keeps
+        // drawing from the RNG) — dirtiness follows the sampled values.
+        let mut src = TraceSource::new(diurnal_like_trace(), 0.1, 1).unwrap();
+        src.sample_load_delta(30.0);
+        assert!(src.sample_load_delta(30.0).1.is_changed());
+    }
+
+    #[test]
+    fn mixed_sample_entry_points_share_one_stream() {
+        // sample_load and sample_load_delta must advance identically.
+        let fs = flows(vec![FlowSpec::poisson(0, 5_000.0, 256)]);
+        let mut a = TrafficSource::synthetic(fs.clone(), 7);
+        let mut b = TrafficSource::synthetic(fs, 7);
+        for i in 0..10 {
+            let la = if i % 2 == 0 {
+                a.sample_load(1.0)
+            } else {
+                a.sample_load_delta(1.0).0
+            };
+            assert_eq!(la, b.sample_load_delta(1.0).0);
+        }
     }
 
     #[test]

@@ -119,3 +119,85 @@ fn all_valid_batch_has_no_error_lanes() {
         assert_eq!(got, scalar_reference(&batch, &tuning), "lanes = {lanes}");
     }
 }
+
+/// The incremental sweep's dirty-group walk has its own remainder edge: the
+/// trailing group is *partial* whenever `lanes % WIDTH != 0`, and a dirty
+/// lane in that partial group must re-evaluate exactly the `start..len`
+/// clamp — not a full 8-lane stride off the end of the columns. Pin every
+/// straddling count with the dirty lane placed *last*, so the single dirty
+/// group is the partial tail itself.
+#[test]
+fn incremental_partial_tail_group_matches_scalar_exactly() {
+    let tuning = SimTuning::default();
+    for lanes in [1usize, 7, 8, 9, 63, 65] {
+        let mut batch = build_batch(lanes, |i| i % 5 == 3);
+        let mut outputs = BatchOutputs::new();
+        // Prime, then dirty only the final lane.
+        evaluate_chain_batch_incremental(&mut batch, &tuning, &mut outputs);
+        let last = lanes - 1;
+        let mut load = load_at(last as u32);
+        load.arrival_pps *= 1.75;
+        batch.set_load(last, &load);
+        assert_eq!(batch.dirty_lanes(), 1, "lanes = {lanes}");
+
+        let got = evaluate_chain_batch_incremental(&mut batch, &tuning, &mut outputs);
+        assert_eq!(got, scalar_reference(&batch, &tuning), "lanes = {lanes}");
+        // And at explicit thread counts over a re-dirtied clone.
+        for threads in [2usize, 8] {
+            let mut b = batch.clone();
+            let mut o = BatchOutputs::new();
+            evaluate_chain_batch_incremental_threads(&mut b, &tuning, &mut o, threads);
+            b.set_load(last, &load_at(last as u32));
+            let threaded =
+                evaluate_chain_batch_incremental_threads(&mut b, &tuning, &mut o, threads);
+            assert_eq!(
+                threaded,
+                scalar_reference(&b, &tuning),
+                "lanes = {lanes}, threads = {threads}"
+            );
+        }
+    }
+}
+
+/// An epoch where nothing changed must cost zero kernel work: the
+/// incremental sweep answers entirely from the retained outputs. The kernel
+/// lane counter is thread-local, so this only holds on the inline
+/// (single-thread) path — which is exactly the path an all-clean sweep
+/// takes, since `auto_threads(0)` never spawns.
+#[test]
+fn all_clean_incremental_sweep_invokes_zero_kernel_lanes() {
+    let tuning = SimTuning::default();
+    for lanes in [1usize, 7, 8, 9, 63, 65] {
+        let mut batch = build_batch(lanes, |i| i % 5 == 3);
+        let mut outputs = BatchOutputs::new();
+        let primed = evaluate_chain_batch_incremental(&mut batch, &tuning, &mut outputs);
+
+        // Rewrite every lane with its identical inputs: the bitwise-comparing
+        // setters must leave every flag clear.
+        let costs = costs();
+        for i in 0..lanes {
+            let mut knobs = valid_knobs(i as u32);
+            if i % 5 == 3 {
+                if i % 2 == 0 {
+                    knobs.batch = 0;
+                } else {
+                    knobs.freq_ghz = 99.0;
+                }
+            }
+            batch.set_knobs(i, &knobs);
+            batch.set_cost(i, &costs[i % costs.len()]);
+            batch.set_load(i, &load_at(i as u32));
+            batch.set_llc_bytes(i, llc_partition_bytes(f64::from(i as u32 % 10) / 10.0));
+        }
+        assert_eq!(batch.dirty_lanes(), 0, "lanes = {lanes}");
+
+        let before = kernel_lanes_swept();
+        let got = evaluate_chain_batch_incremental(&mut batch, &tuning, &mut outputs);
+        assert_eq!(
+            kernel_lanes_swept(),
+            before,
+            "all-clean sweep ran the kernel (lanes = {lanes})"
+        );
+        assert_eq!(got, primed, "lanes = {lanes}");
+    }
+}

@@ -95,6 +95,7 @@ fn scenario_from_raw(nodes: &[(u32, Vec<TenantRaw>)], seed: u64, epochs: u32) ->
         seed,
         tuning: SimTuning::default(),
         policy: PlatformPolicy::greennfv(),
+        evaluation: EvalMode::Full,
         nodes: node_specs,
     }
 }
@@ -371,6 +372,191 @@ proptest! {
         let overlapped_reports =
             overlapped.run_epochs_with(epochs as usize, PipelineMode::Overlapped);
         prop_assert_eq!(&overlapped_reports, &expect, "overlapped pipeline diverged");
+    }
+
+    /// Differential harness for the dirty-tracked incremental sweep at the
+    /// batch level: for any lane vector (valid and invalid knobs mixed) and
+    /// any delta pattern — all-clean, single lane, contiguous tenant run,
+    /// all-dirty — the incremental sweep over a primed cache is *exactly*
+    /// equal, lane by lane, to a full sweep of the mutated batch, at every
+    /// thread count. The all-clean pattern additionally pins the sweep to
+    /// zero kernel invocations.
+    #[test]
+    fn incremental_batch_equals_full_for_any_delta_pattern(
+        lanes in proptest::collection::vec(
+            (
+                (0u32..6, 0.0f64..1.1, 1.0f64..2.3, -0.2f64..1.2, 0.1f64..48.0),
+                (0u32..400, 1e3f64..2e7, 64.0f64..1518.0, 1.0f64..4.0),
+            ),
+            1..96,
+        ),
+        llc_frac in 0.0f64..1.0,
+        pattern in 0u32..4,
+        pick in 0usize..1024,
+        span in 1usize..16,
+        scale in 0.25f64..4.0,
+    ) {
+        let costs = [
+            ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost(),
+            ServiceChain::build(ChainSpec::lightweight(ChainId(1))).cost(),
+            ServiceChain::build(ChainSpec::heavyweight(ChainId(2))).cost(),
+        ];
+        let tuning = SimTuning::default();
+        let llc_bytes = llc_partition_bytes(llc_frac);
+
+        let mut batch = ChainBatch::with_capacity(lanes.len());
+        let mut loads = Vec::with_capacity(lanes.len());
+        for (i, ((cores, share, freq, llc, dma_mb), (b, pps, size, burst))) in
+            lanes.iter().enumerate()
+        {
+            let knobs = KnobSettings {
+                cpu: CpuAllocation { cores: *cores, share: *share },
+                freq_ghz: *freq,
+                llc_fraction: *llc,
+                dma: DmaBuffer::from_mb(*dma_mb),
+                batch: *b,
+            };
+            let load = ChainLoad {
+                arrival_pps: *pps,
+                mean_packet_size: *size,
+                burstiness: *burst,
+            };
+            batch.push(&knobs, &costs[i % costs.len()], &load, llc_bytes);
+            loads.push(load);
+        }
+
+        // Prime the cache: the first incremental sweep is by contract a full
+        // sweep of the freshly pushed (all-dirty) batch.
+        let mut outputs = BatchOutputs::new();
+        let primed = evaluate_chain_batch_incremental(&mut batch, &tuning, &mut outputs);
+        prop_assert_eq!(&primed, &evaluate_chain_batch(&batch, &tuning), "priming sweep");
+        prop_assert_eq!(batch.dirty_lanes(), 0, "priming clears every dirty flag");
+
+        // Apply one delta pattern through the self-comparing setters.
+        let n = batch.len();
+        match pattern {
+            // All-clean: rewrite every lane with its *identical* load. The
+            // bitwise compare must leave every flag clear.
+            0 => {
+                for (i, same) in loads.iter().enumerate().take(n) {
+                    batch.set_load(i, same);
+                    batch.set_llc_bytes(i, llc_bytes);
+                }
+                prop_assert_eq!(batch.dirty_lanes(), 0, "identical writes stay clean");
+            }
+            // Single lane moved.
+            1 => {
+                let i = pick % n;
+                loads[i].arrival_pps *= scale;
+                batch.set_load(i, &loads[i]);
+            }
+            // Contiguous run of lanes (one tenant's chains) moved.
+            2 => {
+                let start = pick % n;
+                let end = (start + span).min(n);
+                for (i, load) in loads.iter_mut().enumerate().take(end).skip(start) {
+                    load.arrival_pps *= scale;
+                    batch.set_load(i, load);
+                }
+            }
+            // Everything stale at once (the degenerate-to-full case).
+            _ => {
+                for (i, load) in loads.iter_mut().enumerate() {
+                    load.burstiness = (load.burstiness * scale).clamp(1.0, 8.0);
+                    batch.set_load(i, load);
+                }
+                batch.mark_all_dirty();
+            }
+        }
+
+        // The reference: a plain full sweep of the mutated columns (the full
+        // path ignores dirty flags entirely).
+        let reference = evaluate_chain_batch(&batch, &tuning);
+        for threads in [1usize, 2, 8] {
+            let mut b = batch.clone();
+            let mut o = outputs.clone();
+            let before = kernel_lanes_swept();
+            let got = evaluate_chain_batch_incremental_threads(&mut b, &tuning, &mut o, threads);
+            prop_assert_eq!(&got, &reference, "threads = {}", threads);
+            prop_assert_eq!(b.dirty_lanes(), 0, "sweep clears flags (threads = {})", threads);
+            if pattern == 0 && threads == 1 {
+                // Inline all-clean sweep: the cache answers without touching
+                // the kernel at all.
+                prop_assert_eq!(
+                    kernel_lanes_swept(), before,
+                    "all-clean sweep must invoke zero kernel lanes"
+                );
+            }
+        }
+    }
+
+    /// Differential harness for push-mode incremental epochs: for any
+    /// generated scenario, `run_epochs_eval` under `EvalMode::Incremental` is
+    /// *exactly* equal, epoch by epoch and node by node, to the serial
+    /// `run_epoch` path and to `EvalMode::Full` — and a run killed at an
+    /// arbitrary mid-horizon epoch and resumed from per-node cursors on a
+    /// freshly built cluster finishes bit-equal to the uninterrupted run.
+    #[test]
+    fn incremental_epochs_equal_full_serial_and_survive_resume(
+        nodes in proptest::collection::vec(
+            (
+                0u32..3,
+                proptest::collection::vec(
+                    (0u32..3, 0u32..3, 1e4f64..8e6, 64.0f64..1518.0, 0u32..2),
+                    1..3,
+                ),
+            ),
+            1..4,
+        ),
+        seed in 0u64..1_000_000,
+        epochs in 2u32..5,
+        kill_raw in 0u32..16,
+    ) {
+        let scenario = scenario_from_raw(&nodes, seed, epochs);
+        let mut serial = scenario.build_cluster().expect("generated scenarios build");
+        let expect: Vec<ClusterEpochReport> =
+            (0..epochs).map(|_| serial.run_epoch()).collect();
+
+        let mut full = scenario.build_cluster().expect("full build");
+        let full_reports =
+            full.run_epochs_eval(epochs as usize, PipelineMode::Auto, EvalMode::Full);
+        prop_assert_eq!(&full_reports, &expect, "full evaluation diverged from serial");
+
+        let mut incremental = scenario.build_cluster().expect("incremental build");
+        let inc_reports =
+            incremental.run_epochs_eval(epochs as usize, PipelineMode::Auto, EvalMode::Incremental);
+        prop_assert_eq!(&inc_reports, &expect, "incremental evaluation diverged from serial");
+
+        // Kill at an arbitrary interior epoch, serialize every node's cursor,
+        // drop the cluster, rebuild from the descriptor, restore, and finish
+        // the horizon incrementally.
+        let kill_at = 1 + (kill_raw as usize % (epochs as usize - 1));
+        let mut interrupted = scenario.build_cluster().expect("interrupted build");
+        let mut resumed_reports =
+            interrupted.run_epochs_eval(kill_at, PipelineMode::Auto, EvalMode::Incremental);
+        let cursors: Vec<String> = (0..interrupted.len())
+            .map(|i| {
+                serde_json::to_string(&interrupted.node_mut(i).unwrap().cursor())
+                    .expect("cursor serializes")
+            })
+            .collect();
+        drop(interrupted);
+
+        let mut resumed = scenario.build_cluster().expect("resumed build");
+        for (i, json) in cursors.iter().enumerate() {
+            let cursor: NodeCursor = serde_json::from_str(json).expect("cursor parses");
+            resumed
+                .node_mut(i)
+                .unwrap()
+                .restore_cursor(&cursor)
+                .expect("cursor restores");
+        }
+        resumed_reports.extend(resumed.run_epochs_eval(
+            epochs as usize - kill_at,
+            PipelineMode::Auto,
+            EvalMode::Incremental,
+        ));
+        prop_assert_eq!(&resumed_reports, &expect, "killed-and-resumed run diverged");
     }
 
     /// The trace CSV parser is total: arbitrary garbage text never panics —

@@ -137,6 +137,33 @@ fn diurnal_trace() {
 }
 
 #[test]
+fn diurnal_low_churn() {
+    check_scenario("diurnal-low-churn");
+    let scenario = Scenario::by_name("diurnal-low-churn").unwrap();
+    assert_eq!(scenario.evaluation, EvalMode::Incremental);
+    // The whole point of the scenario: long plateaus with under 10% of the
+    // lanes changing per steady epoch (only node 0 replays jittered churn).
+    let churn = scenario.nodes[0].tenants.len();
+    let lanes: usize = scenario.nodes.iter().map(|n| n.tenants.len()).sum();
+    assert!(churn * 10 < lanes, "churn {churn}/{lanes} is not low");
+    // Incremental epochs == serial per-node epochs, bit for bit, across the
+    // full horizon (check_scenario pinned the full/pipelined paths already).
+    let mut incremental = scenario.build_cluster().unwrap();
+    let mut serial = scenario.build_cluster().unwrap();
+    let reports = incremental.run_epochs_eval(
+        scenario.epochs as usize,
+        PipelineMode::Auto,
+        EvalMode::Incremental,
+    );
+    for (epoch, report) in reports.iter().enumerate() {
+        let expect: Vec<NodeEpochReport> = (0..serial.len())
+            .map(|i| serial.node_mut(i).unwrap().run_epoch())
+            .collect();
+        assert_eq!(report.nodes, expect, "incremental epoch {epoch} diverged");
+    }
+}
+
+#[test]
 fn mixed_trace_hetero() {
     check_scenario("mixed-trace-hetero");
     let scenario = Scenario::by_name("mixed-trace-hetero").unwrap();
@@ -199,6 +226,46 @@ fn checkpoint_resume() {
         resumed.agent.export_params().actor,
         uninterrupted.agent.export_params().actor
     );
+}
+
+#[test]
+fn checkpoint_resume_incremental() {
+    // The incremental face of the kill/resume contract: an incremental run
+    // interrupted mid-horizon and restored from serialized node cursors
+    // must finish bit-identically to an uninterrupted *full-evaluation*
+    // run. The cached lane state is pure memoization — never part of the
+    // checkpoint — so the resumed cluster's first epoch re-primes it.
+    let scenario = Scenario::by_name("diurnal-low-churn").unwrap();
+    let epochs = scenario.epochs as usize;
+    let kill_at = epochs / 2;
+
+    let mut full = scenario.build_cluster().unwrap();
+    let uninterrupted = full.run_epochs_eval(epochs, PipelineMode::Auto, EvalMode::Full);
+
+    let mut interrupted = scenario.build_cluster().unwrap();
+    let mut reports =
+        interrupted.run_epochs_eval(kill_at, PipelineMode::Auto, EvalMode::Incremental);
+    // "Kill": serialize every node's cursor, drop the live cluster.
+    let cursors: Vec<String> = (0..interrupted.len())
+        .map(|i| serde_json::to_string(&interrupted.node_mut(i).unwrap().cursor()).unwrap())
+        .collect();
+    drop(interrupted);
+    // "Resume": rebuild from the descriptor, restore every stream position.
+    let mut resumed = scenario.build_cluster().unwrap();
+    for (i, json) in cursors.iter().enumerate() {
+        let cursor: NodeCursor = serde_json::from_str(json).unwrap();
+        resumed
+            .node_mut(i)
+            .unwrap()
+            .restore_cursor(&cursor)
+            .unwrap();
+    }
+    reports.extend(resumed.run_epochs_eval(
+        epochs - kill_at,
+        PipelineMode::Auto,
+        EvalMode::Incremental,
+    ));
+    assert_eq!(reports, uninterrupted);
 }
 
 #[test]

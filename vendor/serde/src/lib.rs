@@ -130,6 +130,19 @@ pub fn field<T: Deserialize>(map: &[(String, Value)], name: &str) -> Result<T, D
     }
 }
 
+/// Like [`field`], but an absent key is `Ok(None)` instead of an error —
+/// the helper `#[serde(default)]` fields expand into, so documents written
+/// before a field existed still deserialize.
+pub fn opt_field<T: Deserialize>(
+    map: &[(String, Value)],
+    name: &str,
+) -> Result<Option<T>, DeError> {
+    match map.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => Ok(Some(T::from_value(v)?)),
+        None => Ok(None),
+    }
+}
+
 macro_rules! impl_int {
     ($($t:ty),*) => {$(
         impl Serialize for $t {

@@ -2,18 +2,30 @@
 //!
 //! Hand-rolled over `proc_macro` token trees because `syn`/`quote` are not
 //! available offline. Supports the shapes this workspace actually derives:
-//! non-generic named structs (with `#[serde(skip)]` fields), tuple structs,
-//! unit structs, and enums whose variants are unit, tuple, or struct-like.
-//! Representation matches the shim's `Value` tree: newtype structs are
-//! transparent, unit variants are strings, payload variants are
-//! single-entry maps (serde's external tagging).
+//! non-generic named structs (with `#[serde(skip)]` and `#[serde(default)]`
+//! fields), tuple structs, unit structs, and enums whose variants are unit,
+//! tuple, or struct-like (with `#[serde(rename_all = "lowercase")]` on the
+//! container). Representation matches the shim's `Value` tree: newtype
+//! structs are transparent, unit variants are strings, payload variants are
+//! single-entry maps (serde's external tagging). Unrecognized serde
+//! attributes panic at expansion time rather than being silently ignored.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The serde attributes the shim understands, accumulated over all
+/// `#[serde(...)]` attributes on one item/field/variant.
+#[derive(Debug, Default, Clone)]
+struct SerdeAttrs {
+    skip: bool,
+    default: bool,
+    rename_all: Option<String>,
+}
 
 #[derive(Debug)]
 struct Field {
     name: String,
     skip: bool,
+    default: bool,
 }
 
 #[derive(Debug)]
@@ -26,6 +38,9 @@ enum VariantKind {
 #[derive(Debug)]
 struct Variant {
     name: String,
+    /// Wire name after the container's `rename_all` rule (equals `name`
+    /// when no rule is set).
+    ser_name: String,
     kind: VariantKind,
 }
 
@@ -68,15 +83,15 @@ pub fn derive_deserialize(input: TokenStream) -> TokenStream {
 
 // ---------------------------------------------------------------- parsing
 
-/// Consumes leading attributes, returning whether any was `#[serde(skip)]`.
-fn eat_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
-    let mut skip = false;
+/// Consumes leading attributes, accumulating the serde ones it recognizes.
+fn eat_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, SerdeAttrs) {
+    let mut attrs = SerdeAttrs::default();
     while i < tokens.len() {
         match &tokens[i] {
             TokenTree::Punct(p) if p.as_char() == '#' => {
                 if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
                     if g.delimiter() == Delimiter::Bracket {
-                        skip |= attr_is_serde_skip(&g.stream());
+                        collect_serde_attr(&g.stream(), &mut attrs);
                         i += 2;
                         continue;
                     }
@@ -86,21 +101,70 @@ fn eat_attrs(tokens: &[TokenTree], mut i: usize) -> (usize, bool) {
             _ => break,
         }
     }
-    (i, skip)
+    (i, attrs)
 }
 
-fn attr_is_serde_skip(stream: &TokenStream) -> bool {
+/// Parses the inside of one `#[...]` attribute. Non-serde attributes are
+/// ignored; serde entries the shim does not implement panic so a typo or an
+/// unsupported option fails the build instead of changing the format.
+fn collect_serde_attr(stream: &TokenStream, attrs: &mut SerdeAttrs) {
     let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
     match tokens.first() {
         Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
-        _ => return false,
+        _ => return,
     }
-    match tokens.get(1) {
-        Some(TokenTree::Group(g)) => g
-            .stream()
-            .into_iter()
-            .any(|t| matches!(&t, TokenTree::Ident(id) if id.to_string() == "skip")),
-        _ => false,
+    let Some(TokenTree::Group(g)) = tokens.get(1) else {
+        return;
+    };
+    let entries: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut j = 0;
+    while j < entries.len() {
+        let key = match &entries[j] {
+            TokenTree::Ident(id) => id.to_string(),
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                j += 1;
+                continue;
+            }
+            other => panic!("serde_derive shim: unexpected token in #[serde(...)]: {other:?}"),
+        };
+        j += 1;
+        let value = match entries.get(j) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                j += 1;
+                match entries.get(j) {
+                    Some(TokenTree::Literal(lit)) => {
+                        j += 1;
+                        Some(lit.to_string().trim_matches('"').to_string())
+                    }
+                    other => panic!(
+                        "serde_derive shim: expected literal after `{key} =`, found {other:?}"
+                    ),
+                }
+            }
+            _ => None,
+        };
+        match (key.as_str(), value) {
+            ("skip", None) => attrs.skip = true,
+            ("default", None) => attrs.default = true,
+            ("rename_all", Some(rule)) => {
+                if rule != "lowercase" {
+                    panic!("serde_derive shim: unsupported rename_all rule `{rule}`");
+                }
+                attrs.rename_all = Some(rule);
+            }
+            (key, value) => {
+                panic!("serde_derive shim: unsupported serde attribute `{key}` (value {value:?})")
+            }
+        }
+    }
+}
+
+/// Applies a container `rename_all` rule to one variant name.
+fn apply_rename(rule: Option<&str>, name: &str) -> String {
+    match rule {
+        Some("lowercase") => name.to_ascii_lowercase(),
+        Some(other) => panic!("serde_derive shim: unsupported rename_all rule `{other}`"),
+        None => name.to_string(),
     }
 }
 
@@ -121,7 +185,7 @@ fn eat_vis(tokens: &[TokenTree], mut i: usize) -> usize {
 
 fn parse_item(input: TokenStream) -> Shape {
     let tokens: Vec<TokenTree> = input.into_iter().collect();
-    let (mut i, _) = eat_attrs(&tokens, 0);
+    let (mut i, container) = eat_attrs(&tokens, 0);
     i = eat_vis(&tokens, i);
 
     let kind = match tokens.get(i) {
@@ -154,7 +218,7 @@ fn parse_item(input: TokenStream) -> Shape {
         "enum" => match tokens.get(i) {
             Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
                 name,
-                variants: parse_variants(&g.stream()),
+                variants: parse_variants(&g.stream(), container.rename_all.as_deref()),
             },
             other => panic!("serde_derive shim: malformed enum body: {other:?}"),
         },
@@ -167,7 +231,7 @@ fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
     let mut fields = Vec::new();
     let mut i = 0;
     while i < tokens.len() {
-        let (next, skip) = eat_attrs(&tokens, i);
+        let (next, attrs) = eat_attrs(&tokens, i);
         i = eat_vis(&tokens, next);
         let name = match tokens.get(i) {
             Some(TokenTree::Ident(id)) => id.to_string(),
@@ -182,7 +246,11 @@ fn parse_named_fields(stream: &TokenStream) -> Vec<Field> {
             }
         }
         i = skip_type(&tokens, i);
-        fields.push(Field { name, skip });
+        fields.push(Field {
+            name,
+            skip: attrs.skip,
+            default: attrs.default,
+        });
         if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
@@ -228,7 +296,7 @@ fn count_top_level_fields(stream: &TokenStream) -> usize {
     count
 }
 
-fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
+fn parse_variants(stream: &TokenStream, rename_all: Option<&str>) -> Vec<Variant> {
     let tokens: Vec<TokenTree> = stream.clone().into_iter().collect();
     let mut variants = Vec::new();
     let mut i = 0;
@@ -252,7 +320,12 @@ fn parse_variants(stream: &TokenStream) -> Vec<Variant> {
             }
             _ => VariantKind::Unit,
         };
-        variants.push(Variant { name, kind });
+        let ser_name = apply_rename(rename_all, &name);
+        variants.push(Variant {
+            name,
+            ser_name,
+            kind,
+        });
         if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
             i += 1;
         }
@@ -293,8 +366,8 @@ fn gen_serialize(shape: &Shape) -> String {
             for v in variants {
                 match &v.kind {
                     VariantKind::Unit => arms.push_str(&format!(
-                        "Self::{0} => ::serde::Value::Str(String::from(\"{0}\")),\n",
-                        v.name
+                        "Self::{0} => ::serde::Value::Str(String::from(\"{1}\")),\n",
+                        v.name, v.ser_name
                     )),
                     VariantKind::Tuple(arity) => {
                         let binds: Vec<String> = (0..*arity).map(|i| format!("f{i}")).collect();
@@ -308,9 +381,10 @@ fn gen_serialize(shape: &Shape) -> String {
                             format!("::serde::Value::Seq(vec![{}])", items.join(", "))
                         };
                         arms.push_str(&format!(
-                            "Self::{0}({1}) => ::serde::Value::Map(vec![(String::from(\"{0}\"), {2})]),\n",
+                            "Self::{0}({1}) => ::serde::Value::Map(vec![(String::from(\"{2}\"), {3})]),\n",
                             v.name,
                             binds.join(", "),
+                            v.ser_name,
                             payload
                         ));
                     }
@@ -326,9 +400,10 @@ fn gen_serialize(shape: &Shape) -> String {
                             })
                             .collect();
                         arms.push_str(&format!(
-                            "Self::{0} {{ {1} }} => ::serde::Value::Map(vec![(String::from(\"{0}\"), ::serde::Value::Map(vec![{2}]))]),\n",
+                            "Self::{0} {{ {1} }} => ::serde::Value::Map(vec![(String::from(\"{2}\"), ::serde::Value::Map(vec![{3}]))]),\n",
                             v.name,
                             binds.join(", "),
+                            v.ser_name,
                             items.join(", ")
                         ));
                     }
@@ -351,14 +426,8 @@ fn gen_deserialize(shape: &Shape) -> String {
         Shape::Named { name, fields } => {
             let mut inits = String::new();
             for f in fields {
-                if f.skip {
-                    inits.push_str(&format!(
-                        "{}: ::std::default::Default::default(),\n",
-                        f.name
-                    ));
-                } else {
-                    inits.push_str(&format!("{0}: ::serde::field(m, \"{0}\")?,\n", f.name));
-                }
+                inits.push_str(&field_init(f));
+                inits.push_str(",\n");
             }
             let bind = if fields.iter().any(|f| !f.skip) {
                 "m"
@@ -395,8 +464,8 @@ fn gen_deserialize(shape: &Shape) -> String {
             for v in variants {
                 match &v.kind {
                     VariantKind::Unit => unit_arms.push_str(&format!(
-                        "\"{0}\" => ::std::result::Result::Ok(Self::{0}),\n",
-                        v.name
+                        "\"{1}\" => ::std::result::Result::Ok(Self::{0}),\n",
+                        v.name, v.ser_name
                     )),
                     VariantKind::Tuple(arity) => {
                         let body = if *arity == 1 {
@@ -414,23 +483,15 @@ fn gen_deserialize(shape: &Shape) -> String {
                                 items.join(", ")
                             )
                         };
-                        payload_arms.push_str(&format!("\"{0}\" => {body},\n", v.name));
+                        payload_arms.push_str(&format!("\"{0}\" => {body},\n", v.ser_name));
                     }
                     VariantKind::Struct(fields) => {
-                        let inits: Vec<String> = fields
-                            .iter()
-                            .map(|f| {
-                                if f.skip {
-                                    format!("{}: ::std::default::Default::default()", f.name)
-                                } else {
-                                    format!("{0}: ::serde::field(m, \"{0}\")?", f.name)
-                                }
-                            })
-                            .collect();
+                        let inits: Vec<String> = fields.iter().map(field_init).collect();
                         payload_arms.push_str(&format!(
-                            "\"{0}\" => {{ let m = payload.as_map()?; ::std::result::Result::Ok(Self::{0} {{ {1} }}) }},\n",
+                            "\"{2}\" => {{ let m = payload.as_map()?; ::std::result::Result::Ok(Self::{0} {{ {1} }}) }},\n",
                             v.name,
-                            inits.join(", ")
+                            inits.join(", "),
+                            v.ser_name
                         ));
                     }
                 }
@@ -447,6 +508,24 @@ fn gen_deserialize(shape: &Shape) -> String {
             );
             impl_deserialize(name, &body)
         }
+    }
+}
+
+/// One `name: <expr>` initializer for a named field being deserialized:
+/// `skip` fields take their `Default`, `default` fields fall back to it
+/// when the key is absent, everything else is required.
+fn field_init(f: &Field) -> String {
+    if f.skip {
+        format!("{}: ::std::default::Default::default()", f.name)
+    } else if f.default {
+        format!(
+            "{0}: match ::serde::opt_field(m, \"{0}\")? {{ \
+             ::std::option::Option::Some(x) => x, \
+             ::std::option::Option::None => ::std::default::Default::default() }}",
+            f.name
+        )
+    } else {
+        format!("{0}: ::serde::field(m, \"{0}\")?", f.name)
     }
 }
 
