@@ -13,7 +13,9 @@ use greennfv::prelude::Scenario;
 use greennfv_bench::PERF_LANE_COUNTS;
 use greennfv_nn::prelude::*;
 use greennfv_rl::prelude::*;
-use nfv_sim::engine::{pass_capacity, pass_cycles, pass_load, pass_miss_rate, pass_outputs};
+use nfv_sim::engine::{
+    pass_capacity, pass_cycles, pass_load, pass_loss, pass_miss_rate, pass_outputs,
+};
 use nfv_sim::prelude::*;
 use nfv_sim::ring::SpscRing;
 
@@ -94,8 +96,9 @@ fn bench(c: &mut Criterion) {
         }
 
         // Per-pass benches: one F64x8 bundle (8 lanes) through each wide
-        // column pass, isolating where the kernel's time goes. The M/M/1/K
-        // loss stage is deliberately absent: it stays scalar (powf/ln).
+        // column pass, isolating where the kernel's time goes — including
+        // the M/M/1/K loss pass, wide since its `powf`/`ln` moved to the
+        // `wide_ln`/`wide_exp` polynomial kernels.
         let w = |x: f64| F64x8::splat(x);
         let (pkt8, arr8) = pass_load(w(3.5e6), w(395.0), &tuning);
         let miss8 = pass_miss_rate(
@@ -176,6 +179,22 @@ fn bench(c: &mut Criterion) {
                     bb(w(2.0)),
                     bb(w(1.0)),
                     &tuning,
+                ))
+            })
+        });
+        // Loads near saturation (ρ ≈ 0.995) so K·(ρ−1) stays well above the
+        // flush-to-zero cutoff and the kernel prices the general
+        // closed-form branch — the expensive path with `wide_ln` and
+        // `wide_exp` live — rather than the all-lanes-flush fast path.
+        c.bench_function("engine_pass_loss_x8", |b| {
+            b.iter(|| {
+                std::hint::black_box(pass_loss(
+                    bb(arr8),
+                    bb(arr8 * w(1.005)),
+                    bb(w(8.0 * 1024.0 * 1024.0)),
+                    bb(pkt8),
+                    bb(w(1.8)),
+                    bb(w(160.0)),
                 ))
             })
         });

@@ -42,6 +42,7 @@ pub mod prelude {
     };
     pub use crate::qmodel::{train_qlearning, QModelController};
     pub use crate::report::{scenario_comparison, table, AmortizationCurve, ComparisonReport};
+    pub use crate::scenario::fuzz::{corpus, fuzz_scenario, fuzz_scenario_shaped, FuzzShape};
     pub use crate::scenario::{
         run_schedule, NodeSpec, PhaseSummary, Scenario, ScenarioRunResult, ScheduleResult,
         TenantEpochRecord, TenantSpec, TenantSummary, TrafficSpec, WorkloadPhase, WorkloadSchedule,

@@ -22,6 +22,8 @@
 //! chain's offered flows while a [`Controller`] adapts — the "changing
 //! environmental conditions" experiment of the paper.
 
+pub mod fuzz;
+
 use nfv_sim::prelude::*;
 use serde::{Deserialize, Serialize};
 
@@ -343,7 +345,7 @@ impl Scenario {
     /// Names of the canonical scenarios, in registry order. The CI scenario
     /// matrix, `tests/scenarios.rs`, and the `scenario_epoch` benches all
     /// enumerate this list (a test pins the CI workflow against it).
-    pub const NAMES: [&'static str; 8] = [
+    pub const NAMES: [&'static str; 12] = [
         "baseline-homogeneous",
         "hetero-3-profile",
         "two-tenant-shared-node",
@@ -352,6 +354,10 @@ impl Scenario {
         "diurnal-low-churn",
         "mixed-trace-hetero",
         "scale-out-edge",
+        "flash-crowd-replay",
+        "failover-blackout",
+        "throttle-edge-storm",
+        "fleet-diurnal-1000",
     ];
 
     /// The canonical scenario set, one per [`Scenario::NAMES`] entry.
@@ -373,6 +379,10 @@ impl Scenario {
             "diurnal-low-churn" => Some(Self::diurnal_low_churn()),
             "mixed-trace-hetero" => Some(Self::mixed_trace_hetero()),
             "scale-out-edge" => Some(Self::scale_out_edge()),
+            "flash-crowd-replay" => Some(Self::flash_crowd_replay()),
+            "failover-blackout" => Some(Self::failover_blackout()),
+            "throttle-edge-storm" => Some(Self::throttle_edge_storm()),
+            "fleet-diurnal-1000" => Some(Self::fleet_diurnal_1000()),
             _ => None,
         }
     }
@@ -826,6 +836,271 @@ impl Scenario {
                     }],
                 },
             ],
+        }
+    }
+    // -- scenarios promoted from the fuzz corpus ---------------------------
+    //
+    // The four constructors below started life as `scenario::fuzz` corpus
+    // members and were snapshotted by hand into explicit builders: a
+    // promoted scenario must never shift when the generator's draw order
+    // changes, so the registry pins the exact descriptor, not the seed.
+
+    /// Promoted from the fuzz corpus (shape `flash-crowd`): one paper node
+    /// whose main tenant replays a steady → 5× spike → recovery trace with
+    /// mild jitter, next to a synthetic colo tenant. The spike occupies the
+    /// middle fifth of the horizon, so it lands inside a run, not at its
+    /// edges.
+    pub fn flash_crowd_replay() -> Scenario {
+        let epochs = 12u32;
+        let epoch_s = 30.0;
+        let horizon = f64::from(epochs) * epoch_s;
+        let segment = |frac: f64, rate_pps: f64| TracePoint {
+            duration_s: frac * horizon,
+            rate_pps,
+            packet_size: 512,
+            burstiness: 1.6,
+        };
+        let mut crowd_knobs = KnobSettings::default_tuned();
+        crowd_knobs.cpu = CpuAllocation {
+            cores: 3,
+            share: 1.0,
+        };
+        crowd_knobs.llc_fraction = 0.5;
+        crowd_knobs.batch = 64;
+        let mut colo_knobs = KnobSettings::default_tuned();
+        colo_knobs.llc_fraction = 0.2;
+        Scenario {
+            name: "flash-crowd-replay".into(),
+            epochs,
+            seed: 50,
+            tuning: SimTuning::default(),
+            policy: PlatformPolicy::greennfv(),
+            evaluation: EvalMode::Full,
+            nodes: vec![NodeSpec {
+                profile: NodeProfile::paper_default(),
+                tenants: vec![
+                    TenantSpec {
+                        name: "crowd".into(),
+                        nfs: ChainSpec::canonical_three(ChainId(0)).nfs,
+                        sla: TenantSla::new(Sla::EnergyEfficiency).with_loss_cap(0.2),
+                        knobs: crowd_knobs,
+                        traffic: TrafficSpec::Replay {
+                            trace: Trace::new(
+                                "flash",
+                                vec![
+                                    segment(0.4, 5.0e5),
+                                    segment(0.2, 2.5e6),
+                                    segment(0.4, 5.0e5),
+                                ],
+                            )
+                            .expect("static trace is valid"),
+                            jitter_frac: 0.05,
+                        },
+                    },
+                    TenantSpec {
+                        name: "colo".into(),
+                        nfs: ChainSpec::lightweight(ChainId(0)).nfs,
+                        sla: TenantSla::new(Sla::MinEnergy {
+                            throughput_floor_gbps: 0.2,
+                        })
+                        .with_weight(0.5),
+                        knobs: colo_knobs,
+                        traffic: TrafficSpec::Flows(
+                            FlowSet::new(vec![FlowSpec::poisson(0, 3.0e5, 512)])
+                                .expect("static flows are valid"),
+                        ),
+                    },
+                ],
+            }],
+        }
+    }
+
+    /// Promoted from the fuzz corpus (shape `node-failure`): three paper
+    /// nodes replaying the same service trace; node 1 blacks out over the
+    /// middle fifth of the horizon (its rate collapses to a trickle) while
+    /// the two survivors absorb a 1.5× failover surge over the same window.
+    pub fn failover_blackout() -> Scenario {
+        let epochs = 10u32;
+        let epoch_s = 30.0;
+        let horizon = f64::from(epochs) * epoch_s;
+        let service = |name: &str, mid_rate: f64| {
+            Trace::new(
+                name,
+                vec![
+                    TracePoint {
+                        duration_s: 0.4 * horizon,
+                        rate_pps: 8.0e5,
+                        packet_size: 512,
+                        burstiness: 1.4,
+                    },
+                    TracePoint {
+                        duration_s: 0.2 * horizon,
+                        rate_pps: mid_rate,
+                        packet_size: 512,
+                        burstiness: 1.4,
+                    },
+                    TracePoint {
+                        duration_s: 0.4 * horizon,
+                        rate_pps: 8.0e5,
+                        packet_size: 512,
+                        burstiness: 1.4,
+                    },
+                ],
+            )
+            .expect("static trace is valid")
+        };
+        let nodes = (0..3)
+            .map(|ni| NodeSpec {
+                profile: NodeProfile::paper_default(),
+                tenants: vec![TenantSpec {
+                    name: format!("svc-{ni}"),
+                    nfs: ChainSpec::canonical_three(ChainId(0)).nfs,
+                    sla: TenantSla::new(Sla::EnergyEfficiency),
+                    knobs: KnobSettings::default_tuned(),
+                    traffic: TrafficSpec::Replay {
+                        trace: if ni == 1 {
+                            service("blackout", 8.0e2)
+                        } else {
+                            service("failover", 1.2e6)
+                        },
+                        jitter_frac: 0.0,
+                    },
+                }],
+            })
+            .collect();
+        Scenario {
+            name: "failover-blackout".into(),
+            epochs,
+            seed: 51,
+            tuning: SimTuning::default(),
+            policy: PlatformPolicy::greennfv(),
+            evaluation: EvalMode::Full,
+            nodes,
+        }
+    }
+
+    /// Promoted from the fuzz corpus (shapes `dvfs-throttle` × `tenant-storm`
+    /// combined): an edge-class node pinned at its minimum frequency (thermal
+    /// capping) while three bursty on/off tenants storm it under loss caps —
+    /// the least headroom the corpus found.
+    pub fn throttle_edge_storm() -> Scenario {
+        let profile = NodeProfile::edge_low_power();
+        let bursty = |rate: f64, size: u32, peak: f64| {
+            TrafficSpec::Flows(
+                FlowSet::new(vec![FlowSpec {
+                    id: 0,
+                    rate_pps: rate,
+                    packet_size: size,
+                    pattern: ArrivalPattern::MarkovOnOff {
+                        peak_factor: peak,
+                        on_fraction: 0.35,
+                    },
+                }])
+                .expect("static flows are valid"),
+            )
+        };
+        let knobs = |cores: u32, llc: f64, batch: u32| KnobSettings {
+            cpu: CpuAllocation { cores, share: 1.0 },
+            // The throttle: pinned to the bottom DVFS rung of the edge
+            // profile regardless of load.
+            freq_ghz: profile.freq_min_ghz,
+            llc_fraction: llc,
+            batch,
+            ..KnobSettings::default_tuned()
+        };
+        Scenario {
+            name: "throttle-edge-storm".into(),
+            epochs: 10,
+            seed: 52,
+            tuning: SimTuning::default(),
+            policy: PlatformPolicy::greennfv(),
+            evaluation: EvalMode::Full,
+            nodes: vec![NodeSpec {
+                profile: profile.clone(),
+                tenants: vec![
+                    TenantSpec {
+                        name: "storm-a".into(),
+                        nfs: ChainSpec::lightweight(ChainId(0)).nfs,
+                        sla: TenantSla::new(Sla::EnergyEfficiency).with_loss_cap(0.15),
+                        knobs: knobs(3, 0.3, 64),
+                        traffic: bursty(1.8e6, 256, 3.0),
+                    },
+                    TenantSpec {
+                        name: "storm-b".into(),
+                        nfs: ChainSpec::lightweight(ChainId(0)).nfs,
+                        sla: TenantSla::new(Sla::EnergyEfficiency).with_loss_cap(0.15),
+                        knobs: knobs(2, 0.25, 32),
+                        traffic: bursty(1.2e6, 512, 2.5),
+                    },
+                    TenantSpec {
+                        name: "storm-c".into(),
+                        nfs: vec![NfKind::Monitor, NfKind::LoadBalancer],
+                        sla: TenantSla::new(Sla::EnergyEfficiency).with_loss_cap(0.1),
+                        knobs: knobs(2, 0.2, 16),
+                        traffic: bursty(9.0e5, 128, 2.0),
+                    },
+                ],
+            }],
+        }
+    }
+
+    /// Promoted from the fuzz corpus (shape `diurnal-fleet`, scaled to the
+    /// issue's thousand-node target): a 1000-node fleet where node 0 replays
+    /// the jittered diurnal trace and all 999 others sit on zero-jitter
+    /// plateau replays — 0.1% lane churn per steady epoch, the largest
+    /// incremental-evaluation workload in the registry.
+    pub fn fleet_diurnal_1000() -> Scenario {
+        let tuning = SimTuning {
+            epoch_s: 1800.0,
+            ..SimTuning::default()
+        };
+        let knobs = KnobSettings {
+            cpu: CpuAllocation {
+                cores: 2,
+                share: 1.0,
+            },
+            llc_fraction: 0.4,
+            ..KnobSettings::default_tuned()
+        };
+        let nodes = (0..1000)
+            .map(|ni| NodeSpec {
+                profile: NodeProfile::paper_default(),
+                tenants: vec![TenantSpec {
+                    name: format!("fleet-{ni}"),
+                    nfs: ChainSpec::lightweight(ChainId(0)).nfs,
+                    sla: TenantSla::new(Sla::EnergyEfficiency),
+                    knobs,
+                    traffic: if ni == 0 {
+                        TrafficSpec::Replay {
+                            trace: Self::diurnal_trace_data(),
+                            jitter_frac: 0.05,
+                        }
+                    } else {
+                        TrafficSpec::Replay {
+                            trace: Trace::new(
+                                "plateau",
+                                vec![TracePoint {
+                                    duration_s: 3600.0,
+                                    rate_pps: 1.0e5 + ni as f64 * 1.1e3,
+                                    packet_size: [256, 512, 1024][ni % 3],
+                                    burstiness: 1.3,
+                                }],
+                            )
+                            .expect("static trace is valid"),
+                            jitter_frac: 0.0,
+                        }
+                    },
+                }],
+            })
+            .collect();
+        Scenario {
+            name: "fleet-diurnal-1000".into(),
+            epochs: 6,
+            seed: 53,
+            tuning,
+            policy: PlatformPolicy::greennfv(),
+            evaluation: EvalMode::Incremental,
+            nodes,
         }
     }
 }

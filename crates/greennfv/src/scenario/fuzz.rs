@@ -1,0 +1,586 @@
+//! Seeded, grammar-driven scenario fuzzing.
+//!
+//! [`corpus`] expands one master seed into a list of structurally valid
+//! [`Scenario`] descriptors by walking a small generation grammar instead of
+//! drawing raw field values: every draw is made against the subsystem's own
+//! budgets (node core budget, CAT way budget, profile frequency range,
+//! packet-size and batch bounds), so a generated scenario always passes
+//! [`Scenario::validate`] *and* [`Scenario::build_cluster`] — the corpus
+//! probes the evaluation paths, not the input validators.
+//!
+//! Each scenario is stamped from one of five [`FuzzShape`]s, the stress
+//! patterns the registry's hand-written scenarios only sample pointwise:
+//!
+//! * **flash crowd** — replayed traffic with a mid-horizon spike segment at
+//!   several times the steady rate, then recovery;
+//! * **node failure** — one node's tenants black out mid-horizon (their
+//!   replay rate collapses) while the survivors absorb a failover surge;
+//! * **DVFS throttle** — edge-profile nodes pinned at their minimum
+//!   frequency while the offered load ramps to a peak (thermal capping);
+//! * **tenant storm** — many bursty on/off tenants crammed onto few nodes
+//!   under tight way partitioning and loss caps;
+//! * **diurnal fleet** — tens of nodes on flat plateau replays with one
+//!   jittered diurnal churn node, the incremental-evaluation regime.
+//!
+//! Everything is deterministic: the same `(seed, n)` produces the same
+//! corpus, and each scenario's own master seed makes its runs reproducible.
+//! `tests/fuzz_corpus.rs` runs the corpus differentially — fused vs serial
+//! epochs and full vs incremental evaluation, bit for bit — and the CI
+//! fuzz-smoke job replays it on every push. Corpus members that earn a
+//! permanent slot graduate into [`Scenario::registry`] as hand-written
+//! constructors (see `flash-crowd-replay` and friends) so later generator
+//! changes can never silently rewrite a named scenario.
+
+use nfv_sim::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::scenario::{NodeSpec, Scenario, TenantSpec, TrafficSpec};
+use crate::sla::{Sla, TenantSla};
+
+/// Stress pattern a fuzzed scenario is built around.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuzzShape {
+    /// Mid-horizon traffic spike at several times the steady rate.
+    FlashCrowd,
+    /// One node's traffic collapses mid-horizon; survivors absorb a surge.
+    NodeFailure,
+    /// Edge nodes pinned at minimum frequency under a ramping load.
+    DvfsThrottle,
+    /// Many bursty on/off tenants under tight partitioning and loss caps.
+    TenantStorm,
+    /// A plateau fleet with one diurnal churn node (incremental regime).
+    DiurnalFleet,
+}
+
+impl FuzzShape {
+    /// Every shape, in the order the corpus cycles through them.
+    pub const ALL: [FuzzShape; 5] = [
+        FuzzShape::FlashCrowd,
+        FuzzShape::NodeFailure,
+        FuzzShape::DvfsThrottle,
+        FuzzShape::TenantStorm,
+        FuzzShape::DiurnalFleet,
+    ];
+
+    /// Short name, used in generated scenario names.
+    pub fn name(self) -> &'static str {
+        match self {
+            FuzzShape::FlashCrowd => "flash-crowd",
+            FuzzShape::NodeFailure => "node-failure",
+            FuzzShape::DvfsThrottle => "dvfs-throttle",
+            FuzzShape::TenantStorm => "tenant-storm",
+            FuzzShape::DiurnalFleet => "diurnal-fleet",
+        }
+    }
+}
+
+/// SplitMix64-style avalanche so per-scenario seeds never alias even for
+/// adjacent corpus indices.
+fn mix(seed: u64, i: u64) -> u64 {
+    let mut z = seed ^ i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Generates one valid scenario from `seed`, cycling the [`FuzzShape`]s so
+/// any contiguous seed range covers every shape.
+pub fn fuzz_scenario(seed: u64) -> Scenario {
+    let shape = FuzzShape::ALL[(seed % FuzzShape::ALL.len() as u64) as usize];
+    fuzz_scenario_shaped(shape, seed)
+}
+
+/// Generates one valid scenario of the given shape from `seed`.
+pub fn fuzz_scenario_shaped(shape: FuzzShape, seed: u64) -> Scenario {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(mix(seed, 0x5ce0)),
+    };
+    let mut sc = match shape {
+        FuzzShape::FlashCrowd => g.flash_crowd(),
+        FuzzShape::NodeFailure => g.node_failure(),
+        FuzzShape::DvfsThrottle => g.dvfs_throttle(),
+        FuzzShape::TenantStorm => g.tenant_storm(),
+        FuzzShape::DiurnalFleet => g.diurnal_fleet(),
+    };
+    sc.name = format!("fuzz-{}-{seed:016x}", shape.name());
+    sc.seed = seed;
+    sc
+}
+
+/// Expands `seed` into `n` valid scenarios (the seeded fuzz corpus).
+pub fn corpus(seed: u64, n: usize) -> Vec<Scenario> {
+    (0..n as u64).map(|i| fuzz_scenario(mix(seed, i))).collect()
+}
+
+/// Cores available to NF chains on every node (the allocator reserves the
+/// manager cores out of [`SimTuning`]'s default core count).
+const NF_CORE_BUDGET: u32 = 14;
+
+/// Ceiling on the summed per-node `llc_fraction` draws. Way rounding can add
+/// up to half a way per tenant, so the margin keeps the rounded total inside
+/// even the edge profile's 11 application ways for up to 5 tenants.
+const LLC_BUDGET: f64 = 0.75;
+
+/// The packet-size grid the generator draws from (wire bytes).
+const PACKET_SIZES: [u32; 7] = [64, 128, 256, 512, 1024, 1280, 1518];
+
+/// The batch-size grid (all inside the engine's `[1, 320]` bound).
+const BATCHES: [u32; 8] = [1, 8, 16, 32, 64, 128, 256, 320];
+
+struct Gen {
+    rng: StdRng,
+}
+
+impl Gen {
+    // -- primitive draws ---------------------------------------------------
+
+    fn packet_size(&mut self) -> u32 {
+        PACKET_SIZES[self.rng.random_range(0..PACKET_SIZES.len())]
+    }
+
+    fn burstiness(&mut self) -> f64 {
+        self.rng.random_range(1.0..=3.0)
+    }
+
+    /// Mean offered rate in pps, spanning trickle to stress.
+    fn rate(&mut self) -> f64 {
+        self.rng.random_range(1.0e5..2.0e6)
+    }
+
+    /// A frequency on the DVFS ladder inside `profile`'s range.
+    fn freq_for(&mut self, profile: &NodeProfile) -> f64 {
+        let steps = ((profile.freq_max_ghz - profile.freq_min_ghz) / FREQ_STEP_GHZ).round() as u32;
+        let k = self.rng.random_range(0..=steps);
+        (profile.freq_min_ghz + FREQ_STEP_GHZ * f64::from(k)).min(profile.freq_max_ghz)
+    }
+
+    /// A random chain: a shuffled subset of the NF catalogue (no duplicate
+    /// kinds, length within the chain cap).
+    fn chain(&mut self, max_len: usize) -> Vec<NfKind> {
+        let mut kinds = NfKind::ALL;
+        // Fisher–Yates; taking the first `len` gives a uniform subset.
+        for i in (1..kinds.len()).rev() {
+            kinds.swap(i, self.rng.random_range(0..=i));
+        }
+        let len = self.rng.random_range(1..=max_len.min(kinds.len()));
+        kinds[..len].to_vec()
+    }
+
+    /// Splits the per-node core budget across `tenants`, each getting 1–3
+    /// cores and the total never exceeding [`NF_CORE_BUDGET`].
+    fn core_split(&mut self, tenants: usize) -> Vec<u32> {
+        let mut left = NF_CORE_BUDGET;
+        (0..tenants as u32)
+            .map(|i| {
+                let rest = tenants as u32 - i - 1; // later tenants need >= 1 each
+                let hi = (left - rest).clamp(1, 3);
+                let c = self.rng.random_range(1..=hi);
+                left -= c;
+                c
+            })
+            .collect()
+    }
+
+    /// Per-tenant LLC fractions whose sum stays under [`LLC_BUDGET`].
+    fn llc_split(&mut self, tenants: usize) -> Vec<f64> {
+        let per = LLC_BUDGET / tenants as f64;
+        (0..tenants)
+            .map(|_| self.rng.random_range(0.05..per))
+            .collect()
+    }
+
+    fn knobs(&mut self, profile: &NodeProfile, cores: u32, llc_fraction: f64) -> KnobSettings {
+        let share = if self.rng.random_bool(0.25) {
+            self.rng.random_range(0.5..=1.0)
+        } else {
+            1.0
+        };
+        KnobSettings {
+            cpu: CpuAllocation { cores, share },
+            freq_ghz: self.freq_for(profile),
+            llc_fraction,
+            dma: DmaBuffer::from_mb(f64::from(self.rng.random_range(1..=40u32))),
+            batch: BATCHES[self.rng.random_range(0..BATCHES.len())],
+        }
+    }
+
+    fn sla(&mut self) -> TenantSla {
+        let base = match self.rng.random_range(0..4u32) {
+            0 => TenantSla::new(Sla::EnergyEfficiency),
+            1 => TenantSla::new(Sla::MinEnergy {
+                throughput_floor_gbps: self.rng.random_range(0.05..0.5),
+            }),
+            2 => TenantSla::new(Sla::MaxThroughput {
+                energy_cap_j: self.rng.random_range(500.0..50_000.0),
+            }),
+            _ => TenantSla::new(Sla::EnergyEfficiency)
+                .with_loss_cap(self.rng.random_range(0.05..0.3)),
+        };
+        if self.rng.random_bool(0.3) {
+            base.with_weight(self.rng.random_range(0.5..2.0))
+        } else {
+            base
+        }
+    }
+
+    /// Scenario skeleton with the model-level draws (epoch count, epoch
+    /// length, evaluation mode) filled in; the caller supplies nodes.
+    fn skeleton(&mut self, epochs: u32, epoch_s: f64, nodes: Vec<NodeSpec>) -> Scenario {
+        Scenario {
+            name: String::new(), // stamped by the caller
+            epochs,
+            seed: 0, // stamped by the caller
+            tuning: SimTuning {
+                epoch_s,
+                ..SimTuning::default()
+            },
+            policy: if self.rng.random_bool(0.2) {
+                PlatformPolicy::baseline()
+            } else {
+                PlatformPolicy::greennfv()
+            },
+            // Evaluation mode is a pure cost knob (bit-identical results);
+            // mixing it into the corpus keeps the differential harness
+            // honest about that claim.
+            evaluation: if self.rng.random_bool(0.3) {
+                EvalMode::Incremental
+            } else {
+                EvalMode::Full
+            },
+            nodes,
+        }
+    }
+
+    /// A segmented replay trace: `(relative duration, relative rate)` pairs
+    /// scaled onto the scenario horizon so the segments land where the shape
+    /// wants them (spike mid-horizon, blackout mid-horizon, …).
+    fn segmented_trace(
+        &mut self,
+        name: &str,
+        horizon_s: f64,
+        base_pps: f64,
+        segments: &[(f64, f64)],
+    ) -> Trace {
+        let total: f64 = segments.iter().map(|(d, _)| d).sum();
+        let size = self.packet_size();
+        let burst = self.burstiness();
+        let points = segments
+            .iter()
+            .map(|&(dur, scale)| TracePoint {
+                duration_s: (dur / total * horizon_s).max(1.0),
+                rate_pps: base_pps * scale,
+                packet_size: size,
+                burstiness: burst,
+            })
+            .collect();
+        Trace::new(name, points).expect("generated segments are valid")
+    }
+
+    fn tenant(&mut self, name: String, profile: &NodeProfile, cores: u32, llc: f64) -> TenantSpec {
+        TenantSpec {
+            name,
+            nfs: self.chain(4),
+            sla: self.sla(),
+            knobs: self.knobs(profile, cores, llc),
+            traffic: TrafficSpec::Flows(
+                FlowSet::new(vec![if self.rng.random_bool(0.5) {
+                    FlowSpec::poisson(0, self.rate(), self.packet_size())
+                } else {
+                    FlowSpec::cbr(0, self.rate(), self.packet_size())
+                }])
+                .expect("generated flows are valid"),
+            ),
+        }
+    }
+
+    // -- shape builders ----------------------------------------------------
+
+    /// Replayed traffic with a mid-horizon spike at 3–6× the steady rate.
+    fn flash_crowd(&mut self) -> Scenario {
+        let epochs = self.rng.random_range(3..=4u32);
+        let epoch_s = 30.0;
+        let horizon = f64::from(epochs) * epoch_s;
+        let n_nodes = self.rng.random_range(1..=3usize);
+        let nodes = (0..n_nodes)
+            .map(|ni| {
+                let profile = if self.rng.random_bool(0.5) {
+                    NodeProfile::paper_default()
+                } else {
+                    NodeProfile::high_perf()
+                };
+                let n_tenants = self.rng.random_range(1..=2usize);
+                let cores = self.core_split(n_tenants);
+                let llc = self.llc_split(n_tenants);
+                let tenants = (0..n_tenants)
+                    .map(|ti| {
+                        let mut t =
+                            self.tenant(format!("crowd-{ni}-{ti}"), &profile, cores[ti], llc[ti]);
+                        if ti == 0 {
+                            // The crowd tenant: steady → spike → recovery.
+                            let spike = self.rng.random_range(3.0..6.0);
+                            let base = self.rate();
+                            t.traffic = TrafficSpec::Replay {
+                                trace: self.segmented_trace(
+                                    "flash",
+                                    horizon,
+                                    base,
+                                    &[(0.4, 1.0), (0.2, spike), (0.4, 1.0)],
+                                ),
+                                jitter_frac: self.rng.random_range(0.0..0.1),
+                            };
+                        }
+                        t
+                    })
+                    .collect();
+                NodeSpec { profile, tenants }
+            })
+            .collect();
+        self.skeleton(epochs, epoch_s, nodes)
+    }
+
+    /// One node's replay collapses mid-horizon (failure/drain); every
+    /// surviving node absorbs a failover surge over the same window.
+    fn node_failure(&mut self) -> Scenario {
+        let epochs = self.rng.random_range(3..=4u32);
+        let epoch_s = 30.0;
+        let horizon = f64::from(epochs) * epoch_s;
+        let n_nodes = self.rng.random_range(2..=4usize);
+        let victim = self.rng.random_range(0..n_nodes);
+        let surge = self.rng.random_range(1.3..1.8);
+        let nodes = (0..n_nodes)
+            .map(|ni| {
+                let profile = NodeProfile::paper_default();
+                let base = self.rate();
+                let segments: &[(f64, f64)] = if ni == victim {
+                    // Blackout: the rate collapses to a trickle mid-horizon.
+                    &[(0.4, 1.0), (0.2, 1e-3), (0.4, 1.0)]
+                } else {
+                    &[(0.4, 1.0), (0.2, surge), (0.4, 1.0)]
+                };
+                let trace = self.segmented_trace(
+                    if ni == victim { "blackout" } else { "failover" },
+                    horizon,
+                    base,
+                    segments,
+                );
+                let cores = self.core_split(1)[0];
+                let llc = self.llc_split(1)[0];
+                let mut tenant = self.tenant(format!("svc-{ni}"), &profile, cores, llc);
+                tenant.traffic = TrafficSpec::Replay {
+                    trace,
+                    jitter_frac: self.rng.random_range(0.0..0.05),
+                };
+                NodeSpec {
+                    profile,
+                    tenants: vec![tenant],
+                }
+            })
+            .collect();
+        self.skeleton(epochs, epoch_s, nodes)
+    }
+
+    /// Edge nodes pinned at minimum frequency while the load ramps to a
+    /// mid-horizon peak — the thermal-capping / power-limit regime.
+    fn dvfs_throttle(&mut self) -> Scenario {
+        let epochs = self.rng.random_range(3..=4u32);
+        let epoch_s = 30.0;
+        let horizon = f64::from(epochs) * epoch_s;
+        let n_nodes = self.rng.random_range(1..=3usize);
+        let ramp = self.rng.random_range(2.0..4.0);
+        let nodes = (0..n_nodes)
+            .map(|ni| {
+                let profile = NodeProfile::edge_low_power();
+                let cores = self.core_split(1)[0];
+                let llc = self.llc_split(1)[0];
+                let mut tenant = self.tenant(format!("edge-{ni}"), &profile, cores, llc);
+                // The throttle: the node cannot leave the bottom rung even
+                // as the offered load climbs.
+                tenant.knobs.freq_ghz = profile.freq_min_ghz;
+                let base = self.rate();
+                tenant.traffic = TrafficSpec::Replay {
+                    trace: self.segmented_trace(
+                        "throttle-ramp",
+                        horizon,
+                        base,
+                        &[(0.3, 0.5), (0.4, ramp), (0.3, 0.8)],
+                    ),
+                    jitter_frac: 0.0,
+                };
+                NodeSpec {
+                    profile,
+                    tenants: vec![tenant],
+                }
+            })
+            .collect();
+        self.skeleton(epochs, epoch_s, nodes)
+    }
+
+    /// Many bursty on/off tenants on few nodes under tight partitioning.
+    fn tenant_storm(&mut self) -> Scenario {
+        let epochs = self.rng.random_range(3..=5u32);
+        let n_nodes = self.rng.random_range(1..=2usize);
+        let nodes = (0..n_nodes)
+            .map(|ni| {
+                let profile = NodeProfile::paper_default();
+                let n_tenants = self.rng.random_range(3..=5usize);
+                let cores = self.core_split(n_tenants);
+                let llc = self.llc_split(n_tenants);
+                let tenants = (0..n_tenants)
+                    .map(|ti| {
+                        let mut t =
+                            self.tenant(format!("storm-{ni}-{ti}"), &profile, cores[ti], llc[ti]);
+                        t.sla = TenantSla::new(Sla::EnergyEfficiency)
+                            .with_loss_cap(self.rng.random_range(0.05..0.2));
+                        t.traffic = TrafficSpec::Flows(
+                            FlowSet::new(vec![FlowSpec {
+                                id: 0,
+                                rate_pps: self.rng.random_range(5.0e5..2.5e6),
+                                packet_size: self.packet_size(),
+                                pattern: ArrivalPattern::MarkovOnOff {
+                                    peak_factor: self.rng.random_range(2.0..4.0),
+                                    on_fraction: self.rng.random_range(0.2..0.6),
+                                },
+                            }])
+                            .expect("generated flows are valid"),
+                        );
+                        t
+                    })
+                    .collect();
+                NodeSpec { profile, tenants }
+            })
+            .collect();
+        self.skeleton(epochs, 30.0, nodes)
+    }
+
+    /// A fleet of plateau nodes with one jittered diurnal churn node — the
+    /// low-churn regime incremental evaluation exists for.
+    fn diurnal_fleet(&mut self) -> Scenario {
+        let epochs = self.rng.random_range(2..=3u32);
+        let n_nodes = self.rng.random_range(16..=64usize);
+        let nodes = (0..n_nodes)
+            .map(|ni| {
+                let profile = NodeProfile::paper_default();
+                let cores = self.core_split(1)[0];
+                let llc = self.llc_split(1)[0];
+                let mut tenant = self.tenant(format!("fleet-{ni}"), &profile, cores, llc);
+                tenant.traffic = if ni == 0 {
+                    TrafficSpec::Replay {
+                        trace: Scenario::diurnal_trace_data(),
+                        jitter_frac: self.rng.random_range(0.01..0.1),
+                    }
+                } else {
+                    // Zero-jitter plateau: the sampled load never moves, so
+                    // the lane stays clean from the second epoch on.
+                    TrafficSpec::Replay {
+                        trace: Trace::new(
+                            "plateau",
+                            vec![TracePoint {
+                                duration_s: 3600.0,
+                                rate_pps: self.rate(),
+                                packet_size: self.packet_size(),
+                                burstiness: self.burstiness(),
+                            }],
+                        )
+                        .expect("generated plateau is valid"),
+                        jitter_frac: 0.0,
+                    }
+                };
+                NodeSpec {
+                    profile,
+                    tenants: vec![tenant],
+                }
+            })
+            .collect();
+        let mut sc = self.skeleton(epochs, 1800.0, nodes);
+        // This shape exists to exercise the dirty-lane machinery; force it.
+        sc.evaluation = EvalMode::Incremental;
+        sc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corpus_is_deterministic_valid_and_buildable() {
+        let a = corpus(7, 16);
+        let b = corpus(7, 16);
+        assert_eq!(a, b, "same master seed must reproduce the corpus");
+        for sc in &a {
+            sc.validate().unwrap_or_else(|e| panic!("{}: {e}", sc.name));
+            sc.build_cluster()
+                .unwrap_or_else(|e| panic!("{}: {e}", sc.name));
+        }
+        let c = corpus(8, 16);
+        assert_ne!(a, c, "different master seeds must differ");
+    }
+
+    #[test]
+    fn contiguous_seeds_cover_every_shape() {
+        let mut seen = std::collections::HashSet::new();
+        for seed in 0..10u64 {
+            let sc = fuzz_scenario(seed);
+            for shape in FuzzShape::ALL {
+                if sc.name.contains(shape.name()) {
+                    seen.insert(shape);
+                }
+            }
+        }
+        assert_eq!(seen.len(), FuzzShape::ALL.len(), "a shape never appeared");
+    }
+
+    #[test]
+    fn shaped_generation_is_stamped_and_seeded() {
+        for shape in FuzzShape::ALL {
+            let sc = fuzz_scenario_shaped(shape, 0xBEEF);
+            assert!(sc.name.contains(shape.name()), "{}", sc.name);
+            assert_eq!(sc.seed, 0xBEEF);
+            sc.validate().expect("shaped scenarios validate");
+        }
+    }
+
+    #[test]
+    fn generated_budgets_fit_every_node() {
+        for sc in corpus(99, 24) {
+            for node in &sc.nodes {
+                let cores: u32 = node.tenants.iter().map(|t| t.knobs.cpu.cores).sum();
+                assert!(cores <= NF_CORE_BUDGET, "{}: {cores} cores", sc.name);
+                let llc: f64 = node.tenants.iter().map(|t| t.knobs.llc_fraction).sum();
+                assert!(llc <= LLC_BUDGET + 1e-9, "{}: {llc} llc", sc.name);
+                for t in &node.tenants {
+                    let f = t.knobs.freq_ghz;
+                    assert!(
+                        f >= node.profile.freq_min_ghz - 1e-9
+                            && f <= node.profile.freq_max_ghz + 1e-9,
+                        "{}: freq {f} outside profile",
+                        sc.name
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn mid_horizon_events_land_mid_horizon() {
+        // The blackout/spike segment must start after the first epoch and
+        // end before the last one, so the event is visible *inside* a run.
+        let sc = fuzz_scenario_shaped(FuzzShape::NodeFailure, 3);
+        let horizon = f64::from(sc.epochs) * sc.tuning.epoch_s;
+        let blackout = sc
+            .nodes
+            .iter()
+            .flat_map(|n| &n.tenants)
+            .find_map(|t| match &t.traffic {
+                TrafficSpec::Replay { trace, .. } if trace.name() == "blackout" => Some(trace),
+                _ => None,
+            })
+            .expect("node-failure scenarios contain a blackout trace");
+        let points = blackout.points();
+        let start: f64 = points[0].duration_s;
+        let end = start + points[1].duration_s;
+        assert!(start > 0.0 && end < horizon, "{start}..{end} vs {horizon}");
+        assert!(points[1].rate_pps < 0.01 * points[0].rate_pps);
+    }
+}

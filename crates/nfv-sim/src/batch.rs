@@ -10,16 +10,19 @@
 //! trivially parallel; [`crate::par`] auto-chunks large batches across
 //! threads while small ones run inline.
 //!
-//! **Column-pass kernel.** The batch is evaluated in *column passes* rather
-//! than one lane at a time: a validate pass builds the lane mask, then the
-//! load, miss-model, cycles, and capacity stages of the analytic model —
-//! the generic `pass_*` functions of [`crate::engine`] — sweep the SoA
-//! columns [`crate::simd::WIDTH`] lanes at a time as
-//! [`F64x8`] bundles (with a scalar tail for the
-//! remainder), the M/M/1/K loss stage runs per lane (its `powf`/`ln`
-//! transcendentals stay scalar by design), and a final wide pass scatters
-//! the outputs. See [`crate::simd`] for why the wide and scalar
-//! instantiations of the same pass are bit-identical.
+//! **Fused column kernel.** The batch is evaluated in wide column sweeps
+//! rather than one lane at a time: a validate pass builds the lane mask,
+//! then one fused compute sweep runs the whole analytic model — the load,
+//! miss-model, cycles, capacity, M/M/1/K loss, and output stages, the
+//! generic `pass_*` functions of [`crate::engine`] — over the SoA columns
+//! [`crate::simd::WIDTH`] lanes at a time as [`F64x8`] bundles (with a
+//! scalar tail for the remainder). The loss stage runs the
+//! [`crate::simd::wide_ln`]/[`crate::simd::wide_exp`] polynomial kernels
+//! instead of per-lane `powf`/`ln`, and every intermediate (packet size,
+//! miss rate, cycles/packet, capacity, loss) stays in registers between
+//! stages instead of round-tripping through scratch columns. See
+//! [`crate::simd`] for why the wide and scalar instantiations of the same
+//! pass are bit-identical.
 //!
 //! **Equivalence contract.** A batch evaluation is *bit-identical*, lane by
 //! lane, to validating the lane's knobs and calling the scalar
@@ -37,10 +40,11 @@
 
 use crate::chain::ChainCost;
 use crate::cpu::CpuAllocation;
-use crate::dma::{buffer_loss, DmaBuffer};
+use crate::dma::{DmaBuffer, DMA_MAX_BYTES, DMA_MIN_BYTES};
+use crate::dvfs::{FREQ_MAX_GHZ, FREQ_MIN_GHZ};
 use crate::engine::{
-    pass_capacity, pass_cycles, pass_load, pass_miss_rate, pass_outputs, ChainEpochResult,
-    ChainLoad, KnobSettings, SimTuning,
+    pass_capacity, pass_cycles, pass_load, pass_loss, pass_miss_rate, pass_outputs,
+    ChainEpochResult, ChainLoad, KnobSettings, SimTuning, BATCH_MAX, BATCH_MIN,
 };
 use crate::error::{SimError, SimResult};
 use crate::par;
@@ -532,22 +536,27 @@ pub fn sweep_chain_batch_incremental_threads(
     }
 }
 
-/// The column-pass kernel: evaluates lanes `range` of `batch` by sweeping
-/// each stage of the analytic model over the SoA columns.
+/// The column kernel: evaluates lanes `range` of `batch` by sweeping the
+/// analytic model over the SoA columns.
 ///
 /// Stage order (one sweep each):
 ///
 /// 1. **validate** — per-lane knob validation into a mask of
-///    `Option<SimError>` (the only stage that builds structs);
-/// 2. **load / miss-model / cycles / capacity** — the generic passes of
-///    [`crate::engine`] applied [`WIDTH`] lanes at a time as [`F64x8`]
-///    bundles, with a scalar (`W = f64`) tail for the remainder — the same
-///    generic code either way, so the split point cannot shift bits;
-/// 3. **M/M/1/K loss** — per-lane scalar [`buffer_loss`]: blocking
-///    probability needs `powf`/`ln` and integer slot math, which stay
-///    scalar by design (and skip masked lanes entirely);
-/// 4. **outputs** — wide again, scattered into lane-ordered
-///    [`ChainEpochResult`]s with masked lanes yielding their `Err`.
+///    `Option<SimError>` (the only stage that builds structs). A
+///    branchless column pre-check proves the common all-valid case in one
+///    cheap sweep;
+/// 2. **fused compute + scatter** — one sweep runs load → miss-model →
+///    cycles → capacity → M/M/1/K loss → outputs — the generic passes of
+///    [`crate::engine`] — applied [`WIDTH`] lanes at a time as [`F64x8`]
+///    bundles, with a scalar (`W = f64`) tail for the remainder; the same
+///    generic code either way, so the split point cannot shift bits. Every
+///    intermediate stays in registers between stages (storing and
+///    reloading an `f64` is bit-exact, so fusing the former per-stage
+///    sweeps changed no results). The loss stage runs the
+///    [`crate::simd::wide_ln`]/[`crate::simd::wide_exp`] polynomial kernels
+///    (via [`crate::engine::pass_loss`]) instead of per-lane `powf`/`ln`.
+///    Each bundle scatters lane-ordered [`ChainEpochResult`]s with masked
+///    lanes yielding their `Err`.
 ///
 /// Masked (invalid-knob) lanes still flow through the wide arithmetic —
 /// every operation is an element-wise float op, so garbage lanes cannot
@@ -555,8 +564,7 @@ pub fn sweep_chain_batch_incremental_threads(
 /// scatter time.
 ///
 /// Large ranges are processed in [`BLOCK_LANES`]-sized blocks so the input
-/// columns plus scratch stay cache-resident across all passes (sweeping a
-/// 16k-lane batch column-by-column would stream megabytes per pass).
+/// columns stay cache-resident between the validate and compute sweeps.
 /// Because every pass is element-wise per lane, the block size — like the
 /// wide/tail split and the thread-chunk boundaries — cannot shift bits.
 fn eval_columns(
@@ -575,40 +583,67 @@ fn eval_columns(
     out
 }
 
-/// Lanes per kernel block: 256 lanes keep the ~15 input columns plus the
-/// [`Scratch`] columns (~44 KB total) inside L1/L2 while every pass sweeps
-/// the block, and still give the wide loops long runs of full [`WIDTH`]
-/// chunks.
+/// Lanes per kernel block: 256 lanes keep the ~15 input columns (~30 KB)
+/// inside L1/L2 between the validate sweep and the fused compute sweep,
+/// and still give the wide loops long runs of full [`WIDTH`] chunks.
 const BLOCK_LANES: usize = 256;
 
-/// Reusable per-block scratch columns carried between passes.
+/// Reusable per-block scratch carried between the validate and compute
+/// sweeps: just the lane mask — the fused compute sweep keeps every
+/// numeric intermediate in registers.
 #[derive(Default)]
 struct Scratch {
     mask: Vec<Option<SimError>>,
-    pkt: Vec<f64>,
-    arrival: Vec<f64>,
-    miss: Vec<f64>,
-    cpp: Vec<f64>,
-    capacity: Vec<f64>,
-    loss: Vec<f64>,
 }
 
 impl Scratch {
     fn with_capacity(lanes: usize) -> Self {
         Self {
             mask: Vec::with_capacity(lanes),
-            pkt: vec![0.0; lanes],
-            arrival: vec![0.0; lanes],
-            miss: vec![0.0; lanes],
-            cpp: vec![0.0; lanes],
-            capacity: vec![0.0; lanes],
-            loss: vec![0.0; lanes],
         }
     }
 }
 
 /// One [`BLOCK_LANES`]-bounded block of the column-pass kernel; see
 /// [`eval_columns`] for the stage list.
+/// Column-sweep twin of per-lane [`KnobSettings::validate`]: proves every
+/// lane of a chunk valid with pure (branchless, autovectorizable) f64 range
+/// compares, without reconstructing a single `KnobSettings`.
+///
+/// Returning `true` *guarantees* per-lane `validate()` would return `Ok`
+/// for every lane — for arbitrary column contents, not just the
+/// integer-valued ones the `push` API produces: the float→int casts in
+/// `lane_knobs` truncate toward zero, so `x ∈ [MIN, MAX]` implies
+/// `trunc(x) ∈ [MIN, MAX]` for the integer knobs, and the other checks are
+/// literally the same comparisons `validate` performs (NaN fails them
+/// here exactly as it fails there). `false` only means "could not prove
+/// it": the caller re-checks per lane, so a conservative miss costs time,
+/// never correctness.
+fn knob_columns_all_valid(
+    cores: &[f64],
+    share: &[f64],
+    freq: &[f64],
+    llc_fraction: &[f64],
+    dma_bytes: &[f64],
+    batch_knob: &[f64],
+) -> bool {
+    let mut ok = true;
+    for i in 0..cores.len() {
+        ok &= (cores[i] >= 1.0)
+            & (share[i] > 0.0)
+            & (share[i] <= 1.0)
+            & (freq[i] >= FREQ_MIN_GHZ - 1e-9)
+            & (freq[i] <= FREQ_MAX_GHZ + 1e-9)
+            & (llc_fraction[i] >= 0.0)
+            & (llc_fraction[i] <= 1.0)
+            & (dma_bytes[i] >= DMA_MIN_BYTES as f64)
+            & (dma_bytes[i] <= DMA_MAX_BYTES as f64)
+            & (batch_knob[i] >= f64::from(BATCH_MIN))
+            & (batch_knob[i] <= f64::from(BATCH_MAX));
+    }
+    ok
+}
+
 fn eval_block(
     batch: &ChainBatch,
     tuning: &SimTuning,
@@ -638,22 +673,29 @@ fn eval_block(
     let burst = &batch.burstiness[range.clone()];
     let llc = &batch.llc_bytes[range.clone()];
 
-    // Validate pass: lane mask (None = valid lane).
+    // Validate pass. The column pre-check proves the whole chunk valid
+    // with branchless f64 range compares (the overwhelmingly common case —
+    // every lane pushed through the typed `push` API is valid), and a
+    // proven-valid chunk skips the mask entirely: no per-lane writes here,
+    // no per-lane `take()` at scatter time. Only chunks the pre-check
+    // cannot prove fall back to per-lane struct validation, which formats
+    // the exact same `SimError`s as the scalar path.
     scratch.mask.clear();
-    for i in range {
-        scratch.mask.push(batch.lane_knobs(i).validate().err());
+    let all_valid = knob_columns_all_valid(
+        cores,
+        share,
+        freq,
+        &batch.llc_fraction[range.clone()],
+        dma_bytes,
+        batch_knob,
+    );
+    if !all_valid {
+        for i in range {
+            scratch.mask.push(batch.lane_knobs(i).validate().err());
+        }
     }
 
-    // Scratch columns carried between passes. Stale values past `n` (or
-    // under masked lanes, for `loss`) are never read: every loop below is
-    // bounded by `n` and masked lanes scatter their `Err` instead.
     let mask = &mut scratch.mask;
-    let pkt = &mut scratch.pkt[..n];
-    let arrival = &mut scratch.arrival[..n];
-    let miss = &mut scratch.miss[..n];
-    let cpp = &mut scratch.cpp[..n];
-    let capacity = &mut scratch.capacity[..n];
-    let loss = &mut scratch.loss[..n];
 
     // Runs one pass over the whole chunk: full `WIDTH`-lane bundles first,
     // then the same generic pass one lane at a time for the remainder.
@@ -672,37 +714,27 @@ fn eval_block(
         }};
     }
 
-    macro_rules! load_pass {
+    // The whole analytic model for one bundle, intermediates in registers.
+    // Masked lanes flow through like every other lane — every stage is an
+    // element-wise float op, so garbage values cannot panic or perturb
+    // their neighbours — and scatter their `Err` instead of the outputs.
+    macro_rules! fused_pass {
         ($W:ty, $j:ident) => {{
-            let (p, a) = pass_load::<$W>(<$W>::load(arrival_col, $j), <$W>::load(mps, $j), tuning);
-            p.store(pkt, $j);
-            a.store(arrival, $j);
-        }};
-    }
-    sweep!(load_pass);
-
-    macro_rules! miss_pass {
-        ($W:ty, $j:ident) => {{
-            pass_miss_rate::<$W>(
-                <$W>::load(pkt, $j),
-                <$W>::load(arrival, $j),
+            let (pkt, arrival) =
+                pass_load::<$W>(<$W>::load(arrival_col, $j), <$W>::load(mps, $j), tuning);
+            let miss = pass_miss_rate::<$W>(
+                pkt,
+                arrival,
                 <$W>::load(batch_knob, $j),
                 <$W>::load(hops, $j),
                 <$W>::load(state, $j),
                 <$W>::load(dma_bytes, $j),
                 <$W>::load(llc, $j),
                 tuning,
-            )
-            .store(miss, $j);
-        }};
-    }
-    sweep!(miss_pass);
-
-    macro_rules! cycles_pass {
-        ($W:ty, $j:ident) => {{
-            pass_cycles::<$W>(
-                <$W>::load(pkt, $j),
-                <$W>::load(miss, $j),
+            );
+            let cpp = pass_cycles::<$W>(
+                pkt,
+                miss,
                 <$W>::load(batch_knob, $j),
                 <$W>::load(hops, $j),
                 <$W>::load(freq, $j),
@@ -710,76 +742,60 @@ fn eval_block(
                 <$W>::load(cyc_byte, $j),
                 <$W>::load(mem_refs, $j),
                 tuning,
-            )
-            .store(cpp, $j);
-        }};
-    }
-    sweep!(cycles_pass);
-
-    macro_rules! capacity_pass {
-        ($W:ty, $j:ident) => {{
-            pass_capacity::<$W>(
-                <$W>::load(cpp, $j),
+            );
+            let capacity = pass_capacity::<$W>(
+                cpp,
                 <$W>::load(cores, $j),
                 <$W>::load(share, $j),
                 <$W>::load(freq, $j),
                 tuning,
-            )
-            .store(capacity, $j);
-        }};
-    }
-    sweep!(capacity_pass);
-
-    // M/M/1/K loss pass: scalar per lane (powf/ln + integer slot math);
-    // masked lanes are skipped — their loss is never read.
-    for j in 0..n {
-        if mask[j].is_none() {
-            loss[j] = buffer_loss(
-                arrival[j],
-                capacity[j],
-                DmaBuffer {
-                    bytes: dma_bytes[j] as u64,
-                },
-                pkt[j] as u32,
-                burst[j],
-                batch_knob[j] as u32,
             );
-        }
-    }
-
-    // Output pass: wide math, scattered into lane-ordered results.
-    macro_rules! output_pass {
-        ($W:ty, $j:ident) => {{
+            // M/M/1/K loss via the wide `wide_ln`/`wide_exp` polynomial
+            // kernels (see `pass_loss`).
+            let loss = pass_loss::<$W>(
+                arrival,
+                capacity,
+                <$W>::load(dma_bytes, $j),
+                pkt,
+                <$W>::load(burst, $j),
+                <$W>::load(batch_knob, $j),
+            );
             let o = pass_outputs::<$W>(
-                <$W>::load(pkt, $j),
-                <$W>::load(arrival, $j),
-                <$W>::load(capacity, $j),
-                <$W>::load(loss, $j),
-                <$W>::load(miss, $j),
+                pkt,
+                arrival,
+                capacity,
+                loss,
+                miss,
                 <$W>::load(mem_refs, $j),
                 <$W>::load(cores, $j),
                 <$W>::load(share, $j),
                 tuning,
             );
-            for k in 0..<$W as WideLane>::LANES {
-                let i = $j + k;
-                out.push(match mask[i].take() {
-                    Some(e) => Err(e),
-                    None => Ok(ChainEpochResult {
-                        throughput_gbps: o.throughput_gbps.lane(k),
-                        delivered_pps: o.delivered_pps.lane(k),
-                        loss_frac: o.loss_frac.lane(k),
-                        miss_rate: miss[i],
-                        llc_misses: o.llc_misses.lane(k),
-                        cpu_util: o.cpu_util.lane(k),
-                        busy_core_seconds: o.busy_core_seconds.lane(k),
-                        cycles_per_packet: cpp[i],
-                    }),
-                });
+            let result = |k: usize| ChainEpochResult {
+                throughput_gbps: o.throughput_gbps.lane(k),
+                delivered_pps: o.delivered_pps.lane(k),
+                loss_frac: o.loss_frac.lane(k),
+                miss_rate: miss.lane(k),
+                llc_misses: o.llc_misses.lane(k),
+                cpu_util: o.cpu_util.lane(k),
+                busy_core_seconds: o.busy_core_seconds.lane(k),
+                cycles_per_packet: cpp.lane(k),
+            };
+            if all_valid {
+                // `Map<Range>` is `TrustedLen`, so this extend writes the
+                // bundle without a per-lane capacity check.
+                out.extend((0..<$W as WideLane>::LANES).map(|k| Ok(result(k))));
+            } else {
+                for k in 0..<$W as WideLane>::LANES {
+                    out.push(match mask[$j + k].take() {
+                        Some(e) => Err(e),
+                        None => Ok(result(k)),
+                    });
+                }
             }
         }};
     }
-    sweep!(output_pass);
+    sweep!(fused_pass);
 }
 
 #[cfg(test)]

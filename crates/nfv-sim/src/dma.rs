@@ -21,6 +21,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::{SimError, SimResult};
+use crate::simd::{wide_exp, wide_ln, WideLane};
 
 /// Minimum DMA buffer the knob may select, in bytes (512 KB).
 pub const DMA_MIN_BYTES: u64 = 512 * 1024;
@@ -93,6 +94,80 @@ pub fn mm1k_loss(rho: f64, k: u64) -> f64 {
     (num / den).clamp(0.0, 1.0)
 }
 
+/// Wide twin of [`mm1k_loss`]: the M/M/1/K blocking probability over
+/// [`WideLane`] bundles, with the transcendentals supplied by
+/// [`wide_ln`]/[`wide_exp`] instead of `std`.
+///
+/// This is the loss math the engine actually runs — `mm1k_loss_lanes::<f64>`
+/// *is* the scalar loss stage of `evaluate_chain`, and the batch kernel runs
+/// the identical expression eight lanes at a time, so the two stay
+/// bit-identical by construction. The `std`-based [`mm1k_loss`] above is
+/// kept as the independent reference the accuracy tests compare against.
+///
+/// Branches become per-lane selects, evaluated innermost-last so precedence
+/// matches the scalar ladder exactly:
+///
+/// 1. `ρ ≤ 0` → 0 (also what discards the NaN that [`wide_ln`] leaks for
+///    non-positive ρ);
+/// 2. `|ρ − 1| < 1e-9` → the analytic `ρ → 1` limit `1/(K+1)` (the closed
+///    form is 0/0 at ρ = 1);
+/// 3. `K·ln ρ > 500` → the overflow guard `(ρ−1)/ρ` (implies ρ > 1, since
+///    `K ≥ 1`; the closed form's `ρ^{K+1}` would overflow);
+/// 4. otherwise → the closed form `(1−ρ)ρ^K / (1−ρ^{K+1})`, clamped to
+///    [0, 1].
+///
+/// `k` carries the queue depth as an integer-valued f64 lane; it is clamped
+/// to ≥ 1 like the scalar path. Garbage lanes (masked batch lanes) flow
+/// through safely: every operation is total and the selects discard any
+/// NaN/inf the dead branches produce.
+pub fn mm1k_loss_lanes<W: WideLane>(rho: W, k: W) -> W {
+    let zero = W::splat(0.0);
+    let one = W::splat(1.0);
+    let kf = k.vmax(one);
+
+    // Flush fast path — the dominant operating regime. `ln ρ ≤ ρ − 1`, so
+    // `K·(ρ−1) < EXP_MIN` on a lane forces `t = K·ln ρ < EXP_MIN` there,
+    // `ρ^K` flushes to exact `+0` (see [`wide_exp`]), and the full ladder
+    // collapses to `+0` (`ρ ≤ 0` lanes exit through the final select with
+    // the same `+0`; NaN fails the predicate). A sub-saturated chain with
+    // a deep buffer sits far inside this region (ρ = 0.9 with K = 10⁴
+    // gives K·(ρ−1) = −10³), so when *every* lane of the bundle agrees —
+    // [`WideLane::all_lt`] — the pass skips both transcendentals and the
+    // divide outright, bit-exactly. The `K < 2^31` guard keeps the near-1
+    // limit window out of reach (`|ρ−1| > 708/2^31 ≫ 1e-9`) so the
+    // short-cut is bit-exact for *all* inputs, not just valid ones.
+    let two31 = W::splat(2_147_483_648.0);
+    if kf.all_lt(two31) && (kf * (rho - one)).all_lt(W::splat(crate::simd::EXP_MIN)) {
+        return zero;
+    }
+
+    let ln_rho = wide_ln(rho);
+    let t = kf * ln_rho;
+    let pow_k = wide_exp(t);
+
+    // All three ladder rungs are ratios, and SSE2's unpipelined `divpd` is
+    // the most expensive instruction in the whole pass — so select the
+    // rung's numerator and denominator per lane first and divide once:
+    //
+    //   general : (1−ρ)·ρ^K / (1−ρ^{K+1})   (ρ^{K+1} as ρ^K·ρ: one
+    //             transcendental instead of two, well inside the ulp budget)
+    //   guard   : (ρ−1) / ρ                  when K·ln ρ > 500
+    //   limit   : 1 / (K+1)                  when |ρ−1| < 1e-9
+    //
+    // The selected lane divides exactly the pair its branch would have, so
+    // per-rung values are bit-identical to dividing per rung. The trailing
+    // clamp is shared: it is the general rung's clamp, and an exact identity
+    // on the other two (guard has ρ > 1 ⇒ value ∈ (0,1); limit ∈ (0, ½]).
+    let t_hi = t - W::splat(500.0);
+    let near_one = (rho - one).abs();
+    let num = t_hi.select_gt_zero(rho - one, (one - rho) * pow_k);
+    let den = t_hi.select_gt_zero(rho, one - pow_k * rho);
+    let num = near_one.select_lt(W::splat(1e-9), one, num);
+    let den = near_one.select_lt(W::splat(1e-9), kf + one, den);
+    let val = (num / den).clamp01();
+    rho.select_gt_zero(val, zero)
+}
+
 /// Effective loss fraction for an RX/DMA buffer.
 ///
 /// * `arrival_pps` — mean offered packet rate;
@@ -133,6 +208,62 @@ pub fn buffer_loss(
         burst = (phi * dropped_pps / arrival_pps).clamp(0.0, 1.0);
     }
     steady.max(burst)
+}
+
+/// Wide twin of [`buffer_loss`], over [`WideLane`] bundles — the loss stage
+/// of both the scalar engine (`W = f64`) and the batch column pass
+/// (`W = F64x8`), so the two run literally the same math.
+///
+/// Inputs arrive as f64 columns: `dma_bytes` and `batch` are integer-valued
+/// lanes (the batch kernel's columns), `pkt_size` is the already-quantized
+/// packet size. The integer slot math maps exactly onto float arithmetic on
+/// this domain: `bytes ≤ 40 MB < 2^53` makes `⌊bytes/pkt⌋` via float
+/// divide-then-floor equal to the u64 division, and `⌊batch/2⌋` is exact for any u32
+/// as `(batch·0.5).floor()`. Degenerate inputs keep the scalar ladder's
+/// precedence: `arrival ≤ 0` → 0 ahead of `capacity ≤ 0` → 1.
+pub fn buffer_loss_lanes<W: WideLane>(
+    arrival_pps: W,
+    capacity_pps: W,
+    dma_bytes: W,
+    pkt_size: W,
+    burstiness: W,
+    batch: W,
+) -> W {
+    let zero = W::splat(0.0);
+    let one = W::splat(1.0);
+
+    let pktq = pkt_size.trunc_u32().vmax(one);
+    let slots = (dma_bytes / pktq).floor().vmax(one);
+    let usable = (slots - (batch * W::splat(0.5)).floor()).vmax(one);
+    let rho = arrival_pps / capacity_pps;
+    let steady = mm1k_loss_lanes(rho, usable);
+
+    let b = burstiness.vmax(one);
+    let overload = b * arrival_pps - capacity_pps;
+    // Burst fast path: when every lane's peak rate `b·arrival` stays under
+    // capacity, `excess` is exact `+0` on all of them, and the whole burst
+    // term folds to `+0` through `dropped = max(0 − absorb, 0) = +0` and
+    // `+0 / (b·arrival) = +0` — so skip the divide. (NaN overload fails
+    // `all_lt` and takes the full path.)
+    let burst = if overload.all_lt(zero) {
+        zero
+    } else {
+        let excess = overload.vmax(zero);
+        // `usable · (1/T)` instead of `usable / T`, and the ON-fraction
+        // weight `φ·dropped/arrival = dropped/(b·arrival)` fused into one
+        // ratio: two `divpd`s fewer per bundle, ≤ 1 ulp from the reference
+        // formulation (the wide-vs-scalar tests hold at 1e-9 relative).
+        let absorb = usable * W::splat(1.0 / BURST_DURATION_S);
+        let dropped_pps = (excess - absorb).vmax(zero);
+        let burst_val = (dropped_pps / (b * arrival_pps)).clamp01();
+        // b is exactly representable near 1, so `b − (1+1e-9) > 0 ⇔
+        // b > 1+1e-9` (Sterbenz: the subtraction is exact there).
+        (b - W::splat(1.0 + 1e-9)).select_gt_zero(burst_val, zero)
+    };
+
+    let loss = steady.vmax(burst);
+    let loss = capacity_pps.select_gt_zero(loss, one);
+    arrival_pps.select_gt_zero(loss, zero)
 }
 
 #[cfg(test)]
@@ -227,5 +358,96 @@ mod tests {
         // Sustained rho = 2 must lose ~half regardless of buffer depth.
         let l = buffer_loss(2e6, 1e6, DmaBuffer::from_mb(40.0), 64, 1.0, 32);
         assert!((l - 0.5).abs() < 0.01, "loss {l}");
+    }
+
+    /// The closed form is 0/0 at ρ = 1; both the scalar and the wide path
+    /// must hand over to the analytic limit 1/(K+1) without a jump. Sweep ρ
+    /// across 1 ± 1e-12 — deep inside the 1e-9 limit window on both sides,
+    /// plus the window edges where the closed form takes back over.
+    #[test]
+    fn rho_near_one_is_continuous_in_scalar_and_wide() {
+        for k in [1u64, 9, 64, 511] {
+            let limit = 1.0 / (k as f64 + 1.0);
+            for i in -1000i64..=1000 {
+                let rho = 1.0 + i as f64 * 1e-15; // spans 1 ± 1e-12
+                let s = mm1k_loss(rho, k);
+                let w = mm1k_loss_lanes(rho, k as f64);
+                assert_eq!(s, limit, "scalar jumped at rho = {rho:e}, k = {k}");
+                assert_eq!(w, limit, "wide jumped at rho = {rho:e}, k = {k}");
+            }
+            // Just outside the window the closed form must land near the
+            // limit — continuity across the branch seam, both paths.
+            for rho in [1.0 - 2e-9, 1.0 + 2e-9] {
+                let s = mm1k_loss(rho, k);
+                let w = mm1k_loss_lanes(rho, k as f64);
+                assert!(
+                    (s - limit).abs() < 1e-6 * limit.max(1e-3),
+                    "scalar seam jump at rho = {rho:e}, k = {k}: {s} vs {limit}"
+                );
+                assert!(
+                    (w - limit).abs() < 1e-6 * limit.max(1e-3),
+                    "wide seam jump at rho = {rho:e}, k = {k}: {w} vs {limit}"
+                );
+            }
+        }
+    }
+
+    /// The wide twin must track the std-based scalar reference closely over
+    /// the operating domain (they differ only by the polynomial kernels'
+    /// few-hundred-ulp drift) and match it exactly on every branch ladder
+    /// rung.
+    #[test]
+    fn mm1k_lanes_tracks_scalar_reference() {
+        for k in [1u64, 4, 32, 256, 512] {
+            for i in 0..400 {
+                let rho = 1e-6 * 1.06f64.powi(i); // 1e-6 .. ~1e4
+                let s = mm1k_loss(rho, k);
+                let w = mm1k_loss_lanes(rho, k as f64);
+                let tol = 1e-9 * s.abs().max(1e-12);
+                assert!(
+                    (s - w).abs() <= tol,
+                    "rho = {rho:e}, k = {k}: scalar {s:e} vs wide {w:e}"
+                );
+            }
+        }
+        // Branch rungs: zero load, limit window, overflow guard.
+        assert_eq!(mm1k_loss_lanes(0.0f64, 32.0), 0.0);
+        assert_eq!(mm1k_loss_lanes(-3.0f64, 32.0), 0.0);
+        assert_eq!(mm1k_loss_lanes(1.0f64, 9.0), 0.1);
+        let s = mm1k_loss(400.0, 512);
+        let w = mm1k_loss_lanes(400.0f64, 512.0);
+        assert!((s - w).abs() < 1e-12, "guard rung: {s} vs {w}");
+    }
+
+    /// Wide buffer loss: degenerate ladder and agreement with the scalar
+    /// reference on valid inputs.
+    #[test]
+    fn buffer_loss_lanes_matches_reference_and_edges() {
+        // arrival <= 0 outranks capacity <= 0, as in the scalar ladder.
+        assert_eq!(buffer_loss_lanes(0.0f64, 1e6, 1e6, 64.0, 1.0, 32.0), 0.0);
+        assert_eq!(buffer_loss_lanes(0.0f64, 0.0, 1e6, 64.0, 1.0, 32.0), 0.0);
+        assert_eq!(buffer_loss_lanes(1e6f64, 0.0, 1e6, 64.0, 1.0, 32.0), 1.0);
+
+        for (arrival, cap, mb, pkt, burst, batch) in [
+            (2.0e6, 2.2e6, 1.0, 395u32, 2.5, 64u32),
+            (0.9e6, 1.0e6, 1.0, 1518, 3.0, 32),
+            (2e6, 1e6, 40.0, 64, 1.0, 32),
+            (0.95e6, 1.0e6, 0.5, 1518, 1.0, 300),
+        ] {
+            let b = DmaBuffer::from_mb(mb);
+            let s = buffer_loss(arrival, cap, b, pkt, burst, batch);
+            let w = buffer_loss_lanes(
+                arrival,
+                cap,
+                b.bytes as f64,
+                f64::from(pkt),
+                burst,
+                f64::from(batch),
+            );
+            assert!(
+                (s - w).abs() <= 1e-9 * s.abs().max(1e-12),
+                "scalar {s:e} vs wide {w:e}"
+            );
+        }
     }
 }

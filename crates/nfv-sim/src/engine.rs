@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 use crate::cache::{ddio_hit_lanes, MissModel, LLC_BYTES};
 use crate::chain::ChainCost;
 use crate::cpu::CpuAllocation;
-use crate::dma::{buffer_loss, DmaBuffer};
+use crate::dma::{buffer_loss_lanes, DmaBuffer};
 use crate::dvfs::{FREQ_MAX_GHZ, FREQ_MIN_GHZ};
 use crate::error::{SimError, SimResult};
 use crate::power::PowerModel;
@@ -359,8 +359,11 @@ pub fn pass_miss_rate<W: WideLane>(
         .miss_model
         .miss_rate_lanes(ws, llc_bytes.vmax(W::splat(1.0)));
     // Locality loss at tiny batches: every packet is fetched cold.
-    let m_interleave = W::splat(tuning.interleave_base)
-        / (W::splat(1.0) + batch / W::splat(tuning.interleave_half_batch));
+    // Algebraically `base / (1 + batch/half)` with numerator and
+    // denominator scaled by `half`, folding two lane divisions into one
+    // (`divpd` is the most expensive SSE2 instruction in the kernel).
+    let m_interleave = W::splat(tuning.interleave_base * tuning.interleave_half_batch)
+        / (W::splat(tuning.interleave_half_batch) + batch);
     // DDIO spill: DMA buffers beyond the DDIO share land in DRAM.
     let ddio_spill = W::splat(1.0) - ddio_hit_lanes(dma_bytes);
     (m_capacity + m_interleave + W::splat(tuning.ddio_spill_weight) * ddio_spill).clamp01()
@@ -406,6 +409,26 @@ pub fn pass_capacity<W: WideLane>(
     share * freq_ghz * W::splat(1e9) / cpp * scale
 }
 
+/// Loss pass: M/M/1/K buffer loss as a wide column pass.
+///
+/// A thin wrapper over [`crate::dma::buffer_loss_lanes`] so the loss stage
+/// sits beside the other passes; the transcendentals come from the
+/// [`crate::simd::wide_ln`]/[`crate::simd::wide_exp`] polynomial kernels, so
+/// this stage — the former scalar half of kernel time — now follows the
+/// same bit-equality contract as every other pass. `dma_bytes` and `batch`
+/// are the integer knobs as f64 lanes.
+#[inline(always)]
+pub fn pass_loss<W: WideLane>(
+    arrival_pps: W,
+    capacity_pps: W,
+    dma_bytes: W,
+    pkt: W,
+    burstiness: W,
+    batch: W,
+) -> W {
+    buffer_loss_lanes(arrival_pps, capacity_pps, dma_bytes, pkt, burstiness, batch)
+}
+
 /// Per-lane outputs of [`pass_outputs`], one [`WideLane`] bundle per
 /// [`ChainEpochResult`] field it computes (`miss_rate` and
 /// `cycles_per_packet` come straight from the earlier passes).
@@ -447,7 +470,8 @@ pub fn pass_outputs<W: WideLane>(
     let delivered_pps = accepted_pps.vmin(capacity_pps);
     let loss_frac =
         arrival_pps.select_gt_zero(W::splat(1.0) - delivered_pps / arrival_pps, W::splat(0.0));
-    let throughput_gbps = delivered_pps * pkt * W::splat(8.0) / W::splat(1e9);
+    // `* 8 / 1e9` folded to one constant multiply (saves a lane division).
+    let throughput_gbps = delivered_pps * pkt * W::splat(8.0 / 1e9);
     let cpu_util =
         capacity_pps.select_gt_zero((delivered_pps / capacity_pps).clamp01(), W::splat(0.0));
     let llc_misses = delivered_pps * mem_refs_per_packet * miss_rate * W::splat(tuning.epoch_s);
@@ -507,15 +531,13 @@ pub fn evaluate_chain(
         tuning,
     );
     let capacity_pps = pass_capacity(cpp, cores, knobs.cpu.share, knobs.freq_ghz, tuning);
-    // The loss stage stays scalar even in the batched kernel: M/M/1/K
-    // blocking runs `powf`/`ln` per lane (`crate::dma::mm1k_loss`).
-    let buf_loss = buffer_loss(
+    let buf_loss = pass_loss(
         arrival_pps,
         capacity_pps,
-        knobs.dma,
-        pkt as u32,
+        knobs.dma.bytes as f64,
+        pkt,
         load.burstiness,
-        knobs.batch,
+        f64::from(knobs.batch),
     );
     let out = pass_outputs(
         pkt,

@@ -15,14 +15,21 @@
 //!   Rust (no `std::simd`, no intrinsics, no new dependencies).
 //!
 //! **Bit-equality contract.** Every `WideLane` operation is element-wise: it
-//! applies exactly one IEEE-754 double operation per lane, in the lane's own
-//! data, with no cross-lane shuffles or reassociation. A kernel written
-//! generically over `WideLane` therefore produces *bit-identical* results
-//! whether it runs one lane at a time (`f64`) or eight at a time
-//! ([`F64x8`]) — which is what lets the column-pass batch kernel keep the
-//! exact-`==` equivalence contract with the scalar engine. Per-lane
-//! transcendentals (`powf`/`ln` in [`crate::dma::mm1k_loss`]) are *not* part
-//! of this trait; they stay scalar in the loss pass.
+//! applies exactly one IEEE-754 double operation (or one bit-level
+//! float↔integer conversion) per lane, in the lane's own data, with no
+//! cross-lane shuffles or reassociation. A kernel written generically over
+//! `WideLane` therefore produces *bit-identical* results whether it runs one
+//! lane at a time (`f64`) or eight at a time ([`F64x8`]) — which is what
+//! lets the column-pass batch kernel keep the exact-`==` equivalence
+//! contract with the scalar engine.
+//!
+//! **Transcendentals.** [`wide_ln`], [`wide_exp`], and
+//! [`wide_pow`]`(x, y) = wide_exp(y · wide_ln(x))` are polynomial kernels
+//! composed entirely of `WideLane` primitives, so they inherit the
+//! bit-equality contract: the scalar engine and the batch kernel run the
+//! *same* loss-stage math. They are **not** bit-identical to `std`'s
+//! `ln`/`exp`/`powf` — `tests/wide_math.rs` pins their max-ULP error
+//! against `std` over the loss pass's whole ρ/K domain.
 //!
 //! ```
 //! use nfv_sim::simd::{F64x8, WideLane, WIDTH};
@@ -78,6 +85,50 @@ pub trait WideLane:
     /// conditions select `otherwise`, matching the scalar comparison.
     fn select_gt_zero(self, then: Self, otherwise: Self) -> Self;
 
+    /// Element-wise `if self < rhs { then } else { otherwise }`. NaN in
+    /// either comparand selects `otherwise`, matching the scalar comparison.
+    fn select_lt(self, rhs: Self, then: Self, otherwise: Self) -> Self;
+
+    /// Element-wise `f64::abs`.
+    fn abs(self) -> Self;
+
+    /// Element-wise floor, computed branch-free so it vectorizes on
+    /// baseline x86-64 (no `roundpd` → `f64::floor` is a libm call). Exact
+    /// IEEE floor for `|x| < 2^51` and all integer-valued inputs; `-0.0`
+    /// maps to `+0.0`; half-integers in `[2^51, 2^52)` pass through
+    /// unfloored (outside the engine's domain — see `lane_ops::floor`).
+    fn floor(self) -> Self;
+
+    /// Element-wise unbiased IEEE-754 exponent field, as f64: `1.5 → 0.0`,
+    /// `6.0 → 2.0`. Subnormals report `-1023.0`; ±inf and NaN report
+    /// `1024.0`. Pure bit extraction — no rounding, never traps.
+    fn exponent(self) -> Self;
+
+    /// Element-wise mantissa with the exponent field replaced by the bias:
+    /// the unique `m ∈ [1, 2)` with `self = m · 2^exponent()` for normal
+    /// inputs. Pure bit surgery — no rounding, never traps.
+    fn mantissa(self) -> Self;
+
+    /// Element-wise `2^n` for an integer-valued lane, built by planting
+    /// `n + 1023` in the exponent field. Exact for `n ∈ [-1022, 1023]`;
+    /// outside that range the result is garbage but the operation is still
+    /// total (casts saturate, shifts are in range — no panic), which is what
+    /// lets masked lanes flow through the loss pass unchecked.
+    fn exp2i(self) -> Self;
+
+    /// True iff `self < rhs` holds on **every** lane (NaN compares false).
+    ///
+    /// This is the one cross-lane operation in the trait, and it returns a
+    /// `bool`, not lanes: it exists solely as a *control-flow predicate*
+    /// for bundle-uniform fast paths (take a cheap branch only when all
+    /// lanes agree). It never feeds lane data, so the bit-equality
+    /// contract is untouched — a fast path guarded by `all_lt` must
+    /// produce bit-identical values to the full path for every lane that
+    /// satisfies the predicate, which makes the `f64` (lane-at-a-time) and
+    /// `F64x8` (all-eight-agree) branch shapes indistinguishable in
+    /// output.
+    fn all_lt(self, rhs: Self) -> bool;
+
     /// Value of lane `i` (`i < Self::LANES`).
     fn lane(self, i: usize) -> f64;
 
@@ -92,6 +143,56 @@ pub trait WideLane:
     /// # Panics
     /// When the slice is shorter than `i + Self::LANES`.
     fn store(self, dst: &mut [f64], i: usize);
+}
+
+/// Per-lane scalar bodies of the bit-level primitives, shared by both
+/// `WideLane` impls so the two cannot drift apart.
+mod lane_ops {
+    /// `1.5 · 2^52` — adding and subtracting it rounds to the nearest
+    /// integer (exact for `|x| < 2^51`), the classic branch-free rounding
+    /// trick.
+    const FLOOR_MAGIC: f64 = 6_755_399_441_055_744.0;
+    /// `2^51`, the magic trick's exactness bound.
+    const FLOOR_EXACT: f64 = 2_251_799_813_685_248.0;
+
+    /// Branch-free floor. Baseline x86-64 has no `roundpd`, so `f64::floor`
+    /// lowers to a per-lane libm *call*, which both costs ~20 ns and blocks
+    /// LLVM from vectorizing any loop containing it — it was the dominant
+    /// cost of the whole exp kernel. This add/sub/compare/select sequence
+    /// vectorizes with plain SSE2.
+    ///
+    /// Contract: exact IEEE floor for `|x| < 2^51` and for every
+    /// integer-valued input (which includes all `|x| ≥ 2^52`); `±inf` and
+    /// NaN pass through; `-0.0` returns `+0.0` (one-bit divergence from
+    /// `f64::floor`). Half-integers in the single binade `[2^51, 2^52)`
+    /// return unfloored — a region the engine never touches (its largest
+    /// floored value is the `4·10^7` slot count) but garbage lanes can,
+    /// totally and without trapping.
+    #[inline(always)]
+    pub fn floor(x: f64) -> f64 {
+        let t = (x + FLOOR_MAGIC) - FLOOR_MAGIC;
+        let f = if t > x { t - 1.0 } else { t };
+        if x.abs() < FLOOR_EXACT {
+            f
+        } else {
+            x
+        }
+    }
+
+    #[inline(always)]
+    pub fn exponent(x: f64) -> f64 {
+        (((x.to_bits() >> 52) & 0x7ff) as i64 - 1023) as f64
+    }
+
+    #[inline(always)]
+    pub fn mantissa(x: f64) -> f64 {
+        f64::from_bits((x.to_bits() & 0x000f_ffff_ffff_ffff) | 0x3ff0_0000_0000_0000)
+    }
+
+    #[inline(always)]
+    pub fn exp2i(n: f64) -> f64 {
+        f64::from_bits((((n as i64) + 1023) as u64) << 52)
+    }
 }
 
 impl WideLane for f64 {
@@ -129,6 +230,45 @@ impl WideLane for f64 {
         } else {
             otherwise
         }
+    }
+
+    #[inline(always)]
+    fn select_lt(self, rhs: Self, then: Self, otherwise: Self) -> Self {
+        if self < rhs {
+            then
+        } else {
+            otherwise
+        }
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        f64::abs(self)
+    }
+
+    #[inline(always)]
+    fn floor(self) -> Self {
+        lane_ops::floor(self)
+    }
+
+    #[inline(always)]
+    fn exponent(self) -> Self {
+        lane_ops::exponent(self)
+    }
+
+    #[inline(always)]
+    fn mantissa(self) -> Self {
+        lane_ops::mantissa(self)
+    }
+
+    #[inline(always)]
+    fn exp2i(self) -> Self {
+        lane_ops::exp2i(self)
+    }
+
+    #[inline(always)]
+    fn all_lt(self, rhs: Self) -> bool {
+        self < rhs
     }
 
     #[inline(always)]
@@ -256,6 +396,53 @@ impl WideLane for F64x8 {
     }
 
     #[inline(always)]
+    fn select_lt(self, rhs: Self, then: Self, otherwise: Self) -> Self {
+        let mut out = [0.0; WIDTH];
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = if self.0[i] < rhs.0[i] {
+                then.0[i]
+            } else {
+                otherwise.0[i]
+            };
+        }
+        Self(out)
+    }
+
+    #[inline(always)]
+    fn abs(self) -> Self {
+        wide_map!(self, |x| f64::abs(x))
+    }
+
+    #[inline(always)]
+    fn floor(self) -> Self {
+        wide_map!(self, |x| lane_ops::floor(x))
+    }
+
+    #[inline(always)]
+    fn exponent(self) -> Self {
+        wide_map!(self, |x| lane_ops::exponent(x))
+    }
+
+    #[inline(always)]
+    fn mantissa(self) -> Self {
+        wide_map!(self, |x| lane_ops::mantissa(x))
+    }
+
+    #[inline(always)]
+    fn exp2i(self) -> Self {
+        wide_map!(self, |x| lane_ops::exp2i(x))
+    }
+
+    #[inline(always)]
+    fn all_lt(self, rhs: Self) -> bool {
+        let mut all = true;
+        for (a, b) in self.0.iter().zip(rhs.0) {
+            all &= *a < b;
+        }
+        all
+    }
+
+    #[inline(always)]
     fn lane(self, i: usize) -> f64 {
         self.0[i]
     }
@@ -269,6 +456,167 @@ impl WideLane for F64x8 {
     fn store(self, dst: &mut [f64], i: usize) {
         dst[i..i + WIDTH].copy_from_slice(&self.0);
     }
+}
+
+// ---------------------------------------------------------------------------
+// Wide transcendentals: ln / exp / pow as WideLane polynomial kernels.
+// ---------------------------------------------------------------------------
+
+/// `ln 2` split so that `e · LN2_HI` is exact for any exponent `|e| < 2^11`
+/// (the low 21 bits of the significand are zero), which keeps the range
+/// reconstruction `ln x = ln m + e·ln 2` correct to the last rounding.
+const LN2_HI: f64 = 6.931_471_803_691_238_164_90e-1; // 0x3FE62E42FEE00000
+const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+
+/// `2^64`, the pre-scale that lifts subnormal inputs into the normal range
+/// before the exponent/mantissa bit split (which is otherwise wrong for
+/// subnormals, whose exponent field is all zeros).
+const TWO_POW_64: f64 = 18_446_744_073_709_551_616.0;
+
+/// `exp` argument clamp. Above `EXP_MAX` every result overflows to `+inf`
+/// through the reconstruction (`exp(710) > 2^1024`); below `EXP_MIN` the
+/// kernel *flushes to exact `+0`* instead of producing gradual-underflow
+/// subnormals — `exp(-708) ≈ 3.3e-308` is still normal, and on x86 a
+/// subnormal multiply costs a ~100-cycle microcode assist per lane, which
+/// would dominate the whole loss pass for every underloaded lane (ρ < 1
+/// with a deep buffer drives `K·ln ρ` far below −708). The loss model
+/// cannot tell 1e-310 from 0. The clamp also keeps the `2^n` scale factors
+/// inside the range where [`WideLane::exp2i`] is exact, for *any* input —
+/// including the garbage in masked batch lanes.
+pub const EXP_MAX: f64 = 710.0;
+/// See [`EXP_MAX`]'s doc block; `EXP_MIN` is public so the loss pass can
+/// build its flush fast-path predicate on the very same threshold.
+pub const EXP_MIN: f64 = -708.0;
+
+/// Horner coefficients for `2·atanh(s) = 2s·Σ s^{2k}/(2k+1)`, highest degree
+/// first. With the mantissa centered into `[√2/2, √2)` we have `|s| ≤
+/// (√2−1)/(√2+1) ≈ 0.1716`, so the truncation error of the degree-21 odd
+/// polynomial is below `2^{-60}` — under half an ulp of the result.
+const LN_POLY: [f64; 11] = [
+    2.0 / 21.0,
+    2.0 / 19.0,
+    2.0 / 17.0,
+    2.0 / 15.0,
+    2.0 / 13.0,
+    2.0 / 11.0,
+    2.0 / 9.0,
+    2.0 / 7.0,
+    2.0 / 5.0,
+    2.0 / 3.0,
+    2.0,
+];
+
+/// Taylor coefficients `1/k!` for `exp(r)` on the reduced range
+/// `|r| ≤ ln2/2 ≈ 0.3466`, highest degree first. Truncating after `r^13`
+/// leaves an error below `0.3466^14/14! ≈ 4·10^{-18}` — under an ulp.
+const EXP_POLY: [f64; 14] = [
+    1.0 / 6_227_020_800.0, // 1/13!
+    1.0 / 479_001_600.0,
+    1.0 / 39_916_800.0,
+    1.0 / 3_628_800.0,
+    1.0 / 362_880.0,
+    1.0 / 40_320.0,
+    1.0 / 5_040.0,
+    1.0 / 720.0,
+    1.0 / 120.0,
+    1.0 / 24.0,
+    1.0 / 6.0,
+    1.0 / 2.0,
+    1.0,
+    1.0,
+];
+
+/// Element-wise natural logarithm over [`WideLane`] bundles.
+///
+/// Algorithm: split `x = m · 2^e` by bit surgery (subnormals pre-scaled by
+/// `2^64`), center the mantissa into `[√2/2, √2)` so `|ln m| ≤ ln2/2`, then
+/// evaluate `ln m = 2·atanh(s)` with `s = (m−1)/(m+1)` as an 11-term Horner
+/// polynomial in `s²`, and reconstruct with the split `ln 2`. The centering
+/// step is what avoids catastrophic cancellation near `x ≈ 1`: there `e = 0`
+/// and the polynomial itself carries full precision.
+///
+/// Edge contract (per lane): `x > 0` finite → polynomial value; `+inf` →
+/// `+inf`; NaN → NaN; `x ≤ 0` → NaN. The last case *differs from
+/// `f64::ln(0.0) = -inf`* — the loss pass never takes `ln` of a
+/// non-positive ρ (those lanes are selected away first), and NaN is the
+/// safer value to leak if a caller forgets.
+#[inline(always)]
+pub fn wide_ln<W: WideLane>(x: W) -> W {
+    let one = W::splat(1.0);
+    // Lift subnormals into the normal range so the bit split is exact.
+    let min_normal = W::splat(f64::MIN_POSITIVE);
+    let xn = x.select_lt(min_normal, x * W::splat(TWO_POW_64), x);
+    let ebias = x.select_lt(min_normal, W::splat(64.0), W::splat(0.0));
+
+    let e_raw = xn.exponent();
+    let m_raw = xn.mantissa();
+    // Center m into [√2/2, √2): |ln m| ≤ ln2/2, no cancellation.
+    let sqrt2 = W::splat(std::f64::consts::SQRT_2);
+    let m = sqrt2.select_lt(m_raw, m_raw * W::splat(0.5), m_raw);
+    let e = sqrt2.select_lt(m_raw, e_raw + one, e_raw) - ebias;
+
+    let s = (m - one) / (m + one);
+    let z = s * s;
+    let mut p = W::splat(LN_POLY[0]);
+    for &c in &LN_POLY[1..] {
+        p = p * z + W::splat(c);
+    }
+    let ln_m = s * p;
+    let r = (ln_m + e * W::splat(LN2_LO)) + e * W::splat(LN2_HI);
+
+    // Edge contract: finite positive → r; +inf and NaN pass through; ≤ 0 →
+    // NaN. Both selects compare `x`, so garbage lanes cannot trap.
+    let r = x.select_lt(W::splat(f64::INFINITY), r, x);
+    x.select_gt_zero(r, W::splat(f64::NAN))
+}
+
+/// Element-wise natural exponential over [`WideLane`] bundles.
+///
+/// Algorithm: clamp into `[EXP_MIN, EXP_MAX]` (see the constant docs — the
+/// clamp totalizes the kernel), reduce `t = r + n·ln 2` with
+/// `n = ⌊t/ln 2 + ½⌋` so `|r| ≤ ln2/2`, evaluate the 14-term Taylor Horner
+/// polynomial, and scale by `2^n` in two halves
+/// (`2^⌊n/2⌋ · 2^{n−⌊n/2⌋}`) so each factor — and every intermediate —
+/// stays normal.
+///
+/// Edge contract (per lane): finite `x ∈ [EXP_MIN, EXP_MAX]` → polynomial
+/// value (always a *normal* double); `x > EXP_MAX` → `+inf`; `x < EXP_MIN`
+/// → exact `+0` (**flush to zero** — no gradual underflow; see `EXP_MIN`);
+/// `+inf` → `+inf`; `-inf` → `+0`; NaN → NaN.
+#[inline(always)]
+pub fn wide_exp<W: WideLane>(x: W) -> W {
+    // vmin/vmax replace NaN with the clamp bound, so the arithmetic below
+    // is NaN-free; the final select restores NaN lanes from x itself.
+    let t = x.vmin(W::splat(EXP_MAX)).vmax(W::splat(EXP_MIN));
+
+    let nf = (t * W::splat(std::f64::consts::LOG2_E) + W::splat(0.5)).floor();
+    let r = (t - nf * W::splat(LN2_HI)) - nf * W::splat(LN2_LO);
+
+    let mut p = W::splat(EXP_POLY[0]);
+    for &c in &EXP_POLY[1..] {
+        p = p * r + W::splat(c);
+    }
+
+    // Split-exponent scaling: nf ∈ [-1022, 1025] would overflow a single
+    // exp2i, but both halves stay within the exact range.
+    let nh = (nf * W::splat(0.5)).floor();
+    let nl = nf - nh;
+    let scaled = (p * nh.exp2i()) * nl.exp2i();
+
+    // Flush-to-zero below EXP_MIN, then let +inf and NaN pass through.
+    let scaled = x.select_lt(W::splat(EXP_MIN), W::splat(0.0), scaled);
+    x.select_lt(W::splat(f64::INFINITY), scaled, x)
+}
+
+/// Element-wise `x^y` as `exp(y · ln x)` over [`WideLane`] bundles.
+///
+/// Valid for `x > 0` (the only domain the loss pass uses); `x ≤ 0` yields
+/// NaN via [`wide_ln`]'s edge contract. The relative error grows with
+/// `|y · ln x|` — about `|y·ln x|` ulp on top of the component kernels —
+/// which `tests/wide_math.rs` pins over the full ρ/K domain.
+#[inline(always)]
+pub fn wide_pow<W: WideLane>(x: W, y: W) -> W {
+    wide_exp(y * wide_ln(x))
 }
 
 #[cfg(test)]
@@ -314,11 +662,130 @@ mod tests {
                 ),
                 "select lane {i}"
             );
+            assert!(
+                eq_bits(
+                    a.select_lt(b, F64x8::splat(5.0), F64x8::splat(-7.0))
+                        .lane(i),
+                    x.select_lt(2.0, 5.0, -7.0)
+                ),
+                "select_lt lane {i}"
+            );
+            assert!(eq_bits(a.abs().lane(i), x.abs()), "abs lane {i}");
+            assert!(eq_bits(a.floor().lane(i), x.floor()), "floor lane {i}");
+            assert!(
+                eq_bits(a.exponent().lane(i), WideLane::exponent(x)),
+                "exponent lane {i}"
+            );
+            assert!(
+                eq_bits(a.mantissa().lane(i), WideLane::mantissa(x)),
+                "mantissa lane {i}"
+            );
         }
+    }
+
+    /// The transcendental kernels are compositions of element-wise trait
+    /// ops, so the W = f64 and W = F64x8 instantiations must agree
+    /// bit-for-bit lane by lane — the same contract as the primitives.
+    #[test]
+    fn wide_transcendentals_match_scalar_instantiation_per_lane() {
+        let xs = [1e-9, 0.37, 1.0, 1.5, 64.9, 1e9, 5e-324, 0.999_999_9];
+        let ys = [1.0, 2.0, 17.0, 250.0, 511.0, 0.5, 3.0, 12.0];
+        let wx = F64x8::from_slice(&xs);
+        let wy = F64x8::from_slice(&ys);
+        for i in 0..WIDTH {
+            assert!(eq_bits(wide_ln(wx).lane(i), wide_ln(xs[i])), "ln lane {i}");
+            assert!(
+                eq_bits(wide_exp(wx).lane(i), wide_exp(xs[i])),
+                "exp lane {i}"
+            );
+            assert!(
+                eq_bits(wide_pow(wx, wy).lane(i), wide_pow(xs[i], ys[i])),
+                "pow lane {i}"
+            );
+        }
+    }
+
+    /// Edge contract of the kernels: infinities saturate, NaN propagates,
+    /// ln of a non-positive is NaN, exp underflows to exact +0.
+    #[test]
+    fn wide_transcendental_edges() {
+        assert_eq!(wide_ln(f64::INFINITY), f64::INFINITY);
+        assert!(wide_ln(f64::NAN).is_nan());
+        assert!(wide_ln(0.0f64).is_nan());
+        assert!(wide_ln(-3.0f64).is_nan());
+
+        assert_eq!(wide_exp(f64::INFINITY), f64::INFINITY);
+        assert_eq!(wide_exp(800.0f64), f64::INFINITY);
+        assert!(wide_exp(f64::NAN).is_nan());
+        assert!(eq_bits(wide_exp(f64::NEG_INFINITY), 0.0));
+        assert!(eq_bits(wide_exp(-800.0f64), 0.0));
+        // Flush-to-zero kicks in below EXP_MIN; just above it the result is
+        // still a normal double.
+        assert!(eq_bits(wide_exp(-709.0f64), 0.0));
+        assert!(wide_exp(-707.0f64).is_normal());
+
+        // Subnormal ln: pre-scaled by 2^64, still close to std.
+        let tiny = 5e-324f64;
+        assert!((wide_ln(tiny) - tiny.ln()).abs() < 1e-12);
     }
 
     fn eq_bits(a: f64, b: f64) -> bool {
         a.to_bits() == b.to_bits()
+    }
+
+    /// The branch-free floor must agree with `f64::floor` bit-for-bit on
+    /// its documented exact domain, including the tie cases the magic-add
+    /// rounds the "wrong" way before the fix-up.
+    #[test]
+    fn branch_free_floor_matches_std_on_domain() {
+        let cases = [
+            0.0,
+            0.5,
+            1.5,
+            2.5,
+            -0.5,
+            -1.5,
+            -2.5,
+            0.999_999_999,
+            -1e-300,
+            1e9,
+            -1e9,
+            4.2e7,
+            2_251_799_813_685_247.5, // just under 2^51
+            -2_251_799_813_685_247.5,
+            1e18, // ≥ 2^52: integer-valued, passes through
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+        ];
+        for x in cases {
+            assert!(
+                eq_bits(WideLane::floor(x), x.floor()),
+                "floor({x:e}): {} vs std {}",
+                WideLane::floor(x),
+                x.floor()
+            );
+        }
+        assert!(WideLane::floor(f64::NAN).is_nan());
+        // Documented divergence: -0.0 floors to +0.0.
+        assert!(eq_bits(WideLane::floor(-0.0), 0.0));
+    }
+
+    /// `all_lt` is a pure predicate: every lane must satisfy the strict
+    /// compare, NaN on either side fails it, and the scalar impl is the
+    /// one-lane case.
+    #[test]
+    fn all_lt_requires_every_lane() {
+        let lo = F64x8::splat(0.0);
+        assert!(lo.all_lt(F64x8::splat(1.0)));
+        let mut one_high = [0.0; WIDTH];
+        one_high[5] = 2.0;
+        assert!(!F64x8(one_high).all_lt(F64x8::splat(1.0)));
+        let mut one_nan = [0.0; WIDTH];
+        one_nan[3] = f64::NAN;
+        assert!(!F64x8(one_nan).all_lt(F64x8::splat(1.0)));
+        assert!(!lo.all_lt(F64x8::splat(0.0)), "strict compare");
+        assert!(0.5f64.all_lt(1.0));
+        assert!(!f64::NAN.all_lt(1.0));
     }
 
     #[test]

@@ -1,0 +1,153 @@
+// Min-of-many timing for the batch kernel at the bench grid operating
+// point — a low-noise companion to the criterion bench on busy hosts.
+use nfv_sim::batch::{evaluate_chain_batch_threads, ChainBatch};
+use nfv_sim::chain::{ChainSpec, ServiceChain};
+use nfv_sim::cpu::ChainId;
+use nfv_sim::engine::{
+    llc_partition_bytes, pass_capacity, pass_cycles, pass_load, pass_loss, pass_miss_rate,
+    pass_outputs, ChainLoad, KnobSettings, SimTuning,
+};
+use nfv_sim::simd::{F64x8, WideLane, WIDTH};
+use std::time::Instant;
+
+/// The fused math of the kernel over raw columns, summing outputs instead of
+/// scattering results — isolates math+loads from mask/scatter/alloc.
+#[allow(clippy::too_many_arguments)]
+fn math_only(cols: &[Vec<f64>; 14], tuning: &SimTuning, n: usize) -> f64 {
+    let [cores, share, freq, dma_bytes, batch_knob, base_cpp, cyc_byte, mem_refs, state, hops, arrival_col, mps, burst, llc] =
+        cols;
+    let mut acc = F64x8::splat(0.0);
+    let mut j = 0;
+    while j + WIDTH <= n {
+        let (pkt, arrival) =
+            pass_load::<F64x8>(F64x8::load(arrival_col, j), F64x8::load(mps, j), tuning);
+        let miss = pass_miss_rate(
+            pkt,
+            arrival,
+            F64x8::load(batch_knob, j),
+            F64x8::load(hops, j),
+            F64x8::load(state, j),
+            F64x8::load(dma_bytes, j),
+            F64x8::load(llc, j),
+            tuning,
+        );
+        let cpp = pass_cycles(
+            pkt,
+            miss,
+            F64x8::load(batch_knob, j),
+            F64x8::load(hops, j),
+            F64x8::load(freq, j),
+            F64x8::load(base_cpp, j),
+            F64x8::load(cyc_byte, j),
+            F64x8::load(mem_refs, j),
+            tuning,
+        );
+        let capacity = pass_capacity(
+            cpp,
+            F64x8::load(cores, j),
+            F64x8::load(share, j),
+            F64x8::load(freq, j),
+            tuning,
+        );
+        let loss = pass_loss(
+            arrival,
+            capacity,
+            F64x8::load(dma_bytes, j),
+            pkt,
+            F64x8::load(burst, j),
+            F64x8::load(batch_knob, j),
+        );
+        let o = pass_outputs(
+            pkt,
+            arrival,
+            capacity,
+            loss,
+            miss,
+            F64x8::load(mem_refs, j),
+            F64x8::load(cores, j),
+            F64x8::load(share, j),
+            tuning,
+        );
+        acc = acc + o.throughput_gbps + o.delivered_pps + o.loss_frac + o.cpu_util;
+        j += WIDTH;
+    }
+    let mut s = 0.0;
+    for k in 0..WIDTH {
+        s += acc.lane(k);
+    }
+    s
+}
+
+fn main() {
+    let cost = ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost();
+    let tuning = SimTuning::default();
+    let llc = llc_partition_bytes(0.5);
+    for lanes in [64usize, 1024, 16384] {
+        let mut batch = ChainBatch::with_capacity(lanes);
+        for i in 0..lanes as u32 {
+            let mut k = KnobSettings::default_tuned();
+            k.freq_ghz = 1.2 + 0.1 * f64::from(i % 8);
+            k.batch = 1 + ((i / 8) % 8) * 40;
+            let load = ChainLoad {
+                arrival_pps: 1.0e6 + 37.0 * f64::from(i),
+                mean_packet_size: 395.0,
+                burstiness: 1.2,
+            };
+            batch.push(&k, &cost, &load, llc);
+        }
+        // warmup
+        for _ in 0..5 {
+            std::hint::black_box(evaluate_chain_batch_threads(&batch, &tuning, 1));
+        }
+        let reps = (2_000_000 / lanes).max(8);
+        let mut best = f64::INFINITY;
+        for _ in 0..12 {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(evaluate_chain_batch_threads(
+                    std::hint::black_box(&batch),
+                    &tuning,
+                    1,
+                ));
+            }
+            let per = t0.elapsed().as_nanos() as f64 / (reps * lanes) as f64;
+            best = best.min(per);
+        }
+        println!("batch/{lanes}: {best:.2} ns/lane (min of 12 runs)");
+
+        // Math-only twin over raw columns (no mask / scatter / alloc).
+        let mut cols: [Vec<f64>; 14] = Default::default();
+        for i in 0..lanes as u32 {
+            let mut k = KnobSettings::default_tuned();
+            k.freq_ghz = 1.2 + 0.1 * f64::from(i % 8);
+            k.batch = 1 + ((i / 8) % 8) * 40;
+            cols[0].push(f64::from(k.cpu.cores));
+            cols[1].push(k.cpu.share);
+            cols[2].push(k.freq_ghz);
+            cols[3].push(k.dma.bytes as f64);
+            cols[4].push(f64::from(k.batch));
+            cols[5].push(cost.base_cycles_per_packet);
+            cols[6].push(cost.cycles_per_byte);
+            cols[7].push(cost.mem_refs_per_packet);
+            cols[8].push(cost.state_bytes as f64);
+            cols[9].push(f64::from(cost.hops));
+            cols[10].push(1.0e6 + 37.0 * f64::from(i));
+            cols[11].push(395.0);
+            cols[12].push(1.2);
+            cols[13].push(llc);
+        }
+        for _ in 0..5 {
+            std::hint::black_box(math_only(&cols, &tuning, lanes));
+        }
+        let mut best = f64::INFINITY;
+        for _ in 0..12 {
+            let t0 = Instant::now();
+            for _ in 0..reps {
+                std::hint::black_box(math_only(std::hint::black_box(&cols), &tuning, lanes));
+            }
+            let per = t0.elapsed().as_nanos() as f64 / (reps * lanes) as f64;
+            best = best.min(per);
+        }
+        println!("math /{lanes}: {best:.2} ns/lane (min of 12 runs)");
+    }
+}

@@ -1,0 +1,42 @@
+// Quick component timing for the wide kernels.
+use nfv_sim::dma::{buffer_loss_lanes, mm1k_loss_lanes};
+use nfv_sim::simd::{wide_exp, wide_ln, F64x8, WideLane};
+use std::time::Instant;
+
+fn time<F: FnMut() -> F64x8>(name: &str, mut f: F) {
+    // warmup
+    for _ in 0..10_000 {
+        std::hint::black_box(f());
+    }
+    let n = 3_000_000u32;
+    let t0 = Instant::now();
+    for _ in 0..n {
+        std::hint::black_box(f());
+    }
+    let dt = t0.elapsed().as_nanos() as f64 / n as f64;
+    println!("{name}: {dt:.1} ns/bundle ({:.2} ns/lane)", dt / 8.0);
+}
+
+fn main() {
+    let x = std::hint::black_box(F64x8::from_slice(&[
+        0.3, 0.9, 1.4, 2.7, 0.55, 0.77, 1.01, 3.3,
+    ]));
+    let t = std::hint::black_box(F64x8::from_slice(&[
+        -120.0, -3.0, 0.4, 5.0, -55.0, 12.0, -0.2, 88.0,
+    ]));
+    let k = std::hint::black_box(F64x8::splat(2574.0));
+    let arr = std::hint::black_box(F64x8::splat(3.5e6));
+    let cap = std::hint::black_box(F64x8::splat(3.675e6));
+    let dma = std::hint::black_box(F64x8::splat(1024.0 * 1024.0));
+    let pkt = std::hint::black_box(F64x8::splat(395.0));
+    let burst = std::hint::black_box(F64x8::splat(1.8));
+    let batch = std::hint::black_box(F64x8::splat(160.0));
+    time("wide_ln ", || wide_ln(std::hint::black_box(x)));
+    time("wide_exp", || wide_exp(std::hint::black_box(t)));
+    time("mm1k    ", || {
+        mm1k_loss_lanes(std::hint::black_box(x), std::hint::black_box(k))
+    });
+    time("bufloss ", || {
+        buffer_loss_lanes(arr, cap, dma, pkt, burst, batch)
+    });
+}

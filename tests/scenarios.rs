@@ -202,6 +202,116 @@ fn scale_out_edge() {
 }
 
 #[test]
+fn flash_crowd_replay() {
+    check_scenario("flash-crowd-replay");
+    // Promoted from the fuzz corpus: the mid-horizon spike is really there.
+    // The spike occupies the middle fifth of the horizon, so the crowd
+    // tenant's busiest epoch must far exceed its steady-state opening epoch.
+    let run = Scenario::by_name("flash-crowd-replay")
+        .unwrap()
+        .run()
+        .unwrap();
+    let crowd: Vec<f64> = run
+        .records
+        .iter()
+        .filter(|r| r.tenant == "crowd")
+        .map(|r| r.throughput_gbps)
+        .collect();
+    let steady = crowd[0];
+    let peak = crowd.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        peak > 2.0 * steady,
+        "no flash crowd: steady {steady}, peak {peak}"
+    );
+    // And it recovers: the final epoch is back near the opening rate.
+    let last = *crowd.last().unwrap();
+    assert!(last < 0.5 * peak, "no recovery: last {last}, peak {peak}");
+}
+
+#[test]
+fn failover_blackout() {
+    check_scenario("failover-blackout");
+    // The victim node's mid-horizon epochs collapse while the survivors
+    // absorb a surge over the same window.
+    let run = Scenario::by_name("failover-blackout")
+        .unwrap()
+        .run()
+        .unwrap();
+    let series = |tenant: &str| -> Vec<f64> {
+        run.records
+            .iter()
+            .filter(|r| r.tenant == tenant)
+            .map(|r| r.throughput_gbps)
+            .collect()
+    };
+    let victim = series("svc-1");
+    let survivor = series("svc-0");
+    let victim_min = victim.iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(
+        victim_min < 0.05 * victim[0],
+        "no blackout: min {victim_min} vs steady {}",
+        victim[0]
+    );
+    let survivor_peak = survivor.iter().copied().fold(0.0f64, f64::max);
+    assert!(
+        survivor_peak > 1.2 * survivor[0],
+        "no failover surge: peak {survivor_peak} vs steady {}",
+        survivor[0]
+    );
+}
+
+#[test]
+fn throttle_edge_storm() {
+    check_scenario("throttle-edge-storm");
+    let scenario = Scenario::by_name("throttle-edge-storm").unwrap();
+    // Every tenant is pinned at the edge profile's bottom DVFS rung — the
+    // throttle is structural, not a controller decision.
+    let profile = &scenario.nodes[0].profile;
+    for t in &scenario.nodes[0].tenants {
+        assert_eq!(
+            t.knobs.freq_ghz, profile.freq_min_ghz,
+            "{} not throttled",
+            t.name
+        );
+    }
+    // A throttled node under a bursty storm must actually drop packets.
+    let run = scenario.run().unwrap();
+    let max_loss = run
+        .records
+        .iter()
+        .map(|r| r.loss_frac)
+        .fold(0.0f64, f64::max);
+    assert!(max_loss > 0.0, "throttled storm never stressed the node");
+}
+
+#[test]
+fn fleet_diurnal_1000() {
+    check_scenario("fleet-diurnal-1000");
+    let scenario = Scenario::by_name("fleet-diurnal-1000").unwrap();
+    assert_eq!(scenario.nodes.len(), 1000, "the fleet is the point");
+    assert_eq!(scenario.evaluation, EvalMode::Incremental);
+    // Only node 0 churns; 999 plateau lanes stay clean per steady epoch.
+    let churn = scenario.nodes[0].tenants.len();
+    let lanes: usize = scenario.nodes.iter().map(|n| n.tenants.len()).sum();
+    assert!(churn * 100 < lanes, "churn {churn}/{lanes} is not low");
+    // Incremental epochs == serial per-node epochs, bit for bit, at fleet
+    // scale (check_scenario pinned the full/pipelined paths already).
+    let mut incremental = scenario.build_cluster().unwrap();
+    let mut serial = scenario.build_cluster().unwrap();
+    let reports = incremental.run_epochs_eval(
+        scenario.epochs as usize,
+        PipelineMode::Auto,
+        EvalMode::Incremental,
+    );
+    for (epoch, report) in reports.iter().enumerate() {
+        let expect: Vec<NodeEpochReport> = (0..serial.len())
+            .map(|i| serial.node_mut(i).unwrap().run_epoch())
+            .collect();
+        assert_eq!(report.nodes, expect, "incremental epoch {epoch} diverged");
+    }
+}
+
+#[test]
 fn checkpoint_resume() {
     // The scenario-matrix leg for resumable training: a short sequential
     // run checkpointed mid-flight (JSON round-trip included) must finish
