@@ -10,7 +10,7 @@
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use greennfv::prelude::Scenario;
-use greennfv_bench::PERF_LANE_COUNTS;
+use greennfv_bench::{fig2_freq_cached, fig3_batch_cached, FigCache, PERF_LANE_COUNTS};
 use greennfv_nn::prelude::*;
 use greennfv_rl::prelude::*;
 use nfv_sim::engine::{
@@ -411,6 +411,35 @@ fn bench(c: &mut Criterion) {
                     PipelineMode::Auto,
                     EvalMode::Full,
                 ))
+            })
+        });
+        g.finish();
+    }
+
+    // Content-addressed figure-grid caching: the PR 8 acceptance pair. One
+    // iteration = both headline grids (fig2 frequency ladder + fig3 batch
+    // sweep). `cache_cold` builds a fresh `FigCache` every iteration, so
+    // every lane goes through the kernel; `cache_warm` reuses one primed
+    // cache, so iterations are pure grid-memo hits. The CI perf gate pins
+    // warm/cold at >= 5x (`perf_check --require-ratio`), and the golden
+    // snapshots pin that both paths stay bit-identical to the uncached
+    // drivers.
+    {
+        let mut g = c.benchmark_group("cache_cold");
+        g.bench_function("fig_grid", |b| {
+            b.iter(|| {
+                let cache = FigCache::default();
+                std::hint::black_box((fig2_freq_cached(42, &cache), fig3_batch_cached(42, &cache)))
+            })
+        });
+        g.finish();
+        let warm = FigCache::default();
+        fig2_freq_cached(42, &warm);
+        fig3_batch_cached(42, &warm);
+        let mut g = c.benchmark_group("cache_warm");
+        g.bench_function("fig_grid", |b| {
+            b.iter(|| {
+                std::hint::black_box((fig2_freq_cached(42, &warm), fig3_batch_cached(42, &warm)))
             })
         });
         g.finish();

@@ -9,13 +9,20 @@
 //!
 //! ```text
 //! perf_check <baseline.json> <current.json> \
-//!     [--prefix engine_evaluate_chain_batch]... [--max-regress 0.25]
+//!     [--prefix engine_evaluate_chain_batch]... [--max-regress 0.25] \
+//!     [--require-ratio <slow_id> <fast_id> <min_ratio>]...
 //! ```
 //!
 //! With no `--prefix`, every baseline bench id is compared. CI runs this
 //! after the perf smoke; the 25% default absorbs shared-runner noise while
 //! catching real kernel regressions (a 25% ns/lane change on an ~80 ns/lane
 //! kernel is far outside jitter on the calibrated smoke measurement).
+//!
+//! `--require-ratio` gates a *speedup invariant* inside the current record:
+//! bench `slow_id` must take at least `min_ratio`× the ns/element of
+//! `fast_id`. CI uses it to pin the warm evaluation cache at ≥ 5× over a
+//! cold run (`cache_cold/fig_grid` vs `cache_warm/fig_grid`) — a ratio, so
+//! it holds on any runner speed.
 
 use serde::Deserialize;
 
@@ -53,12 +60,28 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut prefixes: Vec<String> = Vec::new();
+    let mut ratios: Vec<(String, String, f64)> = Vec::new();
     let mut max_regress = 0.25f64;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--prefix" => {
                 prefixes.push(it.next().unwrap_or_else(|| fail("--prefix needs a value")))
+            }
+            "--require-ratio" => {
+                let slow = it
+                    .next()
+                    .unwrap_or_else(|| fail("--require-ratio needs <slow_id> <fast_id> <min>"));
+                let fast = it
+                    .next()
+                    .unwrap_or_else(|| fail("--require-ratio needs <slow_id> <fast_id> <min>"));
+                let min = it
+                    .next()
+                    .unwrap_or_else(|| fail("--require-ratio needs <slow_id> <fast_id> <min>"));
+                let min = min
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --require-ratio minimum `{min}`")));
+                ratios.push((slow, fast, min));
             }
             "--max-regress" => {
                 let v = it
@@ -116,6 +139,32 @@ fn main() {
             cur.ns_per_element,
             (ratio - 1.0) * 100.0
         );
+    }
+
+    for (slow_id, fast_id, min) in &ratios {
+        let ns = |id: &str| {
+            current
+                .benches
+                .iter()
+                .find(|b| b.id == id)
+                .map(|b| b.ns_per_element)
+                .unwrap_or_else(|| fail(&format!("`{id}` missing from {current_path}")))
+        };
+        let (slow, fast) = (ns(slow_id), ns(fast_id));
+        if !(slow.is_finite() && fast.is_finite() && fast > 0.0) {
+            eprintln!("FAIL {slow_id} / {fast_id}: degenerate measurement ({slow} / {fast})");
+            failures += 1;
+            continue;
+        }
+        compared += 1;
+        let ratio = slow / fast;
+        let verdict = if ratio < *min {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok  "
+        };
+        println!("{verdict} {slow_id} / {fast_id} = {ratio:.1}x (require >= {min:.1}x)");
     }
 
     if compared == 0 && failures == 0 {

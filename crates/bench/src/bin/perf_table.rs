@@ -1,0 +1,135 @@
+//! `perf_table` — renders the committed perf trajectory as a markdown table.
+//!
+//! ```text
+//! perf_table <record.json>... [-o docs/PERF.md] [--check]
+//! ```
+//!
+//! Each positional argument is one `PERF_RECORD_PATH`-format snapshot (the
+//! committed `BENCH_pr*.json` files, oldest first). The output is one row
+//! per bench id — ordered by the record that first measured it, then by its
+//! position there — and one ns/element column per snapshot, so a bench that
+//! did not exist yet simply shows `–`. `-o` writes the table to a file
+//! (`docs/PERF.md` in CI); `--check` instead verifies the file is already
+//! up to date and exits 1 when it drifted, which keeps the committed
+//! trajectory page in lockstep with the committed records.
+
+use serde::Deserialize;
+
+#[derive(Debug, Deserialize)]
+struct BenchEntry {
+    id: String,
+    ns_per_element: f64,
+}
+
+#[derive(Debug, Deserialize)]
+struct PerfRecord {
+    schema: String,
+    benches: Vec<BenchEntry>,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("perf_table: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> PerfRecord {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read `{path}`: {e}")));
+    let record: PerfRecord = serde_json::from_str(&text)
+        .unwrap_or_else(|e| fail(&format!("cannot parse `{path}`: {e}")));
+    if !record.schema.starts_with("greennfv-perf-record/") {
+        fail(&format!("`{path}` has schema `{}`", record.schema));
+    }
+    record
+}
+
+/// Column label for a snapshot path: `BENCH_pr7.json` becomes `pr7`.
+fn label(path: &str) -> String {
+    let stem = std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or(path);
+    stem.strip_prefix("BENCH_").unwrap_or(stem).to_string()
+}
+
+fn render(paths: &[String]) -> String {
+    let records: Vec<PerfRecord> = paths.iter().map(|p| load(p)).collect();
+
+    // Row order: by the snapshot that first measured the bench, then by its
+    // position inside that snapshot — so the table reads as a timeline of
+    // when each surface grew a benchmark.
+    let mut ids: Vec<&str> = Vec::new();
+    for record in &records {
+        for bench in &record.benches {
+            if !ids.contains(&bench.id.as_str()) {
+                ids.push(&bench.id);
+            }
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("# Perf trajectory\n\n");
+    out.push_str(
+        "ns/element per bench id across the committed `BENCH_pr*.json` snapshots \
+         (timed local runs; `–` means the bench did not exist yet). Regenerate with:\n\n\
+         ```text\ncargo run --release -p greennfv-bench --bin perf_table -- \
+         BENCH_pr*.json -o docs/PERF.md\n```\n\n",
+    );
+    out.push_str("| bench |");
+    for path in paths {
+        out.push_str(&format!(" {} |", label(path)));
+    }
+    out.push('\n');
+    out.push_str("|---|");
+    out.push_str(&"---:|".repeat(paths.len()));
+    out.push('\n');
+    for id in ids {
+        out.push_str(&format!("| `{id}` |"));
+        for record in &records {
+            match record.benches.iter().find(|b| b.id == id) {
+                Some(b) => out.push_str(&format!(" {:.1} |", b.ns_per_element)),
+                None => out.push_str(" – |"),
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut output: Option<String> = None;
+    let mut check = false;
+    let mut it = args.into_iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "-o" => output = Some(it.next().unwrap_or_else(|| fail("-o needs a path"))),
+            "--check" => check = true,
+            _ => paths.push(arg),
+        }
+    }
+    if paths.is_empty() {
+        fail("usage: perf_table <record.json>... [-o docs/PERF.md] [--check]");
+    }
+    let table = render(&paths);
+    match (output, check) {
+        (Some(path), true) => {
+            let committed = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| fail(&format!("cannot read `{path}`: {e}")));
+            if committed != table {
+                eprintln!(
+                    "perf_table: `{path}` is stale — regenerate it from the committed records"
+                );
+                std::process::exit(1);
+            }
+            println!("perf_table: `{path}` is up to date");
+        }
+        (Some(path), false) => {
+            std::fs::write(&path, &table)
+                .unwrap_or_else(|e| fail(&format!("cannot write `{path}`: {e}")));
+            println!("perf_table: wrote `{path}`");
+        }
+        (None, _) => print!("{table}"),
+    }
+}

@@ -1,11 +1,16 @@
 //! `repro` — regenerates every table and figure of the GreenNFV paper.
 //!
 //! ```text
-//! repro [fig1|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|all] [--full] [--seed N]
+//! repro [fig1|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|dag|all] [--full] [--seed N]
 //! ```
 //!
 //! `--full` uses the long training budgets recorded in EXPERIMENTS.md;
 //! the default quick mode finishes in well under a minute per figure.
+//!
+//! The fig2/fig3 grids run through the content-addressed evaluation cache
+//! (`FigCache`) — bit-identical to the uncached drivers, pinned by the
+//! golden snapshots — and `dag` demos the experiment-DAG driver with a
+//! warm re-run served entirely from the memo.
 
 use greennfv::prelude::*;
 use greennfv_bench::*;
@@ -25,7 +30,7 @@ fn main() {
         .unwrap_or(42u64);
     let which: Vec<&str> = args
         .iter()
-        .filter(|a| a.starts_with("fig") || *a == "all")
+        .filter(|a| a.starts_with("fig") || *a == "all" || *a == "dag")
         .map(|s| s.as_str())
         .collect();
     let which = if which.is_empty() { vec!["all"] } else { which };
@@ -37,13 +42,14 @@ fn main() {
         println!("== Figure 1: LLC partitioning (two chains, 13 vs 1 Mpps) ==");
         println!("{}", render_fig1(&fig1_llc(seed)));
     }
+    let figs = FigCache::default();
     if want("fig2") {
         println!("== Figure 2: CPU frequency sweep (3-NF chain, 1518 B line rate) ==");
-        println!("{}", render_fig2(&fig2_freq(seed)));
+        println!("{}", render_fig2(&fig2_freq_cached(seed, &figs)));
     }
     if want("fig3") {
         println!("== Figure 3: batch-size sweep ==");
-        println!("{}", render_fig3(&fig3_batch(seed)));
+        println!("{}", render_fig3(&fig3_batch_cached(seed, &figs)));
     }
     if want("fig4") {
         println!("== Figure 4: DMA buffer sweep (64 B vs 1518 B) ==");
@@ -108,6 +114,57 @@ fn main() {
             "asymptotic saving: {:.0}%; break-even after {:.2} h\n",
             curve.asymptotic_saving() * 100.0,
             curve.break_even_hours()
+        );
+    }
+    if want("dag") {
+        println!("== Experiment DAG: baseline -> ablations -> figure, content-addressed ==");
+        let mut base = Scenario::by_name("two-tenant-shared-node").expect("registry name");
+        base.seed = seed;
+        base.epochs = base.epochs.min(12);
+        let dag = ExperimentDag::new(vec![
+            Experiment {
+                name: "baseline".into(),
+                spec: ExperimentSpec::Scenario(Box::new(base)),
+            },
+            Experiment {
+                name: "freq-1.9".into(),
+                spec: ExperimentSpec::Ablation {
+                    base: "baseline".into(),
+                    patch: ScenarioPatch {
+                        freq_ghz: Some(1.9),
+                        ..ScenarioPatch::default()
+                    },
+                },
+            },
+            Experiment {
+                name: "half-load".into(),
+                spec: ExperimentSpec::Ablation {
+                    base: "baseline".into(),
+                    patch: ScenarioPatch {
+                        arrival_scale: Some(0.5),
+                        ..ScenarioPatch::default()
+                    },
+                },
+            },
+            Experiment {
+                name: "summary".into(),
+                spec: ExperimentSpec::Figure {
+                    inputs: vec!["baseline".into(), "freq-1.9".into(), "half-load".into()],
+                },
+            },
+        ]);
+        let driver = DagDriver::default();
+        let cold = driver.run(&dag).expect("demo dag runs");
+        println!(
+            "{}",
+            cold.figure("summary").expect("figure present").render()
+        );
+        let warm = driver.run(&dag).expect("demo dag runs");
+        println!(
+            "cold: {} executed; warm re-run: {} memo hits, {} executed\n",
+            cold.executed(),
+            warm.hits(),
+            warm.executed()
         );
     }
 }

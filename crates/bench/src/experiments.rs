@@ -318,6 +318,173 @@ pub fn render_fig3(rows: &[Fig3Row]) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Cached figure grids
+// ---------------------------------------------------------------------------
+
+/// 8-byte versioned tag of a Figure 2 grid memo key.
+const FIG2_GRID_TAG: [u8; 8] = *b"FIG2GRD\0";
+/// 8-byte versioned tag of a Figure 3 grid memo key.
+const FIG3_GRID_TAG: [u8; 8] = *b"FIG3GRD\0";
+
+/// Process-level memo for the headline figure grids: one shared lane-level
+/// [`EvalCache`] consulted by the candidate sweeps, plus grid-level stores
+/// keyed by `(tag, seed)` — every other grid input ([`fig2_freq`] /
+/// [`fig3_batch`] hard-code their ladders, costs, and default tuning) is
+/// compile-time constant, so the seed is the whole identity. The cached
+/// drivers are bit-identical to the plain ones by construction (the cached
+/// batch front-end only reorders *which* lanes the kernel sweeps, never
+/// what a lane computes) — pinned by a test below and by the goldens.
+pub struct FigCache {
+    eval: EvalCache,
+    fig2: MemoStore<Vec<Fig2Row>>,
+    fig3: MemoStore<Vec<Fig3Row>>,
+}
+
+impl Default for FigCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_CACHE_BUDGET)
+    }
+}
+
+impl FigCache {
+    /// A cache whose lane-level store holds at most `budget_bytes` (each
+    /// grid-level store gets a 1/64 slice — whole grids are tiny).
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            eval: EvalCache::new(budget_bytes),
+            fig2: MemoStore::new(budget_bytes / 64),
+            fig3: MemoStore::new(budget_bytes / 64),
+        }
+    }
+
+    /// The shared lane-level evaluation cache.
+    #[must_use]
+    pub fn eval(&self) -> &EvalCache {
+        &self.eval
+    }
+
+    /// Counters of the lane-level evaluation cache.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        self.eval.stats()
+    }
+}
+
+fn grid_key(tag: [u8; 8], seed: u64) -> CanonicalKey {
+    let mut bytes = Vec::with_capacity(16);
+    bytes.extend_from_slice(&tag);
+    bytes.extend_from_slice(&seed.to_le_bytes());
+    CanonicalKey::from_bytes(bytes)
+}
+
+fn grid_bytes<R>(rows: &[R]) -> usize {
+    std::mem::size_of_val(rows) + std::mem::size_of::<Vec<R>>()
+}
+
+/// [`fig2_freq`] through the content-addressed caches: the whole grid memo
+/// hits on a repeat seed, and on a grid miss the candidate sweep runs
+/// through [`Node::evaluate_candidates_cached`], so lanes shared with
+/// previous sweeps skip the kernel. Bit-identical to [`fig2_freq`].
+pub fn fig2_freq_cached(seed: u64, cache: &FigCache) -> Vec<Fig2Row> {
+    let key = grid_key(FIG2_GRID_TAG, seed);
+    if let Some(rows) = cache.fig2.get(&key) {
+        return rows;
+    }
+    let scaler = FreqScaler::new(Governor::Userspace);
+    let knobs_at = |f: f64| KnobSettings {
+        cpu: CpuAllocation {
+            cores: 1,
+            share: 1.0,
+        },
+        freq_ghz: f,
+        llc_fraction: 0.8,
+        dma: DmaBuffer::from_mb(8.0),
+        batch: 64,
+    };
+    let mut node = Node::default_greennfv(0);
+    node.add_chain(
+        ChainSpec::canonical_three(ChainId(0)),
+        FlowSet::new(vec![FlowSpec::line_rate_large(0)]).expect("valid flow"),
+        knobs_at(scaler.ladder()[0]),
+        seed,
+    )
+    .expect("chain fits");
+    let load = node.sample_load(ChainId(0)).expect("chain installed");
+    let candidates: Vec<KnobSettings> = scaler.ladder().iter().map(|&f| knobs_at(f)).collect();
+    let swept = node
+        .evaluate_candidates_cached(ChainId(0), &candidates, load, cache.eval())
+        .expect("single-chain node");
+    let rows: Vec<Fig2Row> = scaler
+        .ladder()
+        .iter()
+        .zip(swept)
+        .map(|(&f, r)| {
+            let r = r.expect("ladder knobs fit the node");
+            Fig2Row {
+                freq_ghz: f,
+                throughput_gbps: r.total_throughput_gbps(),
+                energy_j: r.energy_j,
+            }
+        })
+        .collect();
+    cache
+        .fig2
+        .insert_sized(key, rows.clone(), grid_bytes(&rows));
+    rows
+}
+
+/// [`fig3_batch`] through the content-addressed caches; see
+/// [`fig2_freq_cached`]. Bit-identical to [`fig3_batch`].
+pub fn fig3_batch_cached(seed: u64, cache: &FigCache) -> Vec<Fig3Row> {
+    const BATCHES: [u32; 11] = [1, 25, 50, 75, 100, 125, 150, 175, 200, 250, 300];
+    let key = grid_key(FIG3_GRID_TAG, seed);
+    if let Some(rows) = cache.fig3.get(&key) {
+        return rows;
+    }
+    let knobs_at = |batch: u32| KnobSettings {
+        cpu: CpuAllocation {
+            cores: 1,
+            share: 1.0,
+        },
+        freq_ghz: 1.9,
+        llc_fraction: 0.12,
+        dma: DmaBuffer::from_mb(8.0),
+        batch,
+    };
+    let mut node = Node::default_greennfv(0);
+    node.add_chain(
+        ChainSpec::canonical_three(ChainId(0)),
+        FlowSet::new(vec![FlowSpec::cbr(0, 6.0e6, 800)]).expect("valid flow"),
+        knobs_at(BATCHES[0]),
+        seed,
+    )
+    .expect("chain fits");
+    let load = node.sample_load(ChainId(0)).expect("chain installed");
+    let candidates: Vec<KnobSettings> = BATCHES.iter().map(|&b| knobs_at(b)).collect();
+    let swept = node
+        .evaluate_candidates_cached(ChainId(0), &candidates, load, cache.eval())
+        .expect("single-chain node");
+    let rows: Vec<Fig3Row> = BATCHES
+        .iter()
+        .zip(swept)
+        .map(|(&batch, r)| {
+            let r = r.expect("grid knobs fit the node");
+            Fig3Row {
+                batch,
+                throughput_gbps: r.total_throughput_gbps(),
+                energy_kj: r.energy_j / 1000.0,
+                misses_e4: r.chains[0].llc_misses / 1e4,
+            }
+        })
+        .collect();
+    cache
+        .fig3
+        .insert_sized(key, rows.clone(), grid_bytes(&rows));
+    rows
+}
+
+// ---------------------------------------------------------------------------
 // Figure 4: DMA buffer micro-benchmark
 // ---------------------------------------------------------------------------
 

@@ -1,0 +1,953 @@
+//! Experiment DAG: declare baseline → ablation → figure pipelines as data
+//! and execute them through a content-addressed result memo.
+//!
+//! A paper reproduction is rarely one scenario — it is a *graph* of them: a
+//! baseline, a handful of single-axis ablations patched off that baseline,
+//! and figures that tabulate over the lot. [`ExperimentDag`] captures that
+//! graph as a serde value (so a whole evaluation campaign round-trips
+//! through JSON), and [`DagDriver`] executes it:
+//!
+//! 1. the DAG is validated (unique names, known dependencies, acyclic) and
+//!    topologically sorted — deterministically, preserving declaration order
+//!    among ready experiments;
+//! 2. every scenario-producing experiment resolves to a concrete
+//!    [`Scenario`] (ablations apply their [`ScenarioPatch`] to the resolved
+//!    base) and is looked up in a [`MemoStore`] under its content-addressed
+//!    [`Scenario::key`] before [`Scenario::run`] is invoked;
+//! 3. figures memoize under the concatenated keys of their inputs.
+//!
+//! Because the memo key is the exact descriptor bytes (plus horizon and
+//! seed), "re-run only the downstream cone of a change" needs no explicit
+//! invalidation pass: editing one knob axis changes the patched scenario's
+//! descriptor, hence its key, hence the key of every figure consuming it —
+//! while untouched experiments still hit. `tests/dag_replay.rs` replays the
+//! scenario-fuzz corpus through this driver twice and pins that the warm
+//! run is bit-identical with a 100% scenario-level hit rate.
+
+use std::collections::{HashMap, HashSet};
+use std::mem::size_of;
+
+use nfv_sim::prelude::*;
+use serde::{Deserialize, Serialize};
+
+use crate::report::table;
+use crate::scenario::{Scenario, ScenarioRunResult, TenantEpochRecord, TenantSummary, TrafficSpec};
+
+/// Leading tag of a figure memo key, versioned like the key tags in
+/// [`nfv_sim::cache`].
+const FIGURE_KEY_TAG: [u8; 8] = *b"FIGKEY1\0";
+
+fn dag_err(msg: impl Into<String>) -> SimError {
+    SimError::NodeConfig(format!("experiment dag: {}", msg.into()))
+}
+
+// ---------------------------------------------------------------------------
+// Patches
+// ---------------------------------------------------------------------------
+
+/// A sparse, serializable edit applied to a resolved base [`Scenario`] by an
+/// ablation experiment. Every field is optional; `None` leaves the base
+/// value untouched. Knob axes apply to **every** tenant on every node —
+/// ablations model "turn one platform knob", not per-tenant surgery (declare
+/// a full [`ExperimentSpec::Scenario`] for the latter).
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct ScenarioPatch {
+    /// Replace the master seed.
+    #[serde(default)]
+    pub seed: Option<u64>,
+    /// Replace the epoch horizon.
+    #[serde(default)]
+    pub epochs: Option<u32>,
+    /// Replace the batch evaluation mode.
+    #[serde(default)]
+    pub evaluation: Option<EvalMode>,
+    /// Set every tenant's core frequency, GHz.
+    #[serde(default)]
+    pub freq_ghz: Option<f64>,
+    /// Set every tenant's packet batch size.
+    #[serde(default)]
+    pub batch: Option<u32>,
+    /// Set every tenant's LLC CAT fraction.
+    #[serde(default)]
+    pub llc_fraction: Option<f64>,
+    /// Multiply every tenant's offered arrival rate (synthetic flow
+    /// `rate_pps` and replay-trace point `rate_pps` alike) by this factor.
+    #[serde(default)]
+    pub arrival_scale: Option<f64>,
+}
+
+impl ScenarioPatch {
+    /// True when the patch edits nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+
+    /// Applies the patch to `base`, returning a new scenario named `name`.
+    ///
+    /// The result is re-validated, so a patch that pushes a knob out of
+    /// range fails here rather than mid-run.
+    pub fn apply(&self, base: &Scenario, name: &str) -> SimResult<Scenario> {
+        if let Some(s) = self.arrival_scale {
+            if !s.is_finite() || s <= 0.0 {
+                return Err(dag_err(format!("arrival_scale {s} must be finite and > 0")));
+            }
+        }
+        let mut sc = base.clone();
+        sc.name = name.to_string();
+        if let Some(seed) = self.seed {
+            sc.seed = seed;
+        }
+        if let Some(epochs) = self.epochs {
+            sc.epochs = epochs;
+        }
+        if let Some(evaluation) = self.evaluation {
+            sc.evaluation = evaluation;
+        }
+        for node in &mut sc.nodes {
+            for tenant in &mut node.tenants {
+                if let Some(f) = self.freq_ghz {
+                    tenant.knobs.freq_ghz = f;
+                }
+                if let Some(b) = self.batch {
+                    tenant.knobs.batch = b;
+                }
+                if let Some(l) = self.llc_fraction {
+                    tenant.knobs.llc_fraction = l;
+                }
+                if let Some(s) = self.arrival_scale {
+                    tenant.traffic = scale_traffic(&tenant.traffic, s)?;
+                }
+                // Scenario::validate defers knob range checks to cluster
+                // build; fail a bad patch here instead, before anything runs.
+                tenant.knobs.validate()?;
+            }
+        }
+        sc.validate()?;
+        Ok(sc)
+    }
+}
+
+/// Scales every offered rate in a traffic spec by `scale`.
+fn scale_traffic(traffic: &TrafficSpec, scale: f64) -> SimResult<TrafficSpec> {
+    match traffic {
+        TrafficSpec::Flows(flows) => {
+            let scaled: Vec<FlowSpec> = flows
+                .flows()
+                .iter()
+                .map(|f| FlowSpec {
+                    rate_pps: f.rate_pps * scale,
+                    ..*f
+                })
+                .collect();
+            let set = FlowSet::new(scaled).map_err(|e| dag_err(format!("scaled flows: {e}")))?;
+            Ok(TrafficSpec::Flows(set))
+        }
+        TrafficSpec::Replay { trace, jitter_frac } => {
+            let points: Vec<TracePoint> = trace
+                .points()
+                .iter()
+                .map(|p| TracePoint {
+                    rate_pps: p.rate_pps * scale,
+                    ..*p
+                })
+                .collect();
+            Ok(TrafficSpec::Replay {
+                trace: Trace::new(trace.name(), points)?,
+                jitter_frac: *jitter_frac,
+            })
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The DAG
+// ---------------------------------------------------------------------------
+
+/// What one experiment node computes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ExperimentSpec {
+    /// A fully specified scenario run (a baseline). The descriptor's own
+    /// `name` is overwritten with the experiment name at resolution time so
+    /// every experiment's memo key is stamped with its position in the DAG.
+    Scenario(Box<Scenario>),
+    /// A patched variant of another scenario-producing experiment.
+    Ablation {
+        /// Name of the experiment whose resolved scenario is patched. May
+        /// itself be an ablation (patches chain).
+        base: String,
+        /// The edit.
+        patch: ScenarioPatch,
+    },
+    /// A summary table over named scenario-producing experiments, one row
+    /// per input, in input order.
+    Figure {
+        /// Names of the experiments to tabulate.
+        inputs: Vec<String>,
+    },
+}
+
+impl ExperimentSpec {
+    /// Names of the experiments this spec depends on.
+    #[must_use]
+    pub fn deps(&self) -> Vec<&str> {
+        match self {
+            ExperimentSpec::Scenario(_) => Vec::new(),
+            ExperimentSpec::Ablation { base, .. } => vec![base.as_str()],
+            ExperimentSpec::Figure { inputs } => inputs.iter().map(String::as_str).collect(),
+        }
+    }
+
+    /// True when this spec resolves to a runnable [`Scenario`].
+    #[must_use]
+    pub fn produces_scenario(&self) -> bool {
+        !matches!(self, ExperimentSpec::Figure { .. })
+    }
+}
+
+/// One named node of an [`ExperimentDag`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Experiment {
+    /// Unique name; dependency edges refer to it.
+    pub name: String,
+    /// What to compute.
+    pub spec: ExperimentSpec,
+}
+
+/// A declared set of experiments with dependency edges, executable by
+/// [`DagDriver::run`]. Serializes as a plain JSON document, so a whole
+/// evaluation campaign is a checked-in artifact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentDag {
+    /// The experiments, in declaration order.
+    pub experiments: Vec<Experiment>,
+}
+
+impl ExperimentDag {
+    /// Wraps a list of experiments. Call [`ExperimentDag::validate`] (or
+    /// just [`DagDriver::run`], which validates) before trusting it.
+    #[must_use]
+    pub fn new(experiments: Vec<Experiment>) -> Self {
+        Self { experiments }
+    }
+
+    /// Serializes the DAG to JSON.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("dag serialization is infallible")
+    }
+
+    /// Rebuilds a DAG from [`ExperimentDag::to_json`] output.
+    pub fn from_json(text: &str) -> SimResult<Self> {
+        serde_json::from_str(text).map_err(|e| dag_err(format!("JSON: {e}")))
+    }
+
+    /// Structural validation: at least one experiment, unique names, every
+    /// dependency names a declared experiment of the right kind (ablation
+    /// bases and figure inputs must produce scenarios), and the graph is
+    /// acyclic.
+    pub fn validate(&self) -> SimResult<()> {
+        if self.experiments.is_empty() {
+            return Err(dag_err("no experiments"));
+        }
+        let mut kinds: HashMap<&str, bool> = HashMap::new();
+        for exp in &self.experiments {
+            if exp.name.is_empty() {
+                return Err(dag_err("experiment with empty name"));
+            }
+            if kinds
+                .insert(exp.name.as_str(), exp.spec.produces_scenario())
+                .is_some()
+            {
+                return Err(dag_err(format!("duplicate experiment name `{}`", exp.name)));
+            }
+        }
+        for exp in &self.experiments {
+            for dep in exp.spec.deps() {
+                match kinds.get(dep) {
+                    None => {
+                        return Err(dag_err(format!(
+                            "`{}` depends on unknown experiment `{dep}`",
+                            exp.name
+                        )));
+                    }
+                    Some(false) => {
+                        return Err(dag_err(format!(
+                            "`{}` depends on `{dep}`, which is a figure, not a scenario",
+                            exp.name
+                        )));
+                    }
+                    Some(true) => {}
+                }
+            }
+        }
+        self.topo_order()?;
+        Ok(())
+    }
+
+    /// Deterministic topological order (indices into
+    /// [`ExperimentDag::experiments`]): Kahn's algorithm, always emitting
+    /// the first declared ready experiment next, so declaration order is
+    /// preserved among independent experiments. Errs on a dependency cycle.
+    pub fn topo_order(&self) -> SimResult<Vec<usize>> {
+        let index: HashMap<&str, usize> = self
+            .experiments
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (e.name.as_str(), i))
+            .collect();
+        let mut indegree = vec![0_usize; self.experiments.len()];
+        for (i, exp) in self.experiments.iter().enumerate() {
+            for dep in exp.spec.deps() {
+                if index.contains_key(dep) {
+                    indegree[i] += 1;
+                }
+            }
+        }
+        let mut emitted = vec![false; self.experiments.len()];
+        let mut order = Vec::with_capacity(self.experiments.len());
+        while order.len() < self.experiments.len() {
+            let Some(next) = (0..self.experiments.len()).find(|&i| !emitted[i] && indegree[i] == 0)
+            else {
+                let stuck: Vec<&str> = self
+                    .experiments
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !emitted[*i])
+                    .map(|(_, e)| e.name.as_str())
+                    .collect();
+                return Err(dag_err(format!(
+                    "dependency cycle among: {}",
+                    stuck.join(", ")
+                )));
+            };
+            emitted[next] = true;
+            order.push(next);
+            let name = self.experiments[next].name.as_str();
+            for (i, exp) in self.experiments.iter().enumerate() {
+                if !emitted[i] {
+                    indegree[i] -= exp.spec.deps().iter().filter(|d| **d == name).count();
+                }
+            }
+        }
+        Ok(order)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Figures
+// ---------------------------------------------------------------------------
+
+/// One row of a [`FigureTable`]: a scenario experiment's cluster aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureRow {
+    /// The input experiment's name.
+    pub experiment: String,
+    /// Mean cluster throughput per epoch, Gbps.
+    pub mean_throughput_gbps: f64,
+    /// Mean cluster energy per epoch, joules.
+    pub mean_energy_j: f64,
+    /// Cluster energy efficiency, Gbps per kJ.
+    pub efficiency: f64,
+}
+
+/// Output of an [`ExperimentSpec::Figure`]: one row per input, in input
+/// order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FigureTable {
+    /// The figure experiment's name.
+    pub name: String,
+    /// The rows.
+    pub rows: Vec<FigureRow>,
+}
+
+impl FigureTable {
+    /// Renders the figure as an aligned text table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.experiment.clone(),
+                    format!("{:.3}", r.mean_throughput_gbps),
+                    format!("{:.1}", r.mean_energy_j),
+                    format!("{:.3}", r.efficiency),
+                ]
+            })
+            .collect();
+        format!(
+            "{}\n{}",
+            self.name,
+            table(
+                &["experiment", "tput (Gbps)", "energy (J)", "eff (Gbps/kJ)"],
+                &rows,
+            )
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The driver
+// ---------------------------------------------------------------------------
+
+/// How one experiment in a [`DagRunReport`] was satisfied.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RunAction {
+    /// The scenario (or figure) was computed fresh and memoized.
+    Executed,
+    /// The result was served from the content-addressed memo.
+    CacheHit,
+}
+
+/// An executed experiment's output.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExperimentOutput {
+    /// Output of a scenario-producing experiment.
+    Scenario(ScenarioRunResult),
+    /// Output of a figure experiment.
+    Figure(FigureTable),
+}
+
+/// One experiment's outcome within a [`DagRunReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentRun {
+    /// Experiment name.
+    pub name: String,
+    /// Fresh execution or memo hit.
+    pub action: RunAction,
+    /// The output.
+    pub output: ExperimentOutput,
+}
+
+/// Everything one [`DagDriver::run`] produced, in topological order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DagRunReport {
+    /// Per-experiment outcomes, in execution (topological) order.
+    pub runs: Vec<ExperimentRun>,
+}
+
+impl DagRunReport {
+    /// Number of experiments computed fresh.
+    #[must_use]
+    pub fn executed(&self) -> usize {
+        self.runs
+            .iter()
+            .filter(|r| r.action == RunAction::Executed)
+            .count()
+    }
+
+    /// Number of experiments served from the memo.
+    #[must_use]
+    pub fn hits(&self) -> usize {
+        self.runs.len() - self.executed()
+    }
+
+    /// An experiment's output by name.
+    #[must_use]
+    pub fn output(&self, name: &str) -> Option<&ExperimentOutput> {
+        self.runs.iter().find(|r| r.name == name).map(|r| &r.output)
+    }
+
+    /// A scenario experiment's result by name.
+    #[must_use]
+    pub fn scenario(&self, name: &str) -> Option<&ScenarioRunResult> {
+        match self.output(name)? {
+            ExperimentOutput::Scenario(r) => Some(r),
+            ExperimentOutput::Figure(_) => None,
+        }
+    }
+
+    /// A figure experiment's table by name.
+    #[must_use]
+    pub fn figure(&self, name: &str) -> Option<&FigureTable> {
+        match self.output(name)? {
+            ExperimentOutput::Figure(t) => Some(t),
+            ExperimentOutput::Scenario(_) => None,
+        }
+    }
+}
+
+/// Rough heap footprint of a memoized scenario result, for the store's LRU
+/// byte accounting.
+fn scenario_result_bytes(r: &ScenarioRunResult) -> usize {
+    size_of::<ScenarioRunResult>()
+        + r.name.len()
+        + r.records.len() * (size_of::<TenantEpochRecord>() + 16)
+        + r.tenants.len() * (size_of::<TenantSummary>() + 48)
+}
+
+fn figure_bytes(t: &FigureTable) -> usize {
+    size_of::<FigureTable>()
+        + t.name.len()
+        + t.rows
+            .iter()
+            .map(|r| size_of::<FigureRow>() + r.experiment.len())
+            .sum::<usize>()
+}
+
+/// Executes [`ExperimentDag`]s against persistent content-addressed memos.
+///
+/// One driver amortizes across calls: run a DAG, edit one experiment, run
+/// it again — only the edited experiment and its downstream cone execute;
+/// everything whose resolved descriptor is unchanged is a [`RunAction::CacheHit`].
+/// Scenario results and figure tables live in separate [`MemoStore`]s so a
+/// flood of cheap figure tables can never evict expensive scenario runs.
+#[derive(Debug)]
+pub struct DagDriver {
+    runs: MemoStore<ScenarioRunResult>,
+    figures: MemoStore<FigureTable>,
+}
+
+impl Default for DagDriver {
+    fn default() -> Self {
+        Self::new(DEFAULT_CACHE_BUDGET)
+    }
+}
+
+impl DagDriver {
+    /// A driver whose scenario and figure memos each hold at most
+    /// `budget_bytes`. The stores are separate so figures can never evict
+    /// scenario runs, but the figure memo needs a full-size budget of its
+    /// own: a figure key embeds the complete canonical key of every input,
+    /// so one wide figure's entry can outweigh all its tables combined.
+    #[must_use]
+    pub fn new(budget_bytes: usize) -> Self {
+        Self {
+            runs: MemoStore::new(budget_bytes),
+            figures: MemoStore::new(budget_bytes),
+        }
+    }
+
+    /// Validates, topo-sorts, and executes `dag`, reusing memoized results.
+    pub fn run(&self, dag: &ExperimentDag) -> SimResult<DagRunReport> {
+        dag.validate()?;
+        let order = dag.topo_order()?;
+        let mut keys: HashMap<String, ScenarioKey> = HashMap::new();
+        let mut resolved: HashMap<String, Scenario> = HashMap::new();
+        let mut results: HashMap<String, ScenarioRunResult> = HashMap::new();
+        let mut runs = Vec::with_capacity(order.len());
+        for idx in order {
+            let exp = &dag.experiments[idx];
+            let run = match &exp.spec {
+                ExperimentSpec::Scenario(sc) => {
+                    let mut sc = (**sc).clone();
+                    sc.name.clone_from(&exp.name);
+                    sc.validate()?;
+                    self.run_scenario(exp, sc, &mut keys, &mut resolved, &mut results)?
+                }
+                ExperimentSpec::Ablation { base, patch } => {
+                    let base_sc = resolved
+                        .get(base)
+                        .expect("validated dependency resolved earlier in topo order");
+                    let sc = patch.apply(base_sc, &exp.name)?;
+                    self.run_scenario(exp, sc, &mut keys, &mut resolved, &mut results)?
+                }
+                ExperimentSpec::Figure { inputs } => self.run_figure(exp, inputs, &keys, &results),
+            };
+            runs.push(run);
+        }
+        Ok(DagRunReport { runs })
+    }
+
+    fn run_scenario(
+        &self,
+        exp: &Experiment,
+        sc: Scenario,
+        keys: &mut HashMap<String, ScenarioKey>,
+        resolved: &mut HashMap<String, Scenario>,
+        results: &mut HashMap<String, ScenarioRunResult>,
+    ) -> SimResult<ExperimentRun> {
+        let key = sc.key();
+        let (out, action) = if let Some(hit) = self.runs.get(key.key()) {
+            (hit, RunAction::CacheHit)
+        } else {
+            let out = sc.run()?;
+            let bytes = scenario_result_bytes(&out);
+            self.runs
+                .insert_sized(key.clone().into_key(), out.clone(), bytes);
+            (out, RunAction::Executed)
+        };
+        keys.insert(exp.name.clone(), key);
+        resolved.insert(exp.name.clone(), sc);
+        results.insert(exp.name.clone(), out.clone());
+        Ok(ExperimentRun {
+            name: exp.name.clone(),
+            action,
+            output: ExperimentOutput::Scenario(out),
+        })
+    }
+
+    fn run_figure(
+        &self,
+        exp: &Experiment,
+        inputs: &[String],
+        keys: &HashMap<String, ScenarioKey>,
+        results: &HashMap<String, ScenarioRunResult>,
+    ) -> ExperimentRun {
+        // The figure's identity is its name plus the exact keys of its
+        // inputs (length-prefixed — scenario keys embed a variable-length
+        // descriptor, so raw concatenation would be ambiguous). Any change
+        // to any input's descriptor therefore changes the figure's key.
+        let mut desc: Vec<u8> = FIGURE_KEY_TAG.to_vec();
+        desc.extend_from_slice(&(exp.name.len() as u64).to_le_bytes());
+        desc.extend_from_slice(exp.name.as_bytes());
+        for input in inputs {
+            let key = keys
+                .get(input)
+                .expect("validated dependency resolved earlier in topo order");
+            desc.extend_from_slice(&(key.key().bytes().len() as u64).to_le_bytes());
+            desc.extend_from_slice(key.key().bytes());
+        }
+        let key = CanonicalKey::from_bytes(desc);
+        let (tbl, action) = if let Some(hit) = self.figures.get(&key) {
+            (hit, RunAction::CacheHit)
+        } else {
+            let rows = inputs
+                .iter()
+                .map(|input| {
+                    let r = results
+                        .get(input)
+                        .expect("validated dependency resolved earlier in topo order");
+                    FigureRow {
+                        experiment: input.clone(),
+                        mean_throughput_gbps: r.mean_throughput_gbps,
+                        mean_energy_j: r.mean_energy_j,
+                        efficiency: r.efficiency,
+                    }
+                })
+                .collect();
+            let tbl = FigureTable {
+                name: exp.name.clone(),
+                rows,
+            };
+            let bytes = figure_bytes(&tbl);
+            self.figures.insert_sized(key, tbl.clone(), bytes);
+            (tbl, RunAction::Executed)
+        };
+        ExperimentRun {
+            name: exp.name.clone(),
+            action,
+            output: ExperimentOutput::Figure(tbl),
+        }
+    }
+
+    /// Counters of the scenario-result memo.
+    #[must_use]
+    pub fn scenario_stats(&self) -> CacheStats {
+        self.runs.stats()
+    }
+
+    /// Counters of the figure-table memo.
+    #[must_use]
+    pub fn figure_stats(&self) -> CacheStats {
+        self.figures.stats()
+    }
+
+    /// Drops all memoized results (lifetime counters survive).
+    pub fn clear(&self) {
+        self.runs.clear();
+        self.figures.clear();
+    }
+}
+
+/// Convenience: the names every scenario-producing experiment resolves to,
+/// in declaration order. Handy for building a figure over "everything".
+#[must_use]
+pub fn scenario_experiment_names(dag: &ExperimentDag) -> Vec<String> {
+    let known: HashSet<&str> = dag.experiments.iter().map(|e| e.name.as_str()).collect();
+    debug_assert_eq!(known.len(), dag.experiments.len());
+    dag.experiments
+        .iter()
+        .filter(|e| e.spec.produces_scenario())
+        .map(|e| e.name.clone())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_base() -> Scenario {
+        let mut sc = Scenario::by_name("two-tenant-shared-node").unwrap();
+        sc.epochs = 2;
+        sc
+    }
+
+    fn demo_dag(patch: ScenarioPatch) -> ExperimentDag {
+        ExperimentDag::new(vec![
+            Experiment {
+                name: "baseline".into(),
+                spec: ExperimentSpec::Scenario(Box::new(tiny_base())),
+            },
+            Experiment {
+                name: "ablation".into(),
+                spec: ExperimentSpec::Ablation {
+                    base: "baseline".into(),
+                    patch,
+                },
+            },
+            Experiment {
+                name: "side".into(),
+                spec: ExperimentSpec::Scenario(Box::new({
+                    let mut sc = tiny_base();
+                    sc.seed = 777;
+                    sc
+                })),
+            },
+            Experiment {
+                name: "figure".into(),
+                spec: ExperimentSpec::Figure {
+                    inputs: vec!["baseline".into(), "ablation".into()],
+                },
+            },
+        ])
+    }
+
+    fn freq_patch(f: f64) -> ScenarioPatch {
+        ScenarioPatch {
+            freq_ghz: Some(f),
+            ..ScenarioPatch::default()
+        }
+    }
+
+    #[test]
+    fn patch_applies_every_axis() {
+        let base = tiny_base();
+        let patch = ScenarioPatch {
+            seed: Some(99),
+            epochs: Some(5),
+            evaluation: Some(EvalMode::Incremental),
+            freq_ghz: Some(2.0),
+            batch: Some(96),
+            llc_fraction: Some(0.3),
+            arrival_scale: Some(0.5),
+        };
+        let patched = patch.apply(&base, "patched").unwrap();
+        assert_eq!(patched.name, "patched");
+        assert_eq!(patched.seed, 99);
+        assert_eq!(patched.epochs, 5);
+        assert_eq!(patched.evaluation, EvalMode::Incremental);
+        for (node, base_node) in patched.nodes.iter().zip(&base.nodes) {
+            for (tenant, base_tenant) in node.tenants.iter().zip(&base_node.tenants) {
+                assert_eq!(tenant.knobs.freq_ghz, 2.0);
+                assert_eq!(tenant.knobs.batch, 96);
+                assert_eq!(tenant.knobs.llc_fraction, 0.3);
+                match (&tenant.traffic, &base_tenant.traffic) {
+                    (TrafficSpec::Flows(a), TrafficSpec::Flows(b)) => {
+                        for (fa, fb) in a.flows().iter().zip(b.flows()) {
+                            assert_eq!(fa.rate_pps, fb.rate_pps * 0.5);
+                        }
+                    }
+                    (
+                        TrafficSpec::Replay { trace: a, .. },
+                        TrafficSpec::Replay { trace: b, .. },
+                    ) => {
+                        for (pa, pb) in a.points().iter().zip(b.points()) {
+                            assert_eq!(pa.rate_pps, pb.rate_pps * 0.5);
+                        }
+                    }
+                    _ => panic!("patch changed the traffic spec kind"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn patch_scales_replay_traces() {
+        let base = Scenario::by_name("diurnal-trace").unwrap();
+        let patched = ScenarioPatch {
+            arrival_scale: Some(2.0),
+            ..ScenarioPatch::default()
+        }
+        .apply(&base, "x2")
+        .unwrap();
+        let rate = |sc: &Scenario| match &sc.nodes[0].tenants[0].traffic {
+            TrafficSpec::Replay { trace, .. } => trace.points()[0].rate_pps,
+            TrafficSpec::Flows(_) => panic!("diurnal-trace replays a trace"),
+        };
+        assert_eq!(rate(&patched), rate(&base) * 2.0);
+    }
+
+    #[test]
+    fn patch_rejects_bad_values() {
+        let base = tiny_base();
+        assert!(freq_patch(99.0).apply(&base, "bad").is_err());
+        let bad_scale = ScenarioPatch {
+            arrival_scale: Some(0.0),
+            ..ScenarioPatch::default()
+        };
+        assert!(bad_scale.apply(&base, "bad").is_err());
+    }
+
+    #[test]
+    fn empty_patch_changes_only_the_name_but_still_rekeys() {
+        let base = tiny_base();
+        let patched = ScenarioPatch::default().apply(&base, "renamed").unwrap();
+        let mut renamed = base.clone();
+        renamed.name = "renamed".into();
+        assert_eq!(patched, renamed);
+        // The name is part of the descriptor, so even an identity patch is
+        // a distinct content-addressed experiment.
+        assert_ne!(patched.key(), base.key());
+    }
+
+    #[test]
+    fn dag_serde_round_trips() {
+        let dag = demo_dag(freq_patch(2.0));
+        let back = ExperimentDag::from_json(&dag.to_json()).unwrap();
+        assert_eq!(back, dag);
+    }
+
+    #[test]
+    fn validate_rejects_malformed_dags() {
+        let dup = ExperimentDag::new(vec![
+            Experiment {
+                name: "a".into(),
+                spec: ExperimentSpec::Scenario(Box::new(tiny_base())),
+            },
+            Experiment {
+                name: "a".into(),
+                spec: ExperimentSpec::Scenario(Box::new(tiny_base())),
+            },
+        ]);
+        assert!(dup.validate().is_err());
+
+        let unknown = ExperimentDag::new(vec![Experiment {
+            name: "abl".into(),
+            spec: ExperimentSpec::Ablation {
+                base: "missing".into(),
+                patch: ScenarioPatch::default(),
+            },
+        }]);
+        assert!(unknown.validate().is_err());
+
+        let fig_on_fig = ExperimentDag::new(vec![
+            Experiment {
+                name: "base".into(),
+                spec: ExperimentSpec::Scenario(Box::new(tiny_base())),
+            },
+            Experiment {
+                name: "fig1".into(),
+                spec: ExperimentSpec::Figure {
+                    inputs: vec!["base".into()],
+                },
+            },
+            Experiment {
+                name: "fig2".into(),
+                spec: ExperimentSpec::Figure {
+                    inputs: vec!["fig1".into()],
+                },
+            },
+        ]);
+        assert!(fig_on_fig.validate().is_err());
+
+        let cycle = ExperimentDag::new(vec![
+            Experiment {
+                name: "a".into(),
+                spec: ExperimentSpec::Ablation {
+                    base: "b".into(),
+                    patch: ScenarioPatch::default(),
+                },
+            },
+            Experiment {
+                name: "b".into(),
+                spec: ExperimentSpec::Ablation {
+                    base: "a".into(),
+                    patch: ScenarioPatch::default(),
+                },
+            },
+        ]);
+        assert!(cycle.validate().is_err());
+    }
+
+    #[test]
+    fn topo_order_is_declaration_stable() {
+        // Figure declared first, depending on later scenarios; independent
+        // experiments keep declaration order.
+        let dag = ExperimentDag::new(vec![
+            Experiment {
+                name: "fig".into(),
+                spec: ExperimentSpec::Figure {
+                    inputs: vec!["s2".into(), "s1".into()],
+                },
+            },
+            Experiment {
+                name: "s1".into(),
+                spec: ExperimentSpec::Scenario(Box::new(tiny_base())),
+            },
+            Experiment {
+                name: "s2".into(),
+                spec: ExperimentSpec::Ablation {
+                    base: "s1".into(),
+                    patch: ScenarioPatch::default(),
+                },
+            },
+        ]);
+        assert_eq!(dag.topo_order().unwrap(), vec![1, 2, 0]);
+        assert!(dag.validate().is_ok());
+    }
+
+    #[test]
+    fn driver_serves_warm_reruns_entirely_from_memo() {
+        let dag = demo_dag(freq_patch(2.0));
+        let driver = DagDriver::default();
+        let cold = driver.run(&dag).unwrap();
+        assert_eq!(cold.executed(), 4);
+        assert_eq!(cold.hits(), 0);
+        let warm = driver.run(&dag).unwrap();
+        assert_eq!(warm.executed(), 0);
+        assert_eq!(warm.hits(), 4);
+        assert_eq!(warm.runs, {
+            let mut expect = cold.runs.clone();
+            for r in &mut expect {
+                r.action = RunAction::CacheHit;
+            }
+            expect
+        });
+        assert_eq!(driver.scenario_stats().hits, 3);
+        assert_eq!(driver.figure_stats().hits, 1);
+    }
+
+    #[test]
+    fn editing_one_axis_recomputes_only_the_downstream_cone() {
+        let driver = DagDriver::default();
+        driver.run(&demo_dag(freq_patch(2.0))).unwrap();
+        // Change the ablation's knob axis: baseline and the unrelated
+        // scenario hit; the ablation and the figure over it re-run.
+        let report = driver.run(&demo_dag(freq_patch(1.9))).unwrap();
+        let action = |name: &str| {
+            report
+                .runs
+                .iter()
+                .find(|r| r.name == name)
+                .map(|r| r.action)
+                .unwrap()
+        };
+        assert_eq!(action("baseline"), RunAction::CacheHit);
+        assert_eq!(action("side"), RunAction::CacheHit);
+        assert_eq!(action("ablation"), RunAction::Executed);
+        assert_eq!(action("figure"), RunAction::Executed);
+    }
+
+    #[test]
+    fn figure_rows_match_scenario_outputs() {
+        let dag = demo_dag(freq_patch(2.0));
+        let report = DagDriver::default().run(&dag).unwrap();
+        let fig = report.figure("figure").unwrap();
+        assert_eq!(fig.rows.len(), 2);
+        for row in &fig.rows {
+            let sc = report.scenario(&row.experiment).unwrap();
+            assert_eq!(row.mean_throughput_gbps, sc.mean_throughput_gbps);
+            assert_eq!(row.mean_energy_j, sc.mean_energy_j);
+            assert_eq!(row.efficiency, sc.efficiency);
+        }
+        let rendered = fig.render();
+        assert!(rendered.contains("baseline") && rendered.contains("ablation"));
+        assert_eq!(
+            scenario_experiment_names(&dag),
+            vec!["baseline", "ablation", "side"]
+        );
+    }
+}

@@ -308,6 +308,32 @@ impl GreenNfvEnv {
                 &mut self.sweep_outputs,
             )
             .expect("env nodes host exactly one chain");
+        self.score_sweep(swept)
+    }
+
+    /// [`Self::sweep_candidates`] through a content-addressed
+    /// [`EvalCache`]: the same what-if sweep, but lanes are keyed by their
+    /// exact input bits and memoized across environments and runs —
+    /// repeating the post-training lattice probe (or any fixed grid under
+    /// a repeated load) costs zero kernel lanes on the warm pass. Results
+    /// are bit-identical to [`Self::sweep_candidates`]; the environment's
+    /// positional sweep memo is untouched.
+    pub fn sweep_candidates_cached(
+        &mut self,
+        candidates: &[KnobSettings],
+        cache: &EvalCache,
+    ) -> Vec<SimResult<SweepOutcome>> {
+        let load = self.sweep_load();
+        let swept = self
+            .node
+            .evaluate_candidates_cached(ChainId(0), candidates, load, cache)
+            .expect("env nodes host exactly one chain");
+        self.score_sweep(swept)
+    }
+
+    /// Shared scoring tail of the sweep variants: each candidate's epoch
+    /// result through the environment's scaled reward.
+    fn score_sweep(&self, swept: Vec<SimResult<NodeEpochResult>>) -> Vec<SimResult<SweepOutcome>> {
         swept
             .into_iter()
             .map(|r| {

@@ -9,6 +9,7 @@ pub mod action;
 pub mod apex;
 pub mod baseline;
 pub mod controller;
+pub mod dag;
 pub mod dqnmodel;
 pub mod eepstate;
 pub mod envs;
@@ -29,6 +30,11 @@ pub mod prelude {
     pub use crate::controller::{
         run_controller, telemetry_to_state, telemetry_to_state_scaled, Controller, EpochTrace,
         PolicyController, RunConfig, RunResult,
+    };
+    pub use crate::dag::{
+        scenario_experiment_names, DagDriver, DagRunReport, Experiment, ExperimentDag,
+        ExperimentOutput, ExperimentRun, ExperimentSpec, FigureRow, FigureTable, RunAction,
+        ScenarioPatch,
     };
     pub use crate::dqnmodel::{train_dqn, DqnModelController};
     pub use crate::eepstate::{DesPredictor, EePstateController};

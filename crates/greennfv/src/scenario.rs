@@ -340,6 +340,17 @@ impl Scenario {
         serde_json::from_str(text).map_err(|e| SimError::NodeConfig(format!("scenario JSON: {e}")))
     }
 
+    /// Content-addressed identity of this experiment: a [`ScenarioKey`]
+    /// over the canonical JSON descriptor plus the horizon and seed. Two
+    /// scenarios share a key iff their descriptors serialize to identical
+    /// bytes — which, because the serde round-trip is exact, means their
+    /// runs are bit-identical. This is the memo key the experiment-DAG
+    /// driver ([`crate::dag`]) caches whole [`Scenario::run`] results
+    /// under.
+    pub fn key(&self) -> ScenarioKey {
+        ScenarioKey::new(self.to_json().as_bytes(), self.epochs, self.seed)
+    }
+
     // -- the named registry ------------------------------------------------
 
     /// Names of the canonical scenarios, in registry order. The CI scenario

@@ -38,6 +38,7 @@
 //! of them is far below 2^53, so the round-trip through the column is exact
 //! and the reconstructed structs are bitwise equal to what was pushed.
 
+use crate::cache::{EvalCache, LaneKey, TuningKey};
 use crate::chain::ChainCost;
 use crate::cpu::CpuAllocation;
 use crate::dma::{DmaBuffer, DMA_MAX_BYTES, DMA_MIN_BYTES};
@@ -49,6 +50,11 @@ use crate::engine::{
 use crate::error::{SimError, SimResult};
 use crate::par;
 use crate::simd::{F64x8, WideLane, WIDTH};
+
+/// Number of input columns a lane occupies (and the number of `f64` words
+/// in a [`LaneKey`] after the tuning prefix): six knob columns, five
+/// chain-cost columns, three load columns, and the CAT partition bytes.
+pub const LANE_COLS: usize = 15;
 
 /// A batch of independent chain-evaluation lanes in SoA layout.
 ///
@@ -196,6 +202,61 @@ impl ChainBatch {
         self.burstiness.push(load.burstiness);
         self.llc_bytes.push(llc_bytes);
         self.dirty.push(true);
+    }
+
+    /// Appends a copy of `other`'s lane `i` (all fifteen columns, bit for
+    /// bit). Used by the cached sweep to stage miss lanes into a sub-batch;
+    /// the freshly pushed lane is dirty, like any push.
+    ///
+    /// # Panics
+    /// When `i >= other.len()`.
+    pub fn push_lane_from(&mut self, other: &ChainBatch, i: usize) {
+        self.cpu_cores.push(other.cpu_cores[i]);
+        self.cpu_share.push(other.cpu_share[i]);
+        self.freq_ghz.push(other.freq_ghz[i]);
+        self.llc_fraction.push(other.llc_fraction[i]);
+        self.dma_bytes.push(other.dma_bytes[i]);
+        self.batch_knob.push(other.batch_knob[i]);
+        self.base_cycles_per_packet
+            .push(other.base_cycles_per_packet[i]);
+        self.cycles_per_byte.push(other.cycles_per_byte[i]);
+        self.mem_refs_per_packet.push(other.mem_refs_per_packet[i]);
+        self.state_bytes.push(other.state_bytes[i]);
+        self.hops.push(other.hops[i]);
+        self.arrival_pps.push(other.arrival_pps[i]);
+        self.mean_packet_size.push(other.mean_packet_size[i]);
+        self.burstiness.push(other.burstiness[i]);
+        self.llc_bytes.push(other.llc_bytes[i]);
+        self.dirty.push(true);
+    }
+
+    /// Canonical [`LaneKey`] of lane `i`: the tuning prefix plus the
+    /// fifteen stored column bit-patterns. Identical to
+    /// [`LaneKey::new`] over the structs the lane was pushed from (the
+    /// column round-trip is exact; pinned in `tests/cache_equivalence.rs`).
+    ///
+    /// # Panics
+    /// When `i >= self.len()`.
+    #[must_use]
+    pub fn lane_key(&self, i: usize, tuning: &TuningKey) -> LaneKey {
+        let cols: [f64; LANE_COLS] = [
+            self.cpu_cores[i],
+            self.cpu_share[i],
+            self.freq_ghz[i],
+            self.llc_fraction[i],
+            self.dma_bytes[i],
+            self.batch_knob[i],
+            self.base_cycles_per_packet[i],
+            self.cycles_per_byte[i],
+            self.mem_refs_per_packet[i],
+            self.state_bytes[i],
+            self.hops[i],
+            self.arrival_pps[i],
+            self.mean_packet_size[i],
+            self.burstiness[i],
+            self.llc_bytes[i],
+        ];
+        LaneKey::from_column_values(tuning, &cols)
     }
 
     /// Writes `v` into `col[i]` and flips the lane's dirty flag iff the bits
@@ -401,6 +462,67 @@ pub fn evaluate_chain_batch_threads(
         return eval_columns(batch, tuning, 0..batch.len());
     }
     par::chunked_map_ranges(batch.len(), threads, |r| eval_columns(batch, tuning, r))
+}
+
+/// [`evaluate_chain_batch`] through a content-addressed [`EvalCache`].
+///
+/// Every lane is keyed by its exact input bit-patterns (plus the tuning;
+/// see [`crate::cache`]); hit lanes take their stored result, miss lanes
+/// are gathered into a sub-batch, swept by the ordinary fused column-pass
+/// kernel, inserted into the cache, and scatter-merged back in lane order.
+/// Bit-identical to the uncached sweep by construction — stored values
+/// *are* prior kernel outputs, each lane's result depends only on its own
+/// columns, and error lanes cache like any other (validation is a pure
+/// function of the same columns). A fully hit batch runs zero kernel lanes
+/// ([`crate::engine::kernel_lanes_swept`] pins this in the tests).
+pub fn evaluate_chain_batch_cached(
+    batch: &ChainBatch,
+    tuning: &SimTuning,
+    cache: &EvalCache,
+) -> Vec<SimResult<ChainEpochResult>> {
+    evaluate_chain_batch_cached_threads(batch, tuning, cache, par::auto_threads(batch.len()))
+}
+
+/// [`evaluate_chain_batch_cached`] with an explicit worker-thread count
+/// for the miss sweep. Hit/miss partitioning is thread-invariant (keys are
+/// computed on the calling thread) and the miss sweep inherits the batch
+/// kernel's thread-count determinism, so results are identical for every
+/// `threads` value.
+pub fn evaluate_chain_batch_cached_threads(
+    batch: &ChainBatch,
+    tuning: &SimTuning,
+    cache: &EvalCache,
+    threads: usize,
+) -> Vec<SimResult<ChainEpochResult>> {
+    let tk = TuningKey::new(tuning);
+    let n = batch.len();
+    let mut results: Vec<Option<SimResult<ChainEpochResult>>> = vec![None; n];
+    let mut miss_lanes: Vec<usize> = Vec::new();
+    let mut miss_keys: Vec<LaneKey> = Vec::new();
+    let mut misses = ChainBatch::new();
+    for (i, slot) in results.iter_mut().enumerate() {
+        let key = batch.lane_key(i, &tk);
+        match cache.get(&key) {
+            Some(hit) => *slot = Some(hit),
+            None => {
+                miss_lanes.push(i);
+                miss_keys.push(key);
+                misses.push_lane_from(batch, i);
+            }
+        }
+    }
+    // A fully hit batch never touches the kernel (zero lanes swept).
+    if !miss_lanes.is_empty() {
+        let swept = evaluate_chain_batch_threads(&misses, tuning, threads);
+        for ((i, key), r) in miss_lanes.into_iter().zip(miss_keys).zip(swept) {
+            cache.insert(key, r.clone());
+            results[i] = Some(r);
+        }
+    }
+    results
+        .into_iter()
+        .map(|r| r.expect("every lane is a hit or a swept miss"))
+        .collect()
 }
 
 /// Retained outputs of a previous batch sweep: the per-lane results an

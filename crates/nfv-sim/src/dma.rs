@@ -4,7 +4,7 @@
 //! the NF chain drains them. An undersized buffer drops packets when arrivals
 //! burst ahead of service (the rising part of Figure 4a); an oversized buffer
 //! spills past the DDIO share of the LLC and inflates miss rates (handled in
-//! `cache::ddio_hit_fraction`, the rising tail of Figure 4b).
+//! `llc::ddio_hit_fraction`, the rising tail of Figure 4b).
 //!
 //! Two loss mechanisms are combined:
 //!

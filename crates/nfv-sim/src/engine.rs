@@ -26,12 +26,12 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::cache::{ddio_hit_lanes, MissModel, LLC_BYTES};
 use crate::chain::ChainCost;
 use crate::cpu::CpuAllocation;
 use crate::dma::{buffer_loss_lanes, DmaBuffer};
 use crate::dvfs::{FREQ_MAX_GHZ, FREQ_MIN_GHZ};
 use crate::error::{SimError, SimResult};
+use crate::llc::{ddio_hit_lanes, MissModel, LLC_BYTES};
 use crate::power::PowerModel;
 use crate::simd::WideLane;
 
@@ -224,6 +224,35 @@ impl Default for SimTuning {
             hop_ws_amplification: 0.5,
             ws_per_pps: 0.08,
         }
+    }
+}
+
+impl SimTuning {
+    /// Every field's exact bit pattern as little-endian words, in
+    /// declaration order — the canonical prefix of every lane key in
+    /// [`crate::cache`]. Lives next to the struct on purpose: adding a
+    /// tuning field means extending this list, so a new field can never
+    /// silently alias cache entries keyed without it.
+    #[must_use]
+    pub fn canonical_words(&self) -> [u64; 16] {
+        [
+            self.mem_latency_ns.to_bits(),
+            self.llc_hit_ns.to_bits(),
+            self.per_call_cycles.to_bits(),
+            self.interleave_base.to_bits(),
+            self.interleave_half_batch.to_bits(),
+            self.ddio_spill_weight.to_bits(),
+            self.core_scale_eff.to_bits(),
+            self.adaptive_poll_burn.to_bits(),
+            u64::from(self.manager_cores),
+            u64::from(self.total_cores),
+            self.miss_model.m_min.to_bits(),
+            self.miss_model.capacity_scale.to_bits(),
+            self.epoch_s.to_bits(),
+            self.nic_gbps.to_bits(),
+            self.hop_ws_amplification.to_bits(),
+            self.ws_per_pps.to_bits(),
+        ]
     }
 }
 

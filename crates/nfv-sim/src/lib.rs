@@ -42,6 +42,7 @@ pub mod dvfs;
 pub mod engine;
 pub mod error;
 pub mod flow;
+pub mod llc;
 pub mod mbuf;
 pub mod nf;
 pub mod node;
@@ -58,12 +59,15 @@ pub mod traffic;
 /// Common imports for simulator users.
 pub mod prelude {
     pub use crate::batch::{
-        evaluate_chain_batch, evaluate_chain_batch_incremental,
-        evaluate_chain_batch_incremental_threads, evaluate_chain_batch_threads,
-        sweep_chain_batch_incremental, sweep_chain_batch_incremental_threads, BatchOutputs,
-        ChainBatch,
+        evaluate_chain_batch, evaluate_chain_batch_cached, evaluate_chain_batch_cached_threads,
+        evaluate_chain_batch_incremental, evaluate_chain_batch_incremental_threads,
+        evaluate_chain_batch_threads, sweep_chain_batch_incremental,
+        sweep_chain_batch_incremental_threads, BatchOutputs, ChainBatch, LANE_COLS,
     };
-    pub use crate::cache::{CatLlc, ClosId, MissModel, DDIO_FRACTION, LLC_BYTES, LLC_WAYS};
+    pub use crate::cache::{
+        CacheStats, CanonicalKey, EvalCache, LaneKey, MemoStore, ScenarioKey, TuningKey,
+        DEFAULT_CACHE_BUDGET,
+    };
     pub use crate::chain::{ChainCost, ChainSpec, ServiceChain};
     pub use crate::cluster::{Cluster, ClusterEpochReport};
     pub use crate::cpu::{ChainId, CoreAllocator, CpuAllocation};
@@ -76,6 +80,7 @@ pub mod prelude {
     };
     pub use crate::error::{SimError, SimResult};
     pub use crate::flow::{ArrivalPattern, FlowSet, FlowSpec};
+    pub use crate::llc::{CatLlc, ClosId, MissModel, DDIO_FRACTION, LLC_BYTES, LLC_WAYS};
     pub use crate::nf::{NetworkFunction, NfCost, NfKind};
     pub use crate::node::{Node, NodeCursor, NodeEpochReport, NodeProfile};
     pub use crate::packet::{FiveTuple, Packet, PacketBatch, Protocol};

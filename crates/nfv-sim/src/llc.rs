@@ -1,0 +1,412 @@
+//! Last-level cache model: Intel CAT-style way partitioning, DDIO, and an
+//! analytic miss-rate surface validated by a real set-associative simulator.
+//!
+//! The testbed CPU (Xeon E5-2620 v4) has a 20 MB, 20-way L3. Intel Cache
+//! Allocation Technology exposes *Classes of Service* (CLOS): bitmasks over
+//! ways that partition the LLC between groups of cores/NFs. Data Direct I/O
+//! (DDIO) reserves ~10% of the LLC (2 ways) for NIC DMA writes, so DMA
+//! buffers larger than the DDIO share spill to memory — the interaction the
+//! paper's Figure 4 measures.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{SimError, SimResult};
+use crate::simd::WideLane;
+
+/// Number of ways in the modeled LLC.
+pub const LLC_WAYS: u32 = 20;
+/// Total LLC size in bytes (20 MB).
+pub const LLC_BYTES: u64 = 20 * 1024 * 1024;
+/// Fraction of the LLC reserved for DDIO (NIC DMA writes).
+pub const DDIO_FRACTION: f64 = 0.10;
+
+/// A CAT class of service: a contiguous allocation of cache ways.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClosId(pub u32);
+
+/// Way-partitioned LLC with CLOS groups (Intel CAT equivalent).
+#[derive(Debug, Clone)]
+pub struct CatLlc {
+    total_ways: u32,
+    /// ways[i] = Some(clos) when way i is assigned to that CLOS.
+    way_owner: Vec<Option<ClosId>>,
+}
+
+impl Default for CatLlc {
+    fn default() -> Self {
+        Self::new(LLC_WAYS)
+    }
+}
+
+impl CatLlc {
+    /// Creates an LLC with `total_ways` unassigned ways.
+    pub fn new(total_ways: u32) -> Self {
+        Self {
+            total_ways,
+            way_owner: vec![None; total_ways as usize],
+        }
+    }
+
+    /// Total ways in the cache.
+    pub fn total_ways(&self) -> u32 {
+        self.total_ways
+    }
+
+    /// Ways currently not assigned to any CLOS.
+    pub fn free_ways(&self) -> u32 {
+        self.way_owner.iter().filter(|w| w.is_none()).count() as u32
+    }
+
+    /// Ways assigned to `clos`.
+    pub fn ways_of(&self, clos: ClosId) -> u32 {
+        self.way_owner.iter().filter(|w| **w == Some(clos)).count() as u32
+    }
+
+    /// Bytes of LLC owned by `clos`.
+    pub fn bytes_of(&self, clos: ClosId) -> u64 {
+        u64::from(self.ways_of(clos)) * (LLC_BYTES / u64::from(LLC_WAYS))
+    }
+
+    /// Assigns exactly `ways` ways to `clos`, releasing its previous
+    /// assignment first. Fails when not enough free ways remain.
+    pub fn set_allocation(&mut self, clos: ClosId, ways: u32) -> SimResult<()> {
+        if ways > self.total_ways {
+            return Err(SimError::CacheAllocation(format!(
+                "requested {ways} ways > total {}",
+                self.total_ways
+            )));
+        }
+        self.release(clos);
+        if ways > self.free_ways() {
+            return Err(SimError::CacheAllocation(format!(
+                "requested {ways} ways, only {} free",
+                self.free_ways()
+            )));
+        }
+        let mut remaining = ways;
+        for w in &mut self.way_owner {
+            if remaining == 0 {
+                break;
+            }
+            if w.is_none() {
+                *w = Some(clos);
+                remaining -= 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Sets an allocation expressed as a fraction of the whole LLC, rounding
+    /// to whole ways (at least 1 when the fraction is > 0).
+    pub fn set_fraction(&mut self, clos: ClosId, fraction: f64) -> SimResult<()> {
+        if !(0.0..=1.0).contains(&fraction) {
+            return Err(SimError::CacheAllocation(format!(
+                "fraction {fraction} outside [0,1]"
+            )));
+        }
+        let ways = if fraction == 0.0 {
+            0
+        } else {
+            ((fraction * f64::from(self.total_ways)).round() as u32).max(1)
+        };
+        self.set_allocation(clos, ways.min(self.total_ways))
+    }
+
+    /// Releases all ways owned by `clos`.
+    pub fn release(&mut self, clos: ClosId) {
+        for w in &mut self.way_owner {
+            if *w == Some(clos) {
+                *w = None;
+            }
+        }
+    }
+
+    /// Capacity bitmask (CBM) for `clos`, as CAT exposes it.
+    pub fn cbm_of(&self, clos: ClosId) -> u32 {
+        let mut mask = 0u32;
+        for (i, w) in self.way_owner.iter().enumerate() {
+            if *w == Some(clos) {
+                mask |= 1 << i;
+            }
+        }
+        mask
+    }
+}
+
+/// Analytic miss-rate surface used by the epoch engine.
+///
+/// `miss_rate = m_min + (1 - m_min) · ws / (ws + cache_bytes)` — compulsory
+/// floor plus a capacity term that grows as the working set exceeds the
+/// partition. The shape is validated against [`SetAssocCache`] in tests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MissModel {
+    /// Compulsory miss floor (cold/streaming accesses).
+    pub m_min: f64,
+    /// Scale on the effective partition size (captures associativity slack).
+    pub capacity_scale: f64,
+}
+
+impl Default for MissModel {
+    fn default() -> Self {
+        Self {
+            m_min: 0.02,
+            capacity_scale: 1.0,
+        }
+    }
+}
+
+impl MissModel {
+    /// Miss rate for a working set of `ws_bytes` in a partition of
+    /// `cache_bytes` (both > 0 handled gracefully).
+    pub fn miss_rate(&self, ws_bytes: f64, cache_bytes: f64) -> f64 {
+        self.miss_rate_lanes(ws_bytes, cache_bytes)
+    }
+
+    /// [`Self::miss_rate`] over a bundle of lanes — the miss-model column
+    /// pass of the batched engine. Every operation is element-wise, so
+    /// `miss_rate_lanes::<f64>` *is* `miss_rate` and the wide instantiation
+    /// is bit-identical per lane (see [`crate::simd`]).
+    #[inline(always)]
+    pub fn miss_rate_lanes<W: WideLane>(&self, ws_bytes: W, cache_bytes: W) -> W {
+        let cache = (cache_bytes * W::splat(self.capacity_scale)).vmax(W::splat(1.0));
+        let ws = ws_bytes.vmax(W::splat(0.0));
+        (W::splat(self.m_min) + W::splat(1.0 - self.m_min) * ws / (ws + cache)).clamp01()
+    }
+}
+
+/// DDIO model: fraction of NIC DMA writes that land in the LLC.
+///
+/// The DDIO partition is `DDIO_FRACTION` of the cache; once the in-flight DMA
+/// buffer exceeds it, the excess spills to DRAM and later packet reads miss.
+pub fn ddio_hit_fraction(dma_buffer_bytes: f64) -> f64 {
+    ddio_hit_lanes(dma_buffer_bytes)
+}
+
+/// [`ddio_hit_fraction`] over a bundle of lanes — used by the miss-model
+/// column pass of the batched engine. A non-positive (or NaN) buffer size
+/// selects the full-hit branch, exactly as the scalar early return does, so
+/// `ddio_hit_lanes::<f64>` *is* `ddio_hit_fraction` and wider instantiations
+/// are bit-identical per lane.
+#[inline(always)]
+pub fn ddio_hit_lanes<W: WideLane>(dma_buffer_bytes: W) -> W {
+    let ddio_bytes = W::splat(DDIO_FRACTION * LLC_BYTES as f64);
+    dma_buffer_bytes.select_gt_zero(
+        (ddio_bytes / dma_buffer_bytes).vmin(W::splat(1.0)),
+        W::splat(1.0),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Set-associative LRU cache simulator (validation substrate)
+// ---------------------------------------------------------------------------
+
+/// A functional set-associative LRU cache, used to validate the analytic
+/// [`MissModel`] and in micro tests of the DDIO spill behaviour.
+#[derive(Debug)]
+pub struct SetAssocCache {
+    sets: usize,
+    ways: usize,
+    line: usize,
+    /// tags[set] = Vec of (tag, last_use) per way.
+    tags: Vec<Vec<(u64, u64)>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+}
+
+impl SetAssocCache {
+    /// Creates a cache of `size_bytes` with `ways` ways and `line`-byte lines.
+    pub fn new(size_bytes: usize, ways: usize, line: usize) -> Self {
+        let sets = (size_bytes / (ways * line)).max(1);
+        Self {
+            sets,
+            ways,
+            line,
+            tags: vec![Vec::with_capacity(ways); sets],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> usize {
+        self.sets
+    }
+
+    /// Issues an access to `addr`; returns true on hit.
+    pub fn access(&mut self, addr: u64) -> bool {
+        self.clock += 1;
+        let block = addr / self.line as u64;
+        let set = (block % self.sets as u64) as usize;
+        let tag = block / self.sets as u64;
+        let lines = &mut self.tags[set];
+        if let Some(entry) = lines.iter_mut().find(|(t, _)| *t == tag) {
+            entry.1 = self.clock;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        if lines.len() < self.ways {
+            lines.push((tag, self.clock));
+        } else {
+            // Evict LRU.
+            let lru = lines
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, (_, t))| *t)
+                .map(|(i, _)| i)
+                .expect("ways > 0");
+            lines[lru] = (tag, self.clock);
+        }
+        false
+    }
+
+    /// Observed miss rate so far.
+    pub fn miss_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.misses as f64 / total as f64
+        }
+    }
+
+    /// Resets hit/miss counters (keeps contents).
+    pub fn reset_stats(&mut self) {
+        self.hits = 0;
+        self.misses = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cat_partitioning_conserves_ways() {
+        let mut llc = CatLlc::default();
+        llc.set_allocation(ClosId(0), 18).unwrap();
+        llc.set_allocation(ClosId(1), 2).unwrap();
+        assert_eq!(llc.free_ways(), 0);
+        assert_eq!(llc.ways_of(ClosId(0)) + llc.ways_of(ClosId(1)), LLC_WAYS);
+        // Over-allocation rejected.
+        assert!(llc.set_allocation(ClosId(2), 1).is_err());
+        // Shrinking CLOS 0 frees ways.
+        llc.set_allocation(ClosId(0), 10).unwrap();
+        assert_eq!(llc.free_ways(), 8);
+        llc.set_allocation(ClosId(2), 8).unwrap();
+        assert_eq!(llc.free_ways(), 0);
+    }
+
+    #[test]
+    fn cat_fraction_rounds_and_floors() {
+        let mut llc = CatLlc::default();
+        llc.set_fraction(ClosId(0), 0.9).unwrap();
+        assert_eq!(llc.ways_of(ClosId(0)), 18);
+        llc.set_fraction(ClosId(1), 0.01).unwrap();
+        assert_eq!(llc.ways_of(ClosId(1)), 1, "nonzero fraction gets >= 1 way");
+        assert!(llc.set_fraction(ClosId(2), 1.5).is_err());
+    }
+
+    #[test]
+    fn cbm_matches_ownership() {
+        let mut llc = CatLlc::new(8);
+        llc.set_allocation(ClosId(0), 3).unwrap();
+        assert_eq!(llc.cbm_of(ClosId(0)).count_ones(), 3);
+        llc.release(ClosId(0));
+        assert_eq!(llc.cbm_of(ClosId(0)), 0);
+    }
+
+    #[test]
+    fn bytes_of_scales_with_ways() {
+        let mut llc = CatLlc::default();
+        llc.set_allocation(ClosId(0), 10).unwrap();
+        assert_eq!(llc.bytes_of(ClosId(0)), LLC_BYTES / 2);
+    }
+
+    #[test]
+    fn miss_model_monotone_in_working_set_and_cache() {
+        let m = MissModel::default();
+        let cache = 10e6;
+        let mut last = 0.0;
+        for ws in [1e4, 1e5, 1e6, 1e7, 1e8] {
+            let r = m.miss_rate(ws, cache);
+            assert!(r >= last, "monotone in ws");
+            last = r;
+        }
+        assert!(
+            m.miss_rate(1e6, 20e6) < m.miss_rate(1e6, 2e6),
+            "more cache, fewer misses"
+        );
+        assert!(m.miss_rate(1e6, 10e6) >= m.m_min);
+        assert!(m.miss_rate(1e12, 10e6) <= 1.0);
+    }
+
+    #[test]
+    fn ddio_spills_when_buffer_exceeds_share() {
+        let ddio_bytes = DDIO_FRACTION * LLC_BYTES as f64; // 2 MB
+        assert!((ddio_hit_fraction(ddio_bytes * 0.5) - 1.0).abs() < 1e-12);
+        assert!((ddio_hit_fraction(ddio_bytes * 2.0) - 0.5).abs() < 1e-12);
+        assert!((ddio_hit_fraction(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_assoc_cache_basics() {
+        let mut c = SetAssocCache::new(1024, 2, 64); // 8 sets × 2 ways
+        assert!(!c.access(0));
+        assert!(c.access(0), "second access hits");
+        assert!(!c.access(64), "different line misses");
+    }
+
+    #[test]
+    fn set_assoc_lru_eviction() {
+        // 1 set, 2 ways, 64B lines: three distinct lines thrash.
+        let mut c = SetAssocCache::new(128, 2, 64);
+        c.access(0);
+        c.access(128);
+        c.access(256); // evicts line 0 (LRU)
+        assert!(!c.access(0), "line 0 was evicted");
+        assert!(c.access(256));
+    }
+
+    #[test]
+    fn analytic_model_tracks_simulated_cache_shape() {
+        // Sweep working sets against a 64 KB cache and verify the analytic
+        // model is ordered the same way as the measured miss rates.
+        let cache_bytes = 64 * 1024;
+        let model = MissModel {
+            m_min: 0.0,
+            capacity_scale: 1.0,
+        };
+        let mut measured = Vec::new();
+        let mut predicted = Vec::new();
+        for ws_kb in [16u64, 96, 256] {
+            let ws = ws_kb * 1024;
+            let mut c = SetAssocCache::new(cache_bytes, 8, 64);
+            // Two passes of a cyclic scan; second pass measures steady state.
+            for _ in 0..2 {
+                for a in (0..ws).step_by(64) {
+                    c.access(a);
+                }
+            }
+            c.reset_stats();
+            for a in (0..ws).step_by(64) {
+                c.access(a);
+            }
+            measured.push(c.miss_rate());
+            predicted.push(model.miss_rate(ws as f64, cache_bytes as f64));
+        }
+        // Both should be strictly increasing across the sweep.
+        assert!(
+            measured[0] < measured[1] && measured[1] <= measured[2],
+            "{measured:?}"
+        );
+        assert!(predicted[0] < predicted[1] && predicted[1] < predicted[2]);
+        // Fits-in-cache case is a near-zero miss rate in both.
+        assert!(measured[0] < 0.05);
+        assert!(predicted[0] < 0.25);
+        // Thrashing case misses nearly always in the simulator.
+        assert!(measured[2] > 0.9);
+    }
+}

@@ -11,9 +11,10 @@
 use serde::{Deserialize, Serialize};
 
 use crate::batch::{
-    evaluate_chain_batch, evaluate_chain_batch_incremental, BatchOutputs, ChainBatch,
+    evaluate_chain_batch, evaluate_chain_batch_cached, evaluate_chain_batch_incremental,
+    BatchOutputs, ChainBatch,
 };
-use crate::cache::{CatLlc, ClosId, LLC_WAYS};
+use crate::cache::EvalCache;
 use crate::chain::{ChainCost, ChainSpec, ServiceChain};
 use crate::cpu::{ChainId, CoreAllocator};
 use crate::dvfs::{FREQ_MAX_GHZ, FREQ_MIN_GHZ};
@@ -23,6 +24,7 @@ use crate::engine::{
 };
 use crate::error::{SimError, SimResult};
 use crate::flow::FlowSet;
+use crate::llc::{CatLlc, ClosId, LLC_WAYS};
 use crate::power::PowerModel;
 use crate::stats::ChainTelemetry;
 use crate::traffic::{TrafficCursor, TrafficSource};
@@ -638,6 +640,32 @@ impl Node {
             }
         }
         let lane_results = evaluate_chain_batch(&batch, &self.tuning);
+        Ok(self.fold_candidates(candidates, admitted, lane_results))
+    }
+
+    /// [`Node::evaluate_candidates`] through a content-addressed
+    /// [`EvalCache`]: admitted lanes consult the cache first and only miss
+    /// lanes enter the kernel ([`evaluate_chain_batch_cached`]). Unlike the
+    /// incremental variant below — which memoizes *positionally* against
+    /// one retained batch — the cache is keyed by input bits, so it is
+    /// shared across nodes, grids, and runs, and survives grid reshapes.
+    /// Results are bit-identical to [`Node::evaluate_candidates`].
+    pub fn evaluate_candidates_cached(
+        &self,
+        chain: ChainId,
+        candidates: &[KnobSettings],
+        load: ChainLoad,
+        cache: &EvalCache,
+    ) -> SimResult<Vec<SimResult<NodeEpochResult>>> {
+        let (cost, admitted) = self.admit_candidates(chain, candidates)?;
+
+        let mut batch = ChainBatch::with_capacity(candidates.len());
+        for (knobs, llc_bytes) in candidates.iter().zip(&admitted) {
+            if let Ok(llc_bytes) = llc_bytes {
+                batch.push(knobs, &cost, &load, *llc_bytes);
+            }
+        }
+        let lane_results = evaluate_chain_batch_cached(&batch, &self.tuning, cache);
         Ok(self.fold_candidates(candidates, admitted, lane_results))
     }
 

@@ -1,0 +1,292 @@
+//! Cache-equivalence battery: the content-addressed evaluation cache may
+//! never change a result — only skip work.
+//!
+//! `evaluate_chain_batch_cached` partitions a batch into memo hits and
+//! misses, sweeps only the misses through the column-pass kernel, and
+//! scatter-merges. These tests pin the equivalence contract from every
+//! angle:
+//!
+//! * cold (empty cache), warm (fully primed), and interleaved (partially
+//!   primed) runs all equal the uncached sweep **exactly**, per lane,
+//!   including error lanes, at 1, 2, and 8 miss-sweep threads;
+//! * a fully hit batch invokes **zero** kernel lanes
+//!   (`kernel_lanes_swept`), and lane permutations still hit — results are
+//!   position-independent;
+//! * lane keys are bitwise-canonical: `LaneKey::new` from caller-side
+//!   structs equals `ChainBatch::lane_key` of the pushed lane;
+//! * the store survives adversarial hashing: a *genuine* FxHash collision
+//!   (constructed through the public `fx_mix` state machine) and a forged
+//!   digest both land in one bucket, and the full-key byte verify keeps
+//!   every entry distinct.
+
+use nfv_sim::cache::{fx_mix, fxhash64, FX_SEED};
+use nfv_sim::prelude::*;
+use proptest::prelude::*;
+
+/// A batch mixing valid and invalid lanes (same idiom as
+/// `tests/batch_determinism.rs`), parameterized by a salt so different
+/// tests populate disjoint key sets.
+fn mixed_batch(lanes: u32, salt: u32) -> ChainBatch {
+    let costs = [
+        ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost(),
+        ServiceChain::build(ChainSpec::lightweight(ChainId(1))).cost(),
+        ServiceChain::build(ChainSpec::heavyweight(ChainId(2))).cost(),
+    ];
+    let mut batch = ChainBatch::with_capacity(lanes as usize);
+    for i in 0..lanes {
+        let j = i.wrapping_add(salt.wrapping_mul(7919));
+        let mut knobs = KnobSettings::default_tuned();
+        knobs.freq_ghz = 1.2 + 0.05 * f64::from(j % 19);
+        knobs.batch = j.wrapping_mul(13) % 400; // overruns BATCH_MAX on some lanes
+        knobs.cpu.cores = 1 + j % 4;
+        let load = ChainLoad {
+            arrival_pps: 5.0e5 + 3.7e4 * f64::from(j % 1000),
+            mean_packet_size: 64.0 + f64::from(j.wrapping_mul(31) % 1454),
+            burstiness: 1.0 + f64::from(j % 5) * 0.4,
+        };
+        batch.push(
+            &knobs,
+            &costs[j as usize % costs.len()],
+            &load,
+            llc_partition_bytes(f64::from(j % 10) / 10.0),
+        );
+    }
+    batch
+}
+
+/// A sub-batch of every `stride`-th lane, copied bitwise.
+fn strided(batch: &ChainBatch, stride: usize) -> ChainBatch {
+    let mut sub = ChainBatch::with_capacity(batch.len() / stride + 1);
+    for i in (0..batch.len()).step_by(stride) {
+        sub.push_lane_from(batch, i);
+    }
+    sub
+}
+
+#[test]
+fn cold_warm_and_interleaved_match_uncached_exactly() {
+    let batch = mixed_batch(311, 0); // prime count: never a chunk multiple
+    let tuning = SimTuning::default();
+    let reference = evaluate_chain_batch_threads(&batch, &tuning, 1);
+    assert!(
+        reference.iter().any(|r| r.is_err()) && reference.iter().any(|r| r.is_ok()),
+        "fixture must mix valid and invalid lanes"
+    );
+    for threads in [1usize, 2, 8] {
+        // Cold: every lane misses and goes through the kernel.
+        let cache = EvalCache::default();
+        let cold = evaluate_chain_batch_cached_threads(&batch, &tuning, &cache, threads);
+        assert_eq!(cold, reference, "cold, threads = {threads}");
+
+        // Warm: every lane hits; nothing is recomputed.
+        let warm = evaluate_chain_batch_cached_threads(&batch, &tuning, &cache, threads);
+        assert_eq!(warm, reference, "warm, threads = {threads}");
+
+        // Interleaved: a cache primed with every 3rd lane serves partial
+        // hits while the rest sweep as misses.
+        let partial = EvalCache::default();
+        evaluate_chain_batch_cached_threads(&strided(&batch, 3), &tuning, &partial, threads);
+        let hits_before = partial.stats().hits;
+        let mixed = evaluate_chain_batch_cached_threads(&batch, &tuning, &partial, threads);
+        assert_eq!(mixed, reference, "interleaved, threads = {threads}");
+        assert!(
+            partial.stats().hits > hits_before,
+            "interleaved run must serve some hits"
+        );
+    }
+}
+
+#[test]
+fn full_hit_batches_invoke_zero_kernel_lanes() {
+    let batch = mixed_batch(200, 1);
+    let tuning = SimTuning::default();
+    let cache = EvalCache::default();
+
+    // What the uncached sweep charges to this thread's counter (the
+    // kernel's chunking, not the lane count, is the unit of record).
+    let before = kernel_lanes_swept();
+    let uncached = evaluate_chain_batch_threads(&batch, &tuning, 1);
+    let full_sweep_lanes = kernel_lanes_swept() - before;
+    assert!(full_sweep_lanes > 0);
+
+    // Cold pass at one thread: the miss sweep runs inline on this thread
+    // and must charge exactly what the uncached sweep charges.
+    let before = kernel_lanes_swept();
+    let cold = evaluate_chain_batch_cached_threads(&batch, &tuning, &cache, 1);
+    assert_eq!(
+        kernel_lanes_swept() - before,
+        full_sweep_lanes,
+        "cold run sweeps all lanes"
+    );
+    assert_eq!(cold, uncached);
+
+    // Fully hit: the kernel must not run at all — not even for error lanes.
+    let before = kernel_lanes_swept();
+    let warm = evaluate_chain_batch_cached_threads(&batch, &tuning, &cache, 1);
+    assert_eq!(kernel_lanes_swept(), before, "warm run swept a lane");
+    assert_eq!(warm, cold);
+
+    // Partial hit: only the genuinely new lanes sweep.
+    let mut extended = ChainBatch::with_capacity(210);
+    for i in 0..batch.len() {
+        extended.push_lane_from(&batch, i);
+    }
+    let fresh = mixed_batch(10, 2);
+    for i in 0..fresh.len() {
+        extended.push_lane_from(&fresh, i);
+    }
+    // Only the 10 genuinely new lanes may sweep — measure what sweeping
+    // them alone costs and require the merged run to charge exactly that.
+    let before = kernel_lanes_swept();
+    evaluate_chain_batch_threads(&fresh, &tuning, 1);
+    let fresh_sweep_lanes = kernel_lanes_swept() - before;
+    let before = kernel_lanes_swept();
+    let merged = evaluate_chain_batch_cached_threads(&extended, &tuning, &cache, 1);
+    assert_eq!(
+        kernel_lanes_swept() - before,
+        fresh_sweep_lanes,
+        "only the new lanes sweep"
+    );
+    assert_eq!(
+        merged,
+        evaluate_chain_batch_threads(&extended, &tuning, 1),
+        "partial-hit merge diverged from the uncached sweep"
+    );
+}
+
+#[test]
+fn lane_permutation_hits_fully_and_permutes_results() {
+    let batch = mixed_batch(97, 3);
+    let tuning = SimTuning::default();
+    let cache = EvalCache::default();
+    let forward = evaluate_chain_batch_cached_threads(&batch, &tuning, &cache, 1);
+
+    let mut reversed = ChainBatch::with_capacity(batch.len());
+    for i in (0..batch.len()).rev() {
+        reversed.push_lane_from(&batch, i);
+    }
+    let before = kernel_lanes_swept();
+    let backward = evaluate_chain_batch_cached_threads(&reversed, &tuning, &cache, 2);
+    assert_eq!(
+        kernel_lanes_swept(),
+        before,
+        "permuted lanes must all hit — results are position-independent"
+    );
+    let mut expected = forward.clone();
+    expected.reverse();
+    assert_eq!(backward, expected);
+}
+
+#[test]
+fn lane_key_matches_push_arithmetic() {
+    // `LaneKey::new` converts caller-side structs through exactly the
+    // arithmetic `ChainBatch::push` applies; the two derivations must
+    // produce byte-identical keys or hits would silently stop happening.
+    let tuning = SimTuning::default();
+    let tk = TuningKey::new(&tuning);
+    let costs = [
+        ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost(),
+        ServiceChain::build(ChainSpec::heavyweight(ChainId(1))).cost(),
+    ];
+    for (i, cost) in costs.iter().enumerate() {
+        let mut knobs = KnobSettings::default_tuned();
+        knobs.freq_ghz = 1.3 + 0.2 * i as f64;
+        let load = ChainLoad {
+            arrival_pps: 2.0e6 + 1.0e5 * i as f64,
+            mean_packet_size: 512.0,
+            burstiness: 1.2,
+        };
+        let llc = llc_partition_bytes(0.4);
+        let mut batch = ChainBatch::with_capacity(1);
+        batch.push(&knobs, cost, &load, llc);
+        let direct = LaneKey::new(&tk, &knobs, cost, &load, llc);
+        let from_batch = batch.lane_key(0, &tk);
+        assert_eq!(direct.key().bytes(), from_batch.key().bytes());
+        assert_eq!(direct.key().hash(), from_batch.key().hash());
+    }
+}
+
+#[test]
+fn genuine_fxhash_collision_is_disambiguated_by_full_key_verify() {
+    // Construct two *different* 16-byte strings with the same fxhash64
+    // digest by steering the public mixing step: with states s1, s2 after
+    // the first word, the second words w1, w2 collide iff
+    //   rotl(s2, 5) ^ w2 == rotl(s1, 5) ^ w1.
+    let w1a = 0x1111_2222_3333_4444u64;
+    let w1b = 0xaaaa_bbbb_cccc_ddddu64;
+    let w2a = 0x5555_6666_7777_8888u64;
+    let s1 = fx_mix(FX_SEED, w1a);
+    let s2 = fx_mix(FX_SEED, w2a);
+    let w2b = s2.rotate_left(5) ^ s1.rotate_left(5) ^ w1b;
+    let bytes = |a: u64, b: u64| {
+        let mut v = a.to_le_bytes().to_vec();
+        v.extend_from_slice(&b.to_le_bytes());
+        v
+    };
+    let k1 = bytes(w1a, w1b);
+    let k2 = bytes(w2a, w2b);
+    assert_ne!(k1, k2);
+    assert_eq!(
+        fxhash64(&k1),
+        fxhash64(&k2),
+        "construction must yield a real digest collision"
+    );
+
+    let store: MemoStore<u32> = MemoStore::new(1 << 20);
+    let key1 = CanonicalKey::from_bytes(k1);
+    let key2 = CanonicalKey::from_bytes(k2);
+    store.insert(key1.clone(), 1);
+    // Before the second insert: the colliding probe must miss, not alias.
+    assert_eq!(store.get(&key2), None);
+    store.insert(key2.clone(), 2);
+    assert_eq!(store.get(&key1), Some(1));
+    assert_eq!(store.get(&key2), Some(2));
+    assert!(
+        store.stats().collisions > 0,
+        "the colliding probes must be counted"
+    );
+}
+
+#[test]
+fn forged_digests_cannot_alias_entries() {
+    // Same digest forced onto arbitrary distinct byte strings: every probe
+    // lands in one bucket and the byte verify keeps them all apart.
+    let store: MemoStore<usize> = MemoStore::new(1 << 20);
+    let keys: Vec<CanonicalKey> = (0..16usize)
+        .map(|i| CanonicalKey::from_bytes_with_forced_hash(vec![i as u8; 24], 0xDEAD_BEEF))
+        .collect();
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(store.get(k), None);
+        store.insert(k.clone(), i);
+    }
+    for (i, k) in keys.iter().enumerate() {
+        assert_eq!(store.get(k), Some(i), "forged-digest key {i} aliased");
+    }
+}
+
+proptest! {
+    /// Arbitrary batch shapes and priming strides: the cached path equals
+    /// the uncached sweep bitwise at every thread count, hit pattern, and
+    /// lane mix (valid and error lanes alike).
+    #[test]
+    fn cached_equals_uncached_for_arbitrary_batches(
+        lanes in 1u32..140,
+        salt in any::<u32>(),
+        stride in 1usize..6,
+        threads_sel in 0usize..3,
+    ) {
+        let threads = [1usize, 2, 8][threads_sel];
+        let batch = mixed_batch(lanes, salt);
+        let tuning = SimTuning::default();
+        let reference = evaluate_chain_batch_threads(&batch, &tuning, 1);
+
+        let cache = EvalCache::default();
+        // Prime a strided subset, then evaluate the full batch (mixing
+        // hits and misses), then once more fully warm.
+        evaluate_chain_batch_cached_threads(&strided(&batch, stride), &tuning, &cache, threads);
+        let mixed = evaluate_chain_batch_cached_threads(&batch, &tuning, &cache, threads);
+        prop_assert_eq!(&mixed, &reference);
+        let warm = evaluate_chain_batch_cached_threads(&batch, &tuning, &cache, threads);
+        prop_assert_eq!(&warm, &reference);
+    }
+}

@@ -1,0 +1,101 @@
+//! Corpus replay through the experiment-DAG driver: warm re-runs must be
+//! bit-identical and fully memoized.
+//!
+//! The seeded scenario-fuzz corpus (`tests/fuzz_corpus.rs` pins its
+//! determinism and batch equivalence) doubles as a DAG workload here: all
+//! 64 members become scenario experiments plus one figure tabulating the
+//! lot. The driver runs the DAG cold, then again warm, and the second run
+//! must reproduce the first **bit for bit** with a 100% scenario-level hit
+//! rate — the content-addressed memo can skip work, never change it. An
+//! eviction-pressure leg shrinks the byte budget until nothing fits and
+//! pins that a thrashing cache still only costs recomputation.
+
+use greennfv::prelude::*;
+
+/// Fixed master seed, shared with `tests/fuzz_corpus.rs` and the CI
+/// fuzz-smoke job.
+const CORPUS_SEED: u64 = 0x5EED_F022;
+
+/// Corpus size replayed through the DAG (the acceptance floor).
+const CORPUS_N: usize = 64;
+
+/// The corpus as an experiment DAG: every member a scenario experiment
+/// (named by its fuzz name, which is unique), plus one figure over all of
+/// them.
+fn corpus_dag(n: usize) -> ExperimentDag {
+    let members = corpus(CORPUS_SEED, n);
+    let names: Vec<String> = members.iter().map(|sc| sc.name.clone()).collect();
+    let mut experiments: Vec<Experiment> = members
+        .into_iter()
+        .map(|sc| Experiment {
+            name: sc.name.clone(),
+            spec: ExperimentSpec::Scenario(Box::new(sc)),
+        })
+        .collect();
+    experiments.push(Experiment {
+        name: "corpus-summary".into(),
+        spec: ExperimentSpec::Figure { inputs: names },
+    });
+    ExperimentDag::new(experiments)
+}
+
+#[test]
+fn warm_replay_is_bit_identical_with_full_scenario_hit_rate() {
+    let dag = corpus_dag(CORPUS_N);
+    let driver = DagDriver::default();
+
+    let cold = driver.run(&dag).expect("corpus dag runs");
+    assert_eq!(cold.runs.len(), CORPUS_N + 1);
+    assert_eq!(
+        cold.executed(),
+        CORPUS_N + 1,
+        "cold run executes everything"
+    );
+    assert_eq!(driver.scenario_stats().inserts, CORPUS_N as u64);
+
+    let warm = driver.run(&dag).expect("corpus dag replays");
+    assert_eq!(warm.executed(), 0, "warm run must execute nothing");
+    assert_eq!(warm.hits(), CORPUS_N + 1);
+    // 100% scenario-level hit rate on the replay: one memo hit per member.
+    assert_eq!(driver.scenario_stats().hits, CORPUS_N as u64);
+    assert_eq!(driver.figure_stats().hits, 1);
+
+    // Bit-identical outputs, experiment by experiment, in the same order.
+    assert_eq!(warm.runs.len(), cold.runs.len());
+    for (c, w) in cold.runs.iter().zip(&warm.runs) {
+        assert_eq!(c.name, w.name);
+        assert_eq!(c.output, w.output, "{}: warm output diverged", c.name);
+        assert_eq!(w.action, RunAction::CacheHit, "{}", c.name);
+    }
+}
+
+#[test]
+fn eviction_pressure_recomputes_but_never_diverges() {
+    // A budget far below one entry (scenario keys embed the full JSON
+    // descriptor): every insert is skipped or evicted, so the warm run
+    // re-executes — and must still be bit-identical to the unconstrained
+    // driver's outputs. A corpus slice keeps the three extra cold runs
+    // cheap; the full-corpus replay above is the coverage leg.
+    let dag = corpus_dag(8);
+    let reference = DagDriver::default().run(&dag).expect("corpus dag runs");
+
+    let tiny = DagDriver::new(4096);
+    let first = tiny.run(&dag).expect("corpus dag runs under pressure");
+    let second = tiny.run(&dag).expect("corpus dag replays under pressure");
+    assert!(
+        second.executed() > 0,
+        "a 4 KiB budget cannot memoize whole scenario runs"
+    );
+    let stats = tiny.scenario_stats();
+    assert!(
+        stats.bytes <= 4096,
+        "store exceeded its byte budget: {} > 4096",
+        stats.bytes
+    );
+    for run in [&first, &second] {
+        assert_eq!(run.runs.len(), reference.runs.len());
+        for (r, c) in reference.runs.iter().zip(&run.runs) {
+            assert_eq!(r.output, c.output, "{}: pressure run diverged", r.name);
+        }
+    }
+}
