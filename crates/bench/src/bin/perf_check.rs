@@ -10,7 +10,8 @@
 //! ```text
 //! perf_check <baseline.json> <current.json> \
 //!     [--prefix engine_evaluate_chain_batch]... [--max-regress 0.25] \
-//!     [--require-ratio <slow_id> <fast_id> <min_ratio>]...
+//!     [--require-ratio <slow_id> <fast_id> <min_ratio>]... \
+//!     [--max-ratio <a_id> <b_id> <max_ratio>]...
 //! ```
 //!
 //! With no `--prefix`, every baseline bench id is compared. CI runs this
@@ -23,6 +24,11 @@
 //! `fast_id`. CI uses it to pin the warm evaluation cache at ≥ 5× over a
 //! cold run (`cache_cold/fig_grid` vs `cache_warm/fig_grid`) — a ratio, so
 //! it holds on any runner speed.
+//!
+//! `--max-ratio` is the overhead-bound dual: bench `a_id` must take at most
+//! `max_ratio`× the ns/element of `b_id` within the current record. CI uses
+//! it to cap the sharded-cluster coordinator overhead at ≤ 1.15× the fused
+//! in-process path (`shard_epoch/sharded_1` vs `shard_epoch/fused`).
 
 use serde::Deserialize;
 
@@ -61,6 +67,7 @@ fn main() {
     let mut paths = Vec::new();
     let mut prefixes: Vec<String> = Vec::new();
     let mut ratios: Vec<(String, String, f64)> = Vec::new();
+    let mut max_ratios: Vec<(String, String, f64)> = Vec::new();
     let mut max_regress = 0.25f64;
     let mut it = args.into_iter();
     while let Some(arg) = it.next() {
@@ -82,6 +89,21 @@ fn main() {
                     .parse()
                     .unwrap_or_else(|_| fail(&format!("bad --require-ratio minimum `{min}`")));
                 ratios.push((slow, fast, min));
+            }
+            "--max-ratio" => {
+                let a = it
+                    .next()
+                    .unwrap_or_else(|| fail("--max-ratio needs <a_id> <b_id> <max>"));
+                let b = it
+                    .next()
+                    .unwrap_or_else(|| fail("--max-ratio needs <a_id> <b_id> <max>"));
+                let max = it
+                    .next()
+                    .unwrap_or_else(|| fail("--max-ratio needs <a_id> <b_id> <max>"));
+                let max = max
+                    .parse()
+                    .unwrap_or_else(|_| fail(&format!("bad --max-ratio maximum `{max}`")));
+                max_ratios.push((a, b, max));
             }
             "--max-regress" => {
                 let v = it
@@ -165,6 +187,32 @@ fn main() {
             "ok  "
         };
         println!("{verdict} {slow_id} / {fast_id} = {ratio:.1}x (require >= {min:.1}x)");
+    }
+
+    for (a_id, b_id, max) in &max_ratios {
+        let ns = |id: &str| {
+            current
+                .benches
+                .iter()
+                .find(|b| b.id == id)
+                .map(|b| b.ns_per_element)
+                .unwrap_or_else(|| fail(&format!("`{id}` missing from {current_path}")))
+        };
+        let (a, b) = (ns(a_id), ns(b_id));
+        if !(a.is_finite() && b.is_finite() && b > 0.0) {
+            eprintln!("FAIL {a_id} / {b_id}: degenerate measurement ({a} / {b})");
+            failures += 1;
+            continue;
+        }
+        compared += 1;
+        let ratio = a / b;
+        let verdict = if ratio > *max {
+            failures += 1;
+            "FAIL"
+        } else {
+            "ok  "
+        };
+        println!("{verdict} {a_id} / {b_id} = {ratio:.2}x (require <= {max:.2}x)");
     }
 
     if compared == 0 && failures == 0 {

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! repro [fig1|fig2|fig3|fig4|fig6|fig7|fig8|fig9|fig10|fig11|dag|all] [--full] [--seed N]
+//! repro shard-worker
 //! ```
 //!
 //! `--full` uses the long training budgets recorded in EXPERIMENTS.md;
@@ -17,6 +18,22 @@ use greennfv_bench::*;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("shard-worker") {
+        // Worker mode for `nfv_sim::shard::ShardedCluster`: speak the
+        // frame protocol on stdin/stdout, then exit. The block buffer
+        // matters: `StdoutLock` is line-buffered and binary frames are full
+        // of 0x0A bytes; the generous capacity batches many epoch frames
+        // per pipe write (worker_main flushes at protocol boundaries).
+        let mut input = std::io::stdin().lock();
+        let mut output = std::io::BufWriter::with_capacity(256 * 1024, std::io::stdout().lock());
+        match nfv_sim::shard::worker_main(&mut input, &mut output) {
+            Ok(()) => return,
+            Err(err) => {
+                eprintln!("repro shard-worker: {err}");
+                std::process::exit(1);
+            }
+        }
+    }
     let effort = if args.iter().any(|a| a == "--full") {
         Effort::Full
     } else {

@@ -117,6 +117,13 @@ pub struct Scenario {
     /// Descriptors written before this field existed parse as `full`.
     #[serde(default)]
     pub evaluation: EvalMode,
+    /// Worker processes to partition the cluster across: `0` or `1` runs
+    /// fused in-process; `N > 1` routes [`Scenario::run`] through
+    /// [`ShardedCluster`] with contiguous node slices — bit-identical
+    /// results either way (pinned by `tests/shard_equivalence.rs`).
+    /// Descriptors written before this field existed parse as `0`.
+    #[serde(default)]
+    pub shards: u32,
     /// The nodes.
     pub nodes: Vec<NodeSpec>,
 }
@@ -235,6 +242,50 @@ impl Scenario {
         Ok(cluster)
     }
 
+    /// Lowers the descriptor into a [`ClusterBlueprint`] — the serializable
+    /// construction recipe shard workers rebuild their node slices from.
+    /// Building the whole blueprint reproduces [`Scenario::build_cluster`]
+    /// exactly: same profiles, same chain ids, same
+    /// [`Scenario::tenant_seed`] derivation.
+    pub fn to_blueprint(&self) -> SimResult<ClusterBlueprint> {
+        self.validate()?;
+        let mut blueprint = ClusterBlueprint::new(self.tuning, self.policy);
+        for (ni, spec) in self.nodes.iter().enumerate() {
+            let mut chains = Vec::with_capacity(spec.tenants.len());
+            for (ti, tenant) in spec.tenants.iter().enumerate() {
+                let seed = self.tenant_seed(ni, ti);
+                chains.push(ChainBlueprint {
+                    spec: ChainSpec::new(ChainId(ti as u32), tenant.nfs.clone())?,
+                    knobs: tenant.knobs,
+                    traffic: match &tenant.traffic {
+                        TrafficSpec::Flows(flows) => TrafficBlueprint::Synthetic {
+                            flows: flows.clone(),
+                            seed,
+                        },
+                        TrafficSpec::Replay { trace, jitter_frac } => TrafficBlueprint::Replay {
+                            trace: trace.clone(),
+                            jitter_frac: *jitter_frac,
+                            seed,
+                        },
+                    },
+                });
+            }
+            blueprint.push_node(NodeBlueprint {
+                id: ni as u32,
+                profile: spec.profile.clone(),
+                chains,
+            });
+        }
+        Ok(blueprint)
+    }
+
+    /// Builds the multi-process [`ShardedCluster`] this scenario describes,
+    /// partitioning across `max(shards, 1)` workers (the worker binary is
+    /// resolved via [`WorkerCommand::resolve`]).
+    pub fn build_sharded(&self) -> SimResult<ShardedCluster> {
+        ShardedCluster::new(self.to_blueprint()?, self.shards.max(1))
+    }
+
     /// Runs the scenario end-to-end: `epochs` lock-step cluster epochs
     /// through the fused batch path under the scenario's [`EvalMode`] —
     /// `full` uses the **pipelined** sweep ([`Cluster::run_epochs`] — on
@@ -245,6 +296,9 @@ impl Scenario {
     /// its own attributed energy. Bit-identical to stepping
     /// [`Cluster::run_epoch`] per epoch in either mode.
     pub fn run(&self) -> SimResult<ScenarioRunResult> {
+        if self.shards > 1 {
+            return self.run_sharded();
+        }
         let mut cluster = self.build_cluster()?;
         let mut records = Vec::new();
         let mut cluster_t = 0.0;
@@ -257,41 +311,79 @@ impl Scenario {
             PipelineMode::Auto,
             self.evaluation,
             |epoch, report| {
-                cluster_t += report.total_throughput_gbps();
-                cluster_e += report.total_energy_j();
-                for (ni, node_report) in report.nodes.iter().enumerate() {
-                    let scale = self.nodes[ni].profile.power.pmax_w * self.tuning.epoch_s;
-                    for (ti, tel) in node_report.telemetry.iter().enumerate() {
-                        let tenant = &self.nodes[ni].tenants[ti];
-                        records.push(TenantEpochRecord {
-                            epoch: epoch as u32,
-                            node: ni as u32,
-                            tenant: tenant.name.clone(),
-                            throughput_gbps: tel.throughput_gbps,
-                            energy_j: tel.energy_j,
-                            loss_frac: tel.loss_frac,
-                            reward: tenant_reward_scaled(
-                                &tenant.sla,
-                                tel.throughput_gbps,
-                                tel.energy_j,
-                                tel.loss_frac,
-                                scale,
-                            ),
-                            satisfied: tenant.sla.satisfied(
-                                tel.throughput_gbps,
-                                tel.energy_j,
-                                tel.loss_frac,
-                            ),
-                        });
-                    }
-                }
+                self.score_epoch(epoch, &report, &mut records, &mut cluster_t, &mut cluster_e);
             },
         );
+        Ok(self.finish_run(records, cluster_t, cluster_e))
+    }
+
+    /// The multi-process leg of [`Scenario::run`]: identical scoring over
+    /// the reports a [`ShardedCluster`] merges back from its workers.
+    /// Because the merge is bit-equal to the fused path, the whole
+    /// [`ScenarioRunResult`] is too.
+    fn run_sharded(&self) -> SimResult<ScenarioRunResult> {
+        let mut cluster = self.build_sharded()?;
+        let reports = cluster.run_epochs_eval(self.epochs as usize, self.evaluation)?;
+        let mut records = Vec::new();
+        let mut cluster_t = 0.0;
+        let mut cluster_e = 0.0;
+        for (epoch, report) in reports.iter().enumerate() {
+            self.score_epoch(epoch, report, &mut records, &mut cluster_t, &mut cluster_e);
+        }
+        Ok(self.finish_run(records, cluster_t, cluster_e))
+    }
+
+    /// Scores one epoch's report into tenant records — shared verbatim by
+    /// the fused and sharded run paths so they cannot drift.
+    fn score_epoch(
+        &self,
+        epoch: usize,
+        report: &ClusterEpochReport,
+        records: &mut Vec<TenantEpochRecord>,
+        cluster_t: &mut f64,
+        cluster_e: &mut f64,
+    ) {
+        *cluster_t += report.total_throughput_gbps();
+        *cluster_e += report.total_energy_j();
+        for (ni, node_report) in report.nodes.iter().enumerate() {
+            let scale = self.nodes[ni].profile.power.pmax_w * self.tuning.epoch_s;
+            for (ti, tel) in node_report.telemetry.iter().enumerate() {
+                let tenant = &self.nodes[ni].tenants[ti];
+                records.push(TenantEpochRecord {
+                    epoch: epoch as u32,
+                    node: ni as u32,
+                    tenant: tenant.name.clone(),
+                    throughput_gbps: tel.throughput_gbps,
+                    energy_j: tel.energy_j,
+                    loss_frac: tel.loss_frac,
+                    reward: tenant_reward_scaled(
+                        &tenant.sla,
+                        tel.throughput_gbps,
+                        tel.energy_j,
+                        tel.loss_frac,
+                        scale,
+                    ),
+                    satisfied: tenant.sla.satisfied(
+                        tel.throughput_gbps,
+                        tel.energy_j,
+                        tel.loss_frac,
+                    ),
+                });
+            }
+        }
+    }
+
+    fn finish_run(
+        &self,
+        records: Vec<TenantEpochRecord>,
+        cluster_t: f64,
+        cluster_e: f64,
+    ) -> ScenarioRunResult {
         let tenants = self.summarize(&records);
         let epochs_f = f64::from(self.epochs.max(1));
         let mean_t = cluster_t / epochs_f;
         let mean_e = cluster_e / epochs_f;
-        Ok(ScenarioRunResult {
+        ScenarioRunResult {
             name: self.name.clone(),
             epochs: self.epochs,
             tenants,
@@ -303,7 +395,7 @@ impl Scenario {
             } else {
                 0.0
             },
-        })
+        }
     }
 
     fn summarize(&self, records: &[TenantEpochRecord]) -> Vec<TenantSummary> {
@@ -356,7 +448,7 @@ impl Scenario {
     /// Names of the canonical scenarios, in registry order. The CI scenario
     /// matrix, `tests/scenarios.rs`, and the `scenario_epoch` benches all
     /// enumerate this list (a test pins the CI workflow against it).
-    pub const NAMES: [&'static str; 12] = [
+    pub const NAMES: [&'static str; 13] = [
         "baseline-homogeneous",
         "hetero-3-profile",
         "two-tenant-shared-node",
@@ -369,6 +461,7 @@ impl Scenario {
         "failover-blackout",
         "throttle-edge-storm",
         "fleet-diurnal-1000",
+        "sharded-fleet",
     ];
 
     /// The canonical scenario set, one per [`Scenario::NAMES`] entry.
@@ -394,6 +487,7 @@ impl Scenario {
             "failover-blackout" => Some(Self::failover_blackout()),
             "throttle-edge-storm" => Some(Self::throttle_edge_storm()),
             "fleet-diurnal-1000" => Some(Self::fleet_diurnal_1000()),
+            "sharded-fleet" => Some(Self::sharded_fleet()),
             _ => None,
         }
     }
@@ -419,6 +513,7 @@ impl Scenario {
             seed: 42,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            shards: 0,
             evaluation: EvalMode::Full,
             nodes: (0..3)
                 .map(|i| NodeSpec {
@@ -447,6 +542,7 @@ impl Scenario {
             seed: 43,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            shards: 0,
             evaluation: EvalMode::Full,
             nodes: vec![
                 NodeSpec {
@@ -518,6 +614,7 @@ impl Scenario {
             seed: 44,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            shards: 0,
             evaluation: EvalMode::Full,
             nodes: vec![NodeSpec {
                 profile: NodeProfile::paper_default(),
@@ -584,6 +681,7 @@ impl Scenario {
             seed: 45,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            shards: 0,
             evaluation: EvalMode::Full,
             nodes: vec![NodeSpec {
                 profile: NodeProfile::paper_default(),
@@ -610,6 +708,7 @@ impl Scenario {
             seed: 46,
             tuning,
             policy: PlatformPolicy::greennfv(),
+            shards: 0,
             evaluation: EvalMode::Full,
             nodes: vec![NodeSpec {
                 profile: NodeProfile::paper_default(),
@@ -697,6 +796,7 @@ impl Scenario {
             seed: 49,
             tuning,
             policy: PlatformPolicy::greennfv(),
+            shards: 0,
             evaluation: EvalMode::Incremental,
             nodes,
         }
@@ -720,6 +820,7 @@ impl Scenario {
             seed: 48,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            shards: 0,
             evaluation: EvalMode::Full,
             nodes: vec![NodeSpec {
                 profile: NodeProfile::edge_low_power(),
@@ -774,6 +875,7 @@ impl Scenario {
             seed: 47,
             tuning,
             policy: PlatformPolicy::greennfv(),
+            shards: 0,
             evaluation: EvalMode::Full,
             nodes: vec![
                 NodeSpec {
@@ -886,6 +988,7 @@ impl Scenario {
             seed: 50,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            shards: 0,
             evaluation: EvalMode::Full,
             nodes: vec![NodeSpec {
                 profile: NodeProfile::paper_default(),
@@ -985,6 +1088,7 @@ impl Scenario {
             seed: 51,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            shards: 0,
             evaluation: EvalMode::Full,
             nodes,
         }
@@ -1025,6 +1129,7 @@ impl Scenario {
             seed: 52,
             tuning: SimTuning::default(),
             policy: PlatformPolicy::greennfv(),
+            shards: 0,
             evaluation: EvalMode::Full,
             nodes: vec![NodeSpec {
                 profile: profile.clone(),
@@ -1110,7 +1215,65 @@ impl Scenario {
             seed: 53,
             tuning,
             policy: PlatformPolicy::greennfv(),
+            shards: 0,
             evaluation: EvalMode::Incremental,
+            nodes,
+        }
+    }
+
+    /// The multi-process showcase: six nodes alternating paper-class and
+    /// edge-class profiles, synthetic and replay traffic, partitioned
+    /// across two worker processes (`shards: 2`). [`Scenario::run`] spawns
+    /// the workers and merges their epoch streams — bit-identical to
+    /// running the same descriptor with `shards: 0`, which is exactly what
+    /// `tests/shard_equivalence.rs` pins.
+    pub fn sharded_fleet() -> Scenario {
+        let mut knobs = KnobSettings::default_tuned();
+        knobs.freq_ghz = 1.6; // inside the edge profile's capped ladder
+        let nodes = (0..6)
+            .map(|ni| NodeSpec {
+                profile: if ni % 2 == 0 {
+                    NodeProfile::paper_default()
+                } else {
+                    NodeProfile::edge_low_power()
+                },
+                tenants: vec![TenantSpec {
+                    name: format!("shard-t{ni}"),
+                    nfs: if ni % 2 == 0 {
+                        ChainSpec::canonical_three(ChainId(0)).nfs
+                    } else {
+                        ChainSpec::lightweight(ChainId(0)).nfs
+                    },
+                    sla: TenantSla::new(Sla::EnergyEfficiency),
+                    knobs,
+                    traffic: if ni % 3 == 0 {
+                        TrafficSpec::Replay {
+                            trace: Trace::new(
+                                "shard-plateau",
+                                vec![TracePoint {
+                                    duration_s: 3600.0,
+                                    rate_pps: 9.0e5 + ni as f64 * 5.0e4,
+                                    packet_size: 512,
+                                    burstiness: 1.4,
+                                }],
+                            )
+                            .expect("static trace is valid"),
+                            jitter_frac: 0.08,
+                        }
+                    } else {
+                        TrafficSpec::Flows(FlowSet::evaluation_five_flows())
+                    },
+                }],
+            })
+            .collect();
+        Scenario {
+            name: "sharded-fleet".into(),
+            epochs: 6,
+            seed: 54,
+            tuning: SimTuning::default(),
+            policy: PlatformPolicy::greennfv(),
+            shards: 2,
+            evaluation: EvalMode::Full,
             nodes,
         }
     }
@@ -1459,7 +1622,13 @@ mod tests {
 
     #[test]
     fn registry_scenarios_build_and_run() {
-        for sc in Scenario::registry() {
+        for mut sc in Scenario::registry() {
+            // The sharded showcase needs the worker binary built by the
+            // umbrella crate; run it fused here so `cargo test -p greennfv`
+            // stays self-contained. The results are bit-identical, and the
+            // real multi-process path is pinned by
+            // `tests/shard_equivalence.rs`.
+            sc.shards = 0;
             let r = sc.run().expect("registry scenarios run");
             assert_eq!(r.epochs, sc.epochs);
             let tenants: usize = sc.nodes.iter().map(|n| n.tenants.len()).sum();

@@ -243,6 +243,7 @@ impl Gen {
             // Evaluation mode is a pure cost knob (bit-identical results);
             // mixing it into the corpus keeps the differential harness
             // honest about that claim.
+            shards: 0,
             evaluation: if self.rng.random_bool(0.3) {
                 EvalMode::Incremental
             } else {

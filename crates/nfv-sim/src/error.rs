@@ -36,6 +36,14 @@ pub enum SimError {
     },
     /// Traffic trace construction / parse error.
     TraceConfig(String),
+    /// A shard worker process failed (spawn, protocol, or crash); names
+    /// the shard index and the cause so multi-process runs fail loudly.
+    Shard {
+        /// Zero-based shard index the failure occurred on.
+        shard: u32,
+        /// Human-readable cause (exit status, frame error, ...).
+        cause: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -57,6 +65,7 @@ impl fmt::Display for SimError {
                 write!(f, "frequency {requested_ghz} GHz not on DVFS ladder")
             }
             SimError::TraceConfig(msg) => write!(f, "trace config: {msg}"),
+            SimError::Shard { shard, cause } => write!(f, "shard {shard}: {cause}"),
         }
     }
 }

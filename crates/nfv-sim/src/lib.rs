@@ -52,6 +52,7 @@ pub mod pipeline;
 pub mod power;
 pub mod ring;
 pub mod runtime;
+pub mod shard;
 pub mod simd;
 pub mod stats;
 pub mod traffic;
@@ -87,6 +88,10 @@ pub mod prelude {
     pub use crate::pipeline::{EpochPipeline, EvalMode, PipelineMode, OVERLAP_MIN_LANES};
     pub use crate::power::{calibrate_h, PowerMeter, PowerModel};
     pub use crate::runtime::{run_functional, FunctionalStats, RuntimeConfig};
+    pub use crate::shard::{
+        shard_ranges, worker_main, ChainBlueprint, ClusterBlueprint, NodeBlueprint, ShardedCluster,
+        TrafficBlueprint, WorkerCommand, WorkerFault, SUPPORTED_SHARD_COUNTS,
+    };
     pub use crate::simd::{F64x8, WideLane, WIDTH};
     pub use crate::stats::{ChainTelemetry, EpochHistory, Ewma, Summary};
     pub use crate::traffic::{

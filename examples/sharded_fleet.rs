@@ -1,0 +1,69 @@
+//! Multi-process sharded execution: lowers the `sharded-fleet` registry
+//! scenario (6 mixed-profile nodes, `shards: 2`) into a [`ShardedCluster`],
+//! runs the same horizon fused in-process, and checks the two report
+//! streams are bit-identical — the coordinator's node-order merge is
+//! exact, not approximate. Also shows the composed per-shard checkpoint
+//! cursors surviving a kill-and-resume split mid-horizon.
+//!
+//! ```text
+//! cargo build --release && cargo run --release --example sharded_fleet
+//! ```
+//!
+//! (The `cargo build` matters: the coordinator spawns the `shard_worker`
+//! binary it finds next to this example in `target/release/`.)
+
+use greennfv::prelude::*;
+
+fn main() {
+    let scenario = Scenario::by_name("sharded-fleet").expect("registry scenario");
+    let horizon = scenario.epochs as usize;
+    println!(
+        "scenario `{}`: {} nodes across {} worker processes, {} epochs",
+        scenario.name,
+        scenario.nodes.len(),
+        scenario.shards,
+        horizon
+    );
+
+    // Fused reference: one process, one cluster, the ordinary epoch loop.
+    let mut fused = scenario.build_cluster().expect("scenario builds");
+    let fused_reports = fused.run_epochs(horizon);
+
+    // Sharded: nodes [0,3) and [3,6) each run in their own worker process;
+    // per-epoch report frames stream back and merge in node order.
+    let mut sharded = scenario.build_sharded().expect("worker binary resolves");
+    let sharded_reports = sharded.run_epochs(horizon).expect("workers complete");
+    assert_eq!(
+        fused_reports, sharded_reports,
+        "sharded merge must be bit-identical to the fused run"
+    );
+    println!(
+        "bit-equal: {} merged reports match the fused run exactly",
+        sharded_reports.len()
+    );
+
+    // Checkpoint/resume composes per-shard: stop after half the horizon,
+    // capture every worker's traffic cursors, rebuild, restore, continue.
+    let split = horizon / 2;
+    let mut first = scenario.build_sharded().expect("worker binary resolves");
+    let mut resumed_reports = first.run_epochs(split).expect("workers complete");
+    let cursors = first.cursors().expect("cursors captured").to_vec();
+
+    let mut second = scenario.build_sharded().expect("worker binary resolves");
+    second
+        .restore_cursors(cursors)
+        .expect("cursor count matches the fleet");
+    resumed_reports.extend(
+        second
+            .run_epochs(horizon - split)
+            .expect("workers complete"),
+    );
+    assert_eq!(
+        fused_reports, resumed_reports,
+        "kill-and-resume must land on the same reports"
+    );
+    println!(
+        "resume: {split}+{} epochs across fresh workers match too",
+        horizon - split
+    );
+}

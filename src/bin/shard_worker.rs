@@ -1,0 +1,32 @@
+//! Shard worker: one process of a [`ShardedCluster`] fleet.
+//!
+//! Speaks the length-prefixed frame protocol of `nfv_sim::shard` on
+//! stdin/stdout: reads one task frame describing its node slice, streams
+//! one epoch frame per epoch, and closes with a done frame carrying its
+//! final cursors. Never invoked by hand — the coordinator
+//! (`nfv_sim::shard::ShardedCluster`) spawns it; `repro shard-worker` is
+//! the same loop hosted in the bench binary.
+//!
+//! [`ShardedCluster`]: nfv_sim::shard::ShardedCluster
+
+use std::io::{stdin, stdout, BufWriter, Write};
+
+fn main() {
+    let mut input = stdin().lock();
+    // `StdoutLock` is line-buffered; binary frames are full of 0x0A bytes,
+    // so without a real block buffer every epoch frame degenerates into a
+    // storm of tiny writes. The generous capacity batches many epoch
+    // frames per pipe write, keeping worker/coordinator context switches
+    // off the per-epoch cost (worker_main flushes at protocol boundaries).
+    let mut output = BufWriter::with_capacity(256 * 1024, stdout().lock());
+    match nfv_sim::shard::worker_main(&mut input, &mut output) {
+        Ok(()) => {
+            let _ = output.flush();
+        }
+        Err(err) => {
+            let _ = output.flush();
+            eprintln!("shard_worker: {err}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -96,6 +96,7 @@ fn scenario_from_raw(nodes: &[(u32, Vec<TenantRaw>)], seed: u64, epochs: u32) ->
         tuning: SimTuning::default(),
         policy: PlatformPolicy::greennfv(),
         evaluation: EvalMode::Full,
+        shards: 0,
         nodes: node_specs,
     }
 }

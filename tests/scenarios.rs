@@ -312,6 +312,26 @@ fn fleet_diurnal_1000() {
 }
 
 #[test]
+fn sharded_fleet() {
+    // check_scenario exercises the real multi-process path here: the
+    // descriptor carries `shards: 2`, so every `run()` inside spawns two
+    // `shard_worker` processes and merges their epoch streams (the
+    // determinism and JSON-twin assertions therefore hold *across* the
+    // process boundary).
+    check_scenario("sharded-fleet");
+    let scenario = Scenario::by_name("sharded-fleet").unwrap();
+    assert_eq!(scenario.shards, 2, "the multi-process path is the point");
+    // Sharded run == the same descriptor run fused in-process, exactly.
+    let mut fused = scenario.clone();
+    fused.shards = 0;
+    assert_eq!(
+        scenario.run().unwrap(),
+        fused.run().unwrap(),
+        "sharded-fleet: worker merge diverged from the fused path"
+    );
+}
+
+#[test]
 fn checkpoint_resume() {
     // The scenario-matrix leg for resumable training: a short sequential
     // run checkpointed mid-flight (JSON round-trip included) must finish

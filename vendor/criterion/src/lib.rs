@@ -22,8 +22,13 @@
 //! selected benchmark's per-iteration time is also written there as JSON at
 //! process exit (see [`write_perf_record`]): one entry per bench id with
 //! `ns_per_iter`, the declared [`Throughput`] element count, and the derived
-//! `ns_per_element` (ns/lane for the batch benches). In `--test` smoke mode
-//! the record is still produced — each selected benchmark runs a short
+//! `ns_per_element` (ns/lane for the batch benches). Timed runs record the
+//! mean across samples (committed baselines are timed, and a mean baseline
+//! keeps CI's best-of-N smoke comparison one-sided in the safe direction);
+//! `--test` smoke runs record the *best* of five short samples — timing
+//! noise is one-sided, so the minimum is the robust estimator and keeps
+//! `perf_check`'s ratio gates stable on shared runners. In smoke mode the
+//! record is still produced — each selected benchmark runs a short
 //! calibrated measurement instead of a single untimed pass — so CI can
 //! upload a perf trajectory artifact from the smoke job without paying for
 //! a full benchmark run.
@@ -243,18 +248,26 @@ fn elements_of(throughput: Option<Throughput>) -> u64 {
 }
 
 /// Queues one measurement for the perf record (no-op unless enabled).
+///
+/// Registering the same bench id again merges by minimum. That is how a
+/// bench file time-interleaves a comparison pair: registering `a, b, a, b`
+/// measures each id in two well-separated windows and keeps each id's
+/// quietest one, so a multi-second load wave on the host cannot land on
+/// only one side of a `perf_check` ratio gate.
 fn record_measurement(id: &str, ns_per_iter: f64, throughput: Option<Throughput>) {
     if perf_record_path().is_none() {
         return;
     }
-    PERF_RECORD
-        .lock()
-        .expect("perf record lock")
-        .push(PerfEntry {
-            id: id.to_string(),
-            ns_per_iter,
-            elements_per_iter: elements_of(throughput),
-        });
+    let mut record = PERF_RECORD.lock().expect("perf record lock");
+    if let Some(entry) = record.iter_mut().find(|e| e.id == id) {
+        entry.ns_per_iter = entry.ns_per_iter.min(ns_per_iter);
+        return;
+    }
+    record.push(PerfEntry {
+        id: id.to_string(),
+        ns_per_iter,
+        elements_per_iter: elements_of(throughput),
+    });
 }
 
 /// Called by `criterion_main!` after every group has run: a CLI filter that
@@ -323,18 +336,23 @@ fn smoke_bench<F: FnMut(&mut Bencher)>(name: &str, throughput: Option<Throughput
         f(&mut cal);
         let per_iter_ns = (cal.elapsed_ns.max(1.0)) / cal.iters as f64;
         let iters = ((2.0e6 / per_iter_ns).ceil() as u64).clamp(1, 1_000_000);
-        let mut means = Vec::with_capacity(3);
-        for _ in 0..3 {
+        let mut samples = Vec::with_capacity(5);
+        for _ in 0..5 {
             let mut b = Bencher {
                 iters,
                 elapsed_ns: 0.0,
             };
             f(&mut b);
-            means.push(b.elapsed_ns / iters as f64);
+            samples.push(b.elapsed_ns / iters as f64);
         }
-        let mean = means.iter().sum::<f64>() / means.len() as f64;
-        record_measurement(name, mean, throughput);
-        println!("bench {name:<40} ok (--test, {} recorded)", fmt_ns(mean));
+        // Record the best sample, not the mean: timing noise is one-sided
+        // (scheduler interference only ever adds time), so the minimum is
+        // the robust estimator — it keeps the within-record ratio gates
+        // (`perf_check --require-ratio` / `--max-ratio`) stable even when
+        // a single sample is preempted.
+        let best = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+        record_measurement(name, best, throughput);
+        println!("bench {name:<40} ok (--test, {} recorded)", fmt_ns(best));
         return;
     }
     let mut b = Bencher {
@@ -373,6 +391,12 @@ fn run_bench<F: FnMut(&mut Bencher)>(
     let mean = means.iter().sum::<f64>() / means.len() as f64;
     let min = means.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = means.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    // Timed runs record the *mean*: committed baselines are timed, and CI's
+    // smoke pass records best-of-5, so a mean baseline keeps the smoke
+    // comparison one-sided in the safe direction (a timed min-of-20 would
+    // sit below anything a 5-sample smoke run can reach and flag phantom
+    // regressions). Duplicate registrations still min-merge, so interleaved
+    // rounds keep their noise robustness.
     record_measurement(name, mean, throughput);
 
     let thr = match throughput {
