@@ -233,6 +233,132 @@ fn bench(c: &mut Criterion) {
         g.finish();
     }
 
+    // The columnar epoch substrate, stage by stage, at fleet width: ~1000
+    // lanes through each phase of the fused epoch in isolation — traffic
+    // generation (per-source window sampling), staging (`LaneWriter`
+    // restaging a persistent batch in place), the kernel sweep
+    // (`evaluate_chain_batch_into` reusing its results vector), and the
+    // column aggregate fold (`aggregate_node_columns_into` into a reused
+    // report). Element throughput = lanes, so the perf record reports each
+    // stage's ns/lane; `scenario_epoch/fleet_diurnal_1000` measures the
+    // same stages fused end-to-end.
+    {
+        const LANES: usize = 1000;
+        let mut g = c.benchmark_group("epoch_substrate");
+        g.throughput(Throughput::Elements(LANES as u64));
+        let tuning = SimTuning::default();
+        let cost = ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost();
+        let llc = llc_partition_bytes(0.5);
+
+        // Mixed synthetic sources (CBR / Poisson / on-off), one per lane.
+        let mut sources: Vec<TrafficSource> = (0..LANES as u32)
+            .map(|i| {
+                let rate = 1.0e6 + 3.7e3 * f64::from(i);
+                let pkt = 64 + (i % 16) * 64;
+                let spec = match i % 3 {
+                    0 => FlowSpec::cbr(i, rate, pkt),
+                    1 => FlowSpec::poisson(i, rate, pkt),
+                    _ => FlowSpec {
+                        pattern: ArrivalPattern::MarkovOnOff {
+                            peak_factor: 3.0,
+                            on_fraction: 0.4,
+                        },
+                        ..FlowSpec::cbr(i, rate, pkt)
+                    },
+                };
+                TrafficSource::synthetic(
+                    FlowSet::new(vec![spec]).expect("valid flow"),
+                    u64::from(i),
+                )
+            })
+            .collect();
+        g.bench_function("generate_1000", |b| {
+            b.iter(|| {
+                let mut pps = 0.0;
+                for s in &mut sources {
+                    pps += s.sample_load_delta(tuning.epoch_s).0.arrival_pps;
+                }
+                std::hint::black_box(pps)
+            })
+        });
+
+        // Per-lane knob/load variation so every staged column is distinct.
+        let lane_inputs: Vec<(KnobSettings, ChainLoad)> = (0..LANES as u32)
+            .map(|i| {
+                let mut k = KnobSettings::default_tuned();
+                k.freq_ghz = 1.2 + 0.1 * f64::from(i % 8);
+                k.batch = 1 + ((i / 8) % 8) * 40;
+                let l = ChainLoad {
+                    arrival_pps: 1.0e6 + 37.0 * f64::from(i),
+                    mean_packet_size: 395.0,
+                    burstiness: 1.2,
+                };
+                (k, l)
+            })
+            .collect();
+        let mut staged = ChainBatch::with_capacity(LANES);
+        for (k, l) in &lane_inputs {
+            staged.push(k, &cost, l, llc);
+        }
+        g.bench_function("stage_1000", |b| {
+            b.iter(|| {
+                let mut w = staged.lane_writer(true);
+                for (k, l) in &lane_inputs {
+                    w.write(
+                        std::hint::black_box(k),
+                        std::hint::black_box(&cost),
+                        std::hint::black_box(l),
+                        true,
+                        std::hint::black_box(llc),
+                    );
+                }
+                w.finish();
+                std::hint::black_box(staged.len())
+            })
+        });
+
+        let mut results = Vec::new();
+        g.bench_function("sweep_1000", |b| {
+            b.iter(|| {
+                evaluate_chain_batch_into(
+                    std::hint::black_box(&staged),
+                    std::hint::black_box(&tuning),
+                    &mut results,
+                );
+                std::hint::black_box(results.len())
+            })
+        });
+
+        evaluate_chain_batch_into(&staged, &tuning, &mut results);
+        let policy = PlatformPolicy::greennfv();
+        let power = PowerModel::default();
+        let cores: Vec<f64> = lane_inputs
+            .iter()
+            .map(|(k, _)| f64::from(k.cpu.cores))
+            .collect();
+        let share: Vec<f64> = lane_inputs.iter().map(|(k, _)| k.cpu.share).collect();
+        let freq: Vec<f64> = lane_inputs.iter().map(|(k, _)| k.freq_ghz).collect();
+        let mut report = NodeEpochResult::default();
+        g.bench_function("aggregate_1000", |b| {
+            b.iter(|| {
+                aggregate_node_columns_into(
+                    std::hint::black_box(&results),
+                    KnobColumns {
+                        cores: std::hint::black_box(&cores),
+                        share: std::hint::black_box(&share),
+                        freq_ghz: std::hint::black_box(&freq),
+                    },
+                    &policy,
+                    &power,
+                    &tuning,
+                    &mut report,
+                );
+                std::hint::black_box(report.energy_j)
+            })
+        });
+        g.finish();
+    }
+
     // Pipelined multi-epoch runtime vs stepping epochs one by one, on the
     // long-horizon diurnal-trace scenario (the replay workload the pipeline
     // exists for). One iteration = the scenario's full 48-epoch day; element
@@ -510,6 +636,45 @@ fn bench(c: &mut Criterion) {
         g.bench_function("fig_grid", |b| {
             b.iter(|| {
                 std::hint::black_box((fig2_freq_cached(42, &warm), fig3_batch_cached(42, &warm)))
+            })
+        });
+        g.finish();
+    }
+
+    // The WIDTH-blocked matmul micro-kernel against its unblocked
+    // reference, at the training substrate's hot shape (64×64 · 64×64ᵀ —
+    // the batch-64 hidden-64 forward/backward products inside every DDPG
+    // update). The two are bit-identical (`crates/nn` differential tests);
+    // the CI perf gate pins blocked <= 0.8x naive so the blocking cannot
+    // silently rot back to scalar speed.
+    {
+        let mut g = c.benchmark_group("nn_matmul");
+        let a = Matrix::from_vec(
+            64,
+            64,
+            (0..64 * 64)
+                .map(|i| 0.37 + 0.01 * (i % 97) as f64)
+                .collect(),
+        );
+        let bmat = Matrix::from_vec(
+            64,
+            64,
+            (0..64 * 64)
+                .map(|i| -0.21 + 0.013 * (i % 89) as f64)
+                .collect(),
+        );
+        g.bench_function("blocked_64", |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    std::hint::black_box(&a).matmul_transpose_b(std::hint::black_box(&bmat)),
+                )
+            })
+        });
+        g.bench_function("naive_64", |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    std::hint::black_box(&a).matmul_transpose_b_naive(std::hint::black_box(&bmat)),
+                )
             })
         });
         g.finish();

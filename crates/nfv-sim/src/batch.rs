@@ -331,6 +331,76 @@ impl ChainBatch {
         Self::set_col(&mut self.llc_bytes, d, i, llc_bytes);
     }
 
+    /// Drops every lane past `lanes`, keeping column capacity for reuse.
+    /// No-op when the batch is already `lanes` long or shorter.
+    pub(crate) fn truncate(&mut self, lanes: usize) {
+        self.cpu_cores.truncate(lanes);
+        self.cpu_share.truncate(lanes);
+        self.freq_ghz.truncate(lanes);
+        self.llc_fraction.truncate(lanes);
+        self.dma_bytes.truncate(lanes);
+        self.batch_knob.truncate(lanes);
+        self.base_cycles_per_packet.truncate(lanes);
+        self.cycles_per_byte.truncate(lanes);
+        self.mem_refs_per_packet.truncate(lanes);
+        self.state_bytes.truncate(lanes);
+        self.hops.truncate(lanes);
+        self.arrival_pps.truncate(lanes);
+        self.mean_packet_size.truncate(lanes);
+        self.burstiness.truncate(lanes);
+        self.llc_bytes.truncate(lanes);
+        self.dirty.truncate(lanes);
+    }
+
+    /// The `f64::from(cores)` knob column. The stored value is exactly what
+    /// [`Self::push`]/[`Self::set_knobs`] converted, so `col[i] as u32`
+    /// reconstructs the knob and `col[i]` *is* `f64::from(knobs.cpu.cores)`
+    /// bit for bit — which is what lets the column aggregation fold in
+    /// [`crate::engine::aggregate_node_columns_into`] match the struct fold.
+    pub(crate) fn cpu_cores_col(&self) -> &[f64] {
+        &self.cpu_cores
+    }
+
+    /// The per-core CPU share knob column.
+    pub(crate) fn cpu_share_col(&self) -> &[f64] {
+        &self.cpu_share
+    }
+
+    /// The DVFS frequency knob column (GHz).
+    pub(crate) fn freq_ghz_col(&self) -> &[f64] {
+        &self.freq_ghz
+    }
+
+    /// The raw offered arrival-rate load column (pps, before the kernel's
+    /// NIC clamp — the clamp happens in registers inside the load pass, so
+    /// this column holds exactly what the traffic source sampled).
+    pub(crate) fn arrival_pps_col(&self) -> &[f64] {
+        &self.arrival_pps
+    }
+
+    /// A cursor-style writer that restages the whole batch in lane order
+    /// without reallocating: existing lanes are overwritten through the
+    /// self-comparing `set_*` mutators (clean lanes stay clean), lanes past
+    /// the previous length are pushed, and [`LaneWriter::finish`] truncates
+    /// whatever the new staging did not cover. This is how the epoch
+    /// pipeline writes each epoch's inputs straight into the persistent
+    /// column buffers instead of building tuple vectors and copying them in.
+    ///
+    /// `reuse_clean_loads` lets a writer skip the load columns for lanes
+    /// whose traffic source reported no change. That is only sound when the
+    /// batch is the *single persistent* buffer that already holds the
+    /// previous window's loads at the same lane positions (the incremental
+    /// pipeline's steady state); pass `false` whenever the buffer may hold
+    /// older or differently-laid-out values (first epoch of a run, or the
+    /// double-buffered full path whose back buffer is two windows old).
+    pub fn lane_writer(&mut self, reuse_clean_loads: bool) -> LaneWriter<'_> {
+        LaneWriter {
+            batch: self,
+            cursor: 0,
+            reuse_clean_loads,
+        }
+    }
+
     /// Force-marks lane `i` stale regardless of column values.
     ///
     /// # Panics
@@ -430,6 +500,75 @@ impl ChainBatch {
     }
 }
 
+/// Cursor-style restaging view over a [`ChainBatch`]; see
+/// [`ChainBatch::lane_writer`].
+///
+/// ```
+/// use nfv_sim::prelude::*;
+///
+/// let cost = ServiceChain::build(ChainSpec::canonical_three(ChainId(0))).cost();
+/// let load = ChainLoad { arrival_pps: 3.5e6, mean_packet_size: 395.0, burstiness: 1.2 };
+/// let mut batch = ChainBatch::new();
+///
+/// // First staging fills the batch; a second identical staging overwrites
+/// // it in place, and every lane stays clean (bitwise-equal values).
+/// for _ in 0..2 {
+///     let mut w = batch.lane_writer(false);
+///     for _ in 0..3 {
+///         w.write(&KnobSettings::default_tuned(), &cost, &load, true, 1e6);
+///     }
+///     w.finish();
+/// }
+/// assert_eq!(batch.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct LaneWriter<'a> {
+    batch: &'a mut ChainBatch,
+    cursor: usize,
+    reuse_clean_loads: bool,
+}
+
+impl LaneWriter<'_> {
+    /// Stages the next lane: overwrites in place while the cursor is inside
+    /// the batch (self-comparing setters — an unchanged lane stays clean),
+    /// pushes past the end. `load_changed` is the traffic source's delta
+    /// verdict for this lane; it only matters when the writer was opened
+    /// with `reuse_clean_loads` (see [`ChainBatch::lane_writer`]).
+    pub fn write(
+        &mut self,
+        knobs: &KnobSettings,
+        cost: &ChainCost,
+        load: &ChainLoad,
+        load_changed: bool,
+        llc_bytes: f64,
+    ) {
+        let i = self.cursor;
+        if i < self.batch.len() {
+            self.batch.set_knobs(i, knobs);
+            self.batch.set_cost(i, cost);
+            if load_changed || !self.reuse_clean_loads {
+                self.batch.set_load(i, load);
+            }
+            self.batch.set_llc_bytes(i, llc_bytes);
+        } else {
+            self.batch.push(knobs, cost, load, llc_bytes);
+        }
+        self.cursor = i + 1;
+    }
+
+    /// Lanes staged so far.
+    pub fn lanes(&self) -> usize {
+        self.cursor
+    }
+
+    /// Ends the staging pass, truncating any leftover lanes from a previous,
+    /// longer staging so the batch length equals the lanes written.
+    pub fn finish(self) {
+        let lanes = self.cursor;
+        self.batch.truncate(lanes);
+    }
+}
+
 /// Evaluates every lane of `batch`, auto-chunking across threads.
 ///
 /// Lanes run through the **column-pass kernel** (see the module docs):
@@ -462,6 +601,38 @@ pub fn evaluate_chain_batch_threads(
         return eval_columns(batch, tuning, 0..batch.len());
     }
     par::chunked_map_ranges(batch.len(), threads, |r| eval_columns(batch, tuning, r))
+}
+
+/// [`evaluate_chain_batch`] into a caller-owned result buffer.
+///
+/// `out` is cleared and refilled in lane order; once its capacity has grown
+/// to the batch size, the inline (single-thread) sweep performs **zero heap
+/// allocations** — this is the steady-state entry point of the epoch
+/// pipeline's full-evaluation path. Results are bit-identical to
+/// [`evaluate_chain_batch`].
+pub fn evaluate_chain_batch_into(
+    batch: &ChainBatch,
+    tuning: &SimTuning,
+    out: &mut Vec<SimResult<ChainEpochResult>>,
+) {
+    evaluate_chain_batch_threads_into(batch, tuning, par::auto_threads(batch.len()), out);
+}
+
+/// [`evaluate_chain_batch_into`] with an explicit worker-thread count.
+/// `threads <= 1` sweeps straight into `out`; the threaded path stitches
+/// worker chunks and moves them into `out` (same values for every count).
+pub fn evaluate_chain_batch_threads_into(
+    batch: &ChainBatch,
+    tuning: &SimTuning,
+    threads: usize,
+    out: &mut Vec<SimResult<ChainEpochResult>>,
+) {
+    if threads <= 1 {
+        out.clear();
+        eval_columns_into(batch, tuning, 0..batch.len(), out);
+    } else {
+        *out = par::chunked_map_ranges(batch.len(), threads, |r| eval_columns(batch, tuning, r));
+    }
 }
 
 /// [`evaluate_chain_batch`] through a content-addressed [`EvalCache`].
@@ -695,14 +866,28 @@ fn eval_columns(
     range: std::ops::Range<usize>,
 ) -> Vec<SimResult<ChainEpochResult>> {
     let mut out = Vec::with_capacity(range.len());
-    let mut scratch = Scratch::with_capacity(range.len().min(BLOCK_LANES));
+    eval_columns_into(batch, tuning, range, &mut out);
+    out
+}
+
+/// [`eval_columns`] appending into a caller-owned buffer. The lane mask
+/// scratch starts empty and only ever allocates on the rare
+/// cannot-prove-valid fallback, so an all-valid sweep into a buffer with
+/// enough capacity performs no heap allocation at all.
+fn eval_columns_into(
+    batch: &ChainBatch,
+    tuning: &SimTuning,
+    range: std::ops::Range<usize>,
+    out: &mut Vec<SimResult<ChainEpochResult>>,
+) {
+    out.reserve(range.len());
+    let mut scratch = Scratch::default();
     let mut start = range.start;
     while start < range.end {
         let end = (start + BLOCK_LANES).min(range.end);
-        eval_block(batch, tuning, start..end, &mut scratch, &mut out);
+        eval_block(batch, tuning, start..end, &mut scratch, out);
         start = end;
     }
-    out
 }
 
 /// Lanes per kernel block: 256 lanes keep the ~15 input columns (~30 KB)
@@ -716,14 +901,6 @@ const BLOCK_LANES: usize = 256;
 #[derive(Default)]
 struct Scratch {
     mask: Vec<Option<SimError>>,
-}
-
-impl Scratch {
-    fn with_capacity(lanes: usize) -> Self {
-        Self {
-            mask: Vec::with_capacity(lanes),
-        }
-    }
 }
 
 /// One [`BLOCK_LANES`]-bounded block of the column-pass kernel; see
@@ -1120,6 +1297,79 @@ mod tests {
         let incr = evaluate_chain_batch_incremental(&mut batch, &tuning, &mut outputs);
         assert_eq!(incr, evaluate_chain_batch(&batch, &tuning));
         assert_eq!(outputs.len(), 24);
+    }
+
+    #[test]
+    fn lane_writer_matches_pushes_and_truncates() {
+        let reference = sweep_batch(20);
+        // Staging the same lanes through a writer equals pushing them.
+        let mut staged = ChainBatch::new();
+        let mut w = staged.lane_writer(false);
+        for i in 0..20 {
+            let (knobs, cost, load, llc) = reference.lane(i);
+            w.write(&knobs, &cost, &load, true, llc);
+        }
+        assert_eq!(w.lanes(), 20);
+        w.finish();
+        let tuning = SimTuning::default();
+        assert_eq!(
+            evaluate_chain_batch(&staged, &tuning),
+            evaluate_chain_batch(&reference, &tuning)
+        );
+
+        // Restaging a shorter epoch truncates the leftover lanes, and
+        // identical values keep every surviving lane clean.
+        let mut outputs = BatchOutputs::new();
+        evaluate_chain_batch_incremental(&mut staged, &tuning, &mut outputs);
+        assert_eq!(staged.dirty_lanes(), 0);
+        let mut w = staged.lane_writer(false);
+        for i in 0..12 {
+            let (knobs, cost, load, llc) = reference.lane(i);
+            w.write(&knobs, &cost, &load, true, llc);
+        }
+        w.finish();
+        assert_eq!(staged.len(), 12);
+        assert_eq!(staged.dirty_lanes(), 0);
+    }
+
+    #[test]
+    fn lane_writer_skips_clean_loads_only_when_asked() {
+        let mut batch = sweep_batch(8);
+        let (knobs, cost, _, llc) = batch.lane(3);
+        let stale = ChainLoad {
+            arrival_pps: 9.9e9,
+            mean_packet_size: 1.0,
+            burstiness: 9.0,
+        };
+        // reuse_clean_loads + load_changed=false leaves the lane's load
+        // columns untouched (the incremental steady-state contract)...
+        let mut w = batch.lane_writer(true);
+        for _ in 0..3 {
+            let (k, c, l, b) = (knobs, cost, stale, llc);
+            w.write(&k, &c, &l, false, b);
+        }
+        let before = batch.lane(2).2;
+        assert_ne!(before.arrival_pps, stale.arrival_pps);
+        // ...while a writer without the flag always writes the load.
+        let mut w = batch.lane_writer(false);
+        let (k, c) = (knobs, cost);
+        w.write(&k, &c, &stale, false, llc);
+        assert_eq!(batch.lane(0).2.arrival_pps, stale.arrival_pps);
+    }
+
+    #[test]
+    fn into_eval_matches_allocating_eval() {
+        let batch = sweep_batch(300);
+        let tuning = SimTuning::default();
+        let expect = evaluate_chain_batch(&batch, &tuning);
+        let mut out = Vec::new();
+        for threads in [1usize, 2, 8] {
+            evaluate_chain_batch_threads_into(&batch, &tuning, threads, &mut out);
+            assert_eq!(out, expect, "threads={threads}");
+        }
+        // Reuse across sweeps: the buffer refills in place.
+        evaluate_chain_batch_into(&batch, &tuning, &mut out);
+        assert_eq!(out, expect);
     }
 
     #[test]

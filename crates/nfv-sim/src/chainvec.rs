@@ -1,0 +1,259 @@
+//! Inline small-vector storage for per-chain report columns.
+//!
+//! A node hosts a handful of chains — in the fleet scenarios exactly one —
+//! yet the per-chain columns of an epoch report (`NodeEpochResult::chains`,
+//! `NodeEpochReport::telemetry`) were heap `Vec`s, so every *owned* report
+//! cost four allocator round trips (two allocations on build, two frees on
+//! drop), and cloning a 1000-node cluster report cost ~4000. At tens of
+//! nanoseconds per `malloc`/`free` pair that churn dominated the fused
+//! epoch's ns/lane budget once generation, staging, and the kernel sweep
+//! were vectorized.
+//!
+//! [`ChainVec`] keeps up to [`CHAIN_INLINE`] elements inline and spills the
+//! whole sequence to the heap only beyond that, so the common report shapes
+//! build, clone, and drop without touching the allocator. It derefs to a
+//! slice (indexing, slicing, iteration all behave like `Vec`), compares and
+//! serializes exactly like the `Vec` it replaced, and — because a spilled
+//! vector retains its heap capacity across [`ChainVec::clear`] — the
+//! retained-report aggregate path stays allocation-free in steady state
+//! even for nodes hosting more than [`CHAIN_INLINE`] chains.
+
+use serde::{Deserialize, Serialize, Value};
+
+/// Elements stored inline before [`ChainVec`] spills to the heap. Two
+/// covers the fleet scenarios (one chain per node) and the two-tenant
+/// co-location shapes; the paper testbed's three-chain nodes spill once and
+/// then reuse the heap buffer.
+pub const CHAIN_INLINE: usize = 2;
+
+/// A `Vec`-like sequence with inline storage for up to [`CHAIN_INLINE`]
+/// elements, used for the per-chain columns of epoch reports.
+///
+/// Invariant: when `spill` is empty the elements live in
+/// `inline[..len]` (so `len <= CHAIN_INLINE`); otherwise *all* elements
+/// live in `spill` and `len == spill.len()`. `clear` always returns to
+/// inline mode while keeping any spill capacity.
+#[derive(Clone)]
+pub struct ChainVec<T> {
+    inline: [T; CHAIN_INLINE],
+    len: u32,
+    spill: Vec<T>,
+}
+
+impl<T: Copy + Default> ChainVec<T> {
+    /// An empty sequence; allocation-free.
+    pub fn new() -> Self {
+        Self {
+            inline: [T::default(); CHAIN_INLINE],
+            len: 0,
+            spill: Vec::new(),
+        }
+    }
+
+    /// An empty sequence that can hold `n` elements without reallocating;
+    /// allocation-free when `n` fits inline.
+    pub fn with_capacity(n: usize) -> Self {
+        let mut v = Self::new();
+        if n > CHAIN_INLINE {
+            v.spill.reserve(n);
+        }
+        v
+    }
+
+    /// Appends an element, moving the inline prefix to the heap on the
+    /// first push past [`CHAIN_INLINE`].
+    pub fn push(&mut self, value: T) {
+        let len = self.len as usize;
+        if self.spill.is_empty() && len < CHAIN_INLINE {
+            self.inline[len] = value;
+        } else {
+            if self.spill.is_empty() {
+                self.spill.extend_from_slice(&self.inline[..len]);
+            }
+            self.spill.push(value);
+        }
+        self.len += 1;
+    }
+
+    /// Empties the sequence, retaining any heap capacity for reuse.
+    pub fn clear(&mut self) {
+        self.spill.clear();
+        self.len = 0;
+    }
+
+    /// Ensures `additional` more elements fit without reallocating
+    /// mid-push; a no-op while the total stays inline.
+    pub fn reserve(&mut self, additional: usize) {
+        let total = self.len as usize + additional;
+        if total > CHAIN_INLINE {
+            self.spill.reserve(total - self.spill.len());
+        }
+    }
+
+    /// The elements as a contiguous slice.
+    pub fn as_slice(&self) -> &[T] {
+        if self.spill.is_empty() {
+            &self.inline[..self.len as usize]
+        } else {
+            &self.spill
+        }
+    }
+
+    /// The elements as a contiguous mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        if self.spill.is_empty() {
+            &mut self.inline[..self.len as usize]
+        } else {
+            &mut self.spill
+        }
+    }
+}
+
+impl<T: Copy + Default> Default for ChainVec<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default> std::ops::Deref for ChainVec<T> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default> std::ops::DerefMut for ChainVec<T> {
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + std::fmt::Debug> std::fmt::Debug for ChainVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+/// Equality is over the element sequence, like `Vec` — the inline/spilled
+/// representation never influences comparisons.
+impl<T: Copy + Default + PartialEq> PartialEq for ChainVec<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default> Extend<T> for ChainVec<T> {
+    fn extend<I: IntoIterator<Item = T>>(&mut self, iter: I) {
+        let iter = iter.into_iter();
+        self.reserve(iter.size_hint().0);
+        for value in iter {
+            self.push(value);
+        }
+    }
+}
+
+impl<T: Copy + Default> FromIterator<T> for ChainVec<T> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = Self::new();
+        v.extend(iter);
+        v
+    }
+}
+
+impl<T: Copy + Default> From<Vec<T>> for ChainVec<T> {
+    fn from(values: Vec<T>) -> Self {
+        if values.len() <= CHAIN_INLINE {
+            values.into_iter().collect()
+        } else {
+            let len = values.len() as u32;
+            Self {
+                inline: [T::default(); CHAIN_INLINE],
+                len,
+                spill: values,
+            }
+        }
+    }
+}
+
+impl<'a, T: Copy + Default> IntoIterator for &'a ChainVec<T> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+/// Serializes as a plain sequence — byte-identical on the wire to the
+/// `Vec` this type replaced, so existing documents keep their format.
+impl<T: Copy + Default + Serialize> Serialize for ChainVec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Copy + Default + Deserialize> Deserialize for ChainVec<T> {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        let mut out = Self::new();
+        for item in v.as_seq()? {
+            out.push(T::from_value(item)?);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inline_then_spill_round_trip() {
+        let mut v: ChainVec<f64> = ChainVec::new();
+        assert!(v.is_empty());
+        for i in 0..CHAIN_INLINE {
+            v.push(i as f64);
+        }
+        assert_eq!(&v[..], &[0.0, 1.0]);
+        v.push(2.0);
+        v.push(3.0);
+        assert_eq!(&v[..], &[0.0, 1.0, 2.0, 3.0]);
+        assert_eq!(v[1..3], [1.0, 2.0]);
+        v.clear();
+        assert!(v.is_empty());
+        v.push(7.0);
+        assert_eq!(&v[..], &[7.0]);
+    }
+
+    #[test]
+    fn equals_ignores_representation() {
+        // Same elements, one built inline, one through a spill + clear.
+        let a: ChainVec<u32> = [1, 2].into_iter().collect();
+        let mut b: ChainVec<u32> = (0..5).collect();
+        b.clear();
+        b.extend([1, 2]);
+        assert_eq!(a, b);
+        assert_ne!(a, [1, 3].into_iter().collect::<ChainVec<u32>>());
+    }
+
+    #[test]
+    fn from_vec_and_serde_match_vec_format() {
+        for n in [0usize, 1, 2, 3, 7] {
+            let raw: Vec<f64> = (0..n).map(|i| i as f64 * 1.5).collect();
+            let cv = ChainVec::from(raw.clone());
+            assert_eq!(&cv[..], &raw[..]);
+            assert_eq!(cv.to_value(), raw.to_value(), "wire format diverged");
+            let back = ChainVec::<f64>::from_value(&cv.to_value()).unwrap();
+            assert_eq!(back, cv);
+        }
+    }
+
+    #[test]
+    fn clear_retains_spill_capacity() {
+        let mut v: ChainVec<u64> = (0..10).collect();
+        v.clear();
+        // Refilling to the previous length must not grow the spill buffer.
+        let cap = v.spill.capacity();
+        v.extend(0..10);
+        assert_eq!(v.spill.capacity(), cap);
+        assert_eq!(v.len(), 10);
+    }
+}

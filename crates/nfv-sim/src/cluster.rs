@@ -16,7 +16,7 @@ use crate::pipeline::{EpochPipeline, EvalMode, PipelineMode};
 use crate::power::PowerModel;
 
 /// Aggregate report over all nodes for one epoch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct ClusterEpochReport {
     /// Per-node reports, in node order.
     pub nodes: Vec<NodeEpochReport>,
@@ -223,6 +223,22 @@ impl Cluster {
     ) {
         self.pipeline
             .run_with_eval(&mut self.nodes, epochs, mode, eval, consume);
+    }
+
+    /// Borrowed-view form of [`Cluster::stream_epochs_eval`]: each epoch's
+    /// report is handed to `observe` as a reference into the pipeline's
+    /// retained buffer, so a steady-state epoch allocates nothing at all
+    /// (see [`EpochPipeline::run_observed`]). Use this for long scoring
+    /// loops that read a few aggregates per epoch and move on.
+    pub fn observe_epochs(
+        &mut self,
+        epochs: usize,
+        mode: PipelineMode,
+        eval: EvalMode,
+        observe: impl FnMut(usize, &ClusterEpochReport),
+    ) {
+        self.pipeline
+            .run_observed(&mut self.nodes, epochs, mode, eval, observe);
     }
 }
 

@@ -27,6 +27,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::chain::ChainCost;
+use crate::chainvec::ChainVec;
 use crate::cpu::CpuAllocation;
 use crate::dma::{buffer_loss_lanes, DmaBuffer};
 use crate::dvfs::{FREQ_MAX_GHZ, FREQ_MIN_GHZ};
@@ -257,7 +258,7 @@ impl SimTuning {
 }
 
 /// Per-chain outcome of one epoch.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ChainEpochResult {
     /// Delivered throughput in Gbps.
     pub throughput_gbps: f64,
@@ -278,10 +279,12 @@ pub struct ChainEpochResult {
 }
 
 /// Node-level outcome of one epoch.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NodeEpochResult {
-    /// Per-chain results, in input order.
-    pub chains: Vec<ChainEpochResult>,
+    /// Per-chain results, in input order. Stored inline up to
+    /// [`crate::chainvec::CHAIN_INLINE`] chains so owned reports build,
+    /// clone, and drop without heap traffic.
+    pub chains: ChainVec<ChainEpochResult>,
     /// Mean node power draw (watts).
     pub power_w: f64,
     /// Node energy over the epoch (joules).
@@ -631,12 +634,33 @@ pub fn aggregate_node(
     power: &PowerModel,
     tuning: &SimTuning,
 ) -> NodeEpochResult {
+    let mut out = NodeEpochResult::default();
+    aggregate_node_into(chain_results, knobs, policy, power, tuning, &mut out);
+    out
+}
+
+/// In-place form of [`aggregate_node`]: folds into a caller-owned result so
+/// the epoch path builds its report where it will live instead of moving
+/// ~200-byte results through intermediate frames. Same arithmetic, same
+/// bits.
+///
+/// # Panics
+/// When the two slices differ in length.
+pub fn aggregate_node_into(
+    chain_results: &[ChainEpochResult],
+    knobs: &[KnobSettings],
+    policy: &PlatformPolicy,
+    power: &PowerModel,
+    tuning: &SimTuning,
+    out: &mut NodeEpochResult,
+) {
     assert_eq!(
         chain_results.len(),
         knobs.len(),
         "one knob set per chain result"
     );
-    let mut chains = Vec::with_capacity(chain_results.len());
+    out.chains.clear();
+    out.chains.reserve(chain_results.len());
     let mut assigned_cores = 0u32;
     let mut busy_core_seconds = 0.0;
     let mut freq_weighted = 0.0;
@@ -653,15 +677,15 @@ pub fn aggregate_node(
         busy_core_seconds += r.busy_core_seconds;
         freq_weighted += knobs.freq_ghz * f64::from(knobs.cpu.cores);
         freq_weight += f64::from(knobs.cpu.cores);
-        chains.push(r);
+        out.chains.push(r);
     }
 
     // Manager Rx/Tx threads: spin in pure poll; track mean chain load otherwise.
     let mgr = f64::from(tuning.manager_cores);
-    let mean_util = if chains.is_empty() {
+    let mean_util = if out.chains.is_empty() {
         0.0
     } else {
-        chains.iter().map(|c| c.cpu_util).sum::<f64>() / chains.len() as f64
+        out.chains.iter().map(|c| c.cpu_util).sum::<f64>() / out.chains.len() as f64
     };
     busy_core_seconds += match policy.poll_mode {
         PollMode::PurePoll => mgr * tuning.epoch_s,
@@ -673,9 +697,9 @@ pub fn aggregate_node(
     } else {
         tuning.total_cores
     };
-    let powered_frac = f64::from(powered_cores) / f64::from(tuning.total_cores);
+    out.powered_frac = f64::from(powered_cores) / f64::from(tuning.total_cores);
     let powered_core_seconds = f64::from(powered_cores) * tuning.epoch_s;
-    let utilization = if powered_core_seconds > 0.0 {
+    out.utilization = if powered_core_seconds > 0.0 {
         (busy_core_seconds / powered_core_seconds).clamp(0.0, 1.0)
     } else {
         0.0
@@ -686,16 +710,106 @@ pub fn aggregate_node(
         FREQ_MAX_GHZ
     };
 
-    let power_w = power.power_w(utilization, mean_freq, powered_frac);
-    let energy_j = power_w * tuning.epoch_s;
+    out.power_w = power.power_w(out.utilization, mean_freq, out.powered_frac);
+    out.energy_j = out.power_w * tuning.epoch_s;
+}
 
-    NodeEpochResult {
-        chains,
-        power_w,
-        energy_j,
-        utilization,
-        powered_frac,
+/// Borrowed knob columns for [`aggregate_node_columns_into`]: the
+/// structure-of-arrays view a [`crate::batch::ChainBatch`] exposes, so the
+/// node fold can run straight off the staged lanes without rebuilding
+/// [`KnobSettings`] structs.
+///
+/// `cores[i]` holds `f64::from(knobs.cpu.cores)` exactly (small integers are
+/// exact in f64), which keeps the fold bit-identical to [`aggregate_node`].
+#[derive(Debug, Clone, Copy)]
+pub struct KnobColumns<'a> {
+    /// Per-lane core counts, stored as exact small-integer `f64`s.
+    pub cores: &'a [f64],
+    /// Per-lane core share in `[0, 1]`.
+    pub share: &'a [f64],
+    /// Per-lane DVFS frequency in GHz.
+    pub freq_ghz: &'a [f64],
+}
+
+/// Column-slice variant of [`aggregate_node`] that folds straight over the
+/// batch kernel's output lanes into a reusable [`NodeEpochResult`], so the
+/// steady-state epoch loop performs no per-epoch allocation once `out` has
+/// grown to the node's chain count.
+///
+/// The arithmetic is lane-for-lane identical to [`aggregate_node`]:
+/// `cores[i] as u32` recovers the exact integer core count and the f64
+/// products consume the same bits, so both paths produce bit-equal results.
+///
+/// # Panics
+/// When the column lengths disagree with `chain_results`, or when a lane is
+/// an `Err` (lanes staged from node-resident knobs were already validated).
+pub fn aggregate_node_columns_into(
+    chain_results: &[SimResult<ChainEpochResult>],
+    knobs: KnobColumns<'_>,
+    policy: &PlatformPolicy,
+    power: &PowerModel,
+    tuning: &SimTuning,
+    out: &mut NodeEpochResult,
+) {
+    let n = chain_results.len();
+    assert_eq!(n, knobs.cores.len(), "one cores lane per chain result");
+    assert_eq!(n, knobs.share.len(), "one share lane per chain result");
+    assert_eq!(n, knobs.freq_ghz.len(), "one freq lane per chain result");
+    out.chains.clear();
+    out.chains.reserve(n);
+    let mut assigned_cores = 0u32;
+    let mut busy_core_seconds = 0.0;
+    let mut freq_weighted = 0.0;
+    let mut freq_weight = 0.0;
+
+    for (i, result) in chain_results.iter().enumerate() {
+        let mut r = *result
+            .as_ref()
+            .expect("staged lanes hold node-validated knobs");
+        assigned_cores += knobs.cores[i] as u32;
+        if policy.poll_mode == PollMode::PurePoll {
+            // Pure PMD: the chain's allocated cores spin at 100%.
+            let allocated = knobs.cores[i] * knobs.share[i] * tuning.epoch_s;
+            r.busy_core_seconds = allocated;
+        }
+        busy_core_seconds += r.busy_core_seconds;
+        freq_weighted += knobs.freq_ghz[i] * knobs.cores[i];
+        freq_weight += knobs.cores[i];
+        out.chains.push(r);
     }
+
+    // Manager Rx/Tx threads: spin in pure poll; track mean chain load otherwise.
+    let mgr = f64::from(tuning.manager_cores);
+    let mean_util = if out.chains.is_empty() {
+        0.0
+    } else {
+        out.chains.iter().map(|c| c.cpu_util).sum::<f64>() / out.chains.len() as f64
+    };
+    busy_core_seconds += match policy.poll_mode {
+        PollMode::PurePoll => mgr * tuning.epoch_s,
+        PollMode::AdaptiveSleep => mgr * tuning.epoch_s * mean_util.max(0.05),
+    };
+
+    let powered_cores = if policy.idle_core_power_off {
+        (tuning.manager_cores + assigned_cores).min(tuning.total_cores)
+    } else {
+        tuning.total_cores
+    };
+    out.powered_frac = f64::from(powered_cores) / f64::from(tuning.total_cores);
+    let powered_core_seconds = f64::from(powered_cores) * tuning.epoch_s;
+    out.utilization = if powered_core_seconds > 0.0 {
+        (busy_core_seconds / powered_core_seconds).clamp(0.0, 1.0)
+    } else {
+        0.0
+    };
+    let mean_freq = if freq_weight > 0.0 {
+        freq_weighted / freq_weight
+    } else {
+        FREQ_MAX_GHZ
+    };
+
+    out.power_w = power.power_w(out.utilization, mean_freq, out.powered_frac);
+    out.energy_j = out.power_w * tuning.epoch_s;
 }
 
 /// Convenience: the chain's CAT partition in bytes for an `llc_fraction`
@@ -977,5 +1091,56 @@ mod tests {
         );
         assert_eq!(r.chains[0].throughput_gbps, 0.0);
         assert!(r.power_w < pm.pidle_w + 0.25 * (pm.pmax_w - pm.pidle_w));
+    }
+
+    #[test]
+    fn column_aggregate_matches_struct_aggregate_bitwise() {
+        let cost = canonical_cost();
+        let t = SimTuning::default();
+        let pm = PowerModel::default();
+        let mut knob_sets = Vec::new();
+        for (i, (cores, share, freq)) in [(4u32, 1.0, 1.7), (1, 0.5, 1.2), (2, 0.75, 2.1)]
+            .into_iter()
+            .enumerate()
+        {
+            let mut k = good_knobs();
+            k.cpu = CpuAllocation { cores, share };
+            k.freq_ghz = freq;
+            k.llc_fraction = 0.3 + 0.2 * i as f64;
+            knob_sets.push(k);
+        }
+        let loads = [load(3.55e6, 395.0), load(1.1e6, 820.0), load(6.4e6, 128.0)];
+        let results: Vec<ChainEpochResult> = knob_sets
+            .iter()
+            .zip(&loads)
+            .map(|(k, l)| evaluate_chain(k, &cost, l, llc_partition_bytes(k.llc_fraction), &t))
+            .collect();
+        let lanes: Vec<SimResult<ChainEpochResult>> = results.iter().map(|r| Ok(*r)).collect();
+        let cores: Vec<f64> = knob_sets.iter().map(|k| f64::from(k.cpu.cores)).collect();
+        let share: Vec<f64> = knob_sets.iter().map(|k| k.cpu.share).collect();
+        let freq: Vec<f64> = knob_sets.iter().map(|k| k.freq_ghz).collect();
+        for policy in [PlatformPolicy::baseline(), PlatformPolicy::greennfv()] {
+            let reference = aggregate_node(&results, &knob_sets, &policy, &pm, &t);
+            let mut out = NodeEpochResult::default();
+            // Pre-dirty `out` so the test also covers reuse of a stale buffer.
+            out.chains.push(results[0]);
+            out.power_w = -1.0;
+            aggregate_node_columns_into(
+                &lanes,
+                KnobColumns {
+                    cores: &cores,
+                    share: &share,
+                    freq_ghz: &freq,
+                },
+                &policy,
+                &pm,
+                &t,
+                &mut out,
+            );
+            assert_eq!(reference, out, "poll_mode {:?}", policy.poll_mode);
+            assert_eq!(reference.power_w.to_bits(), out.power_w.to_bits());
+            assert_eq!(reference.energy_j.to_bits(), out.energy_j.to_bits());
+            assert_eq!(reference.utilization.to_bits(), out.utilization.to_bits());
+        }
     }
 }

@@ -5,7 +5,7 @@
 //! energy, and packet arrival rate; the evaluation uses up to five flows per
 //! chain with packet sizes from 64 B to 1518 B.
 
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
 use crate::packet::{MAX_PACKET_SIZE, MIN_PACKET_SIZE};
 
@@ -114,9 +114,54 @@ impl FlowSpec {
 }
 
 /// A set of flows offered to one service chain.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+///
+/// The load invariants every sampled traffic window needs —
+/// [`mean_packet_size`](Self::mean_packet_size) and
+/// [`burstiness`](Self::burstiness) — are pure folds over the flow specs,
+/// so they are computed once per mutation (construction, deserialization,
+/// [`push`](Self::push)) and cached, instead of re-folding the whole set on
+/// every sampled window: CBR-heavy scenarios used to pay that fold per lane
+/// per epoch for a constant. The cached values are produced by exactly the
+/// same fold the accessors used to run, so callers observe identical bits.
+#[derive(Debug, Clone)]
 pub struct FlowSet {
     flows: Vec<FlowSpec>,
+    /// Cached [`Self::mean_packet_size`]; recomputed on every mutation.
+    mean_packet_size: f64,
+    /// Cached [`Self::burstiness`]; recomputed on every mutation.
+    burstiness: f64,
+}
+
+impl Default for FlowSet {
+    fn default() -> Self {
+        Self::from_flows(Vec::new())
+    }
+}
+
+/// Equality is over the flow specs alone: the cached invariants are a pure
+/// function of them, so including them would be redundant (and would let a
+/// stale cache masquerade as inequality).
+impl PartialEq for FlowSet {
+    fn eq(&self, other: &Self) -> bool {
+        self.flows == other.flows
+    }
+}
+
+/// Wire format is unchanged from the pre-cache derive: an object with the
+/// single `flows` array. The cached invariants are never serialized — they
+/// are recomputed on deserialization.
+impl Serialize for FlowSet {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![("flows".to_string(), self.flows.to_value())])
+    }
+}
+
+impl Deserialize for FlowSet {
+    fn from_value(v: &Value) -> Result<Self, serde::DeError> {
+        let map = v.as_map()?;
+        let flows: Vec<FlowSpec> = serde::field(map, "flows")?;
+        Ok(Self::from_flows(flows))
+    }
 }
 
 impl FlowSet {
@@ -125,7 +170,34 @@ impl FlowSet {
         for f in &flows {
             f.validate()?;
         }
-        Ok(Self { flows })
+        Ok(Self::from_flows(flows))
+    }
+
+    /// Builds the set and its cached invariants (no validation — internal
+    /// constructor shared by `new`, `Default`, and deserialization, which
+    /// mirrors the old derive in accepting any specs).
+    fn from_flows(flows: Vec<FlowSpec>) -> Self {
+        let mut set = Self {
+            flows,
+            mean_packet_size: 0.0,
+            burstiness: 0.0,
+        };
+        set.refresh_invariants();
+        set
+    }
+
+    /// Recomputes the cached invariants after any mutation of `flows`.
+    fn refresh_invariants(&mut self) {
+        self.mean_packet_size = Self::compute_mean_packet_size(&self.flows);
+        self.burstiness = Self::compute_burstiness(&self.flows);
+    }
+
+    /// Appends a flow (validated), refreshing the cached invariants.
+    pub fn push(&mut self, flow: FlowSpec) -> Result<(), String> {
+        flow.validate()?;
+        self.flows.push(flow);
+        self.refresh_invariants();
+        Ok(())
     }
 
     /// The flows.
@@ -153,27 +225,42 @@ impl FlowSet {
         self.flows.iter().map(|f| f.offered_gbps()).sum()
     }
 
-    /// Packet-rate-weighted mean packet size in bytes.
+    /// Packet-rate-weighted mean packet size in bytes (cached; see the
+    /// type-level docs).
     pub fn mean_packet_size(&self) -> f64 {
-        let total = self.total_rate_pps();
+        self.mean_packet_size
+    }
+
+    /// Burstiness factor in [1, ∞): peak-to-mean ratio of the most bursty flow,
+    /// weighted by its rate share. CBR/Poisson contribute 1. Cached; see the
+    /// type-level docs.
+    pub fn burstiness(&self) -> f64 {
+        self.burstiness
+    }
+
+    /// The fold behind [`Self::mean_packet_size`] — unchanged from the
+    /// pre-cache accessor, so the cached value is bit-identical to what
+    /// recomputing per call produced.
+    fn compute_mean_packet_size(flows: &[FlowSpec]) -> f64 {
+        let total: f64 = flows.iter().map(|f| f.rate_pps).sum();
         if total <= 0.0 {
             return f64::from(MIN_PACKET_SIZE);
         }
-        self.flows
+        flows
             .iter()
             .map(|f| f.rate_pps * f64::from(f.packet_size))
             .sum::<f64>()
             / total
     }
 
-    /// Burstiness factor in [1, ∞): peak-to-mean ratio of the most bursty flow,
-    /// weighted by its rate share. CBR/Poisson contribute 1.
-    pub fn burstiness(&self) -> f64 {
-        let total = self.total_rate_pps();
+    /// The fold behind [`Self::burstiness`] — unchanged from the pre-cache
+    /// accessor (same float op order, same bits).
+    fn compute_burstiness(flows: &[FlowSpec]) -> f64 {
+        let total: f64 = flows.iter().map(|f| f.rate_pps).sum();
         if total <= 0.0 {
             return 1.0;
         }
-        self.flows
+        flows
             .iter()
             .map(|f| {
                 let peak = match f.pattern {
@@ -254,6 +341,60 @@ mod tests {
         }])
         .unwrap();
         assert!(bursty.burstiness() > 3.9);
+    }
+
+    #[test]
+    fn cached_invariants_match_fresh_folds() {
+        let s = FlowSet::evaluation_five_flows();
+        assert_eq!(
+            s.mean_packet_size().to_bits(),
+            FlowSet::compute_mean_packet_size(s.flows()).to_bits()
+        );
+        assert_eq!(
+            s.burstiness().to_bits(),
+            FlowSet::compute_burstiness(s.flows()).to_bits()
+        );
+        // Empty-set fallbacks survive the caching.
+        let empty = FlowSet::default();
+        assert_eq!(empty.mean_packet_size(), f64::from(MIN_PACKET_SIZE));
+        assert_eq!(empty.burstiness(), 1.0);
+    }
+
+    #[test]
+    fn push_refreshes_cached_invariants() {
+        let mut s = FlowSet::new(vec![FlowSpec::cbr(0, 1e6, 64)]).unwrap();
+        assert_eq!(s.mean_packet_size(), 64.0);
+        s.push(FlowSpec {
+            pattern: ArrivalPattern::MarkovOnOff {
+                peak_factor: 4.0,
+                on_fraction: 0.25,
+            },
+            ..FlowSpec::cbr(1, 1e6, 1518)
+        })
+        .unwrap();
+        assert_eq!(
+            s.mean_packet_size().to_bits(),
+            FlowSet::compute_mean_packet_size(s.flows()).to_bits()
+        );
+        assert!(s.burstiness() > 2.0);
+        assert!(s.push(FlowSpec::cbr(2, -1.0, 64)).is_err());
+    }
+
+    #[test]
+    fn serde_roundtrip_recomputes_cache_and_keeps_wire_format() {
+        let s = FlowSet::evaluation_five_flows();
+        let v = s.to_value();
+        // Same wire shape the old derive produced: {"flows": [...]}.
+        let map = v.as_map().unwrap();
+        assert_eq!(map.len(), 1);
+        assert_eq!(map[0].0, "flows");
+        let back = FlowSet::from_value(&v).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(
+            back.mean_packet_size().to_bits(),
+            s.mean_packet_size().to_bits()
+        );
+        assert_eq!(back.burstiness().to_bits(), s.burstiness().to_bits());
     }
 
     #[test]

@@ -35,6 +35,7 @@
 pub mod batch;
 pub mod cache;
 pub mod chain;
+pub mod chainvec;
 pub mod cluster;
 pub mod cpu;
 pub mod dma;
@@ -62,22 +63,25 @@ pub mod prelude {
     pub use crate::batch::{
         evaluate_chain_batch, evaluate_chain_batch_cached, evaluate_chain_batch_cached_threads,
         evaluate_chain_batch_incremental, evaluate_chain_batch_incremental_threads,
-        evaluate_chain_batch_threads, sweep_chain_batch_incremental,
-        sweep_chain_batch_incremental_threads, BatchOutputs, ChainBatch, LANE_COLS,
+        evaluate_chain_batch_into, evaluate_chain_batch_threads, evaluate_chain_batch_threads_into,
+        sweep_chain_batch_incremental, sweep_chain_batch_incremental_threads, BatchOutputs,
+        ChainBatch, LaneWriter, LANE_COLS,
     };
     pub use crate::cache::{
         CacheStats, CanonicalKey, EvalCache, LaneKey, MemoStore, ScenarioKey, TuningKey,
         DEFAULT_CACHE_BUDGET,
     };
     pub use crate::chain::{ChainCost, ChainSpec, ServiceChain};
+    pub use crate::chainvec::{ChainVec, CHAIN_INLINE};
     pub use crate::cluster::{Cluster, ClusterEpochReport};
     pub use crate::cpu::{ChainId, CoreAllocator, CpuAllocation};
     pub use crate::dma::{DmaBuffer, DMA_MAX_BYTES, DMA_MIN_BYTES};
     pub use crate::dvfs::{FreqScaler, Governor, FREQ_MAX_GHZ, FREQ_MIN_GHZ, FREQ_STEP_GHZ};
     pub use crate::engine::{
-        aggregate_node, evaluate_chain, evaluate_node, kernel_lanes_swept, llc_partition_bytes,
-        ChainEpochResult, ChainLoad, KnobSettings, NodeEpochResult, PlatformPolicy, PollMode,
-        SimTuning, BATCH_MAX, BATCH_MIN,
+        aggregate_node, aggregate_node_columns_into, aggregate_node_into, evaluate_chain,
+        evaluate_node, kernel_lanes_swept, llc_partition_bytes, ChainEpochResult, ChainLoad,
+        KnobColumns, KnobSettings, NodeEpochResult, PlatformPolicy, PollMode, SimTuning, BATCH_MAX,
+        BATCH_MIN,
     };
     pub use crate::error::{SimError, SimResult};
     pub use crate::flow::{ArrivalPattern, FlowSet, FlowSpec};
@@ -95,7 +99,7 @@ pub mod prelude {
     pub use crate::simd::{F64x8, WideLane, WIDTH};
     pub use crate::stats::{ChainTelemetry, EpochHistory, Ewma, Summary};
     pub use crate::traffic::{
-        LoadDelta, Trace, TracePoint, TraceSource, TrafficCursor, TrafficGen, TrafficSource,
-        WindowArrivals,
+        standard_normal, standard_normal_fill_wide, LoadDelta, Trace, TracePoint, TraceSource,
+        TrafficCursor, TrafficGen, TrafficSource, WindowArrivals,
     };
 }

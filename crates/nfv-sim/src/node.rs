@@ -12,15 +12,17 @@ use serde::{Deserialize, Serialize};
 
 use crate::batch::{
     evaluate_chain_batch, evaluate_chain_batch_cached, evaluate_chain_batch_incremental,
-    BatchOutputs, ChainBatch,
+    BatchOutputs, ChainBatch, LaneWriter,
 };
 use crate::cache::EvalCache;
 use crate::chain::{ChainCost, ChainSpec, ServiceChain};
+use crate::chainvec::ChainVec;
 use crate::cpu::{ChainId, CoreAllocator};
 use crate::dvfs::{FREQ_MAX_GHZ, FREQ_MIN_GHZ};
 use crate::engine::{
-    aggregate_node, evaluate_chain, ChainEpochResult, ChainLoad, KnobSettings, NodeEpochResult,
-    PlatformPolicy, SimTuning,
+    aggregate_node, aggregate_node_columns_into, aggregate_node_into, evaluate_chain,
+    ChainEpochResult, ChainLoad, KnobColumns, KnobSettings, NodeEpochResult, PlatformPolicy,
+    SimTuning,
 };
 use crate::error::{SimError, SimResult};
 use crate::flow::FlowSet;
@@ -37,19 +39,15 @@ const DDIO_CLOS: ClosId = ClosId(u32::MAX);
 pub(crate) type ChainConfig = (KnobSettings, ChainCost, ChainLoad, f64);
 
 /// One node's staged inputs for an epoch, from [`Node::prepare_epoch`]:
-/// the engine configs, the raw arrival rates, and — for the incremental
-/// pipeline — a per-chain flag saying whether the sampled load actually
-/// moved since the previous window (the
-/// [`LoadDelta`](crate::traffic::LoadDelta) verdict). The full-sweep paths
-/// simply ignore `load_changed`, so there is exactly one generate path.
+/// the engine configs and the raw arrival rates. Only the heterogeneous
+/// per-node fallback stages through tuples; fused epochs write lanes
+/// straight into batch columns via [`Node::stage_epoch`].
 #[derive(Debug, Default)]
 pub(crate) struct PreparedNode {
     /// Engine configs, one per hosted chain in chain order.
     pub(crate) configs: Vec<ChainConfig>,
     /// Raw arrival rates (pps), one per hosted chain.
     pub(crate) arrivals: Vec<f64>,
-    /// Whether each chain's sampled load changed this window.
-    pub(crate) load_changed: Vec<bool>,
 }
 
 /// Hardware profile of one node: the per-node axes of cluster heterogeneity.
@@ -175,6 +173,16 @@ struct HostedChain {
     chain: ServiceChain,
     knobs: KnobSettings,
     traffic: TrafficSource,
+    /// The chain's CAT partition in bytes, cached off the allocator by
+    /// [`Node::set_knobs`] (the sole path that changes a chain's ways) so
+    /// the epoch loops read a field instead of rescanning way ownership.
+    llc_bytes: f64,
+    /// The chain's aggregate cost, folded once at admission. Sound because
+    /// the node never runs packets through the hosted [`ServiceChain`]
+    /// (no `process_batch` exposure), so NF state — the only thing
+    /// `ServiceChain::cost` can observe changing — is frozen at build time;
+    /// caching skips three virtual `NfCost` queries per chain per epoch.
+    cost: ChainCost,
 }
 
 /// Serializable mutable drift of a [`Node`] relative to its construction:
@@ -199,14 +207,26 @@ pub struct NodeCursor {
     pub epochs_run: u64,
 }
 
+/// Reusable per-epoch sampling buffers for [`Node::run_epoch`]: after the
+/// first epoch the node re-samples into these vectors, so the standalone
+/// epoch loop stops allocating in the generate stage.
+#[derive(Debug, Default)]
+struct EpochScratch {
+    knobs: Vec<KnobSettings>,
+    arrivals: Vec<f64>,
+    results: Vec<ChainEpochResult>,
+}
+
 /// Result of one node epoch: engine outputs plus per-chain telemetry with
 /// attributed energy.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct NodeEpochReport {
     /// Raw engine result.
     pub node: NodeEpochResult,
     /// Per-chain telemetry (paper Eq. 8 state), in chain insertion order.
-    pub telemetry: Vec<ChainTelemetry>,
+    /// Stored inline up to [`crate::chainvec::CHAIN_INLINE`] chains so
+    /// owned reports build, clone, and drop without heap traffic.
+    pub telemetry: ChainVec<ChainTelemetry>,
 }
 
 /// A simulated NFV server.
@@ -219,6 +239,7 @@ pub struct Node {
     llc: CatLlc,
     chains: Vec<HostedChain>,
     epochs_run: u64,
+    scratch: EpochScratch,
 }
 
 impl Node {
@@ -264,6 +285,7 @@ impl Node {
             llc,
             chains: Vec::new(),
             epochs_run: 0,
+            scratch: EpochScratch::default(),
         })
     }
 
@@ -354,10 +376,13 @@ impl Node {
         }
         let id = spec.id;
         let chain = ServiceChain::build(spec);
+        let cost = chain.cost();
         self.chains.push(HostedChain {
             chain,
             knobs: KnobSettings::baseline(),
             traffic: source,
+            llc_bytes: 0.0,
+            cost,
         });
         // Apply knobs through the validated path; roll back on failure.
         if let Err(e) = self.set_knobs(id, knobs) {
@@ -417,6 +442,7 @@ impl Node {
             )));
         }
         self.chains[idx].knobs = knobs;
+        self.chains[idx].llc_bytes = self.llc.bytes_of(ClosId(chain.0)) as f64;
         Ok(())
     }
 
@@ -494,27 +520,30 @@ impl Node {
     /// engine configs plus raw arrival rates. Advances the traffic
     /// sources: each call consumes one epoch of offered load.
     pub(crate) fn prepare_epoch(&mut self) -> PreparedNode {
-        let mut prepared = PreparedNode::default();
-        self.prepare_epoch_into(&mut prepared);
-        prepared
+        let epoch_s = self.tuning.epoch_s;
+        let mut out = PreparedNode::default();
+        for h in &mut self.chains {
+            let (load, _) = h.traffic.sample_load_delta(epoch_s);
+            out.arrivals.push(load.arrival_pps);
+            out.configs.push((h.knobs, h.cost, load, h.llc_bytes));
+        }
+        out
     }
 
-    /// [`Self::prepare_epoch`] into a caller-retained buffer: the
-    /// incremental pipeline stages every epoch into the same
-    /// [`PreparedNode`]s, so a steady-state epoch allocates nothing in the
-    /// generate stage. Clears and refills `out`'s vectors in place.
-    pub(crate) fn prepare_epoch_into(&mut self, out: &mut PreparedNode) {
+    /// Samples one control window of every chain's traffic and writes the
+    /// lanes straight into a [`ChainBatch`] through `writer` — the columnar
+    /// generate path: no staging tuples, no copy. Advances the traffic
+    /// sources exactly as [`Self::prepare_epoch`] does (same draws, same
+    /// order), and returns the number of lanes written.
+    pub(crate) fn stage_epoch(&mut self, writer: &mut LaneWriter<'_>) -> usize {
         let epoch_s = self.tuning.epoch_s;
-        out.configs.clear();
-        out.arrivals.clear();
-        out.load_changed.clear();
+        let mut lanes = 0;
         for h in &mut self.chains {
             let (load, delta) = h.traffic.sample_load_delta(epoch_s);
-            out.arrivals.push(load.arrival_pps);
-            out.load_changed.push(delta.is_changed());
-            let llc_bytes = self.llc.bytes_of(ClosId(h.chain.id().0)) as f64;
-            out.configs.push((h.knobs, h.chain.cost(), load, llc_bytes));
+            writer.write(&h.knobs, &h.cost, &load, delta.is_changed(), h.llc_bytes);
+            lanes += 1;
         }
+        lanes
     }
 
     /// Folds externally computed per-chain results (one per `prepare_epoch`
@@ -525,74 +554,157 @@ impl Node {
         arrivals: &[f64],
         chain_results: &[ChainEpochResult],
     ) -> NodeEpochReport {
-        let epoch_s = self.tuning.epoch_s;
         let knobs: Vec<KnobSettings> = configs.iter().map(|(k, ..)| *k).collect();
-        let node = aggregate_node(
+        let report = self.fold_report(&knobs, arrivals, chain_results);
+        self.epochs_run += 1;
+        report
+    }
+
+    /// Columnar [`Self::finish_epoch`]: folds this node's slice of the
+    /// fused batch — kernel lanes `lane0 ..` plus the knob and arrival
+    /// columns — into a caller-retained report, allocating nothing once
+    /// `out` has grown to the node's chain count. Bit-identical to the
+    /// struct fold (see [`aggregate_node_columns_into`]). Advances the
+    /// epoch count.
+    pub(crate) fn finish_epoch_columns_into(
+        &mut self,
+        batch: &ChainBatch,
+        lane0: usize,
+        chain_results: &[SimResult<ChainEpochResult>],
+        out: &mut NodeEpochReport,
+    ) {
+        let lanes = lane0..lane0 + chain_results.len();
+        let NodeEpochReport { node, telemetry } = out;
+        aggregate_node_columns_into(
             chain_results,
-            &knobs,
+            KnobColumns {
+                cores: &batch.cpu_cores_col()[lanes.clone()],
+                share: &batch.cpu_share_col()[lanes.clone()],
+                freq_ghz: &batch.freq_ghz_col()[lanes.clone()],
+            },
             &self.policy,
             &self.profile.power,
             &self.tuning,
+            node,
         );
+        self.fill_telemetry(&batch.arrival_pps_col()[lanes], node, telemetry);
+        self.epochs_run += 1;
+    }
 
-        // Energy attribution: proportional to busy core-seconds (idle floor
-        // split evenly across chains).
+    /// The cached-epoch bookkeeping for the incremental pipeline: the epoch
+    /// fold is pure, so when every one of this node's lanes stayed
+    /// bitwise-clean for a window — identical knobs, costs, partitions, and
+    /// an `Unchanged` load verdict — the previous epoch's report *is* this
+    /// epoch's report. The pipeline leaves its retained report untouched and
+    /// only the epoch count advances here.
+    pub(crate) fn note_cached_epoch(&mut self) {
+        self.epochs_run += 1;
+    }
+
+    /// The epoch fold minus the `epochs_run` bump: aggregates per-chain
+    /// results into the node outcome and attributes node energy to chains
+    /// proportional to busy core-seconds (idle floor split evenly).
+    fn fold_report(
+        &self,
+        knobs: &[KnobSettings],
+        arrivals: &[f64],
+        chain_results: &[ChainEpochResult],
+    ) -> NodeEpochReport {
+        let mut report = NodeEpochReport::default();
+        self.fold_report_into(knobs, arrivals, chain_results, &mut report);
+        report
+    }
+
+    /// In-place [`Self::fold_report`]: aggregates into a caller-owned report
+    /// so the fold writes its ~350 bytes once, where they will live, instead
+    /// of moving them through intermediate frames.
+    fn fold_report_into(
+        &self,
+        knobs: &[KnobSettings],
+        arrivals: &[f64],
+        chain_results: &[ChainEpochResult],
+        out: &mut NodeEpochReport,
+    ) {
+        aggregate_node_into(
+            chain_results,
+            knobs,
+            &self.policy,
+            &self.profile.power,
+            &self.tuning,
+            &mut out.node,
+        );
+        let NodeEpochReport { node, telemetry } = out;
+        self.fill_telemetry(arrivals, node, telemetry);
+    }
+
+    /// Energy attribution shared by every epoch fold: proportional to busy
+    /// core-seconds, idle floor split evenly across chains. Clears and
+    /// refills `telemetry` in place.
+    fn fill_telemetry(
+        &self,
+        arrivals: &[f64],
+        node: &NodeEpochResult,
+        telemetry: &mut ChainVec<ChainTelemetry>,
+    ) {
+        let epoch_s = self.tuning.epoch_s;
         let busy_total: f64 = node.chains.iter().map(|c| c.busy_core_seconds).sum();
         let n = node.chains.len().max(1) as f64;
         let idle_energy = self.profile.power.pidle_w * epoch_s * node.powered_frac;
         let dyn_energy = (node.energy_j - idle_energy).max(0.0);
-        let telemetry = node
-            .chains
-            .iter()
-            .zip(arrivals)
-            .map(|(c, &pps)| {
-                let share = if busy_total > 0.0 {
-                    c.busy_core_seconds / busy_total
-                } else {
-                    1.0 / n
-                };
-                ChainTelemetry {
-                    throughput_gbps: c.throughput_gbps,
-                    energy_j: idle_energy / n + dyn_energy * share,
-                    cpu_util: c.cpu_util,
-                    arrival_pps: pps,
-                    miss_rate: c.miss_rate,
-                    loss_frac: c.loss_frac,
-                }
-            })
-            .collect();
-        self.epochs_run += 1;
-        NodeEpochReport { node, telemetry }
-    }
-
-    /// The cached-epoch shortcut for the incremental pipeline:
-    /// [`Self::finish_epoch`] is a pure fold of its inputs (plus the
-    /// `epochs_run` bump), so when every one of this node's lanes stayed
-    /// bitwise-clean for a window — identical knobs, costs, partitions, and
-    /// an `Unchanged` load verdict — the previous epoch's report *is* this
-    /// epoch's report. Advances the epoch count and returns a clone of the
-    /// retained report without re-aggregating.
-    pub(crate) fn finish_epoch_cached(&mut self, cached: &NodeEpochReport) -> NodeEpochReport {
-        self.epochs_run += 1;
-        cached.clone()
+        telemetry.clear();
+        telemetry.extend(node.chains.iter().zip(arrivals).map(|(c, &pps)| {
+            let share = if busy_total > 0.0 {
+                c.busy_core_seconds / busy_total
+            } else {
+                1.0 / n
+            };
+            ChainTelemetry {
+                throughput_gbps: c.throughput_gbps,
+                energy_j: idle_energy / n + dyn_energy * share,
+                cpu_util: c.cpu_util,
+                arrival_pps: pps,
+                miss_rate: c.miss_rate,
+                loss_frac: c.loss_frac,
+            }
+        }));
     }
 
     /// Runs one control epoch: samples traffic, evaluates the chains, and
     /// attributes node energy to chains proportional to busy core-seconds.
     ///
     /// A single node hosts a handful of chains — far below the threading
-    /// threshold — so the lanes run through the scalar kernel directly;
+    /// threshold — so the lanes run through the scalar kernel directly, with
+    /// sampling buffers retained across epochs (`EpochScratch`);
     /// `Cluster::run_epoch` is the layer that fuses many nodes into one
     /// [`ChainBatch`]. Both produce identical results (same kernel, same
     /// [`aggregate_node`] fold; see `cluster::tests`).
     pub fn run_epoch(&mut self) -> NodeEpochReport {
-        let prepared = self.prepare_epoch();
-        let results: Vec<ChainEpochResult> = prepared
-            .configs
-            .iter()
-            .map(|(k, c, l, llc)| evaluate_chain(k, c, l, *llc, &self.tuning))
-            .collect();
-        self.finish_epoch(&prepared.configs, &prepared.arrivals, &results)
+        let epoch_s = self.tuning.epoch_s;
+        self.scratch.knobs.clear();
+        self.scratch.arrivals.clear();
+        self.scratch.results.clear();
+        for h in &mut self.chains {
+            let (load, _) = h.traffic.sample_load_delta(epoch_s);
+            let llc_bytes = h.llc_bytes;
+            self.scratch.knobs.push(h.knobs);
+            self.scratch.arrivals.push(load.arrival_pps);
+            self.scratch.results.push(evaluate_chain(
+                &h.knobs,
+                &h.cost,
+                &load,
+                llc_bytes,
+                &self.tuning,
+            ));
+        }
+        let mut report = NodeEpochReport::default();
+        self.fold_report_into(
+            &self.scratch.knobs,
+            &self.scratch.arrivals,
+            &self.scratch.results,
+            &mut report,
+        );
+        self.epochs_run += 1;
+        report
     }
 
     /// Samples one control window of `chain`'s traffic and returns the

@@ -1,27 +1,35 @@
 //! Pipelined epoch runtime: a staged generate → evaluate → aggregate graph
-//! with double-buffered batches.
+//! over persistent columnar batches.
 //!
 //! One cluster epoch decomposes into three stages:
 //!
 //! 1. **generate** — advance every node's
 //!    [`TrafficSource`](crate::traffic::TrafficSource) one control window
-//!    and stage the engine configs, in node-index order;
+//!    and write the sampled lanes *directly into the epoch's
+//!    [`ChainBatch`] columns* through a [`LaneWriter`](crate::batch::LaneWriter)
+//!    (`Node::stage_epoch`), in node-index order — no staging tuples, no
+//!    copy pass;
 //! 2. **evaluate** — sweep the column-pass kernel
-//!    ([`evaluate_chain_batch`]) over all staged lanes fused into one
-//!    [`ChainBatch`];
+//!    ([`evaluate_chain_batch_into`]) over all staged lanes, refreshing a
+//!    retained result buffer;
 //! 3. **aggregate** — fold the lane results back into per-node reports
-//!    (the same [`engine`](crate::engine) fold every epoch path uses), in
-//!    node-index order.
+//!    straight from the batch's knob and arrival columns
+//!    (`Node::finish_epoch_columns_into`), refilling one retained
+//!    [`ClusterEpochReport`] in place, in node-index order.
+//!
+//! Every buffer in the graph — both batches, the kernel output vector, the
+//! per-node lane counts, and the cluster report — is owned by
+//! [`EpochPipeline`] and refilled in place, so a steady-state epoch through
+//! [`EpochPipeline::run_observed`] performs **zero heap allocations**
+//! (`tests/alloc_steady_state.rs` pins this with a counting allocator).
 //!
 //! Generation only touches traffic state, evaluation only reads the staged
 //! batch, and aggregation only folds results — the stages are data-disjoint.
-//! [`EpochPipeline`] exploits that with **two** [`ChainBatch`] buffers: over
-//! a multi-epoch run, the producer (the calling thread) advances every
-//! traffic stream and fills batch *N + 1* into the back buffer while a
-//! worker thread sweeps the kernel over batch *N* in the front buffer (the
-//! kernel itself still fans out through [`crate::par`] on huge batches).
-//! Buffers swap at each epoch boundary, so nothing is re-fused or
-//! re-allocated per epoch.
+//! Over a multi-epoch run the producer (the calling thread) stages batch
+//! *N + 1* into the back buffer while a worker thread sweeps the kernel over
+//! batch *N* in the front buffer (the kernel itself still fans out through
+//! [`crate::par`] on huge batches). Buffers swap at each epoch boundary, so
+//! nothing is re-fused or re-allocated per epoch.
 //!
 //! **Determinism.** The pipelined path is *bit-identical* to running
 //! [`Cluster::run_epoch`](crate::cluster::Cluster::run_epoch) serially:
@@ -32,11 +40,13 @@
 //! * evaluation consumes an immutable staged batch and is itself
 //!   lane-deterministic for any thread count (the PR 2/3 contract);
 //! * aggregation runs strictly after the epoch's evaluation joins, in node
-//!   order.
+//!   order, and the column fold is bit-identical to the struct fold
+//!   ([`crate::engine::aggregate_node_columns_into`]).
 //!
 //! Overlap therefore changes *when* work happens, never *what* is computed.
 //! `tests/proptests.rs::pipelined_epochs_equal_serial_fused` pins this over
-//! random scenarios, and `tests/scenarios.rs` over the whole registry.
+//! random scenarios, and `tests/substrate_equivalence.rs` over the columnar
+//! staging path specifically.
 //!
 //! **Overlap policy.** Spawning the evaluation worker costs tens of
 //! microseconds per epoch, so overlap only pays when an epoch carries real
@@ -49,11 +59,14 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::batch::{evaluate_chain_batch, sweep_chain_batch_incremental, BatchOutputs, ChainBatch};
+use crate::batch::{
+    evaluate_chain_batch, evaluate_chain_batch_into, sweep_chain_batch_incremental, BatchOutputs,
+    ChainBatch,
+};
 use crate::cluster::ClusterEpochReport;
 use crate::engine::{ChainEpochResult, SimTuning};
 use crate::error::SimResult;
-use crate::node::{Node, NodeEpochReport, PreparedNode};
+use crate::node::{Node, NodeEpochReport};
 use crate::par;
 
 /// Staged lanes per epoch below which [`PipelineMode::Auto`] keeps the
@@ -78,10 +91,6 @@ pub enum PipelineMode {
     Overlapped,
 }
 
-/// One epoch's staged inputs: per node, the engine configs, raw arrival
-/// rates, and load-change flags from [`Node::prepare_epoch`].
-type PreparedEpoch = Vec<PreparedNode>;
-
 /// How each epoch's staged batch is evaluated. Every mode computes
 /// bit-identical results; modes differ only in how much kernel work a
 /// low-churn epoch re-runs.
@@ -92,7 +101,7 @@ pub enum EvalMode {
     #[default]
     Full,
     /// Dirty-tracked incremental sweeps: the staged batch becomes persistent
-    /// epoch state, per-epoch deltas are applied in place through the
+    /// epoch state, per-epoch deltas land in place through the
     /// self-comparing column setters, and only dirty lane groups re-run the
     /// kernel — clean lanes reuse the cached outputs of the previous epoch
     /// verbatim. The first epoch of a run (or after any structural change)
@@ -100,27 +109,33 @@ pub enum EvalMode {
     Incremental,
 }
 
-/// The double-buffered epoch pipeline. Owns the two [`ChainBatch`] buffers
-/// (front = being evaluated, back = being filled) so multi-epoch runs and
-/// repeated [`EpochPipeline::step`] calls never re-allocate columns. Under
-/// [`EvalMode::Incremental`] the front buffer doubles as the persistent
-/// lane state and `outputs` retains the previous epoch's kernel results.
+/// The double-buffered epoch pipeline. Owns every per-epoch buffer — the
+/// two [`ChainBatch`]es (front = being evaluated, back = being staged), the
+/// kernel result vector, the per-node lane counts, and the retained cluster
+/// report — so multi-epoch runs and repeated [`EpochPipeline::step`] calls
+/// never re-allocate. Under [`EvalMode::Incremental`] the front buffer
+/// doubles as the persistent lane state and `outputs` retains the previous
+/// epoch's kernel results.
 #[derive(Debug, Default)]
 pub struct EpochPipeline {
     front: ChainBatch,
     back: ChainBatch,
     outputs: BatchOutputs,
-    /// Per-node reports retained by the incremental loop: a node whose lanes
-    /// all stayed bitwise-clean for a window reuses its previous report
-    /// verbatim ([`Node::finish_epoch`] is a pure fold of its inputs), so a
-    /// low-churn epoch skips the aggregate stage for clean nodes just like
-    /// it skips the kernel for clean lane groups. Refilled on every run's
-    /// priming epoch, never checkpointed.
-    node_reports: Vec<NodeEpochReport>,
-    /// The incremental loop's staging buffer: every epoch's generate stage
-    /// refills the same per-node vectors in place, so a steady-state epoch
-    /// allocates nothing between sampling traffic and sweeping the kernel.
-    staged: PreparedEpoch,
+    /// Retained full-sweep results ([`evaluate_chain_batch_into`] refreshes
+    /// this in place each epoch).
+    lane_results: Vec<SimResult<ChainEpochResult>>,
+    /// Lanes staged per node for the front buffer, in node-index order.
+    counts: Vec<usize>,
+    /// Lanes staged per node for the back buffer (overlapped runs stage the
+    /// next epoch while the front is still being aggregated).
+    next_counts: Vec<usize>,
+    /// Per-node clean verdicts for the incremental loop's current epoch.
+    clean: Vec<bool>,
+    /// The retained cluster report: per-node reports are refilled in place
+    /// each epoch; a clean incremental node's slot is left untouched and
+    /// reused verbatim (the epoch fold is pure, and a clean node's inputs
+    /// this epoch are bitwise those of the last).
+    report: ClusterEpochReport,
 }
 
 impl EpochPipeline {
@@ -140,8 +155,8 @@ impl EpochPipeline {
     /// Runs `epochs` lock-step cluster epochs, returning one report per
     /// epoch in order. See the module docs for the stage graph and the
     /// determinism argument. Long horizons that only need each report once
-    /// should use [`EpochPipeline::run_with`] instead and keep memory O(1)
-    /// in the horizon.
+    /// should use [`EpochPipeline::run_observed`] instead and keep memory
+    /// O(1) in the horizon.
     pub fn run(
         &mut self,
         nodes: &mut [Node],
@@ -168,9 +183,7 @@ impl EpochPipeline {
 
     /// Streaming form of [`EpochPipeline::run`]: hands each epoch's report
     /// to `consume(epoch_index, report)` as soon as its aggregate stage
-    /// completes, instead of materializing the whole horizon. The pipeline
-    /// needs only one epoch of lookahead, so a multi-day replay scores and
-    /// drops each report in O(1) memory.
+    /// completes, instead of materializing the whole horizon.
     pub fn run_with(
         &mut self,
         nodes: &mut [Node],
@@ -181,13 +194,11 @@ impl EpochPipeline {
         self.run_with_eval(nodes, epochs, mode, EvalMode::Full, consume);
     }
 
-    /// Streaming form of [`EpochPipeline::run_eval`]; see
-    /// [`EpochPipeline::run_with`] for the streaming contract and
-    /// [`EvalMode`] for what `eval` selects. The incremental path runs the
-    /// stage graph inline regardless of `mode`: applying deltas in place has
-    /// a sequential dependency on the buffer the previous epoch just
-    /// evaluated, so there is no second buffer to fill ahead — the win comes
-    /// from skipping kernel work, not overlapping it.
+    /// Streaming form of [`EpochPipeline::run_eval`]: each report is cloned
+    /// out of the pipeline's retained buffer for the consumer. Callers that
+    /// can work from a borrowed view should prefer
+    /// [`EpochPipeline::run_observed`], which hands out `&ClusterEpochReport`
+    /// and keeps the steady-state epoch loop allocation-free.
     pub fn run_with_eval(
         &mut self,
         nodes: &mut [Node],
@@ -196,6 +207,33 @@ impl EpochPipeline {
         eval: EvalMode,
         mut consume: impl FnMut(usize, ClusterEpochReport),
     ) {
+        self.run_observed(nodes, epochs, mode, eval, |k, report| {
+            consume(k, report.clone());
+        });
+    }
+
+    /// The zero-copy epoch loop: runs `epochs` lock-step cluster epochs and
+    /// hands each epoch's report to `observe(epoch_index, &report)` as a
+    /// *borrowed view* of the pipeline's retained buffer, valid for the
+    /// duration of the call. In steady state (epoch 1 onwards over an
+    /// unchanged cluster) an observed epoch performs zero heap allocations
+    /// end-to-end: staging writes into persistent columns, the kernel
+    /// refreshes a retained result vector, and aggregation refills the
+    /// retained report in place.
+    ///
+    /// The incremental path runs the stage graph inline regardless of
+    /// `mode`: applying deltas in place has a sequential dependency on the
+    /// buffer the previous epoch just evaluated, so there is no second
+    /// buffer to fill ahead — the win comes from skipping kernel work, not
+    /// overlapping it.
+    pub fn run_observed(
+        &mut self,
+        nodes: &mut [Node],
+        epochs: usize,
+        mode: PipelineMode,
+        eval: EvalMode,
+        mut observe: impl FnMut(usize, &ClusterEpochReport),
+    ) {
         if epochs == 0 {
             return;
         }
@@ -203,18 +241,20 @@ impl EpochPipeline {
             // Heterogeneous model tunings (or an empty cluster): per-node
             // batches, serial, identical to the pre-pipeline fallback.
             for k in 0..epochs {
-                consume(k, epoch_unfused(nodes));
+                self.report = epoch_unfused(nodes);
+                observe(k, &self.report);
             }
             return;
         };
         if eval == EvalMode::Incremental {
-            self.run_incremental(nodes, epochs, &tuning, consume);
+            self.run_incremental(nodes, epochs, &tuning, observe);
             return;
         }
 
-        // Prime the pipeline: generate epoch 0 into the front buffer.
-        let mut pending = generate(nodes);
-        fill(&mut self.front, &pending);
+        // Prime the pipeline: stage epoch 0 into the front buffer. A fresh
+        // run never reuses load columns — the cluster layout may have
+        // changed since the buffer was last staged.
+        stage(nodes, &mut self.front, false, &mut self.counts);
         let overlap = match mode {
             PipelineMode::Inline => false,
             PipelineMode::Overlapped => true,
@@ -225,44 +265,60 @@ impl EpochPipeline {
 
         for k in 0..epochs {
             let last = k + 1 == epochs;
-            let (results, next) = if overlap && !last {
+            if overlap && !last {
                 // Split borrows: the worker sweeps the front buffer while
-                // the producer advances traffic and fills the back buffer.
+                // the producer advances traffic and stages the back buffer.
+                // The back buffer's columns are two windows old, so loads
+                // are always rewritten (`reuse_clean_loads = false`).
                 let front = &self.front;
                 let back = &mut self.back;
+                let lane_results = &mut self.lane_results;
+                let next_counts = &mut self.next_counts;
                 std::thread::scope(|s| {
-                    let worker = s.spawn(move || evaluate_chain_batch(front, &tuning));
-                    let next = generate(nodes);
-                    fill(back, &next);
-                    let results = worker.join().expect("kernel sweep must not panic");
-                    (results, Some(next))
-                })
-            } else {
-                let results = evaluate_chain_batch(&self.front, &tuning);
-                let next = (!last).then(|| {
-                    let next = generate(nodes);
-                    fill(&mut self.back, &next);
-                    next
+                    let worker =
+                        s.spawn(move || evaluate_chain_batch_into(front, &tuning, lane_results));
+                    stage(nodes, back, false, next_counts);
+                    worker.join().expect("kernel sweep must not panic");
                 });
-                (results, next)
-            };
-            consume(k, aggregate(nodes, &pending, results));
-            if let Some(next) = next {
-                pending = next;
+                aggregate_into(
+                    nodes,
+                    &self.front,
+                    &self.counts,
+                    &self.lane_results,
+                    &mut self.report,
+                );
+                observe(k, &self.report);
                 std::mem::swap(&mut self.front, &mut self.back);
+                std::mem::swap(&mut self.counts, &mut self.next_counts);
+            } else {
+                evaluate_chain_batch_into(&self.front, &tuning, &mut self.lane_results);
+                aggregate_into(
+                    nodes,
+                    &self.front,
+                    &self.counts,
+                    &self.lane_results,
+                    &mut self.report,
+                );
+                observe(k, &self.report);
+                if !last {
+                    // Single persistent buffer: its lanes hold this window's
+                    // values at the same positions, so unchanged loads can
+                    // skip their column writes.
+                    stage(nodes, &mut self.front, true, &mut self.counts);
+                }
             }
         }
     }
 
     /// The incremental epoch loop: the front buffer is persistent epoch
-    /// state. Epoch 0 refills it from scratch (every pushed lane starts
-    /// dirty, so the sweep primes the output cache with one full pass); each
-    /// later epoch applies the generate stage's deltas in place — knob,
-    /// cost, and partition columns through the self-comparing setters, load
-    /// columns only for chains whose [`LoadDelta`](crate::traffic::LoadDelta)
+    /// state. Epoch 0 restages every lane (loads always rewritten, and the
+    /// invalidated output cache forces one full priming sweep); each later
+    /// epoch lands the generate stage's deltas in place — knob, cost, and
+    /// partition columns through the self-comparing setters, load columns
+    /// only for chains whose [`LoadDelta`](crate::traffic::LoadDelta)
     /// reported a change — and sweeps only the dirty lane groups.
     ///
-    /// Rebuilding at epoch 0 (rather than trusting buffer state from a
+    /// Re-priming at epoch 0 (rather than trusting buffer state from a
     /// previous `run` call) makes every run's first epoch a full sweep: a
     /// resumed run, a fresh pipeline, or a cluster whose chain layout
     /// changed between runs all start from the same primed state, which is
@@ -272,30 +328,30 @@ impl EpochPipeline {
         nodes: &mut [Node],
         epochs: usize,
         tuning: &SimTuning,
-        mut consume: impl FnMut(usize, ClusterEpochReport),
+        mut observe: impl FnMut(usize, &ClusterEpochReport),
     ) {
         for k in 0..epochs {
-            generate_into(nodes, &mut self.staged);
+            stage(nodes, &mut self.front, k > 0, &mut self.counts);
             // Per-node clean verdicts: read after the deltas land and before
-            // the sweep clears the flags. `None` on the priming epoch, which
-            // recomputes (and retains) every node's report.
-            let clean = if k == 0 {
-                fill(&mut self.front, &self.staged);
+            // the sweep clears the flags. Skipped on the priming epoch,
+            // which recomputes (and retains) every node's report.
+            let cached = if k == 0 {
                 self.outputs.invalidate();
-                None
+                false
             } else {
-                apply_deltas(&mut self.front, &self.staged);
-                Some(node_clean_flags(&self.front, &self.staged))
+                node_clean_into(&self.front, &self.counts, &mut self.clean);
+                true
             };
             sweep_chain_batch_incremental(&mut self.front, tuning, &mut self.outputs);
-            let report = aggregate_cached(
+            aggregate_cached_into(
                 nodes,
-                &self.staged,
+                &self.front,
+                &self.counts,
                 self.outputs.results(),
-                clean.as_deref(),
-                &mut self.node_reports,
+                cached.then_some(self.clean.as_slice()),
+                &mut self.report,
             );
-            consume(k, report);
+            observe(k, &self.report);
         }
     }
 }
@@ -308,158 +364,101 @@ fn shared_tuning(nodes: &[Node]) -> Option<SimTuning> {
 }
 
 /// Stage 1 — generate: advance every node's traffic one control window, in
-/// node-index order (the determinism anchor), staging engine configs.
-fn generate(nodes: &mut [Node]) -> PreparedEpoch {
-    nodes.iter_mut().map(|n| n.prepare_epoch()).collect()
-}
-
-/// [`generate`] into a retained buffer: per-node vectors are cleared and
-/// refilled in place, so repeated epochs stage without allocating. The
-/// buffer is resized to the cluster (it starts empty on a fresh pipeline).
-fn generate_into(nodes: &mut [Node], staged: &mut PreparedEpoch) {
-    staged.resize_with(nodes.len(), PreparedNode::default);
-    for (node, p) in nodes.iter_mut().zip(staged.iter_mut()) {
-        node.prepare_epoch_into(p);
+/// node-index order (the determinism anchor), writing lanes straight into
+/// `batch`'s columns and recording each node's lane count. Lanes past a
+/// shrunken cluster's end are truncated by the writer.
+fn stage(
+    nodes: &mut [Node],
+    batch: &mut ChainBatch,
+    reuse_clean_loads: bool,
+    counts: &mut Vec<usize>,
+) {
+    counts.clear();
+    let mut writer = batch.lane_writer(reuse_clean_loads);
+    for node in nodes.iter_mut() {
+        counts.push(node.stage_epoch(&mut writer));
     }
-}
-
-/// Fills `batch` with every staged lane of `prepared`, reusing the buffer's
-/// column capacity. Pushed lanes start dirty, so a filled batch always
-/// full-sweeps.
-fn fill(batch: &mut ChainBatch, prepared: &PreparedEpoch) {
-    batch.clear();
-    for p in prepared {
-        for (knobs, cost, load, llc_bytes) in &p.configs {
-            batch.push(knobs, cost, load, *llc_bytes);
-        }
-    }
-}
-
-/// Applies one epoch's deltas onto a persistent `batch` whose lanes already
-/// hold the previous epoch's values in the same order. Knob, cost, and
-/// partition columns always go through the self-comparing setters (they can
-/// drift between epochs, e.g. a controller retuning knobs); load columns
-/// are written only for chains whose source reported a change — an
-/// `Unchanged` verdict guarantees the sampled load is bitwise-identical to
-/// what the lane already holds, so skipping the write *is* the comparison.
-fn apply_deltas(batch: &mut ChainBatch, prepared: &PreparedEpoch) {
-    let mut lane = 0;
-    for p in prepared {
-        for ((knobs, cost, load, llc_bytes), &changed) in p.configs.iter().zip(&p.load_changed) {
-            batch.set_knobs(lane, knobs);
-            batch.set_cost(lane, cost);
-            batch.set_llc_bytes(lane, *llc_bytes);
-            if changed {
-                batch.set_load(lane, load);
-            }
-            lane += 1;
-        }
-    }
+    writer.finish();
 }
 
 /// Stage 3 — aggregate: fold lane results back into per-node reports, in
-/// node-index order.
-fn aggregate(
+/// node-index order, refilling the retained `report` in place.
+fn aggregate_into(
     nodes: &mut [Node],
-    prepared: &PreparedEpoch,
-    results: Vec<SimResult<ChainEpochResult>>,
-) -> ClusterEpochReport {
-    let mut lanes = results.into_iter();
-    ClusterEpochReport {
-        nodes: nodes
-            .iter_mut()
-            .zip(prepared)
-            .map(|(node, p)| {
-                let results: Vec<ChainEpochResult> = lanes
-                    .by_ref()
-                    .take(p.configs.len())
-                    .map(|r| r.expect("node-resident knobs were validated by set_knobs"))
-                    .collect();
-                node.finish_epoch(&p.configs, &p.arrivals, &results)
-            })
-            .collect(),
+    batch: &ChainBatch,
+    counts: &[usize],
+    results: &[SimResult<ChainEpochResult>],
+    report: &mut ClusterEpochReport,
+) {
+    report
+        .nodes
+        .resize_with(nodes.len(), NodeEpochReport::default);
+    let mut lane = 0;
+    for ((node, &n), out) in nodes.iter_mut().zip(counts).zip(report.nodes.iter_mut()) {
+        node.finish_epoch_columns_into(batch, lane, &results[lane..lane + n], out);
+        lane += n;
     }
 }
 
-/// Per-node clean verdicts over a delta-applied `batch`: node `i` is clean
-/// iff *none* of its lanes carries a dirty flag. Lane-level (not group-level)
-/// dirtiness is the right criterion — a clean node sharing an 8-lane group
-/// with a dirty neighbour re-evaluates, but to bit-identical results, so its
-/// cached report stays valid.
-fn node_clean_flags(batch: &ChainBatch, prepared: &PreparedEpoch) -> Vec<bool> {
+/// Per-node clean verdicts over a delta-staged `batch`: node `i` is clean
+/// iff *none* of its lanes carries a dirty flag. Lane-level (not
+/// group-level) dirtiness is the right criterion — a clean node sharing an
+/// 8-lane group with a dirty neighbour re-evaluates, but to bit-identical
+/// results, so its retained report stays valid.
+fn node_clean_into(batch: &ChainBatch, counts: &[usize], out: &mut Vec<bool>) {
+    out.clear();
     let mut lane = 0;
-    prepared
-        .iter()
-        .map(|p| {
-            let n = p.configs.len();
-            let all_clean = (lane..lane + n).all(|i| !batch.is_dirty(i));
-            lane += n;
-            all_clean
-        })
-        .collect()
+    for &n in counts {
+        out.push((lane..lane + n).all(|i| !batch.is_dirty(i)));
+        lane += n;
+    }
 }
 
-/// [`aggregate`] with the incremental loop's per-node report cache: clean
-/// nodes (`clean[i]` true) clone their retained report instead of re-folding
-/// — [`Node::finish_epoch`] is pure, and a clean node's inputs this epoch
-/// are bitwise those of the last — while dirty nodes re-fold and refresh
-/// their cache slot. `clean = None` (the priming epoch) re-folds everything
-/// and rebuilds the cache.
-fn aggregate_cached(
+/// [`aggregate_into`] with the incremental loop's clean-node shortcut:
+/// clean nodes (`clean[i]` true) keep their retained report slot untouched
+/// — the epoch fold is pure, and a clean node's inputs this epoch are
+/// bitwise those of the last — while dirty nodes re-fold in place.
+/// `clean = None` (the priming epoch, or a report that does not yet cover
+/// the cluster) re-folds everything.
+fn aggregate_cached_into(
     nodes: &mut [Node],
-    prepared: &PreparedEpoch,
+    batch: &ChainBatch,
+    counts: &[usize],
     results: &[SimResult<ChainEpochResult>],
     clean: Option<&[bool]>,
-    cache: &mut Vec<NodeEpochReport>,
-) -> ClusterEpochReport {
-    let cache_valid = clean.is_some() && cache.len() == nodes.len();
-    if !cache_valid {
-        cache.clear();
-    }
+    report: &mut ClusterEpochReport,
+) {
+    let cache_valid = clean.is_some() && report.nodes.len() == nodes.len();
+    report
+        .nodes
+        .resize_with(nodes.len(), NodeEpochReport::default);
     let mut lane = 0;
-    ClusterEpochReport {
-        nodes: nodes
-            .iter_mut()
-            .zip(prepared)
-            .enumerate()
-            .map(|(i, (node, p))| {
-                let n = p.configs.len();
-                let node_results = &results[lane..lane + n];
-                lane += n;
-                if cache_valid && clean.is_some_and(|c| c[i]) {
-                    // This node's lanes are bitwise-identical to the cached
-                    // fold's inputs; reuse the report without re-folding.
-                    return node.finish_epoch_cached(&cache[i]);
-                }
-                let owned: Vec<ChainEpochResult> = node_results
-                    .iter()
-                    .map(|r| {
-                        *r.as_ref()
-                            .expect("node-resident knobs were validated by set_knobs")
-                    })
-                    .collect();
-                let report = node.finish_epoch(&p.configs, &p.arrivals, &owned);
-                if cache_valid {
-                    cache[i] = report.clone();
-                } else {
-                    cache.push(report.clone());
-                }
-                report
-            })
-            .collect(),
+    for (i, (node, &n)) in nodes.iter_mut().zip(counts).enumerate() {
+        if cache_valid && clean.is_some_and(|c| c[i]) {
+            // This node's lanes are bitwise-identical to the retained
+            // fold's inputs; reuse the report slot without re-folding.
+            node.note_cached_epoch();
+        } else {
+            node.finish_epoch_columns_into(
+                batch,
+                lane,
+                &results[lane..lane + n],
+                &mut report.nodes[i],
+            );
+        }
+        lane += n;
     }
 }
 
 /// Fallback epoch for clusters whose nodes carry heterogeneous model
 /// tunings: each node evaluates its own batch with its own tuning, serially.
 fn epoch_unfused(nodes: &mut [Node]) -> ClusterEpochReport {
-    let prepared = generate(nodes);
     ClusterEpochReport {
         nodes: nodes
             .iter_mut()
-            .zip(&prepared)
-            .map(|(node, p)| {
+            .map(|node| {
                 let tuning = *node.tuning();
+                let p = node.prepare_epoch();
                 let results: Vec<ChainEpochResult> =
                     evaluate_chain_batch(&ChainBatch::from_configs(&p.configs), &tuning)
                         .into_iter()
@@ -573,6 +572,23 @@ mod tests {
     }
 
     #[test]
+    fn observed_epochs_match_collected_reports() {
+        // The borrowed-view loop must hand out the same reports the owning
+        // API returns, for both eval modes.
+        for eval in [EvalMode::Full, EvalMode::Incremental] {
+            let mut collected = testbed();
+            let mut observed = testbed();
+            let expect = collected.run_epochs_eval(4, PipelineMode::Inline, eval);
+            let mut seen = 0;
+            observed.observe_epochs(4, PipelineMode::Inline, eval, |k, r| {
+                assert_eq!(r, &expect[k], "epoch {k} under {eval:?}");
+                seen += 1;
+            });
+            assert_eq!(seen, 4);
+        }
+    }
+
+    #[test]
     fn incremental_epochs_equal_serial_epochs() {
         // The dirty-tracked path must be bit-identical to per-epoch serial
         // runs for every pipeline mode (mode is a no-op under Incremental).
@@ -662,6 +678,39 @@ mod tests {
             let got = pipelined.run_epochs(chunk);
             let expect: Vec<_> = (0..chunk).map(|_| serial.run_epoch()).collect();
             assert_eq!(got, expect);
+        }
+    }
+
+    #[test]
+    fn runs_survive_cluster_reshapes_between_calls() {
+        // Growing the cluster between runs reshapes the persistent buffers;
+        // both eval modes must keep matching a fresh serial cluster.
+        for eval in [EvalMode::Full, EvalMode::Incremental] {
+            let mut reshaped = testbed();
+            let mut serial = testbed();
+            reshaped.run_epochs_eval(2, PipelineMode::Inline, eval);
+            (0..2).for_each(|_| {
+                serial.run_epoch();
+            });
+            for (i, c) in [(0usize, ChainId(7)), (2, ChainId(8))] {
+                let mut k = KnobSettings::default_tuned();
+                k.llc_fraction = 0.2;
+                for cluster in [&mut reshaped, &mut serial] {
+                    cluster
+                        .node_mut(i)
+                        .unwrap()
+                        .add_chain(
+                            ChainSpec::lightweight(c),
+                            FlowSet::evaluation_five_flows(),
+                            k,
+                            91 + i as u64,
+                        )
+                        .unwrap();
+                }
+            }
+            let got = reshaped.run_epochs_eval(3, PipelineMode::Inline, eval);
+            let expect: Vec<_> = (0..3).map(|_| serial.run_epoch()).collect();
+            assert_eq!(got, expect, "{eval:?} after reshape");
         }
     }
 }

@@ -12,6 +12,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use crate::chainvec::ChainVec;
 use crate::engine::{ChainEpochResult, NodeEpochResult};
 use crate::error::{SimError, SimResult};
 use crate::node::{NodeCursor, NodeEpochReport};
@@ -207,7 +208,7 @@ pub fn decode_epoch(bytes: &[u8]) -> Result<EpochFrame, FrameError> {
     let mut reports = Vec::with_capacity(n_reports);
     for _ in 0..n_reports {
         let n_chains = c.count(CHAIN_RESULT_BYTES, "chain result")?;
-        let mut chains = Vec::with_capacity(n_chains);
+        let mut chains = ChainVec::with_capacity(n_chains);
         for _ in 0..n_chains {
             chains.push(ChainEpochResult {
                 throughput_gbps: c.f64("chain result")?,
@@ -228,7 +229,7 @@ pub fn decode_epoch(bytes: &[u8]) -> Result<EpochFrame, FrameError> {
             powered_frac: c.f64("node summary")?,
         };
         let n_telemetry = c.count(TELEMETRY_BYTES, "telemetry")?;
-        let mut telemetry = Vec::with_capacity(n_telemetry);
+        let mut telemetry = ChainVec::with_capacity(n_telemetry);
         for _ in 0..n_telemetry {
             telemetry.push(ChainTelemetry {
                 throughput_gbps: c.f64("telemetry")?,

@@ -40,7 +40,7 @@ impl Ewma {
 /// Telemetry snapshot for one chain after one epoch — exactly the paper's
 /// state space Eq. 8: throughput `T`, energy `E`, CPU utilization `ξ`,
 /// packet arrival rate `Ω`.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
 pub struct ChainTelemetry {
     /// Delivered throughput (Gbps).
     pub throughput_gbps: f64,

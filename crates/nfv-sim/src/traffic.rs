@@ -25,6 +25,7 @@ use crate::engine::ChainLoad;
 use crate::error::{SimError, SimResult};
 use crate::flow::{ArrivalPattern, FlowSet, FlowSpec};
 use crate::packet::{FiveTuple, Packet, MAX_PACKET_SIZE, MIN_PACKET_SIZE};
+use crate::simd::{wide_ln, F64x8, WideLane, WIDTH};
 
 /// Whether the load sampled for a window differs from the previous window's.
 ///
@@ -122,40 +123,15 @@ impl TrafficGen {
     /// `peak_factor × rate` while ON.
     pub fn next_window(&mut self, window_s: f64) -> Vec<WindowArrivals> {
         let mut out = Vec::with_capacity(self.flows.len());
-        // Copy specs to appease the borrow checker (flows are tiny Copy structs).
-        let specs: Vec<FlowSpec> = self.flows.flows().to_vec();
-        for (i, f) in specs.iter().enumerate() {
-            let mean = f.rate_pps * window_s;
-            let packets = match f.pattern {
-                ArrivalPattern::Cbr => mean,
-                ArrivalPattern::Poisson => {
-                    // Normal approximation N(mean, mean) is accurate for the
-                    // large counts seen at multi-kpps rates.
-                    let z = self.sample_standard_normal();
-                    (mean + z * mean.sqrt()).max(0.0)
-                }
-                ArrivalPattern::MarkovOnOff {
-                    peak_factor,
-                    on_fraction,
-                } => {
-                    let on = self.onoff_state[i];
-                    // Toggle with the stationary probability of the other state.
-                    let flip: f64 = self.rng.random();
-                    self.onoff_state[i] = if on {
-                        flip >= (1.0 - on_fraction) * 0.5
-                    } else {
-                        flip < on_fraction * 0.5
-                    };
-                    if on {
-                        mean * peak_factor
-                    } else {
-                        0.0
-                    }
-                }
-            };
+        // Split field borrows: the flow specs stay in place while the RNG
+        // stream and ON/OFF phases advance (no per-window spec copies).
+        let rng = &mut self.rng;
+        let onoff = &mut self.onoff_state;
+        debug_assert_eq!(self.flows.len(), onoff.len());
+        for (f, on) in self.flows.flows().iter().zip(onoff.iter_mut()) {
             out.push(WindowArrivals {
                 flow_id: f.id,
-                packets,
+                packets: flow_window_packets(f, window_s, rng, on),
                 packet_size: f.packet_size,
             });
         }
@@ -202,13 +178,6 @@ impl TrafficGen {
         pkts
     }
 
-    /// Box–Muller standard normal sample (avoids a `rand_distr` dependency).
-    fn sample_standard_normal(&mut self) -> f64 {
-        let u1: f64 = self.rng.random::<f64>().max(1e-12);
-        let u2: f64 = self.rng.random();
-        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-    }
-
     /// Samples one control window and folds it into the [`ChainLoad`] the
     /// epoch engine consumes: observed arrival rate over the window plus the
     /// flow set's static packet-size mix and burstiness. Advances the
@@ -224,15 +193,117 @@ impl TrafficGen {
     /// `sample_load`, so mixing the two entry points never perturbs the
     /// stream.
     pub fn sample_load_delta(&mut self, window_s: f64) -> (ChainLoad, LoadDelta) {
-        let window = self.next_window(window_s);
-        let pps = Self::window_rate_pps(&window, window_s);
+        // The epoch engine only consumes the arrival *total*, so fold it
+        // straight off the flow sweep instead of materializing the per-flow
+        // window [`next_window`] builds: zero heap allocation per sample.
+        // Same per-flow draws in the same order, and the `+=` fold starts at
+        // 0.0 exactly like `window_rate_pps`'s iterator sum, so the result is
+        // bit-identical to the former next_window → window_rate_pps chain
+        // (`synthetic_sample_load_matches_manual_fold` pins this).
+        let mut total = 0.0;
+        let rng = &mut self.rng;
+        let onoff = &mut self.onoff_state;
+        debug_assert_eq!(self.flows.len(), onoff.len());
+        for (f, on) in self.flows.flows().iter().zip(onoff.iter_mut()) {
+            total += flow_window_packets(f, window_s, rng, on);
+        }
+        self.now_ns += (window_s * 1e9) as u64;
         let load = ChainLoad {
-            arrival_pps: pps,
+            arrival_pps: total / window_s,
             mean_packet_size: self.flows.mean_packet_size(),
             burstiness: self.flows.burstiness(),
         };
         let delta = track_delta(&mut self.last_load, load);
         (load, delta)
+    }
+}
+
+/// One flow's packet count for a `window_s`-second window: CBR flows produce
+/// exactly rate × window packets, Poisson flows a normal-approximated count
+/// (two uniform draws), Markov ON/OFF flows toggle `on_state` with the
+/// stationary probability of the other state (one draw) and emit
+/// `peak_factor × rate` while ON. Shared by [`TrafficGen::next_window`] and
+/// the allocation-free [`TrafficGen::sample_load_delta`] fold so the two
+/// entry points consume the RNG stream identically.
+#[inline]
+fn flow_window_packets(f: &FlowSpec, window_s: f64, rng: &mut StdRng, on_state: &mut bool) -> f64 {
+    let mean = f.rate_pps * window_s;
+    match f.pattern {
+        ArrivalPattern::Cbr => mean,
+        ArrivalPattern::Poisson => {
+            // Normal approximation N(mean, mean) is accurate for the
+            // large counts seen at multi-kpps rates.
+            let z = standard_normal(rng);
+            (mean + z * mean.sqrt()).max(0.0)
+        }
+        ArrivalPattern::MarkovOnOff {
+            peak_factor,
+            on_fraction,
+        } => {
+            let on = *on_state;
+            // Toggle with the stationary probability of the other state.
+            let flip: f64 = rng.random();
+            *on_state = if on {
+                flip >= (1.0 - on_fraction) * 0.5
+            } else {
+                flip < on_fraction * 0.5
+            };
+            if on {
+                mean * peak_factor
+            } else {
+                0.0
+            }
+        }
+    }
+}
+
+/// One scalar Box–Muller standard normal draw: two uniforms, `std` math.
+/// This is the **shipped** sampling path of [`TrafficGen`] (Poisson counts)
+/// and [`TraceSource`] (rate jitter); see [`standard_normal_fill_wide`] for
+/// why it stays on `std::f64::ln`/`cos`.
+pub fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Batched Box–Muller: fills `out` with standard normal samples, drawing the
+/// `u1, u2` uniform pairs from `rng` in **exactly the scalar order** (so the
+/// stream position after `out.len()` samples matches `out.len()` calls of
+/// [`standard_normal`]) and computing the log stage through the
+/// [`wide_ln`] polynomial kernel eight samples at a time. `sqrt` is a single
+/// exact IEEE-754 operation and `cos` stays scalar, so `wide_ln` is the only
+/// stage where the wide and scalar paths can diverge.
+///
+/// **Why the shipped path keeps `std` math.** `wide_ln` is within a few ULP
+/// of `std::f64::ln` but not bit-identical (`tests/wide_math.rs` pins both
+/// that distance and this kernel's resulting sample error). Every golden
+/// artifact and checkpoint in the repo embeds the `std`-math sample stream,
+/// and traffic generation is nowhere near the epoch bottleneck — the columnar
+/// substrate already reduced it to invariant hoisting plus two uniform draws
+/// per Poisson flow — so swapping the kernel in would re-bless every golden
+/// for no measurable end-to-end win. The wide kernel ships for bulk-draw
+/// callers and as the pinned reference for that trade-off.
+pub fn standard_normal_fill_wide(rng: &mut StdRng, out: &mut [f64]) {
+    let mut u1 = [0.0f64; WIDTH];
+    let mut u2 = [0.0f64; WIDTH];
+    let mut chunks = out.chunks_exact_mut(WIDTH);
+    for chunk in &mut chunks {
+        for k in 0..WIDTH {
+            u1[k] = rng.random::<f64>().max(1e-12);
+            u2[k] = rng.random();
+        }
+        let neg2ln = F64x8::splat(-2.0) * wide_ln(F64x8::load(&u1, 0));
+        for (k, z) in chunk.iter_mut().enumerate() {
+            *z = neg2ln.lane(k).sqrt() * (2.0 * std::f64::consts::PI * u2[k]).cos();
+        }
+    }
+    // Scalar tail runs the same generic polynomial (`wide_ln::<f64>`), so
+    // the wide/tail split cannot shift bits — the simd module's contract.
+    for z in chunks.into_remainder() {
+        let u1: f64 = rng.random::<f64>().max(1e-12);
+        let u2: f64 = rng.random();
+        *z = (-2.0 * wide_ln(u1)).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
     }
 }
 
@@ -490,9 +561,7 @@ impl TraceSource {
         let p = *self.trace.point_at(self.now_s);
         self.now_s += window_s;
         let jitter = if self.jitter_frac > 0.0 {
-            let u1: f64 = self.rng.random::<f64>().max(1e-12);
-            let u2: f64 = self.rng.random();
-            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            let z = standard_normal(&mut self.rng);
             (1.0 + self.jitter_frac * z).max(0.0)
         } else {
             1.0
@@ -1137,6 +1206,27 @@ duration_s,rate_pps,packet_size,burstiness
         assert_eq!(load.arrival_pps, TrafficGen::window_rate_pps(&window, 1.0));
         assert_eq!(load.mean_packet_size, fs.mean_packet_size());
         assert_eq!(load.burstiness, fs.burstiness());
+    }
+
+    #[test]
+    fn wide_normal_draws_match_scalar_stream_order() {
+        // Same seed: the wide kernel consumes exactly the scalar uniform
+        // order, so the RNG states coincide afterwards — a wide-filled
+        // buffer can replace N scalar draws without perturbing the stream.
+        let mut a = StdRng::seed_from_u64(11);
+        let mut b = StdRng::seed_from_u64(11);
+        let mut wide = [0.0; 21]; // full chunks plus a 5-lane tail
+        standard_normal_fill_wide(&mut a, &mut wide);
+        for (i, w) in wide.iter().enumerate() {
+            let s = standard_normal(&mut b);
+            // Values agree to ULP-scale tolerance; `tests/wide_math.rs`
+            // pins the exact distance.
+            assert!(
+                (w - s).abs() <= 1e-12 * s.abs().max(1.0),
+                "sample {i}: {w} vs {s}"
+            );
+        }
+        assert_eq!(a.state(), b.state());
     }
 
     #[test]

@@ -117,13 +117,13 @@ impl Dense {
             .last_output
             .as_ref()
             .expect("backward called before forward");
-        // dL/dz = dL/dy ⊙ act'(z), with act' from cached outputs.
+        // dL/dz = dL/dy ⊙ act'(z), with act' from cached outputs. One flat
+        // element-wise sweep over the backing data (same values, same
+        // order as the former per-(r,c) get/set loop, minus the indexing).
         let mut dz = grad_out.clone();
-        for r in 0..dz.rows() {
-            for c in 0..dz.cols() {
-                let d = self.activation.derivative_from_output(output.get(r, c));
-                dz.set(r, c, dz.get(r, c) * d);
-            }
+        let act = self.activation;
+        for (g, &y) in dz.data_mut().iter_mut().zip(output.data()) {
+            *g *= act.derivative_from_output(y);
         }
         // dW = dzᵀ · x  (out × in); db = column sums of dz.
         let grad_w = dz.transpose_a_matmul(input);
@@ -139,6 +139,17 @@ impl Dense {
     pub fn grads(&self) -> Option<(&Matrix, &[f64])> {
         match (&self.grad_w, &self.grad_b) {
             (Some(w), Some(b)) => Some((w, b.as_slice())),
+            _ => None,
+        }
+    }
+
+    /// Split-borrow view for optimizers: mutable parameters alongside the
+    /// immutable gradients from the last backward pass. Lets an optimizer
+    /// step read gradients and write parameters in one pass without cloning
+    /// the gradient matrices (they are disjoint fields of the layer).
+    pub fn params_grads_mut(&mut self) -> Option<(&mut Matrix, &mut [f64], &Matrix, &[f64])> {
+        match (&self.grad_w, &self.grad_b) {
+            (Some(gw), Some(gb)) => Some((&mut self.weights, &mut self.bias, gw, gb)),
             _ => None,
         }
     }

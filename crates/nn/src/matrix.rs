@@ -1,6 +1,25 @@
 //! Dense row-major matrix with the small set of operations an MLP needs.
+//!
+//! The three matmul variants are the training hot loop of every DDPG/DQN
+//! update. `matmul` and `transpose_a_matmul` stream contiguous axpy rows
+//! (already wide: the compiler vectorizes the element-wise inner loops),
+//! but `matmul_transpose_b` — the forward/inference op `x · Wᵀ` — reduces
+//! each output element through a single serial accumulator chain, so it is
+//! bound by float-add latency, not throughput. It therefore runs a
+//! wide-lane blocked micro-kernel: `WIDTH` (8) output columns at a time, each
+//! with its *own* scalar accumulator walked in ascending-`k` order. Blocking
+//! across output columns never touches the reduction order of any single
+//! element, so the kernel is bit-identical to the naive dot loop —
+//! [`Matrix::matmul_transpose_b_naive`] keeps the reference implementation
+//! alive and the differential tests (here and in `tests/` of the workspace)
+//! pin blocked == naive exactly over shapes 1..=64.
 
 use serde::{Deserialize, Serialize};
+
+/// Output columns per blocked micro-kernel step of
+/// [`Matrix::matmul_transpose_b`]: eight independent accumulator chains
+/// saturate the FMA pipes where one serial chain stalls on add latency.
+const WIDTH: usize = 8;
 
 /// A dense row-major `rows × cols` matrix of `f64`.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -97,7 +116,55 @@ impl Matrix {
     }
 
     /// `self · otherᵀ` (rows×cols) · (n×cols)ᵀ → rows×n.
+    ///
+    /// Runs the `WIDTH`-column (8-wide) blocked micro-kernel (see the module
+    /// docs):
+    /// bit-identical to [`Self::matmul_transpose_b_naive`] because every
+    /// output element still accumulates its products in ascending-`k` order
+    /// through its own scalar accumulator — blocking only interleaves
+    /// *independent* chains.
     pub fn matmul_transpose_b(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "inner dimensions must match");
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        let cols = self.cols;
+        let n = other.rows;
+        for i in 0..self.rows {
+            let arow = &self.data[i * cols..(i + 1) * cols];
+            let out_row = &mut out.data[i * n..(i + 1) * n];
+            let mut j = 0;
+            while j + WIDTH <= n {
+                // Eight B rows, eight independent accumulators, one shared
+                // walk over k. Each `acc[jj]` sees exactly the adds the
+                // naive dot loop performs, in the same order.
+                let rows: [&[f64]; WIDTH] =
+                    std::array::from_fn(|jj| &other.data[(j + jj) * cols..(j + jj + 1) * cols]);
+                let mut acc = [0.0f64; WIDTH];
+                for (k, &a) in arow.iter().enumerate() {
+                    for (jj, slot) in acc.iter_mut().enumerate() {
+                        *slot += a * rows[jj][k];
+                    }
+                }
+                out_row[j..j + WIDTH].copy_from_slice(&acc);
+                j += WIDTH;
+            }
+            for (jj, slot) in out_row.iter_mut().enumerate().skip(j) {
+                let brow = &other.data[jj * cols..(jj + 1) * cols];
+                let mut acc = 0.0;
+                for (&a, &b) in arow.iter().zip(brow) {
+                    acc += a * b;
+                }
+                *slot = acc;
+            }
+        }
+        out
+    }
+
+    /// Reference (unblocked) implementation of
+    /// [`Self::matmul_transpose_b`]: one serial dot product per output
+    /// element. Kept public so the differential tests and the
+    /// `nn_matmul/{blocked,naive}` bench pair can pin the blocked kernel
+    /// bit-equal and measurably faster.
+    pub fn matmul_transpose_b_naive(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "inner dimensions must match");
         let mut out = Matrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
@@ -230,6 +297,87 @@ mod tests {
         let b = m(1, 2, &[3.0, 4.0]);
         a.scale_add(0.5, &b, 0.5);
         assert_eq!(a.data(), &[2.0, 3.0]);
+    }
+
+    /// Deterministic pseudo-random fill with a sprinkling of exact zeros
+    /// (exercising the sparse-skip paths) and negative values.
+    fn filled(rows: usize, cols: usize, seed: u64) -> Matrix {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let data: Vec<f64> = (0..rows * cols)
+            .map(|_| {
+                let r = next();
+                if r % 5 == 0 {
+                    0.0
+                } else {
+                    (r % 2000) as f64 / 487.0 - 2.0
+                }
+            })
+            .collect();
+        Matrix::from_vec(rows, cols, data)
+    }
+
+    #[test]
+    fn blocked_matmul_transpose_b_is_bit_equal_to_naive() {
+        // Every inner dimension 1..=64 (the DDPG shapes), output-column
+        // counts straddling the WIDTH boundary, rectangular rows.
+        for k in 1..=64usize {
+            let rows = 1 + k % 5;
+            for n in [1, 7, 8, 9, 15, 16, 17, 63, 64] {
+                let a = filled(rows, k, (k * 64 + n) as u64);
+                let b = filled(n, k, (k * 131 + n) as u64);
+                let blocked = a.matmul_transpose_b(&b);
+                let naive = a.matmul_transpose_b_naive(&b);
+                assert_eq!(blocked.rows(), naive.rows());
+                assert_eq!(blocked.cols(), naive.cols());
+                for (x, y) in blocked.data().iter().zip(naive.data()) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "k={k} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn matmul_variants_match_dot_order_reference() {
+        // `matmul` (ikj + zero-skip) and `transpose_a_matmul` (r-order axpy)
+        // must equal a plain ascending-k dot per output element: per-element
+        // accumulation order is identical, and the zero-skip only elides
+        // `+ 0.0` terms onto a non-negative-zero accumulator.
+        for n in [1usize, 2, 3, 5, 7, 8, 9, 16, 17, 31, 33, 64] {
+            let a = filled(n, n + 1, n as u64);
+            let b = filled(n + 1, n.max(2), 1000 + n as u64);
+            let got = a.matmul(&b);
+            for i in 0..got.rows() {
+                for j in 0..got.cols() {
+                    let mut acc = 0.0;
+                    for k in 0..a.cols() {
+                        acc += a.get(i, k) * b.get(k, j);
+                    }
+                    assert_eq!(got.get(i, j).to_bits(), acc.to_bits(), "matmul n={n}");
+                }
+            }
+            // aᵀ · d, with d sharing a's row count.
+            let d = filled(n, n.max(2), 2000 + n as u64);
+            let got_t = a.transpose_a_matmul(&d);
+            for i in 0..got_t.rows() {
+                for j in 0..got_t.cols() {
+                    let mut acc = 0.0;
+                    for r in 0..a.rows() {
+                        acc += a.get(r, i) * d.get(r, j);
+                    }
+                    assert_eq!(
+                        got_t.get(i, j).to_bits(),
+                        acc.to_bits(),
+                        "transpose_a_matmul n={n}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -38,14 +38,16 @@ impl Sgd {
         ensure_state(&mut self.velocity_w, &mut self.velocity_b, net);
         let clip = compute_clip_scale(net, self.grad_clip);
         for (i, layer) in net.layers_mut().iter_mut().enumerate() {
-            let Some((gw, gb)) = layer.grads().map(|(w, b)| (w.clone(), b.to_vec())) else {
+            // Split borrow: read the stored gradients in place instead of
+            // cloning them every step (same arithmetic, zero allocation).
+            let Some((weights, bias, gw, gb)) = layer.params_grads_mut() else {
                 continue;
             };
             let vw = &mut self.velocity_w[i];
-            vw.scale_add(self.momentum, &gw, clip);
-            layer.weights_mut().scale_add(1.0, vw, -self.lr);
+            vw.scale_add(self.momentum, gw, clip);
+            weights.scale_add(1.0, vw, -self.lr);
             let vb = &mut self.velocity_b[i];
-            for ((v, g), b) in vb.iter_mut().zip(&gb).zip(layer.bias_mut()) {
+            for ((v, g), b) in vb.iter_mut().zip(gb).zip(bias) {
                 *v = self.momentum * *v + clip * g;
                 *b -= self.lr * *v;
             }
@@ -104,35 +106,38 @@ impl Adam {
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
         for (i, layer) in net.layers_mut().iter_mut().enumerate() {
-            let Some((gw, gb)) = layer.grads().map(|(w, b)| (w.clone(), b.to_vec())) else {
+            // Split borrow: gradients stay in the layer, parameters update
+            // in place — the former per-step `gw.clone()` of every weight
+            // matrix is gone and the moment updates fuse into one sweep of
+            // zipped slices. Update order and arithmetic are unchanged.
+            let Some((weights, bias, gw, gb)) = layer.params_grads_mut() else {
                 continue;
             };
             // Weights.
             {
                 let m = &mut self.m_w[i];
                 let v = &mut self.v_w[i];
-                let w = layer.weights_mut();
-                for idx in 0..gw.data().len() {
-                    let g = gw.data()[idx] * clip;
-                    let md = &mut m.data_mut()[idx];
+                for (((w, &graw), md), vd) in weights
+                    .data_mut()
+                    .iter_mut()
+                    .zip(gw.data())
+                    .zip(m.data_mut().iter_mut())
+                    .zip(v.data_mut().iter_mut())
+                {
+                    let g = graw * clip;
                     *md = self.beta1 * *md + (1.0 - self.beta1) * g;
-                    let vd = &mut v.data_mut()[idx];
                     *vd = self.beta2 * *vd + (1.0 - self.beta2) * g * g;
                     let mhat = *md / bc1;
                     let vhat = *vd / bc2;
-                    w.data_mut()[idx] -= self.lr * mhat / (vhat.sqrt() + self.eps);
+                    *w -= self.lr * mhat / (vhat.sqrt() + self.eps);
                 }
             }
             // Biases.
             {
                 let m = &mut self.m_b[i];
                 let v = &mut self.v_b[i];
-                for (((b, &graw), m), v) in layer
-                    .bias_mut()
-                    .iter_mut()
-                    .zip(&gb)
-                    .zip(m.iter_mut())
-                    .zip(v.iter_mut())
+                for (((b, &graw), m), v) in
+                    bias.iter_mut().zip(gb).zip(m.iter_mut()).zip(v.iter_mut())
                 {
                     let g = graw * clip;
                     *m = self.beta1 * *m + (1.0 - self.beta1) * g;

@@ -12,6 +12,21 @@ use serde::{Deserialize, Serialize};
 
 use crate::env::Transition;
 
+/// Row-wise concatenation `[a | b]` (matching row counts): the (state,
+/// action) critic-input assembly, done with two slice copies per row
+/// instead of per-element `get`/`set`.
+fn concat_rows(a: &Matrix, b: &Matrix) -> Matrix {
+    debug_assert_eq!(a.rows(), b.rows());
+    let (ac, bc) = (a.cols(), b.cols());
+    let mut out = Matrix::zeros(a.rows(), ac + bc);
+    for i in 0..a.rows() {
+        let row = &mut out.data_mut()[i * (ac + bc)..(i + 1) * (ac + bc)];
+        row[..ac].copy_from_slice(a.row_slice(i));
+        row[ac..].copy_from_slice(b.row_slice(i));
+    }
+    out
+}
+
 /// Hyperparameters for a DDPG agent.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct DdpgConfig {
@@ -182,21 +197,13 @@ impl DdpgAgent {
         let n = batch.len();
 
         // ---- Targets: y_i = r_i + γ Q'(x', μ'(x')) -----------------------
-        let next_states = Matrix::from_vec(
-            n,
-            self.state_dim,
-            batch.iter().flat_map(|t| t.next_state.clone()).collect(),
-        );
-        let next_actions = self.target_actor.infer(&next_states);
-        let mut next_in = Matrix::zeros(n, self.state_dim + self.action_dim);
-        for i in 0..n {
-            for j in 0..self.state_dim {
-                next_in.set(i, j, next_states.get(i, j));
-            }
-            for j in 0..self.action_dim {
-                next_in.set(i, self.state_dim + j, next_actions.get(i, j));
-            }
+        let mut flat = Vec::with_capacity(n * self.state_dim);
+        for t in batch {
+            flat.extend_from_slice(&t.next_state);
         }
+        let next_states = Matrix::from_vec(n, self.state_dim, flat);
+        let next_actions = self.target_actor.infer(&next_states);
+        let next_in = concat_rows(&next_states, &next_actions);
         let q_next = self.target_critic.infer(&next_in);
         let targets: Vec<f64> = batch
             .iter()
@@ -207,18 +214,12 @@ impl DdpgAgent {
             .collect();
 
         // ---- Critic regression -------------------------------------------
-        let sa = Matrix::from_vec(
-            n,
-            self.state_dim + self.action_dim,
-            batch
-                .iter()
-                .flat_map(|t| {
-                    let mut v = t.state.clone();
-                    v.extend_from_slice(&t.action);
-                    v
-                })
-                .collect(),
-        );
+        let mut flat = Vec::with_capacity(n * (self.state_dim + self.action_dim));
+        for t in batch {
+            flat.extend_from_slice(&t.state);
+            flat.extend_from_slice(&t.action);
+        }
+        let sa = Matrix::from_vec(n, self.state_dim + self.action_dim, flat);
         let q = self.critic.forward(&sa);
         let mut td = Vec::with_capacity(n);
         let mut loss = 0.0;
@@ -234,21 +235,13 @@ impl DdpgAgent {
         self.critic_opt.step(&mut self.critic);
 
         // ---- Actor: ascend ∇_a Q(s, μ(s)) --------------------------------
-        let states = Matrix::from_vec(
-            n,
-            self.state_dim,
-            batch.iter().flat_map(|t| t.state.clone()).collect(),
-        );
-        let actions = self.actor.forward(&states);
-        let mut sa_pi = Matrix::zeros(n, self.state_dim + self.action_dim);
-        for i in 0..n {
-            for j in 0..self.state_dim {
-                sa_pi.set(i, j, states.get(i, j));
-            }
-            for j in 0..self.action_dim {
-                sa_pi.set(i, self.state_dim + j, actions.get(i, j));
-            }
+        let mut flat = Vec::with_capacity(n * self.state_dim);
+        for t in batch {
+            flat.extend_from_slice(&t.state);
         }
+        let states = Matrix::from_vec(n, self.state_dim, flat);
+        let actions = self.actor.forward(&states);
+        let sa_pi = concat_rows(&states, &actions);
         self.critic.forward(&sa_pi);
         // dQ/d(input) with dL/dQ = −1/n (maximize Q ⇒ minimize −Q).
         let neg = Matrix::from_vec(n, 1, vec![-1.0 / n as f64; n]);
@@ -256,9 +249,9 @@ impl DdpgAgent {
         // Extract the action part of the input gradient.
         let mut daction = Matrix::zeros(n, self.action_dim);
         for i in 0..n {
-            for j in 0..self.action_dim {
-                daction.set(i, j, dinput.get(i, self.state_dim + j));
-            }
+            let row = dinput.row_slice(i);
+            daction.data_mut()[i * self.action_dim..(i + 1) * self.action_dim]
+                .copy_from_slice(&row[self.state_dim..self.state_dim + self.action_dim]);
         }
         self.actor.backward(&daction);
         self.actor_opt.step(&mut self.actor);
